@@ -1,0 +1,50 @@
+//! Criterion bench for experiment E1 (Table 2): Bulk RPC vs one-at-a-time
+//! dispatch, measured on the instant network profile so the numbers show
+//! pure protocol/engine CPU cost (the latency effect is swept separately
+//! by `tables ablation-latency`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xrpc_bench::{echo_cluster, echo_query, time_query};
+use xrpc_net::NetProfile;
+
+fn bench_bulk_vs_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("echoVoid");
+    group.sample_size(10);
+    for x in [1usize, 10, 100] {
+        for (mode, bulk) in [("single", false), ("bulk", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(mode, x),
+                &x,
+                |b, &x| {
+                    let cluster = echo_cluster(NetProfile::instant(), bulk, true);
+                    let q = echo_query(x);
+                    // warm the function cache
+                    let _ = time_query(&cluster.a, &echo_query(1));
+                    b.iter(|| {
+                        cluster.a.execute(&q).unwrap();
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_function_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("function_cache");
+    group.sample_size(10);
+    for (mode, cache) in [("cached", true), ("uncached", false)] {
+        group.bench_function(mode, |b| {
+            let cluster = echo_cluster(NetProfile::instant(), true, cache);
+            let q = echo_query(1);
+            let _ = time_query(&cluster.a, &q);
+            b.iter(|| {
+                cluster.a.execute(&q).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk_vs_single, bench_function_cache);
+criterion_main!(benches);

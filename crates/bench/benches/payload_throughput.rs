@@ -1,0 +1,26 @@
+//! Criterion bench for experiment E4 (§3.3 throughput text): request- and
+//! response-heavy XRPC calls with a 256 KiB payload.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xrpc_bench::{request_heavy_query, response_heavy_query, throughput_cluster};
+
+fn bench_payload(c: &mut Criterion) {
+    let bytes = 256 * 1024;
+    let mut group = c.benchmark_group("payload_256k");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("request_heavy", |b| {
+        let cluster = throughput_cluster(bytes);
+        let q = request_heavy_query();
+        b.iter(|| cluster.a.execute(&q).unwrap());
+    });
+    group.bench_function("response_heavy", |b| {
+        let cluster = throughput_cluster(bytes);
+        let q = response_heavy_query();
+        b.iter(|| cluster.a.execute(&q).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_payload);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for experiment E3 (Table 4): the four Q7 distribution
+//! strategies at a reduced scale (Criterion repeats each many times; the
+//! paper-scale run lives in `tables table4`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xrpc_bench::{strategy_cluster, A_URI, B_URI};
+use xrpc_net::NetProfile;
+
+fn bench_strategies(c: &mut Criterion) {
+    let params = xmark::XmarkParams {
+        persons: 100,
+        closed_auctions: 800,
+        matches: 6,
+        padding_words: 10,
+        seed: 42,
+    };
+    let mut group = c.benchmark_group("q7_strategies");
+    group.sample_size(10);
+    for strategy in distq::Strategy::ALL {
+        group.bench_function(strategy.label(), |b| {
+            let cluster = strategy_cluster(&params, NetProfile::instant());
+            cluster.a.set_rpc_optimize(true);
+            let q = strategy.query(B_URI, A_URI);
+            // warm-up: builds join indexes and the wrapped engine's caches
+            let _ = cluster.a.execute(&q).unwrap();
+            b.iter(|| cluster.a.execute(&q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

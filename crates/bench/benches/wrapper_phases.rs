@@ -1,0 +1,30 @@
+//! Criterion bench for experiment E2 (Table 3): the XRPC wrapper serving
+//! echoVoid and getPerson bulk requests on a plain engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xrpc_bench::{get_person_query, time_query, wrapper_cluster, wrapper_echo_query};
+
+fn bench_wrapper(c: &mut Criterion) {
+    let persons = 2000;
+    let mut group = c.benchmark_group("wrapper");
+    group.sample_size(10);
+    for x in [1usize, 100] {
+        group.bench_with_input(BenchmarkId::new("echoVoid", x), &x, |b, &x| {
+            let cluster = wrapper_cluster(persons);
+            let q = wrapper_echo_query(x);
+            let _ = time_query(&cluster.a, &wrapper_echo_query(1));
+            b.iter(|| cluster.a.execute(&q).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("getPerson", x), &x, |b, &x| {
+            let cluster = wrapper_cluster(persons);
+            let q = get_person_query(x, persons);
+            // first call builds the wrapped engine's join index
+            let _ = time_query(&cluster.a, &get_person_query(1, persons));
+            b.iter(|| cluster.a.execute(&q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wrapper);
+criterion_main!(benches);

@@ -1,0 +1,246 @@
+//! Regenerate every evaluation artifact of the paper:
+//!
+//! ```text
+//! tables table2        — Table 2: bulk vs one-at-a-time × function cache
+//! tables table3        — Table 3: wrapper (Saxon-role) phase latencies
+//! tables table4        — Table 4: the four Q7 strategies
+//! tables throughput    — §3.3 text: request/response payload MB/s
+//! tables ablation-latency    — A1: bulk advantage across network profiles
+//! tables ablation-isolation  — A2: isolation level overhead
+//! tables all           — everything above
+//! ```
+//!
+//! Numbers are wall-clock milliseconds on this machine; compare *shapes*
+//! with the paper (EXPERIMENTS.md records both).
+
+use std::time::Duration;
+use xrpc_bench::*;
+use xrpc_net::NetProfile;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match arg.as_str() {
+        "table2" => table2(),
+        "table3" => table3(),
+        "table4" => table4(),
+        "throughput" => throughput(),
+        "ablation-latency" => ablation_latency(),
+        "ablation-isolation" => ablation_isolation(),
+        "all" => {
+            table2();
+            table3();
+            table4();
+            throughput();
+            ablation_latency();
+            ablation_isolation();
+        }
+        other => {
+            eprintln!("unknown table `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Table 2: XRPC performance (msec), loop-lifted vs one-at-a-time,
+/// function cache vs no function cache, $x ∈ {1, 1000}.
+fn table2() {
+    println!("== Table 2: XRPC performance (msec): loop-lifted vs one-at-a-time; function cache vs none ==");
+    println!("{:<14} {:>14} {:>14} {:>14} {:>14}", "", "nocache x=1", "nocache x=1000", "cache x=1", "cache x=1000");
+    for (label, bulk) in [("one-at-a-time", false), ("bulk", true)] {
+        let mut cells = Vec::new();
+        for cache in [false, true] {
+            for x in [1usize, 1000] {
+                let c = echo_cluster(NetProfile::lan(), bulk, cache);
+                // warm the connection path once without counting it
+                let q1 = echo_query(1);
+                let _ = time_query(&c.a, &q1);
+                if cache {
+                    // cached half: the module is already prepared
+                } else {
+                    c.b.function_cache.set_enabled(false);
+                }
+                let (d, _) = time_query(&c.a, &echo_query(x));
+                cells.push(ms(d));
+            }
+        }
+        // reorder: printed columns are nocache(1,1000), cache(1,1000)
+        println!(
+            "{:<14} {:>14.1} {:>14.1} {:>14.1} {:>14.1}",
+            label, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    println!("paper (2 GHz Athlon64, 1Gb/s): one-at-a-time 133 / 2696 / 2.6 / 2696 ; bulk 130 / 134 / 2.7 / 4");
+    // The paper's no-cache penalty is MonetDB's ~130 ms module translation;
+    // our translator is a hand-written parser, so the same *shape* exists
+    // at a far smaller magnitude. Report it so the columns make sense.
+    let t0 = std::time::Instant::now();
+    let n = 100;
+    for _ in 0..n {
+        let _ = xqast::parse_library_module(xmark::test_module()).unwrap();
+    }
+    println!(
+        "note: our per-request module translation costs {:.3} ms (paper's was ~130 ms)",
+        ms(t0.elapsed()) / n as f64
+    );
+    println!();
+}
+
+/// Table 3: Saxon-via-wrapper latency with phase split.
+fn table3() {
+    println!("== Table 3: wrapper latency (msec): total / compile / treebuild / exec ==");
+    let persons = 20000;
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "", "total", "compile", "treebuild", "exec"
+    );
+    for (label, query, x) in [
+        ("echoVoid x=1", wrapper_echo_query(1), 1),
+        ("echoVoid x=1000", wrapper_echo_query(1000), 1000),
+        ("getPerson x=1", get_person_query(1, persons), 1),
+        ("getPerson x=1000", get_person_query(1000, persons), 1000),
+    ] {
+        let c = wrapper_cluster(persons);
+        let _ = x;
+        let (total, _) = time_query(&c.a, &query);
+        let ph = c.wrapper.take_phases();
+        println!(
+            "{:<22} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            label,
+            ms(total),
+            ms(ph.compile),
+            ms(ph.treebuild),
+            ms(ph.exec)
+        );
+    }
+    println!("paper (Saxon-B 8.7): echoVoid 275/178/4.6/92 and 590/178/86/325 ; getPerson 4276/185/1956/2134 and 8167/185/1973/6010");
+    println!();
+}
+
+/// Table 4: execution time of Q7 under the four distribution strategies.
+fn table4() {
+    println!("== Table 4: Q7 strategies (msec): total / peer-A / peer-B(incl. network) ==");
+    let params = xmark::XmarkParams {
+        persons: 250,
+        closed_auctions: 4875,
+        matches: 6,
+        padding_words: 60,
+        seed: 42,
+    };
+    println!(
+        "{:<24} {:>10} {:>12} {:>18} {:>9}",
+        "", "total", "A (rel)", "B (wrapper+net)", "results"
+    );
+    for s in distq::Strategy::ALL {
+        let c = strategy_cluster(&params, NetProfile::lan());
+        // peer A acts as the distributed optimizer's target: invariant
+        // hoisting + duplicate-call collapsing on (see EXPERIMENTS.md)
+        c.a.set_rpc_optimize(true);
+        let q = s.query(B_URI, A_URI);
+        let (total, res) = time_query(&c.a, &q);
+        let blocked = c.timing.take_blocked();
+        let n = res
+            .iter()
+            .filter(|i| matches!(i, xdm::Item::Node(h) if h.name().is_some_and(|q| q.local == "result")))
+            .count();
+        println!(
+            "{:<24} {:>10.0} {:>12.0} {:>18.0} {:>9}",
+            s.label(),
+            ms(total),
+            ms(total - blocked),
+            ms(blocked),
+            n
+        );
+    }
+    println!("paper: data shipping 28122/16457/11665 ; push-down 25799/2961/22838 ; relocation 53184/69/53115 ; semi-join 10278/118/10160");
+    println!();
+}
+
+/// §3.3 throughput: request- and response-heavy payload scaling.
+fn throughput() {
+    println!("== Throughput (§3.3 text): payload scaling, MB/s ==");
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "payload", "request MB/s", "response MB/s"
+    );
+    for kb in [64usize, 256, 1024, 4096] {
+        let bytes = kb * 1024;
+        // request-heavy
+        let c = throughput_cluster(bytes);
+        c.net.metrics.reset();
+        let (d_req, _) = time_query(&c.a, &request_heavy_query());
+        let sent = c.net.metrics.snapshot().bytes_sent;
+        // response-heavy
+        let c2 = throughput_cluster(bytes);
+        c2.net.metrics.reset();
+        let (d_resp, _) = time_query(&c2.a, &response_heavy_query());
+        let recv = c2.net.metrics.snapshot().bytes_received;
+        println!(
+            "{:<12} {:>14.1} {:>14.1}",
+            format!("{kb} KiB"),
+            mb_per_sec(sent, d_req),
+            mb_per_sec(recv, d_resp)
+        );
+    }
+    println!("paper: ~8 MB/s requests, ~14 MB/s responses (CPU-bound on 1Gb/s LAN)");
+    println!();
+}
+
+/// Ablation A1: where does Bulk RPC win? Sweep the link latency.
+fn ablation_latency() {
+    println!("== Ablation A1: bulk vs one-at-a-time across link latencies (x=100, msec) ==");
+    println!(
+        "{:<16} {:>14} {:>10} {:>9}",
+        "one-way latency", "one-at-a-time", "bulk", "speedup"
+    );
+    for lat_ms in [0.1f64, 1.0, 10.0, 50.0] {
+        let profile = NetProfile::with_latency(Duration::from_secs_f64(lat_ms / 1e3));
+        let single = {
+            let c = echo_cluster(profile, false, true);
+            let (d, _) = time_query(&c.a, &echo_query(100));
+            d
+        };
+        let bulk = {
+            let c = echo_cluster(profile, true, true);
+            let (d, _) = time_query(&c.a, &echo_query(100));
+            d
+        };
+        println!(
+            "{:<16} {:>14.1} {:>10.1} {:>8.1}x",
+            format!("{lat_ms} ms"),
+            ms(single),
+            ms(bulk),
+            ms(single) / ms(bulk).max(0.001)
+        );
+    }
+    println!();
+}
+
+/// Ablation A2: cost of repeatable-read isolation (snapshot pinning +
+/// end-of-query release) against isolation "none".
+fn ablation_isolation() {
+    println!("== Ablation A2: isolation overhead (tree engine, 20 calls/query, msec/query) ==");
+    let mk_query = |iso: &str| {
+        format!(
+            r#"declare option xrpc:isolation "{iso}";
+import module namespace t = "test";
+for $i in (1 to 20) return execute at {{"{B_URI}"}} {{t:echoVoid()}}"#
+        )
+    };
+    for iso in ["none", "repeatable"] {
+        let c = echo_cluster(NetProfile::lan(), false, true);
+        // warm-up
+        let _ = time_query(&c.a, &mk_query(iso));
+        let runs = 5;
+        let mut total = Duration::ZERO;
+        for _ in 0..runs {
+            let (d, _) = time_query(&c.a, &mk_query(iso));
+            total += d;
+        }
+        println!("{:<12} {:>10.1}", iso, ms(total / runs));
+    }
+    println!();
+}

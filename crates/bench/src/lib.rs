@@ -1,0 +1,302 @@
+//! Shared experiment setups: the clusters, workloads and timing helpers
+//! used by both the `tables` binary (which regenerates every table in the
+//! paper) and the Criterion benches.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xdm::Sequence;
+use xrpc_net::{NetError, NetProfile, SimNetwork, Transport};
+use xrpc_peer::{EngineKind, Peer, XrpcWrapper};
+
+pub const A_URI: &str = "xrpc://a.example.org";
+pub const B_URI: &str = "xrpc://b.example.org";
+
+/// A transport decorator that accumulates the time the caller spends
+/// blocked in round trips — how we split "MonetDB time" from "Saxon time
+/// (includes network)" exactly the way Table 4 does.
+pub struct TimingTransport {
+    inner: Arc<dyn Transport>,
+    blocked: parking_lot::Mutex<Duration>,
+}
+
+impl TimingTransport {
+    pub fn new(inner: Arc<dyn Transport>) -> Arc<Self> {
+        Arc::new(TimingTransport {
+            inner,
+            blocked: parking_lot::Mutex::new(Duration::ZERO),
+        })
+    }
+
+    pub fn take_blocked(&self) -> Duration {
+        std::mem::take(&mut *self.blocked.lock())
+    }
+}
+
+impl Transport for TimingTransport {
+    fn roundtrip(&self, dest: &str, body: &[u8]) -> Result<Vec<u8>, NetError> {
+        let t0 = Instant::now();
+        let r = self.inner.roundtrip(dest, body);
+        *self.blocked.lock() += t0.elapsed();
+        r
+    }
+}
+
+// ---------------------------------------------------------------------
+// Experiment 1 (Table 2): echoVoid, bulk vs one-at-a-time, function cache
+// ---------------------------------------------------------------------
+
+pub struct EchoCluster {
+    pub net: Arc<SimNetwork>,
+    pub a: Arc<Peer>,
+    pub b: Arc<Peer>,
+}
+
+/// Two rel-capable peers: A issues the echoVoid loop, B services it.
+/// `bulk` picks A's engine (Rel = loop-lifted Bulk RPC, Tree = one RPC at
+/// a time); `cache` switches B's function cache (Table 2's two halves).
+pub fn echo_cluster(profile: NetProfile, bulk: bool, cache: bool) -> EchoCluster {
+    let net = Arc::new(SimNetwork::new(profile));
+    let a = Peer::new(
+        A_URI,
+        if bulk { EngineKind::Rel } else { EngineKind::Tree },
+    );
+    let b = Peer::new(B_URI, EngineKind::Tree);
+    for p in [&a, &b] {
+        p.register_module(xmark::test_module()).unwrap();
+        p.set_transport(net.clone());
+    }
+    b.function_cache.set_enabled(cache);
+    net.register(A_URI, a.soap_handler());
+    net.register(B_URI, b.soap_handler());
+    EchoCluster { net, a, b }
+}
+
+/// The §3.3 echoVoid query with `$x` iterations.
+pub fn echo_query(x: usize) -> String {
+    format!(
+        r#"import module namespace t = "test";
+for $i in (1 to {x}) return execute at {{"{B_URI}"}} {{t:echoVoid()}}"#
+    )
+}
+
+/// Run a query once, returning (elapsed, result).
+pub fn time_query(peer: &Peer, query: &str) -> (Duration, Sequence) {
+    let t0 = Instant::now();
+    let res = peer.execute(query).expect("query failed");
+    (t0.elapsed(), res)
+}
+
+// ---------------------------------------------------------------------
+// Experiment 2 (Table 3): the wrapper, echoVoid + getPerson
+// ---------------------------------------------------------------------
+
+pub struct WrapperCluster {
+    pub net: Arc<SimNetwork>,
+    pub a: Arc<Peer>,
+    pub wrapper: Arc<XrpcWrapper>,
+}
+
+/// Rel-engine client + wrapped plain engine holding an XMark persons
+/// document with `persons` entries.
+pub fn wrapper_cluster(persons: usize) -> WrapperCluster {
+    let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+    let a = Peer::new(A_URI, EngineKind::Rel);
+    a.register_module(xmark::test_module()).unwrap();
+    a.register_module(xmark::functions_module()).unwrap();
+    a.set_transport(net.clone());
+    let wrapper = XrpcWrapper::new();
+    wrapper.modules.register_source(xmark::test_module()).unwrap();
+    wrapper
+        .modules
+        .register_source(xmark::functions_module())
+        .unwrap();
+    let params = xmark::XmarkParams {
+        persons,
+        closed_auctions: 0,
+        matches: 0,
+        padding_words: 16,
+        seed: 11,
+    };
+    wrapper.docs.insert(
+        "persons.xml",
+        xmldom::parse(&xmark::persons_xml(&params)).unwrap(),
+    );
+    net.register(B_URI, wrapper.soap_handler());
+    WrapperCluster { net, a, wrapper }
+}
+
+pub fn wrapper_echo_query(x: usize) -> String {
+    format!(
+        r#"import module namespace tst = "test";
+for $i in (1 to {x}) return execute at {{"{B_URI}"}} {{tst:echoVoid()}}"#
+    )
+}
+
+/// getPerson with a loop-dependent person id (exercises the bulk
+/// selection-becomes-join effect of §4).
+pub fn get_person_query(x: usize, persons: usize) -> String {
+    format!(
+        r#"import module namespace func = "functions";
+for $i in (1 to {x})
+return execute at {{"{B_URI}"}} {{func:getPerson("persons.xml", concat("person", string($i mod {persons})))}}"#
+    )
+}
+
+// ---------------------------------------------------------------------
+// Experiment 3 (Table 4): the four Q7 strategies
+// ---------------------------------------------------------------------
+
+pub struct StrategyCluster {
+    pub net: Arc<SimNetwork>,
+    pub a: Arc<Peer>,
+    pub wrapper: Arc<XrpcWrapper>,
+    pub timing: Arc<TimingTransport>,
+}
+
+/// Peer A (rel, persons.xml) + wrapped peer B (auctions.xml), with the
+/// timing transport between them so "A time" and "B time (incl. network)"
+/// can be split like the paper's Table 4.
+pub fn strategy_cluster(params: &xmark::XmarkParams, profile: NetProfile) -> StrategyCluster {
+    let net = Arc::new(SimNetwork::new(profile));
+    let timing = TimingTransport::new(net.clone());
+    let a = Peer::new(A_URI, EngineKind::Rel);
+    a.add_document("persons.xml", &xmark::persons_xml(params))
+        .unwrap();
+    a.register_module(distq::MODULE_B).unwrap();
+    a.set_transport(timing.clone());
+    net.register(A_URI, a.soap_handler());
+
+    let wrapper = XrpcWrapper::new();
+    wrapper.docs.insert(
+        "auctions.xml",
+        xmldom::parse(&xmark::auctions_xml(params)).unwrap(),
+    );
+    wrapper.modules.register_source(distq::MODULE_B).unwrap();
+    wrapper.enable_remote_docs(net.clone());
+    net.register(B_URI, wrapper.soap_handler());
+    StrategyCluster {
+        net,
+        a,
+        wrapper,
+        timing,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Experiment 4 (§3.3 text): throughput with scaled payloads
+// ---------------------------------------------------------------------
+
+pub struct ThroughputCluster {
+    pub net: Arc<SimNetwork>,
+    pub a: Arc<Peer>,
+    pub b: Arc<Peer>,
+}
+
+pub const THROUGHPUT_MODULE: &str = r#"
+module namespace tp = "throughput";
+declare function tp:consume($x) as xs:integer { count($x) };
+declare function tp:produce() as node()* { doc("payload.xml")/payload/chunk };
+"#;
+
+/// Peers for the payload-scaling experiment. `payload_bytes` sizes the
+/// documents on both sides.
+pub fn throughput_cluster(payload_bytes: usize) -> ThroughputCluster {
+    let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+    let a = Peer::new(A_URI, EngineKind::Rel);
+    let b = Peer::new(B_URI, EngineKind::Tree);
+    for p in [&a, &b] {
+        p.register_module(THROUGHPUT_MODULE).unwrap();
+        p.add_document("payload.xml", &xmark::payload_xml(payload_bytes))
+            .unwrap();
+        p.set_transport(net.clone());
+    }
+    net.register(A_URI, a.soap_handler());
+    net.register(B_URI, b.soap_handler());
+    ThroughputCluster { net, a, b }
+}
+
+/// Request-heavy call: ship all payload chunks as a parameter.
+pub fn request_heavy_query() -> String {
+    format!(
+        r#"import module namespace tp = "throughput";
+execute at {{"{B_URI}"}} {{tp:consume(doc("payload.xml")/payload/chunk)}}"#
+    )
+}
+
+/// Response-heavy call: the remote function returns all payload chunks.
+pub fn response_heavy_query() -> String {
+    format!(
+        r#"import module namespace tp = "throughput";
+count(execute at {{"{B_URI}"}} {{tp:produce()}})"#
+    )
+}
+
+/// Pretty MB/s.
+pub fn mb_per_sec(bytes: u64, elapsed: Duration) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64().max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_cluster_runs_both_modes() {
+        for (bulk, expected_requests) in [(true, 1u64), (false, 4u64)] {
+            let c = echo_cluster(NetProfile::instant(), bulk, true);
+            let (_, res) = time_query(&c.a, &echo_query(4));
+            assert!(res.is_empty());
+            assert_eq!(
+                c.b.stats
+                    .requests_handled
+                    .load(std::sync::atomic::Ordering::Relaxed),
+                expected_requests
+            );
+        }
+    }
+
+    #[test]
+    fn wrapper_cluster_get_person() {
+        let c = wrapper_cluster(50);
+        let (_, res) = time_query(&c.a, &get_person_query(10, 50));
+        assert_eq!(res.len(), 10);
+        assert_eq!(c.wrapper.phases().requests, 1);
+    }
+
+    #[test]
+    fn strategy_cluster_all_strategies() {
+        let params = xmark::XmarkParams {
+            persons: 20,
+            closed_auctions: 60,
+            matches: 4,
+            padding_words: 4,
+            seed: 3,
+        };
+        for s in distq::Strategy::ALL {
+            let c = strategy_cluster(&params, NetProfile::instant());
+            let (_, res) = time_query(&c.a, &s.query(B_URI, A_URI));
+            let n = res
+                .iter()
+                .filter(|i| matches!(i, xdm::Item::Node(h) if h.name().is_some_and(|q| q.local == "result")))
+                .count();
+            assert_eq!(n, 4, "{}", s.label());
+            // timing transport observed traffic for the XRPC strategies
+            let blocked = c.timing.take_blocked();
+            if s != distq::Strategy::DataShipping {
+                assert!(blocked >= Duration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_cluster_both_directions() {
+        let c = throughput_cluster(64 * 1024);
+        let (_, res) = time_query(&c.a, &request_heavy_query());
+        assert!(res.items()[0].string_value().parse::<u64>().unwrap() > 100);
+        let (_, res2) = time_query(&c.a, &response_heavy_query());
+        assert!(res2.items()[0].string_value().parse::<u64>().unwrap() > 100);
+        let m = c.net.metrics.snapshot();
+        assert!(m.bytes_sent > 64 * 1024, "request payload shipped");
+        assert!(m.bytes_received > 64 * 1024, "response payload shipped");
+    }
+}

@@ -1,0 +1,11 @@
+//! Distributed query strategies (paper §5): the four hand-written
+//! execution strategies for query Q7 — data shipping, predicate push-down,
+//! execution relocation and distributed semi-join — expressed in XRPC,
+//! plus the heuristic `fn:doc('xrpc://…')` push-down *rewriter* the paper
+//! sketches as the first step toward an automatic distributed optimizer.
+
+pub mod rewrite;
+pub mod strategies;
+
+pub use rewrite::{rewrite_doc_pushdown, PushdownRewrite};
+pub use strategies::{Strategy, MODULE_B};

@@ -1,0 +1,270 @@
+//! The heuristic push-down rewriter (paper §5, "Predicate Pushdown" /
+//! "Advanced Pushdown"): rewrite expressions that depend only on a single
+//! `fn:doc('xrpc://p/...')` into remote functions executed at `p`.
+//!
+//! "Any of the rewrites ... should only be made by an automatic rewriter
+//! if it can establish that the call-by-value semantics of XRPC will not
+//! compromise the semantics of the query" — so the rewriter only pushes
+//! path expressions whose steps navigate strictly *downwards* and carry no
+//! focus-independent predicates beyond downward navigation; anything else
+//! is left in place (data shipping).
+
+use xqast::{Axis, Expr, FlworClause, FunctionDecl, LibraryModule, MainModule, Name, Prolog};
+
+/// Namespace of the module the rewriter generates for the remote side.
+pub const GEN_MODULE_NS: &str = "urn:xrpc-pushdown-gen";
+pub const GEN_PREFIX: &str = "pushg";
+
+/// The outcome of a push-down rewrite: the rewritten main module plus the
+/// generated library module that must be installed at every pushed-to peer
+/// (the automatic-distribution analog of hand-writing `functions_b`).
+pub struct PushdownRewrite {
+    pub rewritten: MainModule,
+    pub generated_module: Option<LibraryModule>,
+    pub pushed: usize,
+}
+
+/// Rewrite `doc("xrpc://peer/path")//downward-steps` sub-expressions into
+/// `execute at {"xrpc://peer"} { pushg:qN() }` calls.
+pub fn rewrite_doc_pushdown(module: &MainModule) -> PushdownRewrite {
+    let mut gen_fns: Vec<FunctionDecl> = Vec::new();
+    let body = rewrite_expr(&module.body, &mut gen_fns);
+    let mut prolog = module.prolog.clone();
+    let pushed = gen_fns.len();
+    let generated_module = if gen_fns.is_empty() {
+        None
+    } else {
+        prolog.module_imports.push(xqast::ModuleImport {
+            prefix: GEN_PREFIX.to_string(),
+            ns_uri: GEN_MODULE_NS.to_string(),
+            at_hints: vec![],
+        });
+        Some(LibraryModule {
+            prefix: GEN_PREFIX.to_string(),
+            ns_uri: GEN_MODULE_NS.to_string(),
+            prolog: Prolog {
+                functions: gen_fns,
+                ..Prolog::default()
+            },
+        })
+    };
+    PushdownRewrite {
+        rewritten: MainModule { prolog, body },
+        generated_module,
+        pushed,
+    }
+}
+
+fn rewrite_expr(e: &Expr, gen: &mut Vec<FunctionDecl>) -> Expr {
+    // First, try to push this whole expression.
+    if let Some((peer, remote_expr)) = pushable(e) {
+        let fname = format!("q{}", gen.len());
+        gen.push(FunctionDecl {
+            name: Name::prefixed(GEN_PREFIX, fname.clone()),
+            params: vec![],
+            ret: None,
+            body: remote_expr,
+            updating: false,
+        });
+        return Expr::ExecuteAt {
+            dest: Box::new(Expr::Literal(xdm::AtomicValue::String(peer))),
+            call: Box::new(Expr::FunctionCall {
+                name: Name::prefixed(GEN_PREFIX, fname),
+                args: vec![],
+            }),
+        };
+    }
+    // Otherwise recurse structurally (covering the shapes the rewriter
+    // realistically meets: FLWOR, sequences, conditionals, constructors
+    // stay untouched inside).
+    match e {
+        Expr::Flwor { clauses, ret } => Expr::Flwor {
+            clauses: clauses
+                .iter()
+                .map(|c| match c {
+                    FlworClause::For { var, pos_var, seq } => FlworClause::For {
+                        var: var.clone(),
+                        pos_var: pos_var.clone(),
+                        seq: rewrite_expr(seq, gen),
+                    },
+                    FlworClause::Let { var, value } => FlworClause::Let {
+                        var: var.clone(),
+                        value: rewrite_expr(value, gen),
+                    },
+                    other => other.clone(),
+                })
+                .collect(),
+            ret: Box::new(rewrite_expr(ret, gen)),
+        },
+        Expr::Sequence(es) => Expr::Sequence(es.iter().map(|x| rewrite_expr(x, gen)).collect()),
+        Expr::If { cond, then, els } => Expr::If {
+            cond: Box::new(rewrite_expr(cond, gen)),
+            then: Box::new(rewrite_expr(then, gen)),
+            els: Box::new(rewrite_expr(els, gen)),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Is `e` a pushable expression? Returns (peer URI, the expression to run
+/// remotely, with the doc() call rebased to the peer-local path).
+fn pushable(e: &Expr) -> Option<(String, Expr)> {
+    // match a path whose leftmost leaf is doc("xrpc://…") and whose steps
+    // are all downward & safe
+    let (peer, rebased) = rebase_doc_path(e)?;
+    if path_is_downward_only(&rebased) {
+        Some((peer, rebased))
+    } else {
+        None
+    }
+}
+
+/// Find `doc("xrpc://peer/path")` at the left end of a path expression and
+/// rebuild the same expression with `doc("path")` instead.
+fn rebase_doc_path(e: &Expr) -> Option<(String, Expr)> {
+    match e {
+        Expr::FunctionCall { name, args }
+            if name.local == "doc"
+                && (name.prefix.is_none() || name.prefix.as_deref() == Some("fn"))
+                && args.len() == 1 =>
+        {
+            if let Expr::Literal(xdm::AtomicValue::String(uri)) = &args[0] {
+                if let Some(rest) = uri.strip_prefix("xrpc://") {
+                    let (host, path) = rest.split_once('/')?;
+                    return Some((
+                        format!("xrpc://{host}"),
+                        Expr::FunctionCall {
+                            name: name.clone(),
+                            args: vec![Expr::Literal(xdm::AtomicValue::String(path.to_string()))],
+                        },
+                    ));
+                }
+            }
+            None
+        }
+        Expr::PathStep(lhs, rhs) => {
+            let (peer, new_lhs) = rebase_doc_path(lhs)?;
+            Some((peer, Expr::PathStep(Box::new(new_lhs), rhs.clone())))
+        }
+        Expr::Filter(base, preds) => {
+            let (peer, new_base) = rebase_doc_path(base)?;
+            Some((peer, Expr::Filter(Box::new(new_base), preds.clone())))
+        }
+        _ => None,
+    }
+}
+
+/// Call-by-value safety check: every axis step in the pushed expression
+/// must navigate downwards (child/descendant/self/attribute), and no node
+/// comparisons may appear (they depend on node identity).
+fn path_is_downward_only(e: &Expr) -> bool {
+    let mut ok = true;
+    e.walk(&mut |x| match x {
+        Expr::AxisStep { axis, .. } => {
+            if !matches!(
+                axis,
+                Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::SelfAxis | Axis::Attribute
+            ) {
+                ok = false;
+            }
+        }
+        Expr::NodeComp(..) => ok = false,
+        Expr::Root(_) => ok = false,
+        _ => {}
+    });
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqast::{parse_main_module, pretty_print};
+
+    fn rewrite(q: &str) -> (String, Option<String>, usize) {
+        let m = parse_main_module(q).unwrap();
+        let r = rewrite_doc_pushdown(&m);
+        let body = pretty_print(&r.rewritten.body);
+        let module = r
+            .generated_module
+            .as_ref()
+            .map(xqast::pretty::pretty_print_library);
+        (body, module, r.pushed)
+    }
+
+    #[test]
+    fn pushes_downward_path_on_remote_doc() {
+        let (body, module, pushed) = rewrite(
+            r#"for $ca in doc("xrpc://B/auctions.xml")//closed_auction return $ca"#,
+        );
+        assert_eq!(pushed, 1);
+        assert!(body.contains("execute at {\"xrpc://B\"}"));
+        assert!(body.contains("pushg:q0()"));
+        let module = module.unwrap();
+        assert!(module.contains("doc(\"auctions.xml\")"));
+        assert!(module.contains("closed_auction"));
+        // generated module parses
+        xqast::parse_library_module(&module).unwrap();
+    }
+
+    #[test]
+    fn leaves_local_docs_alone() {
+        let (body, module, pushed) =
+            rewrite(r#"for $p in doc("persons.xml")//person return $p"#);
+        assert_eq!(pushed, 0);
+        assert!(module.is_none());
+        assert!(!body.contains("execute at"));
+    }
+
+    #[test]
+    fn refuses_upward_navigation() {
+        // parent axis inside the pushed path would break call-by-value
+        let (body, _, pushed) =
+            rewrite(r#"doc("xrpc://B/a.xml")//name/../actor"#);
+        assert_eq!(pushed, 0, "upward step must not be pushed: {body}");
+    }
+
+    #[test]
+    fn refuses_node_identity_predicates() {
+        let (_, _, pushed) =
+            rewrite(r#"for $x in doc("xrpc://B/a.xml")//a[. is /a] return $x"#);
+        assert_eq!(pushed, 0);
+    }
+
+    #[test]
+    fn pushes_predicates_with_value_comparisons() {
+        let (body, module, pushed) = rewrite(
+            r#"doc("xrpc://B/auctions.xml")//closed_auction[price > 100]"#,
+        );
+        assert_eq!(pushed, 1);
+        assert!(body.contains("execute at"));
+        assert!(module.unwrap().contains("price"));
+    }
+
+    #[test]
+    fn multiple_remote_docs_get_separate_functions() {
+        let (body, module, pushed) = rewrite(
+            r#"(doc("xrpc://B/a.xml")//x, doc("xrpc://C/b.xml")//y)"#,
+        );
+        assert_eq!(pushed, 2);
+        assert!(body.contains("xrpc://B"));
+        assert!(body.contains("xrpc://C"));
+        let m = module.unwrap();
+        assert!(m.contains("pushg:q0"));
+        assert!(m.contains("pushg:q1"));
+    }
+
+    #[test]
+    fn rewritten_query_parses_and_roundtrips() {
+        let m = parse_main_module(
+            r#"for $p in doc("persons.xml")//person,
+                   $ca in doc("xrpc://B/auctions.xml")//closed_auction
+               where $p/@id = $ca/buyer/@person
+               return <result>{$p, $ca/annotation}</result>"#,
+        )
+        .unwrap();
+        let r = rewrite_doc_pushdown(&m);
+        assert_eq!(r.pushed, 1);
+        let text = pretty_print(&r.rewritten.body);
+        parse_main_module(&text).unwrap();
+    }
+}

@@ -1,0 +1,173 @@
+//! End-to-end §5: all four Q7 strategies on a MonetDB-role peer (rel
+//! engine) + a Saxon-role wrapped engine, joined by the simulated network.
+//! Every strategy must return the same matches; their network footprints
+//! must differ exactly the way the paper describes.
+
+use distq::{Strategy, MODULE_B};
+use std::sync::Arc;
+use xdm::{Item, Sequence};
+use xmark::XmarkParams;
+use xrpc_net::{NetProfile, SimNetwork};
+use xrpc_peer::{EngineKind, Peer, XrpcWrapper};
+
+const A_URI: &str = "xrpc://a.example.org";
+const B_URI: &str = "xrpc://b.example.org";
+
+struct Cluster {
+    net: Arc<SimNetwork>,
+    a: Arc<Peer>,
+    b: Arc<XrpcWrapper>,
+}
+
+fn cluster() -> Cluster {
+    let params = XmarkParams {
+        persons: 50,
+        closed_auctions: 400,
+        matches: 6,
+        padding_words: 6,
+        seed: 7,
+    };
+    let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+
+    // peer A: rel engine, persons.xml
+    let a = Peer::new(A_URI, EngineKind::Rel);
+    a.add_document("persons.xml", &xmark::persons_xml(&params)).unwrap();
+    a.register_module(MODULE_B).unwrap();
+    a.set_transport(net.clone());
+    net.register(A_URI, a.soap_handler());
+
+    // peer B: wrapped plain engine, auctions.xml (+ outgoing doc fetch for
+    // execution relocation)
+    let b = XrpcWrapper::new();
+    b.docs.insert(
+        "auctions.xml",
+        xmldom::parse(&xmark::auctions_xml(&params)).unwrap(),
+    );
+    b.modules.register_source(MODULE_B).unwrap();
+    b.enable_remote_docs(net.clone());
+    net.register(B_URI, b.soap_handler());
+
+    Cluster { net, a, b }
+}
+
+fn count_results(seq: &Sequence) -> usize {
+    seq.iter()
+        .filter(|i| match i {
+            Item::Node(n) => n.name().is_some_and(|q| q.local == "result"),
+            _ => false,
+        })
+        .count()
+}
+
+#[test]
+fn all_strategies_agree_on_the_join_result() {
+    for strategy in Strategy::ALL {
+        let c = cluster();
+        let q = strategy.query(B_URI, A_URI);
+        let res = c
+            .a
+            .execute(&q)
+            .unwrap_or_else(|e| panic!("{}: {e}", strategy.label()));
+        assert_eq!(
+            count_results(&res),
+            6,
+            "{} must find the 6 paper matches",
+            strategy.label()
+        );
+        // every result carries the person and the annotation
+        for item in res.iter() {
+            let xml = match item {
+                Item::Node(n) => n.to_xml(),
+                _ => continue,
+            };
+            assert!(xml.contains("<annotation>"), "{}: {xml}", strategy.label());
+            assert!(xml.contains("person"), "{}: {xml}", strategy.label());
+        }
+    }
+}
+
+#[test]
+fn semijoin_ships_least_data() {
+    // Data shipping must move (far) more bytes than the semi-join — the
+    // qualitative Table 4 relationship.
+    let bytes_for = |strategy: Strategy| -> u64 {
+        let c = cluster();
+        c.net.metrics.reset();
+        c.a.execute(&strategy.query(B_URI, A_URI)).unwrap();
+        let m = c.net.metrics.snapshot();
+        m.bytes_sent + m.bytes_received
+    };
+    let shipping = bytes_for(Strategy::DataShipping);
+    let pushdown = bytes_for(Strategy::PredicatePushdown);
+    let semijoin = bytes_for(Strategy::DistributedSemijoin);
+    assert!(
+        shipping > semijoin,
+        "data shipping ({shipping}B) must move more than semi-join ({semijoin}B)"
+    );
+    assert!(
+        pushdown > semijoin,
+        "push-down ({pushdown}B) must move more than semi-join ({semijoin}B)"
+    );
+}
+
+#[test]
+fn semijoin_uses_one_bulk_request() {
+    let c = cluster();
+    let out = c
+        .a
+        .execute_detailed(&Strategy::DistributedSemijoin.query(B_URI, A_URI))
+        .unwrap();
+    // loop-lifting turns the per-person call into ONE bulk request with 50
+    // calls (one per person)
+    assert_eq!(out.requests_sent, 1);
+    assert_eq!(out.calls_sent, 50);
+    assert_eq!(c.b.phases().requests, 1);
+}
+
+#[test]
+fn execution_relocation_runs_join_at_b() {
+    let c = cluster();
+    let out = c
+        .a
+        .execute_detailed(&Strategy::ExecutionRelocation.query(B_URI, A_URI))
+        .unwrap();
+    assert_eq!(count_results(&out.result), 6);
+    // A sent exactly one call; B fetched persons.xml back from A
+    assert_eq!(out.calls_sent, 1);
+    use std::sync::atomic::Ordering::Relaxed;
+    assert!(
+        c.a.stats.requests_handled.load(Relaxed) >= 1,
+        "B must have fetched persons.xml from A"
+    );
+}
+
+#[test]
+fn pushdown_rewriter_turns_data_shipping_into_pushdown() {
+    // the automatic rewriter applied to the plain Q7 yields a query that
+    // still computes the right answer, with the remote scan pushed to B
+    let c = cluster();
+    let q = Strategy::DataShipping.query(B_URI, A_URI);
+    let parsed = xqast::parse_main_module(&q).unwrap();
+    let rewritten = distq::rewrite_doc_pushdown(&parsed);
+    assert_eq!(rewritten.pushed, 1);
+
+    // install the generated module at both sides
+    let gen = xqast::pretty::pretty_print_library(rewritten.generated_module.as_ref().unwrap());
+    c.a.register_module(&gen).unwrap();
+    c.b.modules.register_source(&gen).unwrap();
+
+    let text = {
+        let mut s = String::new();
+        // re-print the rewritten main module
+        for imp in &rewritten.rewritten.prolog.module_imports {
+            s.push_str(&format!(
+                "import module namespace {} = \"{}\";\n",
+                imp.prefix, imp.ns_uri
+            ));
+        }
+        s.push_str(&xqast::pretty_print(&rewritten.rewritten.body));
+        s
+    };
+    let res = c.a.execute(&text).unwrap();
+    assert_eq!(count_results(&res), 6);
+}

@@ -1,0 +1,145 @@
+//! The function cache (paper §3.3, "Function Cache"): prepared,
+//! parse-once query plans for module functions, keyed by
+//! `(module namespace, function, arity)`.
+//!
+//! MonetDB/XQuery's cache avoids re-translating the XQuery module on every
+//! XRPC request; here the cached artifact is the parsed main-module AST the
+//! request handler would otherwise rebuild (parse + static analysis). The
+//! cache is a runtime switch so Table 2 can be regenerated with it on and
+//! off.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Key: (module ns, method, arity).
+pub type FnKey = (String, String, usize);
+
+/// A generic prepared-plan cache with hit/miss counters.
+pub struct FunctionCache<P> {
+    enabled: std::sync::atomic::AtomicBool,
+    plans: Mutex<HashMap<FnKey, Arc<P>>>,
+    pub hits: std::sync::atomic::AtomicU64,
+    pub misses: std::sync::atomic::AtomicU64,
+}
+
+impl<P> FunctionCache<P> {
+    pub fn new(enabled: bool) -> Self {
+        FunctionCache {
+            enabled: std::sync::atomic::AtomicBool::new(enabled),
+            plans: Mutex::new(HashMap::new()),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, std::sync::atomic::Ordering::SeqCst);
+        if !on {
+            self.plans.lock().clear();
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Fetch the prepared plan, building it with `prepare` on a miss (or
+    /// always, when disabled — the "No Function Cache" column of Table 2).
+    pub fn get_or_prepare<E>(
+        &self,
+        key: FnKey,
+        prepare: impl FnOnce() -> Result<P, E>,
+    ) -> Result<Arc<P>, E> {
+        use std::sync::atomic::Ordering::Relaxed;
+        if !self.is_enabled() {
+            self.misses.fetch_add(1, Relaxed);
+            return Ok(Arc::new(prepare()?));
+        }
+        if let Some(p) = self.plans.lock().get(&key) {
+            self.hits.fetch_add(1, Relaxed);
+            return Ok(p.clone());
+        }
+        self.misses.fetch_add(1, Relaxed);
+        let plan = Arc::new(prepare()?);
+        self.plans.lock().insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    pub fn clear(&self) {
+        self.plans.lock().clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.plans.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.plans.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    fn key(m: &str) -> FnKey {
+        (m.to_string(), "f".to_string(), 1)
+    }
+
+    #[test]
+    fn caches_when_enabled() {
+        let c: FunctionCache<u32> = FunctionCache::new(true);
+        let mut builds = 0;
+        for _ in 0..3 {
+            let v = c
+                .get_or_prepare::<Infallible>(key("m"), || {
+                    builds += 1;
+                    Ok(42)
+                })
+                .unwrap();
+            assert_eq!(*v, 42);
+        }
+        assert_eq!(builds, 1);
+        assert_eq!(c.hits.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(c.misses.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn rebuilds_when_disabled() {
+        let c: FunctionCache<u32> = FunctionCache::new(false);
+        let mut builds = 0;
+        for _ in 0..3 {
+            c.get_or_prepare::<Infallible>(key("m"), || {
+                builds += 1;
+                Ok(1)
+            })
+            .unwrap();
+        }
+        assert_eq!(builds, 3);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn disabling_clears() {
+        let c: FunctionCache<u32> = FunctionCache::new(true);
+        c.get_or_prepare::<Infallible>(key("m"), || Ok(1)).unwrap();
+        assert_eq!(c.len(), 1);
+        c.set_enabled(false);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn distinct_keys_distinct_plans() {
+        let c: FunctionCache<String> = FunctionCache::new(true);
+        let a = c
+            .get_or_prepare::<Infallible>(key("a"), || Ok("A".into()))
+            .unwrap();
+        let b = c
+            .get_or_prepare::<Infallible>(key("b"), || Ok("B".into()))
+            .unwrap();
+        assert_ne!(*a, *b);
+        assert_eq!(c.len(), 2);
+    }
+}

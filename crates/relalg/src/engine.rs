@@ -1,0 +1,687 @@
+//! The loop-lifted interpreter: evaluates the AST over `iter|pos|item`
+//! tables, turning `execute at` inside for-loops into Bulk RPC exactly as
+//! Figure 2 prescribes.
+
+use crate::table::{IterMap, SeqTable};
+use std::sync::Arc;
+use xdm::{Item, Sequence, XdmError, XdmResult};
+use xqeval::context::{Environment, StaticContext};
+use xqeval::eval::{Ctx, EvalState, Evaluator};
+use xqeval::pul::PendingUpdateList;
+use xqast::{Expr, FlworClause, MainModule, Name};
+
+/// Parse + execute a main module on the loop-lifted engine.
+pub fn execute_rel(query: &str, env: &Environment) -> XdmResult<(Sequence, PendingUpdateList)> {
+    let module = xqast::parse_main_module(query)?;
+    execute_rel_parsed(&module, env, Vec::new())
+}
+
+/// Execute an already-parsed main module (prepared-plan path).
+pub fn execute_rel_parsed(
+    module: &MainModule,
+    env: &Environment,
+    external: Vec<(String, Sequence)>,
+) -> XdmResult<(Sequence, PendingUpdateList)> {
+    let sctx = Arc::new(StaticContext::from_prolog(&module.prolog));
+    let mut local_functions = std::collections::HashMap::new();
+    for f in &module.prolog.functions {
+        local_functions.insert((f.name.local.clone(), f.arity()), Arc::new(f.clone()));
+    }
+    let tree = Evaluator {
+        env,
+        sctx: sctx.clone(),
+        local_functions: Arc::new(local_functions),
+    };
+    let engine = RelEngine { tree };
+    let mut st = EvalState::new();
+    for (n, v) in external {
+        st.vars.push((n, v));
+    }
+    for decl in &module.prolog.variables {
+        let v = engine.tree.eval(&decl.value, &mut st, &Ctx::none())?;
+        st.vars.push((decl.name.lexical(), v));
+    }
+    // The whole query runs in a single top-level iteration.
+    let lenv = Lifted {
+        loop_iters: vec![1],
+        vars: Vec::new(),
+    };
+    // Loop-invariant XRPC hoisting: an `execute at` inside a for-loop
+    // whose destination and arguments do not depend on the loop variables
+    // is evaluated once, outside the loop — exactly what Pathfinder's
+    // loop-lifting does with loop-invariant subexpressions (§3.1). Only
+    // read-only calls are hoisted (an updating call's per-iteration ∆s
+    // are observable).
+    let table = if env.rpc_optimize {
+        let body = hoist_invariant_xrpc(&module.body, &engine, &mut 0);
+        engine.eval_lifted(&body, &lenv, &mut st)?
+    } else {
+        engine.eval_lifted(&module.body, &lenv, &mut st)?
+    };
+    Ok((table.sequence_at(1), st.pul))
+}
+
+/// Recursively hoist loop-invariant `execute at` calls out of FLWORs into
+/// fresh `let` bindings at the head of the clause list.
+fn hoist_invariant_xrpc(e: &Expr, engine: &RelEngine, counter: &mut usize) -> Expr {
+    match e {
+        Expr::Flwor { clauses, ret } => {
+            let mut new_clauses: Vec<FlworClause> = clauses
+                .iter()
+                .map(|c| match c {
+                    FlworClause::For { var, pos_var, seq } => FlworClause::For {
+                        var: var.clone(),
+                        pos_var: pos_var.clone(),
+                        seq: hoist_invariant_xrpc(seq, engine, counter),
+                    },
+                    FlworClause::Let { var, value } => FlworClause::Let {
+                        var: var.clone(),
+                        value: hoist_invariant_xrpc(value, engine, counter),
+                    },
+                    other => other.clone(),
+                })
+                .collect();
+            let new_ret = hoist_invariant_xrpc(ret, engine, counter);
+            // variables bound by this FLWOR
+            let mut bound: std::collections::HashSet<String> = std::collections::HashSet::new();
+            for c in &new_clauses {
+                match c {
+                    FlworClause::For { var, pos_var, .. } => {
+                        bound.insert(var.lexical());
+                        if let Some(p) = pos_var {
+                            bound.insert(p.lexical());
+                        }
+                    }
+                    FlworClause::Let { var, .. } => {
+                        bound.insert(var.lexical());
+                    }
+                    _ => {}
+                }
+            }
+            let mut hoisted: Vec<(String, Expr)> = Vec::new();
+            for c in new_clauses.iter_mut() {
+                match c {
+                    FlworClause::For { seq, .. } => {
+                        *seq = extract_invariant(seq, &bound, engine, counter, &mut hoisted)
+                    }
+                    FlworClause::Let { value, .. } => {
+                        *value = extract_invariant(value, &bound, engine, counter, &mut hoisted)
+                    }
+                    FlworClause::Where(w) => {
+                        *w = extract_invariant(w, &bound, engine, counter, &mut hoisted)
+                    }
+                    FlworClause::OrderBy(_) => {}
+                }
+            }
+            let new_ret = extract_invariant(&new_ret, &bound, engine, counter, &mut hoisted);
+            let mut all: Vec<FlworClause> = hoisted
+                .into_iter()
+                .map(|(name, value)| FlworClause::Let {
+                    var: xqast::Name::local(name),
+                    value,
+                })
+                .collect();
+            all.extend(new_clauses);
+            Expr::Flwor {
+                clauses: all,
+                ret: Box::new(new_ret),
+            }
+        }
+        Expr::Sequence(es) => Expr::Sequence(
+            es.iter()
+                .map(|x| hoist_invariant_xrpc(x, engine, counter))
+                .collect(),
+        ),
+        Expr::If { cond, then, els } => Expr::If {
+            cond: Box::new(hoist_invariant_xrpc(cond, engine, counter)),
+            then: Box::new(hoist_invariant_xrpc(then, engine, counter)),
+            els: Box::new(hoist_invariant_xrpc(els, engine, counter)),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Replace loop-invariant read-only `execute at` subexpressions of `e`
+/// with fresh variable references, appending the bindings to `hoisted`.
+fn extract_invariant(
+    e: &Expr,
+    bound: &std::collections::HashSet<String>,
+    engine: &RelEngine,
+    counter: &mut usize,
+    hoisted: &mut Vec<(String, Expr)>,
+) -> Expr {
+    if let Expr::ExecuteAt { dest, call } = e {
+        let uses_bound = {
+            let mut used = false;
+            e.walk(&mut |x| {
+                if let Expr::VarRef(n) = x {
+                    if bound.contains(&n.lexical()) {
+                        used = true;
+                    }
+                }
+            });
+            used
+        };
+        let read_only = match call.as_ref() {
+            Expr::FunctionCall { name, args } => engine
+                .tree
+                .resolve_function_ref(name, args.len())
+                .map(|f| !f.updating)
+                .unwrap_or(false),
+            _ => false,
+        };
+        if !uses_bound && read_only {
+            let name = format!("hoisted-xrpc-{}", *counter);
+            *counter += 1;
+            hoisted.push((
+                name.clone(),
+                Expr::ExecuteAt {
+                    dest: dest.clone(),
+                    call: call.clone(),
+                },
+            ));
+            return Expr::VarRef(xqast::Name::local(name));
+        }
+    }
+    match e {
+        Expr::Sequence(es) => Expr::Sequence(
+            es.iter()
+                .map(|x| extract_invariant(x, bound, engine, counter, hoisted))
+                .collect(),
+        ),
+        Expr::If { cond, then, els } => Expr::If {
+            cond: Box::new(extract_invariant(cond, bound, engine, counter, hoisted)),
+            then: Box::new(extract_invariant(then, bound, engine, counter, hoisted)),
+            els: Box::new(extract_invariant(els, bound, engine, counter, hoisted)),
+        },
+        Expr::PathStep(a, b) => Expr::PathStep(
+            Box::new(extract_invariant(a, bound, engine, counter, hoisted)),
+            b.clone(),
+        ),
+        Expr::FunctionCall { name, args } => Expr::FunctionCall {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| extract_invariant(a, bound, engine, counter, hoisted))
+                .collect(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Loop-lifted evaluation environment: the current loop relation and the
+/// lifted variable representations bound inside it.
+#[derive(Clone, Default)]
+pub struct Lifted {
+    pub loop_iters: Vec<u32>,
+    pub vars: Vec<(String, SeqTable)>,
+}
+
+/// The engine: a thin shell around a tree [`Evaluator`] (used for all
+/// XRPC-free sub-expressions) plus the lifted XRPC machinery.
+pub struct RelEngine<'e> {
+    pub tree: Evaluator<'e>,
+}
+
+impl<'e> RelEngine<'e> {
+    pub fn new(env: &'e Environment, sctx: StaticContext) -> Self {
+        RelEngine {
+            tree: Evaluator::new(env, sctx),
+        }
+    }
+
+    /// Evaluate `e` for every iteration of `lenv.loop_iters` at once.
+    pub fn eval_lifted(
+        &self,
+        e: &Expr,
+        lenv: &Lifted,
+        st: &mut EvalState,
+    ) -> XdmResult<SeqTable> {
+        // XRPC-free expressions run on the tree engine per iteration; all
+        // bulk behaviour lives on the XRPC paths below.
+        if !e.contains_xrpc() {
+            return self.fallback(e, lenv, st);
+        }
+        match e {
+            Expr::Sequence(es) => {
+                let mut ops = Vec::with_capacity(es.len());
+                for x in es {
+                    ops.push(self.eval_lifted(x, lenv, st)?);
+                }
+                Ok(SeqTable::concat_per_iter(&lenv.loop_iters, &ops))
+            }
+            Expr::Flwor { clauses, ret } => self.eval_flwor_lifted(clauses, ret, lenv, st),
+            Expr::ExecuteAt { dest, call } => self.eval_execute_at_lifted(dest, call, lenv, st),
+            Expr::If { cond, then, els } => {
+                let cond_t = self.eval_lifted(cond, lenv, st)?;
+                let mut true_iters = Vec::new();
+                let mut false_iters = Vec::new();
+                for &i in &lenv.loop_iters {
+                    if cond_t.sequence_at(i).ebv()? {
+                        true_iters.push(i);
+                    } else {
+                        false_iters.push(i);
+                    }
+                }
+                let then_t = self.eval_lifted(then, &restrict_env(lenv, &true_iters), st)?;
+                let else_t = self.eval_lifted(els, &restrict_env(lenv, &false_iters), st)?;
+                Ok(SeqTable::merge_union(vec![then_t, else_t]))
+            }
+            Expr::FunctionCall { name, args } => {
+                self.eval_call_lifted(name, args, lenv, st)
+            }
+            Expr::PathStep(a, b) => {
+                // XRPC can only be on the left of a `/` (steps are not
+                // XRPC-bearing); evaluate lhs lifted, apply the step
+                // per iteration through the tree engine.
+                let base = self.eval_lifted(a, lenv, st)?;
+                let mut out = Vec::new();
+                for &i in &lenv.loop_iters {
+                    let seq = base.sequence_at(i);
+                    let stepped = self
+                        .with_iter_vars(lenv, i, st, |tree, st2| tree.eval_path_rhs(&seq, b, st2))?;
+                    out.push((i, stepped));
+                }
+                Ok(SeqTable::from_sequences(out))
+            }
+            Expr::GeneralComp(op, a, b) => {
+                let ta = self.eval_lifted(a, lenv, st)?;
+                let tb = self.eval_lifted(b, lenv, st)?;
+                let mut out = Vec::new();
+                for &i in &lenv.loop_iters {
+                    let r = xqeval::eval::general_compare(*op, &ta.sequence_at(i), &tb.sequence_at(i))?;
+                    out.push((i, Sequence::one(Item::boolean(r))));
+                }
+                Ok(SeqTable::from_sequences(out))
+            }
+            // Constructors enclosing XRPC (the paper's Q1/Q3 shape,
+            // `<films>{ execute at … }</films>`): lift each XRPC-bearing
+            // enclosed expression into a synthetic variable evaluated
+            // loop-lifted, then construct per iteration.
+            Expr::DirectElem(d) => {
+                let mut bindings: Vec<(String, SeqTable)> = Vec::new();
+                let mut counter = 0usize;
+                let new_elem = self.lift_direlem(d, lenv, st, &mut bindings, &mut counter)?;
+                let mut inner = lenv.clone();
+                inner.vars.extend(bindings);
+                self.fallback(&Expr::DirectElem(new_elem), &inner, st)
+            }
+            Expr::CompElem { name, content: Some(c) } if c.contains_xrpc() => {
+                let t = self.eval_lifted(c, lenv, st)?;
+                let var = "xrpc-enc-comp".to_string();
+                let mut inner = lenv.clone();
+                inner.vars.push((var.clone(), t));
+                self.fallback(
+                    &Expr::CompElem {
+                        name: name.clone(),
+                        content: Some(Box::new(Expr::VarRef(Name::local(var)))),
+                    },
+                    &inner,
+                    st,
+                )
+            }
+            // Any other XRPC-bearing shape degrades gracefully to
+            // per-iteration evaluation — still correct, one RPC per
+            // iteration.
+            _ => self.fallback(e, lenv, st),
+        }
+    }
+
+    /// for/let/where pipeline with loop-lifting; `order by` together with
+    /// XRPC in the same FLWOR is not lifted (falls back per-iteration).
+    fn eval_flwor_lifted(
+        &self,
+        clauses: &[FlworClause],
+        ret: &Expr,
+        lenv: &Lifted,
+        st: &mut EvalState,
+    ) -> XdmResult<SeqTable> {
+        // Once the remaining pipeline is XRPC-free, hand the whole rest of
+        // the FLWOR to the tree engine per iteration — it has the join
+        // optimizations; staying lifted would only burn per-row overhead.
+        if !clauses.is_empty() {
+            let rest_has_xrpc = ret.contains_xrpc()
+                || clauses.iter().any(|c| match c {
+                    FlworClause::For { seq, .. } => seq.contains_xrpc(),
+                    FlworClause::Let { value, .. } => value.contains_xrpc(),
+                    FlworClause::Where(w) => w.contains_xrpc(),
+                    FlworClause::OrderBy(_) => false,
+                });
+            if !rest_has_xrpc {
+                return self.fallback(
+                    &Expr::Flwor {
+                        clauses: clauses.to_vec(),
+                        ret: Box::new(ret.clone()),
+                    },
+                    lenv,
+                    st,
+                );
+            }
+        }
+        match clauses.first() {
+            None => self.eval_lifted(ret, lenv, st),
+            Some(FlworClause::For { var, pos_var, seq }) => {
+                let s = self.eval_lifted(seq, lenv, st)?;
+                // ρ: dense inner iteration numbers over the rows of `s`.
+                let map = IterMap::rank(s.iter.clone());
+                let mut inner = Lifted {
+                    loop_iters: (1..=s.len() as u32).collect(),
+                    vars: lenv
+                        .vars
+                        .iter()
+                        .map(|(n, t)| (n.clone(), map.map_in(t)))
+                        .collect(),
+                };
+                let mut var_t = SeqTable::new();
+                let mut pos_t = SeqTable::new();
+                for (k, item) in s.item.iter().enumerate() {
+                    var_t.push(k as u32 + 1, 1, item.clone());
+                    pos_t.push(k as u32 + 1, 1, Item::integer(s.pos[k] as i64));
+                }
+                inner.vars.push((var.lexical(), var_t));
+                if let Some(pv) = pos_var {
+                    inner.vars.push((pv.lexical(), pos_t));
+                }
+                let body = self.eval_flwor_lifted(&clauses[1..], ret, &inner, st)?;
+                Ok(map.map_back(&body))
+            }
+            Some(FlworClause::Let { var, value }) => {
+                let v = self.eval_lifted(value, lenv, st)?;
+                let mut inner = lenv.clone();
+                inner.vars.push((var.lexical(), v));
+                self.eval_flwor_lifted(&clauses[1..], ret, &inner, st)
+            }
+            Some(FlworClause::Where(cond)) => {
+                let c = self.eval_lifted(cond, lenv, st)?;
+                let mut keep = Vec::new();
+                for &i in &lenv.loop_iters {
+                    if c.sequence_at(i).ebv()? {
+                        keep.push(i);
+                    }
+                }
+                let inner = restrict_env(lenv, &keep);
+                self.eval_flwor_lifted(&clauses[1..], ret, &inner, st)
+            }
+            Some(FlworClause::OrderBy(_)) => Err(XdmError::xrpc(
+                "order by combined with execute at in one FLWOR is not loop-lifted; \
+                 hoist the XRPC call into a let binding",
+            )),
+        }
+    }
+
+    /// Figure 2: the loop-lifted translation of `execute at`.
+    fn eval_execute_at_lifted(
+        &self,
+        dest: &Expr,
+        call: &Expr,
+        lenv: &Lifted,
+        st: &mut EvalState,
+    ) -> XdmResult<SeqTable> {
+        let Expr::FunctionCall { name, args } = call else {
+            return Err(XdmError::syntax("execute at body must be a function call"));
+        };
+        let func = self.tree.resolve_function_ref(name, args.len())?;
+        let dest_t = self.eval_lifted(dest, lenv, st)?;
+        let mut arg_tables = Vec::with_capacity(args.len());
+        for a in args {
+            arg_tables.push(self.eval_lifted(a, lenv, st)?);
+        }
+
+        // δ over destinations (first-occurrence order).
+        let peers = dest_t.distinct_strings();
+        let dispatcher = self
+            .tree
+            .env
+            .dispatcher
+            .as_ref()
+            .ok_or_else(|| XdmError::xrpc("no XRPC dispatcher configured on this peer"))?;
+
+        // Build (map_p, calls_p) per peer. For read-only functions,
+        // duplicate calls (same peer, value-identical atomic arguments)
+        // collapse onto one wire call whose result is fanned back out —
+        // the set-oriented dual of the loop-invariant hoist.
+        struct PeerWork {
+            peer: String,
+            map: IterMap,
+            calls: Vec<Vec<Sequence>>,
+            /// per outer iteration: index into `calls`
+            call_of_iter: Vec<usize>,
+        }
+        let mut work = Vec::new();
+        for peer in &peers {
+            let mut outer = Vec::new();
+            for &i in &lenv.loop_iters {
+                let d = dest_t.sequence_at(i);
+                let d = d
+                    .singleton()
+                    .map_err(|_| XdmError::xrpc("execute at destination must be a single string"))?
+                    .string_value();
+                if &d == peer {
+                    outer.push(i);
+                }
+            }
+            let map = IterMap::rank(outer.clone());
+            let mut calls: Vec<Vec<Sequence>> = Vec::new();
+            let mut call_of_iter: Vec<usize> = Vec::with_capacity(outer.len());
+            let mut seen: std::collections::HashMap<String, usize> =
+                std::collections::HashMap::new();
+            for &o in &outer {
+                let args: Vec<Sequence> =
+                    arg_tables.iter().map(|t| t.sequence_at(o)).collect();
+                let dedup_ok = !func.updating && self.tree.env.rpc_optimize;
+                let key = if dedup_ok { atomic_call_key(&args) } else { None };
+                match key.and_then(|k| seen.get(&k).copied().map(|idx| (k, idx))) {
+                    Some((_, idx)) => call_of_iter.push(idx),
+                    None => {
+                        let idx = calls.len();
+                        if dedup_ok {
+                            if let Some(k) = atomic_call_key(&args) {
+                                seen.insert(k, idx);
+                            }
+                        }
+                        calls.push(args);
+                        call_of_iter.push(idx);
+                    }
+                }
+            }
+            work.push(PeerWork {
+                peer: peer.clone(),
+                map,
+                calls,
+                call_of_iter,
+            });
+        }
+
+        {
+            let mut stats = self.tree.env.stats.lock();
+            stats.rpc_dispatches += work.len() as u64;
+            stats.rpc_calls += work.iter().map(|w| w.calls.len() as u64).sum::<u64>();
+        }
+
+        // Dispatch all Bulk RPC requests in parallel, one thread per
+        // destination (§3.2 "Parallel & Out-Of-Order").
+        let results: Vec<XdmResult<Vec<Sequence>>> = if work.len() <= 1 {
+            work.iter()
+                .map(|w| dispatcher.dispatch(&w.peer, &func, w.calls.clone()))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = work
+                    .iter()
+                    .map(|w| {
+                        let dispatcher = dispatcher.clone();
+                        let func = func.clone();
+                        scope.spawn(move || dispatcher.dispatch(&w.peer, &func, w.calls.clone()))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("dispatch thread")).collect()
+            })
+        };
+
+        // Map every peer's results back to outer iterations and union,
+        // fanning deduplicated call results back out per iteration.
+        let mut mapped = Vec::new();
+        for (w, res) in work.into_iter().zip(results) {
+            let res = res?;
+            if res.len() != w.calls.len() {
+                return Err(XdmError::xrpc(format!(
+                    "peer `{}` answered {} results for {} calls",
+                    w.peer,
+                    res.len(),
+                    w.calls.len()
+                )));
+            }
+            let msg = SeqTable::from_sequences(
+                w.call_of_iter
+                    .iter()
+                    .enumerate()
+                    .map(|(inner0, &call_idx)| (inner0 as u32 + 1, res[call_idx].clone())),
+            );
+            mapped.push(w.map.map_back(&msg));
+        }
+        Ok(SeqTable::merge_union(mapped))
+    }
+
+    /// A function call whose arguments (or body) involve XRPC.
+    fn eval_call_lifted(
+        &self,
+        name: &Name,
+        args: &[Expr],
+        lenv: &Lifted,
+        st: &mut EvalState,
+    ) -> XdmResult<SeqTable> {
+        // Inline a local user function whose body contains XRPC.
+        if let Some(f) = self
+            .tree
+            .local_functions
+            .get(&(name.local.clone(), args.len()))
+            .cloned()
+        {
+            if f.body.contains_xrpc() {
+                let mut inner = lenv.clone();
+                for ((pname, _), a) in f.params.iter().zip(args.iter()) {
+                    let t = self.eval_lifted(a, lenv, st)?;
+                    inner.vars.push((pname.lexical(), t));
+                }
+                return self.eval_lifted(&f.body, &inner, st);
+            }
+        }
+        // Otherwise: arguments may contain XRPC — lift them, then apply
+        // the function per iteration.
+        let mut arg_tables = Vec::with_capacity(args.len());
+        for a in args {
+            arg_tables.push(self.eval_lifted(a, lenv, st)?);
+        }
+        let mut out = Vec::new();
+        for &i in &lenv.loop_iters {
+            let actuals: Vec<Sequence> = arg_tables.iter().map(|t| t.sequence_at(i)).collect();
+            let r = self.with_iter_vars(lenv, i, st, |tree, st2| {
+                tree.apply_function(name, actuals.clone(), st2, &Ctx::none())
+            })?;
+            out.push((i, r));
+        }
+        Ok(SeqTable::from_sequences(out))
+    }
+
+    /// Replace XRPC-bearing enclosed expressions of a direct constructor
+    /// with synthetic variables bound to their loop-lifted values.
+    fn lift_direlem(
+        &self,
+        d: &xqast::DirElem,
+        lenv: &Lifted,
+        st: &mut EvalState,
+        bindings: &mut Vec<(String, SeqTable)>,
+        counter: &mut usize,
+    ) -> XdmResult<xqast::DirElem> {
+        use xqast::{AttrContent, DirContent};
+        let mut out = d.clone();
+        for (_, parts) in out.attrs.iter_mut() {
+            for p in parts.iter_mut() {
+                if let AttrContent::Enclosed(e) = p {
+                    if e.contains_xrpc() {
+                        let t = self.eval_lifted(e, lenv, st)?;
+                        let var = format!("xrpc-enc-{}", *counter);
+                        *counter += 1;
+                        bindings.push((var.clone(), t));
+                        *p = AttrContent::Enclosed(Expr::VarRef(Name::local(var)));
+                    }
+                }
+            }
+        }
+        for c in out.content.iter_mut() {
+            match c {
+                DirContent::Enclosed(e) if e.contains_xrpc() => {
+                    let t = self.eval_lifted(e, lenv, st)?;
+                    let var = format!("xrpc-enc-{}", *counter);
+                    *counter += 1;
+                    bindings.push((var.clone(), t));
+                    *c = DirContent::Enclosed(Expr::VarRef(Name::local(var)));
+                }
+                DirContent::Element(inner) => {
+                    *inner = self.lift_direlem(inner, lenv, st, bindings, counter)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+
+    /// Per-iteration fallback to the tree engine.
+    fn fallback(&self, e: &Expr, lenv: &Lifted, st: &mut EvalState) -> XdmResult<SeqTable> {
+        let mut out = Vec::new();
+        for &i in &lenv.loop_iters {
+            let r = self.with_iter_vars(lenv, i, st, |tree, st2| tree.eval(e, st2, &Ctx::none()))?;
+            out.push((i, r));
+        }
+        Ok(SeqTable::from_sequences(out))
+    }
+
+    /// Run `f` with the lifted variables materialized for iteration `i`.
+    fn with_iter_vars<T>(
+        &self,
+        lenv: &Lifted,
+        i: u32,
+        st: &mut EvalState,
+        f: impl FnOnce(&Evaluator, &mut EvalState) -> XdmResult<T>,
+    ) -> XdmResult<T> {
+        let base = st.vars.len();
+        for (n, t) in &lenv.vars {
+            st.vars.push((n.clone(), t.sequence_at(i)));
+        }
+        let r = f(&self.tree, st);
+        st.vars.truncate(base);
+        r
+    }
+}
+
+/// A value key for call deduplication: `Some` only when every parameter
+/// item is atomic (node arguments carry identity and are never collapsed).
+fn atomic_call_key(args: &[Sequence]) -> Option<String> {
+    let mut key = String::new();
+    for s in args {
+        key.push('|');
+        for item in s.iter() {
+            match item {
+                xdm::Item::Atomic(a) => {
+                    key.push_str(a.atomic_type().xs_name());
+                    key.push(':');
+                    key.push_str(&a.lexical());
+                    key.push('\u{1}');
+                }
+                xdm::Item::Node(_) => return None,
+            }
+        }
+    }
+    Some(key)
+}
+
+fn restrict_env(lenv: &Lifted, iters: &[u32]) -> Lifted {
+    Lifted {
+        loop_iters: iters.to_vec(),
+        vars: lenv
+            .vars
+            .iter()
+            .map(|(n, t)| (n.clone(), t.restrict(iters)))
+            .collect(),
+    }
+}

@@ -1,0 +1,377 @@
+//! Loop-lifted engine tests: bulk-RPC generation (one request per
+//! destination peer regardless of loop count), order restoration, and
+//! result equivalence with the tree engine.
+
+use parking_lot::Mutex;
+use relalg::execute_rel;
+use std::sync::Arc;
+use xdm::{Item, Sequence, XdmError, XdmResult};
+use xqeval::context::{FunctionRef, RpcDispatcher};
+use xqeval::{evaluate_main, Environment, InMemoryDocs};
+
+const FILM_MODULE: &str = r#"
+    module namespace film = "films";
+    declare function film:filmsByActor($actor as xs:string) as node()*
+    { doc("filmDB.xml")//name[../actor = $actor] };
+    declare function film:echo($x) { $x };
+"#;
+
+const TEST_MODULE: &str = r#"
+    module namespace t = "test";
+    declare function t:echoVoid() { () };
+    declare function t:double($n as xs:integer) { $n * 2 };
+"#;
+
+fn film_db(peer: &str) -> String {
+    // different peers carry different films so multi-destination order is
+    // observable
+    match peer {
+        "y" => r#"<films>
+            <film><name>The Rock</name><actor>Sean Connery</actor></film>
+            <film><name>Goldfinger</name><actor>Sean Connery</actor></film>
+            </films>"#
+            .to_string(),
+        _ => r#"<films>
+            <film><name>Sound Of Music</name><actor>Julie Andrews</actor></film>
+            </films>"#
+            .to_string(),
+    }
+}
+
+/// In-process dispatcher evaluating bulk calls against per-peer remote
+/// environments, recording (peer, bulk size) per dispatch.
+struct RecordingDispatcher {
+    remotes: std::collections::HashMap<String, Environment>,
+    pub log: Mutex<Vec<(String, usize)>>,
+}
+
+impl RecordingDispatcher {
+    fn new(peers: &[&str]) -> Self {
+        let mut remotes = std::collections::HashMap::new();
+        for p in peers {
+            let docs = InMemoryDocs::new();
+            docs.insert("filmDB.xml", xmldom::parse(&film_db(p)).unwrap());
+            let env = Environment::new(Arc::new(docs));
+            env.modules.register_source(FILM_MODULE).unwrap();
+            env.modules.register_source(TEST_MODULE).unwrap();
+            remotes.insert(format!("xrpc://{p}"), env);
+        }
+        RecordingDispatcher {
+            remotes,
+            log: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl RpcDispatcher for RecordingDispatcher {
+    fn dispatch(
+        &self,
+        dest: &str,
+        func: &FunctionRef,
+        calls: Vec<Vec<Sequence>>,
+    ) -> XdmResult<Vec<Sequence>> {
+        self.log.lock().push((dest.to_string(), calls.len()));
+        let remote = self
+            .remotes
+            .get(dest)
+            .ok_or_else(|| XdmError::xrpc(format!("unknown peer {dest}")))?;
+        let module = remote
+            .modules
+            .get_or_load(&func.module_ns, func.location_hint.as_deref())?;
+        let f = module
+            .function(&func.local_name, func.arity)
+            .ok_or_else(|| XdmError::unknown_function("remote function missing"))?;
+        let ev = xqeval::Evaluator::new(remote, module.sctx.clone());
+        let mut out = Vec::new();
+        for args in calls {
+            let mut st = xqeval::eval::EvalState::new();
+            for ((pname, _), v) in f.params.iter().zip(args.into_iter()) {
+                st.vars.push((pname.lexical(), v));
+            }
+            out.push(ev.eval(&f.body, &mut st, &xqeval::eval::Ctx::none())?);
+        }
+        Ok(out)
+    }
+}
+
+fn local_env(dispatcher: Arc<RecordingDispatcher>) -> Environment {
+    let docs = InMemoryDocs::new();
+    let mut env = Environment::new(Arc::new(docs));
+    env.modules.register_source(FILM_MODULE).unwrap();
+    env.modules.register_source(TEST_MODULE).unwrap();
+    env.dispatcher = Some(dispatcher);
+    env
+}
+
+fn serialize(seq: &Sequence) -> String {
+    seq.iter()
+        .map(|i| match i {
+            Item::Node(n) => n.to_xml(),
+            a => a.string_value(),
+        })
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+#[test]
+fn single_call_q1() {
+    let disp = Arc::new(RecordingDispatcher::new(&["y"]));
+    let env = local_env(disp.clone());
+    let q = r#"
+        import module namespace f = "films";
+        <films>{ execute at {"xrpc://y"} {f:filmsByActor("Sean Connery")} }</films>"#;
+    let (res, _) = execute_rel(q, &env).unwrap();
+    assert_eq!(
+        serialize(&res),
+        "<films><name>The Rock</name><name>Goldfinger</name></films>"
+    );
+    assert_eq!(*disp.log.lock(), vec![("xrpc://y".to_string(), 1)]);
+}
+
+#[test]
+fn loop_becomes_single_bulk_request_q2() {
+    // Q2: two iterations, one destination → exactly ONE bulk request of 2
+    let disp = Arc::new(RecordingDispatcher::new(&["y"]));
+    let env = local_env(disp.clone());
+    let q = r#"
+        import module namespace f = "films";
+        for $actor in ("Julie Andrews", "Sean Connery")
+        return execute at {"xrpc://y"} {f:filmsByActor($actor)}"#;
+    let (res, _) = execute_rel(q, &env).unwrap();
+    assert_eq!(serialize(&res), "<name>The Rock</name>|<name>Goldfinger</name>");
+    assert_eq!(*disp.log.lock(), vec![("xrpc://y".to_string(), 2)]);
+}
+
+#[test]
+fn thousand_iterations_still_one_request() {
+    let disp = Arc::new(RecordingDispatcher::new(&["y"]));
+    let env = local_env(disp.clone());
+    let q = r#"
+        import module namespace t = "test";
+        for $i in (1 to 1000) return execute at {"xrpc://y"} {t:echoVoid()}"#;
+    let (res, _) = execute_rel(q, &env).unwrap();
+    assert!(res.is_empty());
+    let log = disp.log.lock();
+    assert_eq!(log.len(), 1, "expected a single bulk dispatch");
+    assert_eq!(log[0].1, 1000);
+}
+
+#[test]
+fn multi_destination_q3_splits_and_restores_order() {
+    // Q3: 2 actors × 2 peers = 4 iterations, 2 peers → 2 bulk requests of
+    // 2 calls each, results in the original iteration order.
+    let disp = Arc::new(RecordingDispatcher::new(&["y", "z"]));
+    let env = local_env(disp.clone());
+    let q = r#"
+        import module namespace f = "films";
+        for $actor in ("Julie Andrews", "Sean Connery")
+        for $dst in ("xrpc://y", "xrpc://z")
+        return execute at {$dst} {f:filmsByActor($actor)}"#;
+    let (res, _) = execute_rel(q, &env).unwrap();
+    // iteration order: (JA,y)=∅, (JA,z)=SoundOfMusic, (SC,y)=Rock+Gold, (SC,z)=∅
+    assert_eq!(
+        serialize(&res),
+        "<name>Sound Of Music</name>|<name>The Rock</name>|<name>Goldfinger</name>"
+    );
+    let log = disp.log.lock();
+    assert_eq!(log.len(), 2);
+    // each peer got one bulk request with both actors (out-of-order
+    // per-peer processing, §3.2)
+    let mut sorted: Vec<_> = log.clone();
+    sorted.sort();
+    assert_eq!(
+        sorted,
+        vec![("xrpc://y".to_string(), 2), ("xrpc://z".to_string(), 2)]
+    );
+}
+
+#[test]
+fn q6_two_calls_same_peer_sequence_construction() {
+    // Q6: sequence construction of two execute-ats inside one loop →
+    // two bulk requests to the same peer (one per call site), each
+    // carrying both loop iterations.
+    let disp = Arc::new(RecordingDispatcher::new(&["y"]));
+    let env = local_env(disp.clone());
+    let q = r#"
+        import module namespace f = "films";
+        for $name in ("Julie", "Sean")
+        let $connery := concat($name, " ", "Connery")
+        let $andrews := concat($name, " ", "Andrews")
+        return (
+            execute at {"xrpc://y"} {f:filmsByActor($connery)},
+            execute at {"xrpc://y"} {f:filmsByActor($andrews)} )"#;
+    let (res, _) = execute_rel(q, &env).unwrap();
+    // Sean Connery matches two films on y; everything else is empty
+    assert_eq!(serialize(&res), "<name>The Rock</name>|<name>Goldfinger</name>");
+    let log = disp.log.lock();
+    assert_eq!(log.len(), 2, "one bulk request per call site");
+    assert!(log.iter().all(|(p, n)| p == "xrpc://y" && *n == 2));
+}
+
+#[test]
+fn loop_dependent_parameter_values_transferred() {
+    let disp = Arc::new(RecordingDispatcher::new(&["y"]));
+    let env = local_env(disp.clone());
+    let q = r#"
+        import module namespace t = "test";
+        for $i in (1 to 5) return execute at {"xrpc://y"} {t:double($i)}"#;
+    let (res, _) = execute_rel(q, &env).unwrap();
+    assert_eq!(serialize(&res), "2|4|6|8|10");
+    assert_eq!(disp.log.lock().len(), 1);
+}
+
+#[test]
+fn where_clause_restricts_bulk() {
+    let disp = Arc::new(RecordingDispatcher::new(&["y"]));
+    let env = local_env(disp.clone());
+    let q = r#"
+        import module namespace t = "test";
+        for $i in (1 to 10) where $i mod 2 = 0
+        return execute at {"xrpc://y"} {t:double($i)}"#;
+    let (res, _) = execute_rel(q, &env).unwrap();
+    assert_eq!(serialize(&res), "4|8|12|16|20");
+    let log = disp.log.lock();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].1, 5);
+}
+
+#[test]
+fn nested_loops_multiply_calls() {
+    let disp = Arc::new(RecordingDispatcher::new(&["y"]));
+    let env = local_env(disp.clone());
+    let q = r#"
+        import module namespace t = "test";
+        for $i in (1 to 3) for $j in (1 to 4)
+        return execute at {"xrpc://y"} {t:double($i * $j)}"#;
+    let (res, _) = execute_rel(q, &env).unwrap();
+    assert_eq!(res.len(), 12);
+    assert_eq!(disp.log.lock()[0].1, 12);
+}
+
+#[test]
+fn conditional_execute_at() {
+    let disp = Arc::new(RecordingDispatcher::new(&["y"]));
+    let env = local_env(disp.clone());
+    let q = r#"
+        import module namespace t = "test";
+        for $i in (1 to 4)
+        return if ($i > 2) then execute at {"xrpc://y"} {t:double($i)} else ($i)"#;
+    let (res, _) = execute_rel(q, &env).unwrap();
+    assert_eq!(serialize(&res), "1|2|6|8");
+    // only the 2 iterations of the then-branch go remote
+    assert_eq!(disp.log.lock()[0].1, 2);
+}
+
+#[test]
+fn let_bound_rpc_result_used_in_predicate() {
+    // semi-join shape: let $r := execute at ... return if(empty($r)) ...
+    let disp = Arc::new(RecordingDispatcher::new(&["y"]));
+    let env = local_env(disp.clone());
+    let q = r#"
+        import module namespace f = "films";
+        for $actor in ("Julie Andrews", "Sean Connery", "Nobody")
+        let $r := execute at {"xrpc://y"} {f:filmsByActor($actor)}
+        return if (empty($r)) then () else <hit>{$actor}</hit>"#;
+    let (res, _) = execute_rel(q, &env).unwrap();
+    assert_eq!(serialize(&res), "<hit>Sean Connery</hit>");
+    let log = disp.log.lock();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].1, 3);
+}
+
+#[test]
+fn rel_and_tree_engines_agree_on_xrpc_free_queries() {
+    let disp = Arc::new(RecordingDispatcher::new(&["y"]));
+    for q in [
+        "for $x in (1 to 10) where $x mod 3 = 0 return $x * $x",
+        "let $s := (1, 2, 3) return (count($s), sum($s))",
+        "<out>{ for $i in (1 to 3) return <i>{$i}</i> }</out>",
+        "string-join(for $x in ('c', 'a', 'b') order by $x return $x, '')",
+    ] {
+        let env1 = local_env(disp.clone());
+        let env2 = local_env(disp.clone());
+        let (r1, _) = execute_rel(q, &env1).unwrap();
+        let (r2, _) = evaluate_main(q, &env2).unwrap();
+        assert_eq!(serialize(&r1), serialize(&r2), "query: {q}");
+    }
+}
+
+#[test]
+fn rpc_error_propagates() {
+    let disp = Arc::new(RecordingDispatcher::new(&["y"]));
+    let env = local_env(disp.clone());
+    let q = r#"
+        import module namespace t = "test";
+        for $i in (1 to 3) return execute at {"xrpc://nowhere"} {t:echoVoid()}"#;
+    let err = execute_rel(q, &env).unwrap_err();
+    assert_eq!(err.code, "XRPC0001");
+}
+
+#[test]
+fn updates_collect_in_pul_through_rel_engine() {
+    let disp = Arc::new(RecordingDispatcher::new(&["y"]));
+    let env = local_env(disp.clone());
+    let docs = InMemoryDocs::new();
+    docs.insert("db.xml", xmldom::parse("<db><i/><i/></db>").unwrap());
+    let env = Environment {
+        docs: Arc::new(docs),
+        ..{
+            let mut e = Environment::new(env.docs.clone());
+            e.dispatcher = Some(disp);
+            e
+        }
+    };
+    let (_, pul) = execute_rel(
+        r#"for $i in doc("db.xml")//i return insert node <k/> into $i"#,
+        &env,
+    )
+    .unwrap();
+    assert_eq!(pul.len(), 2);
+}
+
+#[test]
+fn rpc_optimize_hoists_invariant_call() {
+    // with the optimizer flag on, a loop-invariant call goes out ONCE
+    let disp = Arc::new(RecordingDispatcher::new(&["y"]));
+    let mut env = local_env(disp.clone());
+    env.rpc_optimize = true;
+    let q = r#"
+        import module namespace f = "films";
+        for $i in (1 to 100)
+        return count(execute at {"xrpc://y"} {f:filmsByActor("Sean Connery")})"#;
+    let (res, _) = execute_rel(q, &env).unwrap();
+    assert_eq!(res.len(), 100);
+    assert!(res.iter().all(|i| i.string_value() == "2"));
+    let log = disp.log.lock();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].1, 1, "hoisted: one call for 100 iterations");
+}
+
+#[test]
+fn rpc_optimize_dedupes_repeated_arguments() {
+    let disp = Arc::new(RecordingDispatcher::new(&["y"]));
+    let mut env = local_env(disp.clone());
+    env.rpc_optimize = true;
+    let q = r#"
+        import module namespace t = "test";
+        for $i in (1 to 12) return execute at {"xrpc://y"} {t:double($i mod 3)}"#;
+    let (res, _) = execute_rel(q, &env).unwrap();
+    // results fan back out per iteration
+    assert_eq!(res.len(), 12);
+    assert_eq!(res.items()[0].string_value(), "2"); // 1 mod 3 = 1 → 2
+    let log = disp.log.lock();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].1, 3, "only the 3 distinct argument values go out");
+}
+
+#[test]
+fn rpc_optimize_off_by_default_keeps_figure2_traffic() {
+    let disp = Arc::new(RecordingDispatcher::new(&["y"]));
+    let env = local_env(disp.clone());
+    let q = r#"
+        import module namespace t = "test";
+        for $i in (1 to 10) return execute at {"xrpc://y"} {t:echoVoid()}"#;
+    execute_rel(q, &env).unwrap();
+    // Figure 2 literally: all 10 calls on the wire (in one bulk request)
+    assert_eq!(*disp.log.lock(), vec![("xrpc://y".to_string(), 10)]);
+}

@@ -1,0 +1,113 @@
+//! XQuery error values (`err:XPST0003` and friends), shared by every layer:
+//! parser, evaluators, protocol handlers. An XRPC SOAP Fault carries one of
+//! these across the wire (paper §2.1, "XRPC Error Message").
+
+use std::fmt;
+
+/// An XQuery error: a W3C error code plus a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XdmError {
+    pub code: String,
+    pub message: String,
+}
+
+pub type XdmResult<T> = Result<T, XdmError>;
+
+impl XdmError {
+    pub fn new(code: &str, message: impl Into<String>) -> Self {
+        XdmError {
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+
+    // Frequently used codes, named for grep-ability.
+
+    /// XPST0003: grammar / static syntax error.
+    pub fn syntax(message: impl Into<String>) -> Self {
+        Self::new("XPST0003", message)
+    }
+
+    /// XPTY0004: type error.
+    pub fn type_error(message: impl Into<String>) -> Self {
+        Self::new("XPTY0004", message)
+    }
+
+    /// XPST0017: unknown function (name/arity).
+    pub fn unknown_function(message: impl Into<String>) -> Self {
+        Self::new("XPST0017", message)
+    }
+
+    /// XPST0008: undefined variable / name.
+    pub fn undefined(message: impl Into<String>) -> Self {
+        Self::new("XPST0008", message)
+    }
+
+    /// FORG0001: invalid value for cast.
+    pub fn invalid_cast(message: impl Into<String>) -> Self {
+        Self::new("FORG0001", message)
+    }
+
+    /// FOCA0002 and friends collapse to this for invalid lexical forms.
+    pub fn invalid_lexical(message: impl Into<String>) -> Self {
+        Self::new("FOCA0002", message)
+    }
+
+    /// FOAR0001: division by zero.
+    pub fn div_by_zero() -> Self {
+        Self::new("FOAR0001", "division by zero")
+    }
+
+    /// FODC0002: error retrieving resource (fn:doc).
+    pub fn doc_error(message: impl Into<String>) -> Self {
+        Self::new("FODC0002", message)
+    }
+
+    /// FORG0006: invalid argument (e.g. EBV of a bad sequence).
+    pub fn invalid_arg(message: impl Into<String>) -> Self {
+        Self::new("FORG0006", message)
+    }
+
+    /// XUDY0023-ish bucket for update-related dynamic errors.
+    pub fn update_error(message: impl Into<String>) -> Self {
+        Self::new("XUDY0027", message)
+    }
+
+    /// XRPC-specific dynamic errors (network, marshaling, remote fault).
+    /// The paper does not assign W3C codes; we use a vendor code.
+    pub fn xrpc(message: impl Into<String>) -> Self {
+        Self::new("XRPC0001", message)
+    }
+
+    /// XRPC isolation violation: queryID expired or unknown (paper §2.2).
+    pub fn xrpc_expired(message: impl Into<String>) -> Self {
+        Self::new("XRPC0002", message)
+    }
+}
+
+impl fmt::Display for XdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for XdmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code() {
+        let e = XdmError::type_error("boom");
+        assert_eq!(e.to_string(), "[XPTY0004] boom");
+    }
+
+    #[test]
+    fn constructors_set_expected_codes() {
+        assert_eq!(XdmError::syntax("x").code, "XPST0003");
+        assert_eq!(XdmError::div_by_zero().code, "FOAR0001");
+        assert_eq!(XdmError::xrpc("x").code, "XRPC0001");
+        assert_eq!(XdmError::xrpc_expired("x").code, "XRPC0002");
+    }
+}

@@ -1,0 +1,19 @@
+//! The XQuery Data Model (XDM): typed atomic values, items, sequences,
+//! sequence types and the casting/promotion machinery that both engines
+//! (tree-walking and loop-lifted relational) share.
+//!
+//! The SOAP XRPC protocol round-trips exactly these values: atomic values
+//! annotated with their `xs:` type and nodes passed by value (paper §2.1).
+
+pub mod atomic;
+pub mod decimal;
+pub mod error;
+pub mod item;
+pub mod ops;
+pub mod types;
+
+pub use atomic::{AtomicValue, DateTimeValue, DurationValue};
+pub use decimal::Decimal;
+pub use error::{XdmError, XdmResult};
+pub use item::{Item, Sequence};
+pub use types::{AtomicType, Occurrence, SeqType};

@@ -1,0 +1,241 @@
+//! Atomic types, item types, occurrence indicators and sequence types.
+
+use std::fmt;
+
+/// The built-in atomic types XRPC marshals (paper §2.1 lists `xsi:type`
+/// annotations like `xs:string`, `xs:integer`, `xs:double`, ...).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AtomicType {
+    String,
+    UntypedAtomic,
+    AnyUri,
+    Boolean,
+    Integer,
+    Decimal,
+    Double,
+    Float,
+    QNameT,
+    Date,
+    Time,
+    DateTime,
+    Duration,
+}
+
+impl AtomicType {
+    /// The `xs:`-prefixed lexical QName used on the wire.
+    pub fn xs_name(self) -> &'static str {
+        match self {
+            AtomicType::String => "xs:string",
+            AtomicType::UntypedAtomic => "xs:untypedAtomic",
+            AtomicType::AnyUri => "xs:anyURI",
+            AtomicType::Boolean => "xs:boolean",
+            AtomicType::Integer => "xs:integer",
+            AtomicType::Decimal => "xs:decimal",
+            AtomicType::Double => "xs:double",
+            AtomicType::Float => "xs:float",
+            AtomicType::QNameT => "xs:QName",
+            AtomicType::Date => "xs:date",
+            AtomicType::Time => "xs:time",
+            AtomicType::DateTime => "xs:dateTime",
+            AtomicType::Duration => "xs:duration",
+        }
+    }
+
+    /// Inverse of [`xs_name`](Self::xs_name); accepts an optional `xs:`
+    /// prefix (protocol messages always carry it).
+    pub fn from_xs_name(name: &str) -> Option<AtomicType> {
+        let local = name.strip_prefix("xs:").unwrap_or(name);
+        Some(match local {
+            "string" => AtomicType::String,
+            "untypedAtomic" => AtomicType::UntypedAtomic,
+            "anyURI" => AtomicType::AnyUri,
+            "boolean" => AtomicType::Boolean,
+            "integer" | "long" | "int" | "short" | "byte" | "nonNegativeInteger"
+            | "positiveInteger" | "negativeInteger" | "nonPositiveInteger" | "unsignedLong"
+            | "unsignedInt" | "unsignedShort" | "unsignedByte" => AtomicType::Integer,
+            "decimal" => AtomicType::Decimal,
+            "double" => AtomicType::Double,
+            "float" => AtomicType::Float,
+            "QName" => AtomicType::QNameT,
+            "date" => AtomicType::Date,
+            "time" => AtomicType::Time,
+            "dateTime" => AtomicType::DateTime,
+            "duration" | "dayTimeDuration" | "yearMonthDuration" => AtomicType::Duration,
+            _ => return None,
+        })
+    }
+
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            AtomicType::Integer | AtomicType::Decimal | AtomicType::Double | AtomicType::Float
+        )
+    }
+}
+
+impl fmt::Display for AtomicType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.xs_name())
+    }
+}
+
+/// Occurrence indicator of a sequence type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Occurrence {
+    /// exactly one
+    One,
+    /// `?` zero or one
+    ZeroOrOne,
+    /// `*` zero or more
+    ZeroOrMore,
+    /// `+` one or more
+    OneOrMore,
+}
+
+impl Occurrence {
+    pub fn accepts(self, n: usize) -> bool {
+        match self {
+            Occurrence::One => n == 1,
+            Occurrence::ZeroOrOne => n <= 1,
+            Occurrence::ZeroOrMore => true,
+            Occurrence::OneOrMore => n >= 1,
+        }
+    }
+
+    pub fn indicator(self) -> &'static str {
+        match self {
+            Occurrence::One => "",
+            Occurrence::ZeroOrOne => "?",
+            Occurrence::ZeroOrMore => "*",
+            Occurrence::OneOrMore => "+",
+        }
+    }
+}
+
+/// Item type component of a sequence type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ItemKind {
+    /// `item()`
+    AnyItem,
+    /// a specific atomic type
+    Atomic(AtomicType),
+    /// `node()`
+    AnyNode,
+    /// `element()` / `element(name)`
+    Element(Option<String>),
+    /// `attribute()` / `attribute(name)`
+    Attribute(Option<String>),
+    /// `document-node()`
+    DocumentNode,
+    /// `text()`
+    Text,
+    /// `comment()`
+    Comment,
+    /// `processing-instruction()`
+    Pi,
+    /// `empty-sequence()` — occurrence is ignored
+    EmptySequence,
+}
+
+/// A sequence type: item kind + occurrence (`xs:string*`, `node()?`, ...).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SeqType {
+    pub kind: ItemKind,
+    pub occurrence: Occurrence,
+}
+
+impl SeqType {
+    pub fn one(kind: ItemKind) -> Self {
+        SeqType {
+            kind,
+            occurrence: Occurrence::One,
+        }
+    }
+
+    pub fn star(kind: ItemKind) -> Self {
+        SeqType {
+            kind,
+            occurrence: Occurrence::ZeroOrMore,
+        }
+    }
+
+    pub fn any() -> Self {
+        SeqType::star(ItemKind::AnyItem)
+    }
+
+    pub fn empty() -> Self {
+        SeqType {
+            kind: ItemKind::EmptySequence,
+            occurrence: Occurrence::ZeroOrMore,
+        }
+    }
+}
+
+impl fmt::Display for SeqType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match &self.kind {
+            ItemKind::AnyItem => "item()".to_string(),
+            ItemKind::Atomic(a) => a.xs_name().to_string(),
+            ItemKind::AnyNode => "node()".to_string(),
+            ItemKind::Element(None) => "element()".to_string(),
+            ItemKind::Element(Some(n)) => format!("element({n})"),
+            ItemKind::Attribute(None) => "attribute()".to_string(),
+            ItemKind::Attribute(Some(n)) => format!("attribute({n})"),
+            ItemKind::DocumentNode => "document-node()".to_string(),
+            ItemKind::Text => "text()".to_string(),
+            ItemKind::Comment => "comment()".to_string(),
+            ItemKind::Pi => "processing-instruction()".to_string(),
+            ItemKind::EmptySequence => return f.write_str("empty-sequence()"),
+        };
+        write!(f, "{}{}", kind, self.occurrence.indicator())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xs_name_roundtrip() {
+        for t in [
+            AtomicType::String,
+            AtomicType::Boolean,
+            AtomicType::Integer,
+            AtomicType::Decimal,
+            AtomicType::Double,
+            AtomicType::Float,
+            AtomicType::UntypedAtomic,
+            AtomicType::AnyUri,
+            AtomicType::QNameT,
+            AtomicType::Date,
+            AtomicType::Time,
+            AtomicType::DateTime,
+            AtomicType::Duration,
+        ] {
+            assert_eq!(AtomicType::from_xs_name(t.xs_name()), Some(t));
+        }
+    }
+
+    #[test]
+    fn derived_integer_types_collapse() {
+        assert_eq!(AtomicType::from_xs_name("xs:long"), Some(AtomicType::Integer));
+        assert_eq!(AtomicType::from_xs_name("int"), Some(AtomicType::Integer));
+    }
+
+    #[test]
+    fn occurrence_accepts() {
+        assert!(Occurrence::One.accepts(1));
+        assert!(!Occurrence::One.accepts(0));
+        assert!(Occurrence::ZeroOrOne.accepts(0));
+        assert!(!Occurrence::ZeroOrOne.accepts(2));
+        assert!(Occurrence::ZeroOrMore.accepts(99));
+        assert!(!Occurrence::OneOrMore.accepts(0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SeqType::star(ItemKind::Atomic(AtomicType::String)).to_string(), "xs:string*");
+        assert_eq!(SeqType::one(ItemKind::Element(Some("person".into()))).to_string(), "element(person)");
+        assert_eq!(SeqType::empty().to_string(), "empty-sequence()");
+    }
+}

@@ -1,0 +1,110 @@
+//! Arena-based XML document store: the storage substrate underneath the
+//! XQuery Data Model, the XQuery engines and the SOAP XRPC protocol layer.
+//!
+//! Design notes
+//! ------------
+//! * A [`Document`] owns a flat arena of nodes ([`NodeId`] indexes into it).
+//!   Elements and the document root keep explicit `children`/`attributes`
+//!   vectors, so XQUF mutations (insert/delete/replace/rename) are simple
+//!   vector edits.
+//! * Evaluation always works on immutable `Arc<Document>` snapshots; updates
+//!   clone the arena, mutate the clone and swap it in. This mirrors the
+//!   shadow-paging snapshot isolation that MonetDB/XQuery uses (paper §2.2).
+//! * Document order is computed structurally (by comparing ancestor paths),
+//!   which stays correct after arbitrary mutation.
+
+pub mod axes;
+pub mod builder;
+pub mod escape;
+pub mod node;
+pub mod order;
+pub mod parser;
+pub mod qname;
+pub mod serialize;
+
+pub use builder::DocBuilder;
+pub use node::{Document, NodeData, NodeId, NodeKind};
+pub use parser::{parse, parse_with_uri, ParseError};
+pub use qname::QName;
+pub use serialize::{serialize_document, serialize_node, SerializeOpts};
+
+use std::sync::Arc;
+
+/// A reference-counted handle to a node inside a specific document snapshot.
+///
+/// Two handles are the *same node* iff they point into the same snapshot and
+/// carry the same id; handles into different snapshots of one logical
+/// document are distinct nodes, which is exactly what repeatable-read
+/// isolation requires.
+#[derive(Clone)]
+pub struct NodeHandle {
+    pub doc: Arc<Document>,
+    pub id: NodeId,
+}
+
+impl NodeHandle {
+    pub fn new(doc: Arc<Document>, id: NodeId) -> Self {
+        NodeHandle { doc, id }
+    }
+
+    /// Handle to the document root node of `doc`.
+    pub fn root(doc: Arc<Document>) -> Self {
+        let id = doc.root();
+        NodeHandle { doc, id }
+    }
+
+    pub fn kind(&self) -> NodeKind {
+        self.doc.kind(self.id)
+    }
+
+    pub fn data(&self) -> &NodeData {
+        self.doc.node(self.id)
+    }
+
+    /// Node identity (`is` operator): same snapshot, same arena slot.
+    pub fn same_node(&self, other: &NodeHandle) -> bool {
+        Arc::ptr_eq(&self.doc, &other.doc) && self.id == other.id
+    }
+
+    /// String value per the XDM (concatenation of descendant text nodes for
+    /// elements/documents; the stored value for the other kinds).
+    pub fn string_value(&self) -> String {
+        self.doc.string_value(self.id)
+    }
+
+    pub fn name(&self) -> Option<&QName> {
+        self.doc.node(self.id).name.as_ref()
+    }
+
+    pub fn parent(&self) -> Option<NodeHandle> {
+        self.doc
+            .node(self.id)
+            .parent
+            .map(|p| NodeHandle::new(self.doc.clone(), p))
+    }
+
+    /// Serialize this node (children inline) to a string.
+    pub fn to_xml(&self) -> String {
+        serialize::serialize_node(&self.doc, self.id, &SerializeOpts::default())
+    }
+}
+
+impl std::fmt::Debug for NodeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NodeHandle({:?}, {:?})", self.id, self.kind())
+    }
+}
+
+impl PartialEq for NodeHandle {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_node(other)
+    }
+}
+impl Eq for NodeHandle {}
+
+impl std::hash::Hash for NodeHandle {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (Arc::as_ptr(&self.doc) as usize).hash(state);
+        self.id.hash(state);
+    }
+}

@@ -1,0 +1,552 @@
+//! Node arena and the mutation API used by XQUF `applyUpdates`.
+
+use crate::qname::QName;
+
+/// Index of a node inside a [`Document`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The seven XDM node kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum NodeKind {
+    Document,
+    Element,
+    Attribute,
+    Text,
+    Comment,
+    ProcessingInstruction,
+}
+
+/// One arena slot. Fields are used per kind:
+/// * `Document`: `children`
+/// * `Element`: `name`, `attributes`, `children`, `ns_decls`
+/// * `Attribute`: `name`, `value`
+/// * `Text` / `Comment`: `value`
+/// * `ProcessingInstruction`: `name` (target, no namespace), `value`
+#[derive(Clone, Debug)]
+pub struct NodeData {
+    pub kind: NodeKind,
+    pub parent: Option<NodeId>,
+    pub name: Option<QName>,
+    pub value: String,
+    pub attributes: Vec<NodeId>,
+    pub children: Vec<NodeId>,
+    /// Namespace declarations in scope *declared on this element*
+    /// (`prefix -> uri`; empty prefix = default namespace).
+    pub ns_decls: Vec<(String, String)>,
+    /// Type annotation carried by `xsi:type` (kept as a lexical QName). The
+    /// XRPC marshaler uses it to round-trip user-defined schema types.
+    pub type_annotation: Option<String>,
+}
+
+impl NodeData {
+    fn new(kind: NodeKind) -> Self {
+        NodeData {
+            kind,
+            parent: None,
+            name: None,
+            value: String::new(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+            ns_decls: Vec::new(),
+            type_annotation: None,
+        }
+    }
+}
+
+/// An XML document: a node arena whose slot 0 is always the document node.
+///
+/// Mutation methods take `&mut self`; callers that need snapshot semantics
+/// clone the document first (see `xrpc-peer`'s store).
+#[derive(Clone, Debug)]
+pub struct Document {
+    nodes: Vec<NodeData>,
+    pub uri: Option<String>,
+}
+
+impl Document {
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![NodeData::new(NodeKind::Document)],
+            uri: None,
+        }
+    }
+
+    pub fn with_uri(uri: impl Into<String>) -> Self {
+        let mut d = Document::new();
+        d.uri = Some(uri.into());
+        d
+    }
+
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // there is always a document node
+    }
+
+    pub fn node(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.index()]
+    }
+
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeData {
+        &mut self.nodes[id.index()]
+    }
+
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.index()].kind
+    }
+
+    fn alloc(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(data);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    pub fn create_element(&mut self, name: QName) -> NodeId {
+        let mut d = NodeData::new(NodeKind::Element);
+        d.name = Some(name);
+        self.alloc(d)
+    }
+
+    pub fn create_text(&mut self, value: impl Into<String>) -> NodeId {
+        let mut d = NodeData::new(NodeKind::Text);
+        d.value = value.into();
+        self.alloc(d)
+    }
+
+    pub fn create_comment(&mut self, value: impl Into<String>) -> NodeId {
+        let mut d = NodeData::new(NodeKind::Comment);
+        d.value = value.into();
+        self.alloc(d)
+    }
+
+    pub fn create_pi(&mut self, target: impl Into<String>, value: impl Into<String>) -> NodeId {
+        let mut d = NodeData::new(NodeKind::ProcessingInstruction);
+        d.name = Some(QName::local(target));
+        d.value = value.into();
+        self.alloc(d)
+    }
+
+    pub fn create_attribute(&mut self, name: QName, value: impl Into<String>) -> NodeId {
+        let mut d = NodeData::new(NodeKind::Attribute);
+        d.name = Some(name);
+        d.value = value.into();
+        self.alloc(d)
+    }
+
+    // ------------------------------------------------------------------
+    // Tree surgery (XQUF primitives)
+    // ------------------------------------------------------------------
+
+    /// Append `child` as the last child of `parent` (document or element).
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        debug_assert!(matches!(
+            self.kind(parent),
+            NodeKind::Document | NodeKind::Element
+        ));
+        self.detach(child);
+        self.nodes[child.index()].parent = Some(parent);
+        self.nodes[parent.index()].children.push(child);
+    }
+
+    /// Insert `child` under `parent` at child position `pos` (clamped).
+    pub fn insert_child_at(&mut self, parent: NodeId, pos: usize, child: NodeId) {
+        self.detach(child);
+        self.nodes[child.index()].parent = Some(parent);
+        let kids = &mut self.nodes[parent.index()].children;
+        let pos = pos.min(kids.len());
+        kids.insert(pos, child);
+    }
+
+    /// Insert `child` immediately before sibling `anchor`.
+    pub fn insert_before(&mut self, anchor: NodeId, child: NodeId) {
+        let parent = self.nodes[anchor.index()]
+            .parent
+            .expect("insert_before target must have a parent");
+        let pos = self.child_position(parent, anchor);
+        self.insert_child_at(parent, pos, child);
+    }
+
+    /// Insert `child` immediately after sibling `anchor`.
+    pub fn insert_after(&mut self, anchor: NodeId, child: NodeId) {
+        let parent = self.nodes[anchor.index()]
+            .parent
+            .expect("insert_after target must have a parent");
+        let pos = self.child_position(parent, anchor);
+        self.insert_child_at(parent, pos + 1, child);
+    }
+
+    /// Attach an attribute node to an element (replacing any same-named one).
+    pub fn set_attribute_node(&mut self, element: NodeId, attr: NodeId) {
+        debug_assert_eq!(self.kind(element), NodeKind::Element);
+        debug_assert_eq!(self.kind(attr), NodeKind::Attribute);
+        let name = self.nodes[attr.index()].name.clone().expect("attr name");
+        if let Some(existing) = self.attribute_by_name(element, &name) {
+            self.remove_attribute(element, existing);
+        }
+        self.nodes[attr.index()].parent = Some(element);
+        self.nodes[element.index()].attributes.push(attr);
+    }
+
+    /// Convenience: create + attach an attribute.
+    pub fn set_attribute(&mut self, element: NodeId, name: QName, value: impl Into<String>) {
+        let a = self.create_attribute(name, value);
+        self.set_attribute_node(element, a);
+    }
+
+    /// Detach a node from its parent's child (or attribute) list.
+    pub fn detach(&mut self, node: NodeId) {
+        if let Some(p) = self.nodes[node.index()].parent.take() {
+            let pd = &mut self.nodes[p.index()];
+            pd.children.retain(|&c| c != node);
+            pd.attributes.retain(|&c| c != node);
+        }
+    }
+
+    pub fn remove_attribute(&mut self, element: NodeId, attr: NodeId) {
+        self.nodes[element.index()].attributes.retain(|&a| a != attr);
+        self.nodes[attr.index()].parent = None;
+    }
+
+    /// XQUF `replace node`: swap `target` for `replacements` in its parent.
+    pub fn replace_node(&mut self, target: NodeId, replacements: &[NodeId]) {
+        let parent = self.nodes[target.index()]
+            .parent
+            .expect("replace target must have a parent");
+        if self.kind(target) == NodeKind::Attribute {
+            self.remove_attribute(parent, target);
+            for &r in replacements {
+                self.set_attribute_node(parent, r);
+            }
+        } else {
+            let pos = self.child_position(parent, target);
+            self.detach(target);
+            for (i, &r) in replacements.iter().enumerate() {
+                self.insert_child_at(parent, pos + i, r);
+            }
+        }
+    }
+
+    /// XQUF `replace value of node`.
+    pub fn replace_value(&mut self, target: NodeId, value: &str) {
+        match self.kind(target) {
+            NodeKind::Element => {
+                // Replace the entire content with one text node.
+                let kids: Vec<NodeId> = self.nodes[target.index()].children.clone();
+                for k in kids {
+                    self.detach(k);
+                }
+                if !value.is_empty() {
+                    let t = self.create_text(value);
+                    self.append_child(target, t);
+                }
+            }
+            _ => self.nodes[target.index()].value = value.to_string(),
+        }
+    }
+
+    /// XQUF `rename node`.
+    pub fn rename(&mut self, target: NodeId, name: QName) {
+        self.nodes[target.index()].name = Some(name);
+    }
+
+    fn child_position(&self, parent: NodeId, child: NodeId) -> usize {
+        self.nodes[parent.index()]
+            .children
+            .iter()
+            .position(|&c| c == child)
+            .expect("child not under parent")
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    pub fn attributes(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].attributes
+    }
+
+    pub fn attribute_by_name(&self, element: NodeId, name: &QName) -> Option<NodeId> {
+        self.nodes[element.index()]
+            .attributes
+            .iter()
+            .copied()
+            .find(|&a| self.nodes[a.index()].name.as_ref().is_some_and(|n| n.matches(name)))
+    }
+
+    /// Attribute value lookup by local name only (namespace ignored) —
+    /// convenient for protocol parsing where attributes are unprefixed.
+    pub fn attr_local(&self, element: NodeId, local: &str) -> Option<&str> {
+        self.nodes[element.index()].attributes.iter().find_map(|&a| {
+            let d = &self.nodes[a.index()];
+            if d.name.as_ref().is_some_and(|n| n.local == local) {
+                Some(d.value.as_str())
+            } else {
+                None
+            }
+        })
+    }
+
+    /// First child element with a matching expanded name.
+    pub fn child_element(&self, parent: NodeId, name: &QName) -> Option<NodeId> {
+        self.children(parent).iter().copied().find(|&c| {
+            self.kind(c) == NodeKind::Element
+                && self.nodes[c.index()].name.as_ref().is_some_and(|n| n.matches(name))
+        })
+    }
+
+    /// All child elements (any name).
+    pub fn child_elements(&self, parent: NodeId) -> Vec<NodeId> {
+        self.children(parent)
+            .iter()
+            .copied()
+            .filter(|&c| self.kind(c) == NodeKind::Element)
+            .collect()
+    }
+
+    /// Concatenated text content (XDM string value).
+    pub fn string_value(&self, id: NodeId) -> String {
+        match self.kind(id) {
+            NodeKind::Document | NodeKind::Element => {
+                let mut out = String::new();
+                self.collect_text(id, &mut out);
+                out
+            }
+            _ => self.nodes[id.index()].value.clone(),
+        }
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        for &c in self.children(id) {
+            match self.kind(c) {
+                NodeKind::Text => out.push_str(&self.nodes[c.index()].value),
+                NodeKind::Element => self.collect_text(c, out),
+                _ => {}
+            }
+        }
+    }
+
+    /// Resolve a namespace prefix at `node` by walking ancestor `ns_decls`.
+    pub fn resolve_prefix(&self, node: NodeId, prefix: &str) -> Option<String> {
+        if prefix == "xml" {
+            return Some(crate::qname::NS_XML.to_string());
+        }
+        let mut cur = Some(node);
+        while let Some(id) = cur {
+            let d = &self.nodes[id.index()];
+            for (p, u) in &d.ns_decls {
+                if p == prefix {
+                    if u.is_empty() {
+                        return None; // un-declaration
+                    }
+                    return Some(u.clone());
+                }
+            }
+            cur = d.parent;
+        }
+        None
+    }
+
+    /// Deep-copy the subtree rooted at `src_id` in `src` into `self`,
+    /// returning the new root id. The copy is *detached* (no parent), giving
+    /// the by-value semantics XRPC marshaling requires.
+    pub fn import_subtree(&mut self, src: &Document, src_id: NodeId) -> NodeId {
+        let sd = src.node(src_id);
+        let new_id = match sd.kind {
+            NodeKind::Document => {
+                // Import a document node as... a fresh subtree under no parent:
+                // allocate an element-like holder is wrong; instead copy each
+                // child under a new document is handled by callers. Here we
+                // copy the document node itself only when self is empty.
+                let mut d = NodeData::new(NodeKind::Document);
+                d.ns_decls = sd.ns_decls.clone();
+                self.alloc(d)
+            }
+            _ => {
+                let mut d = NodeData::new(sd.kind);
+                d.name = sd.name.clone();
+                d.value = sd.value.clone();
+                d.ns_decls = sd.ns_decls.clone();
+                d.type_annotation = sd.type_annotation.clone();
+                self.alloc(d)
+            }
+        };
+        let attrs: Vec<NodeId> = sd.attributes.clone();
+        for a in attrs {
+            let na = self.import_subtree(src, a);
+            self.nodes[na.index()].parent = Some(new_id);
+            self.nodes[new_id.index()].attributes.push(na);
+        }
+        let kids: Vec<NodeId> = sd.children.clone();
+        for c in kids {
+            let nc = self.import_subtree(src, c);
+            self.nodes[nc.index()].parent = Some(new_id);
+            self.nodes[new_id.index()].children.push(nc);
+        }
+        new_id
+    }
+
+    /// Iterate all node ids in arena order (includes detached nodes).
+    pub fn all_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Document::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elem(doc: &mut Document, name: &str) -> NodeId {
+        doc.create_element(QName::local(name))
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let mut d = Document::new();
+        let root = elem(&mut d, "a");
+        d.append_child(d.root(), root);
+        let b = elem(&mut d, "b");
+        d.append_child(root, b);
+        let t = d.create_text("hi");
+        d.append_child(b, t);
+        assert_eq!(d.children(root), &[b]);
+        assert_eq!(d.string_value(root), "hi");
+        assert_eq!(d.node(b).parent, Some(root));
+    }
+
+    #[test]
+    fn insert_before_after() {
+        let mut d = Document::new();
+        let root = elem(&mut d, "r");
+        d.append_child(d.root(), root);
+        let a = elem(&mut d, "a");
+        let b = elem(&mut d, "b");
+        let c = elem(&mut d, "c");
+        d.append_child(root, b);
+        d.insert_before(b, a);
+        d.insert_after(b, c);
+        let names: Vec<String> = d
+            .children(root)
+            .iter()
+            .map(|&k| d.node(k).name.clone().unwrap().local)
+            .collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn replace_node_multi() {
+        let mut d = Document::new();
+        let root = elem(&mut d, "r");
+        d.append_child(d.root(), root);
+        let a = elem(&mut d, "a");
+        d.append_child(root, a);
+        let x = elem(&mut d, "x");
+        let y = elem(&mut d, "y");
+        d.replace_node(a, &[x, y]);
+        let names: Vec<String> = d
+            .children(root)
+            .iter()
+            .map(|&k| d.node(k).name.clone().unwrap().local)
+            .collect();
+        assert_eq!(names, ["x", "y"]);
+        assert_eq!(d.node(a).parent, None);
+    }
+
+    #[test]
+    fn replace_value_of_element() {
+        let mut d = Document::new();
+        let root = elem(&mut d, "r");
+        d.append_child(d.root(), root);
+        let t = d.create_text("old");
+        d.append_child(root, t);
+        d.replace_value(root, "new");
+        assert_eq!(d.string_value(root), "new");
+    }
+
+    #[test]
+    fn set_attribute_replaces_same_name() {
+        let mut d = Document::new();
+        let root = elem(&mut d, "r");
+        d.append_child(d.root(), root);
+        d.set_attribute(root, QName::local("id"), "1");
+        d.set_attribute(root, QName::local("id"), "2");
+        assert_eq!(d.attributes(root).len(), 1);
+        assert_eq!(d.attr_local(root, "id"), Some("2"));
+    }
+
+    #[test]
+    fn rename_node() {
+        let mut d = Document::new();
+        let root = elem(&mut d, "old");
+        d.append_child(d.root(), root);
+        d.rename(root, QName::local("new"));
+        assert_eq!(d.node(root).name.as_ref().unwrap().local, "new");
+    }
+
+    #[test]
+    fn import_subtree_is_detached_deep_copy() {
+        let mut src = Document::new();
+        let root = elem(&mut src, "a");
+        src.append_child(src.root(), root);
+        src.set_attribute(root, QName::local("k"), "v");
+        let kid = elem(&mut src, "b");
+        src.append_child(root, kid);
+
+        let mut dst = Document::new();
+        let copy = dst.import_subtree(&src, root);
+        assert_eq!(dst.node(copy).parent, None);
+        assert_eq!(dst.attr_local(copy, "k"), Some("v"));
+        assert_eq!(dst.children(copy).len(), 1);
+        // Mutating the copy leaves the source untouched.
+        dst.rename(copy, QName::local("z"));
+        assert_eq!(src.node(root).name.as_ref().unwrap().local, "a");
+    }
+
+    #[test]
+    fn prefix_resolution_walks_ancestors() {
+        let mut d = Document::new();
+        let root = elem(&mut d, "r");
+        d.append_child(d.root(), root);
+        d.node_mut(root).ns_decls.push(("p".into(), "urn:p".into()));
+        let kid = elem(&mut d, "k");
+        d.append_child(root, kid);
+        assert_eq!(d.resolve_prefix(kid, "p").as_deref(), Some("urn:p"));
+        assert_eq!(d.resolve_prefix(kid, "q"), None);
+        assert_eq!(
+            d.resolve_prefix(kid, "xml").as_deref(),
+            Some(crate::qname::NS_XML)
+        );
+    }
+}

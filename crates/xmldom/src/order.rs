@@ -1,0 +1,167 @@
+//! Document order, computed structurally so it survives XQUF mutation.
+//!
+//! Nodes from *different* documents are ordered by an arbitrary but stable
+//! criterion (the `Arc` pointer address), as the XQuery Data Model allows —
+//! the paper (§2.2 Call-by-Value) explicitly notes XRPC does not preserve
+//! cross-document order on marshaled copies.
+
+use crate::node::{Document, NodeId, NodeKind};
+use crate::NodeHandle;
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Path from the document root to a node: the child index at each level.
+/// Attributes order after their owner element and before its children,
+/// encoded by a special large-offset index component.
+fn path_to(doc: &Document, id: NodeId) -> Vec<u32> {
+    let mut rev = Vec::new();
+    let mut cur = id;
+    while let Some(parent) = doc.node(cur).parent {
+        let pd = doc.node(parent);
+        if doc.kind(cur) == NodeKind::Attribute {
+            let pos = pd
+                .attributes
+                .iter()
+                .position(|&a| a == cur)
+                .expect("attribute under parent") as u32;
+            // Attributes sort before children but after the element itself:
+            // encode as a leading half-range component.
+            rev.push(pos);
+            rev.push(u32::MAX); // attribute marker level
+        } else {
+            let pos = pd
+                .children
+                .iter()
+                .position(|&c| c == cur)
+                .expect("child under parent") as u32;
+            rev.push(pos);
+        }
+        cur = parent;
+    }
+    rev.reverse();
+    rev
+}
+
+/// Compare two nodes of the *same* document in document order.
+pub fn cmp_same_doc(doc: &Document, a: NodeId, b: NodeId) -> Ordering {
+    if a == b {
+        return Ordering::Equal;
+    }
+    let pa = path_to(doc, a);
+    let pb = path_to(doc, b);
+    // An ancestor precedes its descendants: shorter path that is a prefix.
+    for i in 0..pa.len().min(pb.len()) {
+        match pa[i].cmp(&pb[i]) {
+            Ordering::Equal => continue,
+            // attribute marker (MAX) must sort *before* child indexes at the
+            // same level: an attribute precedes the element's children.
+            ord => {
+                let a_attr = pa[i] == u32::MAX;
+                let b_attr = pb[i] == u32::MAX;
+                if a_attr != b_attr {
+                    return if a_attr { Ordering::Less } else { Ordering::Greater };
+                }
+                return ord;
+            }
+        }
+    }
+    pa.len().cmp(&pb.len())
+}
+
+/// Compare two handles in (global) document order.
+pub fn cmp_handles(a: &NodeHandle, b: &NodeHandle) -> Ordering {
+    if Arc::ptr_eq(&a.doc, &b.doc) {
+        cmp_same_doc(&a.doc, a.id, b.id)
+    } else {
+        (Arc::as_ptr(&a.doc) as usize).cmp(&(Arc::as_ptr(&b.doc) as usize))
+    }
+}
+
+/// Sort handles into document order and remove duplicates (node identity) —
+/// the post-processing every XPath step applies.
+pub fn sort_dedup(handles: &mut Vec<NodeHandle>) {
+    handles.sort_by(cmp_handles);
+    handles.dedup_by(|a, b| a.same_node(b));
+}
+
+/// True iff `anc` is an ancestor of `desc` (strict) within one document.
+pub fn is_ancestor(doc: &Document, anc: NodeId, desc: NodeId) -> bool {
+    let mut cur = doc.node(desc).parent;
+    while let Some(p) = cur {
+        if p == anc {
+            return true;
+        }
+        cur = doc.node(p).parent;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn preorder_matches_document_order() {
+        let d = parse("<a><b><c/></b><d/></a>").unwrap();
+        let a = d.children(d.root())[0];
+        let b = d.children(a)[0];
+        let c = d.children(b)[0];
+        let dd = d.children(a)[1];
+        assert_eq!(cmp_same_doc(&d, a, b), Ordering::Less);
+        assert_eq!(cmp_same_doc(&d, b, c), Ordering::Less);
+        assert_eq!(cmp_same_doc(&d, c, dd), Ordering::Less);
+        assert_eq!(cmp_same_doc(&d, dd, b), Ordering::Greater);
+        assert_eq!(cmp_same_doc(&d, a, a), Ordering::Equal);
+    }
+
+    #[test]
+    fn attributes_before_children() {
+        let d = parse(r#"<a k="v"><b/></a>"#).unwrap();
+        let a = d.children(d.root())[0];
+        let attr = d.attributes(a)[0];
+        let b = d.children(a)[0];
+        assert_eq!(cmp_same_doc(&d, a, attr), Ordering::Less);
+        assert_eq!(cmp_same_doc(&d, attr, b), Ordering::Less);
+    }
+
+    #[test]
+    fn order_survives_mutation() {
+        let mut d = parse("<a><b/><c/></a>").unwrap();
+        let a = d.children(d.root())[0];
+        let b = d.children(a)[0];
+        let c = d.children(a)[1];
+        // Move c before b.
+        d.insert_before(b, c);
+        assert_eq!(cmp_same_doc(&d, c, b), Ordering::Less);
+    }
+
+    #[test]
+    fn sort_dedup_by_identity() {
+        let d = Arc::new(parse("<a><b/><c/></a>").unwrap());
+        let a = d.children(d.root())[0];
+        let b = d.children(a)[0];
+        let c = d.children(a)[1];
+        let mut v = vec![
+            NodeHandle::new(d.clone(), c),
+            NodeHandle::new(d.clone(), b),
+            NodeHandle::new(d.clone(), c),
+        ];
+        sort_dedup(&mut v);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].id, b);
+        assert_eq!(v[1].id, c);
+    }
+
+    #[test]
+    fn ancestor_test() {
+        let d = parse("<a><b><c/></b></a>").unwrap();
+        let a = d.children(d.root())[0];
+        let b = d.children(a)[0];
+        let c = d.children(b)[0];
+        assert!(is_ancestor(&d, a, c));
+        assert!(is_ancestor(&d, b, c));
+        assert!(!is_ancestor(&d, c, a));
+        assert!(!is_ancestor(&d, c, c));
+    }
+}

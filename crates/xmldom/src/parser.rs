@@ -1,0 +1,622 @@
+//! A hand-written, namespace-aware XML 1.0 parser.
+//!
+//! Supports the subset the XRPC stack needs: elements, attributes,
+//! namespace declarations with proper scoping, text with the five
+//! predefined entities plus numeric character references, CDATA sections,
+//! comments, processing instructions, an XML declaration and a (skipped)
+//! DOCTYPE. DTD-defined entities are not supported — the SOAP XRPC wire
+//! format never needs them.
+
+use crate::node::{Document, NodeId};
+#[cfg(test)]
+use crate::node::NodeKind;
+use crate::qname::{QName, NS_XML};
+
+/// Parse failure with byte offset and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete XML document.
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    Parser::new(input).run(None)
+}
+
+/// Parse, recording `uri` as the document URI (what `fn:doc` returns).
+pub fn parse_with_uri(input: &str, uri: &str) -> Result<Document, ParseError> {
+    Parser::new(input).run(Some(uri.to_string()))
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// One in-scope namespace binding frame (per open element).
+struct NsFrame {
+    decls: Vec<(String, String)>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.starts_with(s) {
+            self.bump(s.len());
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", s))
+        }
+    }
+
+    fn run(mut self, uri: Option<String>) -> Result<Document, ParseError> {
+        let mut doc = Document::new();
+        doc.uri = uri;
+        let root = doc.root();
+        let mut ns_stack: Vec<NsFrame> = Vec::new();
+
+        // Prolog: XML decl, misc, doctype.
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            self.skip_until("?>")?;
+        }
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                let c = self.parse_comment()?;
+                let n = doc.create_comment(c);
+                doc.append_child(root, n);
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else if self.starts_with("<?") {
+                let (t, v) = self.parse_pi()?;
+                let n = doc.create_pi(t, v);
+                doc.append_child(root, n);
+            } else {
+                break;
+            }
+        }
+
+        self.skip_ws();
+        if self.peek() != Some(b'<') {
+            return self.err("expected root element");
+        }
+        let elem = self.parse_element(&mut doc, &mut ns_stack)?;
+        doc.append_child(root, elem);
+
+        // Trailing misc.
+        loop {
+            self.skip_ws();
+            if self.pos >= self.bytes.len() {
+                break;
+            }
+            if self.starts_with("<!--") {
+                let c = self.parse_comment()?;
+                let n = doc.create_comment(c);
+                doc.append_child(root, n);
+            } else if self.starts_with("<?") {
+                let (t, v) = self.parse_pi()?;
+                let n = doc.create_pi(t, v);
+                doc.append_child(root, n);
+            } else {
+                return self.err("unexpected content after root element");
+            }
+        }
+        Ok(doc)
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), ParseError> {
+        match self.input[self.pos..].find(end) {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => self.err(format!("unterminated construct, expected `{}`", end)),
+        }
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), ParseError> {
+        // Skip to matching '>' allowing one level of [] internal subset.
+        self.expect("<!DOCTYPE")?;
+        let mut depth = 0i32;
+        while let Some(c) = self.peek() {
+            match c {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                b'>' if depth <= 0 => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        self.err("unterminated DOCTYPE")
+    }
+
+    fn parse_comment(&mut self) -> Result<String, ParseError> {
+        self.expect("<!--")?;
+        let start = self.pos;
+        match self.input[self.pos..].find("-->") {
+            Some(i) => {
+                let text = self.input[start..start + i].to_string();
+                self.pos += i + 3;
+                Ok(text)
+            }
+            None => self.err("unterminated comment"),
+        }
+    }
+
+    fn parse_pi(&mut self) -> Result<(String, String), ParseError> {
+        self.expect("<?")?;
+        let target = self.parse_name()?;
+        let start = self.pos;
+        match self.input[self.pos..].find("?>") {
+            Some(i) => {
+                let data = self.input[start..start + i].trim_start().to_string();
+                self.pos += i + 2;
+                Ok((target, data))
+            }
+            None => self.err("unterminated processing instruction"),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ch = c as char;
+            let ok = if self.pos == start {
+                ch.is_alphabetic() || ch == '_' || ch == ':' || c >= 0x80
+            } else {
+                ch.is_alphanumeric() || matches!(ch, '_' | ':' | '.' | '-') || c >= 0x80
+            };
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected name");
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    /// `<name attr="v" ...>content</name>` or `<name .../>`.
+    fn parse_element(
+        &mut self,
+        doc: &mut Document,
+        ns_stack: &mut Vec<NsFrame>,
+    ) -> Result<NodeId, ParseError> {
+        self.expect("<")?;
+        let raw_name = self.parse_name()?;
+
+        // Raw attributes first; namespace decls must be in scope before
+        // resolving prefixes (including the element's own).
+        let mut raw_attrs: Vec<(String, String)> = Vec::new();
+        let self_closing;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    self_closing = false;
+                    break;
+                }
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    self_closing = true;
+                    break;
+                }
+                Some(_) => {
+                    let an = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let av = self.parse_attr_value()?;
+                    if raw_attrs.iter().any(|(n, _)| n == &an) {
+                        return self.err(format!("duplicate attribute `{}`", an));
+                    }
+                    raw_attrs.push((an, av));
+                }
+                None => return self.err("unterminated start tag"),
+            }
+        }
+
+        let mut frame = NsFrame { decls: Vec::new() };
+        for (n, v) in &raw_attrs {
+            if n == "xmlns" {
+                frame.decls.push((String::new(), v.clone()));
+            } else if let Some(p) = n.strip_prefix("xmlns:") {
+                frame.decls.push((p.to_string(), v.clone()));
+            }
+        }
+        ns_stack.push(frame);
+
+        let name = self.resolve_qname(&raw_name, ns_stack, true)?;
+        let elem = doc.create_element(name);
+        // Record declarations on the element for later (re)serialization and
+        // in-scope prefix resolution.
+        let decls = ns_stack.last().unwrap().decls.clone();
+        doc.node_mut(elem).ns_decls = decls;
+
+        let mut xsi_type: Option<String> = None;
+        for (n, v) in &raw_attrs {
+            if n == "xmlns" || n.starts_with("xmlns:") {
+                continue;
+            }
+            let qn = self.resolve_qname(n, ns_stack, false)?;
+            if qn.is(crate::qname::NS_XSI, "type") {
+                xsi_type = Some(v.clone());
+            }
+            let a = doc.create_attribute(qn, v.clone());
+            doc.set_attribute_node(elem, a);
+        }
+        doc.node_mut(elem).type_annotation = xsi_type;
+
+        if self_closing {
+            ns_stack.pop();
+            return Ok(elem);
+        }
+
+        // Content.
+        loop {
+            if self.starts_with("</") {
+                self.expect("</")?;
+                let close = self.parse_name()?;
+                if close != raw_name {
+                    return self.err(format!(
+                        "mismatched end tag: expected </{}>, found </{}>",
+                        raw_name, close
+                    ));
+                }
+                self.skip_ws();
+                self.expect(">")?;
+                break;
+            } else if self.starts_with("<!--") {
+                let c = self.parse_comment()?;
+                let n = doc.create_comment(c);
+                doc.append_child(elem, n);
+            } else if self.starts_with("<![CDATA[") {
+                self.expect("<![CDATA[")?;
+                let start = self.pos;
+                match self.input[self.pos..].find("]]>") {
+                    Some(i) => {
+                        let text = self.input[start..start + i].to_string();
+                        self.pos += i + 3;
+                        let n = doc.create_text(text);
+                        doc.append_child(elem, n);
+                    }
+                    None => return self.err("unterminated CDATA section"),
+                }
+            } else if self.starts_with("<?") {
+                let (t, v) = self.parse_pi()?;
+                let n = doc.create_pi(t, v);
+                doc.append_child(elem, n);
+            } else if self.peek() == Some(b'<') {
+                let kid = self.parse_element(doc, ns_stack)?;
+                doc.append_child(elem, kid);
+            } else if self.peek().is_some() {
+                let text = self.parse_text()?;
+                if !text.is_empty() {
+                    let n = doc.create_text(text);
+                    doc.append_child(elem, n);
+                }
+            } else {
+                return self.err(format!("unterminated element <{}>", raw_name));
+            }
+        }
+
+        ns_stack.pop();
+        Ok(elem)
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return self.err("expected quoted attribute value"),
+        };
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(c) if c == quote => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'&') => out.push(self.parse_entity()?),
+                Some(b'<') => return self.err("`<` not allowed in attribute value"),
+                Some(_) => {
+                    let c = self.next_char()?;
+                    out.push(c);
+                }
+                None => return self.err("unterminated attribute value"),
+            }
+        }
+    }
+
+    fn parse_text(&mut self) -> Result<String, ParseError> {
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'<') | None => return Ok(out),
+                Some(b'&') => out.push(self.parse_entity()?),
+                Some(_) => out.push(self.next_char()?),
+            }
+        }
+    }
+
+    fn next_char(&mut self) -> Result<char, ParseError> {
+        match self.input[self.pos..].chars().next() {
+            Some(c) => {
+                self.pos += c.len_utf8();
+                Ok(c)
+            }
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn parse_entity(&mut self) -> Result<char, ParseError> {
+        self.expect("&")?;
+        let end = match self.input[self.pos..].find(';') {
+            Some(i) if i <= 10 => self.pos + i,
+            _ => return self.err("unterminated entity reference"),
+        };
+        let name = &self.input[self.pos..end];
+        let c = match name {
+            "lt" => '<',
+            "gt" => '>',
+            "amp" => '&',
+            "quot" => '"',
+            "apos" => '\'',
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let cp = u32::from_str_radix(&name[2..], 16)
+                    .map_err(|_| ParseError {
+                        offset: self.pos,
+                        message: format!("bad hex character reference `&{};`", name),
+                    })?;
+                char::from_u32(cp).ok_or_else(|| ParseError {
+                    offset: self.pos,
+                    message: format!("invalid code point in `&{};`", name),
+                })?
+            }
+            _ if name.starts_with('#') => {
+                let cp = name[1..].parse::<u32>().map_err(|_| ParseError {
+                    offset: self.pos,
+                    message: format!("bad character reference `&{};`", name),
+                })?;
+                char::from_u32(cp).ok_or_else(|| ParseError {
+                    offset: self.pos,
+                    message: format!("invalid code point in `&{};`", name),
+                })?
+            }
+            _ => {
+                return self.err(format!("unknown entity `&{};`", name));
+            }
+        };
+        self.pos = end + 1;
+        Ok(c)
+    }
+
+    fn resolve_qname(
+        &self,
+        raw: &str,
+        ns_stack: &[NsFrame],
+        is_element: bool,
+    ) -> Result<QName, ParseError> {
+        let (prefix, local) = match raw.split_once(':') {
+            Some((p, l)) => {
+                if p.is_empty() || l.is_empty() || l.contains(':') {
+                    return Err(ParseError {
+                        offset: self.pos,
+                        message: format!("malformed QName `{}`", raw),
+                    });
+                }
+                (Some(p), l)
+            }
+            None => (None, raw),
+        };
+        let ns_uri = match prefix {
+            Some("xml") => Some(NS_XML.to_string()),
+            Some(p) => match lookup_prefix(ns_stack, p) {
+                Some(u) => Some(u),
+                None => {
+                    return Err(ParseError {
+                        offset: self.pos,
+                        message: format!("undeclared namespace prefix `{}`", p),
+                    })
+                }
+            },
+            // Unprefixed elements pick up the default namespace;
+            // unprefixed attributes never do (XML Namespaces §6.2).
+            None if is_element => lookup_prefix(ns_stack, ""),
+            None => None,
+        };
+        Ok(QName {
+            prefix: prefix.map(|s| s.to_string()),
+            ns_uri,
+            local: local.to_string(),
+        })
+    }
+}
+
+fn lookup_prefix(ns_stack: &[NsFrame], prefix: &str) -> Option<String> {
+    for frame in ns_stack.iter().rev() {
+        for (p, u) in frame.decls.iter().rev() {
+            if p == prefix {
+                if u.is_empty() {
+                    return None;
+                }
+                return Some(u.clone());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root_elem(doc: &Document) -> NodeId {
+        doc.children(doc.root())
+            .iter()
+            .copied()
+            .find(|&c| doc.kind(c) == NodeKind::Element)
+            .unwrap()
+    }
+
+    #[test]
+    fn minimal_document() {
+        let d = parse("<a/>").unwrap();
+        let r = root_elem(&d);
+        assert_eq!(d.node(r).name.as_ref().unwrap().local, "a");
+    }
+
+    #[test]
+    fn nested_with_text_and_attrs() {
+        let d = parse(r#"<films><film year="1996"><name>The Rock</name></film></films>"#).unwrap();
+        let films = root_elem(&d);
+        let film = d.children(films)[0];
+        assert_eq!(d.attr_local(film, "year"), Some("1996"));
+        assert_eq!(d.string_value(film), "The Rock");
+    }
+
+    #[test]
+    fn entities_and_charrefs() {
+        let d = parse("<a>&lt;&amp;&gt; &#65;&#x42;</a>").unwrap();
+        assert_eq!(d.string_value(root_elem(&d)), "<&> AB");
+    }
+
+    #[test]
+    fn cdata() {
+        let d = parse("<a><![CDATA[<not><parsed>&amp;]]></a>").unwrap();
+        assert_eq!(d.string_value(root_elem(&d)), "<not><parsed>&amp;");
+    }
+
+    #[test]
+    fn namespaces_scoped() {
+        let d = parse(r#"<p:a xmlns:p="urn:one"><p:b/><c xmlns:p="urn:two"><p:d/></c></p:a>"#)
+            .unwrap();
+        let a = root_elem(&d);
+        assert_eq!(d.node(a).name.as_ref().unwrap().ns_uri.as_deref(), Some("urn:one"));
+        let b = d.children(a)[0];
+        assert_eq!(d.node(b).name.as_ref().unwrap().ns_uri.as_deref(), Some("urn:one"));
+        let c = d.children(a)[1];
+        let inner = d.children(c)[0];
+        assert_eq!(
+            d.node(inner).name.as_ref().unwrap().ns_uri.as_deref(),
+            Some("urn:two")
+        );
+    }
+
+    #[test]
+    fn default_namespace_applies_to_elements_only() {
+        let d = parse(r#"<a xmlns="urn:d" k="v"><b/></a>"#).unwrap();
+        let a = root_elem(&d);
+        assert_eq!(d.node(a).name.as_ref().unwrap().ns_uri.as_deref(), Some("urn:d"));
+        let attr = d.attributes(a)[0];
+        assert_eq!(d.node(attr).name.as_ref().unwrap().ns_uri, None);
+        let b = d.children(a)[0];
+        assert_eq!(d.node(b).name.as_ref().unwrap().ns_uri.as_deref(), Some("urn:d"));
+    }
+
+    #[test]
+    fn xml_decl_doctype_comments_pis() {
+        let d = parse(
+            "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n<!DOCTYPE a>\n<!-- hi --><?t d?><a/><!-- bye -->",
+        )
+        .unwrap();
+        let kinds: Vec<NodeKind> = d
+            .children(d.root())
+            .iter()
+            .map(|&c| d.kind(c))
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                NodeKind::Comment,
+                NodeKind::ProcessingInstruction,
+                NodeKind::Element,
+                NodeKind::Comment
+            ]
+        );
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(parse("<a><b></a></b>").is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(parse(r#"<a x="1" x="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn undeclared_prefix_rejected() {
+        assert!(parse("<p:a/>").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("<a/>junk").is_err());
+    }
+
+    #[test]
+    fn xsi_type_recorded_as_annotation() {
+        let d = parse(
+            r#"<v xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xsi:type="xs:integer">3</v>"#,
+        )
+        .unwrap();
+        let v = root_elem(&d);
+        assert_eq!(d.node(v).type_annotation.as_deref(), Some("xs:integer"));
+    }
+
+    #[test]
+    fn utf8_content() {
+        let d = parse("<a>héllo wörld ✓</a>").unwrap();
+        assert_eq!(d.string_value(root_elem(&d)), "héllo wörld ✓");
+    }
+}

@@ -1,0 +1,122 @@
+//! Qualified names with namespace URIs.
+
+use std::fmt;
+
+/// Well-known namespace URIs used by the XRPC protocol layer.
+pub const NS_XML: &str = "http://www.w3.org/XML/1998/namespace";
+pub const NS_XMLNS: &str = "http://www.w3.org/2000/xmlns/";
+pub const NS_XS: &str = "http://www.w3.org/2001/XMLSchema";
+pub const NS_XSI: &str = "http://www.w3.org/2001/XMLSchema-instance";
+pub const NS_SOAP_ENV: &str = "http://www.w3.org/2003/05/soap-envelope";
+pub const NS_XRPC: &str = "http://monetdb.cwi.nl/XQuery";
+
+/// An expanded qualified name: optional prefix (serialization hint only),
+/// optional namespace URI (participates in equality) and a local part.
+#[derive(Clone, Debug)]
+pub struct QName {
+    pub prefix: Option<String>,
+    pub ns_uri: Option<String>,
+    pub local: String,
+}
+
+impl QName {
+    /// A name with no namespace.
+    pub fn local(local: impl Into<String>) -> Self {
+        QName {
+            prefix: None,
+            ns_uri: None,
+            local: local.into(),
+        }
+    }
+
+    /// A name in namespace `uri`, with a preferred serialization prefix.
+    pub fn ns(prefix: impl Into<String>, uri: impl Into<String>, local: impl Into<String>) -> Self {
+        QName {
+            prefix: Some(prefix.into()),
+            ns_uri: Some(uri.into()),
+            local: local.into(),
+        }
+    }
+
+    /// Lexical form `prefix:local` (or just `local`).
+    pub fn lexical(&self) -> String {
+        match &self.prefix {
+            Some(p) if !p.is_empty() => format!("{}:{}", p, self.local),
+            _ => self.local.clone(),
+        }
+    }
+
+    /// Expanded-name equality: namespace URI and local part (prefix ignored),
+    /// as the XDM requires.
+    pub fn matches(&self, other: &QName) -> bool {
+        self.local == other.local && norm(&self.ns_uri) == norm(&other.ns_uri)
+    }
+
+    /// True if the namespace URI equals `uri` and the local name equals `local`.
+    pub fn is(&self, uri: &str, local: &str) -> bool {
+        self.local == local && self.ns_uri.as_deref() == Some(uri)
+    }
+}
+
+fn norm(u: &Option<String>) -> Option<&str> {
+    match u.as_deref() {
+        None | Some("") => None,
+        Some(s) => Some(s),
+    }
+}
+
+impl PartialEq for QName {
+    fn eq(&self, other: &Self) -> bool {
+        self.matches(other)
+    }
+}
+impl Eq for QName {}
+
+impl std::hash::Hash for QName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        norm(&self.ns_uri).hash(state);
+        self.local.hash(state);
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.lexical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_ignores_prefix() {
+        let a = QName::ns("a", "urn:x", "name");
+        let b = QName::ns("b", "urn:x", "name");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equality_respects_uri() {
+        let a = QName::ns("a", "urn:x", "name");
+        let b = QName::ns("a", "urn:y", "name");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_uri_is_no_namespace() {
+        let a = QName {
+            prefix: None,
+            ns_uri: Some(String::new()),
+            local: "n".into(),
+        };
+        let b = QName::local("n");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lexical_forms() {
+        assert_eq!(QName::local("x").lexical(), "x");
+        assert_eq!(QName::ns("p", "u", "x").lexical(), "p:x");
+    }
+}

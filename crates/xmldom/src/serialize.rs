@@ -1,0 +1,207 @@
+//! XML serialization (the inverse of the parser, used for wire messages and
+//! for `fn:put` / debugging output).
+
+use crate::escape::{push_escaped_attr, push_escaped_text};
+use crate::node::{Document, NodeId, NodeKind};
+
+/// Serialization options.
+#[derive(Clone, Debug)]
+pub struct SerializeOpts {
+    /// Emit an `<?xml version="1.0" encoding="utf-8"?>` declaration
+    /// (document serialization only).
+    pub xml_decl: bool,
+    /// Pretty-print with the given indent width (0 = compact).
+    pub indent: usize,
+}
+
+impl Default for SerializeOpts {
+    fn default() -> Self {
+        SerializeOpts {
+            xml_decl: false,
+            indent: 0,
+        }
+    }
+}
+
+/// Serialize a whole document.
+pub fn serialize_document(doc: &Document, opts: &SerializeOpts) -> String {
+    let mut out = String::new();
+    if opts.xml_decl {
+        out.push_str("<?xml version=\"1.0\" encoding=\"utf-8\"?>");
+        if opts.indent > 0 {
+            out.push('\n');
+        }
+    }
+    let mut first = true;
+    for &c in doc.children(doc.root()) {
+        if !first && opts.indent > 0 {
+            out.push('\n');
+        }
+        first = false;
+        write_node(doc, c, opts, 0, &mut out);
+    }
+    out
+}
+
+/// Serialize one node (subtree).
+pub fn serialize_node(doc: &Document, id: NodeId, opts: &SerializeOpts) -> String {
+    let mut out = String::new();
+    write_node(doc, id, opts, 0, &mut out);
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, opts: &SerializeOpts, depth: usize, out: &mut String) {
+    match doc.kind(id) {
+        NodeKind::Document => {
+            for &c in doc.children(id) {
+                write_node(doc, c, opts, depth, out);
+            }
+        }
+        NodeKind::Element => write_element(doc, id, opts, depth, out),
+        NodeKind::Text => push_escaped_text(out, &doc.node(id).value),
+        NodeKind::Comment => {
+            out.push_str("<!--");
+            out.push_str(&doc.node(id).value);
+            out.push_str("-->");
+        }
+        NodeKind::ProcessingInstruction => {
+            out.push_str("<?");
+            out.push_str(&doc.node(id).name.as_ref().map(|n| n.local.as_str()).unwrap_or(""));
+            let v = &doc.node(id).value;
+            if !v.is_empty() {
+                out.push(' ');
+                out.push_str(v);
+            }
+            out.push_str("?>");
+        }
+        NodeKind::Attribute => {
+            // A standalone attribute serializes as name="value" (used by the
+            // XRPC <attribute> wrapper).
+            let d = doc.node(id);
+            out.push_str(&d.name.as_ref().map(|n| n.lexical()).unwrap_or_default());
+            out.push_str("=\"");
+            push_escaped_attr(out, &d.value);
+            out.push('"');
+        }
+    }
+}
+
+fn write_element(doc: &Document, id: NodeId, opts: &SerializeOpts, depth: usize, out: &mut String) {
+    let d = doc.node(id);
+    let name = d.name.as_ref().expect("element has a name").lexical();
+    if opts.indent > 0 && depth > 0 {
+        // caller already placed us; indentation is applied to children below
+    }
+    out.push('<');
+    out.push_str(&name);
+    for (p, u) in &d.ns_decls {
+        if p.is_empty() {
+            out.push_str(" xmlns=\"");
+        } else {
+            out.push_str(" xmlns:");
+            out.push_str(p);
+            out.push_str("=\"");
+        }
+        push_escaped_attr(out, u);
+        out.push('"');
+    }
+    for &a in doc.attributes(id) {
+        let ad = doc.node(a);
+        out.push(' ');
+        out.push_str(&ad.name.as_ref().map(|n| n.lexical()).unwrap_or_default());
+        out.push_str("=\"");
+        push_escaped_attr(out, &ad.value);
+        out.push('"');
+    }
+    if d.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    let pretty = opts.indent > 0 && d.children.iter().all(|&c| doc.kind(c) != NodeKind::Text);
+    for &c in doc.children(id) {
+        if pretty {
+            out.push('\n');
+            for _ in 0..(depth + 1) * opts.indent {
+                out.push(' ');
+            }
+        }
+        write_node(doc, c, opts, depth + 1, out);
+    }
+    if pretty {
+        out.push('\n');
+        for _ in 0..depth * opts.indent {
+            out.push(' ');
+        }
+    }
+    out.push_str("</");
+    out.push_str(&name);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(s: &str) -> String {
+        let d = parse(s).unwrap();
+        serialize_document(&d, &SerializeOpts::default())
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        assert_eq!(roundtrip("<a><b>x</b><c/></a>"), "<a><b>x</b><c/></a>");
+    }
+
+    #[test]
+    fn attrs_and_namespaces_roundtrip() {
+        let s = r#"<p:a xmlns:p="urn:x" k="v&quot;"><p:b/></p:a>"#;
+        assert_eq!(roundtrip(s), s);
+    }
+
+    #[test]
+    fn text_escaping_roundtrip() {
+        assert_eq!(roundtrip("<a>&lt;&amp;&gt;</a>"), "<a>&lt;&amp;&gt;</a>");
+    }
+
+    #[test]
+    fn comments_and_pis_roundtrip() {
+        let s = "<a><!-- c --><?t data?></a>";
+        assert_eq!(roundtrip(s), s);
+    }
+
+    #[test]
+    fn xml_decl_emitted() {
+        let d = parse("<a/>").unwrap();
+        let out = serialize_document(
+            &d,
+            &SerializeOpts {
+                xml_decl: true,
+                indent: 0,
+            },
+        );
+        assert!(out.starts_with("<?xml version=\"1.0\""));
+    }
+
+    #[test]
+    fn pretty_printing_indents_element_only_content() {
+        let d = parse("<a><b><c/></b></a>").unwrap();
+        let out = serialize_document(
+            &d,
+            &SerializeOpts {
+                xml_decl: false,
+                indent: 2,
+            },
+        );
+        assert_eq!(out, "<a>\n  <b>\n    <c/>\n  </b>\n</a>");
+    }
+
+    #[test]
+    fn double_parse_serialize_is_fixpoint() {
+        let s = r#"<r><x a="1">t&amp;t</x><!--c--><y xmlns="urn:d"><z/></y></r>"#;
+        let once = roundtrip(s);
+        let twice = roundtrip(&once);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,16 @@
+//! XQuery abstract syntax: lexing/parsing of the XQuery 1.0 subset the
+//! XRPC paper exercises — FLWOR, full axes, constructors, modules,
+//! user-defined (updating) functions, the XQuery Update Facility, and the
+//! paper's `execute at { Expr } { FunctionCall }` extension (§2).
+//!
+//! The crate also ships a pretty-printer: the XRPC *wrapper* (paper §4)
+//! generates XQuery text for foreign engines, and the §5 distributed
+//! strategies are expressed as query rewrites over this AST.
+
+pub mod ast;
+pub mod parser;
+pub mod pretty;
+
+pub use ast::*;
+pub use parser::{parse_library_module, parse_main_module, parse_module};
+pub use pretty::pretty_print;

@@ -1,0 +1,632 @@
+//! Pretty-printing the AST back to XQuery source text. The XRPC wrapper
+//! (paper §4, Figure 3) generates queries as text for foreign engines, and
+//! the §5 strategies produce rewritten queries — both go through here.
+
+use crate::ast::*;
+use xdm::atomic::AtomicValue;
+
+/// Render an expression to XQuery source.
+pub fn pretty_print(e: &Expr) -> String {
+    let mut out = String::new();
+    expr(e, &mut out);
+    out
+}
+
+/// Render a whole main module.
+pub fn pretty_print_main(m: &MainModule) -> String {
+    let mut out = String::new();
+    prolog(&m.prolog, &mut out);
+    expr(&m.body, &mut out);
+    out
+}
+
+/// Render a library module.
+pub fn pretty_print_library(m: &LibraryModule) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "module namespace {} = \"{}\";\n",
+        m.prefix, m.ns_uri
+    ));
+    prolog(&m.prolog, &mut out);
+    out
+}
+
+fn prolog(p: &Prolog, out: &mut String) {
+    for (pre, uri) in &p.namespaces {
+        out.push_str(&format!("declare namespace {pre} = \"{uri}\";\n"));
+    }
+    if let Some(ns) = &p.default_element_ns {
+        out.push_str(&format!("declare default element namespace \"{ns}\";\n"));
+    }
+    for (name, val) in &p.options {
+        out.push_str(&format!("declare option {} \"{}\";\n", name.lexical(), val));
+    }
+    for imp in &p.module_imports {
+        out.push_str(&format!(
+            "import module namespace {} = \"{}\"",
+            imp.prefix, imp.ns_uri
+        ));
+        if !imp.at_hints.is_empty() {
+            out.push_str(" at ");
+            let hints: Vec<String> = imp.at_hints.iter().map(|h| format!("\"{h}\"")).collect();
+            out.push_str(&hints.join(", "));
+        }
+        out.push_str(";\n");
+    }
+    for v in &p.variables {
+        out.push_str(&format!("declare variable ${}", v.name.lexical()));
+        if let Some(t) = &v.ty {
+            out.push_str(&format!(" as {t}"));
+        }
+        out.push_str(" := ");
+        expr(&v.value, out);
+        out.push_str(";\n");
+    }
+    for f in &p.functions {
+        if f.updating {
+            out.push_str("declare updating function ");
+        } else {
+            out.push_str("declare function ");
+        }
+        out.push_str(&f.name.lexical());
+        out.push('(');
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|(n, t)| match t {
+                Some(t) => format!("${} as {}", n.lexical(), t),
+                None => format!("${}", n.lexical()),
+            })
+            .collect();
+        out.push_str(&params.join(", "));
+        out.push(')');
+        if let Some(r) = &f.ret {
+            out.push_str(&format!(" as {r}"));
+        }
+        out.push_str(" { ");
+        expr(&f.body, out);
+        out.push_str(" };\n");
+    }
+}
+
+fn expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Literal(v) => literal(v, out),
+        Expr::VarRef(n) => {
+            out.push('$');
+            out.push_str(&n.lexical());
+        }
+        Expr::ContextItem => out.push('.'),
+        Expr::Sequence(es) => {
+            out.push('(');
+            for (i, x) in es.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(x, out);
+            }
+            out.push(')');
+        }
+        Expr::Range(a, b) => binop(a, "to", b, out),
+        Expr::Arith(op, a, b) => binop(a, op.symbol(), b, out),
+        Expr::Neg(a) => {
+            out.push('-');
+            paren(a, out);
+        }
+        Expr::ValueComp(op, a, b) => binop(
+            a,
+            match op {
+                CompOp::Eq => "eq",
+                CompOp::Ne => "ne",
+                CompOp::Lt => "lt",
+                CompOp::Le => "le",
+                CompOp::Gt => "gt",
+                CompOp::Ge => "ge",
+            },
+            b,
+            out,
+        ),
+        Expr::GeneralComp(op, a, b) => binop(
+            a,
+            match op {
+                CompOp::Eq => "=",
+                CompOp::Ne => "!=",
+                CompOp::Lt => "<",
+                CompOp::Le => "<=",
+                CompOp::Gt => ">",
+                CompOp::Ge => ">=",
+            },
+            b,
+            out,
+        ),
+        Expr::NodeComp(op, a, b) => binop(
+            a,
+            match op {
+                NodeCompOp::Is => "is",
+                NodeCompOp::Precedes => "<<",
+                NodeCompOp::Follows => ">>",
+            },
+            b,
+            out,
+        ),
+        Expr::And(a, b) => binop(a, "and", b, out),
+        Expr::Or(a, b) => binop(a, "or", b, out),
+        Expr::Union(a, b) => binop(a, "union", b, out),
+        Expr::Intersect(a, b) => binop(a, "intersect", b, out),
+        Expr::Except(a, b) => binop(a, "except", b, out),
+        Expr::If { cond, then, els } => {
+            out.push_str("if (");
+            expr(cond, out);
+            out.push_str(") then ");
+            paren(then, out);
+            out.push_str(" else ");
+            paren(els, out);
+        }
+        Expr::Flwor { clauses, ret } => {
+            for c in clauses {
+                match c {
+                    FlworClause::For { var, pos_var, seq } => {
+                        out.push_str(&format!("for ${}", var.lexical()));
+                        if let Some(p) = pos_var {
+                            out.push_str(&format!(" at ${}", p.lexical()));
+                        }
+                        out.push_str(" in ");
+                        paren(seq, out);
+                        out.push(' ');
+                    }
+                    FlworClause::Let { var, value } => {
+                        out.push_str(&format!("let ${} := ", var.lexical()));
+                        paren(value, out);
+                        out.push(' ');
+                    }
+                    FlworClause::Where(w) => {
+                        out.push_str("where ");
+                        paren(w, out);
+                        out.push(' ');
+                    }
+                    FlworClause::OrderBy(specs) => {
+                        out.push_str("order by ");
+                        for (i, s) in specs.iter().enumerate() {
+                            if i > 0 {
+                                out.push_str(", ");
+                            }
+                            paren(&s.key, out);
+                            if s.descending {
+                                out.push_str(" descending");
+                            }
+                            if !s.empty_least {
+                                out.push_str(" empty greatest");
+                            }
+                        }
+                        out.push(' ');
+                    }
+                }
+            }
+            out.push_str("return ");
+            paren(ret, out);
+        }
+        Expr::Quantified {
+            quantifier,
+            bindings,
+            satisfies,
+        } => {
+            out.push_str(match quantifier {
+                Quantifier::Some => "some ",
+                Quantifier::Every => "every ",
+            });
+            for (i, (n, s)) in bindings.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("${} in ", n.lexical()));
+                paren(s, out);
+            }
+            out.push_str(" satisfies ");
+            paren(satisfies, out);
+        }
+        Expr::Typeswitch {
+            operand,
+            cases,
+            default_var,
+            default,
+        } => {
+            out.push_str("typeswitch (");
+            expr(operand, out);
+            out.push_str(") ");
+            for c in cases {
+                out.push_str("case ");
+                if let Some(v) = &c.var {
+                    out.push_str(&format!("${} as ", v.lexical()));
+                }
+                out.push_str(&format!("{} return ", c.ty));
+                paren(&c.body, out);
+                out.push(' ');
+            }
+            out.push_str("default ");
+            if let Some(v) = default_var {
+                out.push_str(&format!("${} ", v.lexical()));
+            }
+            out.push_str("return ");
+            paren(default, out);
+        }
+        Expr::Root(None) => out.push('/'),
+        Expr::Root(Some(r)) => {
+            out.push('/');
+            expr(r, out);
+        }
+        Expr::PathStep(a, b) => {
+            // `a/descendant-or-self::node()/b` prints as `a//b` only when we
+            // re-detect it; keep the explicit form for simplicity.
+            expr_path_lhs(a, out);
+            out.push('/');
+            expr(b, out);
+        }
+        Expr::AxisStep {
+            axis,
+            test,
+            predicates,
+        } => {
+            axis_step(*axis, test, out);
+            preds(predicates, out);
+        }
+        Expr::Filter(base, predicates) => {
+            paren(base, out);
+            preds(predicates, out);
+        }
+        Expr::FunctionCall { name, args } => {
+            out.push_str(&name.lexical());
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(a, out);
+            }
+            out.push(')');
+        }
+        Expr::ExecuteAt { dest, call } => {
+            out.push_str("execute at {");
+            expr(dest, out);
+            out.push_str("} {");
+            expr(call, out);
+            out.push('}');
+        }
+        Expr::DirectElem(d) => dir_elem(d, out),
+        Expr::CompElem { name, content } => comp_ctor("element", name, content, out),
+        Expr::CompAttr { name, content } => comp_ctor("attribute", name, content, out),
+        Expr::CompText(c) => {
+            out.push_str("text {");
+            expr(c, out);
+            out.push('}');
+        }
+        Expr::CompComment(c) => {
+            out.push_str("comment {");
+            expr(c, out);
+            out.push('}');
+        }
+        Expr::CompPi { target, content } => comp_ctor("processing-instruction", target, content, out),
+        Expr::CompDoc(c) => {
+            out.push_str("document {");
+            expr(c, out);
+            out.push('}');
+        }
+        Expr::InstanceOf(a, t) => {
+            paren(a, out);
+            out.push_str(&format!(" instance of {t}"));
+        }
+        Expr::TreatAs(a, t) => {
+            paren(a, out);
+            out.push_str(&format!(" treat as {t}"));
+        }
+        Expr::CastAs {
+            expr: a,
+            ty,
+            allow_empty,
+        } => {
+            paren(a, out);
+            out.push_str(&format!(
+                " cast as {}{}",
+                ty.lexical(),
+                if *allow_empty { "?" } else { "" }
+            ));
+        }
+        Expr::CastableAs {
+            expr: a,
+            ty,
+            allow_empty,
+        } => {
+            paren(a, out);
+            out.push_str(&format!(
+                " castable as {}{}",
+                ty.lexical(),
+                if *allow_empty { "?" } else { "" }
+            ));
+        }
+        Expr::Insert { source, target, pos } => {
+            out.push_str("insert nodes ");
+            paren(source, out);
+            out.push_str(match pos {
+                InsertPos::Into => " into ",
+                InsertPos::AsFirstInto => " as first into ",
+                InsertPos::AsLastInto => " as last into ",
+                InsertPos::Before => " before ",
+                InsertPos::After => " after ",
+            });
+            paren(target, out);
+        }
+        Expr::Delete { target } => {
+            out.push_str("delete nodes ");
+            paren(target, out);
+        }
+        Expr::ReplaceNode { target, with } => {
+            out.push_str("replace node ");
+            paren(target, out);
+            out.push_str(" with ");
+            paren(with, out);
+        }
+        Expr::ReplaceValue { target, with } => {
+            out.push_str("replace value of node ");
+            paren(target, out);
+            out.push_str(" with ");
+            paren(with, out);
+        }
+        Expr::Rename { target, name } => {
+            out.push_str("rename node ");
+            paren(target, out);
+            out.push_str(" as ");
+            paren(name, out);
+        }
+    }
+}
+
+fn expr_path_lhs(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Root(None) => {} // `/x` — the slash is emitted by the caller
+        Expr::PathStep(..) | Expr::AxisStep { .. } | Expr::Filter(..) | Expr::FunctionCall { .. }
+        | Expr::VarRef(_) | Expr::ContextItem => expr(e, out),
+        _ => {
+            out.push('(');
+            expr(e, out);
+            out.push(')');
+        }
+    }
+}
+
+fn axis_step(axis: Axis, test: &NodeTest, out: &mut String) {
+    let axis_name = match axis {
+        Axis::Child => "",
+        Axis::Descendant => "descendant::",
+        Axis::DescendantOrSelf => "descendant-or-self::",
+        Axis::Parent => "parent::",
+        Axis::Ancestor => "ancestor::",
+        Axis::AncestorOrSelf => "ancestor-or-self::",
+        Axis::FollowingSibling => "following-sibling::",
+        Axis::PrecedingSibling => "preceding-sibling::",
+        Axis::Following => "following::",
+        Axis::Preceding => "preceding::",
+        Axis::Attribute => "@",
+        Axis::SelfAxis => "self::",
+    };
+    out.push_str(axis_name);
+    match test {
+        NodeTest::Name(n) => out.push_str(&n.lexical()),
+        NodeTest::AnyName => out.push('*'),
+        NodeTest::NsWildcard(p) => out.push_str(&format!("{p}:*")),
+        NodeTest::LocalWildcard(l) => out.push_str(&format!("*:{l}")),
+        NodeTest::AnyKind => out.push_str("node()"),
+        NodeTest::Text => out.push_str("text()"),
+        NodeTest::Comment => out.push_str("comment()"),
+        NodeTest::Pi(None) => out.push_str("processing-instruction()"),
+        NodeTest::Pi(Some(t)) => out.push_str(&format!("processing-instruction({t})")),
+        NodeTest::Element(None) => out.push_str("element()"),
+        NodeTest::Element(Some(n)) => out.push_str(&format!("element({})", n.lexical())),
+        NodeTest::AttributeTest(None) => out.push_str("attribute()"),
+        NodeTest::AttributeTest(Some(n)) => out.push_str(&format!("attribute({})", n.lexical())),
+        NodeTest::DocumentTest => out.push_str("document-node()"),
+    }
+}
+
+fn preds(predicates: &[Expr], out: &mut String) {
+    for p in predicates {
+        out.push('[');
+        expr(p, out);
+        out.push(']');
+    }
+}
+
+fn comp_ctor(kw: &str, name: &CompName, content: &Option<Box<Expr>>, out: &mut String) {
+    out.push_str(kw);
+    out.push(' ');
+    match name {
+        CompName::Const(n) => out.push_str(&n.lexical()),
+        CompName::Computed(e) => {
+            out.push('{');
+            expr(e, out);
+            out.push('}');
+        }
+    }
+    out.push_str(" {");
+    if let Some(c) = content {
+        expr(c, out);
+    }
+    out.push('}');
+}
+
+fn dir_elem(d: &DirElem, out: &mut String) {
+    out.push('<');
+    out.push_str(&d.name.lexical());
+    for (p, u) in &d.ns_decls {
+        if p.is_empty() {
+            out.push_str(&format!(" xmlns=\"{u}\""));
+        } else {
+            out.push_str(&format!(" xmlns:{p}=\"{u}\""));
+        }
+    }
+    for (n, parts) in &d.attrs {
+        out.push(' ');
+        out.push_str(&n.lexical());
+        out.push_str("=\"");
+        for p in parts {
+            match p {
+                AttrContent::Text(t) => out.push_str(&escape_attr_text(t)),
+                AttrContent::Enclosed(e) => {
+                    out.push('{');
+                    expr(e, out);
+                    out.push('}');
+                }
+            }
+        }
+        out.push('"');
+    }
+    if d.content.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for c in &d.content {
+        match c {
+            DirContent::Text(t) => out.push_str(&escape_elem_text(t)),
+            DirContent::Enclosed(e) => {
+                out.push('{');
+                expr(e, out);
+                out.push('}');
+            }
+            DirContent::Element(inner) => dir_elem(inner, out),
+            DirContent::Comment(t) => out.push_str(&format!("<!--{t}-->")),
+            DirContent::Pi(t, v) => out.push_str(&format!("<?{t} {v}?>")),
+        }
+    }
+    out.push_str("</");
+    out.push_str(&d.name.lexical());
+    out.push('>');
+}
+
+fn escape_elem_text(t: &str) -> String {
+    t.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('{', "{{")
+        .replace('}', "}}")
+}
+
+fn escape_attr_text(t: &str) -> String {
+    t.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('"', "&quot;")
+        .replace('{', "{{")
+        .replace('}', "}}")
+}
+
+fn literal(v: &AtomicValue, out: &mut String) {
+    match v {
+        AtomicValue::String(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\"\""),
+                    '&' => out.push_str("&amp;"),
+                    '<' => out.push_str("&lt;"),
+                    _ => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        AtomicValue::Integer(i) => out.push_str(&i.to_string()),
+        AtomicValue::Decimal(d) => {
+            let s = d.to_string();
+            out.push_str(&s);
+            if !s.contains('.') {
+                out.push_str(".0"); // keep it a decimal literal
+            }
+        }
+        AtomicValue::Double(d) => {
+            out.push_str(&format!("{:e}", d));
+        }
+        AtomicValue::Boolean(b) => {
+            out.push_str(if *b { "fn:true()" } else { "fn:false()" });
+        }
+        other => {
+            // Everything else round-trips via a cast from its lexical form.
+            out.push('"');
+            out.push_str(&other.lexical());
+            out.push_str("\" cast as ");
+            out.push_str(other.atomic_type().xs_name());
+        }
+    }
+}
+
+fn binop(a: &Expr, op: &str, b: &Expr, out: &mut String) {
+    paren(a, out);
+    out.push(' ');
+    out.push_str(op);
+    out.push(' ');
+    paren(b, out);
+}
+
+/// Print with parentheses when the sub-expression could bind differently.
+fn paren(e: &Expr, out: &mut String) {
+    let needs = !matches!(
+        e,
+        Expr::Literal(_)
+            | Expr::VarRef(_)
+            | Expr::ContextItem
+            | Expr::Sequence(_)
+            | Expr::FunctionCall { .. }
+            | Expr::AxisStep { .. }
+            | Expr::PathStep(..)
+            | Expr::Root(_)
+            | Expr::Filter(..)
+            | Expr::DirectElem(_)
+            | Expr::ExecuteAt { .. }
+    );
+    if needs {
+        out.push('(');
+        expr(e, out);
+        out.push(')');
+    } else {
+        expr(e, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_main_module;
+
+    /// Parse → print → parse must be a fixpoint on the AST.
+    fn roundtrip(q: &str) {
+        let m1 = parse_main_module(q).unwrap_or_else(|e| panic!("parse 1 `{q}`: {e}"));
+        let printed = pretty_print(&m1.body);
+        let m2 = parse_main_module(&printed)
+            .unwrap_or_else(|e| panic!("parse 2 `{printed}`: {e}"));
+        let printed2 = pretty_print(&m2.body);
+        assert_eq!(printed, printed2, "original: {q}");
+    }
+
+    #[test]
+    fn roundtrip_core_expressions() {
+        for q in [
+            "1 + 2 * 3",
+            "(1, 2, 3)",
+            "for $x in (1 to 10) where $x mod 2 = 0 return $x * $x",
+            "let $a := 5 return if ($a > 3) then \"big\" else \"small\"",
+            "doc(\"f.xml\")//person[@id = \"p1\"]/name",
+            "some $x in (1, 2) satisfies $x = 2",
+            "<a b=\"{1 + 1}\">text {2} more</a>",
+            "element foo {attribute bar {\"x\"}, text {\"y\"}}",
+            "execute at {\"xrpc://y.example.org\"} {f:filmsByActor(\"Sean Connery\")}",
+            "$x castable as xs:integer",
+            "\"a\" cast as xs:string",
+            "count((1, 2)) instance of xs:integer",
+            "typeswitch (1) case xs:integer return \"i\" default return \"o\"",
+            "delete nodes doc(\"x.xml\")//stale",
+            "insert nodes <new/> as first into doc(\"x.xml\")/root",
+            "replace value of node /a with \"v\"",
+            "rename node /a as \"b\"",
+            "/films/film[2]",
+            "$seq[3]",
+            "//closed_auction[buyer/@person = $pid]",
+        ] {
+            roundtrip(q);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Static and dynamic evaluation context, plus the two extension points the
+//! distributed layer plugs into: document resolution (`fn:doc`) and XRPC
+//! dispatch (`execute at`).
+
+use crate::modules::ModuleRegistry;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use xdm::{Sequence, XdmError, XdmResult};
+use xmldom::Document;
+
+/// Resolves document URIs for `fn:doc` (and stores for `fn:put`).
+pub trait DocResolver: Send + Sync {
+    fn resolve(&self, uri: &str) -> XdmResult<Arc<Document>>;
+
+    /// `fn:put` target: store `doc` under `uri`. Default: unsupported.
+    fn put(&self, _uri: &str, _doc: Document) -> XdmResult<()> {
+        Err(XdmError::doc_error("fn:put is not supported by this resolver"))
+    }
+
+    /// Swap in a new version of a document (used by `applyUpdates`).
+    fn replace(&self, _uri: &str, _doc: Arc<Document>) -> XdmResult<()> {
+        Err(XdmError::doc_error("updates are not supported by this resolver"))
+    }
+}
+
+/// A simple in-memory URI → document map, used by tests, the wrapper and as
+/// the building block of the peer document store.
+#[derive(Default)]
+pub struct InMemoryDocs {
+    docs: RwLock<HashMap<String, Arc<Document>>>,
+}
+
+impl InMemoryDocs {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&self, uri: impl Into<String>, doc: Document) {
+        self.docs.write().insert(uri.into(), Arc::new(doc));
+    }
+
+    pub fn insert_arc(&self, uri: impl Into<String>, doc: Arc<Document>) {
+        self.docs.write().insert(uri.into(), doc);
+    }
+
+    pub fn get(&self, uri: &str) -> Option<Arc<Document>> {
+        self.docs.read().get(uri).cloned()
+    }
+
+    pub fn uris(&self) -> Vec<String> {
+        self.docs.read().keys().cloned().collect()
+    }
+
+    /// A consistent snapshot of every document (repeatable-read isolation
+    /// pins one of these per queryID; paper §2.2).
+    pub fn snapshot(&self) -> HashMap<String, Arc<Document>> {
+        self.docs.read().clone()
+    }
+}
+
+impl DocResolver for InMemoryDocs {
+    fn resolve(&self, uri: &str) -> XdmResult<Arc<Document>> {
+        self.get(uri)
+            .ok_or_else(|| XdmError::doc_error(format!("document not found: `{uri}`")))
+    }
+
+    fn put(&self, uri: &str, doc: Document) -> XdmResult<()> {
+        self.insert(uri, doc);
+        Ok(())
+    }
+
+    fn replace(&self, uri: &str, doc: Arc<Document>) -> XdmResult<()> {
+        self.docs.write().insert(uri.to_string(), doc);
+        Ok(())
+    }
+}
+
+/// Identifies the remote function of an `execute at` call: the module URI,
+/// the location (at-)hint, the function local name and the arity — exactly
+/// the fields of the `xrpc:request` element (paper §2.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunctionRef {
+    pub module_ns: String,
+    pub location_hint: Option<String>,
+    pub local_name: String,
+    pub arity: usize,
+    /// True when the *caller* knows the function is updating (it may not;
+    /// the callee decides authoritatively from its module definition).
+    pub updating: bool,
+}
+
+/// Dispatches XRPC calls. One implementation lives in `xrpc-peer` (the SOAP
+/// client); tests use in-process mocks.
+///
+/// `calls` carries one `Vec<Sequence>` of actual parameters *per call* —
+/// passing several at once is exactly Bulk RPC (paper §3.2). The result has
+/// one sequence per call, in call order.
+pub trait RpcDispatcher: Send + Sync {
+    fn dispatch(
+        &self,
+        dest: &str,
+        func: &FunctionRef,
+        calls: Vec<Vec<Sequence>>,
+    ) -> XdmResult<Vec<Sequence>>;
+}
+
+/// Counters exposed to the benchmark harness.
+#[derive(Default, Debug, Clone)]
+pub struct EvalStats {
+    pub functions_called: u64,
+    pub rpc_dispatches: u64,
+    pub rpc_calls: u64,
+    pub join_index_builds: u64,
+    pub join_index_hits: u64,
+}
+
+/// Everything that outlives a single query evaluation.
+pub struct Environment {
+    pub docs: Arc<dyn DocResolver>,
+    pub dispatcher: Option<Arc<dyn RpcDispatcher>>,
+    pub modules: Arc<ModuleRegistry>,
+    /// Enable the predicate join-index fast path (see `index.rs`).
+    pub join_index: bool,
+    /// Opt-in distributed-optimizer behaviours in the loop-lifted engine:
+    /// loop-invariant `execute at` hoisting and duplicate-call collapsing.
+    /// Off by default so the wire traffic matches Figure 2 literally.
+    pub rpc_optimize: bool,
+    pub join_cache: crate::index::JoinIndexCache,
+    pub stats: Mutex<EvalStats>,
+    /// Function-call recursion limit.
+    pub max_depth: usize,
+}
+
+impl Environment {
+    pub fn new(docs: Arc<dyn DocResolver>) -> Self {
+        Environment {
+            docs,
+            dispatcher: None,
+            modules: Arc::new(ModuleRegistry::new()),
+            join_index: true,
+            rpc_optimize: false,
+            join_cache: crate::index::JoinIndexCache::new(),
+            stats: Mutex::new(EvalStats::default()),
+            max_depth: 128,
+        }
+    }
+
+    pub fn with_modules(mut self, modules: Arc<ModuleRegistry>) -> Self {
+        self.modules = modules;
+        self
+    }
+
+    pub fn with_dispatcher(mut self, d: Arc<dyn RpcDispatcher>) -> Self {
+        self.dispatcher = Some(d);
+        self
+    }
+
+    pub fn stats(&self) -> EvalStats {
+        self.stats.lock().clone()
+    }
+
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = EvalStats::default();
+    }
+}
+
+/// Static context: in-scope namespaces and module imports.
+#[derive(Clone, Debug, Default)]
+pub struct StaticContext {
+    /// prefix → namespace URI
+    pub namespaces: HashMap<String, String>,
+    pub default_element_ns: Option<String>,
+    /// prefix → (module ns URI, at-hints)
+    pub imports: HashMap<String, (String, Vec<String>)>,
+    /// `declare option` values, `prefix:local` → value.
+    pub options: HashMap<String, String>,
+}
+
+impl StaticContext {
+    /// Standard prefixes every query sees.
+    pub fn with_defaults() -> Self {
+        let mut ns = HashMap::new();
+        ns.insert("xs".to_string(), xmldom::qname::NS_XS.to_string());
+        ns.insert("xsi".to_string(), xmldom::qname::NS_XSI.to_string());
+        ns.insert(
+            "fn".to_string(),
+            "http://www.w3.org/2005/xpath-functions".to_string(),
+        );
+        ns.insert("xrpc".to_string(), xmldom::qname::NS_XRPC.to_string());
+        ns.insert("local".to_string(), "http://www.w3.org/2005/xquery-local-functions".to_string());
+        ns.insert("env".to_string(), xmldom::qname::NS_SOAP_ENV.to_string());
+        StaticContext {
+            namespaces: ns,
+            ..Default::default()
+        }
+    }
+
+    /// Build from a parsed prolog.
+    pub fn from_prolog(prolog: &xqast::Prolog) -> Self {
+        let mut sc = Self::with_defaults();
+        for (p, u) in &prolog.namespaces {
+            sc.namespaces.insert(p.clone(), u.clone());
+        }
+        sc.default_element_ns = prolog.default_element_ns.clone();
+        for imp in &prolog.module_imports {
+            sc.namespaces.insert(imp.prefix.clone(), imp.ns_uri.clone());
+            sc.imports
+                .insert(imp.prefix.clone(), (imp.ns_uri.clone(), imp.at_hints.clone()));
+        }
+        for (name, value) in &prolog.options {
+            sc.options.insert(name.lexical(), value.clone());
+        }
+        sc
+    }
+
+    pub fn resolve_prefix(&self, prefix: &str) -> Option<&str> {
+        self.namespaces.get(prefix).map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::parse;
+
+    #[test]
+    fn in_memory_docs_roundtrip() {
+        let docs = InMemoryDocs::new();
+        docs.insert("a.xml", parse("<a/>").unwrap());
+        assert!(docs.resolve("a.xml").is_ok());
+        assert_eq!(docs.resolve("b.xml").unwrap_err().code, "FODC0002");
+        docs.put("b.xml", parse("<b/>").unwrap()).unwrap();
+        assert!(docs.resolve("b.xml").is_ok());
+    }
+
+    #[test]
+    fn snapshot_is_immutable() {
+        let docs = InMemoryDocs::new();
+        docs.insert("a.xml", parse("<a/>").unwrap());
+        let snap = docs.snapshot();
+        docs.insert("a.xml", parse("<changed/>").unwrap());
+        // snapshot still sees the old version
+        let old = snap.get("a.xml").unwrap();
+        let root = old.children(old.root())[0];
+        assert_eq!(old.node(root).name.as_ref().unwrap().local, "a");
+    }
+
+    #[test]
+    fn static_context_from_prolog() {
+        let m = xqast::parse_main_module(
+            r#"declare namespace foo = "urn:foo";
+               import module namespace f = "films" at "http://x/film.xq";
+               declare option xrpc:isolation "repeatable";
+               1"#,
+        )
+        .unwrap();
+        let sc = StaticContext::from_prolog(&m.prolog);
+        assert_eq!(sc.resolve_prefix("foo"), Some("urn:foo"));
+        assert_eq!(sc.resolve_prefix("f"), Some("films"));
+        assert_eq!(sc.imports["f"].1[0], "http://x/film.xq");
+        assert_eq!(sc.options["xrpc:isolation"], "repeatable");
+        // defaults still present
+        assert_eq!(sc.resolve_prefix("xs"), Some(xmldom::qname::NS_XS));
+    }
+}

@@ -1,0 +1,1796 @@
+//! The tree-walking evaluator core.
+
+use crate::context::{Environment, FunctionRef, StaticContext};
+use crate::functions;
+use crate::pul::{PendingUpdateList, UpdatePrimitive};
+use std::collections::HashMap;
+use std::sync::Arc;
+use xdm::atomic::AtomicValue;
+use xdm::ops;
+use xdm::types::AtomicType;
+use xdm::{Item, Sequence, XdmError, XdmResult};
+use xmldom::order::{cmp_handles, sort_dedup};
+use xmldom::{axes, Document, NodeHandle, NodeKind, QName};
+use xqast::{
+    Axis, AttrContent, CompName, CompOp, DirContent, DirElem, Expr, FlworClause, FunctionDecl,
+    InsertPos, MainModule, Name, NodeCompOp, NodeTest, Quantifier,
+};
+
+/// Focus: the context item, position and size.
+#[derive(Clone, Default)]
+pub struct Ctx {
+    pub item: Option<Item>,
+    pub pos: usize,
+    pub size: usize,
+}
+
+impl Ctx {
+    pub fn none() -> Self {
+        Ctx::default()
+    }
+
+    pub fn of(item: Item) -> Self {
+        Ctx {
+            item: Some(item),
+            pos: 1,
+            size: 1,
+        }
+    }
+}
+
+/// Mutable evaluation state threaded through the recursion: the variable
+/// stack, the accumulating pending update list and the call depth.
+pub struct EvalState {
+    pub vars: Vec<(String, Sequence)>,
+    pub pul: PendingUpdateList,
+    pub depth: usize,
+}
+
+impl EvalState {
+    pub fn new() -> Self {
+        EvalState {
+            vars: Vec::new(),
+            pul: PendingUpdateList::new(),
+            depth: 0,
+        }
+    }
+
+    pub fn bind(&mut self, name: &Name, value: Sequence) {
+        self.vars.push((name.lexical(), value));
+    }
+
+    pub fn lookup(&self, name: &Name) -> Option<&Sequence> {
+        let key = name.lexical();
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == key)
+            .map(|(_, v)| v)
+    }
+}
+
+impl Default for EvalState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The evaluator: an environment plus the static context of the module
+/// whose expressions it is currently evaluating.
+pub struct Evaluator<'e> {
+    pub env: &'e Environment,
+    pub sctx: Arc<StaticContext>,
+    /// Functions declared in the main module's prolog.
+    pub local_functions: Arc<HashMap<(String, usize), Arc<FunctionDecl>>>,
+}
+
+/// Evaluate a main-module query text against an environment. Returns the
+/// result sequence and the pending update list (empty for read-only
+/// queries); the caller decides when to `apply_updates` — that split is
+/// exactly what the paper's isolation levels manipulate (§2.3).
+pub fn evaluate_main(
+    query: &str,
+    env: &Environment,
+) -> XdmResult<(Sequence, PendingUpdateList)> {
+    evaluate_main_with_vars(query, env, Vec::new())
+}
+
+/// Like [`evaluate_main`] but with externally bound variables.
+pub fn evaluate_main_with_vars(
+    query: &str,
+    env: &Environment,
+    external: Vec<(String, Sequence)>,
+) -> XdmResult<(Sequence, PendingUpdateList)> {
+    let module = xqast::parse_main_module(query)?;
+    evaluate_parsed(&module, env, external)
+}
+
+/// Evaluate an already-parsed main module (the function-cache path skips
+/// re-parsing; paper §3.3 "Function Cache").
+pub fn evaluate_parsed(
+    module: &MainModule,
+    env: &Environment,
+    external: Vec<(String, Sequence)>,
+) -> XdmResult<(Sequence, PendingUpdateList)> {
+    let sctx = Arc::new(StaticContext::from_prolog(&module.prolog));
+    let mut local_functions = HashMap::new();
+    for f in &module.prolog.functions {
+        local_functions.insert((f.name.local.clone(), f.arity()), Arc::new(f.clone()));
+    }
+    let ev = Evaluator {
+        env,
+        sctx,
+        local_functions: Arc::new(local_functions),
+    };
+    let mut st = EvalState::new();
+    for (n, v) in external {
+        st.vars.push((n, v));
+    }
+    for decl in &module.prolog.variables {
+        let v = ev.eval(&decl.value, &mut st, &Ctx::none())?;
+        st.vars.push((decl.name.lexical(), v));
+    }
+    let res = ev.eval(&module.body, &mut st, &Ctx::none())?;
+    Ok((res, st.pul))
+}
+
+impl<'e> Evaluator<'e> {
+    pub fn new(env: &'e Environment, sctx: StaticContext) -> Self {
+        Evaluator {
+            env,
+            sctx: Arc::new(sctx),
+            local_functions: Arc::new(HashMap::new()),
+        }
+    }
+
+    /// Evaluate one expression.
+    pub fn eval(&self, e: &Expr, st: &mut EvalState, ctx: &Ctx) -> XdmResult<Sequence> {
+        match e {
+            Expr::Literal(v) => Ok(Sequence::one(Item::Atomic(v.clone()))),
+            Expr::VarRef(n) => st
+                .lookup(n)
+                .cloned()
+                .ok_or_else(|| XdmError::undefined(format!("undefined variable ${}", n.lexical()))),
+            Expr::ContextItem => match &ctx.item {
+                Some(i) => Ok(Sequence::one(i.clone())),
+                None => Err(XdmError::new("XPDY0002", "no context item")),
+            },
+            Expr::Sequence(es) => {
+                let mut out = Sequence::empty();
+                for x in es {
+                    out.extend(self.eval(x, st, ctx)?);
+                }
+                Ok(out)
+            }
+            Expr::Range(a, b) => {
+                let lo = self.eval_integer_opt(a, st, ctx)?;
+                let hi = self.eval_integer_opt(b, st, ctx)?;
+                match (lo, hi) {
+                    (Some(lo), Some(hi)) if lo <= hi => Ok(Sequence::from_items(
+                        (lo..=hi).map(Item::integer).collect(),
+                    )),
+                    _ => Ok(Sequence::empty()),
+                }
+            }
+            Expr::Arith(op, a, b) => {
+                let va = self.eval(a, st, ctx)?;
+                let vb = self.eval(b, st, ctx)?;
+                let (Some(ia), Some(ib)) = (va.zero_or_one()?, vb.zero_or_one()?) else {
+                    return Ok(Sequence::empty());
+                };
+                Ok(Sequence::one(Item::Atomic(ops::arith(
+                    *op,
+                    &ia.atomize(),
+                    &ib.atomize(),
+                )?)))
+            }
+            Expr::Neg(a) => {
+                let v = self.eval(a, st, ctx)?;
+                match v.zero_or_one()? {
+                    None => Ok(Sequence::empty()),
+                    Some(i) => Ok(Sequence::one(Item::Atomic(ops::negate(&i.atomize())?))),
+                }
+            }
+            Expr::ValueComp(op, a, b) => {
+                let va = self.eval(a, st, ctx)?;
+                let vb = self.eval(b, st, ctx)?;
+                let (Some(ia), Some(ib)) = (va.zero_or_one()?, vb.zero_or_one()?) else {
+                    return Ok(Sequence::empty());
+                };
+                let ord = ia.atomize().value_cmp(&ib.atomize())?;
+                Ok(Sequence::one(Item::boolean(comp_matches(*op, ord))))
+            }
+            Expr::GeneralComp(op, a, b) => {
+                let va = self.eval(a, st, ctx)?;
+                let vb = self.eval(b, st, ctx)?;
+                Ok(Sequence::one(Item::boolean(general_compare(
+                    *op, &va, &vb,
+                )?)))
+            }
+            Expr::NodeComp(op, a, b) => {
+                let va = self.eval(a, st, ctx)?;
+                let vb = self.eval(b, st, ctx)?;
+                let (Some(ia), Some(ib)) = (va.zero_or_one()?, vb.zero_or_one()?) else {
+                    return Ok(Sequence::empty());
+                };
+                let (Item::Node(na), Item::Node(nb)) = (ia, ib) else {
+                    return Err(XdmError::type_error("node comparison on non-nodes"));
+                };
+                let r = match op {
+                    NodeCompOp::Is => na.same_node(nb),
+                    NodeCompOp::Precedes => cmp_handles(na, nb) == std::cmp::Ordering::Less,
+                    NodeCompOp::Follows => cmp_handles(na, nb) == std::cmp::Ordering::Greater,
+                };
+                Ok(Sequence::one(Item::boolean(r)))
+            }
+            Expr::And(a, b) => {
+                let va = self.eval(a, st, ctx)?.ebv()?;
+                if !va {
+                    return Ok(Sequence::one(Item::boolean(false)));
+                }
+                let vb = self.eval(b, st, ctx)?.ebv()?;
+                Ok(Sequence::one(Item::boolean(vb)))
+            }
+            Expr::Or(a, b) => {
+                let va = self.eval(a, st, ctx)?.ebv()?;
+                if va {
+                    return Ok(Sequence::one(Item::boolean(true)));
+                }
+                let vb = self.eval(b, st, ctx)?.ebv()?;
+                Ok(Sequence::one(Item::boolean(vb)))
+            }
+            Expr::Union(a, b) => {
+                let mut nodes = self.eval_nodes(a, st, ctx, "union")?;
+                nodes.extend(self.eval_nodes(b, st, ctx, "union")?);
+                sort_dedup(&mut nodes);
+                Ok(Sequence::from_items(nodes.into_iter().map(Item::Node).collect()))
+            }
+            Expr::Intersect(a, b) => {
+                let na = self.eval_nodes(a, st, ctx, "intersect")?;
+                let nb = self.eval_nodes(b, st, ctx, "intersect")?;
+                let mut out: Vec<NodeHandle> = na
+                    .into_iter()
+                    .filter(|x| nb.iter().any(|y| y.same_node(x)))
+                    .collect();
+                sort_dedup(&mut out);
+                Ok(Sequence::from_items(out.into_iter().map(Item::Node).collect()))
+            }
+            Expr::Except(a, b) => {
+                let na = self.eval_nodes(a, st, ctx, "except")?;
+                let nb = self.eval_nodes(b, st, ctx, "except")?;
+                let mut out: Vec<NodeHandle> = na
+                    .into_iter()
+                    .filter(|x| !nb.iter().any(|y| y.same_node(x)))
+                    .collect();
+                sort_dedup(&mut out);
+                Ok(Sequence::from_items(out.into_iter().map(Item::Node).collect()))
+            }
+            Expr::If { cond, then, els } => {
+                if self.eval(cond, st, ctx)?.ebv()? {
+                    self.eval(then, st, ctx)
+                } else {
+                    self.eval(els, st, ctx)
+                }
+            }
+            Expr::Flwor { clauses, ret } => self.eval_flwor(clauses, ret, st, ctx),
+            Expr::Quantified {
+                quantifier,
+                bindings,
+                satisfies,
+            } => self.eval_quantified(*quantifier, bindings, satisfies, st, ctx),
+            Expr::Typeswitch {
+                operand,
+                cases,
+                default_var,
+                default,
+            } => {
+                let v = self.eval(operand, st, ctx)?;
+                for case in cases {
+                    if v.check_type(&case.ty).is_ok() {
+                        let base = st.vars.len();
+                        if let Some(var) = &case.var {
+                            st.bind(var, v.clone());
+                        }
+                        let r = self.eval(&case.body, st, ctx);
+                        st.vars.truncate(base);
+                        return r;
+                    }
+                }
+                let base = st.vars.len();
+                if let Some(var) = default_var {
+                    st.bind(var, v);
+                }
+                let r = self.eval(default, st, ctx);
+                st.vars.truncate(base);
+                r
+            }
+            Expr::Root(rest) => {
+                let node = match &ctx.item {
+                    Some(Item::Node(n)) => n.clone(),
+                    _ => return Err(XdmError::new("XPDY0002", "`/` requires a node context item")),
+                };
+                let root = NodeHandle::root(node.doc.clone());
+                match rest {
+                    None => Ok(Sequence::one(Item::Node(root))),
+                    Some(r) => self.eval(r, st, &Ctx::of(Item::Node(root))),
+                }
+            }
+            Expr::PathStep(a, b) => {
+                // Join-index fast path for the `base//elem[@attr = v]`
+                // shape: `//` parses as an intermediate descendant-or-self
+                // step, so peel it off and probe the per-document index.
+                if self.env.join_index {
+                    if let Expr::PathStep(inner_base, dos) = a.as_ref() {
+                        if matches!(
+                            dos.as_ref(),
+                            Expr::AxisStep {
+                                axis: Axis::DescendantOrSelf,
+                                test: NodeTest::AnyKind,
+                                predicates,
+                            } if predicates.is_empty()
+                        ) {
+                            let base = self.eval(inner_base, st, ctx)?;
+                            if let Some(r) = self.try_join_index(&base, b, st, true)? {
+                                return Ok(r);
+                            }
+                            // fall back: continue with the dos expansion
+                            let expanded = self.eval_path_rhs(&base, dos, st)?;
+                            return self.eval_path_rhs(&expanded, b, st);
+                        }
+                    }
+                }
+                let base = self.eval(a, st, ctx)?;
+                self.eval_path_rhs(&base, b, st)
+            }
+            Expr::AxisStep {
+                axis,
+                test,
+                predicates,
+            } => {
+                let node = match &ctx.item {
+                    Some(Item::Node(n)) => n.clone(),
+                    Some(_) => {
+                        return Err(XdmError::type_error("axis step on a non-node context item"))
+                    }
+                    None => return Err(XdmError::new("XPDY0002", "axis step with no context item")),
+                };
+                let mut nodes = self.axis_nodes(&node, *axis, test)?;
+                let reverse = matches!(
+                    axis,
+                    Axis::Parent
+                        | Axis::Ancestor
+                        | Axis::AncestorOrSelf
+                        | Axis::PrecedingSibling
+                        | Axis::Preceding
+                );
+                let items: Vec<Item> = nodes.drain(..).map(Item::Node).collect();
+                let filtered = self.apply_predicates(items, predicates, st)?;
+                // steps deliver document order regardless of axis direction
+                let mut handles: Vec<NodeHandle> = filtered
+                    .into_iter()
+                    .map(|i| match i {
+                        Item::Node(n) => n,
+                        _ => unreachable!("axis produces nodes"),
+                    })
+                    .collect();
+                if reverse {
+                    handles.reverse();
+                }
+                Ok(Sequence::from_items(handles.into_iter().map(Item::Node).collect()))
+            }
+            Expr::Filter(base, predicates) => {
+                let v = self.eval(base, st, ctx)?;
+                let filtered = self.apply_predicates(v.into_items(), predicates, st)?;
+                Ok(Sequence::from_items(filtered))
+            }
+            Expr::FunctionCall { name, args } => self.eval_function_call(name, args, st, ctx),
+            Expr::ExecuteAt { dest, call } => self.eval_execute_at(dest, call, st, ctx),
+            Expr::DirectElem(d) => {
+                let mut doc = Document::new();
+                let id = self.construct_direct(d, &mut doc, st, ctx)?;
+                let root = doc.root();
+                doc.append_child(root, id);
+                let arc = Arc::new(doc);
+                Ok(Sequence::one(Item::Node(NodeHandle::new(
+                    arc.clone(),
+                    arc.children(arc.root())[0],
+                ))))
+            }
+            Expr::CompElem { name, content } => {
+                let qname = self.comp_qname(name, st, ctx, true)?;
+                let mut doc = Document::new();
+                let elem = doc.create_element(qname);
+                if let Some(c) = content {
+                    let v = self.eval(c, st, ctx)?;
+                    attach_content(&mut doc, elem, &v)?;
+                }
+                let root = doc.root();
+                doc.append_child(root, elem);
+                let arc = Arc::new(doc);
+                Ok(Sequence::one(Item::Node(NodeHandle::new(
+                    arc.clone(),
+                    arc.children(arc.root())[0],
+                ))))
+            }
+            Expr::CompAttr { name, content } => {
+                let qname = self.comp_qname(name, st, ctx, false)?;
+                let value = match content {
+                    Some(c) => self.eval(c, st, ctx)?.atomized()
+                        .iter()
+                        .map(|v| v.lexical())
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                    None => String::new(),
+                };
+                let mut doc = Document::new();
+                let a = doc.create_attribute(qname, value);
+                let arc = Arc::new(doc);
+                Ok(Sequence::one(Item::Node(NodeHandle::new(arc, a))))
+            }
+            Expr::CompText(c) => {
+                let v = self.eval(c, st, ctx)?;
+                if v.is_empty() {
+                    return Ok(Sequence::empty());
+                }
+                let text = v
+                    .atomized()
+                    .iter()
+                    .map(|a| a.lexical())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let mut doc = Document::new();
+                let t = doc.create_text(text);
+                let arc = Arc::new(doc);
+                Ok(Sequence::one(Item::Node(NodeHandle::new(arc, t))))
+            }
+            Expr::CompComment(c) => {
+                let v = self.eval(c, st, ctx)?;
+                let text = v.joined_string();
+                let mut doc = Document::new();
+                let t = doc.create_comment(text);
+                let arc = Arc::new(doc);
+                Ok(Sequence::one(Item::Node(NodeHandle::new(arc, t))))
+            }
+            Expr::CompPi { target, content } => {
+                let t = match target {
+                    CompName::Const(n) => n.local.clone(),
+                    CompName::Computed(e) => self.eval(e, st, ctx)?.singleton()?.string_value(),
+                };
+                let data = match content {
+                    Some(c) => self.eval(c, st, ctx)?.joined_string(),
+                    None => String::new(),
+                };
+                let mut doc = Document::new();
+                let p = doc.create_pi(t, data);
+                let arc = Arc::new(doc);
+                Ok(Sequence::one(Item::Node(NodeHandle::new(arc, p))))
+            }
+            Expr::CompDoc(c) => {
+                let v = self.eval(c, st, ctx)?;
+                let mut doc = Document::new();
+                let root = doc.root();
+                attach_content(&mut doc, root, &v)?;
+                let arc = Arc::new(doc);
+                Ok(Sequence::one(Item::Node(NodeHandle::root(arc))))
+            }
+            Expr::InstanceOf(a, t) => {
+                let v = self.eval(a, st, ctx)?;
+                Ok(Sequence::one(Item::boolean(v.check_type(t).is_ok())))
+            }
+            Expr::TreatAs(a, t) => {
+                let v = self.eval(a, st, ctx)?;
+                v.check_type(t)?;
+                Ok(v)
+            }
+            Expr::CastAs {
+                expr,
+                ty,
+                allow_empty,
+            } => {
+                let v = self.eval(expr, st, ctx)?;
+                let target = AtomicType::from_xs_name(&ty.lexical()).ok_or_else(|| {
+                    XdmError::type_error(format!("unknown cast target `{}`", ty.lexical()))
+                })?;
+                match v.zero_or_one()? {
+                    None if *allow_empty => Ok(Sequence::empty()),
+                    None => Err(XdmError::type_error("cast of empty sequence")),
+                    Some(i) => Ok(Sequence::one(Item::Atomic(i.atomize().cast_to(target)?))),
+                }
+            }
+            Expr::CastableAs {
+                expr,
+                ty,
+                allow_empty,
+            } => {
+                let v = self.eval(expr, st, ctx)?;
+                let Some(target) = AtomicType::from_xs_name(&ty.lexical()) else {
+                    return Ok(Sequence::one(Item::boolean(false)));
+                };
+                let r = match v.zero_or_one() {
+                    Err(_) => false,
+                    Ok(None) => *allow_empty,
+                    Ok(Some(i)) => i.atomize().cast_to(target).is_ok(),
+                };
+                Ok(Sequence::one(Item::boolean(r)))
+            }
+            // ---- XQUF ----
+            Expr::Insert { source, target, pos } => {
+                let content: Vec<NodeHandle> = self
+                    .eval(source, st, ctx)?
+                    .into_items()
+                    .into_iter()
+                    .map(|i| match i {
+                        Item::Node(n) => Ok(n),
+                        _ => Err(XdmError::type_error("insert source must be nodes")),
+                    })
+                    .collect::<XdmResult<_>>()?;
+                let t = self.eval_single_node(target, st, ctx, "insert target")?;
+                st.pul.push(match pos {
+                    InsertPos::Into => UpdatePrimitive::InsertInto { target: t, content },
+                    InsertPos::AsFirstInto => UpdatePrimitive::InsertFirst { target: t, content },
+                    InsertPos::AsLastInto => UpdatePrimitive::InsertLast { target: t, content },
+                    InsertPos::Before => UpdatePrimitive::InsertBefore { target: t, content },
+                    InsertPos::After => UpdatePrimitive::InsertAfter { target: t, content },
+                });
+                Ok(Sequence::empty())
+            }
+            Expr::Delete { target } => {
+                let v = self.eval(target, st, ctx)?;
+                for i in v.items() {
+                    match i {
+                        Item::Node(n) => st.pul.push(UpdatePrimitive::Delete { target: n.clone() }),
+                        _ => return Err(XdmError::type_error("delete target must be nodes")),
+                    }
+                }
+                Ok(Sequence::empty())
+            }
+            Expr::ReplaceNode { target, with } => {
+                let t = self.eval_single_node(target, st, ctx, "replace target")?;
+                let replacement: Vec<NodeHandle> = self
+                    .eval(with, st, ctx)?
+                    .into_items()
+                    .into_iter()
+                    .map(|i| match i {
+                        Item::Node(n) => Ok(n),
+                        _ => Err(XdmError::type_error("replacement must be nodes")),
+                    })
+                    .collect::<XdmResult<_>>()?;
+                st.pul.push(UpdatePrimitive::ReplaceNode {
+                    target: t,
+                    replacement,
+                });
+                Ok(Sequence::empty())
+            }
+            Expr::ReplaceValue { target, with } => {
+                let t = self.eval_single_node(target, st, ctx, "replace target")?;
+                let value = self.eval(with, st, ctx)?.joined_string();
+                st.pul.push(UpdatePrimitive::ReplaceValue { target: t, value });
+                Ok(Sequence::empty())
+            }
+            Expr::Rename { target, name } => {
+                let t = self.eval_single_node(target, st, ctx, "rename target")?;
+                let lex = self.eval(name, st, ctx)?.singleton()?.string_value();
+                let qname = self.lex_to_qname(&lex, false)?;
+                st.pul.push(UpdatePrimitive::Rename {
+                    target: t,
+                    name: qname,
+                });
+                Ok(Sequence::empty())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // FLWOR
+    // ------------------------------------------------------------------
+
+    fn eval_flwor(
+        &self,
+        clauses: &[FlworClause],
+        ret: &Expr,
+        st: &mut EvalState,
+        ctx: &Ctx,
+    ) -> XdmResult<Sequence> {
+        // Hash-join fast path: `for $a in X, $b in Y where keyA($a) = keyB($b)`
+        // becomes a build+probe join instead of a nested loop — the same
+        // join detection the paper observes in Saxon (§4).
+        if self.env.join_index {
+            if let Some(result) = self.try_flwor_hash_join(clauses, ret, st, ctx)? {
+                return Ok(result);
+            }
+        }
+        // Split off a trailing OrderBy.
+        let (stream_clauses, order_specs) = match clauses.last() {
+            Some(FlworClause::OrderBy(specs)) => (&clauses[..clauses.len() - 1], Some(specs)),
+            _ => (clauses, None),
+        };
+        let base = st.vars.len();
+        let mut out = Sequence::empty();
+        if let Some(specs) = order_specs {
+            // Materialize tuples, compute keys, sort, then evaluate return.
+            let mut tuples: Vec<(Vec<(String, Sequence)>, Vec<Option<AtomicValue>>)> = Vec::new();
+            self.stream(stream_clauses, st, ctx, base, &mut |ev, st2| {
+                let binding = st2.vars[base..].to_vec();
+                let mut keys = Vec::new();
+                for spec in specs {
+                    let kv = ev.eval(&spec.key, st2, ctx)?;
+                    keys.push(match kv.zero_or_one()? {
+                        Some(i) => Some(i.atomize()),
+                        None => None,
+                    });
+                }
+                tuples.push((binding, keys));
+                Ok(())
+            })?;
+            tuples.sort_by(|(_, ka), (_, kb)| {
+                for (spec, (x, y)) in specs.iter().zip(ka.iter().zip(kb.iter())) {
+                    let ord = match (x, y) {
+                        (None, None) => std::cmp::Ordering::Equal,
+                        (None, Some(_)) => {
+                            if spec.empty_least {
+                                std::cmp::Ordering::Less
+                            } else {
+                                std::cmp::Ordering::Greater
+                            }
+                        }
+                        (Some(_), None) => {
+                            if spec.empty_least {
+                                std::cmp::Ordering::Greater
+                            } else {
+                                std::cmp::Ordering::Less
+                            }
+                        }
+                        (Some(a), Some(b)) => {
+                            a.value_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+                        }
+                    };
+                    let ord = if spec.descending { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            for (binding, _) in tuples {
+                st.vars.truncate(base);
+                st.vars.extend(binding);
+                out.extend(self.eval(ret, st, ctx)?);
+            }
+        } else {
+            self.stream(stream_clauses, st, ctx, base, &mut |ev, st2| {
+                let r = ev.eval(ret, st2, ctx)?;
+                out.extend(r);
+                Ok(())
+            })?;
+        }
+        st.vars.truncate(base);
+        Ok(out)
+    }
+
+    /// Recognize `for $a in X, $b in Y where l($a) = r($b) …` and execute
+    /// it as a hash join (build on Y, probe per $a). Only string-class
+    /// keys are joined this way (the general-comparison coercion for
+    /// untyped/string operands is plain string equality); anything else
+    /// falls back to the nested-loop stream. Result order is identical to
+    /// the naive evaluation: X order, then Y order per match.
+    fn try_flwor_hash_join(
+        &self,
+        clauses: &[FlworClause],
+        ret: &Expr,
+        st: &mut EvalState,
+        ctx: &Ctx,
+    ) -> XdmResult<Option<Sequence>> {
+        let [FlworClause::For {
+            var: a_var,
+            pos_var: None,
+            seq: x_seq,
+        }, FlworClause::For {
+            var: b_var,
+            pos_var: None,
+            seq: y_seq,
+        }, FlworClause::Where(Expr::GeneralComp(CompOp::Eq, l, r)), rest @ ..] = clauses
+        else {
+            return Ok(None);
+        };
+        // No trailing order-by (it would need the tuple materialization).
+        if rest.iter().any(|c| matches!(c, FlworClause::OrderBy(_))) {
+            return Ok(None);
+        }
+        // Side-effecting bodies (updates, RPC) must not be partially run
+        // and then re-run by the naive fallback: skip the fast path.
+        let mut effectful = false;
+        for c in clauses {
+            match c {
+                FlworClause::For { seq, .. } => seq.walk(&mut |x| {
+                    if x.is_updating_expr() || matches!(x, Expr::ExecuteAt { .. }) {
+                        effectful = true;
+                    }
+                }),
+                FlworClause::Let { value, .. } => value.walk(&mut |x| {
+                    if x.is_updating_expr() || matches!(x, Expr::ExecuteAt { .. }) {
+                        effectful = true;
+                    }
+                }),
+                FlworClause::Where(w) => w.walk(&mut |x| {
+                    if x.is_updating_expr() || matches!(x, Expr::ExecuteAt { .. }) {
+                        effectful = true;
+                    }
+                }),
+                FlworClause::OrderBy(_) => {}
+            }
+        }
+        ret.walk(&mut |x| {
+            if x.is_updating_expr() || matches!(x, Expr::ExecuteAt { .. }) {
+                effectful = true;
+            }
+        });
+        if effectful {
+            return Ok(None);
+        }
+        // Node constructors in Y would get fresh identities per naive
+        // iteration; evaluating Y once changes `is` semantics — skip.
+        let mut y_constructs = false;
+        y_seq.walk(&mut |x| {
+            if matches!(
+                x,
+                Expr::DirectElem(_)
+                    | Expr::CompElem { .. }
+                    | Expr::CompAttr { .. }
+                    | Expr::CompText(_)
+                    | Expr::CompComment(_)
+                    | Expr::CompPi { .. }
+                    | Expr::CompDoc(_)
+            ) {
+                y_constructs = true;
+            }
+        });
+        if y_constructs {
+            return Ok(None);
+        }
+        let a_name = a_var.lexical();
+        let b_name = b_var.lexical();
+        // Y must not depend on $a; l on $a-side only; r on $b-side only
+        // (or swapped).
+        let y_free = free_var_names(y_seq);
+        if y_free.contains(&a_name) {
+            return Ok(None);
+        }
+        let l_free = free_var_names(l);
+        let r_free = free_var_names(r);
+        let (a_key, b_key) = if l_free.contains(&a_name) && !l_free.contains(&b_name)
+            && r_free.contains(&b_name) && !r_free.contains(&a_name)
+        {
+            (l, r)
+        } else if r_free.contains(&a_name) && !r_free.contains(&b_name)
+            && l_free.contains(&b_name) && !l_free.contains(&a_name)
+        {
+            (r, l)
+        } else {
+            return Ok(None);
+        };
+
+        let x_items = self.eval(x_seq, st, ctx)?.into_items();
+        let y_items = self.eval(y_seq, st, ctx)?.into_items();
+        // Build side: key strings per Y item; bail out on non-string keys.
+        let mut table: std::collections::HashMap<String, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (yi, y) in y_items.iter().enumerate() {
+            let depth = st.vars.len();
+            st.bind(b_var, Sequence::one(y.clone()));
+            let keys = self.eval(b_key, st, ctx);
+            st.vars.truncate(depth);
+            for k in keys?.atomized() {
+                match string_class_key(&k) {
+                    Some(s) => table.entry(s).or_default().push(yi),
+                    None => return Ok(None),
+                }
+            }
+        }
+
+        let base = st.vars.len();
+        let mut out = Sequence::empty();
+        for x in x_items {
+            let depth = st.vars.len();
+            st.bind(a_var, Sequence::one(x));
+            let probe_keys = self.eval(a_key, st, ctx)?;
+            let mut hits: Vec<usize> = Vec::new();
+            let mut abort = false;
+            for k in probe_keys.atomized() {
+                match string_class_key(&k) {
+                    Some(s) => {
+                        if let Some(v) = table.get(&s) {
+                            hits.extend_from_slice(v);
+                        }
+                    }
+                    None => abort = true,
+                }
+            }
+            if abort {
+                st.vars.truncate(depth);
+                return Ok(None);
+            }
+            hits.sort_unstable();
+            hits.dedup();
+            for yi in hits {
+                let d2 = st.vars.len();
+                st.bind(b_var, Sequence::one(y_items[yi].clone()));
+                self.stream(rest, st, ctx, base, &mut |ev, st2| {
+                    out.extend(ev.eval(ret, st2, ctx)?);
+                    Ok(())
+                })?;
+                st.vars.truncate(d2);
+            }
+            st.vars.truncate(depth);
+        }
+        Ok(Some(out))
+    }
+
+    /// Drive the tuple stream of for/let/where clauses, invoking `sink`
+    /// once per surviving tuple (variables bound in `st`).
+    fn stream(
+        &self,
+        clauses: &[FlworClause],
+        st: &mut EvalState,
+        ctx: &Ctx,
+        base: usize,
+        sink: &mut dyn FnMut(&Evaluator, &mut EvalState) -> XdmResult<()>,
+    ) -> XdmResult<()> {
+        match clauses.first() {
+            None => sink(self, st),
+            Some(FlworClause::For { var, pos_var, seq }) => {
+                let v = self.eval(seq, st, ctx)?;
+                for (i, item) in v.into_items().into_iter().enumerate() {
+                    let depth = st.vars.len();
+                    st.bind(var, Sequence::one(item));
+                    if let Some(pv) = pos_var {
+                        st.bind(pv, Sequence::one(Item::integer(i as i64 + 1)));
+                    }
+                    self.stream(&clauses[1..], st, ctx, base, sink)?;
+                    st.vars.truncate(depth);
+                }
+                Ok(())
+            }
+            Some(FlworClause::Let { var, value }) => {
+                let v = self.eval(value, st, ctx)?;
+                let depth = st.vars.len();
+                st.bind(var, v);
+                self.stream(&clauses[1..], st, ctx, base, sink)?;
+                st.vars.truncate(depth);
+                Ok(())
+            }
+            Some(FlworClause::Where(cond)) => {
+                if self.eval(cond, st, ctx)?.ebv()? {
+                    self.stream(&clauses[1..], st, ctx, base, sink)?;
+                }
+                Ok(())
+            }
+            Some(FlworClause::OrderBy(_)) => Err(XdmError::syntax(
+                "order by must be the last FLWOR clause",
+            )),
+        }
+    }
+
+    fn eval_quantified(
+        &self,
+        q: Quantifier,
+        bindings: &[(Name, Expr)],
+        satisfies: &Expr,
+        st: &mut EvalState,
+        ctx: &Ctx,
+    ) -> XdmResult<Sequence> {
+        fn rec(
+            ev: &Evaluator,
+            q: Quantifier,
+            bindings: &[(Name, Expr)],
+            satisfies: &Expr,
+            st: &mut EvalState,
+            ctx: &Ctx,
+        ) -> XdmResult<bool> {
+            match bindings.first() {
+                None => ev.eval(satisfies, st, ctx)?.ebv(),
+                Some((var, seq)) => {
+                    let v = ev.eval(seq, st, ctx)?;
+                    for item in v.into_items() {
+                        let depth = st.vars.len();
+                        st.bind(var, Sequence::one(item));
+                        let r = rec(ev, q, &bindings[1..], satisfies, st, ctx)?;
+                        st.vars.truncate(depth);
+                        match q {
+                            Quantifier::Some if r => return Ok(true),
+                            Quantifier::Every if !r => return Ok(false),
+                            _ => {}
+                        }
+                    }
+                    Ok(matches!(q, Quantifier::Every))
+                }
+            }
+        }
+        let r = rec(self, q, bindings, satisfies, st, ctx)?;
+        Ok(Sequence::one(Item::boolean(r)))
+    }
+
+    // ------------------------------------------------------------------
+    // Paths
+    // ------------------------------------------------------------------
+
+    /// Apply a path step expression to an already-evaluated base sequence
+    /// (public: the loop-lifted engine reuses this per iteration).
+    pub fn eval_path_rhs(&self, base: &Sequence, rhs: &Expr, st: &mut EvalState) -> XdmResult<Sequence> {
+        // Join-index fast path (see index.rs): `base/step[@attr = value]`
+        if self.env.join_index {
+            if let Some(result) = self.try_join_index(base, rhs, st, false)? {
+                return Ok(result);
+            }
+        }
+        let size = base.len();
+        let mut node_results: Vec<NodeHandle> = Vec::new();
+        let mut atomic_results: Vec<Item> = Vec::new();
+        for (i, item) in base.iter().enumerate() {
+            match item {
+                Item::Node(_) => {}
+                _ => return Err(XdmError::type_error("path step applied to a non-node")),
+            }
+            let c = Ctx {
+                item: Some(item.clone()),
+                pos: i + 1,
+                size,
+            };
+            let r = self.eval(rhs, st, &c)?;
+            for it in r.into_items() {
+                match it {
+                    Item::Node(n) => node_results.push(n),
+                    a => atomic_results.push(a),
+                }
+            }
+        }
+        if !node_results.is_empty() && !atomic_results.is_empty() {
+            return Err(XdmError::type_error(
+                "path result mixes nodes and atomic values",
+            ));
+        }
+        if atomic_results.is_empty() {
+            sort_dedup(&mut node_results);
+            Ok(Sequence::from_items(
+                node_results.into_iter().map(Item::Node).collect(),
+            ))
+        } else {
+            Ok(Sequence::from_items(atomic_results))
+        }
+    }
+
+    /// Recognize `descendant-ish::elem[@attr = $v]` applied to a document
+    /// root over a large document, and answer it from the join index.
+    fn try_join_index(
+        &self,
+        base: &Sequence,
+        rhs: &Expr,
+        st: &mut EvalState,
+        via_dos: bool,
+    ) -> XdmResult<Option<Sequence>> {
+        let Expr::AxisStep {
+            axis: axis @ (Axis::Child | Axis::Descendant | Axis::DescendantOrSelf),
+            test: NodeTest::Name(elem_name),
+            predicates,
+        } = rhs
+        else {
+            return Ok(None);
+        };
+        let child_only = matches!(axis, Axis::Child) && !via_dos;
+        if predicates.len() != 1 || elem_name.prefix.is_some() {
+            return Ok(None);
+        }
+        let Expr::GeneralComp(CompOp::Eq, lhs, val) = &predicates[0] else {
+            return Ok(None);
+        };
+        // The key side must be a simple downward path relative to the
+        // candidate element (e.g. `@id`, `buyer/@person`, `name`).
+        let Some(fingerprint) = simple_key_path(lhs) else {
+            return Ok(None);
+        };
+        // The comparison value must not depend on the inner focus.
+        if expr_uses_focus(val) {
+            return Ok(None);
+        }
+        // Base: a single node whose subtree is worth indexing. We only take
+        // the fast path when the base is one node (e.g. one document) —
+        // that is the bulk-call pattern the paper's §4 experiment uses.
+        let [Item::Node(root)] = base.items() else {
+            return Ok(None);
+        };
+        // Heuristic: only index reasonably large documents.
+        if root.doc.len() < 256 {
+            return Ok(None);
+        }
+        let value = self
+            .eval(val, st, &Ctx::none())?
+            .zero_or_one()?
+            .map(|i| i.string_value());
+        let Some(value) = value else {
+            return Ok(Some(Sequence::empty()));
+        };
+        let index = match self
+            .env
+            .join_cache
+            .get(&root.doc, &elem_name.local, &fingerprint)
+        {
+            Some(m) => {
+                self.env.stats.lock().join_index_hits += 1;
+                m
+            }
+            None => {
+                // Build: one pass over all elements with the wanted name,
+                // evaluating the key path per element.
+                let mut map = crate::index::ValueIndex::new();
+                let mut stack = vec![root.doc.root()];
+                let mut order = Vec::new();
+                while let Some(id) = stack.pop() {
+                    order.push(id);
+                    for &c in root.doc.children(id).iter().rev() {
+                        if root.doc.kind(c) == NodeKind::Element {
+                            stack.push(c);
+                        }
+                    }
+                }
+                for id in order {
+                    if root.doc.kind(id) != NodeKind::Element {
+                        continue;
+                    }
+                    if root
+                        .doc
+                        .node(id)
+                        .name
+                        .as_ref()
+                        .is_none_or(|n| n.local != elem_name.local)
+                    {
+                        continue;
+                    }
+                    let h = NodeHandle::new(root.doc.clone(), id);
+                    let keys = self.eval(lhs, st, &Ctx::of(Item::Node(h)))?;
+                    for k in keys.atomized() {
+                        map.entry(k.lexical()).or_default().push(id);
+                    }
+                }
+                self.env.stats.lock().join_index_builds += 1;
+                self.env
+                    .join_cache
+                    .insert(&root.doc, &elem_name.local, &fingerprint, map)
+            }
+        };
+        let mut hits: Vec<NodeHandle> = index
+            .get(&value)
+            .map(|ids| {
+                ids.iter()
+                    .map(|&id| NodeHandle::new(root.doc.clone(), id))
+                    .collect()
+            })
+            .unwrap_or_default();
+        // The index spans the whole document; restrict hits to the base
+        // node's children (child axis) or strict descendants.
+        if child_only {
+            hits.retain(|h| h.doc.node(h.id).parent == Some(root.id));
+        } else {
+            hits.retain(|h| {
+                h.id != root.id && xmldom::order::is_ancestor(&root.doc, root.id, h.id)
+            });
+        }
+        Ok(Some(Sequence::from_items(
+            hits.into_iter().map(Item::Node).collect(),
+        )))
+    }
+
+    fn axis_nodes(
+        &self,
+        node: &NodeHandle,
+        axis: Axis,
+        test: &NodeTest,
+    ) -> XdmResult<Vec<NodeHandle>> {
+        let dom_axis = match axis {
+            Axis::Child => axes::Axis::Child,
+            Axis::Descendant => axes::Axis::Descendant,
+            Axis::DescendantOrSelf => axes::Axis::DescendantOrSelf,
+            Axis::Parent => axes::Axis::Parent,
+            Axis::Ancestor => axes::Axis::Ancestor,
+            Axis::AncestorOrSelf => axes::Axis::AncestorOrSelf,
+            Axis::FollowingSibling => axes::Axis::FollowingSibling,
+            Axis::PrecedingSibling => axes::Axis::PrecedingSibling,
+            Axis::Following => axes::Axis::Following,
+            Axis::Preceding => axes::Axis::Preceding,
+            Axis::Attribute => axes::Axis::Attribute,
+            Axis::SelfAxis => axes::Axis::SelfAxis,
+        };
+        let principal_attr = matches!(axis, Axis::Attribute);
+        let nodes = axes::step(node, dom_axis);
+        Ok(nodes
+            .into_iter()
+            .filter(|n| self.test_matches(n, test, principal_attr))
+            .collect())
+    }
+
+    fn test_matches(&self, n: &NodeHandle, test: &NodeTest, principal_attr: bool) -> bool {
+        let principal_kind = if principal_attr {
+            NodeKind::Attribute
+        } else {
+            NodeKind::Element
+        };
+        match test {
+            NodeTest::AnyKind => true,
+            NodeTest::Text => n.kind() == NodeKind::Text,
+            NodeTest::Comment => n.kind() == NodeKind::Comment,
+            NodeTest::Pi(target) => {
+                n.kind() == NodeKind::ProcessingInstruction
+                    && target
+                        .as_ref()
+                        .map(|t| n.name().is_some_and(|q| &q.local == t))
+                        .unwrap_or(true)
+            }
+            NodeTest::DocumentTest => n.kind() == NodeKind::Document,
+            NodeTest::AnyName => n.kind() == principal_kind,
+            NodeTest::Element(name) => {
+                n.kind() == NodeKind::Element
+                    && name
+                        .as_ref()
+                        .map(|nm| self.name_matches(n, nm, false))
+                        .unwrap_or(true)
+            }
+            NodeTest::AttributeTest(name) => {
+                n.kind() == NodeKind::Attribute
+                    && name
+                        .as_ref()
+                        .map(|nm| self.name_matches(n, nm, true))
+                        .unwrap_or(true)
+            }
+            NodeTest::NsWildcard(prefix) => {
+                n.kind() == principal_kind && {
+                    let uri = self.sctx.resolve_prefix(prefix);
+                    n.name().is_some_and(|q| q.ns_uri.as_deref() == uri)
+                }
+            }
+            NodeTest::LocalWildcard(local) => {
+                n.kind() == principal_kind && n.name().is_some_and(|q| &q.local == local)
+            }
+            NodeTest::Name(name) => {
+                n.kind() == principal_kind && self.name_matches(n, name, principal_attr)
+            }
+        }
+    }
+
+    fn name_matches(&self, n: &NodeHandle, name: &Name, is_attr: bool) -> bool {
+        let Some(q) = n.name() else { return false };
+        if q.local != name.local {
+            return false;
+        }
+        let expected_uri = match &name.prefix {
+            Some(p) => self.sctx.resolve_prefix(p).map(|s| s.to_string()),
+            // Unprefixed name tests use the default element namespace for
+            // elements, no namespace for attributes.
+            None if is_attr => None,
+            None => self.sctx.default_element_ns.clone(),
+        };
+        normalize_uri(&q.ns_uri) == normalize_uri(&expected_uri)
+    }
+
+    fn apply_predicates(
+        &self,
+        items: Vec<Item>,
+        predicates: &[Expr],
+        st: &mut EvalState,
+    ) -> XdmResult<Vec<Item>> {
+        let mut current = items;
+        for p in predicates {
+            let size = current.len();
+            let mut next = Vec::new();
+            for (i, item) in current.into_iter().enumerate() {
+                let c = Ctx {
+                    item: Some(item.clone()),
+                    pos: i + 1,
+                    size,
+                };
+                let v = self.eval(p, st, &c)?;
+                // numeric predicate = position test
+                let keep = if v.len() == 1 {
+                    if let Some(a) = v.items()[0].as_atomic() {
+                        if a.atomic_type().is_numeric() {
+                            let pos = a.cast_to(AtomicType::Double)?;
+                            match pos {
+                                AtomicValue::Double(d) => d == (i + 1) as f64,
+                                _ => unreachable!(),
+                            }
+                        } else {
+                            v.ebv()?
+                        }
+                    } else {
+                        v.ebv()?
+                    }
+                } else {
+                    v.ebv()?
+                };
+                if keep {
+                    next.push(item);
+                }
+            }
+            current = next;
+        }
+        Ok(current)
+    }
+
+    // ------------------------------------------------------------------
+    // Function calls
+    // ------------------------------------------------------------------
+
+    fn eval_function_call(
+        &self,
+        name: &Name,
+        args: &[Expr],
+        st: &mut EvalState,
+        ctx: &Ctx,
+    ) -> XdmResult<Sequence> {
+        // Evaluate actual parameters first (strict semantics).
+        let mut actuals = Vec::with_capacity(args.len());
+        for a in args {
+            actuals.push(self.eval(a, st, ctx)?);
+        }
+        self.apply_function(name, actuals, st, ctx)
+    }
+
+    /// Apply a function to already-evaluated arguments (shared with the
+    /// XRPC server-side request handler).
+    pub fn apply_function(
+        &self,
+        name: &Name,
+        actuals: Vec<Sequence>,
+        st: &mut EvalState,
+        ctx: &Ctx,
+    ) -> XdmResult<Sequence> {
+        self.env.stats.lock().functions_called += 1;
+        match name.prefix.as_deref() {
+            None | Some("fn") => {
+                if name.prefix.is_none() {
+                    // user-declared main-module function shadows nothing: try
+                    // local functions first only when they exist.
+                    if let Some(f) = self
+                        .local_functions
+                        .get(&(name.local.clone(), actuals.len()))
+                        .cloned()
+                    {
+                        return self.invoke_udf(&f, actuals, st, self.sctx.clone(), self.local_functions.clone());
+                    }
+                }
+                functions::call_builtin(self, &name.local, actuals, st, ctx)
+            }
+            Some("xrpc") => functions::call_xrpc_builtin(&name.local, actuals),
+            Some("local") => {
+                let f = self
+                    .local_functions
+                    .get(&(name.local.clone(), actuals.len()))
+                    .cloned()
+                    .ok_or_else(|| {
+                        XdmError::unknown_function(format!(
+                            "unknown local function local:{}#{}",
+                            name.local,
+                            actuals.len()
+                        ))
+                    })?;
+                self.invoke_udf(&f, actuals, st, self.sctx.clone(), self.local_functions.clone())
+            }
+            Some(prefix) => {
+                // module function via imports (or an already-loaded module
+                // whose namespace this prefix maps to)
+                let (ns, hint) = match self.sctx.imports.get(prefix) {
+                    Some((ns, hints)) => (ns.clone(), hints.first().cloned()),
+                    None => match self.sctx.resolve_prefix(prefix) {
+                        Some(ns) => (ns.to_string(), None),
+                        None => {
+                            return Err(XdmError::undefined(format!(
+                                "undeclared prefix `{prefix}`"
+                            )))
+                        }
+                    },
+                };
+                let module = self.env.modules.get_or_load(&ns, hint.as_deref())?;
+                let f = module
+                    .function(&name.local, actuals.len())
+                    .ok_or_else(|| {
+                        XdmError::unknown_function(format!(
+                            "unknown function {}:{}#{} in module `{}`",
+                            prefix,
+                            name.local,
+                            actuals.len(),
+                            ns
+                        ))
+                    })?;
+                let msctx = Arc::new(module.sctx.clone());
+                self.invoke_udf(&f, actuals, st, msctx, Arc::new(HashMap::new()))
+            }
+        }
+    }
+
+    fn invoke_udf(
+        &self,
+        f: &FunctionDecl,
+        actuals: Vec<Sequence>,
+        st: &mut EvalState,
+        sctx: Arc<StaticContext>,
+        local_functions: Arc<HashMap<(String, usize), Arc<FunctionDecl>>>,
+    ) -> XdmResult<Sequence> {
+        if st.depth >= self.env.max_depth {
+            return Err(XdmError::new("XQDY0054", "function recursion limit exceeded"));
+        }
+        // Type-check and bind parameters.
+        let base = st.vars.len();
+        for ((pname, pty), value) in f.params.iter().zip(actuals.into_iter()) {
+            if let Some(t) = pty {
+                value.check_type(t).map_err(|e| {
+                    XdmError::type_error(format!(
+                        "parameter ${} of {}: {}",
+                        pname.lexical(),
+                        f.name.lexical(),
+                        e.message
+                    ))
+                })?;
+            }
+            st.vars.push((pname.lexical(), value));
+        }
+        let sub = Evaluator {
+            env: self.env,
+            sctx,
+            local_functions,
+        };
+        st.depth += 1;
+        let result = sub.eval(&f.body, st, &Ctx::none());
+        st.depth -= 1;
+        st.vars.truncate(base);
+        let result = result?;
+        if let Some(rt) = &f.ret {
+            result.check_type(rt).map_err(|e| {
+                XdmError::type_error(format!(
+                    "return value of {}: {}",
+                    f.name.lexical(),
+                    e.message
+                ))
+            })?;
+        }
+        Ok(result)
+    }
+
+    // ------------------------------------------------------------------
+    // execute at
+    // ------------------------------------------------------------------
+
+    fn eval_execute_at(
+        &self,
+        dest: &Expr,
+        call: &Expr,
+        st: &mut EvalState,
+        ctx: &Ctx,
+    ) -> XdmResult<Sequence> {
+        let dest_val = self.eval(dest, st, ctx)?.singleton()?.string_value();
+        let Expr::FunctionCall { name, args } = call else {
+            return Err(XdmError::syntax("execute at body must be a function call"));
+        };
+        // Resolve the function's module from the caller's imports — the
+        // request carries module URI + at-hint (paper §2.1).
+        let func = self.resolve_function_ref(name, args.len())?;
+        let mut actuals = Vec::with_capacity(args.len());
+        for a in args {
+            actuals.push(self.eval(a, st, ctx)?);
+        }
+        let dispatcher = self
+            .env
+            .dispatcher
+            .as_ref()
+            .ok_or_else(|| XdmError::xrpc("no XRPC dispatcher configured on this peer"))?;
+        {
+            let mut stats = self.env.stats.lock();
+            stats.rpc_dispatches += 1;
+            stats.rpc_calls += 1;
+        }
+        let mut results = dispatcher.dispatch(&dest_val, &func, vec![actuals])?;
+        if results.len() != 1 {
+            return Err(XdmError::xrpc(format!(
+                "XRPC response carried {} results for 1 call",
+                results.len()
+            )));
+        }
+        Ok(results.pop().unwrap())
+    }
+
+    /// Build the [`FunctionRef`] an `execute at` needs to put on the wire.
+    pub fn resolve_function_ref(&self, name: &Name, arity: usize) -> XdmResult<FunctionRef> {
+        let prefix = name.prefix.as_deref().ok_or_else(|| {
+            XdmError::syntax("execute at requires a module-qualified function (prefix:name)")
+        })?;
+        let (ns, hint) = match self.sctx.imports.get(prefix) {
+            Some((ns, hints)) => (ns.clone(), hints.first().cloned()),
+            None => match self.sctx.resolve_prefix(prefix) {
+                Some(ns) => (ns.to_string(), None),
+                None => {
+                    return Err(XdmError::undefined(format!(
+                        "undeclared prefix `{prefix}` in execute at"
+                    )))
+                }
+            },
+        };
+        // If the module is locally known, learn whether the function updates.
+        let updating = self
+            .env
+            .modules
+            .get(&ns)
+            .and_then(|m| m.function(&name.local, arity))
+            .map(|f| f.updating)
+            .unwrap_or(false);
+        Ok(FunctionRef {
+            module_ns: ns,
+            location_hint: hint,
+            local_name: name.local.clone(),
+            arity,
+            updating,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    fn construct_direct(
+        &self,
+        d: &DirElem,
+        doc: &mut Document,
+        st: &mut EvalState,
+        ctx: &Ctx,
+    ) -> XdmResult<xmldom::NodeId> {
+        let qname = self.resolve_ctor_name(&d.name, &d.ns_decls, true)?;
+        let elem = doc.create_element(qname);
+        doc.node_mut(elem).ns_decls = d.ns_decls.clone();
+        for (aname, parts) in &d.attrs {
+            let aq = self.resolve_ctor_name(aname, &d.ns_decls, false)?;
+            let mut value = String::new();
+            for p in parts {
+                match p {
+                    AttrContent::Text(t) => value.push_str(t),
+                    AttrContent::Enclosed(e) => {
+                        let v = self.eval(e, st, ctx)?;
+                        value.push_str(
+                            &v.atomized()
+                                .iter()
+                                .map(|a| a.lexical())
+                                .collect::<Vec<_>>()
+                                .join(" "),
+                        );
+                    }
+                }
+            }
+            if aq.is(xmldom::qname::NS_XSI, "type") {
+                doc.node_mut(elem).type_annotation = Some(value.clone());
+            }
+            doc.set_attribute(elem, aq, value);
+        }
+        // Boundary whitespace: drop all-whitespace text particles (XQuery
+        // default `declare boundary-space strip`).
+        for c in &d.content {
+            match c {
+                DirContent::Text(t) => {
+                    if t.trim().is_empty() {
+                        continue;
+                    }
+                    let id = doc.create_text(t.clone());
+                    doc.append_child(elem, id);
+                }
+                DirContent::Comment(t) => {
+                    let id = doc.create_comment(t.clone());
+                    doc.append_child(elem, id);
+                }
+                DirContent::Pi(t, v) => {
+                    let id = doc.create_pi(t.clone(), v.clone());
+                    doc.append_child(elem, id);
+                }
+                DirContent::Element(inner) => {
+                    let id = self.construct_direct(inner, doc, st, ctx)?;
+                    doc.append_child(elem, id);
+                }
+                DirContent::Enclosed(e) => {
+                    let v = self.eval(e, st, ctx)?;
+                    attach_content(doc, elem, &v)?;
+                }
+            }
+        }
+        Ok(elem)
+    }
+
+    fn resolve_ctor_name(
+        &self,
+        name: &Name,
+        local_decls: &[(String, String)],
+        is_element: bool,
+    ) -> XdmResult<QName> {
+        let uri = match &name.prefix {
+            Some(p) => match local_decls
+                .iter()
+                .find(|(dp, _)| dp == p)
+                .map(|(_, u)| u.clone())
+                .or_else(|| self.sctx.resolve_prefix(p).map(|s| s.to_string()))
+            {
+                Some(u) => Some(u),
+                None => {
+                    return Err(XdmError::undefined(format!(
+                        "undeclared prefix `{p}` in constructor"
+                    )))
+                }
+            },
+            None if is_element => local_decls
+                .iter()
+                .find(|(dp, _)| dp.is_empty())
+                .map(|(_, u)| u.clone())
+                .or_else(|| self.sctx.default_element_ns.clone()),
+            None => None,
+        };
+        Ok(QName {
+            prefix: name.prefix.clone(),
+            ns_uri: uri,
+            local: name.local.clone(),
+        })
+    }
+
+    fn comp_qname(
+        &self,
+        name: &CompName,
+        st: &mut EvalState,
+        ctx: &Ctx,
+        is_element: bool,
+    ) -> XdmResult<QName> {
+        match name {
+            CompName::Const(n) => self.resolve_ctor_name(n, &[], is_element),
+            CompName::Computed(e) => {
+                let lex = self.eval(e, st, ctx)?.singleton()?.string_value();
+                self.lex_to_qname(&lex, is_element)
+            }
+        }
+    }
+
+    fn lex_to_qname(&self, lex: &str, is_element: bool) -> XdmResult<QName> {
+        match lex.split_once(':') {
+            Some((p, l)) => {
+                let uri = self
+                    .sctx
+                    .resolve_prefix(p)
+                    .map(|s| s.to_string());
+                Ok(QName {
+                    prefix: Some(p.to_string()),
+                    ns_uri: uri,
+                    local: l.to_string(),
+                })
+            }
+            None => {
+                let uri = if is_element {
+                    self.sctx.default_element_ns.clone()
+                } else {
+                    None
+                };
+                Ok(QName {
+                    prefix: None,
+                    ns_uri: uri,
+                    local: lex.to_string(),
+                })
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // misc helpers
+    // ------------------------------------------------------------------
+
+    fn eval_integer_opt(
+        &self,
+        e: &Expr,
+        st: &mut EvalState,
+        ctx: &Ctx,
+    ) -> XdmResult<Option<i64>> {
+        let v = self.eval(e, st, ctx)?;
+        match v.zero_or_one()? {
+            None => Ok(None),
+            Some(i) => match i.atomize().cast_to(AtomicType::Integer)? {
+                AtomicValue::Integer(n) => Ok(Some(n)),
+                _ => unreachable!(),
+            },
+        }
+    }
+
+    fn eval_nodes(
+        &self,
+        e: &Expr,
+        st: &mut EvalState,
+        ctx: &Ctx,
+        who: &str,
+    ) -> XdmResult<Vec<NodeHandle>> {
+        self.eval(e, st, ctx)?
+            .into_items()
+            .into_iter()
+            .map(|i| match i {
+                Item::Node(n) => Ok(n),
+                _ => Err(XdmError::type_error(format!("{who} operands must be nodes"))),
+            })
+            .collect()
+    }
+
+    fn eval_single_node(
+        &self,
+        e: &Expr,
+        st: &mut EvalState,
+        ctx: &Ctx,
+        who: &str,
+    ) -> XdmResult<NodeHandle> {
+        match self.eval(e, st, ctx)?.singleton()? {
+            Item::Node(n) => Ok(n.clone()),
+            _ => Err(XdmError::type_error(format!("{who} must be a single node"))),
+        }
+    }
+}
+
+/// Attach evaluated content to an element/document under construction:
+/// adjacent atomics are space-joined into text nodes; nodes are deep-copied
+/// (by value); attribute items become attributes; document nodes splice.
+pub fn attach_content(
+    doc: &mut Document,
+    parent: xmldom::NodeId,
+    content: &Sequence,
+) -> XdmResult<()> {
+    let mut pending_text: Option<String> = None;
+    let mut seen_child = false;
+    for item in content.iter() {
+        match item {
+            Item::Atomic(a) => {
+                match &mut pending_text {
+                    Some(t) => {
+                        t.push(' ');
+                        t.push_str(&a.lexical());
+                    }
+                    None => pending_text = Some(a.lexical()),
+                }
+                continue;
+            }
+            Item::Node(n) => {
+                if let Some(t) = pending_text.take() {
+                    let id = doc.create_text(t);
+                    doc.append_child(parent, id);
+                    seen_child = true;
+                }
+                match n.kind() {
+                    NodeKind::Attribute => {
+                        if seen_child {
+                            return Err(XdmError::new(
+                                "XQTY0024",
+                                "attribute constructed after content",
+                            ));
+                        }
+                        let copy = doc.import_subtree(&n.doc, n.id);
+                        doc.set_attribute_node(parent, copy);
+                    }
+                    NodeKind::Document => {
+                        for &c in n.doc.children(n.id) {
+                            let copy = doc.import_subtree(&n.doc, c);
+                            doc.append_child(parent, copy);
+                            seen_child = true;
+                        }
+                    }
+                    _ => {
+                        let copy = doc.import_subtree(&n.doc, n.id);
+                        doc.append_child(parent, copy);
+                        seen_child = true;
+                    }
+                }
+            }
+        }
+    }
+    if let Some(t) = pending_text {
+        let id = doc.create_text(t);
+        doc.append_child(parent, id);
+    }
+    Ok(())
+}
+
+fn comp_matches(op: CompOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CompOp::Eq => ord == Equal,
+        CompOp::Ne => ord != Equal,
+        CompOp::Lt => ord == Less,
+        CompOp::Le => ord != Greater,
+        CompOp::Gt => ord == Greater,
+        CompOp::Ge => ord != Less,
+    }
+}
+
+/// Existential general comparison (XQuery §3.5.2).
+pub fn general_compare(op: CompOp, a: &Sequence, b: &Sequence) -> XdmResult<bool> {
+    let left = a.atomized();
+    let right = b.atomized();
+    for x in &left {
+        for y in &right {
+            let ord = match x.general_cmp(y) {
+                Ok(o) => o,
+                // comparisons that fail on this pair just don't match
+                Err(_) => continue,
+            };
+            if comp_matches(op, ord) {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+fn normalize_uri(u: &Option<String>) -> Option<&str> {
+    match u.as_deref() {
+        None | Some("") => None,
+        Some(s) => Some(s),
+    }
+}
+
+/// A "simple key path": child/`.`/attribute steps with plain name tests
+/// and no predicates (`@id`, `buyer/@person`, `name`). Returns a stable
+/// fingerprint usable as an index cache key.
+fn simple_key_path(e: &Expr) -> Option<String> {
+    match e {
+        Expr::AxisStep {
+            axis: Axis::Child,
+            test: NodeTest::Name(n),
+            predicates,
+        } if predicates.is_empty() && n.prefix.is_none() => Some(n.local.clone()),
+        Expr::AxisStep {
+            axis: Axis::Attribute,
+            test: NodeTest::Name(n),
+            predicates,
+        } if predicates.is_empty() && n.prefix.is_none() => Some(format!("@{}", n.local)),
+        Expr::AxisStep {
+            axis: Axis::SelfAxis,
+            test: NodeTest::AnyKind,
+            predicates,
+        } if predicates.is_empty() => Some(".".to_string()),
+        Expr::ContextItem => Some(".".to_string()),
+        Expr::PathStep(a, b) => {
+            let fa = simple_key_path(a)?;
+            let fb = simple_key_path(b)?;
+            Some(format!("{fa}/{fb}"))
+        }
+        _ => None,
+    }
+}
+
+/// Collect the names of all variables referenced in `e` (conservative:
+/// shadowing is ignored, which only makes optimizations more cautious).
+fn free_var_names(e: &Expr) -> std::collections::HashSet<String> {
+    let mut names = std::collections::HashSet::new();
+    e.walk(&mut |x| {
+        if let Expr::VarRef(n) = x {
+            names.insert(n.lexical());
+        }
+    });
+    names
+}
+
+/// The hash-join key for a string-class atomic (general comparison over
+/// untyped/string/anyURI operands is string equality). `None` for any
+/// other type — the caller must fall back to the naive join.
+fn string_class_key(v: &AtomicValue) -> Option<String> {
+    match v {
+        AtomicValue::String(s) | AtomicValue::UntypedAtomic(s) | AtomicValue::AnyUri(s) => {
+            Some(s.clone())
+        }
+        _ => None,
+    }
+}
+
+/// Does the expression reference the focus (context item/position/size)?
+fn expr_uses_focus(e: &Expr) -> bool {
+    let mut uses = false;
+    e.walk(&mut |x| match x {
+        Expr::ContextItem | Expr::Root(_) | Expr::AxisStep { .. } => uses = true,
+        Expr::FunctionCall { name, .. }
+            if matches!(name.local.as_str(), "position" | "last" | "string" | "number")
+                && name.prefix.is_none() =>
+        {
+            uses = true
+        }
+        _ => {}
+    });
+    uses
+}

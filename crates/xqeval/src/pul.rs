@@ -1,0 +1,489 @@
+//! XQUF pending update lists (PULs) and `applyUpdates`.
+//!
+//! The paper's update semantics (§2.3) hinge on this machinery: an updating
+//! function evaluates to a PUL ∆; rule `RFu` applies ∆ right after the call,
+//! rule `R'Fu` defers the union of all ∆s until 2PC commit. `apply_updates`
+//! here computes *new document versions* without touching the originals —
+//! the document store swaps them in, which is what makes snapshot isolation
+//! cheap (shadow-paging analog).
+
+
+use std::sync::Arc;
+use xdm::{XdmError, XdmResult};
+use xmldom::{Document, NodeHandle, NodeId, QName};
+
+/// One XQUF update primitive. Node sources are stored as by-value fragments
+/// (fresh documents), matching XRPC call-by-value marshaling.
+#[derive(Clone, Debug)]
+pub enum UpdatePrimitive {
+    InsertInto {
+        target: NodeHandle,
+        content: Vec<NodeHandle>,
+    },
+    InsertFirst {
+        target: NodeHandle,
+        content: Vec<NodeHandle>,
+    },
+    InsertLast {
+        target: NodeHandle,
+        content: Vec<NodeHandle>,
+    },
+    InsertBefore {
+        target: NodeHandle,
+        content: Vec<NodeHandle>,
+    },
+    InsertAfter {
+        target: NodeHandle,
+        content: Vec<NodeHandle>,
+    },
+    Delete {
+        target: NodeHandle,
+    },
+    ReplaceNode {
+        target: NodeHandle,
+        replacement: Vec<NodeHandle>,
+    },
+    ReplaceValue {
+        target: NodeHandle,
+        value: String,
+    },
+    Rename {
+        target: NodeHandle,
+        name: QName,
+    },
+    /// `fn:put($node, $uri)`
+    Put {
+        node: NodeHandle,
+        uri: String,
+    },
+}
+
+impl UpdatePrimitive {
+    pub fn target(&self) -> Option<&NodeHandle> {
+        match self {
+            UpdatePrimitive::InsertInto { target, .. }
+            | UpdatePrimitive::InsertFirst { target, .. }
+            | UpdatePrimitive::InsertLast { target, .. }
+            | UpdatePrimitive::InsertBefore { target, .. }
+            | UpdatePrimitive::InsertAfter { target, .. }
+            | UpdatePrimitive::Delete { target }
+            | UpdatePrimitive::ReplaceNode { target, .. }
+            | UpdatePrimitive::ReplaceValue { target, .. }
+            | UpdatePrimitive::Rename { target, .. } => Some(target),
+            UpdatePrimitive::Put { .. } => None,
+        }
+    }
+}
+
+/// A pending update list. XQUF allows unioning PULs freely — the paper
+/// relies on this to merge the per-call ∆s of one query (§2.3).
+#[derive(Clone, Debug, Default)]
+pub struct PendingUpdateList {
+    pub primitives: Vec<UpdatePrimitive>,
+}
+
+impl PendingUpdateList {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.primitives.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.primitives.len()
+    }
+
+    pub fn push(&mut self, p: UpdatePrimitive) {
+        self.primitives.push(p);
+    }
+
+    /// Union (XQUF `upd:mergeUpdates`): concatenation; compatibility is
+    /// checked at apply time.
+    pub fn merge(&mut self, other: PendingUpdateList) {
+        self.primitives.extend(other.primitives);
+    }
+
+    /// XQUF compatibility checks (XUDY0015/16/17): at most one rename, one
+    /// replace-node and one replace-value per target node.
+    pub fn check_compatibility(&self) -> XdmResult<()> {
+        let mut renames: Vec<&NodeHandle> = Vec::new();
+        let mut repl_nodes: Vec<&NodeHandle> = Vec::new();
+        let mut repl_values: Vec<&NodeHandle> = Vec::new();
+        for p in &self.primitives {
+            let (bucket, t): (&mut Vec<&NodeHandle>, &NodeHandle) = match p {
+                UpdatePrimitive::Rename { target, .. } => (&mut renames, target),
+                UpdatePrimitive::ReplaceNode { target, .. } => (&mut repl_nodes, target),
+                UpdatePrimitive::ReplaceValue { target, .. } => (&mut repl_values, target),
+                _ => continue,
+            };
+            if bucket.iter().any(|h| h.same_node(t)) {
+                return Err(XdmError::update_error(
+                    "incompatible updates: same target updated twice (XUDY0015-17)",
+                ));
+            }
+            bucket.push(t);
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of `apply_updates` for one affected document: the old
+/// snapshot identity and the freshly built new version.
+pub struct DocEdit {
+    pub uri: Option<String>,
+    pub old: Arc<Document>,
+    pub new: Arc<Document>,
+}
+
+/// Materialize a PUL: for every document touched, clone it, apply the
+/// primitives in XQUF order (inserts/renames/replace-values first, then
+/// replaces, then deletes), and return the new versions. `fn:put` targets
+/// come back as extra edits with the `put` URI and no `old`-identity match.
+pub fn apply_updates(pul: &PendingUpdateList) -> XdmResult<Vec<DocEdit>> {
+    pul.check_compatibility()?;
+
+    // Group primitives by target document (Arc identity).
+    let mut groups: Vec<(Arc<Document>, Vec<&UpdatePrimitive>)> = Vec::new();
+    let mut puts: Vec<&UpdatePrimitive> = Vec::new();
+    for p in &pul.primitives {
+        match p.target() {
+            Some(t) => {
+                match groups
+                    .iter_mut()
+                    .find(|(d, _)| Arc::ptr_eq(d, &t.doc))
+                {
+                    Some((_, v)) => v.push(p),
+                    None => groups.push((t.doc.clone(), vec![p])),
+                }
+            }
+            None => puts.push(p),
+        }
+    }
+
+    let mut edits = Vec::new();
+    for (old, prims) in groups {
+        let mut new_doc: Document = (*old).clone();
+        // XQUF application order: insert/rename/replace-value, then
+        // replace-node, then delete. Within a class, list order.
+        let phase = |p: &UpdatePrimitive| match p {
+            UpdatePrimitive::Delete { .. } => 2,
+            UpdatePrimitive::ReplaceNode { .. } => 1,
+            _ => 0,
+        };
+        let mut ordered = prims.clone();
+        ordered.sort_by_key(|p| phase(p));
+        for p in ordered {
+            apply_one(&mut new_doc, p)?;
+        }
+        edits.push(DocEdit {
+            uri: old.uri.clone(),
+            old,
+            new: Arc::new(new_doc),
+        });
+    }
+
+    for p in puts {
+        if let UpdatePrimitive::Put { node, uri } = p {
+            let mut d = Document::with_uri(uri.clone());
+            let root = d.root();
+            let copy = d.import_subtree(&node.doc, node.id);
+            d.append_child(root, copy);
+            edits.push(DocEdit {
+                uri: Some(uri.clone()),
+                old: node.doc.clone(),
+                new: Arc::new(d),
+            });
+        }
+    }
+    Ok(edits)
+}
+
+fn import_content(dst: &mut Document, content: &[NodeHandle]) -> Vec<NodeId> {
+    content
+        .iter()
+        .map(|h| dst.import_subtree(&h.doc, h.id))
+        .collect()
+}
+
+fn apply_one(doc: &mut Document, p: &UpdatePrimitive) -> XdmResult<()> {
+    match p {
+        UpdatePrimitive::InsertInto { target, content }
+        | UpdatePrimitive::InsertLast { target, content } => {
+            let ids = import_content(doc, content);
+            for id in ids {
+                attach(doc, target.id, id);
+            }
+        }
+        UpdatePrimitive::InsertFirst { target, content } => {
+            let ids = import_content(doc, content);
+            for (i, id) in ids.into_iter().enumerate() {
+                if doc.kind(id) == xmldom::NodeKind::Attribute {
+                    doc.set_attribute_node(target.id, id);
+                } else {
+                    doc.insert_child_at(target.id, i, id);
+                }
+            }
+        }
+        UpdatePrimitive::InsertBefore { target, content } => {
+            let ids = import_content(doc, content);
+            for id in ids {
+                doc.insert_before(target.id, id);
+            }
+        }
+        UpdatePrimitive::InsertAfter { target, content } => {
+            let ids = import_content(doc, content);
+            // keep relative order: insert after the previous inserted node
+            let mut anchor = target.id;
+            for id in ids {
+                doc.insert_after(anchor, id);
+                anchor = id;
+            }
+        }
+        UpdatePrimitive::Delete { target } => {
+            doc.detach(target.id);
+        }
+        UpdatePrimitive::ReplaceNode {
+            target,
+            replacement,
+        } => {
+            let ids = import_content(doc, replacement);
+            doc.replace_node(target.id, &ids);
+        }
+        UpdatePrimitive::ReplaceValue { target, value } => {
+            doc.replace_value(target.id, value);
+        }
+        UpdatePrimitive::Rename { target, name } => {
+            doc.rename(target.id, name.clone());
+        }
+        UpdatePrimitive::Put { .. } => unreachable!("puts handled separately"),
+    }
+    Ok(())
+}
+
+fn attach(doc: &mut Document, parent: NodeId, child: NodeId) {
+    if doc.kind(child) == xmldom::NodeKind::Attribute {
+        doc.set_attribute_node(parent, child);
+    } else {
+        doc.append_child(parent, child);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::parse;
+
+    fn handle(doc: &Arc<Document>, path: &[usize]) -> NodeHandle {
+        let mut id = doc.root();
+        for &i in path {
+            id = doc.children(id)[i];
+        }
+        NodeHandle::new(doc.clone(), id)
+    }
+
+    fn fragment(xml: &str) -> NodeHandle {
+        let d = Arc::new(parse(xml).unwrap());
+        let root = d.children(d.root())[0];
+        NodeHandle::new(d, root)
+    }
+
+    #[test]
+    fn insert_into_creates_new_version() {
+        let old = Arc::new(parse("<a><b/></a>").unwrap());
+        let mut pul = PendingUpdateList::new();
+        pul.push(UpdatePrimitive::InsertInto {
+            target: handle(&old, &[0]),
+            content: vec![fragment("<c/>")],
+        });
+        let edits = apply_updates(&pul).unwrap();
+        assert_eq!(edits.len(), 1);
+        let new = &edits[0].new;
+        let a = new.children(new.root())[0];
+        assert_eq!(new.children(a).len(), 2);
+        // old version untouched
+        let a_old = old.children(old.root())[0];
+        assert_eq!(old.children(a_old).len(), 1);
+    }
+
+    #[test]
+    fn insert_positions() {
+        let old = Arc::new(parse("<a><m/></a>").unwrap());
+        let a = handle(&old, &[0]);
+        let m = handle(&old, &[0, 0]);
+        let mut pul = PendingUpdateList::new();
+        pul.push(UpdatePrimitive::InsertFirst {
+            target: a.clone(),
+            content: vec![fragment("<first/>")],
+        });
+        pul.push(UpdatePrimitive::InsertLast {
+            target: a.clone(),
+            content: vec![fragment("<last/>")],
+        });
+        pul.push(UpdatePrimitive::InsertBefore {
+            target: m.clone(),
+            content: vec![fragment("<before/>")],
+        });
+        pul.push(UpdatePrimitive::InsertAfter {
+            target: m,
+            content: vec![fragment("<x1/>"), fragment("<x2/>")],
+        });
+        let edits = apply_updates(&pul).unwrap();
+        let new = &edits[0].new;
+        let a = new.children(new.root())[0];
+        let names: Vec<String> = new
+            .children(a)
+            .iter()
+            .map(|&c| new.node(c).name.clone().unwrap().local)
+            .collect();
+        assert_eq!(names, ["first", "before", "m", "x1", "x2", "last"]);
+    }
+
+    #[test]
+    fn delete_and_replace() {
+        let old = Arc::new(parse("<a><b/><c>old</c></a>").unwrap());
+        let mut pul = PendingUpdateList::new();
+        pul.push(UpdatePrimitive::Delete {
+            target: handle(&old, &[0, 0]),
+        });
+        pul.push(UpdatePrimitive::ReplaceValue {
+            target: handle(&old, &[0, 1]),
+            value: "new".into(),
+        });
+        let edits = apply_updates(&pul).unwrap();
+        let new = &edits[0].new;
+        let a = new.children(new.root())[0];
+        assert_eq!(new.children(a).len(), 1);
+        assert_eq!(new.string_value(a), "new");
+    }
+
+    #[test]
+    fn replace_node_with_fragment() {
+        let old = Arc::new(parse("<a><b/></a>").unwrap());
+        let mut pul = PendingUpdateList::new();
+        pul.push(UpdatePrimitive::ReplaceNode {
+            target: handle(&old, &[0, 0]),
+            replacement: vec![fragment("<x><y/></x>")],
+        });
+        let edits = apply_updates(&pul).unwrap();
+        let new = &edits[0].new;
+        let a = new.children(new.root())[0];
+        let x = new.children(a)[0];
+        assert_eq!(new.node(x).name.clone().unwrap().local, "x");
+        assert_eq!(new.children(x).len(), 1);
+    }
+
+    #[test]
+    fn rename() {
+        let old = Arc::new(parse("<a><b/></a>").unwrap());
+        let mut pul = PendingUpdateList::new();
+        pul.push(UpdatePrimitive::Rename {
+            target: handle(&old, &[0, 0]),
+            name: QName::local("renamed"),
+        });
+        let new = &apply_updates(&pul).unwrap()[0].new;
+        let a = new.children(new.root())[0];
+        let b = new.children(a)[0];
+        assert_eq!(new.node(b).name.clone().unwrap().local, "renamed");
+    }
+
+    #[test]
+    fn incompatible_double_rename_rejected() {
+        let old = Arc::new(parse("<a><b/></a>").unwrap());
+        let t = handle(&old, &[0, 0]);
+        let mut pul = PendingUpdateList::new();
+        pul.push(UpdatePrimitive::Rename {
+            target: t.clone(),
+            name: QName::local("x"),
+        });
+        pul.push(UpdatePrimitive::Rename {
+            target: t,
+            name: QName::local("y"),
+        });
+        assert!(apply_updates(&pul).is_err());
+    }
+
+    #[test]
+    fn merge_order_independent_for_commuting_updates() {
+        // Inserting into two different parents commutes: applying the merged
+        // PUL in either merge order gives the same document.
+        let old = Arc::new(parse("<a><b/><c/></a>").unwrap());
+        let mk = |first: bool| {
+            let mut p1 = PendingUpdateList::new();
+            p1.push(UpdatePrimitive::InsertInto {
+                target: handle(&old, &[0, 0]),
+                content: vec![fragment("<x/>")],
+            });
+            let mut p2 = PendingUpdateList::new();
+            p2.push(UpdatePrimitive::InsertInto {
+                target: handle(&old, &[0, 1]),
+                content: vec![fragment("<y/>")],
+            });
+            let mut merged = PendingUpdateList::new();
+            if first {
+                merged.merge(p1);
+                merged.merge(p2);
+            } else {
+                merged.merge(p2);
+                merged.merge(p1);
+            }
+            let edits = apply_updates(&merged).unwrap();
+            xmldom::serialize_document(&edits[0].new, &Default::default())
+        };
+        assert_eq!(mk(true), mk(false));
+    }
+
+    #[test]
+    fn delete_applies_after_insert_per_xquf_order() {
+        // Insert into a node AND delete it in one PUL: XQUF applies inserts
+        // first, deletes last — net effect the node is gone.
+        let old = Arc::new(parse("<a><b/></a>").unwrap());
+        let b = handle(&old, &[0, 0]);
+        let mut pul = PendingUpdateList::new();
+        pul.push(UpdatePrimitive::Delete { target: b.clone() });
+        pul.push(UpdatePrimitive::InsertInto {
+            target: b,
+            content: vec![fragment("<kid/>")],
+        });
+        let new = &apply_updates(&pul).unwrap()[0].new;
+        let a = new.children(new.root())[0];
+        assert!(new.children(a).is_empty());
+    }
+
+    #[test]
+    fn put_produces_new_document() {
+        let src = Arc::new(parse("<data><v>1</v></data>").unwrap());
+        let mut pul = PendingUpdateList::new();
+        pul.push(UpdatePrimitive::Put {
+            node: handle(&src, &[0]),
+            uri: "out.xml".into(),
+        });
+        let edits = apply_updates(&pul).unwrap();
+        assert_eq!(edits[0].uri.as_deref(), Some("out.xml"));
+        let d = &edits[0].new;
+        assert_eq!(d.string_value(d.root()), "1");
+    }
+
+    #[test]
+    fn attribute_insert() {
+        let old = Arc::new(parse("<a/>").unwrap());
+        let attr_doc = {
+            let mut d = Document::new();
+            let a = d.create_attribute(QName::local("k"), "v");
+            Arc::new({
+                let _ = a;
+                d
+            })
+        };
+        let attr = NodeHandle::new(attr_doc.clone(), NodeId(1));
+        let mut pul = PendingUpdateList::new();
+        pul.push(UpdatePrimitive::InsertInto {
+            target: handle(&old, &[0]),
+            content: vec![attr],
+        });
+        let new = &apply_updates(&pul).unwrap()[0].new;
+        let a = new.children(new.root())[0];
+        assert_eq!(new.attr_local(a, "k"), Some("v"));
+    }
+}

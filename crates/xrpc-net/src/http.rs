@@ -1,0 +1,355 @@
+//! A minimal HTTP/1.1 server and client over `std::net` TCP — the
+//! reproduction of the paper's "ultra-light HTTP daemon" (shttpd, §3).
+//! POST-only with Content-Length framing, thread-per-connection, optional
+//! keep-alive.
+
+use crate::metrics::NetMetrics;
+use crate::{NetError, Transport};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handler for incoming requests: (path, body) → (status, response body).
+pub type Handler = dyn Fn(&str, &[u8]) -> (u16, Vec<u8>) + Send + Sync;
+
+/// A running HTTP server; dropping it stops the accept loop.
+pub struct HttpServer {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    pub metrics: Arc<NetMetrics>,
+}
+
+impl HttpServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and serve.
+    pub fn bind(addr: &str, handler: Arc<Handler>) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(NetMetrics::new());
+        let sd = shutdown.clone();
+        let m = metrics.clone();
+        listener.set_nonblocking(true)?;
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("xrpc-http-{local}"))
+            .spawn(move || {
+                while !sd.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let h = handler.clone();
+                            let m2 = m.clone();
+                            // request handlers may evaluate deep queries:
+                            // give them room (see xqeval recursion cap)
+                            let _ = std::thread::Builder::new()
+                                .stack_size(32 * 1024 * 1024)
+                                .spawn(move || {
+                                    let _ = serve_connection(stream, &h, &m2);
+                                });
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .map_err(|e| NetError::new(e.to_string()))?;
+        Ok(HttpServer {
+            addr: local,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            metrics,
+        })
+    }
+
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    pub fn addr(&self) -> String {
+        format!("127.0.0.1:{}", self.addr.port())
+    }
+
+    pub fn url(&self) -> String {
+        format!("http://127.0.0.1:{}/xrpc", self.addr.port())
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    handler: &Arc<Handler>,
+    metrics: &NetMetrics,
+) -> Result<(), NetError> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return Ok(()), // clean close
+            Err(e) => return Err(e),
+        };
+        let keep_alive = req.keep_alive;
+        let (status, body) = handler(&req.path, &req.body);
+        metrics.record(req.body.len(), body.len());
+        let reason = match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        };
+        let head = format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: application/soap+xml; charset=utf-8\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&body)?;
+        stream.flush()?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+struct Request {
+    path: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, NetError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("/").to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if method != "POST" && method != "GET" {
+        return Err(NetError::new(format!("unsupported method `{method}`")));
+    }
+    let mut content_length = 0usize;
+    let mut keep_alive = version == "HTTP/1.1";
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            return Err(NetError::new("connection closed mid-headers"));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            let k = k.trim().to_ascii_lowercase();
+            let v = v.trim();
+            if k == "content-length" {
+                content_length = v
+                    .parse()
+                    .map_err(|_| NetError::new("bad Content-Length"))?;
+            } else if k == "connection" {
+                keep_alive = v.eq_ignore_ascii_case("keep-alive");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request {
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+/// HTTP client: POST `body` to `http://host:port/path`.
+pub fn http_post(url: &str, body: &[u8]) -> Result<Vec<u8>, NetError> {
+    let (addr, path) = parse_url(url)?;
+    let mut stream = TcpStream::connect(&addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/soap+xml; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| NetError::new(format!("bad status line `{status_line}`")))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            return Err(NetError::new("connection closed mid-headers"));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut b = vec![0u8; n];
+            reader.read_exact(&mut b)?;
+            b
+        }
+        None => {
+            let mut b = Vec::new();
+            reader.read_to_end(&mut b)?;
+            b
+        }
+    };
+    if status >= 500 {
+        // server errors still carry a SOAP Fault body; surface both
+        return Ok(body);
+    }
+    Ok(body)
+}
+
+fn parse_url(url: &str) -> Result<(String, String), NetError> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| NetError::new(format!("expected http:// URL, got `{url}`")))?;
+    match rest.split_once('/') {
+        Some((addr, path)) => Ok((addr.to_string(), format!("/{path}"))),
+        None => Ok((rest.to_string(), "/".to_string())),
+    }
+}
+
+/// A [`Transport`] over real loopback TCP. `dest` must be an
+/// `http://host:port/path` URL.
+pub struct HttpTransport {
+    pub metrics: Arc<NetMetrics>,
+}
+
+impl HttpTransport {
+    pub fn new() -> Self {
+        HttpTransport {
+            metrics: Arc::new(NetMetrics::new()),
+        }
+    }
+}
+
+impl Default for HttpTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Transport for HttpTransport {
+    fn roundtrip(&self, dest: &str, body: &[u8]) -> Result<Vec<u8>, NetError> {
+        let resp = http_post(dest, body).inspect_err(|_| self.metrics.record_failure())?;
+        self.metrics.record(body.len(), resp.len());
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> HttpServer {
+        HttpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|path: &str, body: &[u8]| {
+                let mut out = format!("path={path};").into_bytes();
+                out.extend_from_slice(body);
+                (200, out)
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn post_roundtrip() {
+        let server = echo_server();
+        let url = format!("http://{}/xrpc", server.addr());
+        let resp = http_post(&url, b"hello").unwrap();
+        assert_eq!(resp, b"path=/xrpc;hello");
+        assert_eq!(server.metrics.snapshot().roundtrips, 1);
+    }
+
+    #[test]
+    fn large_body_roundtrip() {
+        let server = echo_server();
+        let url = format!("http://{}/big", server.addr());
+        let body = vec![b'x'; 1 << 20];
+        let resp = http_post(&url, &body).unwrap();
+        assert_eq!(resp.len(), body.len() + "path=/big;".len());
+    }
+
+    #[test]
+    fn concurrent_requests() {
+        let server = echo_server();
+        let url = format!("http://{}/c", server.addr());
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let u = url.clone();
+            handles.push(std::thread::spawn(move || {
+                let body = format!("req{i}");
+                let resp = http_post(&u, body.as_bytes()).unwrap();
+                assert!(resp.ends_with(body.as_bytes()));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.metrics.snapshot().roundtrips, 8);
+    }
+
+    #[test]
+    fn transport_impl() {
+        let server = echo_server();
+        let t = HttpTransport::new();
+        let url = format!("http://{}/t", server.addr());
+        let r = t.roundtrip(&url, b"abc").unwrap();
+        assert_eq!(r, b"path=/t;abc");
+        assert_eq!(t.metrics.snapshot().bytes_sent, 3);
+    }
+
+    #[test]
+    fn connection_refused_is_error() {
+        let t = HttpTransport::new();
+        assert!(t.roundtrip("http://127.0.0.1:1/x", b"x").is_err());
+        assert_eq!(t.metrics.snapshot().failures, 1);
+    }
+
+    #[test]
+    fn bad_url_rejected() {
+        assert!(parse_url("ftp://x").is_err());
+        assert_eq!(
+            parse_url("http://a:1/b/c").unwrap(),
+            ("a:1".to_string(), "/b/c".to_string())
+        );
+        assert_eq!(
+            parse_url("http://a:1").unwrap(),
+            ("a:1".to_string(), "/".to_string())
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Network substrate for XRPC: a minimal HTTP/1.1 implementation over
+//! `std::net` TCP (the paper's peers speak SOAP over HTTP, served by an
+//! "ultra-light HTTP daemon", §3) plus a *simulated* transport with a
+//! configurable latency/bandwidth model.
+//!
+//! The simulated transport exists because the reproduction has no two
+//! Athlon64 boxes on 1 Gb/s Ethernet: it makes the latency-amortization
+//! shapes of Tables 2–4 deterministic, and lets the ablation benches sweep
+//! LAN→WAN profiles (see DESIGN.md, substitution table).
+
+pub mod http;
+pub mod metrics;
+pub mod sim;
+
+pub use http::{http_post, HttpServer};
+pub use metrics::NetMetrics;
+pub use sim::{NetProfile, SimNetwork};
+
+use std::fmt;
+
+/// Transport-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetError {
+    pub message: String,
+}
+
+impl NetError {
+    pub fn new(message: impl Into<String>) -> Self {
+        NetError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "network error: {}", self.message)
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::new(e.to_string())
+    }
+}
+
+/// A request/response transport: POST `body` to `dest`, get the response
+/// body back. Implementations: [`sim::SimNetwork`] (in-process) and
+/// [`http::HttpTransport`] (real TCP loopback).
+pub trait Transport: Send + Sync {
+    fn roundtrip(&self, dest: &str, body: &[u8]) -> Result<Vec<u8>, NetError>;
+}

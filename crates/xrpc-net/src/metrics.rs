@@ -1,0 +1,75 @@
+//! Byte/round-trip counters shared by both transports; the throughput
+//! experiment (paper §3.3, "Throughput") reads these.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters; cheap enough to update on every message.
+#[derive(Default, Debug)]
+pub struct NetMetrics {
+    pub roundtrips: AtomicU64,
+    pub bytes_sent: AtomicU64,
+    pub bytes_received: AtomicU64,
+    pub failures: AtomicU64,
+}
+
+impl NetMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, sent: usize, received: usize) {
+        self.roundtrips.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(sent as u64, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(received as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            roundtrips: self.roundtrips.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.roundtrips.store(0, Ordering::Relaxed);
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.bytes_received.store(0, Ordering::Relaxed);
+        self.failures.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub roundtrips: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub failures: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = NetMetrics::new();
+        m.record(100, 200);
+        m.record(1, 2);
+        m.record_failure();
+        let s = m.snapshot();
+        assert_eq!(s.roundtrips, 2);
+        assert_eq!(s.bytes_sent, 101);
+        assert_eq!(s.bytes_received, 202);
+        assert_eq!(s.failures, 1);
+        m.reset();
+        assert_eq!(m.snapshot().roundtrips, 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The simulated network: in-process peers joined by links with a
+//! configurable one-way latency and bandwidth, plus fault injection.
+//!
+//! Cost model per round trip (both directions):
+//! `2·latency + request_bytes/bandwidth + response_bytes/bandwidth`,
+//! realized by actually sleeping, so wall-clock benchmark numbers carry
+//! the same latency-amortization signal as the paper's testbed.
+
+use crate::metrics::NetMetrics;
+use crate::{NetError, Transport};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Link characteristics.
+#[derive(Clone, Copy, Debug)]
+pub struct NetProfile {
+    pub one_way_latency: Duration,
+    /// Bytes per second; `None` = infinite.
+    pub bandwidth_bytes_per_sec: Option<u64>,
+}
+
+impl NetProfile {
+    /// Zero-cost link (pure in-process call).
+    pub fn instant() -> Self {
+        NetProfile {
+            one_way_latency: Duration::ZERO,
+            bandwidth_bytes_per_sec: None,
+        }
+    }
+
+    /// The paper's testbed: 1 Gb/s Ethernet LAN, sub-millisecond latency.
+    pub fn lan() -> Self {
+        NetProfile {
+            one_way_latency: Duration::from_micros(500),
+            bandwidth_bytes_per_sec: Some(125_000_000), // 1 Gb/s
+        }
+    }
+
+    /// A WAN-ish profile for the ablation sweeps.
+    pub fn wan() -> Self {
+        NetProfile {
+            one_way_latency: Duration::from_millis(25),
+            bandwidth_bytes_per_sec: Some(12_500_000), // 100 Mb/s
+        }
+    }
+
+    pub fn with_latency(latency: Duration) -> Self {
+        NetProfile {
+            one_way_latency: latency,
+            bandwidth_bytes_per_sec: Some(125_000_000),
+        }
+    }
+
+    fn transfer_cost(&self, bytes: usize) -> Duration {
+        let mut d = self.one_way_latency;
+        if let Some(bw) = self.bandwidth_bytes_per_sec {
+            d += Duration::from_secs_f64(bytes as f64 / bw as f64);
+        }
+        d
+    }
+}
+
+type PeerHandler = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
+
+struct PeerEntry {
+    handler: PeerHandler,
+    /// Number of upcoming requests to fail (fault injection).
+    fail_next: AtomicU32,
+}
+
+/// An in-process network of named peers.
+#[derive(Default)]
+pub struct SimNetwork {
+    peers: RwLock<HashMap<String, Arc<PeerEntry>>>,
+    profile: RwLock<NetProfile>,
+    pub metrics: Arc<NetMetrics>,
+}
+
+impl SimNetwork {
+    pub fn new(profile: NetProfile) -> Self {
+        SimNetwork {
+            peers: RwLock::new(HashMap::new()),
+            profile: RwLock::new(profile),
+            metrics: Arc::new(NetMetrics::new()),
+        }
+    }
+
+    /// Register a peer under a destination URI (e.g. `xrpc://y.example.org`).
+    pub fn register(&self, dest: impl Into<String>, handler: PeerHandler) {
+        self.peers.write().insert(
+            dest.into(),
+            Arc::new(PeerEntry {
+                handler,
+                fail_next: AtomicU32::new(0),
+            }),
+        );
+    }
+
+    pub fn set_profile(&self, profile: NetProfile) {
+        *self.profile.write() = profile;
+    }
+
+    pub fn profile(&self) -> NetProfile {
+        *self.profile.read()
+    }
+
+    /// Make the next `n` requests to `dest` fail (link fault injection).
+    pub fn inject_failures(&self, dest: &str, n: u32) {
+        if let Some(p) = self.peers.read().get(dest) {
+            p.fail_next.store(n, Ordering::SeqCst);
+        }
+    }
+
+    pub fn peer_names(&self) -> Vec<String> {
+        self.peers.read().keys().cloned().collect()
+    }
+}
+
+impl Default for NetProfile {
+    fn default() -> Self {
+        NetProfile::lan()
+    }
+}
+
+impl Transport for SimNetwork {
+    fn roundtrip(&self, dest: &str, body: &[u8]) -> Result<Vec<u8>, NetError> {
+        let peer = self
+            .peers
+            .read()
+            .get(dest)
+            .cloned()
+            .ok_or_else(|| {
+                self.metrics.record_failure();
+                NetError::new(format!("unknown peer `{dest}`"))
+            })?;
+        if peer.fail_next.load(Ordering::SeqCst) > 0 {
+            peer.fail_next.fetch_sub(1, Ordering::SeqCst);
+            self.metrics.record_failure();
+            return Err(NetError::new(format!("injected fault on link to `{dest}`")));
+        }
+        let profile = *self.profile.read();
+        let send_cost = profile.transfer_cost(body.len());
+        if !send_cost.is_zero() {
+            std::thread::sleep(send_cost);
+        }
+        let response = (peer.handler)(body);
+        let recv_cost = profile.transfer_cost(response.len());
+        if !recv_cost.is_zero() {
+            std::thread::sleep(recv_cost);
+        }
+        self.metrics.record(body.len(), response.len());
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn roundtrip_calls_handler() {
+        let net = SimNetwork::new(NetProfile::instant());
+        net.register(
+            "xrpc://y",
+            Arc::new(|b: &[u8]| {
+                let mut v = b.to_vec();
+                v.reverse();
+                v
+            }),
+        );
+        assert_eq!(net.roundtrip("xrpc://y", b"abc").unwrap(), b"cba");
+        assert_eq!(net.metrics.snapshot().roundtrips, 1);
+    }
+
+    #[test]
+    fn unknown_peer_errors() {
+        let net = SimNetwork::new(NetProfile::instant());
+        assert!(net.roundtrip("xrpc://nowhere", b"x").is_err());
+        assert_eq!(net.metrics.snapshot().failures, 1);
+    }
+
+    #[test]
+    fn latency_is_charged_per_roundtrip() {
+        let net = SimNetwork::new(NetProfile::with_latency(Duration::from_millis(5)));
+        net.register("xrpc://y", Arc::new(|_: &[u8]| vec![]));
+        let t0 = Instant::now();
+        net.roundtrip("xrpc://y", b"x").unwrap();
+        let one = t0.elapsed();
+        assert!(one >= Duration::from_millis(10), "round trip should cost 2x latency, took {one:?}");
+
+        // bulk amortization: 1 round trip for N calls beats N round trips
+        let t1 = Instant::now();
+        for _ in 0..5 {
+            net.roundtrip("xrpc://y", b"x").unwrap();
+        }
+        let five = t1.elapsed();
+        assert!(five >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn bandwidth_charged_for_large_payloads() {
+        let net = SimNetwork::new(NetProfile {
+            one_way_latency: Duration::ZERO,
+            bandwidth_bytes_per_sec: Some(1_000_000), // 1 MB/s
+        });
+        net.register("xrpc://y", Arc::new(|_: &[u8]| vec![]));
+        let body = vec![0u8; 100_000]; // 0.1s at 1MB/s
+        let t0 = Instant::now();
+        net.roundtrip("xrpc://y", &body).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(90));
+    }
+
+    #[test]
+    fn fault_injection_fails_then_recovers() {
+        let net = SimNetwork::new(NetProfile::instant());
+        net.register("xrpc://y", Arc::new(|_: &[u8]| b"ok".to_vec()));
+        net.inject_failures("xrpc://y", 2);
+        assert!(net.roundtrip("xrpc://y", b"x").is_err());
+        assert!(net.roundtrip("xrpc://y", b"x").is_err());
+        assert_eq!(net.roundtrip("xrpc://y", b"x").unwrap(), b"ok");
+    }
+
+    #[test]
+    fn profiles_sane() {
+        assert!(NetProfile::lan().one_way_latency < NetProfile::wan().one_way_latency);
+        assert!(NetProfile::instant().transfer_cost(1 << 30).is_zero());
+    }
+}

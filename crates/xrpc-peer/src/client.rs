@@ -1,0 +1,263 @@
+//! The XRPC client stub (paper §3, "message sender API"): turns dispatch
+//! requests from either engine into SOAP XRPC messages on a [`Transport`],
+//! parses responses, converts faults into local run-time errors, and
+//! collects the piggybacked participating-peer lists for 2PC.
+
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+use xdm::{Sequence, XdmError, XdmResult};
+use xqeval::context::{FunctionRef, RpcDispatcher};
+use xrpc_net::Transport;
+use xrpc_proto::{parse_message, QueryId, XrpcMessage, XrpcRequest};
+
+/// One query's view of the network: the transport, the queryID (when the
+/// query runs under repeatable-read isolation) and the deferred-update
+/// flag (rule R'Fu).
+pub struct XrpcClient {
+    pub transport: Arc<dyn Transport>,
+    pub query_id: Option<QueryId>,
+    pub deferred_updates: bool,
+    /// Every peer that participated in this query (directly or nested) —
+    /// the originator registers these with the 2PC coordinator (§2.3).
+    pub participants: Mutex<HashSet<String>>,
+    /// Requests sent (for experiment accounting).
+    pub requests_sent: std::sync::atomic::AtomicU64,
+    /// Individual calls sent (≥ requests when Bulk RPC batches).
+    pub calls_sent: std::sync::atomic::AtomicU64,
+}
+
+impl XrpcClient {
+    pub fn new(transport: Arc<dyn Transport>) -> Self {
+        XrpcClient {
+            transport,
+            query_id: None,
+            deferred_updates: false,
+            participants: Mutex::new(HashSet::new()),
+            requests_sent: std::sync::atomic::AtomicU64::new(0),
+            calls_sent: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    pub fn with_query_id(mut self, qid: QueryId) -> Self {
+        self.query_id = Some(qid);
+        self
+    }
+
+    pub fn with_deferred_updates(mut self, deferred: bool) -> Self {
+        self.deferred_updates = deferred;
+        self
+    }
+
+    pub fn participants_snapshot(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.participants.lock().iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Send a raw control request (used by the 2PC driver).
+    pub fn send_control(&self, dest: &str, method: &str, qid: &QueryId) -> XdmResult<()> {
+        let mut req = XrpcRequest::new(crate::twopc::WSAT_MODULE, method, 0)
+            .with_query_id(qid.clone());
+        req.push_call(vec![]);
+        let xml = req.to_xml()?;
+        let resp = self
+            .transport
+            .roundtrip(dest, xml.as_bytes())
+            .map_err(|e| XdmError::xrpc(e.to_string()))?;
+        match parse_message(std::str::from_utf8(&resp).map_err(|_| {
+            XdmError::xrpc("non-UTF8 response")
+        })?)? {
+            XrpcMessage::Response(_) => Ok(()),
+            XrpcMessage::Fault(f) => Err(f.to_error()),
+            XrpcMessage::Request(_) => Err(XdmError::xrpc("unexpected request as reply")),
+        }
+    }
+}
+
+impl RpcDispatcher for XrpcClient {
+    fn dispatch(
+        &self,
+        dest: &str,
+        func: &FunctionRef,
+        calls: Vec<Vec<Sequence>>,
+    ) -> XdmResult<Vec<Sequence>> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let ncalls = calls.len();
+        let mut req = XrpcRequest::new(func.module_ns.clone(), func.local_name.clone(), func.arity);
+        req.location = func.location_hint.clone();
+        req.query_id = self.query_id.clone();
+        req.deferred = self.deferred_updates && func.updating;
+        for c in calls {
+            req.push_call(c);
+        }
+        let xml = req.to_xml()?;
+        self.requests_sent.fetch_add(1, Relaxed);
+        self.calls_sent.fetch_add(ncalls as u64, Relaxed);
+        let resp_bytes = self
+            .transport
+            .roundtrip(dest, xml.as_bytes())
+            .map_err(|e| XdmError::xrpc(format!("XRPC to `{dest}` failed: {e}")))?;
+        let resp_text = std::str::from_utf8(&resp_bytes)
+            .map_err(|_| XdmError::xrpc("non-UTF8 XRPC response"))?;
+        match parse_message(resp_text)? {
+            XrpcMessage::Response(r) => {
+                let mut parts = self.participants.lock();
+                parts.insert(dest.to_string());
+                for p in &r.participating_peers {
+                    parts.insert(p.clone());
+                }
+                if r.results.len() != ncalls {
+                    return Err(XdmError::xrpc(format!(
+                        "response carries {} results for {} calls",
+                        r.results.len(),
+                        ncalls
+                    )));
+                }
+                Ok(r.results)
+            }
+            // "any error will cause a run-time error at the site that
+            // originated the query" (§2.1)
+            XrpcMessage::Fault(f) => Err(f.to_error()),
+            XrpcMessage::Request(_) => Err(XdmError::xrpc("peer answered with a request")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdm::Item;
+    use xrpc_net::{NetProfile, SimNetwork};
+    use xrpc_proto::{XrpcFault, XrpcResponse};
+
+    fn func() -> FunctionRef {
+        FunctionRef {
+            module_ns: "films".into(),
+            location_hint: Some("http://x/film.xq".into()),
+            local_name: "filmsByActor".into(),
+            arity: 1,
+            updating: false,
+        }
+    }
+
+    #[test]
+    fn dispatch_roundtrip_through_sim_network() {
+        let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+        net.register(
+            "xrpc://y",
+            Arc::new(|body: &[u8]| {
+                // echo a response with as many result sequences as calls
+                let msg = parse_message(std::str::from_utf8(body).unwrap()).unwrap();
+                let req = match msg {
+                    XrpcMessage::Request(r) => r,
+                    _ => panic!(),
+                };
+                assert_eq!(req.module, "films");
+                assert_eq!(req.location.as_deref(), Some("http://x/film.xq"));
+                let mut resp = XrpcResponse::new(req.module, req.method);
+                for c in &req.calls {
+                    resp.results
+                        .push(Sequence::one(Item::string(c[0].items()[0].string_value())));
+                }
+                resp.participating_peers.push("xrpc://nested".into());
+                resp.to_xml().unwrap().into_bytes()
+            }),
+        );
+        let client = XrpcClient::new(net);
+        let results = client
+            .dispatch(
+                "xrpc://y",
+                &func(),
+                vec![
+                    vec![Sequence::one(Item::string("a"))],
+                    vec![Sequence::one(Item::string("b"))],
+                ],
+            )
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[1].items()[0].string_value(), "b");
+        assert_eq!(
+            client.participants_snapshot(),
+            vec!["xrpc://nested".to_string(), "xrpc://y".to_string()]
+        );
+        assert_eq!(client.requests_sent.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(client.calls_sent.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn fault_becomes_local_error() {
+        let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+        net.register(
+            "xrpc://y",
+            Arc::new(|_: &[u8]| {
+                XrpcFault::from_error(&XdmError::doc_error("could not load module!"))
+                    .to_xml()
+                    .into_bytes()
+            }),
+        );
+        let client = XrpcClient::new(net);
+        let err = client
+            .dispatch("xrpc://y", &func(), vec![vec![Sequence::empty()]])
+            .unwrap_err();
+        assert_eq!(err.code, "FODC0002");
+        assert!(err.message.contains("could not load module!"));
+    }
+
+    #[test]
+    fn network_failure_is_error() {
+        let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+        let client = XrpcClient::new(net);
+        let err = client
+            .dispatch("xrpc://gone", &func(), vec![vec![Sequence::empty()]])
+            .unwrap_err();
+        assert_eq!(err.code, "XRPC0001");
+    }
+
+    #[test]
+    fn result_count_mismatch_rejected() {
+        let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+        net.register(
+            "xrpc://y",
+            Arc::new(|_: &[u8]| {
+                let mut resp = XrpcResponse::new("films", "filmsByActor");
+                resp.results.push(Sequence::empty()); // only one result
+                resp.to_xml().unwrap().into_bytes()
+            }),
+        );
+        let client = XrpcClient::new(net);
+        let err = client
+            .dispatch(
+                "xrpc://y",
+                &func(),
+                vec![vec![Sequence::empty()], vec![Sequence::empty()]],
+            )
+            .unwrap_err();
+        assert!(err.message.contains("results for 2 calls"));
+    }
+
+    #[test]
+    fn query_id_propagates_on_wire() {
+        let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+        net.register(
+            "xrpc://y",
+            Arc::new(|body: &[u8]| {
+                let req = match parse_message(std::str::from_utf8(body).unwrap()).unwrap() {
+                    XrpcMessage::Request(r) => r,
+                    _ => panic!(),
+                };
+                let qid = req.query_id.expect("queryID must be present");
+                assert_eq!(qid.host, "p0.example.org");
+                assert_eq!(qid.timeout_secs, 30);
+                let mut resp = XrpcResponse::new(req.module, req.method);
+                resp.results.push(Sequence::empty());
+                resp.to_xml().unwrap().into_bytes()
+            }),
+        );
+        let client = XrpcClient::new(net)
+            .with_query_id(QueryId::new("p0.example.org", 12345, 30));
+        client
+            .dispatch("xrpc://y", &func(), vec![vec![Sequence::empty()]])
+            .unwrap();
+    }
+}

@@ -1,0 +1,61 @@
+//! A tiny "module web": URL → XQuery module source, standing in for the
+//! web server at `http://x.example.org/film.xq` that hosts modules in the
+//! paper's examples. Peers install it as their module loader so that a
+//! request's `location` at-hint can be resolved on first use.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use xdm::{XdmError, XdmResult};
+
+#[derive(Default)]
+pub struct ModuleWeb {
+    pages: RwLock<HashMap<String, String>>,
+}
+
+impl ModuleWeb {
+    pub fn new() -> Arc<Self> {
+        Arc::new(ModuleWeb::default())
+    }
+
+    pub fn publish(&self, url: impl Into<String>, source: impl Into<String>) {
+        self.pages.write().insert(url.into(), source.into());
+    }
+
+    pub fn fetch(&self, url: &str) -> XdmResult<String> {
+        self.pages
+            .read()
+            .get(url)
+            .cloned()
+            .ok_or_else(|| XdmError::xrpc(format!("could not load module! (no page at `{url}`)")))
+    }
+
+    /// Install this web as the loader of a module registry.
+    pub fn install(self: &Arc<Self>, registry: &xqeval::ModuleRegistry) {
+        let web = self.clone();
+        registry.set_loader(move |hint| web.fetch(hint));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_fetch_and_install() {
+        let web = ModuleWeb::new();
+        web.publish(
+            "http://x.example.org/film.xq",
+            "module namespace film = \"films\"; declare function film:f() { 1 };",
+        );
+        assert!(web.fetch("http://x.example.org/film.xq").is_ok());
+        assert!(web.fetch("http://nowhere").is_err());
+
+        let reg = xqeval::ModuleRegistry::new();
+        web.install(&reg);
+        let m = reg
+            .get_or_load("films", Some("http://x.example.org/film.xq"))
+            .unwrap();
+        assert!(m.function("f", 0).is_some());
+    }
+}

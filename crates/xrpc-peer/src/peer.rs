@@ -1,0 +1,542 @@
+//! The peer: one XQuery database node speaking XRPC on both sides.
+
+use crate::client::XrpcClient;
+use crate::store::{QuerySnapshot, SnapshotManager};
+use crate::twopc::{self, CommitOutcome, METHOD_ABORT, METHOD_COMMIT, METHOD_PREPARE, WSAT_MODULE};
+use parking_lot::RwLock;
+use relalg::FunctionCache;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xdm::types::ItemKind;
+use xdm::{Item, Sequence, XdmError, XdmResult};
+use xqeval::context::{DocResolver, Environment, StaticContext};
+use xqeval::eval::{Ctx, EvalState, Evaluator};
+use xqeval::modules::CompiledModule;
+use xqeval::pul::{apply_updates, PendingUpdateList};
+use xqeval::{InMemoryDocs, ModuleRegistry};
+use xqast::FunctionDecl;
+use xrpc_net::Transport;
+use xrpc_proto::{
+    parse_message, QueryId, XrpcFault, XrpcMessage, XrpcRequest, XrpcResponse,
+};
+
+/// Which engine executes queries and incoming requests at this peer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineKind {
+    /// Tree-walking (the "Saxon" role).
+    Tree,
+    /// Loop-lifted relational (the "MonetDB/XQuery" role) — generates Bulk
+    /// RPC for `execute at` in loops.
+    Rel,
+}
+
+/// Isolation level for a query (paper §2.2): `declare option
+/// xrpc:isolation "none" | "repeatable"`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IsolationLevel {
+    None,
+    Repeatable,
+}
+
+/// Peer-side counters for the experiment harness.
+#[derive(Default, Debug)]
+pub struct PeerStats {
+    pub requests_handled: AtomicU64,
+    pub calls_handled: AtomicU64,
+    pub functions_prepared: AtomicU64,
+    pub control_messages: AtomicU64,
+}
+
+/// The prepared artifact the function cache stores: the function
+/// definition plus the static context of its module.
+pub struct PreparedFunction {
+    pub decl: Arc<FunctionDecl>,
+    pub sctx: StaticContext,
+}
+
+/// Outcome details of a top-level query execution.
+pub struct ExecOutcome {
+    pub result: Sequence,
+    pub isolation: IsolationLevel,
+    pub commit: Option<CommitOutcome>,
+    pub requests_sent: u64,
+    pub calls_sent: u64,
+}
+
+/// One XRPC peer.
+pub struct Peer {
+    /// This peer's `xrpc://host[:port]` URI (settable after construction,
+    /// e.g. once an ephemeral HTTP port is known).
+    name: RwLock<String>,
+    pub engine: EngineKind,
+    pub docs: Arc<InMemoryDocs>,
+    pub modules: Arc<ModuleRegistry>,
+    module_sources: RwLock<HashMap<String, String>>,
+    pub snapshots: SnapshotManager,
+    transport: RwLock<Option<Arc<dyn Transport>>>,
+    pub function_cache: FunctionCache<PreparedFunction>,
+    pub stats: PeerStats,
+    /// Default `xrpc:timeout` seconds when a query does not declare one.
+    pub default_timeout_secs: u32,
+    /// Opt into the distributed-optimizer behaviours (invariant hoisting,
+    /// duplicate bulk-call collapsing) for queries run at this peer.
+    rpc_optimize: std::sync::atomic::AtomicBool,
+}
+
+impl Peer {
+    pub fn new(name: impl Into<String>, engine: EngineKind) -> Arc<Self> {
+        Arc::new(Peer {
+            name: RwLock::new(name.into()),
+            engine,
+            docs: Arc::new(InMemoryDocs::new()),
+            modules: Arc::new(ModuleRegistry::new()),
+            module_sources: RwLock::new(HashMap::new()),
+            snapshots: SnapshotManager::new(),
+            transport: RwLock::new(None),
+            function_cache: FunctionCache::new(true),
+            stats: PeerStats::default(),
+            default_timeout_secs: 30,
+            rpc_optimize: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// Enable/disable the distributed-optimizer behaviours (loop-invariant
+    /// `execute at` hoisting + duplicate-call collapsing).
+    pub fn set_rpc_optimize(&self, on: bool) {
+        self.rpc_optimize.store(on, Ordering::SeqCst);
+    }
+
+    pub fn name(&self) -> String {
+        self.name.read().clone()
+    }
+
+    /// Rename the peer (used when its network address is only known after
+    /// binding a server socket).
+    pub fn set_name(&self, name: impl Into<String>) {
+        *self.name.write() = name.into();
+    }
+
+    /// Install the transport used for *outgoing* XRPC calls.
+    pub fn set_transport(&self, t: Arc<dyn Transport>) {
+        *self.transport.write() = Some(t);
+    }
+
+    pub fn transport(&self) -> Option<Arc<dyn Transport>> {
+        self.transport.read().clone()
+    }
+
+    /// Load a document into the store.
+    pub fn add_document(&self, uri: &str, xml: &str) -> XdmResult<()> {
+        let doc = xmldom::parse_with_uri(xml, uri)
+            .map_err(|e| XdmError::doc_error(e.to_string()))?;
+        self.docs.insert(uri, doc);
+        Ok(())
+    }
+
+    /// Register a library module (retaining the source so the
+    /// no-function-cache mode can re-translate it per request, §3.3).
+    pub fn register_module(&self, source: &str) -> XdmResult<String> {
+        let ns = self.modules.register_source(source)?;
+        self.module_sources
+            .write()
+            .insert(ns.clone(), source.to_string());
+        Ok(ns)
+    }
+
+    /// A SOAP handler closure for transports (SimNetwork / HttpServer).
+    pub fn soap_handler(self: &Arc<Self>) -> Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync> {
+        let peer = self.clone();
+        Arc::new(move |body: &[u8]| peer.handle_soap(body))
+    }
+
+    /// Handle one incoming SOAP message; always answers with a SOAP
+    /// message (response or fault) — §2.1's error contract.
+    pub fn handle_soap(&self, body: &[u8]) -> Vec<u8> {
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(_) => {
+                return XrpcFault::from_error(&XdmError::xrpc("request is not UTF-8"))
+                    .to_xml()
+                    .into_bytes()
+            }
+        };
+        match self.handle_message(text) {
+            Ok(resp) => match resp.to_xml() {
+                Ok(xml) => xml.into_bytes(),
+                Err(e) => XrpcFault::from_error(&e).to_xml().into_bytes(),
+            },
+            Err(e) => XrpcFault::from_error(&e).to_xml().into_bytes(),
+        }
+    }
+
+    fn handle_message(&self, text: &str) -> XdmResult<XrpcResponse> {
+        let req = match parse_message(text)? {
+            XrpcMessage::Request(r) => r,
+            _ => return Err(XdmError::xrpc("expected an xrpc:request")),
+        };
+        if req.module == WSAT_MODULE {
+            return self.handle_control(&req);
+        }
+        if req.module == crate::remote_docs::DOC_MODULE {
+            return self.handle_doc_fetch(&req);
+        }
+        self.handle_call_request(req)
+    }
+
+    /// WS-AtomicTransaction participant side (§2.3).
+    fn handle_control(&self, req: &XrpcRequest) -> XdmResult<XrpcResponse> {
+        self.stats.control_messages.fetch_add(1, Ordering::Relaxed);
+        let qid = req
+            .query_id
+            .as_ref()
+            .ok_or_else(|| XdmError::xrpc("coordination message without queryID"))?;
+        match req.method.as_str() {
+            METHOD_PREPARE => {
+                let snap = self.snapshots.get(qid)?;
+                // "It logs the union of the pending update lists to stable
+                // storage, ensuring q can commit later" — compatibility is
+                // the only thing that can refuse here.
+                snap.pul.lock().check_compatibility()?;
+                *snap.prepared.lock() = true;
+            }
+            METHOD_COMMIT => {
+                let snap = self.snapshots.get(qid)?;
+                if !*snap.prepared.lock() {
+                    return Err(XdmError::xrpc("Commit before Prepare"));
+                }
+                let pul = snap.pul.lock().clone();
+                self.apply_pul(&pul)?;
+                self.snapshots.finish(qid);
+            }
+            METHOD_ABORT => {
+                // releases the snapshot; also used as end-of-query for
+                // read-only repeatable queries
+                if self.snapshots.get(qid).is_ok() {
+                    self.snapshots.finish(qid);
+                }
+            }
+            other => return Err(XdmError::xrpc(format!("unknown control method `{other}`"))),
+        }
+        let mut resp = XrpcResponse::new(WSAT_MODULE, req.method.clone());
+        resp.results.push(Sequence::empty());
+        Ok(resp)
+    }
+
+    /// Serve `fn:doc` data-shipping fetches (reserved module, see
+    /// `remote_docs`). Respects the queryID snapshot when present.
+    fn handle_doc_fetch(&self, req: &XrpcRequest) -> XdmResult<XrpcResponse> {
+        self.stats.requests_handled.fetch_add(1, Ordering::Relaxed);
+        let resolver: Arc<dyn DocResolver> = match &req.query_id {
+            Some(qid) => self
+                .snapshots
+                .get_or_pin(qid, || self.docs.snapshot())?
+                .resolver(),
+            None => self.docs.clone(),
+        };
+        let mut resp = XrpcResponse::new(req.module.clone(), req.method.clone());
+        for call in &req.calls {
+            let path = call
+                .first()
+                .and_then(|s| s.first())
+                .map(|i| i.string_value())
+                .ok_or_else(|| XdmError::xrpc("doc fetch without a path"))?;
+            let doc = resolver.resolve(&path)?;
+            resp.results.push(Sequence::one(Item::Node(
+                xmldom::NodeHandle::root(doc),
+            )));
+        }
+        resp.participating_peers = vec![self.name()];
+        Ok(resp)
+    }
+
+    /// Handle an XRPC function-call request (possibly Bulk).
+    fn handle_call_request(&self, req: XrpcRequest) -> XdmResult<XrpcResponse> {
+        self.stats.requests_handled.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .calls_handled
+            .fetch_add(req.calls.len() as u64, Ordering::Relaxed);
+
+        let key = (req.module.clone(), req.method.clone(), req.arity);
+        let prepared = self
+            .function_cache
+            .get_or_prepare(key, || self.prepare_function(&req))?;
+
+        // Isolation: pin (or reuse) a snapshot when a queryID is present.
+        let (resolver, snap): (Arc<dyn DocResolver>, Option<Arc<QuerySnapshot>>) =
+            match &req.query_id {
+                Some(qid) => {
+                    let s = self.snapshots.get_or_pin(qid, || self.docs.snapshot())?;
+                    (s.resolver(), Some(s))
+                }
+                None => (self.docs.clone(), None),
+            };
+
+        // Dispatcher for nested XRPC calls made by the function body.
+        let nested_client = self.transport().map(|t| {
+            let mut c = XrpcClient::new(t);
+            c.query_id = req.query_id.clone();
+            c.deferred_updates = req.deferred;
+            Arc::new(c)
+        });
+
+        let resolver: Arc<dyn DocResolver> = match &nested_client {
+            Some(c) => crate::remote_docs::RemoteDocResolver::new(resolver, c.clone()),
+            None => resolver,
+        };
+        let mut env = Environment::new(resolver).with_modules(self.modules.clone());
+        if let Some(c) = &nested_client {
+            env.dispatcher = Some(c.clone() as Arc<dyn xqeval::context::RpcDispatcher>);
+        }
+
+        let ev = Evaluator {
+            env: &env,
+            sctx: Arc::new(prepared.sctx.clone()),
+            local_functions: Arc::new(HashMap::new()),
+        };
+
+        let mut results = Vec::with_capacity(req.calls.len());
+        let mut pul_total = PendingUpdateList::new();
+        for args in &req.calls {
+            let mut st = EvalState::new();
+            bind_params(&prepared.decl, args, &mut st)?;
+            let r = ev.eval(&prepared.decl.body, &mut st, &Ctx::none())?;
+            if prepared.decl.updating {
+                pul_total.merge(st.pul);
+                results.push(Sequence::empty());
+            } else {
+                // a non-updating function must not update (XQUF); tolerate
+                // fn:put which the spec treats as updating
+                pul_total.merge(st.pul);
+                results.push(r);
+            }
+        }
+
+        if !pul_total.is_empty() {
+            if req.deferred {
+                // rule R'Fu: defer ∆ until 2PC commit
+                let snap = snap.ok_or_else(|| {
+                    XdmError::xrpc("deferred updates require a queryID (isolation)")
+                })?;
+                snap.pul.lock().merge(pul_total);
+            } else {
+                // rule RFu: apply immediately after the request
+                self.apply_pul(&pul_total)?;
+            }
+        }
+
+        let mut resp = XrpcResponse::new(req.module, req.method);
+        resp.results = results;
+        // Piggyback the peers this handling (transitively) involved.
+        let mut peers: Vec<String> = nested_client
+            .map(|c| c.participants_snapshot())
+            .unwrap_or_default();
+        peers.push(self.name());
+        peers.sort();
+        peers.dedup();
+        resp.participating_peers = peers;
+        Ok(resp)
+    }
+
+    fn prepare_function(&self, req: &XrpcRequest) -> XdmResult<PreparedFunction> {
+        self.stats.functions_prepared.fetch_add(1, Ordering::Relaxed);
+        let module = if self.function_cache.is_enabled() {
+            self.modules.get_or_load(&req.module, req.location.as_deref())?
+        } else {
+            // No function cache: re-translate the module on every request,
+            // the paper's "No Function Cache" column.
+            match self.module_sources.read().get(&req.module) {
+                Some(src) => {
+                    let lib = xqast::parse_library_module(src)?;
+                    Arc::new(CompiledModule::from_library(&lib))
+                }
+                None => self.modules.get_or_load(&req.module, req.location.as_deref())?,
+            }
+        };
+        let decl = module.function(&req.method, req.arity).ok_or_else(|| {
+            XdmError::unknown_function(format!(
+                "module `{}` has no function {}#{}",
+                req.module, req.method, req.arity
+            ))
+        })?;
+        Ok(PreparedFunction {
+            decl,
+            sctx: module.sctx.clone(),
+        })
+    }
+
+    fn apply_pul(&self, pul: &PendingUpdateList) -> XdmResult<()> {
+        for edit in apply_updates(pul)? {
+            if let Some(uri) = &edit.uri {
+                self.docs.replace(uri, edit.new.clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Originator side
+    // ------------------------------------------------------------------
+
+    /// Execute a query at this peer (convenience over
+    /// [`execute_detailed`](Self::execute_detailed)).
+    pub fn execute(&self, query: &str) -> XdmResult<Sequence> {
+        self.execute_detailed(query).map(|o| o.result)
+    }
+
+    /// Execute a query, honoring `declare option xrpc:isolation` /
+    /// `xrpc:timeout`, driving deferred updates through 2PC when the query
+    /// runs isolated.
+    pub fn execute_detailed(&self, query: &str) -> XdmResult<ExecOutcome> {
+        let module = xqast::parse_main_module(query)?;
+        let isolation = match module.prolog.option("xrpc", "isolation") {
+            Some("repeatable") => IsolationLevel::Repeatable,
+            Some("none") | None => IsolationLevel::None,
+            Some(other) => {
+                return Err(XdmError::xrpc(format!(
+                    "unknown xrpc:isolation level `{other}`"
+                )))
+            }
+        };
+        let timeout: u32 = match module.prolog.option("xrpc", "timeout") {
+            Some(t) => t
+                .parse()
+                .map_err(|_| XdmError::xrpc("xrpc:timeout must be an integer"))?,
+            None => self.default_timeout_secs,
+        };
+        let qid = match isolation {
+            IsolationLevel::Repeatable => {
+                Some(QueryId::new(self.name(), crate::now_millis(), timeout))
+            }
+            IsolationLevel::None => None,
+        };
+
+        let client = self.transport().map(|t| {
+            let mut c = XrpcClient::new(t);
+            c.query_id = qid.clone();
+            c.deferred_updates = isolation == IsolationLevel::Repeatable;
+            Arc::new(c)
+        });
+
+        // Local repeatable read: evaluate against a pinned local snapshot.
+        let resolver: Arc<dyn DocResolver> = match isolation {
+            IsolationLevel::Repeatable => Arc::new(FrozenDocs {
+                docs: self.docs.snapshot(),
+            }),
+            IsolationLevel::None => self.docs.clone(),
+        };
+        let resolver: Arc<dyn DocResolver> = match &client {
+            Some(c) => crate::remote_docs::RemoteDocResolver::new(resolver, c.clone()),
+            None => resolver,
+        };
+        let mut env = Environment::new(resolver).with_modules(self.modules.clone());
+        env.rpc_optimize = self.rpc_optimize.load(Ordering::SeqCst);
+        if let Some(c) = &client {
+            env.dispatcher = Some(c.clone() as Arc<dyn xqeval::context::RpcDispatcher>);
+        }
+
+        let (result, local_pul) = match self.engine {
+            EngineKind::Tree => xqeval::eval::evaluate_parsed(&module, &env, Vec::new())?,
+            EngineKind::Rel => relalg::engine::execute_rel_parsed(&module, &env, Vec::new())?,
+        };
+
+        let (requests_sent, calls_sent) = client
+            .as_ref()
+            .map(|c| {
+                (
+                    c.requests_sent.load(Ordering::Relaxed),
+                    c.calls_sent.load(Ordering::Relaxed),
+                )
+            })
+            .unwrap_or((0, 0));
+
+        let mut commit = None;
+        match (isolation, &client, &qid) {
+            (IsolationLevel::Repeatable, Some(client), Some(qid)) => {
+                let participants = client.participants_snapshot();
+                // Own name may have flowed back through nested piggybacks.
+                let own = self.name();
+                let participants: Vec<String> = participants
+                    .into_iter()
+                    .filter(|p| p != &own)
+                    .collect();
+                if !participants.is_empty() {
+                    let outcome = twopc::run_two_phase_commit(client, qid, &participants)?;
+                    if let CommitOutcome::Aborted { reason } = &outcome {
+                        return Err(XdmError::xrpc(format!(
+                            "distributed transaction aborted: {reason}"
+                        )));
+                    }
+                    commit = Some(outcome);
+                }
+                // commit succeeded (or read-only): apply the local ∆
+                self.apply_pul(&local_pul)?;
+            }
+            _ => {
+                // isolation "none": remote updates were already applied per
+                // request (rule RFu); apply the local ∆ now
+                self.apply_pul(&local_pul)?;
+            }
+        }
+
+        Ok(ExecOutcome {
+            result,
+            isolation,
+            commit,
+            requests_sent,
+            calls_sent,
+        })
+    }
+}
+
+/// A frozen map of documents (the originator's own repeatable-read view).
+struct FrozenDocs {
+    docs: HashMap<String, Arc<xmldom::Document>>,
+}
+
+impl DocResolver for FrozenDocs {
+    fn resolve(&self, uri: &str) -> XdmResult<Arc<xmldom::Document>> {
+        self.docs
+            .get(uri)
+            .cloned()
+            .ok_or_else(|| XdmError::doc_error(format!("document not found: `{uri}`")))
+    }
+}
+
+/// Bind actual parameters with the XQuery function-conversion rules:
+/// untyped atomics cast to the declared atomic type, otherwise the value
+/// must match the declared sequence type.
+fn bind_params(decl: &FunctionDecl, args: &[Sequence], st: &mut EvalState) -> XdmResult<()> {
+    if args.len() != decl.params.len() {
+        return Err(XdmError::type_error(format!(
+            "function {} expects {} arguments, got {}",
+            decl.name.lexical(),
+            decl.params.len(),
+            args.len()
+        )));
+    }
+    for ((pname, pty), value) in decl.params.iter().zip(args.iter()) {
+        let coerced = match pty {
+            None => value.clone(),
+            Some(t) => {
+                if value.check_type(t).is_ok() {
+                    value.clone()
+                } else if let ItemKind::Atomic(at) = &t.kind {
+                    // function conversion: atomize + cast untyped
+                    let items: XdmResult<Vec<Item>> = value
+                        .iter()
+                        .map(|i| i.atomize().cast_to(*at).map(Item::Atomic))
+                        .collect();
+                    let s = Sequence::from_items(items?);
+                    s.check_type(t)?;
+                    s
+                } else {
+                    value.check_type(t)?;
+                    unreachable!()
+                }
+            }
+        };
+        st.vars.push((pname.lexical(), coerced));
+    }
+    Ok(())
+}

@@ -1,0 +1,244 @@
+//! Repeatable-read isolation state (paper §2.2).
+//!
+//! A peer that receives a request tagged with a `queryID` pins an
+//! immutable snapshot of its document store for that query — the
+//! shadow-paging analog: documents are `Arc`s, so a snapshot is one map
+//! clone. The snapshot lives until its *relative* timeout expires; expired
+//! queryIDs are remembered (latest timestamp per origin host, exactly the
+//! bookkeeping trick the paper describes) so that late requests get an
+//! error instead of silently reading fresh state.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xdm::{XdmError, XdmResult};
+use xmldom::Document;
+use xqeval::context::DocResolver;
+use xqeval::pul::PendingUpdateList;
+use xrpc_proto::QueryId;
+
+/// Per-query isolated state at one peer.
+pub struct QuerySnapshot {
+    pub docs: HashMap<String, Arc<Document>>,
+    pub deadline: Instant,
+    /// Deferred pending update lists (rule R'Fu): ∆_q = ∪ ∆_q(i).
+    pub pul: Mutex<PendingUpdateList>,
+    /// 2PC state: set by Prepare after the PUL was "logged".
+    pub prepared: Mutex<bool>,
+}
+
+impl QuerySnapshot {
+    /// A resolver view over this snapshot.
+    pub fn resolver(self: &Arc<Self>) -> Arc<SnapshotResolver> {
+        Arc::new(SnapshotResolver {
+            snapshot: self.clone(),
+        })
+    }
+}
+
+/// `fn:doc` resolution pinned to a snapshot.
+pub struct SnapshotResolver {
+    snapshot: Arc<QuerySnapshot>,
+}
+
+impl DocResolver for SnapshotResolver {
+    fn resolve(&self, uri: &str) -> XdmResult<Arc<Document>> {
+        self.snapshot
+            .docs
+            .get(uri)
+            .cloned()
+            .ok_or_else(|| XdmError::doc_error(format!("document not found in snapshot: `{uri}`")))
+    }
+}
+
+type QidKey = (String, u64);
+
+/// All isolated query states at one peer.
+pub struct SnapshotManager {
+    active: Mutex<HashMap<QidKey, Arc<QuerySnapshot>>>,
+    /// host → latest *expired* origin timestamp (paper: "per host only the
+    /// latest timestamp needs to be retained").
+    expired: Mutex<HashMap<String, u64>>,
+}
+
+impl SnapshotManager {
+    pub fn new() -> Self {
+        SnapshotManager {
+            active: Mutex::new(HashMap::new()),
+            expired: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn key(qid: &QueryId) -> QidKey {
+        (qid.host.clone(), qid.timestamp_millis)
+    }
+
+    /// Get (or pin, on the query's first request here) the snapshot for
+    /// `qid`. `current` supplies the database state to pin.
+    pub fn get_or_pin(
+        &self,
+        qid: &QueryId,
+        current: impl FnOnce() -> HashMap<String, Arc<Document>>,
+    ) -> XdmResult<Arc<QuerySnapshot>> {
+        self.gc();
+        let key = Self::key(qid);
+        // Too late? (the queryID already expired here)
+        if let Some(&latest) = self.expired.lock().get(&qid.host) {
+            if qid.timestamp_millis <= latest && !self.active.lock().contains_key(&key) {
+                return Err(XdmError::xrpc_expired(format!(
+                    "queryID {}@{} has expired at this peer",
+                    qid.host, qid.timestamp_millis
+                )));
+            }
+        }
+        let mut active = self.active.lock();
+        if let Some(s) = active.get(&key) {
+            return Ok(s.clone());
+        }
+        let snapshot = Arc::new(QuerySnapshot {
+            docs: current(),
+            deadline: Instant::now() + Duration::from_secs(qid.timeout_secs as u64),
+            pul: Mutex::new(PendingUpdateList::new()),
+            prepared: Mutex::new(false),
+        });
+        active.insert(key, snapshot.clone());
+        Ok(snapshot)
+    }
+
+    /// Fetch an existing snapshot (2PC Prepare/Commit path — never pins).
+    pub fn get(&self, qid: &QueryId) -> XdmResult<Arc<QuerySnapshot>> {
+        self.active
+            .lock()
+            .get(&Self::key(qid))
+            .cloned()
+            .ok_or_else(|| {
+                XdmError::xrpc_expired(format!(
+                    "no isolated state for queryID {}@{}",
+                    qid.host, qid.timestamp_millis
+                ))
+            })
+    }
+
+    /// Drop a query's state (after Commit/Abort), remembering it as seen.
+    pub fn finish(&self, qid: &QueryId) {
+        self.active.lock().remove(&Self::key(qid));
+        let mut expired = self.expired.lock();
+        let e = expired.entry(qid.host.clone()).or_insert(0);
+        *e = (*e).max(qid.timestamp_millis);
+    }
+
+    /// Expire snapshots whose timeout passed, freeing their resources.
+    pub fn gc(&self) {
+        let now = Instant::now();
+        let mut active = self.active.lock();
+        let dead: Vec<QidKey> = active
+            .iter()
+            .filter(|(_, s)| s.deadline <= now)
+            .map(|(k, _)| k.clone())
+            .collect();
+        if dead.is_empty() {
+            return;
+        }
+        let mut expired = self.expired.lock();
+        for k in dead {
+            active.remove(&k);
+            let e = expired.entry(k.0.clone()).or_insert(0);
+            *e = (*e).max(k.1);
+        }
+    }
+
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+}
+
+impl Default for SnapshotManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::parse;
+
+    fn docs_v(label: &str) -> HashMap<String, Arc<Document>> {
+        let mut m = HashMap::new();
+        m.insert(
+            "db.xml".to_string(),
+            Arc::new(parse(&format!("<v>{label}</v>")).unwrap()),
+        );
+        m
+    }
+
+    fn qid(ts: u64, timeout: u32) -> QueryId {
+        QueryId::new("origin.example.org", ts, timeout)
+    }
+
+    #[test]
+    fn snapshot_pinned_on_first_request() {
+        let mgr = SnapshotManager::new();
+        let q = qid(100, 30);
+        let s1 = mgr.get_or_pin(&q, || docs_v("one")).unwrap();
+        // second request of the same query must NOT re-pin
+        let s2 = mgr.get_or_pin(&q, || docs_v("two")).unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2));
+        let d = s2.resolver().resolve("db.xml").unwrap();
+        assert_eq!(d.string_value(d.root()), "one");
+    }
+
+    #[test]
+    fn different_queries_get_different_snapshots() {
+        let mgr = SnapshotManager::new();
+        let s1 = mgr.get_or_pin(&qid(1, 30), || docs_v("a")).unwrap();
+        let s2 = mgr.get_or_pin(&qid(2, 30), || docs_v("b")).unwrap();
+        assert!(!Arc::ptr_eq(&s1, &s2));
+        assert_eq!(mgr.active_count(), 2);
+    }
+
+    #[test]
+    fn finished_query_id_rejected_later() {
+        let mgr = SnapshotManager::new();
+        let q = qid(100, 30);
+        mgr.get_or_pin(&q, || docs_v("x")).unwrap();
+        mgr.finish(&q);
+        let err = mgr.get_or_pin(&q, || docs_v("y")).map(|_| ()).unwrap_err();
+        assert_eq!(err.code, "XRPC0002");
+        // an *older* query from the same host is also rejected
+        let err2 = mgr.get_or_pin(&qid(50, 30), || docs_v("z")).map(|_| ()).unwrap_err();
+        assert_eq!(err2.code, "XRPC0002");
+        // but a newer one is fine
+        assert!(mgr.get_or_pin(&qid(200, 30), || docs_v("w")).is_ok());
+    }
+
+    #[test]
+    fn timeout_expires_snapshot() {
+        let mgr = SnapshotManager::new();
+        let q = qid(100, 0); // zero-second timeout: expires immediately
+        mgr.get_or_pin(&q, || docs_v("x")).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        mgr.gc();
+        assert_eq!(mgr.active_count(), 0);
+        let err = mgr.get_or_pin(&q, || docs_v("y")).map(|_| ()).unwrap_err();
+        assert_eq!(err.code, "XRPC0002");
+    }
+
+    #[test]
+    fn snapshot_isolated_from_store_updates() {
+        let mgr = SnapshotManager::new();
+        let q = qid(100, 30);
+        let s = mgr.get_or_pin(&q, || docs_v("before")).unwrap();
+        // the "store" moves on; the snapshot must not
+        let d = s.resolver().resolve("db.xml").unwrap();
+        assert_eq!(d.string_value(d.root()), "before");
+        assert!(s.resolver().resolve("other.xml").is_err());
+    }
+
+    #[test]
+    fn get_without_pin_fails() {
+        let mgr = SnapshotManager::new();
+        assert_eq!(mgr.get(&qid(1, 30)).map(|_| ()).unwrap_err().code, "XRPC0002");
+    }
+}

@@ -1,0 +1,200 @@
+//! Two-phase commit for distributed XRPC updates, modeled on
+//! WS-AtomicTransaction / WS-Coordination (paper §2.3): the originating
+//! peer registers every participating peer (learned from the piggybacked
+//! peer lists) and drives Prepare → Commit (or Abort) over the same SOAP
+//! channel that carries XRPC calls.
+//!
+//! Control messages are encoded as XRPC requests against the reserved
+//! module namespace [`WSAT_MODULE`], so any XRPC endpoint doubles as a
+//! WS-AT participant — the paper's requirement that "XRPC systems must
+//! implement support for these web service interfaces ... over the same
+//! HTTP SOAP server that runs XRPC".
+
+use crate::client::XrpcClient;
+use xdm::{XdmError, XdmResult};
+use xrpc_proto::QueryId;
+
+/// Reserved module namespace for coordination messages.
+pub const WSAT_MODULE: &str = "urn:ws-atomictransaction";
+
+pub const METHOD_PREPARE: &str = "Prepare";
+pub const METHOD_COMMIT: &str = "Commit";
+pub const METHOD_ABORT: &str = "Abort";
+
+/// Outcome of a coordination round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitOutcome {
+    Committed { participants: usize },
+    Aborted { reason: String },
+}
+
+/// Drive 2PC over `participants` for query `qid`.
+///
+/// Phase 1 sends `Prepare` to every participant; a single failure flips
+/// the decision to abort. Phase 2 sends `Commit` (or `Abort`) to all.
+pub fn run_two_phase_commit(
+    client: &XrpcClient,
+    qid: &QueryId,
+    participants: &[String],
+) -> XdmResult<CommitOutcome> {
+    // Phase 1: Prepare — participants log their ∆_q and enter prepared
+    // state (or refuse).
+    let mut failure: Option<XdmError> = None;
+    let mut prepared: Vec<&String> = Vec::new();
+    for p in participants {
+        match client.send_control(p, METHOD_PREPARE, qid) {
+            Ok(()) => prepared.push(p),
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
+    }
+
+    if let Some(err) = failure {
+        // Phase 2 (abort path): roll back everyone we prepared.
+        for p in prepared {
+            let _ = client.send_control(p, METHOD_ABORT, qid);
+        }
+        return Ok(CommitOutcome::Aborted {
+            reason: err.to_string(),
+        });
+    }
+
+    // Phase 2: Commit — applyUpdates(∆_q) at every participant.
+    for p in participants {
+        // A commit failure after unanimous prepare is a heuristic hazard;
+        // we surface it as an error (participants keep their logs).
+        client.send_control(p, METHOD_COMMIT, qid).map_err(|e| {
+            XdmError::xrpc(format!(
+                "2PC commit failed at `{p}` after unanimous prepare: {e}"
+            ))
+        })?;
+    }
+    Ok(CommitOutcome::Committed {
+        participants: participants.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use xdm::Sequence;
+    use xrpc_net::{NetProfile, SimNetwork};
+    use xrpc_proto::{parse_message, XrpcFault, XrpcMessage, XrpcResponse};
+
+    fn qid() -> QueryId {
+        QueryId::new("p0", 42, 30)
+    }
+
+    /// A scripted participant: counts Prepare/Commit/Abort, optionally
+    /// refusing to prepare.
+    fn participant(net: &SimNetwork, name: &str, refuse_prepare: bool) -> Arc<[AtomicU32; 3]> {
+        let counters: Arc<[AtomicU32; 3]> =
+            Arc::new([AtomicU32::new(0), AtomicU32::new(0), AtomicU32::new(0)]);
+        let c = counters.clone();
+        net.register(
+            name,
+            Arc::new(move |body: &[u8]| {
+                let req = match parse_message(std::str::from_utf8(body).unwrap()).unwrap() {
+                    XrpcMessage::Request(r) => r,
+                    _ => panic!(),
+                };
+                assert_eq!(req.module, WSAT_MODULE);
+                let idx = match req.method.as_str() {
+                    METHOD_PREPARE => 0,
+                    METHOD_COMMIT => 1,
+                    METHOD_ABORT => 2,
+                    other => panic!("unexpected control method {other}"),
+                };
+                c[idx].fetch_add(1, Ordering::SeqCst);
+                if idx == 0 && refuse_prepare {
+                    return XrpcFault::from_error(&XdmError::xrpc("conflicting transaction"))
+                        .to_xml()
+                        .into_bytes();
+                }
+                let mut resp = XrpcResponse::new(WSAT_MODULE, req.method);
+                resp.results.push(Sequence::empty());
+                resp.to_xml().unwrap().into_bytes()
+            }),
+        );
+        counters
+    }
+
+    #[test]
+    fn all_prepare_then_all_commit() {
+        let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+        let a = participant(&net, "xrpc://a", false);
+        let b = participant(&net, "xrpc://b", false);
+        let client = XrpcClient::new(net);
+        let out = run_two_phase_commit(
+            &client,
+            &qid(),
+            &["xrpc://a".to_string(), "xrpc://b".to_string()],
+        )
+        .unwrap();
+        assert_eq!(out, CommitOutcome::Committed { participants: 2 });
+        for c in [&a, &b] {
+            assert_eq!(c[0].load(Ordering::SeqCst), 1, "one prepare");
+            assert_eq!(c[1].load(Ordering::SeqCst), 1, "one commit");
+            assert_eq!(c[2].load(Ordering::SeqCst), 0, "no abort");
+        }
+    }
+
+    #[test]
+    fn prepare_refusal_aborts_prepared_participants() {
+        let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+        let a = participant(&net, "xrpc://a", false);
+        let b = participant(&net, "xrpc://b", true); // refuses
+        let c = participant(&net, "xrpc://c", false);
+        let client = XrpcClient::new(net);
+        let out = run_two_phase_commit(
+            &client,
+            &qid(),
+            &[
+                "xrpc://a".to_string(),
+                "xrpc://b".to_string(),
+                "xrpc://c".to_string(),
+            ],
+        )
+        .unwrap();
+        match out {
+            CommitOutcome::Aborted { reason } => assert!(reason.contains("conflicting")),
+            other => panic!("{other:?}"),
+        }
+        // a prepared and was aborted; b refused; c was never reached
+        assert_eq!(a[0].load(Ordering::SeqCst), 1);
+        assert_eq!(a[2].load(Ordering::SeqCst), 1);
+        assert_eq!(b[2].load(Ordering::SeqCst), 0);
+        assert_eq!(c[0].load(Ordering::SeqCst), 0);
+        // nobody committed
+        for x in [&a, &b, &c] {
+            assert_eq!(x[1].load(Ordering::SeqCst), 0);
+        }
+    }
+
+    #[test]
+    fn unreachable_participant_aborts() {
+        let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+        let a = participant(&net, "xrpc://a", false);
+        let client = XrpcClient::new(net);
+        let out = run_two_phase_commit(
+            &client,
+            &qid(),
+            &["xrpc://a".to_string(), "xrpc://gone".to_string()],
+        )
+        .unwrap();
+        assert!(matches!(out, CommitOutcome::Aborted { .. }));
+        assert_eq!(a[2].load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn empty_participant_set_commits_trivially() {
+        let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+        let client = XrpcClient::new(net);
+        let out = run_two_phase_commit(&client, &qid(), &[]).unwrap();
+        assert_eq!(out, CommitOutcome::Committed { participants: 0 });
+    }
+}

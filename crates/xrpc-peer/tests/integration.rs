@@ -1,0 +1,533 @@
+//! End-to-end distributed tests: peers joined by the simulated network or
+//! by real loopback HTTP, exercising the paper's queries, isolation levels
+//! and distributed updates.
+
+use std::sync::Arc;
+use xdm::{Item, Sequence};
+use xrpc_net::{http::HttpTransport, HttpServer, NetProfile, SimNetwork};
+use xrpc_peer::{EngineKind, ModuleWeb, Peer, XrpcWrapper};
+
+const FILM_MODULE: &str = r#"
+    module namespace film = "films";
+    declare function film:filmsByActor($actor as xs:string) as node()*
+    { doc("filmDB.xml")//name[../actor = $actor] };
+"#;
+
+const TEST_MODULE: &str = r#"
+    module namespace t = "test";
+    declare function t:echoVoid() { () };
+    declare function t:get() { string(doc("state.xml")/v) };
+    declare updating function t:set($x as xs:string)
+    { replace value of node doc("state.xml")/v with $x };
+    declare updating function t:renameRoot($n as xs:string)
+    { rename node doc("state.xml")/v as $n };
+"#;
+
+const FILM_DB: &str = r#"<films>
+<film><name>The Rock</name><actor>Sean Connery</actor></film>
+<film><name>Goldfinger</name><actor>Sean Connery</actor></film>
+<film><name>Green Card</name><actor>Gerard Depardieu</actor></film>
+</films>"#;
+
+fn serialize(seq: &Sequence) -> String {
+    seq.iter()
+        .map(|i| match i {
+            Item::Node(n) => n.to_xml(),
+            a => a.string_value(),
+        })
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Two peers on a simulated network; returns (net, local A, remote B).
+fn sim_pair(engine_a: EngineKind) -> (Arc<SimNetwork>, Arc<Peer>, Arc<Peer>) {
+    let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+    let a = Peer::new("xrpc://a.example.org", engine_a);
+    let b = Peer::new("xrpc://b.example.org", EngineKind::Tree);
+    for p in [&a, &b] {
+        p.register_module(FILM_MODULE).unwrap();
+        p.register_module(TEST_MODULE).unwrap();
+        p.set_transport(net.clone());
+    }
+    b.add_document("filmDB.xml", FILM_DB).unwrap();
+    b.add_document("state.xml", "<v>initial</v>").unwrap();
+    net.register("xrpc://a.example.org", a.soap_handler());
+    net.register("xrpc://b.example.org", b.soap_handler());
+    (net, a, b)
+}
+
+#[test]
+fn paper_query_q1_end_to_end() {
+    let (_net, a, _b) = sim_pair(EngineKind::Rel);
+    let res = a
+        .execute(
+            r#"import module namespace f = "films";
+               <films>{ execute at {"xrpc://b.example.org"} {f:filmsByActor("Sean Connery")} }</films>"#,
+        )
+        .unwrap();
+    assert_eq!(
+        serialize(&res),
+        "<films><name>The Rock</name><name>Goldfinger</name></films>"
+    );
+}
+
+#[test]
+fn bulk_rpc_over_wire_single_request() {
+    let (_net, a, b) = sim_pair(EngineKind::Rel);
+    let out = a
+        .execute_detailed(
+            r#"import module namespace t = "test";
+               for $i in (1 to 50) return execute at {"xrpc://b.example.org"} {t:echoVoid()}"#,
+        )
+        .unwrap();
+    assert!(out.result.is_empty());
+    assert_eq!(out.requests_sent, 1, "bulk: one request on the wire");
+    assert_eq!(out.calls_sent, 50);
+    assert_eq!(
+        b.stats.requests_handled.load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    assert_eq!(
+        b.stats.calls_handled.load(std::sync::atomic::Ordering::Relaxed),
+        50
+    );
+}
+
+#[test]
+fn tree_engine_sends_one_request_per_iteration() {
+    let (_net, a, b) = sim_pair(EngineKind::Tree);
+    let out = a
+        .execute_detailed(
+            r#"import module namespace t = "test";
+               for $i in (1 to 7) return execute at {"xrpc://b.example.org"} {t:echoVoid()}"#,
+        )
+        .unwrap();
+    assert_eq!(out.requests_sent, 7);
+    assert_eq!(
+        b.stats.requests_handled.load(std::sync::atomic::Ordering::Relaxed),
+        7
+    );
+}
+
+#[test]
+fn remote_fault_surfaces_at_originator() {
+    let (_net, a, _b) = sim_pair(EngineKind::Rel);
+    // unknown function on the remote side
+    let err = a
+        .execute(
+            r#"import module namespace f = "films";
+               execute at {"xrpc://b.example.org"} {f:noSuchFunction()}"#,
+        )
+        .unwrap_err();
+    assert_eq!(err.code, "XPST0017");
+    assert!(err.message.contains("remote fault"));
+}
+
+#[test]
+fn unreachable_peer_is_an_error() {
+    let (_net, a, _b) = sim_pair(EngineKind::Rel);
+    let err = a
+        .execute(
+            r#"import module namespace t = "test";
+               execute at {"xrpc://gone.example.org"} {t:echoVoid()}"#,
+        )
+        .unwrap_err();
+    assert_eq!(err.code, "XRPC0001");
+}
+
+#[test]
+fn module_fetched_via_location_hint() {
+    let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+    let a = Peer::new("xrpc://a", EngineKind::Rel);
+    let b = Peer::new("xrpc://b", EngineKind::Tree);
+    // B does NOT have the film module pre-registered; it can fetch it from
+    // the module web by the at-hint carried in the request.
+    let web = ModuleWeb::new();
+    web.publish("http://x.example.org/film.xq", FILM_MODULE);
+    web.install(&b.modules);
+    b.add_document("filmDB.xml", FILM_DB).unwrap();
+    a.register_module(FILM_MODULE).unwrap();
+    a.set_transport(net.clone());
+    net.register("xrpc://b", b.soap_handler());
+    let res = a
+        .execute(
+            r#"import module namespace f = "films" at "http://x.example.org/film.xq";
+               execute at {"xrpc://b"} {f:filmsByActor("Gerard Depardieu")}"#,
+        )
+        .unwrap();
+    assert_eq!(serialize(&res), "<name>Green Card</name>");
+}
+
+#[test]
+fn update_isolation_none_applies_immediately_rule_rfu() {
+    let (_net, a, b) = sim_pair(EngineKind::Tree);
+    let res = a
+        .execute(
+            r#"import module namespace t = "test";
+               execute at {"xrpc://b.example.org"} {t:set("changed")}"#,
+        )
+        .unwrap();
+    assert!(res.is_empty());
+    // applied right after the request (rule RFu), no 2PC involved
+    let v = b.docs.get("state.xml").unwrap();
+    assert_eq!(v.string_value(v.root()), "changed");
+    assert_eq!(
+        b.stats.control_messages.load(std::sync::atomic::Ordering::Relaxed),
+        0
+    );
+}
+
+#[test]
+fn update_repeatable_defers_until_2pc_commit_rule_rfu_prime() {
+    let (_net, a, b) = sim_pair(EngineKind::Tree);
+    let out = a
+        .execute_detailed(
+            r#"declare option xrpc:isolation "repeatable";
+               import module namespace t = "test";
+               execute at {"xrpc://b.example.org"} {t:set("committed")}"#,
+        )
+        .unwrap();
+    // after execute() returns the transaction has committed
+    let v = b.docs.get("state.xml").unwrap();
+    assert_eq!(v.string_value(v.root()), "committed");
+    // Prepare + Commit both hit B
+    assert_eq!(
+        b.stats.control_messages.load(std::sync::atomic::Ordering::Relaxed),
+        2
+    );
+    assert!(matches!(
+        out.commit,
+        Some(xrpc_peer::twopc::CommitOutcome::Committed { participants: 1 })
+    ));
+    // snapshot state was released
+    assert_eq!(b.snapshots.active_count(), 0);
+}
+
+#[test]
+fn incompatible_distributed_updates_abort() {
+    let (_net, a, b) = sim_pair(EngineKind::Tree);
+    // two renames of the same node in one isolated query: XQUF forbids it,
+    // so Prepare must refuse and the transaction aborts
+    let err = a
+        .execute(
+            r#"declare option xrpc:isolation "repeatable";
+               import module namespace t = "test";
+               (execute at {"xrpc://b.example.org"} {t:renameRoot("x")},
+                execute at {"xrpc://b.example.org"} {t:renameRoot("y")})"#,
+        )
+        .unwrap_err();
+    assert!(err.message.contains("aborted"), "{err}");
+    // nothing was applied
+    let v = b.docs.get("state.xml").unwrap();
+    let root = v.children(v.root())[0];
+    assert_eq!(v.node(root).name.as_ref().unwrap().local, "v");
+}
+
+#[test]
+fn repeatable_read_pins_state_across_requests() {
+    // Protocol-level check: two requests of one queryID see one snapshot
+    // even when the store changes in between.
+    let (_net, _a, b) = sim_pair(EngineKind::Tree);
+    let qid = xrpc_proto::QueryId::new("origin", 777, 30);
+    let mut req = xrpc_proto::XrpcRequest::new("test", "get", 0).with_query_id(qid.clone());
+    req.push_call(vec![]);
+    let xml = req.to_xml().unwrap();
+
+    let r1 = b.handle_soap(xml.as_bytes());
+    let r1 = String::from_utf8(r1).unwrap();
+    assert!(r1.contains("initial"));
+
+    // another transaction commits in between
+    b.docs
+        .insert("state.xml", xmldom::parse("<v>overwritten</v>").unwrap());
+
+    // the same query still sees the pinned snapshot
+    let r2 = String::from_utf8(b.handle_soap(xml.as_bytes())).unwrap();
+    assert!(r2.contains("initial"), "repeatable read violated: {r2}");
+
+    // a *fresh* request without queryID sees the new state
+    let mut plain = xrpc_proto::XrpcRequest::new("test", "get", 0);
+    plain.push_call(vec![]);
+    let r3 = String::from_utf8(b.handle_soap(plain.to_xml().unwrap().as_bytes())).unwrap();
+    assert!(r3.contains("overwritten"));
+}
+
+#[test]
+fn expired_query_id_rejected() {
+    let (_net, _a, b) = sim_pair(EngineKind::Tree);
+    let qid = xrpc_proto::QueryId::new("origin", 888, 0); // timeout 0s
+    let mut req = xrpc_proto::XrpcRequest::new("test", "get", 0).with_query_id(qid);
+    req.push_call(vec![]);
+    let xml = req.to_xml().unwrap();
+    let _ = b.handle_soap(xml.as_bytes());
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    b.snapshots.gc();
+    let r = String::from_utf8(b.handle_soap(xml.as_bytes())).unwrap();
+    assert!(r.contains("XRPC0002"), "expected expired-queryID fault: {r}");
+}
+
+#[test]
+fn function_cache_counts_prepares() {
+    let (_net, a, b) = sim_pair(EngineKind::Rel);
+    let q = r#"import module namespace t = "test";
+               execute at {"xrpc://b.example.org"} {t:echoVoid()}"#;
+    for _ in 0..5 {
+        a.execute(q).unwrap();
+    }
+    use std::sync::atomic::Ordering::Relaxed;
+    assert_eq!(b.stats.requests_handled.load(Relaxed), 5);
+    // cache on: prepared once
+    assert_eq!(b.stats.functions_prepared.load(Relaxed), 1);
+
+    b.function_cache.set_enabled(false);
+    for _ in 0..5 {
+        a.execute(q).unwrap();
+    }
+    // cache off: re-prepared per request
+    assert_eq!(b.stats.functions_prepared.load(Relaxed), 6);
+}
+
+#[test]
+fn nested_xrpc_calls_and_participant_piggyback() {
+    // a → b → c: b's function makes a nested call to c; the response to a
+    // must piggyback c as a participant (paper §2.3).
+    let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+    let a = Peer::new("xrpc://a", EngineKind::Tree);
+    let b = Peer::new("xrpc://b", EngineKind::Tree);
+    let c = Peer::new("xrpc://c", EngineKind::Tree);
+    let chain_module = r#"
+        module namespace ch = "chain";
+        declare function ch:leaf() { "from-c" };
+        declare function ch:middle()
+        { execute at {"xrpc://c"} {ch:leaf()} };
+    "#;
+    for p in [&a, &b, &c] {
+        p.register_module(chain_module).unwrap();
+        p.set_transport(net.clone());
+    }
+    net.register("xrpc://b", b.soap_handler());
+    net.register("xrpc://c", c.soap_handler());
+    let out = a
+        .execute_detailed(
+            r#"declare option xrpc:isolation "repeatable";
+               import module namespace ch = "chain";
+               execute at {"xrpc://b"} {ch:middle()}"#,
+        )
+        .unwrap();
+    assert_eq!(serialize(&out.result), "from-c");
+    // read-only repeatable query: no 2PC, but snapshots on b and c exist
+    // until their timeout (they were pinned by the queryID)
+    assert!(b.snapshots.active_count() <= 1);
+    assert!(c.snapshots.active_count() <= 1);
+}
+
+#[test]
+fn real_http_transport_end_to_end() {
+    let a = Peer::new("placeholder-a", EngineKind::Rel);
+    let b = Peer::new("placeholder-b", EngineKind::Tree);
+    for p in [&a, &b] {
+        p.register_module(FILM_MODULE).unwrap();
+        p.register_module(TEST_MODULE).unwrap();
+    }
+    b.add_document("filmDB.xml", FILM_DB).unwrap();
+
+    let server_b = HttpServer::bind("127.0.0.1:0", {
+        let h = b.soap_handler();
+        Arc::new(move |_path: &str, body: &[u8]| (200, h(body)))
+    })
+    .unwrap();
+    b.set_name(server_b.url());
+    let transport = Arc::new(HttpTransport::new());
+    a.set_transport(transport.clone());
+
+    let q = format!(
+        r#"import module namespace f = "films";
+           for $actor in ("Julie Andrews", "Sean Connery")
+           return execute at {{"{}"}} {{f:filmsByActor($actor)}}"#,
+        server_b.url()
+    );
+    let out = a.execute_detailed(&q).unwrap();
+    assert_eq!(
+        serialize(&out.result),
+        "<name>The Rock</name>|<name>Goldfinger</name>"
+    );
+    // loop-lifted: one HTTP POST total
+    assert_eq!(transport.metrics.snapshot().roundtrips, 1);
+}
+
+#[test]
+fn wrapper_peer_services_bulk_from_rel_peer() {
+    // MonetDB-role peer (rel engine) calls a wrapped plain engine (§4/§5).
+    let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+    let a = Peer::new("xrpc://a", EngineKind::Rel);
+    let person_module = r#"
+        module namespace func = "functions";
+        declare function func:getPerson($d as xs:string, $pid as xs:string) as node()?
+        { zero-or-one(doc($d)//person[@id = $pid]) };
+    "#;
+    a.register_module(person_module).unwrap();
+    a.set_transport(net.clone());
+
+    let wrapper = XrpcWrapper::new();
+    wrapper.modules.register_source(person_module).unwrap();
+    wrapper.docs.insert(
+        "people.xml",
+        xmldom::parse(
+            r#"<site><person id="p0"><name>Ann</name></person>
+               <person id="p1"><name>Bob</name></person></site>"#,
+        )
+        .unwrap(),
+    );
+    net.register("xrpc://saxon", wrapper.soap_handler());
+
+    let res = a
+        .execute(
+            r#"import module namespace func = "functions";
+               for $pid in ("p0", "p1", "p9")
+               return execute at {"xrpc://saxon"} {func:getPerson("people.xml", $pid)}"#,
+        )
+        .unwrap();
+    assert_eq!(res.len(), 2);
+    assert!(serialize(&res).contains("Ann"));
+    assert!(serialize(&res).contains("Bob"));
+    // the wrapper handled ONE bulk request for all three calls
+    assert_eq!(wrapper.phases().requests, 1);
+}
+
+#[test]
+fn by_value_semantics_across_the_wire() {
+    // a node result marshaled over XRPC loses its ancestors (paper §2.2)
+    let (_net, a, _b) = sim_pair(EngineKind::Tree);
+    let res = a
+        .execute(
+            r#"import module namespace f = "films";
+               count(execute at {"xrpc://b.example.org"} {f:filmsByActor("Sean Connery")}/..)"#,
+        )
+        .unwrap();
+    // parent steps on by-value copies find only the fragment holder (the
+    // fresh document node per fragment), never the remote filmDB tree
+    let n: i64 = match res.items()[0].atomize() {
+        xdm::AtomicValue::Integer(i) => i,
+        _ => panic!(),
+    };
+    assert!(n <= 2, "upward navigation must not reach the remote document");
+}
+
+#[test]
+fn fault_injection_mid_bulk_query() {
+    let (net, a, _b) = sim_pair(EngineKind::Rel);
+    net.inject_failures("xrpc://b.example.org", 1);
+    let q = r#"import module namespace t = "test";
+               for $i in (1 to 3) return execute at {"xrpc://b.example.org"} {t:echoVoid()}"#;
+    let err = a.execute(q).unwrap_err();
+    assert_eq!(err.code, "XRPC0001");
+    // the link recovers and the query succeeds afterwards
+    assert!(a.execute(q).is_ok());
+}
+
+#[test]
+fn parallel_dispatch_to_multiple_peers_overlaps_latency() {
+    // Figure 1's "dispatching all Bulk RPC requests in parallel": with a
+    // 20 ms one-way link and three destination peers, the three bulk
+    // requests must overlap (elapsed ≈ 1 round trip, not 3).
+    let net = Arc::new(SimNetwork::new(NetProfile::with_latency(
+        std::time::Duration::from_millis(20),
+    )));
+    let a = Peer::new("xrpc://a", EngineKind::Rel);
+    a.register_module(TEST_MODULE).unwrap();
+    a.set_transport(net.clone());
+    for name in ["xrpc://p1", "xrpc://p2", "xrpc://p3"] {
+        let p = Peer::new(name, EngineKind::Tree);
+        p.register_module(TEST_MODULE).unwrap();
+        net.register(name, p.soap_handler());
+    }
+    let q = r#"
+        import module namespace t = "test";
+        for $dst in ("xrpc://p1", "xrpc://p2", "xrpc://p3")
+        return execute at {$dst} {t:echoVoid()}"#;
+    let t0 = std::time::Instant::now();
+    a.execute(q).unwrap();
+    let elapsed = t0.elapsed();
+    // sequential would be ≥ 3 × 40 ms = 120 ms; parallel ≈ 40 ms
+    assert!(
+        elapsed < std::time::Duration::from_millis(100),
+        "parallel dispatch expected, took {elapsed:?}"
+    );
+    assert!(elapsed >= std::time::Duration::from_millis(40));
+}
+
+#[test]
+fn concurrent_clients_against_one_peer() {
+    // thread-per-connection server side + snapshot manager under
+    // concurrent load
+    let (_net, a, b) = sim_pair(EngineKind::Rel);
+    let a = a.clone();
+    let _ = &b;
+    std::thread::scope(|s| {
+        for i in 0..8 {
+            let a = a.clone();
+            s.spawn(move || {
+                for _ in 0..5 {
+                    let q = format!(
+                        r#"import module namespace f = "films";
+                           count(execute at {{"xrpc://b.example.org"}}
+                                 {{f:filmsByActor("Sean Connery")}}) + {i}"#
+                    );
+                    let res = a.execute(&q).unwrap();
+                    assert_eq!(
+                        res.items()[0].string_value(),
+                        (2 + i).to_string()
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(
+        b.stats.requests_handled.load(std::sync::atomic::Ordering::Relaxed),
+        40
+    );
+}
+
+#[test]
+fn element_parameters_through_wrapper() {
+    // node-typed parameters cross the wire into the wrapper's generated
+    // query and back
+    let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+    let a = Peer::new("xrpc://a", EngineKind::Rel);
+    let module = r#"
+        module namespace w = "wrapmod";
+        declare function w:firstChildName($e as node()) as xs:string
+        { string(local-name($e/*[1])) };
+    "#;
+    a.register_module(module).unwrap();
+    a.add_document("data.xml", "<wrap><inner><deep/></inner></wrap>")
+        .unwrap();
+    a.set_transport(net.clone());
+    let wrapper = XrpcWrapper::new();
+    wrapper.modules.register_source(module).unwrap();
+    net.register("xrpc://w", wrapper.soap_handler());
+    let res = a
+        .execute(
+            r#"import module namespace w = "wrapmod";
+               execute at {"xrpc://w"} {w:firstChildName(doc("data.xml")/wrap)}"#,
+        )
+        .unwrap();
+    assert_eq!(res.items()[0].string_value(), "inner");
+}
+
+#[test]
+fn data_shipping_doc_fetch_and_cache() {
+    let (net, a, _b) = sim_pair(EngineKind::Tree);
+    // fetch the remote film DB by URI twice in one query: the per-query
+    // doc cache must issue ONE network fetch
+    net.metrics.reset();
+    let res = a
+        .execute(
+            r#"( count(doc("xrpc://b.example.org/filmDB.xml")//film),
+                 count(doc("xrpc://b.example.org/filmDB.xml")//actor) )"#,
+        )
+        .unwrap();
+    let counts: Vec<String> = res.items().iter().map(|i| i.string_value()).collect();
+    assert_eq!(counts, ["3", "3"]);
+    assert_eq!(net.metrics.snapshot().roundtrips, 1, "doc cached per query");
+}

@@ -1,0 +1,20 @@
+//! The SOAP XRPC message format (paper §2.1, §2.2, §3.2).
+//!
+//! One crate, three concerns:
+//! * [`marshal`] — the `s2n()` / `n2s()` functions that turn XDM sequences
+//!   into `<xrpc:sequence>` wire fragments and back, enforcing by-value
+//!   semantics (fresh fragments, empty upward axes at the receiver);
+//! * [`message`] — envelope construction/parsing for requests (with Bulk
+//!   RPC: several `<xrpc:call>`s per request), responses (with the
+//!   piggybacked participating-peer list of §2.3) and SOAP Faults;
+//! * [`validate`] — a structural validator standing in for XRPC.xsd.
+
+pub mod marshal;
+pub mod message;
+pub mod validate;
+
+pub use marshal::{n2s, s2n_into};
+pub use message::{
+    parse_message, FaultCode, QueryId, XrpcFault, XrpcMessage, XrpcRequest, XrpcResponse,
+};
+pub use validate::validate_message;

