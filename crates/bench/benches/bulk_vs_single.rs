@@ -12,19 +12,15 @@ fn bench_bulk_vs_single(c: &mut Criterion) {
     group.sample_size(10);
     for x in [1usize, 10, 100] {
         for (mode, bulk) in [("single", false), ("bulk", true)] {
-            group.bench_with_input(
-                BenchmarkId::new(mode, x),
-                &x,
-                |b, &x| {
-                    let cluster = echo_cluster(NetProfile::instant(), bulk, true);
-                    let q = echo_query(x);
-                    // warm the function cache
-                    let _ = time_query(&cluster.a, &echo_query(1));
-                    b.iter(|| {
-                        cluster.a.execute(&q).unwrap();
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(mode, x), &x, |b, &x| {
+                let cluster = echo_cluster(NetProfile::instant(), bulk, true);
+                let q = echo_query(x);
+                // warm the function cache
+                let _ = time_query(&cluster.a, &echo_query(1));
+                b.iter(|| {
+                    cluster.a.execute(&q).unwrap();
+                });
+            });
         }
     }
     group.finish();

@@ -49,7 +49,10 @@ fn ms(d: Duration) -> f64 {
 /// function cache vs no function cache, $x ∈ {1, 1000}.
 fn table2() {
     println!("== Table 2: XRPC performance (msec): loop-lifted vs one-at-a-time; function cache vs none ==");
-    println!("{:<14} {:>14} {:>14} {:>14} {:>14}", "", "nocache x=1", "nocache x=1000", "cache x=1", "cache x=1000");
+    println!(
+        "{:<14} {:>14} {:>14} {:>14} {:>14}",
+        "", "nocache x=1", "nocache x=1000", "cache x=1", "cache x=1000"
+    );
     for (label, bulk) in [("one-at-a-time", false), ("bulk", true)] {
         let mut cells = Vec::new();
         for cache in [false, true] {

@@ -58,7 +58,11 @@ pub fn echo_cluster(profile: NetProfile, bulk: bool, cache: bool) -> EchoCluster
     let net = Arc::new(SimNetwork::new(profile));
     let a = Peer::new(
         A_URI,
-        if bulk { EngineKind::Rel } else { EngineKind::Tree },
+        if bulk {
+            EngineKind::Rel
+        } else {
+            EngineKind::Tree
+        },
     );
     let b = Peer::new(B_URI, EngineKind::Tree);
     for p in [&a, &b] {
@@ -105,7 +109,10 @@ pub fn wrapper_cluster(persons: usize) -> WrapperCluster {
     a.register_module(xmark::functions_module()).unwrap();
     a.set_transport(net.clone());
     let wrapper = XrpcWrapper::new();
-    wrapper.modules.register_source(xmark::test_module()).unwrap();
+    wrapper
+        .modules
+        .register_source(xmark::test_module())
+        .unwrap();
     wrapper
         .modules
         .register_source(xmark::functions_module())

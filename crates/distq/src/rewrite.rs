@@ -160,13 +160,17 @@ fn rebase_doc_path(e: &Expr) -> Option<(String, Expr)> {
 fn path_is_downward_only(e: &Expr) -> bool {
     let mut ok = true;
     e.walk(&mut |x| match x {
-        Expr::AxisStep { axis, .. } => {
+        Expr::AxisStep { axis, .. }
             if !matches!(
                 axis,
-                Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::SelfAxis | Axis::Attribute
-            ) {
-                ok = false;
-            }
+                Axis::Child
+                    | Axis::Descendant
+                    | Axis::DescendantOrSelf
+                    | Axis::SelfAxis
+                    | Axis::Attribute
+            ) =>
+        {
+            ok = false;
         }
         Expr::NodeComp(..) => ok = false,
         Expr::Root(_) => ok = false,
@@ -193,9 +197,8 @@ mod tests {
 
     #[test]
     fn pushes_downward_path_on_remote_doc() {
-        let (body, module, pushed) = rewrite(
-            r#"for $ca in doc("xrpc://B/auctions.xml")//closed_auction return $ca"#,
-        );
+        let (body, module, pushed) =
+            rewrite(r#"for $ca in doc("xrpc://B/auctions.xml")//closed_auction return $ca"#);
         assert_eq!(pushed, 1);
         assert!(body.contains("execute at {\"xrpc://B\"}"));
         assert!(body.contains("pushg:q0()"));
@@ -208,8 +211,7 @@ mod tests {
 
     #[test]
     fn leaves_local_docs_alone() {
-        let (body, module, pushed) =
-            rewrite(r#"for $p in doc("persons.xml")//person return $p"#);
+        let (body, module, pushed) = rewrite(r#"for $p in doc("persons.xml")//person return $p"#);
         assert_eq!(pushed, 0);
         assert!(module.is_none());
         assert!(!body.contains("execute at"));
@@ -218,23 +220,20 @@ mod tests {
     #[test]
     fn refuses_upward_navigation() {
         // parent axis inside the pushed path would break call-by-value
-        let (body, _, pushed) =
-            rewrite(r#"doc("xrpc://B/a.xml")//name/../actor"#);
+        let (body, _, pushed) = rewrite(r#"doc("xrpc://B/a.xml")//name/../actor"#);
         assert_eq!(pushed, 0, "upward step must not be pushed: {body}");
     }
 
     #[test]
     fn refuses_node_identity_predicates() {
-        let (_, _, pushed) =
-            rewrite(r#"for $x in doc("xrpc://B/a.xml")//a[. is /a] return $x"#);
+        let (_, _, pushed) = rewrite(r#"for $x in doc("xrpc://B/a.xml")//a[. is /a] return $x"#);
         assert_eq!(pushed, 0);
     }
 
     #[test]
     fn pushes_predicates_with_value_comparisons() {
-        let (body, module, pushed) = rewrite(
-            r#"doc("xrpc://B/auctions.xml")//closed_auction[price > 100]"#,
-        );
+        let (body, module, pushed) =
+            rewrite(r#"doc("xrpc://B/auctions.xml")//closed_auction[price > 100]"#);
         assert_eq!(pushed, 1);
         assert!(body.contains("execute at"));
         assert!(module.unwrap().contains("price"));
@@ -242,9 +241,8 @@ mod tests {
 
     #[test]
     fn multiple_remote_docs_get_separate_functions() {
-        let (body, module, pushed) = rewrite(
-            r#"(doc("xrpc://B/a.xml")//x, doc("xrpc://C/b.xml")//y)"#,
-        );
+        let (body, module, pushed) =
+            rewrite(r#"(doc("xrpc://B/a.xml")//x, doc("xrpc://C/b.xml")//y)"#);
         assert_eq!(pushed, 2);
         assert!(body.contains("xrpc://B"));
         assert!(body.contains("xrpc://C"));

@@ -111,8 +111,7 @@ mod tests {
     fn all_strategy_queries_parse() {
         for s in Strategy::ALL {
             let q = s.query("xrpc://b.example.org", "xrpc://a.example.org");
-            xqast::parse_main_module(&q)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{q}", s.label()));
+            xqast::parse_main_module(&q).unwrap_or_else(|e| panic!("{}: {e}\n{q}", s.label()));
         }
     }
 
@@ -121,10 +120,12 @@ mod tests {
         let b = "xrpc://b";
         let a = "xrpc://a";
         // data shipping has no execute at; the others do
-        assert!(!xqast::parse_main_module(&Strategy::DataShipping.query(b, a))
-            .unwrap()
-            .body
-            .contains_xrpc());
+        assert!(
+            !xqast::parse_main_module(&Strategy::DataShipping.query(b, a))
+                .unwrap()
+                .body
+                .contains_xrpc()
+        );
         for s in [
             Strategy::PredicatePushdown,
             Strategy::ExecutionRelocation,

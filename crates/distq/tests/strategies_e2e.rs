@@ -31,7 +31,8 @@ fn cluster() -> Cluster {
 
     // peer A: rel engine, persons.xml
     let a = Peer::new(A_URI, EngineKind::Rel);
-    a.add_document("persons.xml", &xmark::persons_xml(&params)).unwrap();
+    a.add_document("persons.xml", &xmark::persons_xml(&params))
+        .unwrap();
     a.register_module(MODULE_B).unwrap();
     a.set_transport(net.clone());
     net.register(A_URI, a.soap_handler());
@@ -64,10 +65,9 @@ fn all_strategies_agree_on_the_join_result() {
     for strategy in Strategy::ALL {
         let c = cluster();
         let q = strategy.query(B_URI, A_URI);
-        let res = c
-            .a
-            .execute(&q)
-            .unwrap_or_else(|e| panic!("{}: {e}", strategy.label()));
+        let res =
+            c.a.execute(&q)
+                .unwrap_or_else(|e| panic!("{}: {e}", strategy.label()));
         assert_eq!(
             count_results(&res),
             6,
@@ -113,10 +113,9 @@ fn semijoin_ships_least_data() {
 #[test]
 fn semijoin_uses_one_bulk_request() {
     let c = cluster();
-    let out = c
-        .a
-        .execute_detailed(&Strategy::DistributedSemijoin.query(B_URI, A_URI))
-        .unwrap();
+    let out =
+        c.a.execute_detailed(&Strategy::DistributedSemijoin.query(B_URI, A_URI))
+            .unwrap();
     // loop-lifting turns the per-person call into ONE bulk request with 50
     // calls (one per person)
     assert_eq!(out.requests_sent, 1);
@@ -127,10 +126,9 @@ fn semijoin_uses_one_bulk_request() {
 #[test]
 fn execution_relocation_runs_join_at_b() {
     let c = cluster();
-    let out = c
-        .a
-        .execute_detailed(&Strategy::ExecutionRelocation.query(B_URI, A_URI))
-        .unwrap();
+    let out =
+        c.a.execute_detailed(&Strategy::ExecutionRelocation.query(B_URI, A_URI))
+            .unwrap();
     assert_eq!(count_results(&out.result), 6);
     // A sent exactly one call; B fetched persons.xml back from A
     assert_eq!(out.calls_sent, 1);

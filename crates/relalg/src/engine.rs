@@ -5,10 +5,10 @@
 use crate::table::{IterMap, SeqTable};
 use std::sync::Arc;
 use xdm::{Item, Sequence, XdmError, XdmResult};
+use xqast::{Expr, FlworClause, MainModule, Name};
 use xqeval::context::{Environment, StaticContext};
 use xqeval::eval::{Ctx, EvalState, Evaluator};
 use xqeval::pul::PendingUpdateList;
-use xqast::{Expr, FlworClause, MainModule, Name};
 
 /// Parse + execute a main module on the loop-lifted engine.
 pub fn execute_rel(query: &str, env: &Environment) -> XdmResult<(Sequence, PendingUpdateList)> {
@@ -231,12 +231,7 @@ impl<'e> RelEngine<'e> {
     }
 
     /// Evaluate `e` for every iteration of `lenv.loop_iters` at once.
-    pub fn eval_lifted(
-        &self,
-        e: &Expr,
-        lenv: &Lifted,
-        st: &mut EvalState,
-    ) -> XdmResult<SeqTable> {
+    pub fn eval_lifted(&self, e: &Expr, lenv: &Lifted, st: &mut EvalState) -> XdmResult<SeqTable> {
         // XRPC-free expressions run on the tree engine per iteration; all
         // bulk behaviour lives on the XRPC paths below.
         if !e.contains_xrpc() {
@@ -267,9 +262,7 @@ impl<'e> RelEngine<'e> {
                 let else_t = self.eval_lifted(els, &restrict_env(lenv, &false_iters), st)?;
                 Ok(SeqTable::merge_union(vec![then_t, else_t]))
             }
-            Expr::FunctionCall { name, args } => {
-                self.eval_call_lifted(name, args, lenv, st)
-            }
+            Expr::FunctionCall { name, args } => self.eval_call_lifted(name, args, lenv, st),
             Expr::PathStep(a, b) => {
                 // XRPC can only be on the left of a `/` (steps are not
                 // XRPC-bearing); evaluate lhs lifted, apply the step
@@ -278,8 +271,9 @@ impl<'e> RelEngine<'e> {
                 let mut out = Vec::new();
                 for &i in &lenv.loop_iters {
                     let seq = base.sequence_at(i);
-                    let stepped = self
-                        .with_iter_vars(lenv, i, st, |tree, st2| tree.eval_path_rhs(&seq, b, st2))?;
+                    let stepped = self.with_iter_vars(lenv, i, st, |tree, st2| {
+                        tree.eval_path_rhs(&seq, b, st2)
+                    })?;
                     out.push((i, stepped));
                 }
                 Ok(SeqTable::from_sequences(out))
@@ -289,7 +283,8 @@ impl<'e> RelEngine<'e> {
                 let tb = self.eval_lifted(b, lenv, st)?;
                 let mut out = Vec::new();
                 for &i in &lenv.loop_iters {
-                    let r = xqeval::eval::general_compare(*op, &ta.sequence_at(i), &tb.sequence_at(i))?;
+                    let r =
+                        xqeval::eval::general_compare(*op, &ta.sequence_at(i), &tb.sequence_at(i))?;
                     out.push((i, Sequence::one(Item::boolean(r))));
                 }
                 Ok(SeqTable::from_sequences(out))
@@ -306,7 +301,10 @@ impl<'e> RelEngine<'e> {
                 inner.vars.extend(bindings);
                 self.fallback(&Expr::DirectElem(new_elem), &inner, st)
             }
-            Expr::CompElem { name, content: Some(c) } if c.contains_xrpc() => {
+            Expr::CompElem {
+                name,
+                content: Some(c),
+            } if c.contains_xrpc() => {
                 let t = self.eval_lifted(c, lenv, st)?;
                 let var = "xrpc-enc-comp".to_string();
                 let mut inner = lenv.clone();
@@ -466,10 +464,13 @@ impl<'e> RelEngine<'e> {
             let mut seen: std::collections::HashMap<String, usize> =
                 std::collections::HashMap::new();
             for &o in &outer {
-                let args: Vec<Sequence> =
-                    arg_tables.iter().map(|t| t.sequence_at(o)).collect();
+                let args: Vec<Sequence> = arg_tables.iter().map(|t| t.sequence_at(o)).collect();
                 let dedup_ok = !func.updating && self.tree.env.rpc_optimize;
-                let key = if dedup_ok { atomic_call_key(&args) } else { None };
+                let key = if dedup_ok {
+                    atomic_call_key(&args)
+                } else {
+                    None
+                };
                 match key.and_then(|k| seen.get(&k).copied().map(|idx| (k, idx))) {
                     Some((_, idx)) => call_of_iter.push(idx),
                     None => {
@@ -514,7 +515,10 @@ impl<'e> RelEngine<'e> {
                         scope.spawn(move || dispatcher.dispatch(&w.peer, &func, w.calls.clone()))
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("dispatch thread")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("dispatch thread"))
+                    .collect()
             })
         };
 
@@ -630,7 +634,8 @@ impl<'e> RelEngine<'e> {
     fn fallback(&self, e: &Expr, lenv: &Lifted, st: &mut EvalState) -> XdmResult<SeqTable> {
         let mut out = Vec::new();
         for &i in &lenv.loop_iters {
-            let r = self.with_iter_vars(lenv, i, st, |tree, st2| tree.eval(e, st2, &Ctx::none()))?;
+            let r =
+                self.with_iter_vars(lenv, i, st, |tree, st2| tree.eval(e, st2, &Ctx::none()))?;
             out.push((i, r));
         }
         Ok(SeqTable::from_sequences(out))

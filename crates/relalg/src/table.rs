@@ -194,7 +194,11 @@ impl IterMap {
         for (k, &o) in self.outer.iter().enumerate() {
             let (lo, hi) = outer_table.iter_range(o);
             for r in lo..hi {
-                t.push(k as u32 + 1, outer_table.pos[r], outer_table.item[r].clone());
+                t.push(
+                    k as u32 + 1,
+                    outer_table.pos[r],
+                    outer_table.item[r].clone(),
+                );
             }
         }
         t
@@ -247,7 +251,10 @@ mod tests {
     #[test]
     fn from_sequences_renumbers_pos() {
         let t = SeqTable::from_sequences(vec![
-            (1, Sequence::from_items(vec![Item::integer(10), Item::integer(11)])),
+            (
+                1,
+                Sequence::from_items(vec![Item::integer(10), Item::integer(11)]),
+            ),
             (3, Sequence::one(Item::integer(30))),
         ]);
         assert_eq!(t.iter, vec![1, 1, 3]);
@@ -269,10 +276,16 @@ mod tests {
     fn concat_per_iter_matches_paper_z_example() {
         // §3.1's $z := ($x, $y) example: four iterations, two values each.
         let x = SeqTable::from_sequences((1..=4).map(|i| {
-            (i, Sequence::one(Item::integer(if i <= 2 { 10 } else { 20 })))
+            (
+                i,
+                Sequence::one(Item::integer(if i <= 2 { 10 } else { 20 })),
+            )
         }));
         let y = SeqTable::from_sequences((1..=4).map(|i| {
-            (i, Sequence::one(Item::integer(if i % 2 == 1 { 100 } else { 200 })))
+            (
+                i,
+                Sequence::one(Item::integer(if i % 2 == 1 { 100 } else { 200 })),
+            )
         }));
         let z = SeqTable::concat_per_iter(&[1, 2, 3, 4], &[x, y]);
         assert_eq!(z.iter, vec![1, 1, 2, 2, 3, 3, 4, 4]);
@@ -309,25 +322,19 @@ mod tests {
         assert_eq!(items(&req_p1), ["Julie Andrews", "Sean Connery"]);
 
         // peer p1's bulk answer: iter_p 2 → two films, iter_p 1 → none
-        let msg_p1 = SeqTable::from_sequences(vec![
-            (2, Sequence::from_items(vec![
-                Item::string("The Rock"),
-                Item::string("Goldfinger"),
-            ])),
-        ]);
-        let msg_p2 = SeqTable::from_sequences(vec![
-            (1, Sequence::one(Item::string("Sound Of Music"))),
-        ]);
+        let msg_p1 = SeqTable::from_sequences(vec![(
+            2,
+            Sequence::from_items(vec![Item::string("The Rock"), Item::string("Goldfinger")]),
+        )]);
+        let msg_p2 =
+            SeqTable::from_sequences(vec![(1, Sequence::one(Item::string("Sound Of Music")))]);
         let res_p1 = map_p1.map_back(&msg_p1);
         let res_p2 = map_p2.map_back(&msg_p2);
         assert_eq!(res_p1.iter, vec![3, 3]);
         assert_eq!(res_p2.iter, vec![2]);
         let result = SeqTable::merge_union(vec![res_p1, res_p2]);
         assert_eq!(result.iter, vec![2, 3, 3]);
-        assert_eq!(
-            items(&result),
-            ["Sound Of Music", "The Rock", "Goldfinger"]
-        );
+        assert_eq!(items(&result), ["Sound Of Music", "The Rock", "Goldfinger"]);
     }
 
     #[test]

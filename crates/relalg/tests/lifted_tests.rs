@@ -85,7 +85,7 @@ impl RpcDispatcher for RecordingDispatcher {
         let mut out = Vec::new();
         for args in calls {
             let mut st = xqeval::eval::EvalState::new();
-            for ((pname, _), v) in f.params.iter().zip(args.into_iter()) {
+            for ((pname, _), v) in f.params.iter().zip(args) {
                 st.vars.push((pname.lexical(), v));
             }
             out.push(ev.eval(&f.body, &mut st, &xqeval::eval::Ctx::none())?);
@@ -138,7 +138,10 @@ fn loop_becomes_single_bulk_request_q2() {
         for $actor in ("Julie Andrews", "Sean Connery")
         return execute at {"xrpc://y"} {f:filmsByActor($actor)}"#;
     let (res, _) = execute_rel(q, &env).unwrap();
-    assert_eq!(serialize(&res), "<name>The Rock</name>|<name>Goldfinger</name>");
+    assert_eq!(
+        serialize(&res),
+        "<name>The Rock</name>|<name>Goldfinger</name>"
+    );
     assert_eq!(*disp.log.lock(), vec![("xrpc://y".to_string(), 2)]);
 }
 
@@ -202,7 +205,10 @@ fn q6_two_calls_same_peer_sequence_construction() {
             execute at {"xrpc://y"} {f:filmsByActor($andrews)} )"#;
     let (res, _) = execute_rel(q, &env).unwrap();
     // Sean Connery matches two films on y; everything else is empty
-    assert_eq!(serialize(&res), "<name>The Rock</name>|<name>Goldfinger</name>");
+    assert_eq!(
+        serialize(&res),
+        "<name>The Rock</name>|<name>Goldfinger</name>"
+    );
     let log = disp.log.lock();
     assert_eq!(log.len(), 2, "one bulk request per call site");
     assert!(log.iter().all(|(p, n)| p == "xrpc://y" && *n == 2));

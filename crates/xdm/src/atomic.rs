@@ -28,7 +28,7 @@ impl DateTimeValue {
     fn timeline(&self) -> i128 {
         let y = self.year as i64 - if self.month <= 2 { 1 } else { 0 };
         let era = if y >= 0 { y } else { y - 399 } / 400;
-        let yoe = (y - era * 400) as i64;
+        let yoe = y - era * 400;
         let m = self.month as i64;
         let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + self.day as i64 - 1;
         let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
@@ -191,7 +191,11 @@ impl AtomicValue {
             }
             (AtomicValue::Decimal(d), AtomicType::Integer) => {
                 // truncate toward zero
-                let t = if d.is_negative() { d.ceiling() } else { d.floor() };
+                let t = if d.is_negative() {
+                    d.ceiling()
+                } else {
+                    d.floor()
+                };
                 Ok(AtomicValue::Integer(t))
             }
             (AtomicValue::Double(d), AtomicType::Integer) => {
@@ -216,10 +220,16 @@ impl AtomicValue {
                 Ok(AtomicValue::Double(if *b { 1.0 } else { 0.0 }))
             }
             (AtomicValue::Boolean(b), AtomicType::Decimal) => {
-                Ok(AtomicValue::Decimal(Decimal::from_i64(if *b { 1 } else { 0 })))
+                Ok(AtomicValue::Decimal(Decimal::from_i64(if *b {
+                    1
+                } else {
+                    0
+                })))
             }
             (AtomicValue::Integer(i), AtomicType::Boolean) => Ok(AtomicValue::Boolean(*i != 0)),
-            (AtomicValue::Decimal(d), AtomicType::Boolean) => Ok(AtomicValue::Boolean(!d.is_zero())),
+            (AtomicValue::Decimal(d), AtomicType::Boolean) => {
+                Ok(AtomicValue::Boolean(!d.is_zero()))
+            }
             (AtomicValue::Double(d), AtomicType::Boolean) => {
                 Ok(AtomicValue::Boolean(*d != 0.0 && !d.is_nan()))
             }
@@ -276,9 +286,10 @@ impl AtomicValue {
     pub fn value_cmp(&self, other: &AtomicValue) -> XdmResult<Ordering> {
         use AtomicValue as V;
         match (self, other) {
-            (V::String(a) | V::UntypedAtomic(a) | V::AnyUri(a), V::String(b) | V::UntypedAtomic(b) | V::AnyUri(b)) => {
-                Ok(a.cmp(b))
-            }
+            (
+                V::String(a) | V::UntypedAtomic(a) | V::AnyUri(a),
+                V::String(b) | V::UntypedAtomic(b) | V::AnyUri(b),
+            ) => Ok(a.cmp(b)),
             (V::Boolean(a), V::Boolean(b)) => Ok(a.cmp(b)),
             (V::QNameV(a), V::QNameV(b)) => {
                 if a.matches(b) {
@@ -354,10 +365,9 @@ fn general_coerce(a: &AtomicValue, b: &AtomicValue) -> XdmResult<(AtomicValue, A
     let ta = a.atomic_type();
     let tb = b.atomic_type();
     match (ta, tb) {
-        (T::UntypedAtomic, T::UntypedAtomic) => Ok((
-            V::String(a.lexical()),
-            V::String(b.lexical()),
-        )),
+        (T::UntypedAtomic, T::UntypedAtomic) => {
+            Ok((V::String(a.lexical()), V::String(b.lexical())))
+        }
         (T::UntypedAtomic, t) if t.is_numeric() => Ok((a.cast_to(T::Double)?, b.clone())),
         (t, T::UntypedAtomic) if t.is_numeric() => Ok((a.clone(), b.cast_to(T::Double)?)),
         (T::UntypedAtomic, t) => Ok((a.cast_to(t)?, b.clone())),
@@ -376,7 +386,11 @@ pub fn fmt_double(d: f64) -> String {
     if d.is_nan() {
         "NaN".to_string()
     } else if d.is_infinite() {
-        if d > 0.0 { "INF".to_string() } else { "-INF".to_string() }
+        if d > 0.0 {
+            "INF".to_string()
+        } else {
+            "-INF".to_string()
+        }
     } else if d == d.trunc() && d.abs() < 1e15 {
         format!("{}", d as i64)
     } else {
@@ -434,8 +448,8 @@ fn parse_date(s: &str) -> XdmResult<DateTimeValue> {
     let (tz, core) = parse_tz(s)?;
     let parts: Vec<&str> = core.splitn(3, '-').collect();
     // handle negative years: leading '-' creates an empty first part
-    let (year, month, day) = if core.starts_with('-') {
-        let p: Vec<&str> = core[1..].splitn(3, '-').collect();
+    let (year, month, day) = if let Some(rest) = core.strip_prefix('-') {
+        let p: Vec<&str> = rest.splitn(3, '-').collect();
         if p.len() != 3 {
             return Err(XdmError::invalid_cast(format!("invalid date `{s}`")));
         }
@@ -655,7 +669,9 @@ mod tests {
     #[test]
     fn boolean_lexical_space() {
         assert_eq!(
-            AtomicValue::parse_as("1", AtomicType::Boolean).unwrap().lexical(),
+            AtomicValue::parse_as("1", AtomicType::Boolean)
+                .unwrap()
+                .lexical(),
             "true"
         );
         assert!(AtomicValue::parse_as("yes", AtomicType::Boolean).is_err());
@@ -691,7 +707,9 @@ mod tests {
         }
         assert_eq!(v.lexical(), "P1Y2M3DT4H5M6S");
         assert_eq!(
-            AtomicValue::parse_as("PT0S", AtomicType::Duration).unwrap().lexical(),
+            AtomicValue::parse_as("PT0S", AtomicType::Duration)
+                .unwrap()
+                .lexical(),
             "PT0S"
         );
     }
@@ -743,19 +761,22 @@ mod tests {
         let i = AtomicValue::Integer(3);
         assert_eq!(i.cast_to(AtomicType::String).unwrap().lexical(), "3");
         let s = AtomicValue::String("2.5".into());
-        assert_eq!(
-            s.cast_to(AtomicType::Double).unwrap().lexical(),
-            "2.5"
-        );
+        assert_eq!(s.cast_to(AtomicType::Double).unwrap().lexical(), "2.5");
         assert!(AtomicValue::String("x".into())
             .cast_to(AtomicType::Integer)
             .is_err());
         assert_eq!(
-            AtomicValue::Double(2.9).cast_to(AtomicType::Integer).unwrap().lexical(),
+            AtomicValue::Double(2.9)
+                .cast_to(AtomicType::Integer)
+                .unwrap()
+                .lexical(),
             "2"
         );
         assert_eq!(
-            AtomicValue::Double(-2.9).cast_to(AtomicType::Integer).unwrap().lexical(),
+            AtomicValue::Double(-2.9)
+                .cast_to(AtomicType::Integer)
+                .unwrap()
+                .lexical(),
             "-2"
         );
     }

@@ -16,6 +16,10 @@ pub struct Decimal {
     scale: u32,
 }
 
+// arithmetic is deliberately by-name (`a.add(b)`), not via std::ops: `div`
+// and `rem` are fallible (XPTY div-by-zero), so operator overloads would
+// split the API in two
+#[allow(clippy::should_implement_trait)]
 impl Decimal {
     pub fn new(mantissa: i128, scale: u32) -> Self {
         Decimal { mantissa, scale }.normalized()

@@ -231,10 +231,7 @@ impl Sequence {
         }
         for it in &self.items {
             if !it.matches_kind(&st.kind) {
-                return Err(XdmError::type_error(format!(
-                    "item does not match {}",
-                    st
-                )));
+                return Err(XdmError::type_error(format!("item does not match {}", st)));
             }
         }
         Ok(())

@@ -123,9 +123,7 @@ pub fn negate(v: &AtomicValue) -> XdmResult<AtomicValue> {
         AtomicValue::Decimal(d) => AtomicValue::Decimal(-*d),
         AtomicValue::Double(d) => AtomicValue::Double(-d),
         AtomicValue::Float(f) => AtomicValue::Float(-f),
-        AtomicValue::UntypedAtomic(_) => {
-            negate(&v.cast_to(crate::types::AtomicType::Double)?)?
-        }
+        AtomicValue::UntypedAtomic(_) => negate(&v.cast_to(crate::types::AtomicType::Double)?)?,
         other => {
             return Err(XdmError::type_error(format!(
                 "cannot negate {}",
@@ -151,10 +149,22 @@ mod tests {
 
     #[test]
     fn integer_ops() {
-        assert_eq!(arith(ArithOp::Add, &int(2), &int(3)).unwrap().lexical(), "5");
-        assert_eq!(arith(ArithOp::Mul, &int(4), &int(5)).unwrap().lexical(), "20");
-        assert_eq!(arith(ArithOp::IDiv, &int(7), &int(2)).unwrap().lexical(), "3");
-        assert_eq!(arith(ArithOp::Mod, &int(7), &int(2)).unwrap().lexical(), "1");
+        assert_eq!(
+            arith(ArithOp::Add, &int(2), &int(3)).unwrap().lexical(),
+            "5"
+        );
+        assert_eq!(
+            arith(ArithOp::Mul, &int(4), &int(5)).unwrap().lexical(),
+            "20"
+        );
+        assert_eq!(
+            arith(ArithOp::IDiv, &int(7), &int(2)).unwrap().lexical(),
+            "3"
+        );
+        assert_eq!(
+            arith(ArithOp::Mod, &int(7), &int(2)).unwrap().lexical(),
+            "1"
+        );
     }
 
     #[test]
@@ -173,7 +183,10 @@ mod tests {
 
     #[test]
     fn double_div_by_zero_is_inf() {
-        assert_eq!(arith(ArithOp::Div, &dbl(1.0), &dbl(0.0)).unwrap().lexical(), "INF");
+        assert_eq!(
+            arith(ArithOp::Div, &dbl(1.0), &dbl(0.0)).unwrap().lexical(),
+            "INF"
+        );
     }
 
     #[test]

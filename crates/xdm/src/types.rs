@@ -218,7 +218,10 @@ mod tests {
 
     #[test]
     fn derived_integer_types_collapse() {
-        assert_eq!(AtomicType::from_xs_name("xs:long"), Some(AtomicType::Integer));
+        assert_eq!(
+            AtomicType::from_xs_name("xs:long"),
+            Some(AtomicType::Integer)
+        );
         assert_eq!(AtomicType::from_xs_name("int"), Some(AtomicType::Integer));
     }
 
@@ -234,8 +237,14 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(SeqType::star(ItemKind::Atomic(AtomicType::String)).to_string(), "xs:string*");
-        assert_eq!(SeqType::one(ItemKind::Element(Some("person".into()))).to_string(), "element(person)");
+        assert_eq!(
+            SeqType::star(ItemKind::Atomic(AtomicType::String)).to_string(),
+            "xs:string*"
+        );
+        assert_eq!(
+            SeqType::one(ItemKind::Element(Some("person".into()))).to_string(),
+            "element(person)"
+        );
         assert_eq!(SeqType::empty().to_string(), "empty-sequence()");
     }
 }

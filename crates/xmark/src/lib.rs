@@ -145,7 +145,8 @@ declare function func:getPerson($doc as xs:string, $pid as xs:string) as node()?
 /// An XML payload document of roughly `bytes` serialized size (for the
 /// §3.3 throughput experiment: scaling request/response payloads).
 pub fn payload_xml(bytes: usize) -> String {
-    let chunk = "<chunk>0123456789abcdefghijklmnopqrstuvwxyz0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ</chunk>";
+    let chunk =
+        "<chunk>0123456789abcdefghijklmnopqrstuvwxyz0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ</chunk>";
     let n = bytes / chunk.len() + 1;
     let mut out = String::with_capacity(bytes + 64);
     out.push_str("<payload>");
@@ -172,7 +173,12 @@ mod tests {
         let doc = xmldom::parse(&persons_xml(&p)).unwrap();
         let mut count = 0;
         for id in doc.all_ids() {
-            if doc.node(id).name.as_ref().is_some_and(|n| n.local == "person") {
+            if doc
+                .node(id)
+                .name
+                .as_ref()
+                .is_some_and(|n| n.local == "person")
+            {
                 count += 1;
             }
         }
@@ -195,16 +201,25 @@ mod tests {
         // collect person ids
         let mut ids = std::collections::HashSet::new();
         for id in pd.all_ids() {
-            if pd.node(id).name.as_ref().is_some_and(|n| n.local == "person") {
+            if pd
+                .node(id)
+                .name
+                .as_ref()
+                .is_some_and(|n| n.local == "person")
+            {
                 ids.insert(pd.attr_local(id, "id").unwrap().to_string());
             }
         }
         let mut matches = 0;
         for id in ad.all_ids() {
-            if ad.node(id).name.as_ref().is_some_and(|n| n.local == "buyer") {
-                if ids.contains(ad.attr_local(id, "person").unwrap()) {
-                    matches += 1;
-                }
+            if ad
+                .node(id)
+                .name
+                .as_ref()
+                .is_some_and(|n| n.local == "buyer")
+                && ids.contains(ad.attr_local(id, "person").unwrap())
+            {
+                matches += 1;
             }
         }
         assert_eq!(matches, 5);

@@ -30,7 +30,11 @@ impl Axis {
     pub fn is_reverse(self) -> bool {
         matches!(
             self,
-            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling | Axis::Preceding
+            Axis::Parent
+                | Axis::Ancestor
+                | Axis::AncestorOrSelf
+                | Axis::PrecedingSibling
+                | Axis::Preceding
         )
     }
 
@@ -180,7 +184,10 @@ mod tests {
     #[test]
     fn descendant_axis_document_order() {
         let (_, a) = setup();
-        assert_eq!(names(&step(&a, Axis::Descendant)), ["b", "c", "d", "e", "f", "g"]);
+        assert_eq!(
+            names(&step(&a, Axis::Descendant)),
+            ["b", "c", "d", "e", "f", "g"]
+        );
     }
 
     #[test]

@@ -226,7 +226,9 @@ impl Document {
     }
 
     pub fn remove_attribute(&mut self, element: NodeId, attr: NodeId) {
-        self.nodes[element.index()].attributes.retain(|&a| a != attr);
+        self.nodes[element.index()]
+            .attributes
+            .retain(|&a| a != attr);
         self.nodes[attr.index()].parent = None;
     }
 
@@ -297,27 +299,38 @@ impl Document {
             .attributes
             .iter()
             .copied()
-            .find(|&a| self.nodes[a.index()].name.as_ref().is_some_and(|n| n.matches(name)))
+            .find(|&a| {
+                self.nodes[a.index()]
+                    .name
+                    .as_ref()
+                    .is_some_and(|n| n.matches(name))
+            })
     }
 
     /// Attribute value lookup by local name only (namespace ignored) —
     /// convenient for protocol parsing where attributes are unprefixed.
     pub fn attr_local(&self, element: NodeId, local: &str) -> Option<&str> {
-        self.nodes[element.index()].attributes.iter().find_map(|&a| {
-            let d = &self.nodes[a.index()];
-            if d.name.as_ref().is_some_and(|n| n.local == local) {
-                Some(d.value.as_str())
-            } else {
-                None
-            }
-        })
+        self.nodes[element.index()]
+            .attributes
+            .iter()
+            .find_map(|&a| {
+                let d = &self.nodes[a.index()];
+                if d.name.as_ref().is_some_and(|n| n.local == local) {
+                    Some(d.value.as_str())
+                } else {
+                    None
+                }
+            })
     }
 
     /// First child element with a matching expanded name.
     pub fn child_element(&self, parent: NodeId, name: &QName) -> Option<NodeId> {
         self.children(parent).iter().copied().find(|&c| {
             self.kind(c) == NodeKind::Element
-                && self.nodes[c.index()].name.as_ref().is_some_and(|n| n.matches(name))
+                && self.nodes[c.index()]
+                    .name
+                    .as_ref()
+                    .is_some_and(|n| n.matches(name))
         })
     }
 

@@ -59,7 +59,11 @@ pub fn cmp_same_doc(doc: &Document, a: NodeId, b: NodeId) -> Ordering {
                 let a_attr = pa[i] == u32::MAX;
                 let b_attr = pb[i] == u32::MAX;
                 if a_attr != b_attr {
-                    return if a_attr { Ordering::Less } else { Ordering::Greater };
+                    return if a_attr {
+                        Ordering::Less
+                    } else {
+                        Ordering::Greater
+                    };
                 }
                 return ord;
             }

@@ -7,9 +7,9 @@
 //! DOCTYPE. DTD-defined entities are not supported — the SOAP XRPC wire
 //! format never needs them.
 
-use crate::node::{Document, NodeId};
 #[cfg(test)]
 use crate::node::NodeKind;
+use crate::node::{Document, NodeId};
 use crate::qname::{QName, NS_XML};
 
 /// Parse failure with byte offset and a human-readable message.
@@ -21,7 +21,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -411,11 +415,10 @@ impl<'a> Parser<'a> {
             "quot" => '"',
             "apos" => '\'',
             _ if name.starts_with("#x") || name.starts_with("#X") => {
-                let cp = u32::from_str_radix(&name[2..], 16)
-                    .map_err(|_| ParseError {
-                        offset: self.pos,
-                        message: format!("bad hex character reference `&{};`", name),
-                    })?;
+                let cp = u32::from_str_radix(&name[2..], 16).map_err(|_| ParseError {
+                    offset: self.pos,
+                    message: format!("bad hex character reference `&{};`", name),
+                })?;
                 char::from_u32(cp).ok_or_else(|| ParseError {
                     offset: self.pos,
                     message: format!("invalid code point in `&{};`", name),
@@ -537,12 +540,18 @@ mod tests {
 
     #[test]
     fn namespaces_scoped() {
-        let d = parse(r#"<p:a xmlns:p="urn:one"><p:b/><c xmlns:p="urn:two"><p:d/></c></p:a>"#)
-            .unwrap();
+        let d =
+            parse(r#"<p:a xmlns:p="urn:one"><p:b/><c xmlns:p="urn:two"><p:d/></c></p:a>"#).unwrap();
         let a = root_elem(&d);
-        assert_eq!(d.node(a).name.as_ref().unwrap().ns_uri.as_deref(), Some("urn:one"));
+        assert_eq!(
+            d.node(a).name.as_ref().unwrap().ns_uri.as_deref(),
+            Some("urn:one")
+        );
         let b = d.children(a)[0];
-        assert_eq!(d.node(b).name.as_ref().unwrap().ns_uri.as_deref(), Some("urn:one"));
+        assert_eq!(
+            d.node(b).name.as_ref().unwrap().ns_uri.as_deref(),
+            Some("urn:one")
+        );
         let c = d.children(a)[1];
         let inner = d.children(c)[0];
         assert_eq!(
@@ -555,11 +564,17 @@ mod tests {
     fn default_namespace_applies_to_elements_only() {
         let d = parse(r#"<a xmlns="urn:d" k="v"><b/></a>"#).unwrap();
         let a = root_elem(&d);
-        assert_eq!(d.node(a).name.as_ref().unwrap().ns_uri.as_deref(), Some("urn:d"));
+        assert_eq!(
+            d.node(a).name.as_ref().unwrap().ns_uri.as_deref(),
+            Some("urn:d")
+        );
         let attr = d.attributes(a)[0];
         assert_eq!(d.node(attr).name.as_ref().unwrap().ns_uri, None);
         let b = d.children(a)[0];
-        assert_eq!(d.node(b).name.as_ref().unwrap().ns_uri.as_deref(), Some("urn:d"));
+        assert_eq!(
+            d.node(b).name.as_ref().unwrap().ns_uri.as_deref(),
+            Some("urn:d")
+        );
     }
 
     #[test]
@@ -568,11 +583,7 @@ mod tests {
             "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n<!DOCTYPE a>\n<!-- hi --><?t d?><a/><!-- bye -->",
         )
         .unwrap();
-        let kinds: Vec<NodeKind> = d
-            .children(d.root())
-            .iter()
-            .map(|&c| d.kind(c))
-            .collect();
+        let kinds: Vec<NodeKind> = d.children(d.root()).iter().map(|&c| d.kind(c)).collect();
         assert_eq!(
             kinds,
             [

@@ -5,22 +5,13 @@ use crate::escape::{push_escaped_attr, push_escaped_text};
 use crate::node::{Document, NodeId, NodeKind};
 
 /// Serialization options.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct SerializeOpts {
     /// Emit an `<?xml version="1.0" encoding="utf-8"?>` declaration
     /// (document serialization only).
     pub xml_decl: bool,
     /// Pretty-print with the given indent width (0 = compact).
     pub indent: usize,
-}
-
-impl Default for SerializeOpts {
-    fn default() -> Self {
-        SerializeOpts {
-            xml_decl: false,
-            indent: 0,
-        }
-    }
 }
 
 /// Serialize a whole document.
@@ -66,7 +57,13 @@ fn write_node(doc: &Document, id: NodeId, opts: &SerializeOpts, depth: usize, ou
         }
         NodeKind::ProcessingInstruction => {
             out.push_str("<?");
-            out.push_str(&doc.node(id).name.as_ref().map(|n| n.local.as_str()).unwrap_or(""));
+            out.push_str(
+                doc.node(id)
+                    .name
+                    .as_ref()
+                    .map(|n| n.local.as_str())
+                    .unwrap_or(""),
+            );
             let v = &doc.node(id).value;
             if !v.is_empty() {
                 out.push(' ');

@@ -573,7 +573,8 @@ mod tests {
     #[test]
     fn prolog_option_lookup() {
         let mut p = Prolog::default();
-        p.options.push((Name::prefixed("xrpc", "isolation"), "repeatable".into()));
+        p.options
+            .push((Name::prefixed("xrpc", "isolation"), "repeatable".into()));
         assert_eq!(p.option("xrpc", "isolation"), Some("repeatable"));
         assert_eq!(p.option("xrpc", "timeout"), None);
     }

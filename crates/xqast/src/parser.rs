@@ -31,7 +31,9 @@ pub fn parse_module(input: &str) -> XdmResult<Module> {
 pub fn parse_main_module(input: &str) -> XdmResult<MainModule> {
     match parse_module(input)? {
         Module::Main(m) => Ok(m),
-        Module::Library(_) => Err(XdmError::syntax("expected a main module, found a library module")),
+        Module::Library(_) => Err(XdmError::syntax(
+            "expected a main module, found a library module",
+        )),
     }
 }
 
@@ -39,7 +41,9 @@ pub fn parse_main_module(input: &str) -> XdmResult<MainModule> {
 pub fn parse_library_module(input: &str) -> XdmResult<LibraryModule> {
     match parse_module(input)? {
         Module::Library(m) => Ok(m),
-        Module::Main(_) => Err(XdmError::syntax("expected a library module, found a main module")),
+        Module::Main(_) => Err(XdmError::syntax(
+            "expected a library module, found a main module",
+        )),
     }
 }
 
@@ -54,10 +58,7 @@ impl<'a> P<'a> {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> XdmResult<T> {
-        let around: String = self.input[self.pos..]
-            .chars()
-            .take(30)
-            .collect();
+        let around: String = self.input[self.pos..].chars().take(30).collect();
         Err(XdmError::syntax(format!(
             "{} (at offset {}, near `{}`)",
             msg.into(),
@@ -363,7 +364,8 @@ impl<'a> P<'a> {
                         self.expect_keyword("namespace")?;
                         prolog.default_function_ns = Some(self.string_literal()?);
                     } else {
-                        return self.err("expected `element` or `function` after `declare default`");
+                        return self
+                            .err("expected `element` or `function` after `declare default`");
                     }
                     self.expect(";")?;
                 } else if self.eat_keyword("option") {
@@ -1192,10 +1194,7 @@ impl<'a> P<'a> {
                 predicates: vec![],
             };
             return Ok(Expr::PathStep(
-                Box::new(Expr::PathStep(
-                    Box::new(Expr::Root(None)),
-                    Box::new(dos),
-                )),
+                Box::new(Expr::PathStep(Box::new(Expr::Root(None)), Box::new(dos))),
                 Box::new(rel),
             ));
         }
@@ -1340,12 +1339,24 @@ impl<'a> P<'a> {
             }));
         }
         // kind tests on the child axis
-        for kw in ["node", "text", "comment", "processing-instruction", "element", "attribute", "document-node"] {
+        for kw in [
+            "node",
+            "text",
+            "comment",
+            "processing-instruction",
+            "element",
+            "attribute",
+            "document-node",
+        ] {
             if self.peek_kind_test(kw) {
                 let test = self.node_test()?;
                 let predicates = self.predicate_list()?;
                 return Ok(Some(Expr::AxisStep {
-                    axis: if kw == "attribute" { Axis::Attribute } else { Axis::Child },
+                    axis: if kw == "attribute" {
+                        Axis::Attribute
+                    } else {
+                        Axis::Child
+                    },
                     test,
                     predicates,
                 }));
@@ -1370,18 +1381,24 @@ impl<'a> P<'a> {
         // a constant QName and then `{` (`element foo { ... }`).
         if matches!(
             name.lexical().as_str(),
-            "element" | "attribute" | "text" | "comment" | "document" | "processing-instruction"
-                | "ordered" | "unordered" | "validate" | "execute"
+            "element"
+                | "attribute"
+                | "text"
+                | "comment"
+                | "document"
+                | "processing-instruction"
+                | "ordered"
+                | "unordered"
+                | "validate"
+                | "execute"
         ) {
             let here = self.pos;
             self.skip_ws();
             let direct_brace = self.rest().starts_with('{');
-            let named_brace = !direct_brace
-                && self.qname().is_ok()
-                && {
-                    self.skip_ws();
-                    self.rest().starts_with('{')
-                };
+            let named_brace = !direct_brace && self.qname().is_ok() && {
+                self.skip_ws();
+                self.rest().starts_with('{')
+            };
             self.pos = here;
             if direct_brace || named_brace {
                 self.pos = save;
@@ -1516,7 +1533,11 @@ impl<'a> P<'a> {
             Some(c) if c.is_ascii_digit() => self.numeric_literal(),
             Some('.') => {
                 // `.5` numeric or `.` context item (`..` handled in steps)
-                if self.rest()[1..].chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                if self.rest()[1..]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit())
+                {
                     self.numeric_literal()
                 } else {
                     self.bump(1);
@@ -1652,11 +1673,7 @@ impl<'a> P<'a> {
         let save = self.pos;
         let mut ok = false;
         if self.eat_keyword(kw) {
-            if self.eat("{") {
-                ok = true;
-            } else if self.qname().is_ok() && self.eat("{") {
-                ok = true;
-            }
+            ok = self.eat("{") || (self.qname().is_ok() && self.eat("{"));
         }
         self.pos = save;
         ok
@@ -1690,7 +1707,10 @@ impl<'a> P<'a> {
         let name = self.qname()?;
         self.skip_ws();
         if !self.rest().starts_with('(') {
-            return self.err(format!("expected `(` after function name `{}`", name.lexical()));
+            return self.err(format!(
+                "expected `(` after function name `{}`",
+                name.lexical()
+            ));
         }
         self.bump(1);
         let mut args = Vec::new();
@@ -1976,11 +1996,26 @@ mod tests {
 
     #[test]
     fn comparison_kinds() {
-        assert!(matches!(parse_expr("1 = 2"), Expr::GeneralComp(CompOp::Eq, ..)));
-        assert!(matches!(parse_expr("1 eq 2"), Expr::ValueComp(CompOp::Eq, ..)));
-        assert!(matches!(parse_expr("$a is $b"), Expr::NodeComp(NodeCompOp::Is, ..)));
-        assert!(matches!(parse_expr("$a << $b"), Expr::NodeComp(NodeCompOp::Precedes, ..)));
-        assert!(matches!(parse_expr("1 < 2"), Expr::GeneralComp(CompOp::Lt, ..)));
+        assert!(matches!(
+            parse_expr("1 = 2"),
+            Expr::GeneralComp(CompOp::Eq, ..)
+        ));
+        assert!(matches!(
+            parse_expr("1 eq 2"),
+            Expr::ValueComp(CompOp::Eq, ..)
+        ));
+        assert!(matches!(
+            parse_expr("$a is $b"),
+            Expr::NodeComp(NodeCompOp::Is, ..)
+        ));
+        assert!(matches!(
+            parse_expr("$a << $b"),
+            Expr::NodeComp(NodeCompOp::Precedes, ..)
+        ));
+        assert!(matches!(
+            parse_expr("1 < 2"),
+            Expr::GeneralComp(CompOp::Lt, ..)
+        ));
     }
 
     #[test]
@@ -1992,8 +2027,17 @@ mod tests {
         match e {
             Expr::Flwor { clauses, .. } => {
                 assert_eq!(clauses.len(), 5);
-                assert!(matches!(&clauses[0], FlworClause::For { pos_var: Some(_), .. }));
-                assert!(matches!(&clauses[1], FlworClause::For { pos_var: None, .. }));
+                assert!(matches!(
+                    &clauses[0],
+                    FlworClause::For {
+                        pos_var: Some(_),
+                        ..
+                    }
+                ));
+                assert!(matches!(
+                    &clauses[1],
+                    FlworClause::For { pos_var: None, .. }
+                ));
                 assert!(matches!(&clauses[2], FlworClause::Let { .. }));
                 assert!(matches!(&clauses[3], FlworClause::Where(_)));
                 assert!(matches!(&clauses[4], FlworClause::OrderBy(s) if s[0].descending));
@@ -2019,12 +2063,19 @@ mod tests {
         // parent abbreviation
         assert!(matches!(
             parse_expr(".."),
-            Expr::AxisStep { axis: Axis::Parent, test: NodeTest::AnyKind, .. }
+            Expr::AxisStep {
+                axis: Axis::Parent,
+                test: NodeTest::AnyKind,
+                ..
+            }
         ));
         // explicit axes
         assert!(matches!(
             parse_expr("ancestor-or-self::div"),
-            Expr::AxisStep { axis: Axis::AncestorOrSelf, .. }
+            Expr::AxisStep {
+                axis: Axis::AncestorOrSelf,
+                ..
+            }
         ));
         // predicates
         match parse_expr("film[name = 'x'][2]") {
@@ -2037,21 +2088,31 @@ mod tests {
     fn wildcards() {
         assert!(matches!(
             parse_expr("child::*"),
-            Expr::AxisStep { test: NodeTest::AnyName, .. }
+            Expr::AxisStep {
+                test: NodeTest::AnyName,
+                ..
+            }
         ));
         assert!(matches!(
             parse_expr("f:*"),
-            Expr::AxisStep { test: NodeTest::NsWildcard(_), .. }
+            Expr::AxisStep {
+                test: NodeTest::NsWildcard(_),
+                ..
+            }
         ));
         assert!(matches!(
             parse_expr("*:local"),
-            Expr::AxisStep { test: NodeTest::LocalWildcard(_), .. }
+            Expr::AxisStep {
+                test: NodeTest::LocalWildcard(_),
+                ..
+            }
         ));
     }
 
     #[test]
     fn execute_at_shape() {
-        let e = parse_expr(r#"execute at {"xrpc://y.example.org"} {f:filmsByActor("Sean Connery")}"#);
+        let e =
+            parse_expr(r#"execute at {"xrpc://y.example.org"} {f:filmsByActor("Sean Connery")}"#);
         match e {
             Expr::ExecuteAt { dest, call } => {
                 assert!(matches!(*dest, Expr::Literal(AtomicValue::String(_))));
@@ -2121,25 +2182,43 @@ mod tests {
 
     #[test]
     fn xquf_expressions() {
-        assert!(matches!(parse_expr("delete node /a/b"), Expr::Delete { .. }));
+        assert!(matches!(
+            parse_expr("delete node /a/b"),
+            Expr::Delete { .. }
+        ));
         assert!(matches!(
             parse_expr("insert node <x/> into /a"),
-            Expr::Insert { pos: InsertPos::Into, .. }
+            Expr::Insert {
+                pos: InsertPos::Into,
+                ..
+            }
         ));
         assert!(matches!(
             parse_expr("insert nodes (<x/>, <y/>) as last into /a"),
-            Expr::Insert { pos: InsertPos::AsLastInto, .. }
+            Expr::Insert {
+                pos: InsertPos::AsLastInto,
+                ..
+            }
         ));
         assert!(matches!(
             parse_expr("insert node <x/> before /a/b"),
-            Expr::Insert { pos: InsertPos::Before, .. }
+            Expr::Insert {
+                pos: InsertPos::Before,
+                ..
+            }
         ));
-        assert!(matches!(parse_expr("replace node /a with <b/>"), Expr::ReplaceNode { .. }));
+        assert!(matches!(
+            parse_expr("replace node /a with <b/>"),
+            Expr::ReplaceNode { .. }
+        ));
         assert!(matches!(
             parse_expr("replace value of node /a with 'v'"),
             Expr::ReplaceValue { .. }
         ));
-        assert!(matches!(parse_expr("rename node /a as 'b'"), Expr::Rename { .. }));
+        assert!(matches!(
+            parse_expr("rename node /a as 'b'"),
+            Expr::Rename { .. }
+        ));
     }
 
     #[test]
@@ -2180,7 +2259,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(m.prolog.module_imports.len(), 1);
-        assert_eq!(m.prolog.module_imports[0].at_hints[0], "http://x.example.org/film.xq");
+        assert_eq!(
+            m.prolog.module_imports[0].at_hints[0],
+            "http://x.example.org/film.xq"
+        );
         assert_eq!(m.prolog.option("xrpc", "isolation"), Some("repeatable"));
         assert_eq!(m.prolog.option("xrpc", "timeout"), Some("30"));
     }
@@ -2195,10 +2277,8 @@ mod tests {
 
     #[test]
     fn version_decl_and_comments() {
-        let m = parse_main_module(
-            "xquery version \"1.0\"; (: outer (: nested :) comment :) 1 + 1",
-        )
-        .unwrap();
+        let m = parse_main_module("xquery version \"1.0\"; (: outer (: nested :) comment :) 1 + 1")
+            .unwrap();
         assert!(matches!(m.body, Expr::Arith(..)));
     }
 
@@ -2241,10 +2321,15 @@ mod tests {
     fn quantified_and_typeswitch() {
         assert!(matches!(
             parse_expr("every $x in (1, 2) satisfies $x > 0"),
-            Expr::Quantified { quantifier: Quantifier::Every, .. }
+            Expr::Quantified {
+                quantifier: Quantifier::Every,
+                ..
+            }
         ));
         assert!(matches!(
-            parse_expr("typeswitch ($v) case xs:string return 1 case node() return 2 default $d return 3"),
+            parse_expr(
+                "typeswitch ($v) case xs:string return 1 case node() return 2 default $d return 3"
+            ),
             Expr::Typeswitch { .. }
         ));
     }
@@ -2259,21 +2344,54 @@ mod tests {
 
     #[test]
     fn type_operators() {
-        assert!(matches!(parse_expr("$a instance of xs:integer+"), Expr::InstanceOf(..)));
-        assert!(matches!(parse_expr("$a treat as node()"), Expr::TreatAs(..)));
-        assert!(matches!(parse_expr("$a cast as xs:date?"), Expr::CastAs { allow_empty: true, .. }));
-        assert!(matches!(parse_expr("$a castable as xs:double"), Expr::CastableAs { .. }));
+        assert!(matches!(
+            parse_expr("$a instance of xs:integer+"),
+            Expr::InstanceOf(..)
+        ));
+        assert!(matches!(
+            parse_expr("$a treat as node()"),
+            Expr::TreatAs(..)
+        ));
+        assert!(matches!(
+            parse_expr("$a cast as xs:date?"),
+            Expr::CastAs {
+                allow_empty: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_expr("$a castable as xs:double"),
+            Expr::CastableAs { .. }
+        ));
     }
 
     #[test]
     fn computed_constructors() {
-        assert!(matches!(parse_expr("element {concat('a','b')} {1}"), Expr::CompElem { name: CompName::Computed(_), .. }));
-        assert!(matches!(parse_expr("element foo {}"), Expr::CompElem { name: CompName::Const(_), content: None }));
-        assert!(matches!(parse_expr("attribute id {'x'}"), Expr::CompAttr { .. }));
+        assert!(matches!(
+            parse_expr("element {concat('a','b')} {1}"),
+            Expr::CompElem {
+                name: CompName::Computed(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_expr("element foo {}"),
+            Expr::CompElem {
+                name: CompName::Const(_),
+                content: None
+            }
+        ));
+        assert!(matches!(
+            parse_expr("attribute id {'x'}"),
+            Expr::CompAttr { .. }
+        ));
         assert!(matches!(parse_expr("text {'x'}"), Expr::CompText(_)));
         assert!(matches!(parse_expr("comment {'x'}"), Expr::CompComment(_)));
         assert!(matches!(parse_expr("document {<a/>}"), Expr::CompDoc(_)));
-        assert!(matches!(parse_expr("processing-instruction t {'d'}"), Expr::CompPi { .. }));
+        assert!(matches!(
+            parse_expr("processing-instruction t {'d'}"),
+            Expr::CompPi { .. }
+        ));
     }
 
     #[test]
@@ -2299,7 +2417,11 @@ mod tests {
         ));
         assert!(matches!(
             parse_expr("self::node()"),
-            Expr::AxisStep { axis: Axis::SelfAxis, test: NodeTest::AnyKind, .. }
+            Expr::AxisStep {
+                axis: Axis::SelfAxis,
+                test: NodeTest::AnyKind,
+                ..
+            }
         ));
     }
 

@@ -304,7 +304,9 @@ fn expr(e: &Expr, out: &mut String) {
             expr(c, out);
             out.push('}');
         }
-        Expr::CompPi { target, content } => comp_ctor("processing-instruction", target, content, out),
+        Expr::CompPi { target, content } => {
+            comp_ctor("processing-instruction", target, content, out)
+        }
         Expr::CompDoc(c) => {
             out.push_str("document {");
             expr(c, out);
@@ -342,7 +344,11 @@ fn expr(e: &Expr, out: &mut String) {
                 if *allow_empty { "?" } else { "" }
             ));
         }
-        Expr::Insert { source, target, pos } => {
+        Expr::Insert {
+            source,
+            target,
+            pos,
+        } => {
             out.push_str("insert nodes ");
             paren(source, out);
             out.push_str(match pos {
@@ -382,8 +388,12 @@ fn expr(e: &Expr, out: &mut String) {
 fn expr_path_lhs(e: &Expr, out: &mut String) {
     match e {
         Expr::Root(None) => {} // `/x` — the slash is emitted by the caller
-        Expr::PathStep(..) | Expr::AxisStep { .. } | Expr::Filter(..) | Expr::FunctionCall { .. }
-        | Expr::VarRef(_) | Expr::ContextItem => expr(e, out),
+        Expr::PathStep(..)
+        | Expr::AxisStep { .. }
+        | Expr::Filter(..)
+        | Expr::FunctionCall { .. }
+        | Expr::VarRef(_)
+        | Expr::ContextItem => expr(e, out),
         _ => {
             out.push('(');
             expr(e, out);
@@ -596,8 +606,7 @@ mod tests {
     fn roundtrip(q: &str) {
         let m1 = parse_main_module(q).unwrap_or_else(|e| panic!("parse 1 `{q}`: {e}"));
         let printed = pretty_print(&m1.body);
-        let m2 = parse_main_module(&printed)
-            .unwrap_or_else(|e| panic!("parse 2 `{printed}`: {e}"));
+        let m2 = parse_main_module(&printed).unwrap_or_else(|e| panic!("parse 2 `{printed}`: {e}"));
         let printed2 = pretty_print(&m2.body);
         assert_eq!(printed, printed2, "original: {q}");
     }

@@ -15,12 +15,16 @@ pub trait DocResolver: Send + Sync {
 
     /// `fn:put` target: store `doc` under `uri`. Default: unsupported.
     fn put(&self, _uri: &str, _doc: Document) -> XdmResult<()> {
-        Err(XdmError::doc_error("fn:put is not supported by this resolver"))
+        Err(XdmError::doc_error(
+            "fn:put is not supported by this resolver",
+        ))
     }
 
     /// Swap in a new version of a document (used by `applyUpdates`).
     fn replace(&self, _uri: &str, _doc: Arc<Document>) -> XdmResult<()> {
-        Err(XdmError::doc_error("updates are not supported by this resolver"))
+        Err(XdmError::doc_error(
+            "updates are not supported by this resolver",
+        ))
     }
 }
 
@@ -188,7 +192,10 @@ impl StaticContext {
             "http://www.w3.org/2005/xpath-functions".to_string(),
         );
         ns.insert("xrpc".to_string(), xmldom::qname::NS_XRPC.to_string());
-        ns.insert("local".to_string(), "http://www.w3.org/2005/xquery-local-functions".to_string());
+        ns.insert(
+            "local".to_string(),
+            "http://www.w3.org/2005/xquery-local-functions".to_string(),
+        );
         ns.insert("env".to_string(), xmldom::qname::NS_SOAP_ENV.to_string());
         StaticContext {
             namespaces: ns,
@@ -205,8 +212,10 @@ impl StaticContext {
         sc.default_element_ns = prolog.default_element_ns.clone();
         for imp in &prolog.module_imports {
             sc.namespaces.insert(imp.prefix.clone(), imp.ns_uri.clone());
-            sc.imports
-                .insert(imp.prefix.clone(), (imp.ns_uri.clone(), imp.at_hints.clone()));
+            sc.imports.insert(
+                imp.prefix.clone(),
+                (imp.ns_uri.clone(), imp.at_hints.clone()),
+            );
         }
         for (name, value) in &prolog.options {
             sc.options.insert(name.lexical(), value.clone());

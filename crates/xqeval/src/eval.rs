@@ -12,9 +12,14 @@ use xdm::{Item, Sequence, XdmError, XdmResult};
 use xmldom::order::{cmp_handles, sort_dedup};
 use xmldom::{axes, Document, NodeHandle, NodeKind, QName};
 use xqast::{
-    Axis, AttrContent, CompName, CompOp, DirContent, DirElem, Expr, FlworClause, FunctionDecl,
+    AttrContent, Axis, CompName, CompOp, DirContent, DirElem, Expr, FlworClause, FunctionDecl,
     InsertPos, MainModule, Name, NodeCompOp, NodeTest, Quantifier,
 };
+
+/// One FLWOR tuple's variable bindings (name → bound sequence).
+type Bindings = Vec<(String, Sequence)>;
+/// Atomized `order by` keys for one tuple (one entry per spec).
+type OrderKeys = Vec<Option<AtomicValue>>;
 
 /// Focus: the context item, position and size.
 #[derive(Clone, Default)]
@@ -88,10 +93,7 @@ pub struct Evaluator<'e> {
 /// result sequence and the pending update list (empty for read-only
 /// queries); the caller decides when to `apply_updates` — that split is
 /// exactly what the paper's isolation levels manipulate (§2.3).
-pub fn evaluate_main(
-    query: &str,
-    env: &Environment,
-) -> XdmResult<(Sequence, PendingUpdateList)> {
+pub fn evaluate_main(query: &str, env: &Environment) -> XdmResult<(Sequence, PendingUpdateList)> {
     evaluate_main_with_vars(query, env, Vec::new())
 }
 
@@ -166,9 +168,9 @@ impl<'e> Evaluator<'e> {
                 let lo = self.eval_integer_opt(a, st, ctx)?;
                 let hi = self.eval_integer_opt(b, st, ctx)?;
                 match (lo, hi) {
-                    (Some(lo), Some(hi)) if lo <= hi => Ok(Sequence::from_items(
-                        (lo..=hi).map(Item::integer).collect(),
-                    )),
+                    (Some(lo), Some(hi)) if lo <= hi => {
+                        Ok(Sequence::from_items((lo..=hi).map(Item::integer).collect()))
+                    }
                     _ => Ok(Sequence::empty()),
                 }
             }
@@ -243,7 +245,9 @@ impl<'e> Evaluator<'e> {
                 let mut nodes = self.eval_nodes(a, st, ctx, "union")?;
                 nodes.extend(self.eval_nodes(b, st, ctx, "union")?);
                 sort_dedup(&mut nodes);
-                Ok(Sequence::from_items(nodes.into_iter().map(Item::Node).collect()))
+                Ok(Sequence::from_items(
+                    nodes.into_iter().map(Item::Node).collect(),
+                ))
             }
             Expr::Intersect(a, b) => {
                 let na = self.eval_nodes(a, st, ctx, "intersect")?;
@@ -253,7 +257,9 @@ impl<'e> Evaluator<'e> {
                     .filter(|x| nb.iter().any(|y| y.same_node(x)))
                     .collect();
                 sort_dedup(&mut out);
-                Ok(Sequence::from_items(out.into_iter().map(Item::Node).collect()))
+                Ok(Sequence::from_items(
+                    out.into_iter().map(Item::Node).collect(),
+                ))
             }
             Expr::Except(a, b) => {
                 let na = self.eval_nodes(a, st, ctx, "except")?;
@@ -263,7 +269,9 @@ impl<'e> Evaluator<'e> {
                     .filter(|x| !nb.iter().any(|y| y.same_node(x)))
                     .collect();
                 sort_dedup(&mut out);
-                Ok(Sequence::from_items(out.into_iter().map(Item::Node).collect()))
+                Ok(Sequence::from_items(
+                    out.into_iter().map(Item::Node).collect(),
+                ))
             }
             Expr::If { cond, then, els } => {
                 if self.eval(cond, st, ctx)?.ebv()? {
@@ -307,7 +315,12 @@ impl<'e> Evaluator<'e> {
             Expr::Root(rest) => {
                 let node = match &ctx.item {
                     Some(Item::Node(n)) => n.clone(),
-                    _ => return Err(XdmError::new("XPDY0002", "`/` requires a node context item")),
+                    _ => {
+                        return Err(XdmError::new(
+                            "XPDY0002",
+                            "`/` requires a node context item",
+                        ))
+                    }
                 };
                 let root = NodeHandle::root(node.doc.clone());
                 match rest {
@@ -352,7 +365,9 @@ impl<'e> Evaluator<'e> {
                     Some(_) => {
                         return Err(XdmError::type_error("axis step on a non-node context item"))
                     }
-                    None => return Err(XdmError::new("XPDY0002", "axis step with no context item")),
+                    None => {
+                        return Err(XdmError::new("XPDY0002", "axis step with no context item"))
+                    }
                 };
                 let mut nodes = self.axis_nodes(&node, *axis, test)?;
                 let reverse = matches!(
@@ -376,7 +391,9 @@ impl<'e> Evaluator<'e> {
                 if reverse {
                     handles.reverse();
                 }
-                Ok(Sequence::from_items(handles.into_iter().map(Item::Node).collect()))
+                Ok(Sequence::from_items(
+                    handles.into_iter().map(Item::Node).collect(),
+                ))
             }
             Expr::Filter(base, predicates) => {
                 let v = self.eval(base, st, ctx)?;
@@ -415,7 +432,9 @@ impl<'e> Evaluator<'e> {
             Expr::CompAttr { name, content } => {
                 let qname = self.comp_qname(name, st, ctx, false)?;
                 let value = match content {
-                    Some(c) => self.eval(c, st, ctx)?.atomized()
+                    Some(c) => self
+                        .eval(c, st, ctx)?
+                        .atomized()
                         .iter()
                         .map(|v| v.lexical())
                         .collect::<Vec<_>>()
@@ -514,7 +533,11 @@ impl<'e> Evaluator<'e> {
                 Ok(Sequence::one(Item::boolean(r)))
             }
             // ---- XQUF ----
-            Expr::Insert { source, target, pos } => {
+            Expr::Insert {
+                source,
+                target,
+                pos,
+            } => {
                 let content: Vec<NodeHandle> = self
                     .eval(source, st, ctx)?
                     .into_items()
@@ -564,7 +587,8 @@ impl<'e> Evaluator<'e> {
             Expr::ReplaceValue { target, with } => {
                 let t = self.eval_single_node(target, st, ctx, "replace target")?;
                 let value = self.eval(with, st, ctx)?.joined_string();
-                st.pul.push(UpdatePrimitive::ReplaceValue { target: t, value });
+                st.pul
+                    .push(UpdatePrimitive::ReplaceValue { target: t, value });
                 Ok(Sequence::empty())
             }
             Expr::Rename { target, name } => {
@@ -608,16 +632,13 @@ impl<'e> Evaluator<'e> {
         let mut out = Sequence::empty();
         if let Some(specs) = order_specs {
             // Materialize tuples, compute keys, sort, then evaluate return.
-            let mut tuples: Vec<(Vec<(String, Sequence)>, Vec<Option<AtomicValue>>)> = Vec::new();
-            self.stream(stream_clauses, st, ctx, base, &mut |ev, st2| {
+            let mut tuples: Vec<(Bindings, OrderKeys)> = Vec::new();
+            self.stream(stream_clauses, st, ctx, &mut |ev, st2| {
                 let binding = st2.vars[base..].to_vec();
                 let mut keys = Vec::new();
                 for spec in specs {
                     let kv = ev.eval(&spec.key, st2, ctx)?;
-                    keys.push(match kv.zero_or_one()? {
-                        Some(i) => Some(i.atomize()),
-                        None => None,
-                    });
+                    keys.push(kv.zero_or_one()?.map(|i| i.atomize()));
                 }
                 tuples.push((binding, keys));
                 Ok(())
@@ -640,9 +661,7 @@ impl<'e> Evaluator<'e> {
                                 std::cmp::Ordering::Less
                             }
                         }
-                        (Some(a), Some(b)) => {
-                            a.value_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
-                        }
+                        (Some(a), Some(b)) => a.value_cmp(b).unwrap_or(std::cmp::Ordering::Equal),
                     };
                     let ord = if spec.descending { ord.reverse() } else { ord };
                     if ord != std::cmp::Ordering::Equal {
@@ -657,7 +676,7 @@ impl<'e> Evaluator<'e> {
                 out.extend(self.eval(ret, st, ctx)?);
             }
         } else {
-            self.stream(stream_clauses, st, ctx, base, &mut |ev, st2| {
+            self.stream(stream_clauses, st, ctx, &mut |ev, st2| {
                 let r = ev.eval(ret, st2, ctx)?;
                 out.extend(r);
                 Ok(())
@@ -757,12 +776,16 @@ impl<'e> Evaluator<'e> {
         }
         let l_free = free_var_names(l);
         let r_free = free_var_names(r);
-        let (a_key, b_key) = if l_free.contains(&a_name) && !l_free.contains(&b_name)
-            && r_free.contains(&b_name) && !r_free.contains(&a_name)
+        let (a_key, b_key) = if l_free.contains(&a_name)
+            && !l_free.contains(&b_name)
+            && r_free.contains(&b_name)
+            && !r_free.contains(&a_name)
         {
             (l, r)
-        } else if r_free.contains(&a_name) && !r_free.contains(&b_name)
-            && l_free.contains(&b_name) && !l_free.contains(&a_name)
+        } else if r_free.contains(&a_name)
+            && !r_free.contains(&b_name)
+            && l_free.contains(&b_name)
+            && !l_free.contains(&a_name)
         {
             (r, l)
         } else {
@@ -787,7 +810,6 @@ impl<'e> Evaluator<'e> {
             }
         }
 
-        let base = st.vars.len();
         let mut out = Sequence::empty();
         for x in x_items {
             let depth = st.vars.len();
@@ -814,7 +836,7 @@ impl<'e> Evaluator<'e> {
             for yi in hits {
                 let d2 = st.vars.len();
                 st.bind(b_var, Sequence::one(y_items[yi].clone()));
-                self.stream(rest, st, ctx, base, &mut |ev, st2| {
+                self.stream(rest, st, ctx, &mut |ev, st2| {
                     out.extend(ev.eval(ret, st2, ctx)?);
                     Ok(())
                 })?;
@@ -832,7 +854,6 @@ impl<'e> Evaluator<'e> {
         clauses: &[FlworClause],
         st: &mut EvalState,
         ctx: &Ctx,
-        base: usize,
         sink: &mut dyn FnMut(&Evaluator, &mut EvalState) -> XdmResult<()>,
     ) -> XdmResult<()> {
         match clauses.first() {
@@ -845,7 +866,7 @@ impl<'e> Evaluator<'e> {
                     if let Some(pv) = pos_var {
                         st.bind(pv, Sequence::one(Item::integer(i as i64 + 1)));
                     }
-                    self.stream(&clauses[1..], st, ctx, base, sink)?;
+                    self.stream(&clauses[1..], st, ctx, sink)?;
                     st.vars.truncate(depth);
                 }
                 Ok(())
@@ -854,19 +875,19 @@ impl<'e> Evaluator<'e> {
                 let v = self.eval(value, st, ctx)?;
                 let depth = st.vars.len();
                 st.bind(var, v);
-                self.stream(&clauses[1..], st, ctx, base, sink)?;
+                self.stream(&clauses[1..], st, ctx, sink)?;
                 st.vars.truncate(depth);
                 Ok(())
             }
             Some(FlworClause::Where(cond)) => {
                 if self.eval(cond, st, ctx)?.ebv()? {
-                    self.stream(&clauses[1..], st, ctx, base, sink)?;
+                    self.stream(&clauses[1..], st, ctx, sink)?;
                 }
                 Ok(())
             }
-            Some(FlworClause::OrderBy(_)) => Err(XdmError::syntax(
-                "order by must be the last FLWOR clause",
-            )),
+            Some(FlworClause::OrderBy(_)) => {
+                Err(XdmError::syntax("order by must be the last FLWOR clause"))
+            }
         }
     }
 
@@ -915,7 +936,12 @@ impl<'e> Evaluator<'e> {
 
     /// Apply a path step expression to an already-evaluated base sequence
     /// (public: the loop-lifted engine reuses this per iteration).
-    pub fn eval_path_rhs(&self, base: &Sequence, rhs: &Expr, st: &mut EvalState) -> XdmResult<Sequence> {
+    pub fn eval_path_rhs(
+        &self,
+        base: &Sequence,
+        rhs: &Expr,
+        st: &mut EvalState,
+    ) -> XdmResult<Sequence> {
         // Join-index fast path (see index.rs): `base/step[@attr = value]`
         if self.env.join_index {
             if let Some(result) = self.try_join_index(base, rhs, st, false)? {
@@ -1252,7 +1278,13 @@ impl<'e> Evaluator<'e> {
                         .get(&(name.local.clone(), actuals.len()))
                         .cloned()
                     {
-                        return self.invoke_udf(&f, actuals, st, self.sctx.clone(), self.local_functions.clone());
+                        return self.invoke_udf(
+                            &f,
+                            actuals,
+                            st,
+                            self.sctx.clone(),
+                            self.local_functions.clone(),
+                        );
                     }
                 }
                 functions::call_builtin(self, &name.local, actuals, st, ctx)
@@ -1270,7 +1302,13 @@ impl<'e> Evaluator<'e> {
                             actuals.len()
                         ))
                     })?;
-                self.invoke_udf(&f, actuals, st, self.sctx.clone(), self.local_functions.clone())
+                self.invoke_udf(
+                    &f,
+                    actuals,
+                    st,
+                    self.sctx.clone(),
+                    self.local_functions.clone(),
+                )
             }
             Some(prefix) => {
                 // module function via imports (or an already-loaded module
@@ -1287,17 +1325,15 @@ impl<'e> Evaluator<'e> {
                     },
                 };
                 let module = self.env.modules.get_or_load(&ns, hint.as_deref())?;
-                let f = module
-                    .function(&name.local, actuals.len())
-                    .ok_or_else(|| {
-                        XdmError::unknown_function(format!(
-                            "unknown function {}:{}#{} in module `{}`",
-                            prefix,
-                            name.local,
-                            actuals.len(),
-                            ns
-                        ))
-                    })?;
+                let f = module.function(&name.local, actuals.len()).ok_or_else(|| {
+                    XdmError::unknown_function(format!(
+                        "unknown function {}:{}#{} in module `{}`",
+                        prefix,
+                        name.local,
+                        actuals.len(),
+                        ns
+                    ))
+                })?;
                 let msctx = Arc::new(module.sctx.clone());
                 self.invoke_udf(&f, actuals, st, msctx, Arc::new(HashMap::new()))
             }
@@ -1313,11 +1349,14 @@ impl<'e> Evaluator<'e> {
         local_functions: Arc<HashMap<(String, usize), Arc<FunctionDecl>>>,
     ) -> XdmResult<Sequence> {
         if st.depth >= self.env.max_depth {
-            return Err(XdmError::new("XQDY0054", "function recursion limit exceeded"));
+            return Err(XdmError::new(
+                "XQDY0054",
+                "function recursion limit exceeded",
+            ));
         }
         // Type-check and bind parameters.
         let base = st.vars.len();
-        for ((pname, pty), value) in f.params.iter().zip(actuals.into_iter()) {
+        for ((pname, pty), value) in f.params.iter().zip(actuals) {
             if let Some(t) = pty {
                 value.check_type(t).map_err(|e| {
                     XdmError::type_error(format!(
@@ -1549,10 +1588,7 @@ impl<'e> Evaluator<'e> {
     fn lex_to_qname(&self, lex: &str, is_element: bool) -> XdmResult<QName> {
         match lex.split_once(':') {
             Some((p, l)) => {
-                let uri = self
-                    .sctx
-                    .resolve_prefix(p)
-                    .map(|s| s.to_string());
+                let uri = self.sctx.resolve_prefix(p).map(|s| s.to_string());
                 Ok(QName {
                     prefix: Some(p.to_string()),
                     ns_uri: uri,
@@ -1578,12 +1614,7 @@ impl<'e> Evaluator<'e> {
     // misc helpers
     // ------------------------------------------------------------------
 
-    fn eval_integer_opt(
-        &self,
-        e: &Expr,
-        st: &mut EvalState,
-        ctx: &Ctx,
-    ) -> XdmResult<Option<i64>> {
+    fn eval_integer_opt(&self, e: &Expr, st: &mut EvalState, ctx: &Ctx) -> XdmResult<Option<i64>> {
         let v = self.eval(e, st, ctx)?;
         match v.zero_or_one()? {
             None => Ok(None),
@@ -1606,7 +1637,9 @@ impl<'e> Evaluator<'e> {
             .into_iter()
             .map(|i| match i {
                 Item::Node(n) => Ok(n),
-                _ => Err(XdmError::type_error(format!("{who} operands must be nodes"))),
+                _ => Err(XdmError::type_error(format!(
+                    "{who} operands must be nodes"
+                ))),
             })
             .collect()
     }
@@ -1785,8 +1818,10 @@ fn expr_uses_focus(e: &Expr) -> bool {
     e.walk(&mut |x| match x {
         Expr::ContextItem | Expr::Root(_) | Expr::AxisStep { .. } => uses = true,
         Expr::FunctionCall { name, .. }
-            if matches!(name.local.as_str(), "position" | "last" | "string" | "number")
-                && name.prefix.is_none() =>
+            if matches!(
+                name.local.as_str(),
+                "position" | "last" | "string" | "number"
+            ) && name.prefix.is_none() =>
         {
             uses = true
         }

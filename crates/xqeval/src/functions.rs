@@ -15,14 +15,64 @@ pub fn is_builtin(local: &str) -> bool {
 }
 
 const BUILTINS: &[&str] = &[
-    "doc", "put", "root", "position", "last", "count", "empty", "exists", "not", "boolean",
-    "true", "false", "string", "string-length", "concat", "string-join", "substring",
-    "contains", "starts-with", "ends-with", "upper-case", "lower-case", "normalize-space",
-    "substring-before", "substring-after", "translate", "number", "sum", "avg", "min", "max",
-    "abs", "floor", "ceiling", "round", "data", "distinct-values", "index-of", "insert-before",
-    "remove", "reverse", "subsequence", "zero-or-one", "one-or-more", "exactly-one",
-    "deep-equal", "name", "local-name", "namespace-uri", "error", "trace", "doc-available",
-    "string-to-codepoints", "codepoints-to-string", "exists", "node-name", "nilled", "base-uri",
+    "doc",
+    "put",
+    "root",
+    "position",
+    "last",
+    "count",
+    "empty",
+    "exists",
+    "not",
+    "boolean",
+    "true",
+    "false",
+    "string",
+    "string-length",
+    "concat",
+    "string-join",
+    "substring",
+    "contains",
+    "starts-with",
+    "ends-with",
+    "upper-case",
+    "lower-case",
+    "normalize-space",
+    "substring-before",
+    "substring-after",
+    "translate",
+    "number",
+    "sum",
+    "avg",
+    "min",
+    "max",
+    "abs",
+    "floor",
+    "ceiling",
+    "round",
+    "data",
+    "distinct-values",
+    "index-of",
+    "insert-before",
+    "remove",
+    "reverse",
+    "subsequence",
+    "zero-or-one",
+    "one-or-more",
+    "exactly-one",
+    "deep-equal",
+    "name",
+    "local-name",
+    "namespace-uri",
+    "error",
+    "trace",
+    "doc-available",
+    "string-to-codepoints",
+    "codepoints-to-string",
+    "exists",
+    "node-name",
+    "nilled",
+    "base-uri",
     "document-uri",
 ];
 
@@ -43,7 +93,9 @@ pub fn call_builtin(
         }
         ("doc-available", 1) => {
             let uri = one_string(&args[0], "fn:doc-available")?;
-            Ok(Sequence::one(Item::boolean(ev.env.docs.resolve(&uri).is_ok())))
+            Ok(Sequence::one(Item::boolean(
+                ev.env.docs.resolve(&uri).is_ok(),
+            )))
         }
         ("put", 2) => {
             // XQUF fn:put is an updating function: record a Put primitive.
@@ -145,11 +197,17 @@ pub fn call_builtin(
                 .unwrap_or_default();
             Ok(Sequence::one(Item::string(r)))
         }
-        ("upper-case", 1) => Ok(Sequence::one(Item::string(opt_string(&args[0]).to_uppercase()))),
-        ("lower-case", 1) => Ok(Sequence::one(Item::string(opt_string(&args[0]).to_lowercase()))),
+        ("upper-case", 1) => Ok(Sequence::one(Item::string(
+            opt_string(&args[0]).to_uppercase(),
+        ))),
+        ("lower-case", 1) => Ok(Sequence::one(Item::string(
+            opt_string(&args[0]).to_lowercase(),
+        ))),
         ("normalize-space", 0) => {
             let i = ctx_item(ctx, "fn:normalize-space")?;
-            Ok(Sequence::one(Item::string(normalize_space(&i.string_value()))))
+            Ok(Sequence::one(Item::string(normalize_space(
+                &i.string_value(),
+            ))))
         }
         ("normalize-space", 1) => Ok(Sequence::one(Item::string(normalize_space(&opt_string(
             &args[0],
@@ -169,7 +227,7 @@ pub fn call_builtin(
         }
         ("number", 0) => {
             let i = ctx_item(ctx, "fn:number")?;
-            Ok(Sequence::one(to_number(Some(&i))))
+            Ok(Sequence::one(to_number(Some(i))))
         }
         ("number", 1) => Ok(Sequence::one(to_number(args[0].zero_or_one()?))),
         ("sum", 1) | ("sum", 2) => {
@@ -271,24 +329,23 @@ pub fn call_builtin(
                     AtomicValue::UntypedAtomic(s) => AtomicValue::String(s),
                     other => other,
                 };
-                if !out
-                    .iter()
-                    .any(|o| o.value_cmp(&v).map(|c| c == Ordering::Equal).unwrap_or(false))
-                {
+                if !out.iter().any(|o| {
+                    o.value_cmp(&v)
+                        .map(|c| c == Ordering::Equal)
+                        .unwrap_or(false)
+                }) {
                     out.push(v);
                 }
             }
-            Ok(Sequence::from_items(out.into_iter().map(Item::Atomic).collect()))
+            Ok(Sequence::from_items(
+                out.into_iter().map(Item::Atomic).collect(),
+            ))
         }
         ("index-of", 2) => {
             let needle = args[1].singleton()?.atomize();
             let mut out = Vec::new();
             for (i, it) in args[0].iter().enumerate() {
-                if it
-                    .atomize()
-                    .general_eq(&needle)
-                    .unwrap_or(false)
-                {
+                if it.atomize().general_eq(&needle).unwrap_or(false) {
                     out.push(Item::integer(i as i64 + 1));
                 }
             }
@@ -329,7 +386,7 @@ pub fn call_builtin(
             let mut out = Vec::new();
             for (i, it) in items.iter().enumerate() {
                 let p = i as f64 + 1.0;
-                let keep = p >= start.round() && len.map_or(true, |l| p < start.round() + l.round());
+                let keep = p >= start.round() && len.is_none_or(|l| p < start.round() + l.round());
                 if keep {
                     out.push(it.clone());
                 }
@@ -355,7 +412,7 @@ pub fn call_builtin(
         )?))),
         ("name", 0) | ("local-name", 0) | ("namespace-uri", 0) => {
             let n = ctx_node(ctx, name)?;
-            Ok(Sequence::one(Item::string(node_name_part(&n, name))))
+            Ok(Sequence::one(Item::string(node_name_part(n, name))))
         }
         ("name", 1) | ("local-name", 1) | ("namespace-uri", 1) => match args[0].zero_or_one()? {
             None => Ok(Sequence::one(Item::string(""))),
@@ -471,7 +528,9 @@ fn ctx_item<'c>(ctx: &'c Ctx, who: &str) -> XdmResult<&'c Item> {
 fn ctx_node<'c>(ctx: &'c Ctx, who: &str) -> XdmResult<&'c NodeHandle> {
     match ctx_item(ctx, who)? {
         Item::Node(n) => Ok(n),
-        _ => Err(XdmError::type_error(format!("{who}: context item is not a node"))),
+        _ => Err(XdmError::type_error(format!(
+            "{who}: context item is not a node"
+        ))),
     }
 }
 
@@ -530,7 +589,7 @@ fn substring(s: &str, start: f64, len: Option<f64>) -> String {
     let mut out = String::new();
     for (i, c) in chars.iter().enumerate() {
         let p = i as f64 + 1.0;
-        let keep = p >= start.round() && len.map_or(true, |l| p < start.round() + l.round());
+        let keep = p >= start.round() && len.is_none_or(|l| p < start.round() + l.round());
         if keep {
             out.push(*c);
         }
@@ -546,10 +605,7 @@ fn node_name_part(n: &NodeHandle, which: &str) -> String {
     match which {
         "name" => n.name().map(|q| q.lexical()).unwrap_or_default(),
         "local-name" => n.name().map(|q| q.local.clone()).unwrap_or_default(),
-        _ => n
-            .name()
-            .and_then(|q| q.ns_uri.clone())
-            .unwrap_or_default(),
+        _ => n.name().and_then(|q| q.ns_uri.clone()).unwrap_or_default(),
     }
 }
 
@@ -568,9 +624,10 @@ pub fn deep_equal_seq(a: &Sequence, b: &Sequence) -> XdmResult<bool> {
 
 fn deep_equal_item(a: &Item, b: &Item) -> XdmResult<bool> {
     match (a, b) {
-        (Item::Atomic(x), Item::Atomic(y)) => {
-            Ok(x.value_cmp(y).map(|c| c == Ordering::Equal).unwrap_or(false))
-        }
+        (Item::Atomic(x), Item::Atomic(y)) => Ok(x
+            .value_cmp(y)
+            .map(|c| c == Ordering::Equal)
+            .unwrap_or(false)),
         (Item::Node(x), Item::Node(y)) => Ok(deep_equal_node(x, y)),
         _ => Ok(false),
     }
@@ -617,14 +674,24 @@ fn children_equal(a: &NodeHandle, b: &NodeHandle) -> bool {
         .children(a.id)
         .iter()
         .map(|&c| NodeHandle::new(a.doc.clone(), c))
-        .filter(|h| !matches!(h.kind(), NodeKind::Comment | NodeKind::ProcessingInstruction))
+        .filter(|h| {
+            !matches!(
+                h.kind(),
+                NodeKind::Comment | NodeKind::ProcessingInstruction
+            )
+        })
         .collect();
     let bc: Vec<NodeHandle> = b
         .doc
         .children(b.id)
         .iter()
         .map(|&c| NodeHandle::new(b.doc.clone(), c))
-        .filter(|h| !matches!(h.kind(), NodeKind::Comment | NodeKind::ProcessingInstruction))
+        .filter(|h| {
+            !matches!(
+                h.kind(),
+                NodeKind::Comment | NodeKind::ProcessingInstruction
+            )
+        })
         .collect();
     if ac.len() != bc.len() {
         return false;

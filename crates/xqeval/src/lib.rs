@@ -21,7 +21,9 @@ pub mod index;
 pub mod modules;
 pub mod pul;
 
-pub use context::{DocResolver, Environment, FunctionRef, InMemoryDocs, RpcDispatcher, StaticContext};
+pub use context::{
+    DocResolver, Environment, FunctionRef, InMemoryDocs, RpcDispatcher, StaticContext,
+};
 pub use eval::{evaluate_main, evaluate_main_with_vars, Evaluator};
 pub use modules::{CompiledModule, ModuleRegistry};
 pub use pul::{apply_updates, DocEdit, PendingUpdateList, UpdatePrimitive};

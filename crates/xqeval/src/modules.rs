@@ -42,6 +42,9 @@ impl CompiledModule {
     }
 }
 
+/// Fetches module source text by location hint (e.g. over HTTP).
+pub type ModuleLoader = Box<dyn Fn(&str) -> XdmResult<String> + Send + Sync>;
+
 /// Registry of modules by namespace URI. Mirrors the paper's model where an
 /// XRPC peer pre-loads (and caches) XQuery modules referenced by requests;
 /// a `loader` hook fetches unknown modules by their at-hint, which is how a
@@ -49,7 +52,7 @@ impl CompiledModule {
 pub struct ModuleRegistry {
     modules: RwLock<HashMap<String, Arc<CompiledModule>>>,
     /// Fetch module source text by location hint (e.g. over HTTP).
-    loader: RwLock<Option<Box<dyn Fn(&str) -> XdmResult<String> + Send + Sync>>>,
+    loader: RwLock<Option<ModuleLoader>>,
 }
 
 impl ModuleRegistry {
@@ -105,7 +108,9 @@ impl ModuleRegistry {
                     .ok_or_else(|| XdmError::xrpc("module registration failed"));
             }
         }
-        Err(XdmError::xrpc(format!("could not load module! (`{ns_uri}`)")))
+        Err(XdmError::xrpc(format!(
+            "could not load module! (`{ns_uri}`)"
+        )))
     }
 
     pub fn namespaces(&self) -> Vec<String> {
@@ -169,7 +174,9 @@ mod tests {
     #[test]
     fn loader_namespace_mismatch_rejected() {
         let reg = ModuleRegistry::new();
-        reg.set_loader(|_| Ok("module namespace x = \"other\"; declare function x:f() { 1 };".into()));
+        reg.set_loader(|_| {
+            Ok("module namespace x = \"other\"; declare function x:f() { 1 };".into())
+        });
         assert!(reg.get_or_load("films", Some("hint")).is_err());
     }
 }

@@ -7,7 +7,6 @@
 //! the document store swaps them in, which is what makes snapshot isolation
 //! cheap (shadow-paging analog).
 
-
 use std::sync::Arc;
 use xdm::{XdmError, XdmResult};
 use xmldom::{Document, NodeHandle, NodeId, QName};
@@ -149,15 +148,10 @@ pub fn apply_updates(pul: &PendingUpdateList) -> XdmResult<Vec<DocEdit>> {
     let mut puts: Vec<&UpdatePrimitive> = Vec::new();
     for p in &pul.primitives {
         match p.target() {
-            Some(t) => {
-                match groups
-                    .iter_mut()
-                    .find(|(d, _)| Arc::ptr_eq(d, &t.doc))
-                {
-                    Some((_, v)) => v.push(p),
-                    None => groups.push((t.doc.clone(), vec![p])),
-                }
-            }
+            Some(t) => match groups.iter_mut().find(|(d, _)| Arc::ptr_eq(d, &t.doc)) {
+                Some((_, v)) => v.push(p),
+                None => groups.push((t.doc.clone(), vec![p])),
+            },
             None => puts.push(p),
         }
     }

@@ -108,10 +108,7 @@ fn flwor_order_by() {
         "3 2 1"
     );
     assert_eq!(
-        eval_str(
-            &env,
-            "for $p in (('b', 2), ('a', 1)) return ()"
-        ),
+        eval_str(&env, "for $p in (('b', 2), ('a', 1)) return ()"),
         ""
     );
     // multi-key
@@ -127,9 +124,18 @@ fn flwor_order_by() {
 #[test]
 fn quantified_expressions() {
     let env = env_with(&[]);
-    assert_eq!(eval_str(&env, "some $x in (1, 2, 3) satisfies $x = 2"), "true");
-    assert_eq!(eval_str(&env, "every $x in (1, 2, 3) satisfies $x > 0"), "true");
-    assert_eq!(eval_str(&env, "every $x in (1, 2, 3) satisfies $x > 1"), "false");
+    assert_eq!(
+        eval_str(&env, "some $x in (1, 2, 3) satisfies $x = 2"),
+        "true"
+    );
+    assert_eq!(
+        eval_str(&env, "every $x in (1, 2, 3) satisfies $x > 0"),
+        "true"
+    );
+    assert_eq!(
+        eval_str(&env, "every $x in (1, 2, 3) satisfies $x > 1"),
+        "false"
+    );
     assert_eq!(
         eval_str(&env, "some $x in (1, 2), $y in (2, 3) satisfies $x = $y"),
         "true"
@@ -139,12 +145,12 @@ fn quantified_expressions() {
 #[test]
 fn paths_over_film_db() {
     let env = env_with(&[("filmDB.xml", FILM_DB)]);
+    assert_eq!(eval_str(&env, r#"count(doc("filmDB.xml")//film)"#), "3");
     assert_eq!(
-        eval_str(&env, r#"count(doc("filmDB.xml")//film)"#),
-        "3"
-    );
-    assert_eq!(
-        eval_str(&env, r#"doc("filmDB.xml")//name[../actor = "Sean Connery"]"#),
+        eval_str(
+            &env,
+            r#"doc("filmDB.xml")//name[../actor = "Sean Connery"]"#
+        ),
         "<name>The Rock</name><name>Goldfinger</name>"
     );
     assert_eq!(
@@ -166,21 +172,21 @@ fn axes_document_order_and_dedup() {
     let env = env_with(&[("t.xml", "<a><b><c/></b><b><c/></b></a>")]);
     // double slash with shared descendants must dedup
     assert_eq!(eval_str(&env, r#"count(doc("t.xml")//c)"#), "2");
-    assert_eq!(
-        eval_str(&env, r#"count(doc("t.xml")//c/ancestor::b)"#),
-        "2"
-    );
-    assert_eq!(
-        eval_str(&env, r#"count(doc("t.xml")//b/..)"#),
-        "1"
-    );
+    assert_eq!(eval_str(&env, r#"count(doc("t.xml")//c/ancestor::b)"#), "2");
+    assert_eq!(eval_str(&env, r#"count(doc("t.xml")//b/..)"#), "1");
 }
 
 #[test]
 fn attributes_and_wildcards() {
-    let env = env_with(&[("p.xml", r#"<people><p id="1" name="ann"/><p id="2"/></people>"#)]);
+    let env = env_with(&[(
+        "p.xml",
+        r#"<people><p id="1" name="ann"/><p id="2"/></people>"#,
+    )]);
     assert_eq!(eval_str(&env, r#"string(doc("p.xml")//p[1]/@name)"#), "ann");
-    assert_eq!(eval_str(&env, r#"doc("p.xml")//p[@id = "2"]/@id/data(.)"#), "2");
+    assert_eq!(
+        eval_str(&env, r#"doc("p.xml")//p[@id = "2"]/@id/data(.)"#),
+        "2"
+    );
     assert_eq!(eval_str(&env, r#"count(doc("p.xml")//p[1]/@*)"#), "2");
     assert_eq!(eval_str(&env, r#"count(doc("p.xml")/*/*)"#), "2");
 }
@@ -219,8 +225,14 @@ fn constructors() {
 #[test]
 fn node_identity_and_comparison() {
     let env = env_with(&[("t.xml", "<a><b/></a>")]);
-    assert_eq!(eval_str(&env, r#"doc("t.xml")//b is doc("t.xml")//b"#), "true");
-    assert_eq!(eval_str(&env, r#"doc("t.xml")/a << doc("t.xml")//b"#), "true");
+    assert_eq!(
+        eval_str(&env, r#"doc("t.xml")//b is doc("t.xml")//b"#),
+        "true"
+    );
+    assert_eq!(
+        eval_str(&env, r#"doc("t.xml")/a << doc("t.xml")//b"#),
+        "true"
+    );
     // constructed copies have fresh identity
     assert_eq!(eval_str(&env, "<x/> is <x/>"), "false");
 }
@@ -355,8 +367,14 @@ fn sequence_functions() {
     assert_eq!(eval_str(&env, "exists((1))"), "true");
     assert_eq!(eval_str(&env, "zero-or-one(())"), "");
     assert_eq!(eval_str(&env, "exactly-one(5)"), "5");
-    assert_eq!(eval_str(&env, "deep-equal(<a><b>1</b></a>, <a><b>1</b></a>)"), "true");
-    assert_eq!(eval_str(&env, "deep-equal(<a><b>1</b></a>, <a><b>2</b></a>)"), "false");
+    assert_eq!(
+        eval_str(&env, "deep-equal(<a><b>1</b></a>, <a><b>1</b></a>)"),
+        "true"
+    );
+    assert_eq!(
+        eval_str(&env, "deep-equal(<a><b>1</b></a>, <a><b>2</b></a>)"),
+        "false"
+    );
 }
 
 #[test]
@@ -365,7 +383,13 @@ fn name_functions() {
     assert_eq!(eval_str(&env, r#"name(doc("n.xml")/*)"#), "a:root");
     assert_eq!(eval_str(&env, r#"local-name(doc("n.xml")/*)"#), "root");
     assert_eq!(eval_str(&env, r#"namespace-uri(doc("n.xml")/*)"#), "urn:a");
-    assert_eq!(eval_str(&env, r#"doc("n.xml")//*[local-name(.) = 'kid']/@id/string(.)"#), "1");
+    assert_eq!(
+        eval_str(
+            &env,
+            r#"doc("n.xml")//*[local-name(.) = 'kid']/@id/string(.)"#
+        ),
+        "1"
+    );
 }
 
 #[test]
@@ -391,11 +415,17 @@ fn union_intersect_except() {
         "2"
     );
     assert_eq!(
-        eval_str(&env, r#"count((doc("t.xml")/a/* ) intersect (doc("t.xml")//c))"#),
+        eval_str(
+            &env,
+            r#"count((doc("t.xml")/a/* ) intersect (doc("t.xml")//c))"#
+        ),
         "1"
     );
     assert_eq!(
-        eval_str(&env, r#"count((doc("t.xml")/a/*) except (doc("t.xml")//c))"#),
+        eval_str(
+            &env,
+            r#"count((doc("t.xml")/a/*) except (doc("t.xml")//c))"#
+        ),
         "2"
     );
 }
@@ -439,11 +469,7 @@ fn updating_function_via_module() {
                { insert node element {$name} {} into doc("db.xml")/db };"#,
         )
         .unwrap();
-    let (_, pul) = evaluate_main(
-        r#"import module namespace m = "mod"; m:add("x")"#,
-        &env,
-    )
-    .unwrap();
+    let (_, pul) = evaluate_main(r#"import module namespace m = "mod"; m:add("x")"#, &env).unwrap();
     assert_eq!(pul.len(), 1);
     let edits = xqeval::apply_updates(&pul).unwrap();
     env.docs.replace("db.xml", edits[0].new.clone()).unwrap();
@@ -487,7 +513,7 @@ impl RpcDispatcher for MockDispatcher {
         for args in calls {
             let mut st = xqeval::eval::EvalState::new();
             let base = st.vars.len();
-            for ((pname, _), v) in f.params.iter().zip(args.into_iter()) {
+            for ((pname, _), v) in f.params.iter().zip(args) {
                 st.vars.push((pname.lexical(), v));
             }
             let r = ev.eval(&f.body, &mut st, &xqeval::eval::Ctx::none())?;
@@ -622,7 +648,9 @@ fn errors_surface_with_codes() {
         "FOAR0001"
     );
     assert_eq!(
-        evaluate_main(r#"doc("missing.xml")"#, &env).unwrap_err().code,
+        evaluate_main(r#"doc("missing.xml")"#, &env)
+            .unwrap_err()
+            .code,
         "FODC0002"
     );
     assert_eq!(
@@ -630,7 +658,9 @@ fn errors_surface_with_codes() {
         "XPST0017"
     );
     assert_eq!(
-        evaluate_main("error('Q{uri}mycode', 'boom')", &env).unwrap_err().message,
+        evaluate_main("error('Q{uri}mycode', 'boom')", &env)
+            .unwrap_err()
+            .message,
         "boom"
     );
 }
@@ -667,8 +697,7 @@ fn deep_recursion_capped() {
         .stack_size(64 * 1024 * 1024)
         .spawn(|| {
             let env = env_with(&[]);
-            evaluate_main("declare function loop($n) { loop($n + 1) }; loop(0)", &env)
-                .unwrap_err()
+            evaluate_main("declare function loop($n) { loop($n + 1) }; loop(0)", &env).unwrap_err()
         })
         .unwrap();
     let err = handle.join().unwrap();

@@ -1,0 +1,202 @@
+//! Per-destination circuit breaker: after `failure_threshold` consecutive
+//! failures the breaker *opens* and calls fail fast without touching the
+//! wire; after `cooldown` it admits a single *half-open* probe whose
+//! outcome either closes the breaker or re-opens it for another cooldown.
+//!
+//! The breaker is time-parameterized (`Instant` passed in) so unit tests
+//! are deterministic without sleeping.
+
+use std::time::{Duration, Instant};
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; failures are being counted.
+    Closed,
+    /// Failing fast; no requests reach the wire.
+    Open,
+    /// One probe request is in flight to test recovery.
+    HalfOpen,
+}
+
+/// The state machine for one destination.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probe_in_flight: bool,
+}
+
+impl CircuitBreaker {
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: None,
+            probe_in_flight: false,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Gate a request at time `now`. Returns `true` if the request may
+    /// proceed to the wire. While open, returns `false` until the
+    /// cooldown elapses, then transitions to half-open and admits exactly
+    /// one probe (concurrent callers keep failing fast until the probe
+    /// resolves via [`on_success`](Self::on_success) /
+    /// [`on_failure`](Self::on_failure)).
+    pub fn allow(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                let opened = self.opened_at.expect("open breaker has opened_at");
+                if now.duration_since(opened) >= self.cfg.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_in_flight = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    false
+                } else {
+                    self.probe_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record a successful round trip. Closes the breaker from half-open
+    /// and resets the failure count.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+        self.probe_in_flight = false;
+    }
+
+    /// Record a failed round trip at time `now`. Returns `true` when this
+    /// failure *transitions* the breaker to open (for metrics).
+    pub fn on_failure(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::HalfOpen => {
+                // failed probe: back to open, restart the cooldown
+                self.state = BreakerState::Open;
+                self.opened_at = Some(now);
+                self.probe_in_flight = false;
+                true
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = Some(now);
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::Open => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threshold: u32, cooldown_ms: u64) -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        }
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(cfg(3, 100));
+        assert!(b.allow(t0));
+        assert!(!b.on_failure(t0));
+        assert!(!b.on_failure(t0));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.on_failure(t0), "third failure must trip the breaker");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(t0), "open breaker fails fast");
+    }
+
+    #[test]
+    fn success_resets_failure_count() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(cfg(3, 100));
+        b.on_failure(t0);
+        b.on_failure(t0);
+        b.on_success();
+        b.on_failure(t0);
+        b.on_failure(t0);
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "count must restart after success"
+        );
+    }
+
+    #[test]
+    fn half_open_probe_after_cooldown_then_close() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(cfg(1, 100));
+        b.on_failure(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(t0 + Duration::from_millis(50)));
+        // cooldown over: exactly one probe admitted
+        assert!(b.allow(t0 + Duration::from_millis(150)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(
+            !b.allow(t0 + Duration::from_millis(151)),
+            "second probe denied"
+        );
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(t0 + Duration::from_millis(152)));
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(cfg(1, 100));
+        b.on_failure(t0);
+        let probe_at = t0 + Duration::from_millis(120);
+        assert!(b.allow(probe_at));
+        assert!(b.on_failure(probe_at), "failed probe counts as a (re)open");
+        assert_eq!(b.state(), BreakerState::Open);
+        // cooldown restarts from the probe failure, not the original trip
+        assert!(!b.allow(t0 + Duration::from_millis(180)));
+        assert!(b.allow(probe_at + Duration::from_millis(120)));
+    }
+}

@@ -1,15 +1,42 @@
 //! A minimal HTTP/1.1 server and client over `std::net` TCP — the
 //! reproduction of the paper's "ultra-light HTTP daemon" (shttpd, §3).
 //! POST-only with Content-Length framing, thread-per-connection, optional
-//! keep-alive.
+//! keep-alive. Timeouts, the accept-loop poll interval and the maximum
+//! accepted body size are configurable via [`HttpConfig`].
 
 use crate::metrics::NetMetrics;
-use crate::{NetError, Transport};
+use crate::{NetError, NetErrorKind, Transport};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Tuning knobs shared by the HTTP server and client. The defaults are
+/// the values that used to be hardcoded (30 s socket read timeout, 1 ms
+/// accept poll) plus a 64 MiB request-body cap.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpConfig {
+    /// Socket read timeout (server: per request read; client: response
+    /// wait). Maps to [`NetErrorKind::Timeout`] when exceeded.
+    pub read_timeout: Duration,
+    /// How long the server's accept loop sleeps when no connection is
+    /// pending.
+    pub accept_poll_interval: Duration,
+    /// Maximum request body the server accepts; a larger `Content-Length`
+    /// is rejected with `413` *before* allocating the buffer.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            read_timeout: Duration::from_secs(30),
+            accept_poll_interval: Duration::from_millis(1),
+            max_body_bytes: 64 << 20,
+        }
+    }
+}
 
 /// Handler for incoming requests: (path, body) → (status, response body).
 pub type Handler = dyn Fn(&str, &[u8]) -> (u16, Vec<u8>) + Send + Sync;
@@ -23,8 +50,18 @@ pub struct HttpServer {
 }
 
 impl HttpServer {
-    /// Bind to `addr` (use port 0 for an ephemeral port) and serve.
+    /// Bind to `addr` (use port 0 for an ephemeral port) and serve with
+    /// default [`HttpConfig`].
     pub fn bind(addr: &str, handler: Arc<Handler>) -> Result<Self, NetError> {
+        Self::bind_with(addr, handler, HttpConfig::default())
+    }
+
+    /// Bind with explicit configuration.
+    pub fn bind_with(
+        addr: &str,
+        handler: Arc<Handler>,
+        config: HttpConfig,
+    ) -> Result<Self, NetError> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -45,11 +82,11 @@ impl HttpServer {
                             let _ = std::thread::Builder::new()
                                 .stack_size(32 * 1024 * 1024)
                                 .spawn(move || {
-                                    let _ = serve_connection(stream, &h, &m2);
+                                    let _ = serve_connection(stream, &h, &m2, &config);
                                 });
                         }
                         Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(1));
+                            std::thread::sleep(config.accept_poll_interval);
                         }
                         Err(_) => break,
                     }
@@ -86,39 +123,74 @@ impl Drop for HttpServer {
     }
 }
 
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+) -> Result<(), NetError> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/soap+xml; charset=utf-8\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status_reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    Ok(())
+}
+
 fn serve_connection(
     stream: TcpStream,
     handler: &Arc<Handler>,
     metrics: &NetMetrics,
+    config: &HttpConfig,
 ) -> Result<(), NetError> {
     stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut stream = stream;
     loop {
-        let req = match read_request(&mut reader) {
+        let req = match read_request(&mut reader, config) {
             Ok(Some(r)) => r,
             Ok(None) => return Ok(()), // clean close
-            Err(e) => return Err(e),
+            // protocol violations get an HTTP error response before the
+            // connection closes; I/O failures just drop the connection
+            Err(ReadError::Proto(msg)) => {
+                let _ = write_response(&mut stream, 400, msg.as_bytes(), false);
+                metrics.record_failure();
+                return Err(NetError::new(msg));
+            }
+            Err(ReadError::TooLarge(n)) => {
+                let msg = format!(
+                    "request body of {n} bytes exceeds limit of {} bytes",
+                    config.max_body_bytes
+                );
+                let _ = write_response(&mut stream, 413, msg.as_bytes(), false);
+                metrics.record_failure();
+                return Err(NetError::with_kind(NetErrorKind::TooLarge, msg));
+            }
+            Err(ReadError::Io(e)) => {
+                metrics.record_failure();
+                return Err(e);
+            }
         };
         let keep_alive = req.keep_alive;
         let (status, body) = handler(&req.path, &req.body);
         metrics.record(req.body.len(), body.len());
-        let reason = match status {
-            200 => "OK",
-            400 => "Bad Request",
-            404 => "Not Found",
-            500 => "Internal Server Error",
-            _ => "Unknown",
-        };
-        let head = format!(
-            "HTTP/1.1 {status} {reason}\r\nContent-Type: application/soap+xml; charset=utf-8\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-            body.len(),
-            if keep_alive { "keep-alive" } else { "close" }
-        );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&body)?;
-        stream.flush()?;
+        write_response(&mut stream, status, &body, keep_alive)?;
         if !keep_alive {
             return Ok(());
         }
@@ -131,24 +203,58 @@ struct Request {
     keep_alive: bool,
 }
 
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, NetError> {
+enum ReadError {
+    /// Malformed request; answer 400.
+    Proto(String),
+    /// Content-Length over the configured cap; answer 413.
+    TooLarge(usize),
+    /// Transport failure; no response possible.
+    Io(NetError),
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e.into())
+    }
+}
+
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    config: &HttpConfig,
+) -> Result<Option<Request>, ReadError> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
         return Ok(None);
     }
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("/").to_string();
-    let version = parts.next().unwrap_or("HTTP/1.1");
+    let path = match parts.next() {
+        Some(p) => p.to_string(),
+        None => {
+            return Err(ReadError::Proto(format!(
+                "malformed request line `{}`",
+                line.trim_end()
+            )))
+        }
+    };
+    let version = parts.next().unwrap_or("");
     if method != "POST" && method != "GET" {
-        return Err(NetError::new(format!("unsupported method `{method}`")));
+        return Err(ReadError::Proto(format!("unsupported method `{method}`")));
+    }
+    if !version.starts_with("HTTP/") {
+        return Err(ReadError::Proto(format!(
+            "malformed request line `{}`",
+            line.trim_end()
+        )));
     }
     let mut content_length = 0usize;
     let mut keep_alive = version == "HTTP/1.1";
     loop {
         let mut h = String::new();
         if reader.read_line(&mut h)? == 0 {
-            return Err(NetError::new("connection closed mid-headers"));
+            return Err(ReadError::Proto(
+                "connection closed mid-headers".to_string(),
+            ));
         }
         let h = h.trim_end();
         if h.is_empty() {
@@ -160,11 +266,14 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, Ne
             if k == "content-length" {
                 content_length = v
                     .parse()
-                    .map_err(|_| NetError::new("bad Content-Length"))?;
+                    .map_err(|_| ReadError::Proto("bad Content-Length".to_string()))?;
             } else if k == "connection" {
                 keep_alive = v.eq_ignore_ascii_case("keep-alive");
             }
         }
+    }
+    if content_length > config.max_body_bytes {
+        return Err(ReadError::TooLarge(content_length));
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
@@ -175,12 +284,59 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, Ne
     }))
 }
 
-/// HTTP client: POST `body` to `http://host:port/path`.
+/// HTTP client: POST `body` to `http://host:port/path` with default
+/// config, surfacing protocol-level failures as typed errors: a `413`
+/// maps to [`NetErrorKind::TooLarge`]; any other `5xx` whose body is not
+/// a SOAP envelope (so it cannot carry a SOAP Fault for the XRPC layer to
+/// decode) becomes a typed error carrying the status.
 pub fn http_post(url: &str, body: &[u8]) -> Result<Vec<u8>, NetError> {
+    let (status, resp) = http_post_with(url, body, &HttpConfig::default())?;
+    classify_response(status, resp)
+}
+
+/// Decide whether an HTTP response is usable by the SOAP layer. Server
+/// errors *with* a SOAP envelope pass through (the XRPC layer surfaces
+/// the SOAP Fault inside); anything else 5xx/413 becomes a typed error.
+pub fn classify_response(status: u16, body: Vec<u8>) -> Result<Vec<u8>, NetError> {
+    if status == 413 {
+        return Err(NetError::with_kind(
+            NetErrorKind::TooLarge,
+            format!(
+                "server rejected request: HTTP 413 ({})",
+                String::from_utf8_lossy(&body)
+            ),
+        ));
+    }
+    if status >= 500 && !looks_like_soap(&body) {
+        return Err(NetError::with_kind(
+            NetErrorKind::Other,
+            format!(
+                "HTTP {status} without a SOAP fault body: {}",
+                String::from_utf8_lossy(&body[..body.len().min(200)])
+            ),
+        ));
+    }
+    Ok(body)
+}
+
+fn looks_like_soap(body: &[u8]) -> bool {
+    let text = String::from_utf8_lossy(&body[..body.len().min(512)]);
+    let trimmed = text.trim_start();
+    trimmed.starts_with('<') && (trimmed.contains("Envelope") || trimmed.contains("envelope"))
+}
+
+/// HTTP client primitive: POST and return `(status, body)` without
+/// classifying. Timeouts and connection failures map to typed
+/// [`NetErrorKind`]s via the `io::Error` conversion.
+pub fn http_post_with(
+    url: &str,
+    body: &[u8],
+    config: &HttpConfig,
+) -> Result<(u16, Vec<u8>), NetError> {
     let (addr, path) = parse_url(url)?;
     let mut stream = TcpStream::connect(&addr)?;
     stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
     let head = format!(
         "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/soap+xml; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
@@ -201,7 +357,10 @@ pub fn http_post(url: &str, body: &[u8]) -> Result<Vec<u8>, NetError> {
     loop {
         let mut h = String::new();
         if reader.read_line(&mut h)? == 0 {
-            return Err(NetError::new("connection closed mid-headers"));
+            return Err(NetError::with_kind(
+                NetErrorKind::ConnectionReset,
+                "connection closed mid-headers",
+            ));
         }
         let h = h.trim_end();
         if h.is_empty() {
@@ -225,11 +384,7 @@ pub fn http_post(url: &str, body: &[u8]) -> Result<Vec<u8>, NetError> {
             b
         }
     };
-    if status >= 500 {
-        // server errors still carry a SOAP Fault body; surface both
-        return Ok(body);
-    }
-    Ok(body)
+    Ok((status, body))
 }
 
 fn parse_url(url: &str) -> Result<(String, String), NetError> {
@@ -246,12 +401,18 @@ fn parse_url(url: &str) -> Result<(String, String), NetError> {
 /// `http://host:port/path` URL.
 pub struct HttpTransport {
     pub metrics: Arc<NetMetrics>,
+    pub config: HttpConfig,
 }
 
 impl HttpTransport {
     pub fn new() -> Self {
+        Self::with_config(HttpConfig::default())
+    }
+
+    pub fn with_config(config: HttpConfig) -> Self {
         HttpTransport {
             metrics: Arc::new(NetMetrics::new()),
+            config,
         }
     }
 }
@@ -264,7 +425,14 @@ impl Default for HttpTransport {
 
 impl Transport for HttpTransport {
     fn roundtrip(&self, dest: &str, body: &[u8]) -> Result<Vec<u8>, NetError> {
-        let resp = http_post(dest, body).inspect_err(|_| self.metrics.record_failure())?;
+        let resp = http_post_with(dest, body, &self.config)
+            .and_then(|(status, resp)| classify_response(status, resp))
+            .inspect_err(|e| {
+                self.metrics.record_failure();
+                if e.kind == NetErrorKind::Timeout {
+                    self.metrics.record_timeout();
+                }
+            })?;
         self.metrics.record(body.len(), resp.len());
         Ok(resp)
     }
@@ -334,9 +502,10 @@ mod tests {
     }
 
     #[test]
-    fn connection_refused_is_error() {
+    fn connection_refused_is_typed_error() {
         let t = HttpTransport::new();
-        assert!(t.roundtrip("http://127.0.0.1:1/x", b"x").is_err());
+        let e = t.roundtrip("http://127.0.0.1:1/x", b"x").unwrap_err();
+        assert_eq!(e.kind, NetErrorKind::ConnectionRefused);
         assert_eq!(t.metrics.snapshot().failures, 1);
     }
 
@@ -351,5 +520,51 @@ mod tests {
             parse_url("http://a:1").unwrap(),
             ("a:1".to_string(), "/".to_string())
         );
+    }
+
+    #[test]
+    fn soap_fault_5xx_body_passes_through() {
+        let fault = br#"<?xml version="1.0"?><env:Envelope xmlns:env="http://www.w3.org/2003/05/soap-envelope"><env:Body><env:Fault/></env:Body></env:Envelope>"#;
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(move |_: &str, _: &[u8]| (500, fault.to_vec())),
+        )
+        .unwrap();
+        let url = format!("http://{}/f", server.addr());
+        // the SOAP layer decodes the fault, so the body must come through
+        let body = http_post(&url, b"x").unwrap();
+        assert!(String::from_utf8_lossy(&body).contains("Fault"));
+    }
+
+    #[test]
+    fn non_soap_5xx_is_typed_error() {
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|_: &str, _: &[u8]| (500, b"Internal proxy meltdown".to_vec())),
+        )
+        .unwrap();
+        let url = format!("http://{}/f", server.addr());
+        let e = http_post(&url, b"x").unwrap_err();
+        assert_eq!(e.kind, NetErrorKind::Other);
+        assert!(e.message.contains("HTTP 500"), "{}", e.message);
+        assert!(e.message.contains("meltdown"), "{}", e.message);
+    }
+
+    #[test]
+    fn oversized_body_rejected_with_413_and_toolarge() {
+        let server = HttpServer::bind_with(
+            "127.0.0.1:0",
+            Arc::new(|_: &str, b: &[u8]| (200, b.to_vec())),
+            HttpConfig {
+                max_body_bytes: 1024,
+                ..HttpConfig::default()
+            },
+        )
+        .unwrap();
+        let url = format!("http://{}/big", server.addr());
+        let e = http_post(&url, &vec![b'x'; 4096]).unwrap_err();
+        assert_eq!(e.kind, NetErrorKind::TooLarge);
+        // under the limit still works
+        assert!(http_post(&url, &vec![b'x'; 512]).is_ok());
     }
 }

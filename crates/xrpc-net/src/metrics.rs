@@ -1,5 +1,7 @@
 //! Byte/round-trip counters shared by both transports; the throughput
-//! experiment (paper §3.3, "Throughput") reads these.
+//! experiment (paper §3.3, "Throughput") reads these. The resilience
+//! layer ([`crate::ResilientTransport`]) adds retry/timeout/breaker
+//! counters so chaos tests can assert on exact fault handling.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -10,6 +12,15 @@ pub struct NetMetrics {
     pub bytes_sent: AtomicU64,
     pub bytes_received: AtomicU64,
     pub failures: AtomicU64,
+    /// Requests resent by the retry layer (one per retry, not per call).
+    pub retries: AtomicU64,
+    /// Failures of kind [`crate::NetErrorKind::Timeout`] (including
+    /// call-deadline overruns).
+    pub timeouts: AtomicU64,
+    /// Calls rejected by an open circuit breaker without touching the wire.
+    pub fast_failures: AtomicU64,
+    /// Closed/half-open → open breaker transitions.
+    pub breaker_opens: AtomicU64,
 }
 
 impl NetMetrics {
@@ -28,12 +39,32 @@ impl NetMetrics {
         self.failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_fast_failure(&self) {
+        self.fast_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_breaker_open(&self) {
+        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             roundtrips: self.roundtrips.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            fast_failures: self.fast_failures.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
         }
     }
 
@@ -42,6 +73,10 @@ impl NetMetrics {
         self.bytes_sent.store(0, Ordering::Relaxed);
         self.bytes_received.store(0, Ordering::Relaxed);
         self.failures.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.timeouts.store(0, Ordering::Relaxed);
+        self.fast_failures.store(0, Ordering::Relaxed);
+        self.breaker_opens.store(0, Ordering::Relaxed);
     }
 }
 
@@ -52,6 +87,10 @@ pub struct MetricsSnapshot {
     pub bytes_sent: u64,
     pub bytes_received: u64,
     pub failures: u64,
+    pub retries: u64,
+    pub timeouts: u64,
+    pub fast_failures: u64,
+    pub breaker_opens: u64,
 }
 
 #[cfg(test)]
@@ -71,5 +110,23 @@ mod tests {
         assert_eq!(s.failures, 1);
         m.reset();
         assert_eq!(m.snapshot().roundtrips, 0);
+    }
+
+    #[test]
+    fn resilience_counters_accumulate_and_reset() {
+        let m = NetMetrics::new();
+        m.record_retry();
+        m.record_retry();
+        m.record_timeout();
+        m.record_fast_failure();
+        m.record_breaker_open();
+        let s = m.snapshot();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.fast_failures, 1);
+        assert_eq!(s.breaker_opens, 1);
+        m.reset();
+        assert_eq!(m.snapshot().retries, 0);
+        assert_eq!(m.snapshot().breaker_opens, 0);
     }
 }

@@ -1,0 +1,450 @@
+//! Retry with deadline and exponential backoff: [`RetryPolicy`] holds the
+//! knobs, [`ResilientTransport`] is a [`Transport`] decorator that applies
+//! them per call — consulting the caller's [`CallHint`] so that only
+//! redelivery-safe requests are ever resent after an ambiguous failure —
+//! and gates every destination behind a [`CircuitBreaker`].
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::metrics::NetMetrics;
+use crate::{CallHint, NetError, NetErrorKind, Transport};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Retry/backoff/deadline knobs for one logical call.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Wall-clock budget for the whole call including retries and
+    /// backoffs; when the next backoff would overrun it, the call fails
+    /// with [`NetErrorKind::Timeout`] instead of sleeping.
+    pub call_deadline: Duration,
+    /// Seed for the deterministic jitter applied to each backoff.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// Defaults conservative enough for production wiring: 3 attempts,
+    /// 10 ms → 40 ms backoff, 30 s call budget.
+    pub fn conservative() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            call_deadline: Duration::from_secs(30),
+            jitter_seed: 0x5eed_cafe,
+        }
+    }
+
+    /// Never retry (the decorator still applies the breaker and metrics).
+    pub fn no_retry() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::conservative()
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based), with deterministic
+    /// jitter in `[50%, 100%]` of the exponential target, derived from
+    /// `jitter_seed` and `salt` (callers pass a destination hash so
+    /// concurrent calls to different peers do not sleep in lockstep).
+    pub fn backoff_before_retry(&self, retry: u32, salt: u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << retry.saturating_sub(1).min(16));
+        let capped = exp.min(self.max_backoff);
+        let j = splitmix64(
+            self.jitter_seed
+                .wrapping_add(salt)
+                .wrapping_add(retry as u64),
+        );
+        // fraction in [0.5, 1.0)
+        let frac = 0.5 + (j >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+        capped.mul_f64(frac)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::conservative()
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn dest_salt(dest: &str) -> u64 {
+    // FNV-1a: stable across runs, unlike `DefaultHasher`
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in dest.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A [`Transport`] decorator adding retry/backoff/deadline and a
+/// per-destination circuit breaker to any inner transport.
+///
+/// Calls without a hint (plain [`Transport::roundtrip`]) are treated as
+/// [`CallHint::Update`] — the conservative choice: they are only resent
+/// after provably send-side failures.
+pub struct ResilientTransport {
+    inner: Arc<dyn Transport>,
+    policy: RetryPolicy,
+    breaker_cfg: BreakerConfig,
+    breakers: Mutex<HashMap<String, CircuitBreaker>>,
+    /// Retry/fast-fail/timeout accounting for this decorator (the inner
+    /// transport keeps its own per-wire-attempt counters).
+    pub metrics: Arc<NetMetrics>,
+}
+
+impl ResilientTransport {
+    /// Wrap `inner` with [`RetryPolicy::conservative`] and default
+    /// breaker settings.
+    pub fn new(inner: Arc<dyn Transport>) -> Arc<Self> {
+        Self::with_policy(inner, RetryPolicy::conservative(), BreakerConfig::default())
+    }
+
+    pub fn with_policy(
+        inner: Arc<dyn Transport>,
+        policy: RetryPolicy,
+        breaker_cfg: BreakerConfig,
+    ) -> Arc<Self> {
+        Arc::new(ResilientTransport {
+            inner,
+            policy,
+            breaker_cfg,
+            breakers: Mutex::new(HashMap::new()),
+            metrics: Arc::new(NetMetrics::new()),
+        })
+    }
+
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Observable breaker state for `dest` (Closed if never used).
+    pub fn breaker_state(&self, dest: &str) -> BreakerState {
+        self.breakers
+            .lock()
+            .get(dest)
+            .map(|b| b.state())
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    fn breaker_allow(&self, dest: &str, now: Instant) -> bool {
+        self.breakers
+            .lock()
+            .entry(dest.to_string())
+            .or_insert_with(|| CircuitBreaker::new(self.breaker_cfg))
+            .allow(now)
+    }
+
+    fn breaker_on_success(&self, dest: &str) {
+        if let Some(b) = self.breakers.lock().get_mut(dest) {
+            b.on_success();
+        }
+    }
+
+    fn breaker_on_failure(&self, dest: &str, now: Instant) {
+        let mut breakers = self.breakers.lock();
+        let b = breakers
+            .entry(dest.to_string())
+            .or_insert_with(|| CircuitBreaker::new(self.breaker_cfg));
+        if b.on_failure(now) {
+            self.metrics.record_breaker_open();
+        }
+    }
+}
+
+impl Transport for ResilientTransport {
+    fn roundtrip(&self, dest: &str, body: &[u8]) -> Result<Vec<u8>, NetError> {
+        self.roundtrip_hinted(dest, body, CallHint::Update)
+    }
+
+    fn roundtrip_hinted(
+        &self,
+        dest: &str,
+        body: &[u8],
+        hint: CallHint,
+    ) -> Result<Vec<u8>, NetError> {
+        let start = Instant::now();
+        let deadline = start + self.policy.call_deadline;
+        let salt = dest_salt(dest);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            if !self.breaker_allow(dest, Instant::now()) {
+                self.metrics.record_fast_failure();
+                return Err(NetError::with_kind(
+                    NetErrorKind::Other,
+                    format!("circuit breaker open for `{dest}` (failing fast)"),
+                ));
+            }
+            let err = match self.inner.roundtrip_hinted(dest, body, hint) {
+                Ok(resp) => {
+                    self.breaker_on_success(dest);
+                    self.metrics.record(body.len(), resp.len());
+                    return Ok(resp);
+                }
+                Err(e) => e,
+            };
+            self.breaker_on_failure(dest, Instant::now());
+            self.metrics.record_failure();
+            if err.kind == NetErrorKind::Timeout {
+                self.metrics.record_timeout();
+            }
+            if !hint.may_retry(&err) || attempt >= self.policy.max_attempts {
+                return Err(err);
+            }
+            let backoff = self.policy.backoff_before_retry(attempt, salt);
+            if Instant::now() + backoff >= deadline {
+                self.metrics.record_timeout();
+                return Err(NetError::with_kind(
+                    NetErrorKind::Timeout,
+                    format!(
+                        "call deadline {:?} exceeded after {attempt} attempt(s) to `{dest}`; last error: {err}",
+                        self.policy.call_deadline
+                    ),
+                ));
+            }
+            self.metrics.record_retry();
+            std::thread::sleep(backoff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{NetProfile, SimFault, SimNetwork};
+
+    fn fast_policy(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            call_deadline: Duration::from_secs(5),
+            jitter_seed: 7,
+        }
+    }
+
+    fn net_with_peer() -> Arc<SimNetwork> {
+        let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+        net.register("xrpc://y", Arc::new(|_: &[u8]| b"ok".to_vec()));
+        net
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = fast_policy(5);
+        for retry in 1..=4 {
+            let a = p.backoff_before_retry(retry, 1);
+            let b = p.backoff_before_retry(retry, 1);
+            assert_eq!(a, b, "same inputs, same jitter");
+            assert!(a <= p.max_backoff);
+            assert!(a >= p.base_backoff / 2, "jitter floor is 50%");
+        }
+        // different salts decorrelate
+        assert_ne!(p.backoff_before_retry(1, 1), p.backoff_before_retry(1, 2));
+    }
+
+    #[test]
+    fn transient_faults_retried_until_success() {
+        let net = net_with_peer();
+        let t =
+            ResilientTransport::with_policy(net.clone(), fast_policy(4), BreakerConfig::default());
+        net.inject_fault("xrpc://y", SimFault::DropRequest);
+        net.inject_fault("xrpc://y", SimFault::DropRequest);
+        let r = t
+            .roundtrip_hinted("xrpc://y", b"q", CallHint::ReadOnly)
+            .unwrap();
+        assert_eq!(r, b"ok");
+        let s = t.metrics.snapshot();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.failures, 2);
+        assert_eq!(s.roundtrips, 1);
+    }
+
+    #[test]
+    fn attempts_exhausted_surfaces_last_error() {
+        let net = net_with_peer();
+        let t =
+            ResilientTransport::with_policy(net.clone(), fast_policy(3), BreakerConfig::default());
+        for _ in 0..5 {
+            net.inject_fault("xrpc://y", SimFault::DropResponse);
+        }
+        let e = t
+            .roundtrip_hinted("xrpc://y", b"q", CallHint::ReadOnly)
+            .unwrap_err();
+        assert_eq!(e.kind, NetErrorKind::Timeout);
+        assert_eq!(t.metrics.snapshot().retries, 2, "3 attempts = 2 retries");
+    }
+
+    #[test]
+    fn ambiguous_failure_not_retried_for_updates() {
+        let net = net_with_peer();
+        let t =
+            ResilientTransport::with_policy(net.clone(), fast_policy(5), BreakerConfig::default());
+        // drop-response: the handler ran, so an update must NOT be resent
+        net.inject_fault("xrpc://y", SimFault::DropResponse);
+        let e = t
+            .roundtrip_hinted("xrpc://y", b"u", CallHint::Update)
+            .unwrap_err();
+        assert_eq!(e.kind, NetErrorKind::Timeout);
+        assert_eq!(t.metrics.snapshot().retries, 0);
+        assert_eq!(net.handled_count("xrpc://y"), 1, "handler ran exactly once");
+    }
+
+    #[test]
+    fn send_side_failure_retried_even_for_updates() {
+        let net = net_with_peer();
+        let t =
+            ResilientTransport::with_policy(net.clone(), fast_policy(3), BreakerConfig::default());
+        net.inject_fault("xrpc://y", SimFault::Refuse);
+        let r = t
+            .roundtrip_hinted("xrpc://y", b"u", CallHint::Update)
+            .unwrap();
+        assert_eq!(r, b"ok");
+        assert_eq!(t.metrics.snapshot().retries, 1);
+        assert_eq!(
+            net.handled_count("xrpc://y"),
+            1,
+            "update applied exactly once"
+        );
+    }
+
+    #[test]
+    fn deferred_update_retries_ambiguous_failures() {
+        let net = net_with_peer();
+        let t =
+            ResilientTransport::with_policy(net.clone(), fast_policy(3), BreakerConfig::default());
+        net.inject_fault("xrpc://y", SimFault::DropResponse);
+        let r = t
+            .roundtrip_hinted("xrpc://y", b"u", CallHint::DeferredUpdate)
+            .unwrap();
+        assert_eq!(r, b"ok");
+        assert_eq!(
+            net.handled_count("xrpc://y"),
+            2,
+            "redelivery is safe pre-Prepare"
+        );
+    }
+
+    #[test]
+    fn plain_roundtrip_is_conservative() {
+        let net = net_with_peer();
+        let t =
+            ResilientTransport::with_policy(net.clone(), fast_policy(5), BreakerConfig::default());
+        net.inject_fault("xrpc://y", SimFault::DropResponse);
+        assert!(
+            t.roundtrip("xrpc://y", b"x").is_err(),
+            "no hint → treated as Update"
+        );
+    }
+
+    #[test]
+    fn breaker_opens_fails_fast_and_recovers_via_probe() {
+        let net = net_with_peer();
+        let t = ResilientTransport::with_policy(
+            net.clone(),
+            RetryPolicy::no_retry(),
+            BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_millis(30),
+            },
+        );
+        net.crash("xrpc://y");
+        for _ in 0..3 {
+            assert!(t
+                .roundtrip_hinted("xrpc://y", b"q", CallHint::ReadOnly)
+                .is_err());
+        }
+        assert_eq!(t.breaker_state("xrpc://y"), BreakerState::Open);
+        let wire_failures = net.metrics.snapshot().failures;
+        // open: fails fast without hitting the wire
+        assert!(t
+            .roundtrip_hinted("xrpc://y", b"q", CallHint::ReadOnly)
+            .is_err());
+        assert_eq!(
+            net.metrics.snapshot().failures,
+            wire_failures,
+            "no wire traffic while open"
+        );
+        assert_eq!(t.metrics.snapshot().fast_failures, 1);
+        assert_eq!(t.metrics.snapshot().breaker_opens, 1);
+        // cooldown passes, peer restarts: half-open probe restores service
+        net.restart("xrpc://y");
+        std::thread::sleep(Duration::from_millis(40));
+        let r = t
+            .roundtrip_hinted("xrpc://y", b"q", CallHint::ReadOnly)
+            .unwrap();
+        assert_eq!(r, b"ok");
+        assert_eq!(t.breaker_state("xrpc://y"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn deadline_bounds_total_retry_time() {
+        let net = net_with_peer();
+        let t = ResilientTransport::with_policy(
+            net.clone(),
+            RetryPolicy {
+                max_attempts: 100,
+                base_backoff: Duration::from_millis(20),
+                max_backoff: Duration::from_millis(20),
+                call_deadline: Duration::from_millis(50),
+                jitter_seed: 1,
+            },
+            BreakerConfig {
+                failure_threshold: 1000,
+                cooldown: Duration::from_secs(1),
+            },
+        );
+        for _ in 0..100 {
+            net.inject_fault("xrpc://y", SimFault::DropRequest);
+        }
+        let t0 = Instant::now();
+        let e = t
+            .roundtrip_hinted("xrpc://y", b"q", CallHint::ReadOnly)
+            .unwrap_err();
+        assert_eq!(e.kind, NetErrorKind::Timeout);
+        assert!(e.message.contains("deadline"), "{}", e.message);
+        assert!(t0.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn per_destination_breakers_are_independent() {
+        let net = net_with_peer();
+        net.register("xrpc://z", Arc::new(|_: &[u8]| b"zz".to_vec()));
+        let t = ResilientTransport::with_policy(
+            net.clone(),
+            RetryPolicy::no_retry(),
+            BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::from_secs(10),
+            },
+        );
+        net.crash("xrpc://y");
+        assert!(t
+            .roundtrip_hinted("xrpc://y", b"q", CallHint::ReadOnly)
+            .is_err());
+        assert_eq!(t.breaker_state("xrpc://y"), BreakerState::Open);
+        assert_eq!(t.breaker_state("xrpc://z"), BreakerState::Closed);
+        assert_eq!(
+            t.roundtrip_hinted("xrpc://z", b"q", CallHint::ReadOnly)
+                .unwrap(),
+            b"zz"
+        );
+    }
+}

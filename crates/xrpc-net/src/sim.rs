@@ -1,16 +1,24 @@
 //! The simulated network: in-process peers joined by links with a
-//! configurable one-way latency and bandwidth, plus fault injection.
+//! configurable one-way latency and bandwidth, plus deterministic fault
+//! injection.
 //!
 //! Cost model per round trip (both directions):
 //! `2·latency + request_bytes/bandwidth + response_bytes/bandwidth`,
 //! realized by actually sleeping, so wall-clock benchmark numbers carry
 //! the same latency-amortization signal as the paper's testbed.
+//!
+//! Fault injection is a per-peer FIFO script ([`SimFault`]): each round
+//! trip to a peer consumes the next scheduled fault, making chaos tests
+//! fully deterministic. Crucially, the script distinguishes *drop-request*
+//! (the handler never ran) from *drop-response* (the handler ran, the
+//! caller cannot know) — the ambiguity that decides retry safety for
+//! updating calls. Peers can also be crashed and restarted wholesale.
 
 use crate::metrics::NetMetrics;
-use crate::{NetError, Transport};
-use parking_lot::RwLock;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use crate::{NetError, NetErrorKind, Transport};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -63,12 +71,44 @@ impl NetProfile {
     }
 }
 
-type PeerHandler = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
+/// One scheduled fault on the link to a peer (consumed FIFO, one per
+/// round trip).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimFault {
+    /// The request is lost before reaching the peer: the handler does
+    /// NOT run; the caller sees [`NetErrorKind::Timeout`].
+    DropRequest,
+    /// The response is lost on the way back: the handler DID run; the
+    /// caller sees the same [`NetErrorKind::Timeout`] — indistinguishable
+    /// from [`SimFault::DropRequest`] at the call site, which is exactly
+    /// the ambiguity updating calls must respect.
+    DropResponse,
+    /// The connection is refused before any byte is written: the handler
+    /// does not run; the caller sees [`NetErrorKind::ConnectionRefused`]
+    /// (send-side, unambiguous — always safe to retry).
+    Refuse,
+    /// The response arrives damaged: the handler DID run; the caller sees
+    /// [`NetErrorKind::Corrupt`] (detected by the framing layer).
+    CorruptResponse,
+    /// The round trip succeeds but costs this much extra wall-clock time.
+    LatencySpike(Duration),
+}
+
+/// A registered peer endpoint: raw SOAP bytes in, raw SOAP bytes out.
+pub type SoapHandler = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
 
 struct PeerEntry {
-    handler: PeerHandler,
-    /// Number of upcoming requests to fail (fault injection).
+    handler: SoapHandler,
+    /// Legacy fault injection: fail the next `n` requests with an
+    /// untyped (non-retryable) error before reaching the handler.
     fail_next: AtomicU32,
+    /// Scripted faults, consumed one per round trip.
+    faults: Mutex<VecDeque<SimFault>>,
+    /// Crashed peers refuse connections until restarted.
+    down: AtomicBool,
+    /// How many times the handler actually ran (lets chaos tests tell
+    /// drop-request from drop-response and prove exactly-once effects).
+    handled: AtomicU64,
 }
 
 /// An in-process network of named peers.
@@ -89,12 +129,15 @@ impl SimNetwork {
     }
 
     /// Register a peer under a destination URI (e.g. `xrpc://y.example.org`).
-    pub fn register(&self, dest: impl Into<String>, handler: PeerHandler) {
+    pub fn register(&self, dest: impl Into<String>, handler: SoapHandler) {
         self.peers.write().insert(
             dest.into(),
             Arc::new(PeerEntry {
                 handler,
                 fail_next: AtomicU32::new(0),
+                faults: Mutex::new(VecDeque::new()),
+                down: AtomicBool::new(false),
+                handled: AtomicU64::new(0),
             }),
         );
     }
@@ -107,11 +150,63 @@ impl SimNetwork {
         *self.profile.read()
     }
 
-    /// Make the next `n` requests to `dest` fail (link fault injection).
+    /// Make the next `n` requests to `dest` fail with an untyped,
+    /// *non-retryable* error (legacy link fault injection; use
+    /// [`inject_fault`](Self::inject_fault) for typed faults).
     pub fn inject_failures(&self, dest: &str, n: u32) {
         if let Some(p) = self.peers.read().get(dest) {
             p.fail_next.store(n, Ordering::SeqCst);
         }
+    }
+
+    /// Schedule one fault on the link to `dest` (FIFO with previously
+    /// scheduled faults; each round trip consumes at most one).
+    pub fn inject_fault(&self, dest: &str, fault: SimFault) {
+        if let Some(p) = self.peers.read().get(dest) {
+            p.faults.lock().push_back(fault);
+        }
+    }
+
+    /// Schedule a sequence of faults on the link to `dest`.
+    pub fn inject_fault_script(&self, dest: &str, faults: impl IntoIterator<Item = SimFault>) {
+        if let Some(p) = self.peers.read().get(dest) {
+            p.faults.lock().extend(faults);
+        }
+    }
+
+    /// Crash `dest`: every request is refused (send-side) until
+    /// [`restart`](Self::restart). The peer's in-memory state is retained
+    /// — this models a process that stopped accepting connections, the
+    /// paper's transiently-partitioned 2PC participant.
+    pub fn crash(&self, dest: &str) {
+        if let Some(p) = self.peers.read().get(dest) {
+            p.down.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Bring a crashed peer back.
+    pub fn restart(&self, dest: &str) {
+        if let Some(p) = self.peers.read().get(dest) {
+            p.down.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// How many requests `dest`'s handler actually executed.
+    pub fn handled_count(&self, dest: &str) -> u64 {
+        self.peers
+            .read()
+            .get(dest)
+            .map(|p| p.handled.load(Ordering::SeqCst))
+            .unwrap_or(0)
+    }
+
+    /// Unconsumed scheduled faults for `dest`.
+    pub fn pending_faults(&self, dest: &str) -> usize {
+        self.peers
+            .read()
+            .get(dest)
+            .map(|p| p.faults.lock().len())
+            .unwrap_or(0)
     }
 
     pub fn peer_names(&self) -> Vec<String> {
@@ -127,32 +222,78 @@ impl Default for NetProfile {
 
 impl Transport for SimNetwork {
     fn roundtrip(&self, dest: &str, body: &[u8]) -> Result<Vec<u8>, NetError> {
-        let peer = self
-            .peers
-            .read()
-            .get(dest)
-            .cloned()
-            .ok_or_else(|| {
-                self.metrics.record_failure();
-                NetError::new(format!("unknown peer `{dest}`"))
-            })?;
+        let peer = self.peers.read().get(dest).cloned().ok_or_else(|| {
+            self.metrics.record_failure();
+            NetError::new(format!("unknown peer `{dest}`"))
+        })?;
+        if peer.down.load(Ordering::SeqCst) {
+            self.metrics.record_failure();
+            return Err(NetError::with_kind(
+                NetErrorKind::ConnectionRefused,
+                format!("peer `{dest}` is down"),
+            ));
+        }
         if peer.fail_next.load(Ordering::SeqCst) > 0 {
             peer.fail_next.fetch_sub(1, Ordering::SeqCst);
             self.metrics.record_failure();
             return Err(NetError::new(format!("injected fault on link to `{dest}`")));
         }
+        let fault = peer.faults.lock().pop_front();
         let profile = *self.profile.read();
+        match fault {
+            Some(SimFault::Refuse) => {
+                self.metrics.record_failure();
+                return Err(NetError::with_kind(
+                    NetErrorKind::ConnectionRefused,
+                    format!("injected connection refused by `{dest}`"),
+                ));
+            }
+            Some(SimFault::DropRequest) => {
+                self.metrics.record_failure();
+                self.metrics.record_timeout();
+                return Err(NetError::with_kind(
+                    NetErrorKind::Timeout,
+                    format!("injected request drop on link to `{dest}`"),
+                ));
+            }
+            Some(SimFault::LatencySpike(extra)) if !extra.is_zero() => {
+                std::thread::sleep(extra);
+            }
+            // DropResponse / CorruptResponse fall through: the request IS
+            // delivered and handled, the fault hits on the way back
+            _ => {}
+        }
         let send_cost = profile.transfer_cost(body.len());
         if !send_cost.is_zero() {
             std::thread::sleep(send_cost);
         }
+        peer.handled.fetch_add(1, Ordering::SeqCst);
         let response = (peer.handler)(body);
         let recv_cost = profile.transfer_cost(response.len());
         if !recv_cost.is_zero() {
             std::thread::sleep(recv_cost);
         }
-        self.metrics.record(body.len(), response.len());
-        Ok(response)
+        match fault {
+            Some(SimFault::DropResponse) => {
+                self.metrics.record_failure();
+                self.metrics.record_timeout();
+                Err(NetError::with_kind(
+                    NetErrorKind::Timeout,
+                    format!("injected response drop on link from `{dest}`"),
+                ))
+            }
+            Some(SimFault::CorruptResponse) => {
+                self.metrics.record_failure();
+                Err(NetError::with_kind(
+                    NetErrorKind::Corrupt,
+                    format!("injected response corruption on link from `{dest}`"),
+                ))
+            }
+            _ => {
+                self.metrics.record(body.len(), response.len());
+                Ok(response)
+            }
+        }
     }
 }
 
@@ -174,6 +315,7 @@ mod tests {
         );
         assert_eq!(net.roundtrip("xrpc://y", b"abc").unwrap(), b"cba");
         assert_eq!(net.metrics.snapshot().roundtrips, 1);
+        assert_eq!(net.handled_count("xrpc://y"), 1);
     }
 
     #[test]
@@ -190,7 +332,10 @@ mod tests {
         let t0 = Instant::now();
         net.roundtrip("xrpc://y", b"x").unwrap();
         let one = t0.elapsed();
-        assert!(one >= Duration::from_millis(10), "round trip should cost 2x latency, took {one:?}");
+        assert!(
+            one >= Duration::from_millis(10),
+            "round trip should cost 2x latency, took {one:?}"
+        );
 
         // bulk amortization: 1 round trip for N calls beats N round trips
         let t1 = Instant::now();
@@ -222,6 +367,99 @@ mod tests {
         assert!(net.roundtrip("xrpc://y", b"x").is_err());
         assert!(net.roundtrip("xrpc://y", b"x").is_err());
         assert_eq!(net.roundtrip("xrpc://y", b"x").unwrap(), b"ok");
+    }
+
+    #[test]
+    fn drop_request_vs_drop_response_distinguishable_at_peer() {
+        let net = SimNetwork::new(NetProfile::instant());
+        net.register("xrpc://y", Arc::new(|_: &[u8]| b"ok".to_vec()));
+        net.inject_fault("xrpc://y", SimFault::DropRequest);
+        let e1 = net.roundtrip("xrpc://y", b"x").unwrap_err();
+        assert_eq!(e1.kind, NetErrorKind::Timeout);
+        assert_eq!(
+            net.handled_count("xrpc://y"),
+            0,
+            "drop-request: handler must not run"
+        );
+
+        net.inject_fault("xrpc://y", SimFault::DropResponse);
+        let e2 = net.roundtrip("xrpc://y", b"x").unwrap_err();
+        assert_eq!(e2.kind, NetErrorKind::Timeout);
+        assert_eq!(
+            net.handled_count("xrpc://y"),
+            1,
+            "drop-response: handler ran"
+        );
+    }
+
+    #[test]
+    fn corrupt_response_runs_handler_and_reports_corrupt() {
+        let net = SimNetwork::new(NetProfile::instant());
+        net.register("xrpc://y", Arc::new(|_: &[u8]| b"ok".to_vec()));
+        net.inject_fault("xrpc://y", SimFault::CorruptResponse);
+        let e = net.roundtrip("xrpc://y", b"x").unwrap_err();
+        assert_eq!(e.kind, NetErrorKind::Corrupt);
+        assert_eq!(net.handled_count("xrpc://y"), 1);
+    }
+
+    #[test]
+    fn latency_spike_succeeds_but_costs_time() {
+        let net = SimNetwork::new(NetProfile::instant());
+        net.register("xrpc://y", Arc::new(|_: &[u8]| b"ok".to_vec()));
+        net.inject_fault(
+            "xrpc://y",
+            SimFault::LatencySpike(Duration::from_millis(20)),
+        );
+        let t0 = Instant::now();
+        assert_eq!(net.roundtrip("xrpc://y", b"x").unwrap(), b"ok");
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        // spike consumed: next call is fast
+        let t1 = Instant::now();
+        net.roundtrip("xrpc://y", b"x").unwrap();
+        assert!(t1.elapsed() < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn fault_script_consumed_in_order() {
+        let net = SimNetwork::new(NetProfile::instant());
+        net.register("xrpc://y", Arc::new(|_: &[u8]| b"ok".to_vec()));
+        net.inject_fault_script("xrpc://y", [SimFault::Refuse, SimFault::DropResponse]);
+        assert_eq!(net.pending_faults("xrpc://y"), 2);
+        assert_eq!(
+            net.roundtrip("xrpc://y", b"x").unwrap_err().kind,
+            NetErrorKind::ConnectionRefused
+        );
+        assert_eq!(
+            net.roundtrip("xrpc://y", b"x").unwrap_err().kind,
+            NetErrorKind::Timeout
+        );
+        assert_eq!(net.pending_faults("xrpc://y"), 0);
+        assert!(net.roundtrip("xrpc://y", b"x").is_ok());
+    }
+
+    #[test]
+    fn crash_refuses_until_restart_preserving_state() {
+        let net = SimNetwork::new(NetProfile::instant());
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        net.register(
+            "xrpc://y",
+            Arc::new(move |_: &[u8]| {
+                h.fetch_add(1, Ordering::SeqCst);
+                b"ok".to_vec()
+            }),
+        );
+        net.roundtrip("xrpc://y", b"x").unwrap();
+        net.crash("xrpc://y");
+        let e = net.roundtrip("xrpc://y", b"x").unwrap_err();
+        assert_eq!(e.kind, NetErrorKind::ConnectionRefused);
+        net.restart("xrpc://y");
+        net.roundtrip("xrpc://y", b"x").unwrap();
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            2,
+            "state (counter) survives the crash"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use xdm::{Sequence, XdmError, XdmResult};
 use xqeval::context::{FunctionRef, RpcDispatcher};
-use xrpc_net::Transport;
+use xrpc_net::{CallHint, Transport};
 use xrpc_proto::{parse_message, QueryId, XrpcMessage, XrpcRequest};
 
 /// One query's view of the network: the transport, the queryID (when the
@@ -55,19 +55,22 @@ impl XrpcClient {
         v
     }
 
-    /// Send a raw control request (used by the 2PC driver).
+    /// Send a raw control request (used by the 2PC driver). Control
+    /// messages are idempotent at the participant (re-Prepare of a
+    /// prepared query, redelivered Commit/Abort of a decided one are all
+    /// answered OK), so the transport may retry them freely.
     pub fn send_control(&self, dest: &str, method: &str, qid: &QueryId) -> XdmResult<()> {
-        let mut req = XrpcRequest::new(crate::twopc::WSAT_MODULE, method, 0)
-            .with_query_id(qid.clone());
+        let mut req =
+            XrpcRequest::new(crate::twopc::WSAT_MODULE, method, 0).with_query_id(qid.clone());
         req.push_call(vec![]);
         let xml = req.to_xml()?;
         let resp = self
             .transport
-            .roundtrip(dest, xml.as_bytes())
+            .roundtrip_hinted(dest, xml.as_bytes(), CallHint::ReadOnly)
             .map_err(|e| XdmError::xrpc(e.to_string()))?;
-        match parse_message(std::str::from_utf8(&resp).map_err(|_| {
-            XdmError::xrpc("non-UTF8 response")
-        })?)? {
+        match parse_message(
+            std::str::from_utf8(&resp).map_err(|_| XdmError::xrpc("non-UTF8 response"))?,
+        )? {
             XrpcMessage::Response(_) => Ok(()),
             XrpcMessage::Fault(f) => Err(f.to_error()),
             XrpcMessage::Request(_) => Err(XdmError::xrpc("unexpected request as reply")),
@@ -91,12 +94,31 @@ impl RpcDispatcher for XrpcClient {
         for c in calls {
             req.push_call(c);
         }
+        let seq_no = self.requests_sent.fetch_add(1, Relaxed);
+        if req.deferred {
+            // uniquely stamp each deferred dispatch so the peer can tell a
+            // transport redelivery (identical bytes, same seq) from two
+            // genuinely identical dispatches (different seq)
+            req.seq = Some(seq_no);
+        }
         let xml = req.to_xml()?;
-        self.requests_sent.fetch_add(1, Relaxed);
         self.calls_sent.fetch_add(ncalls as u64, Relaxed);
+        // Retry semantics (see xrpc-net): read-only calls are safe to
+        // resend after any retryable failure; deferred updates (rule R'Fu)
+        // are redelivery-safe because the peer merges each request's ∆
+        // into the snapshot PUL at most once (request-hash dedupe);
+        // immediate updates (rule RFu) may only be resent when the request
+        // provably never reached the peer.
+        let hint = if !func.updating {
+            CallHint::ReadOnly
+        } else if req.deferred {
+            CallHint::DeferredUpdate
+        } else {
+            CallHint::Update
+        };
         let resp_bytes = self
             .transport
-            .roundtrip(dest, xml.as_bytes())
+            .roundtrip_hinted(dest, xml.as_bytes(), hint)
             .map_err(|e| XdmError::xrpc(format!("XRPC to `{dest}` failed: {e}")))?;
         let resp_text = std::str::from_utf8(&resp_bytes)
             .map_err(|_| XdmError::xrpc("non-UTF8 XRPC response"))?;
@@ -181,8 +203,16 @@ mod tests {
             client.participants_snapshot(),
             vec!["xrpc://nested".to_string(), "xrpc://y".to_string()]
         );
-        assert_eq!(client.requests_sent.load(std::sync::atomic::Ordering::Relaxed), 1);
-        assert_eq!(client.calls_sent.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(
+            client
+                .requests_sent
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        assert_eq!(
+            client.calls_sent.load(std::sync::atomic::Ordering::Relaxed),
+            2
+        );
     }
 
     #[test]
@@ -254,8 +284,7 @@ mod tests {
                 resp.to_xml().unwrap().into_bytes()
             }),
         );
-        let client = XrpcClient::new(net)
-            .with_query_id(QueryId::new("p0.example.org", 12345, 30));
+        let client = XrpcClient::new(net).with_query_id(QueryId::new("p0.example.org", 12345, 30));
         client
             .dispatch("xrpc://y", &func(), vec![vec![Sequence::empty()]])
             .unwrap();

@@ -27,7 +27,8 @@ pub use client::XrpcClient;
 pub use modweb::ModuleWeb;
 pub use peer::{EngineKind, IsolationLevel, Peer, PeerStats};
 pub use remote_docs::RemoteDocResolver;
-pub use store::SnapshotManager;
+pub use store::{Decision, SnapshotManager};
+pub use twopc::{run_two_phase_commit, run_two_phase_commit_with, CommitOutcome, TwoPcConfig};
 pub use wrapper::{WrapperPhases, XrpcWrapper};
 
 /// Wall-clock milliseconds since the Unix epoch (the queryID timestamp).

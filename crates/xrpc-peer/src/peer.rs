@@ -1,7 +1,7 @@
 //! The peer: one XQuery database node speaking XRPC on both sides.
 
 use crate::client::XrpcClient;
-use crate::store::{QuerySnapshot, SnapshotManager};
+use crate::store::{Decision, QuerySnapshot, SnapshotManager};
 use crate::twopc::{self, CommitOutcome, METHOD_ABORT, METHOD_COMMIT, METHOD_PREPARE, WSAT_MODULE};
 use parking_lot::RwLock;
 use relalg::FunctionCache;
@@ -10,16 +10,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use xdm::types::ItemKind;
 use xdm::{Item, Sequence, XdmError, XdmResult};
+use xqast::FunctionDecl;
 use xqeval::context::{DocResolver, Environment, StaticContext};
 use xqeval::eval::{Ctx, EvalState, Evaluator};
 use xqeval::modules::CompiledModule;
 use xqeval::pul::{apply_updates, PendingUpdateList};
 use xqeval::{InMemoryDocs, ModuleRegistry};
-use xqast::FunctionDecl;
-use xrpc_net::Transport;
-use xrpc_proto::{
-    parse_message, QueryId, XrpcFault, XrpcMessage, XrpcRequest, XrpcResponse,
-};
+use xrpc_net::{BreakerConfig, ResilientTransport, RetryPolicy, Transport};
+use xrpc_proto::{parse_message, QueryId, XrpcFault, XrpcMessage, XrpcRequest, XrpcResponse};
 
 /// Which engine executes queries and incoming requests at this peer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -117,8 +115,27 @@ impl Peer {
         *self.name.write() = name.into();
     }
 
-    /// Install the transport used for *outgoing* XRPC calls.
+    /// Install the transport used for *outgoing* XRPC calls, wrapped in a
+    /// [`ResilientTransport`] with conservative retry/breaker defaults.
+    /// Use [`set_transport_with`](Self::set_transport_with) to tune, or
+    /// [`set_transport_raw`](Self::set_transport_raw) to skip wrapping
+    /// (e.g. when passing an already-resilient transport).
     pub fn set_transport(&self, t: Arc<dyn Transport>) {
+        self.set_transport_with(t, RetryPolicy::conservative(), BreakerConfig::default());
+    }
+
+    /// Install the outgoing transport with explicit resilience settings.
+    pub fn set_transport_with(
+        &self,
+        t: Arc<dyn Transport>,
+        policy: RetryPolicy,
+        breaker: BreakerConfig,
+    ) {
+        *self.transport.write() = Some(ResilientTransport::with_policy(t, policy, breaker));
+    }
+
+    /// Install the outgoing transport without resilience wrapping.
+    pub fn set_transport_raw(&self, t: Arc<dyn Transport>) {
         *self.transport.write() = Some(t);
     }
 
@@ -128,8 +145,8 @@ impl Peer {
 
     /// Load a document into the store.
     pub fn add_document(&self, uri: &str, xml: &str) -> XdmResult<()> {
-        let doc = xmldom::parse_with_uri(xml, uri)
-            .map_err(|e| XdmError::doc_error(e.to_string()))?;
+        let doc =
+            xmldom::parse_with_uri(xml, uri).map_err(|e| XdmError::doc_error(e.to_string()))?;
         self.docs.insert(uri, doc);
         Ok(())
     }
@@ -145,7 +162,7 @@ impl Peer {
     }
 
     /// A SOAP handler closure for transports (SimNetwork / HttpServer).
-    pub fn soap_handler(self: &Arc<Self>) -> Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync> {
+    pub fn soap_handler(self: &Arc<Self>) -> xrpc_net::SoapHandler {
         let peer = self.clone();
         Arc::new(move |body: &[u8]| peer.handle_soap(body))
     }
@@ -181,7 +198,9 @@ impl Peer {
         if req.module == crate::remote_docs::DOC_MODULE {
             return self.handle_doc_fetch(&req);
         }
-        self.handle_call_request(req)
+        // identifies a redelivered (transport-retried) request byte-for-byte
+        let request_hash = fnv1a(text.as_bytes());
+        self.handle_call_request(req, request_hash)
     }
 
     /// WS-AtomicTransaction participant side (§2.3).
@@ -191,29 +210,60 @@ impl Peer {
             .query_id
             .as_ref()
             .ok_or_else(|| XdmError::xrpc("coordination message without queryID"))?;
+        // Every branch below is idempotent: the coordinator's decision
+        // redelivery (and transport-level retries) may deliver any control
+        // message more than once, and a participant must converge on the
+        // same outcome rather than error on the replay.
         match req.method.as_str() {
             METHOD_PREPARE => {
                 let snap = self.snapshots.get(qid)?;
-                // "It logs the union of the pending update lists to stable
-                // storage, ensuring q can commit later" — compatibility is
-                // the only thing that can refuse here.
-                snap.pul.lock().check_compatibility()?;
-                *snap.prepared.lock() = true;
-            }
-            METHOD_COMMIT => {
-                let snap = self.snapshots.get(qid)?;
-                if !*snap.prepared.lock() {
-                    return Err(XdmError::xrpc("Commit before Prepare"));
+                let mut prepared = snap.prepared.lock();
+                if !*prepared {
+                    // "It logs the union of the pending update lists to
+                    // stable storage, ensuring q can commit later" —
+                    // compatibility is the only thing that can refuse here.
+                    snap.pul.lock().check_compatibility()?;
+                    *prepared = true;
                 }
-                let pul = snap.pul.lock().clone();
-                self.apply_pul(&pul)?;
-                self.snapshots.finish(qid);
+                // re-Prepare of a prepared query: still prepared, answer OK
             }
+            METHOD_COMMIT => match self.snapshots.get(qid) {
+                Ok(snap) => {
+                    if !*snap.prepared.lock() {
+                        return Err(XdmError::xrpc("Commit before Prepare"));
+                    }
+                    // applyUpdates(∆_q) exactly once, even under concurrent
+                    // redelivery: the `decided` slot is claimed before the
+                    // apply and never released.
+                    let mut decided = snap.decided.lock();
+                    match *decided {
+                        Some(Decision::Committed) => {}
+                        Some(Decision::Aborted) => {
+                            return Err(XdmError::xrpc("Commit after Abort"))
+                        }
+                        None => {
+                            let pul = snap.pul.lock().clone();
+                            self.apply_pul(&pul)?;
+                            *decided = Some(Decision::Committed);
+                        }
+                    }
+                    drop(decided);
+                    self.snapshots.finish_with(qid, Decision::Committed);
+                }
+                Err(e) => match self.snapshots.completed_decision(qid) {
+                    // redelivered Commit after the snapshot was released:
+                    // ∆_q is already applied, acknowledge again
+                    Some(Decision::Committed) => {}
+                    Some(Decision::Aborted) => return Err(XdmError::xrpc("Commit after Abort")),
+                    None => return Err(e),
+                },
+            },
             METHOD_ABORT => {
                 // releases the snapshot; also used as end-of-query for
-                // read-only repeatable queries
+                // read-only repeatable queries. An Abort for an unknown or
+                // already-finished query is acknowledged (presumed abort).
                 if self.snapshots.get(qid).is_ok() {
-                    self.snapshots.finish(qid);
+                    self.snapshots.finish_with(qid, Decision::Aborted);
                 }
             }
             other => return Err(XdmError::xrpc(format!("unknown control method `{other}`"))),
@@ -242,16 +292,15 @@ impl Peer {
                 .map(|i| i.string_value())
                 .ok_or_else(|| XdmError::xrpc("doc fetch without a path"))?;
             let doc = resolver.resolve(&path)?;
-            resp.results.push(Sequence::one(Item::Node(
-                xmldom::NodeHandle::root(doc),
-            )));
+            resp.results
+                .push(Sequence::one(Item::Node(xmldom::NodeHandle::root(doc))));
         }
         resp.participating_peers = vec![self.name()];
         Ok(resp)
     }
 
     /// Handle an XRPC function-call request (possibly Bulk).
-    fn handle_call_request(&self, req: XrpcRequest) -> XdmResult<XrpcResponse> {
+    fn handle_call_request(&self, req: XrpcRequest, request_hash: u64) -> XdmResult<XrpcResponse> {
         self.stats.requests_handled.fetch_add(1, Ordering::Relaxed);
         self.stats
             .calls_handled
@@ -271,6 +320,23 @@ impl Peer {
                 }
                 None => (self.docs.clone(), None),
             };
+
+        // At-most-once ∆ merge for deferred updates (rule R'Fu): when the
+        // response to an updating call is lost, the resilient transport
+        // redelivers the identical request; merging its ∆ again would
+        // double-insert or trip XQUF compatibility at Prepare. An updating
+        // function's results are empty by XQUF, so the lost response can be
+        // resynthesized without re-evaluating.
+        if req.deferred && prepared.decl.updating {
+            if let Some(s) = &snap {
+                if !s.merged_requests.lock().insert(request_hash) {
+                    let mut resp = XrpcResponse::new(req.module, req.method);
+                    resp.results = vec![Sequence::empty(); req.calls.len()];
+                    resp.participating_peers = vec![self.name()];
+                    return Ok(resp);
+                }
+            }
+        }
 
         // Dispatcher for nested XRPC calls made by the function body.
         let nested_client = self.transport().map(|t| {
@@ -339,9 +405,12 @@ impl Peer {
     }
 
     fn prepare_function(&self, req: &XrpcRequest) -> XdmResult<PreparedFunction> {
-        self.stats.functions_prepared.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .functions_prepared
+            .fetch_add(1, Ordering::Relaxed);
         let module = if self.function_cache.is_enabled() {
-            self.modules.get_or_load(&req.module, req.location.as_deref())?
+            self.modules
+                .get_or_load(&req.module, req.location.as_deref())?
         } else {
             // No function cache: re-translate the module on every request,
             // the paper's "No Function Cache" column.
@@ -350,7 +419,9 @@ impl Peer {
                     let lib = xqast::parse_library_module(src)?;
                     Arc::new(CompiledModule::from_library(&lib))
                 }
-                None => self.modules.get_or_load(&req.module, req.location.as_deref())?,
+                None => self
+                    .modules
+                    .get_or_load(&req.module, req.location.as_deref())?,
             }
         };
         let decl = module.function(&req.method, req.arity).ok_or_else(|| {
@@ -456,10 +527,8 @@ impl Peer {
                 let participants = client.participants_snapshot();
                 // Own name may have flowed back through nested piggybacks.
                 let own = self.name();
-                let participants: Vec<String> = participants
-                    .into_iter()
-                    .filter(|p| p != &own)
-                    .collect();
+                let participants: Vec<String> =
+                    participants.into_iter().filter(|p| p != &own).collect();
                 if !participants.is_empty() {
                     let outcome = twopc::run_two_phase_commit(client, qid, &participants)?;
                     if let CommitOutcome::Aborted { reason } = &outcome {
@@ -487,6 +556,16 @@ impl Peer {
             calls_sent,
         })
     }
+}
+
+/// FNV-1a — stable across processes, unlike `DefaultHasher`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// A frozen map of documents (the originator's own repeatable-read view).

@@ -56,10 +56,12 @@ impl DocResolver for RemoteDocResolver {
             arity: 1,
             updating: false,
         };
-        let mut results = self
-            .client
-            .dispatch(&host, &func, vec![vec![Sequence::one(Item::string(path))]])?;
-        let seq = results.pop().ok_or_else(|| XdmError::xrpc("empty doc-fetch response"))?;
+        let mut results =
+            self.client
+                .dispatch(&host, &func, vec![vec![Sequence::one(Item::string(path))]])?;
+        let seq = results
+            .pop()
+            .ok_or_else(|| XdmError::xrpc("empty doc-fetch response"))?;
         match seq.singleton()? {
             Item::Node(n) => {
                 let doc = n.doc.clone();

@@ -9,7 +9,7 @@
 //! error instead of silently reading fresh state.
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xdm::{XdmError, XdmResult};
@@ -17,6 +17,19 @@ use xmldom::Document;
 use xqeval::context::DocResolver;
 use xqeval::pul::PendingUpdateList;
 use xrpc_proto::QueryId;
+
+/// The 2PC outcome a participant recorded for a finished query. Retained
+/// (bounded) so redelivered Commit/Abort control messages — the decision
+/// retry path of the hardened coordinator — can be answered idempotently
+/// instead of erroring on the missing snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    Committed,
+    Aborted,
+}
+
+/// How many finished-query decisions a peer remembers for redelivery.
+const COMPLETED_CAP: usize = 4096;
 
 /// Per-query isolated state at one peer.
 pub struct QuerySnapshot {
@@ -26,6 +39,14 @@ pub struct QuerySnapshot {
     pub pul: Mutex<PendingUpdateList>,
     /// 2PC state: set by Prepare after the PUL was "logged".
     pub prepared: Mutex<bool>,
+    /// Set exactly once when the decision is first applied; guards against
+    /// double-applying ∆_q when a Commit is redelivered concurrently.
+    pub decided: Mutex<Option<Decision>>,
+    /// Hashes of deferred-update requests whose ∆ was already merged into
+    /// [`pul`](Self::pul) — the at-most-once guard that makes transport
+    /// redelivery of deferred updates safe (a double merge would either
+    /// double-insert or trip XQUF compatibility at Prepare).
+    pub merged_requests: Mutex<std::collections::HashSet<u64>>,
 }
 
 impl QuerySnapshot {
@@ -60,6 +81,8 @@ pub struct SnapshotManager {
     /// host → latest *expired* origin timestamp (paper: "per host only the
     /// latest timestamp needs to be retained").
     expired: Mutex<HashMap<String, u64>>,
+    /// Decisions of finished queries, FIFO-bounded at [`COMPLETED_CAP`].
+    completed: Mutex<(HashMap<QidKey, Decision>, VecDeque<QidKey>)>,
 }
 
 impl SnapshotManager {
@@ -67,6 +90,7 @@ impl SnapshotManager {
         SnapshotManager {
             active: Mutex::new(HashMap::new()),
             expired: Mutex::new(HashMap::new()),
+            completed: Mutex::new((HashMap::new(), VecDeque::new())),
         }
     }
 
@@ -101,6 +125,8 @@ impl SnapshotManager {
             deadline: Instant::now() + Duration::from_secs(qid.timeout_secs as u64),
             pul: Mutex::new(PendingUpdateList::new()),
             prepared: Mutex::new(false),
+            decided: Mutex::new(None),
+            merged_requests: Mutex::new(std::collections::HashSet::new()),
         });
         active.insert(key, snapshot.clone());
         Ok(snapshot)
@@ -121,11 +147,37 @@ impl SnapshotManager {
     }
 
     /// Drop a query's state (after Commit/Abort), remembering it as seen.
+    /// Records an Aborted decision — use [`finish_with`](Self::finish_with)
+    /// on the commit path.
     pub fn finish(&self, qid: &QueryId) {
-        self.active.lock().remove(&Self::key(qid));
-        let mut expired = self.expired.lock();
-        let e = expired.entry(qid.host.clone()).or_insert(0);
-        *e = (*e).max(qid.timestamp_millis);
+        self.finish_with(qid, Decision::Aborted);
+    }
+
+    /// Drop a query's state, recording `decision` for idempotent replies
+    /// to redelivered control messages.
+    pub fn finish_with(&self, qid: &QueryId, decision: Decision) {
+        let key = Self::key(qid);
+        self.active.lock().remove(&key);
+        {
+            let mut expired = self.expired.lock();
+            let e = expired.entry(qid.host.clone()).or_insert(0);
+            *e = (*e).max(qid.timestamp_millis);
+        }
+        let mut completed = self.completed.lock();
+        let (map, order) = &mut *completed;
+        if map.insert(key.clone(), decision).is_none() {
+            order.push_back(key);
+            while order.len() > COMPLETED_CAP {
+                if let Some(old) = order.pop_front() {
+                    map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// The recorded decision for a finished query, if still remembered.
+    pub fn completed_decision(&self, qid: &QueryId) -> Option<Decision> {
+        self.completed.lock().0.get(&Self::key(qid)).copied()
     }
 
     /// Expire snapshots whose timeout passed, freeing their resources.
@@ -207,7 +259,10 @@ mod tests {
         let err = mgr.get_or_pin(&q, || docs_v("y")).map(|_| ()).unwrap_err();
         assert_eq!(err.code, "XRPC0002");
         // an *older* query from the same host is also rejected
-        let err2 = mgr.get_or_pin(&qid(50, 30), || docs_v("z")).map(|_| ()).unwrap_err();
+        let err2 = mgr
+            .get_or_pin(&qid(50, 30), || docs_v("z"))
+            .map(|_| ())
+            .unwrap_err();
         assert_eq!(err2.code, "XRPC0002");
         // but a newer one is fine
         assert!(mgr.get_or_pin(&qid(200, 30), || docs_v("w")).is_ok());
@@ -239,6 +294,38 @@ mod tests {
     #[test]
     fn get_without_pin_fails() {
         let mgr = SnapshotManager::new();
-        assert_eq!(mgr.get(&qid(1, 30)).map(|_| ()).unwrap_err().code, "XRPC0002");
+        assert_eq!(
+            mgr.get(&qid(1, 30)).map(|_| ()).unwrap_err().code,
+            "XRPC0002"
+        );
+    }
+
+    #[test]
+    fn decision_remembered_after_finish() {
+        let mgr = SnapshotManager::new();
+        let q = qid(100, 30);
+        mgr.get_or_pin(&q, || docs_v("x")).unwrap();
+        assert_eq!(mgr.completed_decision(&q), None);
+        mgr.finish_with(&q, Decision::Committed);
+        assert_eq!(mgr.completed_decision(&q), Some(Decision::Committed));
+        // plain finish records an abort
+        let q2 = qid(200, 30);
+        mgr.get_or_pin(&q2, || docs_v("y")).unwrap();
+        mgr.finish(&q2);
+        assert_eq!(mgr.completed_decision(&q2), Some(Decision::Aborted));
+    }
+
+    #[test]
+    fn completed_map_is_bounded() {
+        let mgr = SnapshotManager::new();
+        for ts in 0..(super::COMPLETED_CAP as u64 + 10) {
+            mgr.finish_with(&qid(ts, 30), Decision::Committed);
+        }
+        // the oldest entries were evicted, the newest retained
+        assert_eq!(mgr.completed_decision(&qid(0, 30)), None);
+        assert_eq!(
+            mgr.completed_decision(&qid(super::COMPLETED_CAP as u64 + 9, 30)),
+            Some(Decision::Committed)
+        );
     }
 }

@@ -11,6 +11,7 @@
 //! HTTP SOAP server that runs XRPC".
 
 use crate::client::XrpcClient;
+use std::time::{Duration, Instant};
 use xdm::{XdmError, XdmResult};
 use xrpc_proto::QueryId;
 
@@ -21,6 +22,31 @@ pub const METHOD_PREPARE: &str = "Prepare";
 pub const METHOD_COMMIT: &str = "Commit";
 pub const METHOD_ABORT: &str = "Abort";
 
+/// Coordinator tuning: per-phase deadline and decision-redelivery bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoPcConfig {
+    /// Wall-clock budget for the prepare phase. Overrunning it flips the
+    /// decision to abort — safe, since nothing has committed yet.
+    pub prepare_deadline: Duration,
+    /// Delivery attempts for the Commit/Abort decision per participant
+    /// (including the first). Participants answer decision redeliveries
+    /// idempotently, so a transiently-partitioned one converges instead of
+    /// surfacing a heuristic hazard on the first blip.
+    pub decision_max_attempts: u32,
+    /// Backoff before the first decision redelivery; doubles per attempt.
+    pub decision_backoff: Duration,
+}
+
+impl Default for TwoPcConfig {
+    fn default() -> Self {
+        TwoPcConfig {
+            prepare_deadline: Duration::from_secs(30),
+            decision_max_attempts: 4,
+            decision_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
 /// Outcome of a coordination round.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommitOutcome {
@@ -28,52 +54,116 @@ pub enum CommitOutcome {
     Aborted { reason: String },
 }
 
-/// Drive 2PC over `participants` for query `qid`.
-///
-/// Phase 1 sends `Prepare` to every participant; a single failure flips
-/// the decision to abort. Phase 2 sends `Commit` (or `Abort`) to all.
+/// Drive 2PC over `participants` for query `qid` with default
+/// [`TwoPcConfig`].
 pub fn run_two_phase_commit(
     client: &XrpcClient,
     qid: &QueryId,
     participants: &[String],
 ) -> XdmResult<CommitOutcome> {
+    run_two_phase_commit_with(client, qid, participants, &TwoPcConfig::default())
+}
+
+/// Drive 2PC over `participants` for query `qid`.
+///
+/// Phase 1 sends `Prepare` to every participant *concurrently*; any
+/// failure (or overrunning the phase deadline) flips the decision to
+/// abort. Phase 2 delivers the decision — `Commit` only when every
+/// participant prepared, `Abort` otherwise — to **all** participants,
+/// retrying each delivery with bounded exponential backoff. Only when a
+/// Commit cannot be delivered within the attempt budget does the
+/// coordinator surface a heuristic-hazard error (that participant still
+/// holds its prepared ∆_q).
+pub fn run_two_phase_commit_with(
+    client: &XrpcClient,
+    qid: &QueryId,
+    participants: &[String],
+    config: &TwoPcConfig,
+) -> XdmResult<CommitOutcome> {
     // Phase 1: Prepare — participants log their ∆_q and enter prepared
-    // state (or refuse).
-    let mut failure: Option<XdmError> = None;
-    let mut prepared: Vec<&String> = Vec::new();
-    for p in participants {
-        match client.send_control(p, METHOD_PREPARE, qid) {
-            Ok(()) => prepared.push(p),
-            Err(e) => {
-                failure = Some(e);
-                break;
+    // state (or refuse). All prepares run concurrently; the phase cost is
+    // the slowest participant, not the sum (and one slow peer cannot
+    // serialize the others behind it).
+    let phase_start = Instant::now();
+    let prepare_results: Vec<XdmResult<()>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = participants
+            .iter()
+            .map(|p| scope.spawn(move || client.send_control(p, METHOD_PREPARE, qid)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(XdmError::xrpc("prepare thread panicked")),
+            })
+            .collect()
+    });
+    let mut failure: Option<XdmError> = prepare_results.into_iter().find_map(Result::err);
+    if failure.is_none() && phase_start.elapsed() > config.prepare_deadline {
+        failure = Some(XdmError::xrpc(format!(
+            "2PC prepare phase exceeded its {:?} deadline",
+            config.prepare_deadline
+        )));
+    }
+
+    // Phase 2: deliver the decision to every participant. Abort goes to
+    // all (not just the ones that acknowledged Prepare): a participant
+    // whose Prepare *response* was lost is prepared even though the
+    // coordinator never heard back, and must be released.
+    match failure {
+        Some(err) => {
+            for p in participants {
+                // best effort: an unreachable participant's snapshot times
+                // out on its own (presumed abort)
+                let _ = deliver_decision(client, p, METHOD_ABORT, qid, config);
+            }
+            Ok(CommitOutcome::Aborted {
+                reason: err.to_string(),
+            })
+        }
+        None => {
+            for p in participants {
+                // A commit failure after unanimous prepare and exhausted
+                // redelivery is a heuristic hazard; we surface it as an
+                // error (the participant keeps its prepared log).
+                deliver_decision(client, p, METHOD_COMMIT, qid, config).map_err(|e| {
+                    XdmError::xrpc(format!(
+                        "2PC commit failed at `{p}` after unanimous prepare and {} delivery attempts: {e}",
+                        config.decision_max_attempts
+                    ))
+                })?;
+            }
+            Ok(CommitOutcome::Committed {
+                participants: participants.len(),
+            })
+        }
+    }
+}
+
+/// Deliver one decision message with bounded retry + exponential backoff.
+/// Control handling is idempotent at the participant, so redelivery after
+/// an ambiguous failure is always safe.
+fn deliver_decision(
+    client: &XrpcClient,
+    dest: &str,
+    method: &str,
+    qid: &QueryId,
+    config: &TwoPcConfig,
+) -> XdmResult<()> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match client.send_control(dest, method, qid) {
+            Ok(()) => return Ok(()),
+            Err(e) if attempt >= config.decision_max_attempts.max(1) => return Err(e),
+            Err(_) => {
+                let backoff = config
+                    .decision_backoff
+                    .saturating_mul(1u32 << (attempt - 1).min(16));
+                std::thread::sleep(backoff);
             }
         }
     }
-
-    if let Some(err) = failure {
-        // Phase 2 (abort path): roll back everyone we prepared.
-        for p in prepared {
-            let _ = client.send_control(p, METHOD_ABORT, qid);
-        }
-        return Ok(CommitOutcome::Aborted {
-            reason: err.to_string(),
-        });
-    }
-
-    // Phase 2: Commit — applyUpdates(∆_q) at every participant.
-    for p in participants {
-        // A commit failure after unanimous prepare is a heuristic hazard;
-        // we surface it as an error (participants keep their logs).
-        client.send_control(p, METHOD_COMMIT, qid).map_err(|e| {
-            XdmError::xrpc(format!(
-                "2PC commit failed at `{p}` after unanimous prepare: {e}"
-            ))
-        })?;
-    }
-    Ok(CommitOutcome::Committed {
-        participants: participants.len(),
-    })
 }
 
 #[cfg(test)]
@@ -144,7 +234,7 @@ mod tests {
     }
 
     #[test]
-    fn prepare_refusal_aborts_prepared_participants() {
+    fn prepare_refusal_aborts_all_participants() {
         let net = Arc::new(SimNetwork::new(NetProfile::instant()));
         let a = participant(&net, "xrpc://a", false);
         let b = participant(&net, "xrpc://b", true); // refuses
@@ -164,14 +254,13 @@ mod tests {
             CommitOutcome::Aborted { reason } => assert!(reason.contains("conflicting")),
             other => panic!("{other:?}"),
         }
-        // a prepared and was aborted; b refused; c was never reached
-        assert_eq!(a[0].load(Ordering::SeqCst), 1);
-        assert_eq!(a[2].load(Ordering::SeqCst), 1);
-        assert_eq!(b[2].load(Ordering::SeqCst), 0);
-        assert_eq!(c[0].load(Ordering::SeqCst), 0);
-        // nobody committed
+        // prepare runs concurrently, so every participant saw it; the
+        // abort decision also goes to all (a refuser and a prepared peer
+        // whose ack was lost are indistinguishable to the coordinator)
         for x in [&a, &b, &c] {
-            assert_eq!(x[1].load(Ordering::SeqCst), 0);
+            assert_eq!(x[0].load(Ordering::SeqCst), 1, "prepare reached everyone");
+            assert_eq!(x[2].load(Ordering::SeqCst), 1, "abort reached everyone");
+            assert_eq!(x[1].load(Ordering::SeqCst), 0, "nobody committed");
         }
     }
 
@@ -180,10 +269,16 @@ mod tests {
         let net = Arc::new(SimNetwork::new(NetProfile::instant()));
         let a = participant(&net, "xrpc://a", false);
         let client = XrpcClient::new(net);
-        let out = run_two_phase_commit(
+        let cfg = TwoPcConfig {
+            decision_max_attempts: 2,
+            decision_backoff: Duration::from_millis(1),
+            ..TwoPcConfig::default()
+        };
+        let out = run_two_phase_commit_with(
             &client,
             &qid(),
             &["xrpc://a".to_string(), "xrpc://gone".to_string()],
+            &cfg,
         )
         .unwrap();
         assert!(matches!(out, CommitOutcome::Aborted { .. }));
@@ -196,5 +291,75 @@ mod tests {
         let client = XrpcClient::new(net);
         let out = run_two_phase_commit(&client, &qid(), &[]).unwrap();
         assert_eq!(out, CommitOutcome::Committed { participants: 0 });
+    }
+
+    #[test]
+    fn lost_commit_response_is_redelivered_until_acknowledged() {
+        let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+        let a = participant(&net, "xrpc://a", false);
+        let b = participant(&net, "xrpc://b", false);
+        // b: Prepare passes (zero-cost latency fault), Commit response lost
+        net.inject_fault_script(
+            "xrpc://b",
+            [
+                xrpc_net::SimFault::LatencySpike(Duration::ZERO),
+                xrpc_net::SimFault::DropResponse,
+            ],
+        );
+        let client = XrpcClient::new(net);
+        let cfg = TwoPcConfig {
+            decision_max_attempts: 3,
+            decision_backoff: Duration::from_millis(1),
+            ..TwoPcConfig::default()
+        };
+        let out = run_two_phase_commit_with(
+            &client,
+            &qid(),
+            &["xrpc://a".to_string(), "xrpc://b".to_string()],
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(out, CommitOutcome::Committed { participants: 2 });
+        assert_eq!(a[1].load(Ordering::SeqCst), 1);
+        // the first Commit *was* handled at b (only its ack was lost), so
+        // the redelivery makes it two deliveries — the participant side is
+        // responsible for idempotence (see peer::handle_control)
+        assert_eq!(b[1].load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn undeliverable_commit_surfaces_heuristic_hazard() {
+        let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+        let _a = participant(&net, "xrpc://a", false);
+        let b = participant(&net, "xrpc://b", false);
+        net.inject_fault_script(
+            "xrpc://b",
+            [
+                xrpc_net::SimFault::LatencySpike(Duration::ZERO),
+                xrpc_net::SimFault::DropResponse,
+                xrpc_net::SimFault::DropResponse,
+            ],
+        );
+        let client = XrpcClient::new(net);
+        let cfg = TwoPcConfig {
+            decision_max_attempts: 2,
+            decision_backoff: Duration::from_millis(1),
+            ..TwoPcConfig::default()
+        };
+        let err = run_two_phase_commit_with(
+            &client,
+            &qid(),
+            &["xrpc://a".to_string(), "xrpc://b".to_string()],
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(
+            err.message.contains("after unanimous prepare"),
+            "{}",
+            err.message
+        );
+        // both deliveries reached b (responses lost) — the hazard is about
+        // the coordinator's knowledge, not the participant's state
+        assert_eq!(b[1].load(Ordering::SeqCst), 2);
     }
 }

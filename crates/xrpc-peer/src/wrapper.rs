@@ -65,12 +65,11 @@ impl XrpcWrapper {
     /// given transport (plain data shipping, the way Saxon's `fn:doc`
     /// fetches URLs in the paper's §5 experiments).
     pub fn enable_remote_docs(&self, transport: Arc<dyn xrpc_net::Transport>) {
-        *self.remote_docs.write() =
-            Some(Arc::new(crate::client::XrpcClient::new(transport)));
+        *self.remote_docs.write() = Some(Arc::new(crate::client::XrpcClient::new(transport)));
     }
 
     /// SOAP handler closure for transports.
-    pub fn soap_handler(self: &Arc<Self>) -> Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync> {
+    pub fn soap_handler(self: &Arc<Self>) -> xrpc_net::SoapHandler {
         let w = self.clone();
         Arc::new(move |body: &[u8]| w.handle(body))
     }
@@ -93,12 +92,12 @@ impl XrpcWrapper {
     }
 
     fn handle_inner(&self, body: &[u8]) -> XdmResult<String> {
-        let text = std::str::from_utf8(body)
-            .map_err(|_| XdmError::xrpc("request is not UTF-8"))?;
+        let text = std::str::from_utf8(body).map_err(|_| XdmError::xrpc("request is not UTF-8"))?;
 
         // --- treebuild: parse the request message into the engine's store
         let t0 = Instant::now();
-        let reqdoc = xmldom::parse(text).map_err(|e| XdmError::xrpc(format!("bad request: {e}")))?;
+        let reqdoc =
+            xmldom::parse(text).map_err(|e| XdmError::xrpc(format!("bad request: {e}")))?;
         let (module, method, arity, location) = request_attrs(&reqdoc)?;
         if module == crate::remote_docs::DOC_MODULE {
             // protocol-level document shipping is handled by the wrapper
@@ -119,10 +118,9 @@ impl XrpcWrapper {
         // --- exec: run it on the wrapped engine and serialize
         let t2 = Instant::now();
         let resolver: Arc<dyn xqeval::context::DocResolver> = match &*self.remote_docs.read() {
-            Some(client) => crate::remote_docs::RemoteDocResolver::new(
-                self.docs.clone(),
-                client.clone(),
-            ),
+            Some(client) => {
+                crate::remote_docs::RemoteDocResolver::new(self.docs.clone(), client.clone())
+            }
             None => self.docs.clone(),
         };
         let env = Environment::new(resolver).with_modules(self.modules.clone());
@@ -131,10 +129,9 @@ impl XrpcWrapper {
             .singleton()
             .map_err(|_| XdmError::xrpc("generated query did not produce one envelope"))?;
         let xml = match envelope {
-            xdm::Item::Node(n) => format!(
-                "<?xml version=\"1.0\" encoding=\"utf-8\"?>{}",
-                n.to_xml()
-            ),
+            xdm::Item::Node(n) => {
+                format!("<?xml version=\"1.0\" encoding=\"utf-8\"?>{}", n.to_xml())
+            }
             _ => return Err(XdmError::xrpc("generated query produced a non-node")),
         };
         let exec = t2.elapsed();
@@ -168,15 +165,13 @@ impl XrpcWrapper {
                 xmldom::NodeHandle::root(doc),
             )));
         }
-        Ok(resp.to_xml()?)
+        resp.to_xml()
     }
 }
 
 /// Pull module/method/arity/location off the request element without any
 /// XRPC-specific machinery (plain DOM work, as a wrapper script would).
-fn request_attrs(
-    doc: &xmldom::Document,
-) -> XdmResult<(String, String, usize, Option<String>)> {
+fn request_attrs(doc: &xmldom::Document) -> XdmResult<(String, String, usize, Option<String>)> {
     use xmldom::qname::{NS_SOAP_ENV, NS_XRPC};
     use xmldom::QName;
     let envelope = doc
@@ -432,7 +427,9 @@ mod tests {
             Some("http://example.org/functions.xq"),
             "/tmp/request0.xml",
         );
-        assert!(q.contains("import module namespace func = \"functions\" at \"http://example.org/functions.xq\";"));
+        assert!(q.contains(
+            "import module namespace func = \"functions\" at \"http://example.org/functions.xq\";"
+        ));
         assert!(q.contains("for $call in doc(\"/tmp/request0.xml\")//xrpc:call"));
         assert!(q.contains("let $param1 := local:n2s($call/xrpc:sequence[1])"));
         assert!(q.contains("let $param2 := local:n2s($call/xrpc:sequence[2])"));

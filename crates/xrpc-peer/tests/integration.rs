@@ -84,11 +84,15 @@ fn bulk_rpc_over_wire_single_request() {
     assert_eq!(out.requests_sent, 1, "bulk: one request on the wire");
     assert_eq!(out.calls_sent, 50);
     assert_eq!(
-        b.stats.requests_handled.load(std::sync::atomic::Ordering::Relaxed),
+        b.stats
+            .requests_handled
+            .load(std::sync::atomic::Ordering::Relaxed),
         1
     );
     assert_eq!(
-        b.stats.calls_handled.load(std::sync::atomic::Ordering::Relaxed),
+        b.stats
+            .calls_handled
+            .load(std::sync::atomic::Ordering::Relaxed),
         50
     );
 }
@@ -104,7 +108,9 @@ fn tree_engine_sends_one_request_per_iteration() {
         .unwrap();
     assert_eq!(out.requests_sent, 7);
     assert_eq!(
-        b.stats.requests_handled.load(std::sync::atomic::Ordering::Relaxed),
+        b.stats
+            .requests_handled
+            .load(std::sync::atomic::Ordering::Relaxed),
         7
     );
 }
@@ -172,7 +178,9 @@ fn update_isolation_none_applies_immediately_rule_rfu() {
     let v = b.docs.get("state.xml").unwrap();
     assert_eq!(v.string_value(v.root()), "changed");
     assert_eq!(
-        b.stats.control_messages.load(std::sync::atomic::Ordering::Relaxed),
+        b.stats
+            .control_messages
+            .load(std::sync::atomic::Ordering::Relaxed),
         0
     );
 }
@@ -192,7 +200,9 @@ fn update_repeatable_defers_until_2pc_commit_rule_rfu_prime() {
     assert_eq!(v.string_value(v.root()), "committed");
     // Prepare + Commit both hit B
     assert_eq!(
-        b.stats.control_messages.load(std::sync::atomic::Ordering::Relaxed),
+        b.stats
+            .control_messages
+            .load(std::sync::atomic::Ordering::Relaxed),
         2
     );
     assert!(matches!(
@@ -263,7 +273,10 @@ fn expired_query_id_rejected() {
     std::thread::sleep(std::time::Duration::from_millis(20));
     b.snapshots.gc();
     let r = String::from_utf8(b.handle_soap(xml.as_bytes())).unwrap();
-    assert!(r.contains("XRPC0002"), "expected expired-queryID fault: {r}");
+    assert!(
+        r.contains("XRPC0002"),
+        "expected expired-queryID fault: {r}"
+    );
 }
 
 #[test]
@@ -410,7 +423,10 @@ fn by_value_semantics_across_the_wire() {
         xdm::AtomicValue::Integer(i) => i,
         _ => panic!(),
     };
-    assert!(n <= 2, "upward navigation must not reach the remote document");
+    assert!(
+        n <= 2,
+        "upward navigation must not reach the remote document"
+    );
 }
 
 #[test]
@@ -474,16 +490,15 @@ fn concurrent_clients_against_one_peer() {
                                  {{f:filmsByActor("Sean Connery")}}) + {i}"#
                     );
                     let res = a.execute(&q).unwrap();
-                    assert_eq!(
-                        res.items()[0].string_value(),
-                        (2 + i).to_string()
-                    );
+                    assert_eq!(res.items()[0].string_value(), (2 + i).to_string());
                 }
             });
         }
     });
     assert_eq!(
-        b.stats.requests_handled.load(std::sync::atomic::Ordering::Relaxed),
+        b.stats
+            .requests_handled
+            .load(std::sync::atomic::Ordering::Relaxed),
         40
     );
 }

@@ -247,8 +247,6 @@ fn resolve_nodeid(
     Ok(Item::Node(NodeHandle::new(base.doc.clone(), cur)))
 }
 
-
-
 /// Decode an `<xrpc:sequence>` element back into an XDM sequence. This is
 /// `n2s()`: every node comes back as the root of a fresh fragment.
 pub fn n2s(msg: &Document, seq_el: NodeId) -> XdmResult<Sequence> {
@@ -281,9 +279,8 @@ fn decode_value(msg: &Document, child: NodeId) -> XdmResult<Item> {
                 let ty_lex = msg
                     .attr_local(child, "type")
                     .ok_or_else(|| XdmError::xrpc("atomic-value without xsi:type"))?;
-                let ty = AtomicType::from_xs_name(ty_lex).ok_or_else(|| {
-                    XdmError::xrpc(format!("unsupported xsi:type `{ty_lex}`"))
-                })?;
+                let ty = AtomicType::from_xs_name(ty_lex)
+                    .ok_or_else(|| XdmError::xrpc(format!("unsupported xsi:type `{ty_lex}`")))?;
                 let lexical = msg.string_value(child);
                 Ok(Item::Atomic(AtomicValue::parse_as(&lexical, ty)?))
             }
@@ -325,11 +322,10 @@ fn decode_value(msg: &Document, child: NodeId) -> XdmResult<Item> {
                 Ok(Item::Node(fresh_fragment(msg, pi)?))
             }
             "attribute" => {
-                let attr = msg
-                    .attributes(child)
-                    .first()
-                    .copied()
-                    .ok_or_else(|| XdmError::xrpc("xrpc:attribute wrapper without an attribute"))?;
+                let attr =
+                    msg.attributes(child).first().copied().ok_or_else(|| {
+                        XdmError::xrpc("xrpc:attribute wrapper without an attribute")
+                    })?;
                 let mut d = Document::new();
                 let copy = d.import_subtree(msg, attr);
                 Ok(Item::Node(NodeHandle::new(std::sync::Arc::new(d), copy)))
@@ -407,7 +403,8 @@ mod tests {
 
     #[test]
     fn element_nodes_roundtrip_by_value() {
-        let d = Arc::new(parse("<films><name>The Rock</name><name>Goldfinger</name></films>").unwrap());
+        let d =
+            Arc::new(parse("<films><name>The Rock</name><name>Goldfinger</name></films>").unwrap());
         let films = d.children(d.root())[0];
         let names: Vec<Item> = d
             .children(films)

@@ -48,6 +48,11 @@ pub struct XrpcRequest {
     /// must be deferred until 2PC commit (rule R'Fu) rather than applied
     /// immediately (rule RFu).
     pub deferred: bool,
+    /// Client-assigned per-query sequence number. Distinguishes two
+    /// legitimately identical dispatches from a transport-level redelivery
+    /// of one dispatch (same seq, byte-identical message) — the peer's
+    /// at-most-once ∆-merge for deferred updates relies on this.
+    pub seq: Option<u64>,
     /// Opt into the call-by-fragment extension (paper footnote 4): node
     /// parameters that are descendants of an earlier node parameter are
     /// sent as `<xrpc:nodeid>` references, preserving ancestor/descendant
@@ -65,6 +70,7 @@ impl XrpcRequest {
             location: None,
             query_id: None,
             deferred: false,
+            seq: None,
             call_by_fragment: false,
             calls: Vec::new(),
         }
@@ -103,12 +109,19 @@ impl XrpcRequest {
         if self.deferred {
             doc.set_attribute(req, QName::local("updCall"), "deferred");
         }
+        if let Some(seq) = self.seq {
+            doc.set_attribute(req, QName::local("seq"), seq.to_string());
+        }
         doc.append_child(body, req);
 
         if let Some(qid) = &self.query_id {
             let q = doc.create_element(xrpc("queryID"));
             doc.set_attribute(q, QName::local("host"), &qid.host);
-            doc.set_attribute(q, QName::local("timestamp"), qid.timestamp_millis.to_string());
+            doc.set_attribute(
+                q,
+                QName::local("timestamp"),
+                qid.timestamp_millis.to_string(),
+            );
             doc.set_attribute(q, QName::local("timeout"), qid.timeout_secs.to_string());
             doc.append_child(req, q);
         }
@@ -286,6 +299,7 @@ fn parse_request(doc: &Document, req: NodeId) -> XdmResult<XrpcRequest> {
         .map_err(|_| XdmError::xrpc("bad arity attribute"))?;
     let location = doc.attr_local(req, "location").map(|s| s.to_string());
     let deferred = doc.attr_local(req, "updCall") == Some("deferred");
+    let seq = doc.attr_local(req, "seq").and_then(|s| s.parse().ok());
     let mut out = XrpcRequest {
         module,
         method,
@@ -293,6 +307,7 @@ fn parse_request(doc: &Document, req: NodeId) -> XdmResult<XrpcRequest> {
         location,
         query_id: None,
         deferred,
+        seq,
         call_by_fragment: false,
         calls: Vec::new(),
     };
@@ -380,10 +395,7 @@ fn req_attr(doc: &Document, el: NodeId, name: &str) -> XdmResult<String> {
 }
 
 fn has_name(doc: &Document, el: NodeId, uri: &str, local: &str) -> bool {
-    doc.node(el)
-        .name
-        .as_ref()
-        .is_some_and(|n| n.is(uri, local))
+    doc.node(el).name.as_ref().is_some_and(|n| n.is(uri, local))
 }
 
 /// Open the standard envelope with all namespace declarations the paper's
@@ -495,6 +507,22 @@ mod tests {
         let xml = req.to_xml().unwrap();
         match parse_message(&xml).unwrap() {
             XrpcMessage::Request(r) => assert!(r.deferred),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn seq_number_roundtrip() {
+        let mut req = film_request();
+        req.seq = Some(17);
+        let xml = req.to_xml().unwrap();
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Request(r) => assert_eq!(r.seq, Some(17)),
+            other => panic!("{other:?}"),
+        }
+        // absent attribute parses to None
+        match parse_message(&film_request().to_xml().unwrap()).unwrap() {
+            XrpcMessage::Request(r) => assert_eq!(r.seq, None),
             other => panic!("{other:?}"),
         }
     }

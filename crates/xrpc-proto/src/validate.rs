@@ -160,12 +160,7 @@ fn single_element_child(doc: &Document, parent: NodeId) -> XdmResult<NodeId> {
 }
 
 fn expect_name(doc: &Document, el: NodeId, uri: &str, local: &str) -> XdmResult<()> {
-    if doc
-        .node(el)
-        .name
-        .as_ref()
-        .is_some_and(|n| n.is(uri, local))
-    {
+    if doc.node(el).name.as_ref().is_some_and(|n| n.is(uri, local)) {
         Ok(())
     } else {
         Err(XdmError::xrpc(format!("expected {{{uri}}}{local}")))

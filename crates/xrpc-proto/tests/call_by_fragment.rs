@@ -110,7 +110,10 @@ fn self_reference_and_attribute_paths() {
     let p0 = back.calls[0][0].items()[0].as_node().unwrap().clone();
     let p1 = back.calls[0][1].items()[0].as_node().unwrap().clone();
     let p2 = back.calls[0][2].items()[0].as_node().unwrap().clone();
-    assert!(p0.same_node(&p1), "self reference resolves to the same node");
+    assert!(
+        p0.same_node(&p1),
+        "self reference resolves to the same node"
+    );
     assert_eq!(p2.kind(), xmldom::NodeKind::Attribute);
     assert_eq!(p2.string_value(), "v");
     assert_eq!(p2.parent().unwrap().id, p0.id);
@@ -123,8 +126,14 @@ fn unrelated_parameters_stay_by_value() {
     let mut req = XrpcRequest::new("m", "f", 2);
     req.call_by_fragment = true;
     req.push_call(vec![
-        Sequence::one(Item::Node(NodeHandle::new(d1.clone(), d1.children(d1.root())[0]))),
-        Sequence::one(Item::Node(NodeHandle::new(d2.clone(), d2.children(d2.root())[0]))),
+        Sequence::one(Item::Node(NodeHandle::new(
+            d1.clone(),
+            d1.children(d1.root())[0],
+        ))),
+        Sequence::one(Item::Node(NodeHandle::new(
+            d2.clone(),
+            d2.children(d2.root())[0],
+        ))),
     ]);
     let xml = req.to_xml().unwrap();
     assert!(!xml.contains("xrpc:nodeid"));

@@ -31,7 +31,11 @@ fn balance(peer: &Peer, id: &str) -> String {
     let doc = peer.docs.get("accounts.xml").unwrap();
     let mut found = String::new();
     for n in doc.all_ids() {
-        if doc.node(n).name.as_ref().is_some_and(|q| q.local == "account")
+        if doc
+            .node(n)
+            .name
+            .as_ref()
+            .is_some_and(|q| q.local == "account")
             && doc.attr_local(n, "id") == Some(id)
         {
             found = doc.string_value(n).trim().to_string();
@@ -48,7 +52,9 @@ fn main() {
         p.register_module(ACCOUNTS_MODULE).unwrap();
         p.add_document(
             "accounts.xml",
-            &format!(r#"<accounts><account id="{who}"><balance>100</balance></account></accounts>"#),
+            &format!(
+                r#"<accounts><account id="{who}"><balance>100</balance></account></accounts>"#
+            ),
         )
         .unwrap();
         p.set_transport(net.clone());

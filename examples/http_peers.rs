@@ -50,5 +50,7 @@ fn main() {
             m.bytes_received
         );
     }
-    println!("\nBulk RPC amortizes every per-request cost: TCP handshake, HTTP framing, SOAP parsing.");
+    println!(
+        "\nBulk RPC amortizes every per-request cost: TCP handshake, HTTP framing, SOAP parsing."
+    );
 }

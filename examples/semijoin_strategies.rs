@@ -57,7 +57,9 @@ fn main() {
 
         let query = strategy.query(B_URI, A_URI);
         let t0 = Instant::now();
-        let res = a.execute(&query).expect(strategy.label());
+        let res = a
+            .execute(&query)
+            .unwrap_or_else(|_| panic!("{}", strategy.label()));
         let elapsed = t0.elapsed();
         let m = net.metrics.snapshot();
         let results = res

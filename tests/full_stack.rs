@@ -90,7 +90,10 @@ fn wrapper_and_peer_interoperate_over_same_protocol() {
     net.register("xrpc://native", native.soap_handler());
 
     let wrapped = XrpcWrapper::new();
-    wrapped.modules.register_source(xmark::film_module()).unwrap();
+    wrapped
+        .modules
+        .register_source(xmark::film_module())
+        .unwrap();
     wrapped
         .docs
         .insert("filmDB.xml", xmldom::parse(xmark::film_db()).unwrap());
@@ -150,12 +153,14 @@ fn xmark_workload_full_pipeline() {
     };
     let net = Arc::new(SimNetwork::new(NetProfile::instant()));
     let a = Peer::new("xrpc://a", EngineKind::Rel);
-    a.add_document("persons.xml", &xmark::persons_xml(&params)).unwrap();
+    a.add_document("persons.xml", &xmark::persons_xml(&params))
+        .unwrap();
     a.register_module(distq::MODULE_B).unwrap();
     a.set_transport(net.clone());
     net.register("xrpc://a", a.soap_handler());
     let b = Peer::new("xrpc://b", EngineKind::Tree);
-    b.add_document("auctions.xml", &xmark::auctions_xml(&params)).unwrap();
+    b.add_document("auctions.xml", &xmark::auctions_xml(&params))
+        .unwrap();
     b.register_module(distq::MODULE_B).unwrap();
     b.set_transport(net.clone());
     net.register("xrpc://b", b.soap_handler());

@@ -1,6 +1,11 @@
 //! Property-based tests over the core invariants of the reproduction:
 //! parser/serializer fixpoints, marshaling roundtrips, bulk split/merge
 //! order preservation, engine equivalence and decimal arithmetic laws.
+//!
+//! Gated behind the `proptests` feature: the `proptest` crate cannot be
+//! vendored offline (see vendor/README.md). To run, restore the
+//! `proptest` dev-dependency and `cargo test --features proptests`.
+#![cfg(feature = "proptests")]
 
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -35,10 +40,15 @@ enum Tree {
 
 fn tree_strategy() -> impl Strategy<Value = Tree> {
     let leaf = prop_oneof![
-        text_content().prop_filter("no empty text", |t| !t.trim().is_empty()).prop_map(Tree::Text),
+        text_content()
+            .prop_filter("no empty text", |t| !t.trim().is_empty())
+            .prop_map(Tree::Text),
         "[ -~&&[^<>&'\"-]]{0,10}".prop_map(Tree::Comment),
-        (elem_name(), prop::collection::vec((elem_name(), text_content()), 0..3)).prop_map(
-            |(name, mut attrs)| {
+        (
+            elem_name(),
+            prop::collection::vec((elem_name(), text_content()), 0..3)
+        )
+            .prop_map(|(name, mut attrs)| {
                 attrs.dedup_by(|a, b| a.0 == b.0);
                 // drop duplicate attribute names entirely
                 let mut seen = std::collections::HashSet::new();
@@ -48,8 +58,7 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
                     attrs,
                     children: vec![],
                 }
-            }
-        ),
+            }),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         (

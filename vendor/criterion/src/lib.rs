@@ -1,0 +1,180 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Keeps the bench *definitions* compiling and runnable: `cargo bench`
+//! executes each benchmark a fixed small number of iterations and prints
+//! mean wall-clock time per iteration. No statistics, plots, or baseline
+//! comparison — swap the real criterion back in for publication-grade
+//! numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        run_one("", &id.to_string(), self.sample_size, &mut f);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&self.name, &id.to_string(), self.sample_size, &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(
+            &self.name,
+            &id.label,
+            self.sample_size,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: samples as u64,
+        elapsed: Duration::ZERO,
+        measured: 0,
+    };
+    f(&mut b);
+    let full = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    if b.measured > 0 {
+        let per_iter = b.elapsed / b.measured as u32;
+        println!(
+            "bench {full:<50} {per_iter:>12?}/iter ({} iters)",
+            b.measured
+        );
+    } else {
+        println!("bench {full:<50} (no measurement)");
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    measured: u64,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed += t0.elapsed();
+        self.measured += self.iters;
+    }
+}
+
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+}
+
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() { $( $group(); )+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_measures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_function("f", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert_eq!(ran, 3);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &x| {
+            b.iter(|| assert_eq!(x, 7))
+        });
+    }
+}
