@@ -326,13 +326,19 @@ impl Peer {
         // redelivers the identical request; merging its ∆ again would
         // double-insert or trip XQUF compatibility at Prepare. An updating
         // function's results are empty by XQUF, so the lost response can be
-        // resynthesized without re-evaluating.
-        if req.deferred && prepared.decl.updating {
+        // resynthesized without re-evaluating — but only if the original
+        // execution *succeeded*: the hash is recorded after the merge (see
+        // below), so a request that faulted re-evaluates on redelivery
+        // instead of being masked as success. The replayed response carries
+        // the original's participating-peer set so the originator's 2PC
+        // participant list stays complete even when nested calls were made.
+        let track_merge = req.deferred && prepared.decl.updating;
+        if track_merge {
             if let Some(s) = &snap {
-                if !s.merged_requests.lock().insert(request_hash) {
+                if let Some(peers) = s.merged_requests.lock().get(&request_hash) {
                     let mut resp = XrpcResponse::new(req.module, req.method);
                     resp.results = vec![Sequence::empty(); req.calls.len()];
-                    resp.participating_peers = vec![self.name()];
+                    resp.participating_peers = peers.clone();
                     return Ok(resp);
                 }
             }
@@ -381,7 +387,7 @@ impl Peer {
         if !pul_total.is_empty() {
             if req.deferred {
                 // rule R'Fu: defer ∆ until 2PC commit
-                let snap = snap.ok_or_else(|| {
+                let snap = snap.as_ref().ok_or_else(|| {
                     XdmError::xrpc("deferred updates require a queryID (isolation)")
                 })?;
                 snap.pul.lock().merge(pul_total);
@@ -391,8 +397,6 @@ impl Peer {
             }
         }
 
-        let mut resp = XrpcResponse::new(req.module, req.method);
-        resp.results = results;
         // Piggyback the peers this handling (transitively) involved.
         let mut peers: Vec<String> = nested_client
             .map(|c| c.participants_snapshot())
@@ -400,6 +404,18 @@ impl Peer {
         peers.push(self.name());
         peers.sort();
         peers.dedup();
+
+        // Everything merged successfully — only now record the request as
+        // seen, so redelivery of a *failed* execution re-evaluates rather
+        // than replaying a synthesized success.
+        if track_merge {
+            if let Some(s) = &snap {
+                s.merged_requests.lock().insert(request_hash, peers.clone());
+            }
+        }
+
+        let mut resp = XrpcResponse::new(req.module, req.method);
+        resp.results = results;
         resp.participating_peers = peers;
         Ok(resp)
     }

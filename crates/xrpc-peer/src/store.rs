@@ -42,11 +42,16 @@ pub struct QuerySnapshot {
     /// Set exactly once when the decision is first applied; guards against
     /// double-applying ∆_q when a Commit is redelivered concurrently.
     pub decided: Mutex<Option<Decision>>,
-    /// Hashes of deferred-update requests whose ∆ was already merged into
-    /// [`pul`](Self::pul) — the at-most-once guard that makes transport
-    /// redelivery of deferred updates safe (a double merge would either
-    /// double-insert or trip XQUF compatibility at Prepare).
-    pub merged_requests: Mutex<std::collections::HashSet<u64>>,
+    /// Deferred-update requests whose ∆ was already merged into
+    /// [`pul`](Self::pul), keyed by request hash and mapped to the
+    /// participating-peer set of the original response — the at-most-once
+    /// guard that makes transport redelivery of deferred updates safe (a
+    /// double merge would either double-insert or trip XQUF compatibility
+    /// at Prepare). Recorded only after the merge *succeeded*, so a
+    /// redelivered request that previously faulted re-evaluates instead of
+    /// being masked as success; the stored peer set lets the replayed
+    /// response carry the same 2PC participants the lost original did.
+    pub merged_requests: Mutex<HashMap<u64, Vec<String>>>,
 }
 
 impl QuerySnapshot {
@@ -126,7 +131,7 @@ impl SnapshotManager {
             pul: Mutex::new(PendingUpdateList::new()),
             prepared: Mutex::new(false),
             decided: Mutex::new(None),
-            merged_requests: Mutex::new(std::collections::HashSet::new()),
+            merged_requests: Mutex::new(HashMap::new()),
         });
         active.insert(key, snapshot.clone());
         Ok(snapshot)

@@ -27,6 +27,14 @@ pub const METHOD_ABORT: &str = "Abort";
 pub struct TwoPcConfig {
     /// Wall-clock budget for the prepare phase. Overrunning it flips the
     /// decision to abort — safe, since nothing has committed yet.
+    ///
+    /// The coordinator joins all prepare threads before checking this
+    /// deadline, so the *hard* bound on the phase comes from the
+    /// transport's own per-call deadline / read timeout: configure the
+    /// transport (e.g. `RetryPolicy::call_deadline`, `HttpConfig` read
+    /// timeout) shorter than this value, or a hung `send_control` will
+    /// hold the coordinator past the deadline and the check merely flips
+    /// the already-late outcome to abort post hoc.
     pub prepare_deadline: Duration,
     /// Delivery attempts for the Commit/Abort decision per participant
     /// (including the first). Participants answer decision redeliveries
@@ -122,16 +130,25 @@ pub fn run_two_phase_commit_with(
             })
         }
         None => {
+            // Attempt delivery to *every* participant even when one
+            // exhausts its redelivery budget — short-circuiting would leave
+            // the rest holding prepared state without ever hearing the
+            // decision, widening the mixed-outcome window beyond the one
+            // unreachable peer. Failures are aggregated into a single
+            // heuristic-hazard error afterward (those participants keep
+            // their prepared logs).
+            let mut hazards: Vec<String> = Vec::new();
             for p in participants {
-                // A commit failure after unanimous prepare and exhausted
-                // redelivery is a heuristic hazard; we surface it as an
-                // error (the participant keeps its prepared log).
-                deliver_decision(client, p, METHOD_COMMIT, qid, config).map_err(|e| {
-                    XdmError::xrpc(format!(
-                        "2PC commit failed at `{p}` after unanimous prepare and {} delivery attempts: {e}",
-                        config.decision_max_attempts
-                    ))
-                })?;
+                if let Err(e) = deliver_decision(client, p, METHOD_COMMIT, qid, config) {
+                    hazards.push(format!("`{p}`: {e}"));
+                }
+            }
+            if !hazards.is_empty() {
+                return Err(XdmError::xrpc(format!(
+                    "2PC commit undeliverable after unanimous prepare and {} delivery attempts at: {}",
+                    config.decision_max_attempts,
+                    hazards.join("; ")
+                )));
             }
             Ok(CommitOutcome::Committed {
                 participants: participants.len(),
@@ -361,5 +378,49 @@ mod tests {
         // both deliveries reached b (responses lost) — the hazard is about
         // the coordinator's knowledge, not the participant's state
         assert_eq!(b[1].load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn commit_still_reaches_later_participants_when_one_exhausts_budget() {
+        let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+        let a = participant(&net, "xrpc://a", false);
+        let b = participant(&net, "xrpc://b", false);
+        // a: Prepare passes, every Commit delivery's response is lost
+        net.inject_fault_script(
+            "xrpc://a",
+            [
+                xrpc_net::SimFault::LatencySpike(Duration::ZERO),
+                xrpc_net::SimFault::DropResponse,
+                xrpc_net::SimFault::DropResponse,
+            ],
+        );
+        let client = XrpcClient::new(net);
+        let cfg = TwoPcConfig {
+            decision_max_attempts: 2,
+            decision_backoff: Duration::from_millis(1),
+            ..TwoPcConfig::default()
+        };
+        let err = run_two_phase_commit_with(
+            &client,
+            &qid(),
+            &["xrpc://a".to_string(), "xrpc://b".to_string()],
+            &cfg,
+        )
+        .unwrap_err();
+        // the hazard names the participant the coordinator lost track of...
+        assert!(err.message.contains("xrpc://a"), "{}", err.message);
+        assert!(
+            err.message.contains("after unanimous prepare"),
+            "{}",
+            err.message
+        );
+        // ...but b — listed after a — must still have heard the decision,
+        // not been starved by a short-circuit on a's failure
+        assert_eq!(
+            b[1].load(Ordering::SeqCst),
+            1,
+            "b must receive Commit despite a exhausting its budget"
+        );
+        assert_eq!(a[1].load(Ordering::SeqCst), 2, "both deliveries reached a");
     }
 }

@@ -19,6 +19,8 @@ const CHAOS_MODULE: &str = r#"
     declare function t:ping() { "pong" };
     declare updating function t:addEntry($x as xs:string)
     { insert node <e>{$x}</e> into doc("log.xml")/log };
+    declare updating function t:addCascade($x as xs:string)
+    { execute at {"xrpc://c.example.org"} {t:addEntry($x)} };
 "#;
 
 struct Cluster {
@@ -269,4 +271,64 @@ fn redelivered_deferred_update_is_merged_at_most_once() {
         "redelivered Commit must be acknowledged: {c2}"
     );
     assert_eq!(log_count(&cl.b), 2, "no double apply on Commit redelivery");
+}
+
+#[test]
+fn failed_deferred_update_redelivery_is_not_masked_as_success() {
+    // A deferred update whose *evaluation* faults must not be recorded as
+    // merged: if the fault response is lost and the transport redelivers
+    // the request, the peer must fault again — synthesizing a success
+    // would let the originator commit a delta that never merged.
+    let cl = cluster(fast_policy(1), BreakerConfig::default());
+    let qid = xrpc_proto::QueryId::new("origin", 5555, 30);
+    let mut req = xrpc_proto::XrpcRequest::new("test", "addEntry", 1).with_query_id(qid.clone());
+    req.deferred = true;
+    req.seq = Some(1);
+    req.push_call(vec![xdm::Sequence::one(xdm::Item::string("x"))]);
+    let xml = req.to_xml().unwrap();
+
+    // peer a has no log.xml, so evaluating the insert faults
+    let r1 = String::from_utf8(cl.a.handle_soap(xml.as_bytes())).unwrap();
+    assert!(r1.contains("Fault"), "{r1}");
+    // byte-identical redelivery: still a fault, never a synthesized success
+    let r2 = String::from_utf8(cl.a.handle_soap(xml.as_bytes())).unwrap();
+    assert!(r2.contains("Fault"), "{r2}");
+    assert_eq!(
+        cl.a.snapshots.get(&qid).unwrap().pul.lock().len(),
+        0,
+        "nothing must have merged"
+    );
+}
+
+#[test]
+fn replayed_deferred_update_carries_original_participants() {
+    // A deferred update at b that cascades to c involves BOTH peers in the
+    // 2PC participant set. When the response is lost and the request
+    // redelivered, the replayed response must carry the original's full
+    // peer set — resynthesizing it with only b would leave c's prepared
+    // delta without a Commit.
+    let cl = cluster(fast_policy(1), BreakerConfig::default());
+    cl.b.set_transport_raw(cl.net.clone());
+    let qid = xrpc_proto::QueryId::new("origin", 6666, 30);
+    let mut req = xrpc_proto::XrpcRequest::new("test", "addCascade", 1).with_query_id(qid.clone());
+    req.deferred = true;
+    req.seq = Some(1);
+    req.push_call(vec![xdm::Sequence::one(xdm::Item::string("deep"))]);
+    let xml = req.to_xml().unwrap();
+
+    let peers_of = |raw: Vec<u8>| -> Vec<String> {
+        match xrpc_proto::parse_message(std::str::from_utf8(&raw).unwrap()).unwrap() {
+            xrpc_proto::XrpcMessage::Response(r) => r.participating_peers,
+            other => panic!("expected a response, got {other:?}"),
+        }
+    };
+    let first = peers_of(cl.b.handle_soap(xml.as_bytes()));
+    assert!(first.contains(&B_URI.to_string()), "{first:?}");
+    assert!(first.contains(&C_URI.to_string()), "{first:?}");
+    // byte-identical redelivery: deduped, but the peer set must match the
+    // original response, nested participants included
+    let replayed = peers_of(cl.b.handle_soap(xml.as_bytes()));
+    assert_eq!(replayed, first);
+    // and the cascade's delta merged at c exactly once
+    assert_eq!(cl.c.snapshots.get(&qid).unwrap().pul.lock().len(), 1);
 }
