@@ -4,40 +4,78 @@
 //! tables table2        — Table 2: bulk vs one-at-a-time × function cache
 //! tables table3        — Table 3: wrapper (Saxon-role) phase latencies
 //! tables table4        — Table 4: the four Q7 strategies
-//! tables throughput    — §3.3 text: request/response payload MB/s
-//! tables ablation-latency    — A1: bulk advantage across network profiles
+//! tables throughput    — §3.3 text: request/response payload MB/s (alias: e4)
+//! tables ablation-latency    — A1: bulk advantage across network profiles (alias: a1)
 //! tables ablation-isolation  — A2: isolation level overhead
 //! tables all           — everything above
 //! ```
 //!
 //! Numbers are wall-clock milliseconds on this machine; compare *shapes*
 //! with the paper (EXPERIMENTS.md records both).
+//!
+//! `e4` and `a1` also write machine-readable `BENCH_E4.json` /
+//! `BENCH_A1.json` into the current directory, so the perf trajectory is
+//! tracked across PRs instead of living only in prose. `--quick` trims
+//! both sweeps to their cheap points (a seconds-scale CI smoke run).
 
 use std::time::Duration;
 use xrpc_bench::*;
 use xrpc_net::NetProfile;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    match arg.as_str() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    match cmd.as_str() {
         "table2" => table2(),
         "table3" => table3(),
         "table4" => table4(),
-        "throughput" => throughput(),
-        "ablation-latency" => ablation_latency(),
+        "throughput" | "e4" => throughput(quick),
+        "ablation-latency" | "a1" => ablation_latency(quick),
         "ablation-isolation" => ablation_isolation(),
         "all" => {
             table2();
             table3();
             table4();
-            throughput();
-            ablation_latency();
+            throughput(quick);
+            ablation_latency(quick);
             ablation_isolation();
         }
         other => {
             eprintln!("unknown table `{other}`");
             std::process::exit(2);
         }
+    }
+}
+
+/// Hand-rolled JSON writer (the workspace deliberately has no serde):
+/// rows are emitted as an array of flat objects with numeric values.
+fn write_json(path: &str, experiment: &str, title: &str, quick: bool, rows: &[Vec<(&str, f64)>]) {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"experiment\": \"{experiment}\",\n"));
+    out.push_str(&format!("  \"title\": \"{title}\",\n"));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v:.3}"))
+            .collect();
+        out.push_str(&format!(
+            "    {{{}}}{}\n",
+            fields.join(", "),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }
 
@@ -162,14 +200,20 @@ fn table4() {
     println!();
 }
 
-/// §3.3 throughput: request- and response-heavy payload scaling.
-fn throughput() {
-    println!("== Throughput (§3.3 text): payload scaling, MB/s ==");
+/// §3.3 throughput (E4): request- and response-heavy payload scaling.
+fn throughput(quick: bool) {
+    println!("== Throughput (§3.3 text, E4): payload scaling, MB/s ==");
     println!(
         "{:<12} {:>14} {:>14}",
         "payload", "request MB/s", "response MB/s"
     );
-    for kb in [64usize, 256, 1024, 4096] {
+    let payloads: &[usize] = if quick {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    let mut rows = Vec::new();
+    for &kb in payloads {
         let bytes = kb * 1024;
         // request-heavy
         let c = throughput_cluster(bytes);
@@ -181,25 +225,40 @@ fn throughput() {
         c2.net.metrics.reset();
         let (d_resp, _) = time_query(&c2.a, &response_heavy_query());
         let recv = c2.net.metrics.snapshot().bytes_received;
-        println!(
-            "{:<12} {:>14.1} {:>14.1}",
-            format!("{kb} KiB"),
-            mb_per_sec(sent, d_req),
-            mb_per_sec(recv, d_resp)
-        );
+        let req = mb_per_sec(sent, d_req);
+        let resp = mb_per_sec(recv, d_resp);
+        println!("{:<12} {:>14.1} {:>14.1}", format!("{kb} KiB"), req, resp);
+        rows.push(vec![
+            ("payload_kib", kb as f64),
+            ("request_mb_per_s", req),
+            ("response_mb_per_s", resp),
+        ]);
     }
     println!("paper: ~8 MB/s requests, ~14 MB/s responses (CPU-bound on 1Gb/s LAN)");
+    write_json(
+        "BENCH_E4.json",
+        "E4",
+        "request/response payload throughput (MB/s)",
+        quick,
+        &rows,
+    );
     println!();
 }
 
 /// Ablation A1: where does Bulk RPC win? Sweep the link latency.
-fn ablation_latency() {
+fn ablation_latency(quick: bool) {
     println!("== Ablation A1: bulk vs one-at-a-time across link latencies (x=100, msec) ==");
     println!(
         "{:<16} {:>14} {:>10} {:>9}",
         "one-way latency", "one-at-a-time", "bulk", "speedup"
     );
-    for lat_ms in [0.1f64, 1.0, 10.0, 50.0] {
+    let latencies: &[f64] = if quick {
+        &[0.1, 1.0]
+    } else {
+        &[0.1, 1.0, 10.0, 50.0]
+    };
+    let mut rows = Vec::new();
+    for &lat_ms in latencies {
         let profile = NetProfile::with_latency(Duration::from_secs_f64(lat_ms / 1e3));
         let single = {
             let c = echo_cluster(profile, false, true);
@@ -211,14 +270,28 @@ fn ablation_latency() {
             let (d, _) = time_query(&c.a, &echo_query(100));
             d
         };
+        let speedup = ms(single) / ms(bulk).max(0.001);
         println!(
             "{:<16} {:>14.1} {:>10.1} {:>8.1}x",
             format!("{lat_ms} ms"),
             ms(single),
             ms(bulk),
-            ms(single) / ms(bulk).max(0.001)
+            speedup
         );
+        rows.push(vec![
+            ("latency_ms", lat_ms),
+            ("one_at_a_time_ms", ms(single)),
+            ("bulk_ms", ms(bulk)),
+            ("speedup", speedup),
+        ]);
     }
+    write_json(
+        "BENCH_A1.json",
+        "A1",
+        "bulk vs one-at-a-time across link latencies (x=100, ms)",
+        quick,
+        &rows,
+    );
     println!();
 }
 

@@ -1,63 +1,111 @@
 //! XML escaping helpers shared by the serializer and the protocol layer.
+//!
+//! Hot path: every character that needs escaping is ASCII, so we scan raw
+//! bytes and copy clean spans with one `push_str` instead of matching per
+//! `char`. Multi-byte UTF-8 sequences never contain bytes < 0x80, so the
+//! byte scan cannot split a code point.
+
+use std::borrow::Cow;
+
+/// True for bytes that must be escaped inside character data.
+#[inline]
+fn text_special(b: u8) -> bool {
+    matches!(b, b'<' | b'>' | b'&' | b'\r')
+}
+
+/// True for bytes that must be escaped inside a double-quoted attribute.
+#[inline]
+fn attr_special(b: u8) -> bool {
+    matches!(b, b'<' | b'&' | b'"' | b'\t' | b'\n' | b'\r')
+}
+
+#[inline]
+fn text_entity(b: u8) -> &'static str {
+    match b {
+        b'<' => "&lt;",
+        b'>' => "&gt;",
+        b'&' => "&amp;",
+        _ => "&#13;", // \r
+    }
+}
+
+#[inline]
+fn attr_entity(b: u8) -> &'static str {
+    match b {
+        b'<' => "&lt;",
+        b'&' => "&amp;",
+        b'"' => "&quot;",
+        b'\t' => "&#9;",
+        b'\n' => "&#10;",
+        _ => "&#13;", // \r
+    }
+}
+
+/// Core span-copying loop shared by the text and attribute variants.
+#[inline]
+fn push_escaped(
+    out: &mut String,
+    s: &str,
+    special: fn(u8) -> bool,
+    entity: fn(u8) -> &'static str,
+) {
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if special(b) {
+            // Safety of slicing: `start..i` ends on an ASCII special byte,
+            // which is always a char boundary.
+            out.push_str(&s[start..i]);
+            out.push_str(entity(b));
+            start = i + 1;
+        }
+        i += 1;
+    }
+    out.push_str(&s[start..]);
+}
+
+/// Escape character data (text node content) without copying when clean.
+pub fn escape_text_cow(s: &str) -> Cow<'_, str> {
+    if s.bytes().any(text_special) {
+        let mut out = String::with_capacity(s.len() + 8);
+        push_escaped(&mut out, s, text_special, text_entity);
+        Cow::Owned(out)
+    } else {
+        Cow::Borrowed(s)
+    }
+}
+
+/// Escape an attribute value without copying when clean.
+pub fn escape_attr_cow(s: &str) -> Cow<'_, str> {
+    if s.bytes().any(attr_special) {
+        let mut out = String::with_capacity(s.len() + 8);
+        push_escaped(&mut out, s, attr_special, attr_entity);
+        Cow::Owned(out)
+    } else {
+        Cow::Borrowed(s)
+    }
+}
 
 /// Escape character data (text node content).
 pub fn escape_text(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '&' => out.push_str("&amp;"),
-            '\r' => out.push_str("&#13;"),
-            _ => out.push(c),
-        }
-    }
-    out
+    escape_text_cow(s).into_owned()
 }
 
 /// Escape an attribute value (double-quoted).
 pub fn escape_attr(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '<' => out.push_str("&lt;"),
-            '&' => out.push_str("&amp;"),
-            '"' => out.push_str("&quot;"),
-            '\t' => out.push_str("&#9;"),
-            '\n' => out.push_str("&#10;"),
-            '\r' => out.push_str("&#13;"),
-            _ => out.push(c),
-        }
-    }
-    out
+    escape_attr_cow(s).into_owned()
 }
 
 /// Append escaped text without an intermediate allocation.
 pub fn push_escaped_text(out: &mut String, s: &str) {
-    for c in s.chars() {
-        match c {
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '&' => out.push_str("&amp;"),
-            '\r' => out.push_str("&#13;"),
-            _ => out.push(c),
-        }
-    }
+    push_escaped(out, s, text_special, text_entity);
 }
 
 /// Append an escaped attribute value without an intermediate allocation.
 pub fn push_escaped_attr(out: &mut String, s: &str) {
-    for c in s.chars() {
-        match c {
-            '<' => out.push_str("&lt;"),
-            '&' => out.push_str("&amp;"),
-            '"' => out.push_str("&quot;"),
-            '\t' => out.push_str("&#9;"),
-            '\n' => out.push_str("&#10;"),
-            '\r' => out.push_str("&#13;"),
-            _ => out.push(c),
-        }
-    }
+    push_escaped(out, s, attr_special, attr_entity);
 }
 
 #[cfg(test)]
@@ -73,5 +121,35 @@ mod tests {
     fn attr_escaping() {
         assert_eq!(escape_attr("\"x\" <&>"), "&quot;x&quot; &lt;&amp;>");
         assert_eq!(escape_attr("a\nb"), "a&#10;b");
+    }
+
+    #[test]
+    fn clean_strings_borrow() {
+        assert!(matches!(escape_text_cow("plain text"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attr_cow("plain"), Cow::Borrowed(_)));
+        assert!(matches!(escape_text_cow("a<b"), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn carriage_return_and_controls() {
+        assert_eq!(escape_text("a\rb"), "a&#13;b");
+        assert_eq!(escape_attr("a\t\r\nb"), "a&#9;&#13;&#10;b");
+    }
+
+    #[test]
+    fn multibyte_utf8_around_specials() {
+        assert_eq!(escape_text("é<ü&日本語>"), "é&lt;ü&amp;日本語&gt;");
+        assert_eq!(
+            escape_attr("\u{1F600}\"\u{1F600}"),
+            "\u{1F600}&quot;\u{1F600}"
+        );
+    }
+
+    #[test]
+    fn specials_at_boundaries() {
+        assert_eq!(escape_text("<a>"), "&lt;a&gt;");
+        assert_eq!(escape_text("&"), "&amp;");
+        assert_eq!(escape_text(""), "");
+        assert_eq!(escape_attr("\""), "&quot;");
     }
 }

@@ -26,7 +26,9 @@ pub use builder::DocBuilder;
 pub use node::{Document, NodeData, NodeId, NodeKind};
 pub use parser::{parse, parse_with_uri, ParseError};
 pub use qname::QName;
-pub use serialize::{serialize_document, serialize_node, SerializeOpts};
+pub use serialize::{
+    serialize_document, serialize_document_into, serialize_node, serialize_node_into, SerializeOpts,
+};
 
 use std::sync::Arc;
 

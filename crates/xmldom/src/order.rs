@@ -83,9 +83,49 @@ pub fn cmp_handles(a: &NodeHandle, b: &NodeHandle) -> Ordering {
 
 /// Sort handles into document order and remove duplicates (node identity) —
 /// the post-processing every XPath step applies.
+///
+/// For large same-document batches, comparing via [`cmp_handles`] is
+/// quadratic: every comparison rebuilds both root paths, and each path level
+/// does a linear sibling-position scan. Instead we make one preorder pass
+/// over the document assigning each attached node a dense rank, then sort by
+/// that integer key — O(doc + n log n) with O(1) comparisons.
 pub fn sort_dedup(handles: &mut Vec<NodeHandle>) {
+    if handles.len() <= 1 {
+        return;
+    }
+    let same_doc = handles
+        .windows(2)
+        .all(|w| Arc::ptr_eq(&w[0].doc, &w[1].doc));
+    if same_doc && handles.len() >= 8 {
+        let ranks = doc_order_ranks(&handles[0].doc);
+        if handles.iter().all(|h| ranks[h.id.index()] != u32::MAX) {
+            handles.sort_by_key(|h| ranks[h.id.index()]);
+            handles.dedup_by(|a, b| a.same_node(b));
+            return;
+        }
+    }
     handles.sort_by(cmp_handles);
     handles.dedup_by(|a, b| a.same_node(b));
+}
+
+/// Preorder rank per arena slot (document order: an element precedes its
+/// attributes, which precede its children). Detached nodes keep `u32::MAX`.
+fn doc_order_ranks(doc: &Document) -> Vec<u32> {
+    let mut ranks = vec![u32::MAX; doc.len()];
+    let mut next: u32 = 0;
+    let mut stack = vec![doc.root()];
+    while let Some(id) = stack.pop() {
+        ranks[id.index()] = next;
+        next += 1;
+        for &a in doc.attributes(id) {
+            ranks[a.index()] = next;
+            next += 1;
+        }
+        for &c in doc.children(id).iter().rev() {
+            stack.push(c);
+        }
+    }
+    ranks
 }
 
 /// True iff `anc` is an ancestor of `desc` (strict) within one document.

@@ -47,9 +47,48 @@ struct Parser<'a> {
     pos: usize,
 }
 
-/// One in-scope namespace binding frame (per open element).
-struct NsFrame {
+/// In-scope namespace bindings: a flat declaration stack with per-element
+/// frame offsets, so prefix lookup costs O(declarations in scope) rather
+/// than O(element depth) — deep documents with few declarations stay cheap.
+struct NsScope {
+    frame_starts: Vec<usize>,
     decls: Vec<(String, String)>,
+}
+
+impl NsScope {
+    fn new() -> Self {
+        NsScope {
+            frame_starts: Vec::new(),
+            decls: Vec::new(),
+        }
+    }
+
+    fn push_frame(&mut self) {
+        self.frame_starts.push(self.decls.len());
+    }
+
+    fn pop_frame(&mut self) {
+        let start = self.frame_starts.pop().expect("namespace frame underflow");
+        self.decls.truncate(start);
+    }
+
+    /// Declarations of the innermost (current) frame.
+    fn current_frame(&self) -> &[(String, String)] {
+        &self.decls[*self.frame_starts.last().expect("no open frame")..]
+    }
+
+    fn lookup(&self, prefix: &str) -> Option<String> {
+        for (p, u) in self.decls.iter().rev() {
+            if p == prefix {
+                // An empty URI undeclares the prefix.
+                if u.is_empty() {
+                    return None;
+                }
+                return Some(u.clone());
+            }
+        }
+        None
+    }
 }
 
 impl<'a> Parser<'a> {
@@ -99,7 +138,7 @@ impl<'a> Parser<'a> {
         let mut doc = Document::new();
         doc.uri = uri;
         let root = doc.root();
-        let mut ns_stack: Vec<NsFrame> = Vec::new();
+        let mut ns_stack = NsScope::new();
 
         // Prolog: XML decl, misc, doctype.
         self.skip_ws();
@@ -228,11 +267,84 @@ impl<'a> Parser<'a> {
     }
 
     /// `<name attr="v" ...>content</name>` or `<name .../>`.
+    ///
+    /// Iterative (explicit open-element stack): element depth must not be
+    /// bounded by the thread stack — deeply nested wire messages are valid.
     fn parse_element(
         &mut self,
         doc: &mut Document,
-        ns_stack: &mut Vec<NsFrame>,
+        ns_stack: &mut NsScope,
     ) -> Result<NodeId, ParseError> {
+        let (root_elem, raw, self_closing) = self.parse_start_tag(doc, ns_stack)?;
+        if self_closing {
+            return Ok(root_elem);
+        }
+        let mut open: Vec<(NodeId, String)> = vec![(root_elem, raw)];
+        loop {
+            let cur = open.last().unwrap().0;
+            if self.starts_with("</") {
+                self.expect("</")?;
+                let close = self.parse_name()?;
+                let (_, raw_name) = open.pop().unwrap();
+                if close != raw_name {
+                    return self.err(format!(
+                        "mismatched end tag: expected </{}>, found </{}>",
+                        raw_name, close
+                    ));
+                }
+                self.skip_ws();
+                self.expect(">")?;
+                ns_stack.pop_frame();
+                if open.is_empty() {
+                    return Ok(root_elem);
+                }
+            } else if self.starts_with("<!--") {
+                let c = self.parse_comment()?;
+                let n = doc.create_comment(c);
+                doc.append_child(cur, n);
+            } else if self.starts_with("<![CDATA[") {
+                self.expect("<![CDATA[")?;
+                let start = self.pos;
+                match self.input[self.pos..].find("]]>") {
+                    Some(i) => {
+                        let text = self.input[start..start + i].to_string();
+                        self.pos += i + 3;
+                        let n = doc.create_text(text);
+                        doc.append_child(cur, n);
+                    }
+                    None => return self.err("unterminated CDATA section"),
+                }
+            } else if self.starts_with("<?") {
+                let (t, v) = self.parse_pi()?;
+                let n = doc.create_pi(t, v);
+                doc.append_child(cur, n);
+            } else if self.peek() == Some(b'<') {
+                let (kid, kraw, kself) = self.parse_start_tag(doc, ns_stack)?;
+                doc.append_child(cur, kid);
+                if !kself {
+                    open.push((kid, kraw));
+                }
+            } else if self.peek().is_some() {
+                let text = self.parse_text()?;
+                if !text.is_empty() {
+                    let n = doc.create_text(text);
+                    doc.append_child(cur, n);
+                }
+            } else {
+                let raw_name = &open.last().unwrap().1;
+                return self.err(format!("unterminated element <{}>", raw_name));
+            }
+        }
+    }
+
+    /// Parse a start tag: `<name attr="v" ...>` or `<name .../>`. Pushes a
+    /// namespace frame; for self-closing elements the frame is popped before
+    /// returning, otherwise the caller pops it at the matching end tag.
+    fn parse_start_tag(
+        &mut self,
+        doc: &mut Document,
+        ns_stack: &mut NsScope,
+    ) -> Result<(NodeId, String, bool), ParseError> {
         self.expect("<")?;
         let raw_name = self.parse_name()?;
 
@@ -268,22 +380,20 @@ impl<'a> Parser<'a> {
             }
         }
 
-        let mut frame = NsFrame { decls: Vec::new() };
+        ns_stack.push_frame();
         for (n, v) in &raw_attrs {
             if n == "xmlns" {
-                frame.decls.push((String::new(), v.clone()));
+                ns_stack.decls.push((String::new(), v.clone()));
             } else if let Some(p) = n.strip_prefix("xmlns:") {
-                frame.decls.push((p.to_string(), v.clone()));
+                ns_stack.decls.push((p.to_string(), v.clone()));
             }
         }
-        ns_stack.push(frame);
 
         let name = self.resolve_qname(&raw_name, ns_stack, true)?;
         let elem = doc.create_element(name);
         // Record declarations on the element for later (re)serialization and
         // in-scope prefix resolution.
-        let decls = ns_stack.last().unwrap().decls.clone();
-        doc.node_mut(elem).ns_decls = decls;
+        doc.node_mut(elem).ns_decls = ns_stack.current_frame().to_vec();
 
         let mut xsi_type: Option<String> = None;
         for (n, v) in &raw_attrs {
@@ -300,60 +410,9 @@ impl<'a> Parser<'a> {
         doc.node_mut(elem).type_annotation = xsi_type;
 
         if self_closing {
-            ns_stack.pop();
-            return Ok(elem);
+            ns_stack.pop_frame();
         }
-
-        // Content.
-        loop {
-            if self.starts_with("</") {
-                self.expect("</")?;
-                let close = self.parse_name()?;
-                if close != raw_name {
-                    return self.err(format!(
-                        "mismatched end tag: expected </{}>, found </{}>",
-                        raw_name, close
-                    ));
-                }
-                self.skip_ws();
-                self.expect(">")?;
-                break;
-            } else if self.starts_with("<!--") {
-                let c = self.parse_comment()?;
-                let n = doc.create_comment(c);
-                doc.append_child(elem, n);
-            } else if self.starts_with("<![CDATA[") {
-                self.expect("<![CDATA[")?;
-                let start = self.pos;
-                match self.input[self.pos..].find("]]>") {
-                    Some(i) => {
-                        let text = self.input[start..start + i].to_string();
-                        self.pos += i + 3;
-                        let n = doc.create_text(text);
-                        doc.append_child(elem, n);
-                    }
-                    None => return self.err("unterminated CDATA section"),
-                }
-            } else if self.starts_with("<?") {
-                let (t, v) = self.parse_pi()?;
-                let n = doc.create_pi(t, v);
-                doc.append_child(elem, n);
-            } else if self.peek() == Some(b'<') {
-                let kid = self.parse_element(doc, ns_stack)?;
-                doc.append_child(elem, kid);
-            } else if self.peek().is_some() {
-                let text = self.parse_text()?;
-                if !text.is_empty() {
-                    let n = doc.create_text(text);
-                    doc.append_child(elem, n);
-                }
-            } else {
-                return self.err(format!("unterminated element <{}>", raw_name));
-            }
-        }
-
-        ns_stack.pop();
-        Ok(elem)
+        Ok((elem, raw_name, self_closing))
     }
 
     fn parse_attr_value(&mut self) -> Result<String, ParseError> {
@@ -364,17 +423,23 @@ impl<'a> Parser<'a> {
         self.pos += 1;
         let mut out = String::new();
         loop {
+            // Copy the clean span in one append; the delimiters are all
+            // ASCII so the byte scan cannot split a UTF-8 sequence.
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == quote || b == b'&' || b == b'<' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(&self.input[start..self.pos]);
             match self.peek() {
                 Some(c) if c == quote => {
                     self.pos += 1;
                     return Ok(out);
                 }
                 Some(b'&') => out.push(self.parse_entity()?),
-                Some(b'<') => return self.err("`<` not allowed in attribute value"),
-                Some(_) => {
-                    let c = self.next_char()?;
-                    out.push(c);
-                }
+                Some(_) => return self.err("`<` not allowed in attribute value"),
                 None => return self.err("unterminated attribute value"),
             }
         }
@@ -383,21 +448,18 @@ impl<'a> Parser<'a> {
     fn parse_text(&mut self) -> Result<String, ParseError> {
         let mut out = String::new();
         loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'<' || b == b'&' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(&self.input[start..self.pos]);
             match self.peek() {
-                Some(b'<') | None => return Ok(out),
                 Some(b'&') => out.push(self.parse_entity()?),
-                Some(_) => out.push(self.next_char()?),
+                _ => return Ok(out),
             }
-        }
-    }
-
-    fn next_char(&mut self) -> Result<char, ParseError> {
-        match self.input[self.pos..].chars().next() {
-            Some(c) => {
-                self.pos += c.len_utf8();
-                Ok(c)
-            }
-            None => self.err("unexpected end of input"),
         }
     }
 
@@ -445,7 +507,7 @@ impl<'a> Parser<'a> {
     fn resolve_qname(
         &self,
         raw: &str,
-        ns_stack: &[NsFrame],
+        ns_stack: &NsScope,
         is_element: bool,
     ) -> Result<QName, ParseError> {
         let (prefix, local) = match raw.split_once(':') {
@@ -462,7 +524,7 @@ impl<'a> Parser<'a> {
         };
         let ns_uri = match prefix {
             Some("xml") => Some(NS_XML.to_string()),
-            Some(p) => match lookup_prefix(ns_stack, p) {
+            Some(p) => match ns_stack.lookup(p) {
                 Some(u) => Some(u),
                 None => {
                     return Err(ParseError {
@@ -473,7 +535,7 @@ impl<'a> Parser<'a> {
             },
             // Unprefixed elements pick up the default namespace;
             // unprefixed attributes never do (XML Namespaces §6.2).
-            None if is_element => lookup_prefix(ns_stack, ""),
+            None if is_element => ns_stack.lookup(""),
             None => None,
         };
         Ok(QName {
@@ -482,20 +544,6 @@ impl<'a> Parser<'a> {
             local: local.to_string(),
         })
     }
-}
-
-fn lookup_prefix(ns_stack: &[NsFrame], prefix: &str) -> Option<String> {
-    for frame in ns_stack.iter().rev() {
-        for (p, u) in frame.decls.iter().rev() {
-            if p == prefix {
-                if u.is_empty() {
-                    return None;
-                }
-                return Some(u.clone());
-            }
-        }
-    }
-    None
 }
 
 #[cfg(test)]
@@ -629,5 +677,39 @@ mod tests {
     fn utf8_content() {
         let d = parse("<a>héllo wörld ✓</a>").unwrap();
         assert_eq!(d.string_value(root_elem(&d)), "héllo wörld ✓");
+    }
+
+    #[test]
+    fn deeply_nested_document_parses_without_overflow() {
+        // 100k-deep element chain: the parser must not recurse per depth.
+        let depth = 100_000;
+        let mut s = String::with_capacity(depth * 7 + 16);
+        for _ in 0..depth {
+            s.push_str("<d>");
+        }
+        s.push('x');
+        for _ in 0..depth {
+            s.push_str("</d>");
+        }
+        let d = parse(&s).unwrap();
+        let mut cur = root_elem(&d);
+        let mut seen = 1usize;
+        while let Some(&c) = d
+            .children(cur)
+            .iter()
+            .find(|&&c| d.kind(c) == NodeKind::Element)
+        {
+            cur = c;
+            seen += 1;
+        }
+        assert_eq!(seen, depth);
+        assert_eq!(d.string_value(cur), "x");
+    }
+
+    #[test]
+    fn deep_unterminated_rejected_with_typed_error() {
+        let s = "<d>".repeat(50_000);
+        let err = parse(&s).unwrap_err();
+        assert!(err.message.contains("unterminated"));
     }
 }

@@ -1,5 +1,10 @@
 //! XML serialization (the inverse of the parser, used for wire messages and
 //! for `fn:put` / debugging output).
+//!
+//! Serialization is iterative (explicit work stack, not recursion) so deeply
+//! nested documents cannot overflow the thread stack, and every entry point
+//! has an `_into` variant that appends to a caller-supplied buffer so the
+//! hot message path can reuse one allocation across calls.
 
 use crate::escape::{push_escaped_attr, push_escaped_text};
 use crate::node::{Document, NodeId, NodeKind};
@@ -17,6 +22,12 @@ pub struct SerializeOpts {
 /// Serialize a whole document.
 pub fn serialize_document(doc: &Document, opts: &SerializeOpts) -> String {
     let mut out = String::new();
+    serialize_document_into(doc, opts, &mut out);
+    out
+}
+
+/// Serialize a whole document, appending to `out` (reusable buffer).
+pub fn serialize_document_into(doc: &Document, opts: &SerializeOpts, out: &mut String) {
     if opts.xml_decl {
         out.push_str("<?xml version=\"1.0\" encoding=\"utf-8\"?>");
         if opts.indent > 0 {
@@ -29,9 +40,8 @@ pub fn serialize_document(doc: &Document, opts: &SerializeOpts) -> String {
             out.push('\n');
         }
         first = false;
-        write_node(doc, c, opts, 0, &mut out);
+        write_node(doc, c, opts, 0, out);
     }
-    out
 }
 
 /// Serialize one node (subtree).
@@ -41,56 +51,91 @@ pub fn serialize_node(doc: &Document, id: NodeId, opts: &SerializeOpts) -> Strin
     out
 }
 
+/// Serialize one node (subtree), appending to `out` (reusable buffer).
+pub fn serialize_node_into(doc: &Document, id: NodeId, opts: &SerializeOpts, out: &mut String) {
+    write_node(doc, id, opts, 0, out);
+}
+
+/// Work items for the iterative serializer.
+enum Work {
+    /// Serialize this node (subtree) at the given depth.
+    Node(NodeId, usize),
+    /// Emit the closing tag of an element.
+    Close(NodeId, usize),
+    /// Pretty mode: newline followed by `depth * indent` spaces.
+    Break(usize),
+}
+
 fn write_node(doc: &Document, id: NodeId, opts: &SerializeOpts, depth: usize, out: &mut String) {
-    match doc.kind(id) {
-        NodeKind::Document => {
-            for &c in doc.children(id) {
-                write_node(doc, c, opts, depth, out);
+    let mut stack = vec![Work::Node(id, depth)];
+    while let Some(work) = stack.pop() {
+        match work {
+            Work::Break(depth) => {
+                out.push('\n');
+                for _ in 0..depth * opts.indent {
+                    out.push(' ');
+                }
             }
-        }
-        NodeKind::Element => write_element(doc, id, opts, depth, out),
-        NodeKind::Text => push_escaped_text(out, &doc.node(id).value),
-        NodeKind::Comment => {
-            out.push_str("<!--");
-            out.push_str(&doc.node(id).value);
-            out.push_str("-->");
-        }
-        NodeKind::ProcessingInstruction => {
-            out.push_str("<?");
-            out.push_str(
-                doc.node(id)
-                    .name
-                    .as_ref()
-                    .map(|n| n.local.as_str())
-                    .unwrap_or(""),
-            );
-            let v = &doc.node(id).value;
-            if !v.is_empty() {
-                out.push(' ');
-                out.push_str(v);
+            Work::Close(id, _depth) => {
+                out.push_str("</");
+                out.push_str(&doc.node(id).name.as_ref().expect("element name").lexical());
+                out.push('>');
             }
-            out.push_str("?>");
-        }
-        NodeKind::Attribute => {
-            // A standalone attribute serializes as name="value" (used by the
-            // XRPC <attribute> wrapper).
-            let d = doc.node(id);
-            out.push_str(&d.name.as_ref().map(|n| n.lexical()).unwrap_or_default());
-            out.push_str("=\"");
-            push_escaped_attr(out, &d.value);
-            out.push('"');
+            Work::Node(id, depth) => match doc.kind(id) {
+                NodeKind::Document => {
+                    for &c in doc.children(id).iter().rev() {
+                        stack.push(Work::Node(c, depth));
+                    }
+                }
+                NodeKind::Element => write_element_open(doc, id, opts, depth, out, &mut stack),
+                NodeKind::Text => push_escaped_text(out, &doc.node(id).value),
+                NodeKind::Comment => {
+                    out.push_str("<!--");
+                    out.push_str(&doc.node(id).value);
+                    out.push_str("-->");
+                }
+                NodeKind::ProcessingInstruction => {
+                    out.push_str("<?");
+                    out.push_str(
+                        doc.node(id)
+                            .name
+                            .as_ref()
+                            .map(|n| n.local.as_str())
+                            .unwrap_or(""),
+                    );
+                    let v = &doc.node(id).value;
+                    if !v.is_empty() {
+                        out.push(' ');
+                        out.push_str(v);
+                    }
+                    out.push_str("?>");
+                }
+                NodeKind::Attribute => {
+                    // A standalone attribute serializes as name="value" (used
+                    // by the XRPC <attribute> wrapper).
+                    let d = doc.node(id);
+                    out.push_str(&d.name.as_ref().map(|n| n.lexical()).unwrap_or_default());
+                    out.push_str("=\"");
+                    push_escaped_attr(out, &d.value);
+                    out.push('"');
+                }
+            },
         }
     }
 }
 
-fn write_element(doc: &Document, id: NodeId, opts: &SerializeOpts, depth: usize, out: &mut String) {
+/// Emit the open tag of an element and schedule its children + close tag.
+fn write_element_open(
+    doc: &Document,
+    id: NodeId,
+    opts: &SerializeOpts,
+    depth: usize,
+    out: &mut String,
+    stack: &mut Vec<Work>,
+) {
     let d = doc.node(id);
-    let name = d.name.as_ref().expect("element has a name").lexical();
-    if opts.indent > 0 && depth > 0 {
-        // caller already placed us; indentation is applied to children below
-    }
     out.push('<');
-    out.push_str(&name);
+    out.push_str(&d.name.as_ref().expect("element has a name").lexical());
     for (p, u) in &d.ns_decls {
         if p.is_empty() {
             out.push_str(" xmlns=\"");
@@ -116,24 +161,17 @@ fn write_element(doc: &Document, id: NodeId, opts: &SerializeOpts, depth: usize,
     }
     out.push('>');
     let pretty = opts.indent > 0 && d.children.iter().all(|&c| doc.kind(c) != NodeKind::Text);
-    for &c in doc.children(id) {
-        if pretty {
-            out.push('\n');
-            for _ in 0..(depth + 1) * opts.indent {
-                out.push(' ');
-            }
-        }
-        write_node(doc, c, opts, depth + 1, out);
-    }
+    // Scheduled in reverse so the stack pops them in document order.
+    stack.push(Work::Close(id, depth));
     if pretty {
-        out.push('\n');
-        for _ in 0..depth * opts.indent {
-            out.push(' ');
+        stack.push(Work::Break(depth));
+    }
+    for &c in d.children.iter().rev() {
+        stack.push(Work::Node(c, depth + 1));
+        if pretty {
+            stack.push(Work::Break(depth + 1));
         }
     }
-    out.push_str("</");
-    out.push_str(&name);
-    out.push('>');
 }
 
 #[cfg(test)]
@@ -200,5 +238,39 @@ mod tests {
         let once = roundtrip(s);
         let twice = roundtrip(&once);
         assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn into_variant_appends_to_existing_buffer() {
+        let d = parse("<a><b/></a>").unwrap();
+        let mut buf = String::from("PREFIX:");
+        serialize_document_into(&d, &SerializeOpts::default(), &mut buf);
+        assert_eq!(buf, "PREFIX:<a><b/></a>");
+        // Reuse after clear keeps capacity and produces identical bytes.
+        let cap = buf.capacity();
+        buf.clear();
+        serialize_document_into(&d, &SerializeOpts::default(), &mut buf);
+        assert_eq!(buf, "<a><b/></a>");
+        assert!(buf.capacity() >= cap.min(buf.len()));
+    }
+
+    #[test]
+    fn deeply_nested_document_serializes_without_overflow() {
+        // 100k-deep element chain: the serializer must not recurse per depth.
+        let depth = 100_000;
+        let mut d = Document::new();
+        let mut cur = d.root();
+        for _ in 0..depth {
+            let e = d.create_element(crate::QName::local("d"));
+            d.append_child(cur, e);
+            cur = e;
+        }
+        let out = serialize_node(&d, d.children(d.root())[0], &SerializeOpts::default());
+        assert_eq!(
+            out.len(),
+            depth * "<d>".len() + (depth - 1) * "</d>".len() + "/".len()
+        );
+        assert!(out.starts_with("<d><d>"));
+        assert!(out.ends_with("</d></d>"));
     }
 }

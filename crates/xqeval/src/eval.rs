@@ -975,7 +975,26 @@ impl<'e> Evaluator<'e> {
             ));
         }
         if atomic_results.is_empty() {
-            sort_dedup(&mut node_results);
+            // A forward-axis step over a single context node is already in
+            // document order with no duplicates (axes emit forward axes in
+            // document order; predicates only filter) — skip the sort.
+            let already_ordered = size <= 1
+                && matches!(
+                    rhs,
+                    Expr::AxisStep {
+                        axis: Axis::Child
+                            | Axis::Descendant
+                            | Axis::DescendantOrSelf
+                            | Axis::Attribute
+                            | Axis::SelfAxis
+                            | Axis::FollowingSibling
+                            | Axis::Following,
+                        ..
+                    }
+                );
+            if !already_ordered {
+                sort_dedup(&mut node_results);
+            }
             Ok(Sequence::from_items(
                 node_results.into_iter().map(Item::Node).collect(),
             ))

@@ -5,6 +5,7 @@
 //! accepted body size are configurable via [`HttpConfig`].
 
 use crate::metrics::NetMetrics;
+use crate::pool::ConnectionPool;
 use crate::{NetError, NetErrorKind, Transport};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -26,6 +27,13 @@ pub struct HttpConfig {
     /// Maximum request body the server accepts; a larger `Content-Length`
     /// is rejected with `413` *before* allocating the buffer.
     pub max_body_bytes: usize,
+    /// How many idle keep-alive connections [`HttpTransport`] keeps per
+    /// destination. `0` disables pooling (every request opens a fresh
+    /// connection and sends `Connection: close`, the pre-pool behavior).
+    pub pool_max_idle_per_host: usize,
+    /// How long a pooled connection may sit idle before it is reaped
+    /// instead of reused.
+    pub pool_idle_timeout: Duration,
 }
 
 impl Default for HttpConfig {
@@ -34,6 +42,8 @@ impl Default for HttpConfig {
             read_timeout: Duration::from_secs(30),
             accept_poll_interval: Duration::from_millis(1),
             max_body_bytes: 64 << 20,
+            pool_max_idle_per_host: 8,
+            pool_idle_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -327,64 +337,190 @@ fn looks_like_soap(body: &[u8]) -> bool {
 
 /// HTTP client primitive: POST and return `(status, body)` without
 /// classifying. Timeouts and connection failures map to typed
-/// [`NetErrorKind`]s via the `io::Error` conversion.
+/// [`NetErrorKind`]s via the `io::Error` conversion. Opens a fresh
+/// connection per call; for keep-alive reuse go through
+/// [`http_post_pooled`] (what [`HttpTransport`] does).
 pub fn http_post_with(
     url: &str,
     body: &[u8],
     config: &HttpConfig,
 ) -> Result<(u16, Vec<u8>), NetError> {
+    let (status, body, _reused) = http_post_pooled(url, body, config, None)?;
+    Ok((status, body))
+}
+
+/// A request/response exchange failure, remembering whether *any* byte
+/// of the response had arrived. Zero bytes on a *reused* connection is
+/// the keep-alive race — the server idle-closed the socket before
+/// reading our request — and is the only case the client retries itself.
+struct ExchangeError {
+    error: NetError,
+    before_response: bool,
+}
+
+impl ExchangeError {
+    fn before(error: NetError) -> Self {
+        ExchangeError {
+            error,
+            before_response: true,
+        }
+    }
+
+    fn mid(error: NetError) -> Self {
+        ExchangeError {
+            error,
+            before_response: false,
+        }
+    }
+}
+
+/// POST over a pooled keep-alive connection when `pool` is given (fresh
+/// `Connection: close` exchange otherwise). Returns `(status, body,
+/// reused)` where `reused` says the response came over a pooled
+/// connection. A reused connection that dies before yielding a single
+/// response byte is retried exactly once on a fresh connection; any
+/// other failure is surfaced as-is.
+pub fn http_post_pooled(
+    url: &str,
+    body: &[u8],
+    config: &HttpConfig,
+    pool: Option<&ConnectionPool>,
+) -> Result<(u16, Vec<u8>, bool), NetError> {
     let (addr, path) = parse_url(url)?;
-    let mut stream = TcpStream::connect(&addr)?;
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(config.read_timeout))?;
+    let keep_alive = pool.is_some();
+    if let Some(pool) = pool {
+        if let Some(stream) = pool.checkout(&addr) {
+            match exchange(stream, &addr, &path, body, config, keep_alive) {
+                Ok((status, resp, reusable, stream)) => {
+                    if reusable {
+                        pool.checkin(&addr, stream);
+                    }
+                    return Ok((status, resp, true));
+                }
+                // stale pooled socket: fall through to a fresh connection
+                Err(e) if e.before_response => {}
+                Err(e) => return Err(e.error),
+            }
+        }
+    }
+    let stream = TcpStream::connect(&addr)?;
+    let (status, resp, reusable, stream) =
+        exchange(stream, &addr, &path, body, config, keep_alive).map_err(|e| e.error)?;
+    if reusable {
+        if let Some(pool) = pool {
+            pool.checkin(&addr, stream);
+        }
+    }
+    Ok((status, resp, false))
+}
+
+/// One request/response exchange on an established connection. On
+/// success returns the stream back (pulled out of the `BufReader`) plus
+/// whether it is safe to pool: the response must be `Content-Length`
+/// framed, not `Connection: close`, and leave no unread bytes buffered.
+fn exchange(
+    mut stream: TcpStream,
+    addr: &str,
+    path: &str,
+    body: &[u8],
+    config: &HttpConfig,
+    keep_alive: bool,
+) -> Result<(u16, Vec<u8>, bool, TcpStream), ExchangeError> {
+    stream
+        .set_nodelay(true)
+        .map_err(|e| ExchangeError::before(e.into()))?;
+    stream
+        .set_read_timeout(Some(config.read_timeout))
+        .map_err(|e| ExchangeError::before(e.into()))?;
     let head = format!(
-        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/soap+xml; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/soap+xml; charset=utf-8\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
-    stream.flush()?;
+    stream
+        .write_all(head.as_bytes())
+        .map_err(|e| ExchangeError::before(e.into()))?;
+    stream
+        .write_all(body)
+        .map_err(|e| ExchangeError::before(e.into()))?;
+    stream
+        .flush()
+        .map_err(|e| ExchangeError::before(e.into()))?;
 
     let mut reader = BufReader::new(stream);
     let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
+    match reader.read_line(&mut status_line) {
+        Ok(0) => {
+            return Err(ExchangeError::before(NetError::with_kind(
+                NetErrorKind::ConnectionReset,
+                "connection closed before response",
+            )))
+        }
+        Ok(_) => {}
+        Err(e) => {
+            let before = status_line.is_empty();
+            let err = ExchangeError {
+                error: e.into(),
+                before_response: before,
+            };
+            return Err(err);
+        }
+    }
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| NetError::new(format!("bad status line `{status_line}`")))?;
+        .ok_or_else(|| {
+            ExchangeError::mid(NetError::new(format!("bad status line `{status_line}`")))
+        })?;
     let mut content_length: Option<usize> = None;
+    let mut conn_close = !status_line.starts_with("HTTP/1.1");
     loop {
         let mut h = String::new();
-        if reader.read_line(&mut h)? == 0 {
-            return Err(NetError::with_kind(
-                NetErrorKind::ConnectionReset,
-                "connection closed mid-headers",
-            ));
+        match reader.read_line(&mut h) {
+            Ok(0) => {
+                return Err(ExchangeError::mid(NetError::with_kind(
+                    NetErrorKind::ConnectionReset,
+                    "connection closed mid-headers",
+                )))
+            }
+            Ok(_) => {}
+            Err(e) => return Err(ExchangeError::mid(e.into())),
         }
         let h = h.trim_end();
         if h.is_empty() {
             break;
         }
         if let Some((k, v)) = h.split_once(':') {
-            if k.trim().eq_ignore_ascii_case("content-length") {
+            let k = k.trim();
+            if k.eq_ignore_ascii_case("content-length") {
                 content_length = v.trim().parse().ok();
+            } else if k.eq_ignore_ascii_case("connection") && v.trim().eq_ignore_ascii_case("close")
+            {
+                conn_close = true;
             }
         }
     }
-    let body = match content_length {
+    let resp_body = match content_length {
         Some(n) => {
             let mut b = vec![0u8; n];
-            reader.read_exact(&mut b)?;
+            reader
+                .read_exact(&mut b)
+                .map_err(|e| ExchangeError::mid(e.into()))?;
             b
         }
         None => {
+            // no framing: the body runs to EOF, so the connection is spent
+            conn_close = true;
             let mut b = Vec::new();
-            reader.read_to_end(&mut b)?;
+            reader
+                .read_to_end(&mut b)
+                .map_err(|e| ExchangeError::mid(e.into()))?;
             b
         }
     };
-    Ok((status, body))
+    let reusable = keep_alive && !conn_close && reader.buffer().is_empty();
+    Ok((status, resp_body, reusable, reader.into_inner()))
 }
 
 fn parse_url(url: &str) -> Result<(String, String), NetError> {
@@ -398,10 +534,14 @@ fn parse_url(url: &str) -> Result<(String, String), NetError> {
 }
 
 /// A [`Transport`] over real loopback TCP. `dest` must be an
-/// `http://host:port/path` URL.
+/// `http://host:port/path` URL. Keeps a per-destination pool of idle
+/// keep-alive connections (sized by
+/// [`HttpConfig::pool_max_idle_per_host`]); reuse shows up as
+/// `pool_hits` in [`NetMetrics`].
 pub struct HttpTransport {
     pub metrics: Arc<NetMetrics>,
     pub config: HttpConfig,
+    pub pool: ConnectionPool,
 }
 
 impl HttpTransport {
@@ -413,7 +553,12 @@ impl HttpTransport {
         HttpTransport {
             metrics: Arc::new(NetMetrics::new()),
             config,
+            pool: ConnectionPool::new(config.pool_max_idle_per_host, config.pool_idle_timeout),
         }
+    }
+
+    fn pool_ref(&self) -> Option<&ConnectionPool> {
+        (self.config.pool_max_idle_per_host > 0).then_some(&self.pool)
     }
 }
 
@@ -425,8 +570,15 @@ impl Default for HttpTransport {
 
 impl Transport for HttpTransport {
     fn roundtrip(&self, dest: &str, body: &[u8]) -> Result<Vec<u8>, NetError> {
-        let resp = http_post_with(dest, body, &self.config)
-            .and_then(|(status, resp)| classify_response(status, resp))
+        let resp = http_post_pooled(dest, body, &self.config, self.pool_ref())
+            .and_then(|(status, resp, reused)| {
+                if reused {
+                    self.metrics.record_pool_hit();
+                } else {
+                    self.metrics.record_pool_miss();
+                }
+                classify_response(status, resp)
+            })
             .inspect_err(|e| {
                 self.metrics.record_failure();
                 if e.kind == NetErrorKind::Timeout {
@@ -548,6 +700,106 @@ mod tests {
         assert_eq!(e.kind, NetErrorKind::Other);
         assert!(e.message.contains("HTTP 500"), "{}", e.message);
         assert!(e.message.contains("meltdown"), "{}", e.message);
+    }
+
+    #[test]
+    fn pooled_transport_reuses_connections() {
+        let server = echo_server();
+        let t = HttpTransport::new();
+        let url = format!("http://{}/p", server.addr());
+        for i in 0..5 {
+            let body = format!("req{i}");
+            let resp = t.roundtrip(&url, body.as_bytes()).unwrap();
+            assert!(resp.ends_with(body.as_bytes()));
+        }
+        let s = t.metrics.snapshot();
+        assert_eq!(s.roundtrips, 5);
+        assert_eq!(s.pool_misses, 1, "only the first call should connect");
+        assert_eq!(s.pool_hits, 4);
+        assert_eq!(t.pool.idle_count(&server.addr()), 1);
+        // the server saw one connection carrying all five requests
+        assert_eq!(server.metrics.snapshot().roundtrips, 5);
+    }
+
+    #[test]
+    fn pool_disabled_by_zero_capacity() {
+        let server = echo_server();
+        let t = HttpTransport::with_config(HttpConfig {
+            pool_max_idle_per_host: 0,
+            ..HttpConfig::default()
+        });
+        let url = format!("http://{}/p", server.addr());
+        for _ in 0..3 {
+            t.roundtrip(&url, b"x").unwrap();
+        }
+        let s = t.metrics.snapshot();
+        assert_eq!(s.pool_hits, 0);
+        assert_eq!(s.pool_misses, 3);
+        assert_eq!(t.pool.idle_count(&server.addr()), 0);
+    }
+
+    #[test]
+    fn pool_idle_timeout_forces_fresh_connection() {
+        let server = echo_server();
+        let t = HttpTransport::with_config(HttpConfig {
+            pool_idle_timeout: Duration::from_millis(5),
+            ..HttpConfig::default()
+        });
+        let url = format!("http://{}/p", server.addr());
+        t.roundtrip(&url, b"x").unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+        t.roundtrip(&url, b"y").unwrap();
+        let s = t.metrics.snapshot();
+        assert_eq!(s.pool_hits, 0, "expired connection must not be reused");
+        assert_eq!(s.pool_misses, 2);
+    }
+
+    /// A raw single-shot server that *claims* keep-alive but closes the
+    /// connection after each response — the keep-alive race. The client
+    /// must transparently retry the stale pooled socket once.
+    #[test]
+    fn stale_pooled_connection_retried_once() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut content_length = 0usize;
+                loop {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    let line = line.trim_end();
+                    if line.is_empty() {
+                        break;
+                    }
+                    if let Some((k, v)) = line.split_once(':') {
+                        if k.trim().eq_ignore_ascii_case("content-length") {
+                            content_length = v.trim().parse().unwrap();
+                        }
+                    }
+                }
+                let mut body = vec![0u8; content_length];
+                reader.read_exact(&mut body).unwrap();
+                let mut stream = stream;
+                write_response(&mut stream, 200, &body, true).unwrap();
+                // dropping the stream closes it despite `keep-alive`
+            }
+        });
+        let t = HttpTransport::new();
+        let url = format!("http://{addr}/s");
+        assert_eq!(t.roundtrip(&url, b"one").unwrap(), b"one");
+        // let the server's FIN reach the pooled socket
+        std::thread::sleep(Duration::from_millis(30));
+        // checkout hands back the dead socket; the zero-bytes failure
+        // must be absorbed by a single fresh-connection retry
+        assert_eq!(t.roundtrip(&url, b"two").unwrap(), b"two");
+        let s = t.metrics.snapshot();
+        assert_eq!(s.roundtrips, 2);
+        assert_eq!(s.failures, 0);
+        assert_eq!(s.pool_hits, 0, "the stale attempt must not count as a hit");
+        assert_eq!(s.pool_misses, 2);
+        server.join().unwrap();
     }
 
     #[test]

@@ -15,12 +15,14 @@
 pub mod breaker;
 pub mod http;
 pub mod metrics;
+pub mod pool;
 pub mod retry;
 pub mod sim;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
-pub use http::{http_post, HttpConfig, HttpServer};
+pub use http::{http_post, HttpConfig, HttpServer, HttpTransport};
 pub use metrics::NetMetrics;
+pub use pool::ConnectionPool;
 pub use retry::{ResilientTransport, RetryPolicy};
 pub use sim::{NetProfile, SimFault, SimNetwork, SoapHandler};
 

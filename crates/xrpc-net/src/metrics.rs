@@ -21,6 +21,10 @@ pub struct NetMetrics {
     pub fast_failures: AtomicU64,
     /// Closed/half-open → open breaker transitions.
     pub breaker_opens: AtomicU64,
+    /// HTTP requests served over a reused keep-alive connection.
+    pub pool_hits: AtomicU64,
+    /// HTTP requests that had to open a fresh TCP connection.
+    pub pool_misses: AtomicU64,
 }
 
 impl NetMetrics {
@@ -55,6 +59,14 @@ impl NetMetrics {
         self.breaker_opens.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn record_pool_hit(&self) {
+        self.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_pool_miss(&self) {
+        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             roundtrips: self.roundtrips.load(Ordering::Relaxed),
@@ -65,6 +77,8 @@ impl NetMetrics {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             fast_failures: self.fast_failures.load(Ordering::Relaxed),
             breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -77,6 +91,8 @@ impl NetMetrics {
         self.timeouts.store(0, Ordering::Relaxed);
         self.fast_failures.store(0, Ordering::Relaxed);
         self.breaker_opens.store(0, Ordering::Relaxed);
+        self.pool_hits.store(0, Ordering::Relaxed);
+        self.pool_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -91,6 +107,8 @@ pub struct MetricsSnapshot {
     pub timeouts: u64,
     pub fast_failures: u64,
     pub breaker_opens: u64,
+    pub pool_hits: u64,
+    pub pool_misses: u64,
 }
 
 #[cfg(test)]
@@ -120,13 +138,20 @@ mod tests {
         m.record_timeout();
         m.record_fast_failure();
         m.record_breaker_open();
+        m.record_pool_hit();
+        m.record_pool_hit();
+        m.record_pool_miss();
         let s = m.snapshot();
         assert_eq!(s.retries, 2);
         assert_eq!(s.timeouts, 1);
         assert_eq!(s.fast_failures, 1);
         assert_eq!(s.breaker_opens, 1);
+        assert_eq!(s.pool_hits, 2);
+        assert_eq!(s.pool_misses, 1);
         m.reset();
         assert_eq!(m.snapshot().retries, 0);
         assert_eq!(m.snapshot().breaker_opens, 0);
+        assert_eq!(m.snapshot().pool_hits, 0);
+        assert_eq!(m.snapshot().pool_misses, 0);
     }
 }

@@ -44,6 +44,9 @@ pub struct PeerStats {
     pub calls_handled: AtomicU64,
     pub functions_prepared: AtomicU64,
     pub control_messages: AtomicU64,
+    /// Bulk requests whose calls were evaluated by the parallel worker
+    /// pool (read-only bulk with `set_bulk_threads(n > 1)`).
+    pub parallel_bulk_requests: AtomicU64,
 }
 
 /// The prepared artifact the function cache stores: the function
@@ -80,6 +83,10 @@ pub struct Peer {
     /// Opt into the distributed-optimizer behaviours (invariant hoisting,
     /// duplicate bulk-call collapsing) for queries run at this peer.
     rpc_optimize: std::sync::atomic::AtomicBool,
+    /// Worker threads for evaluating the calls of one incoming *read-only*
+    /// bulk request (1 = sequential, the default; see
+    /// [`set_bulk_threads`](Self::set_bulk_threads)).
+    bulk_threads: std::sync::atomic::AtomicUsize,
 }
 
 impl Peer {
@@ -96,7 +103,19 @@ impl Peer {
             stats: PeerStats::default(),
             default_timeout_secs: 30,
             rpc_optimize: std::sync::atomic::AtomicBool::new(false),
+            bulk_threads: std::sync::atomic::AtomicUsize::new(1),
         })
+    }
+
+    /// Evaluate the calls of an incoming read-only Bulk RPC request with
+    /// up to `n` worker threads. The default (1) keeps the paper's
+    /// sequential loop. Responses are merged back in call order whatever
+    /// the completion order, so callers observe identical results;
+    /// updating bulk requests always stay sequential (their ∆s must
+    /// compose in call order).
+    pub fn set_bulk_threads(&self, n: usize) {
+        self.bulk_threads
+            .store(n.max(1), std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Enable/disable the distributed-optimizer behaviours (loop-invariant
@@ -367,21 +386,56 @@ impl Peer {
             local_functions: Arc::new(HashMap::new()),
         };
 
-        let mut results = Vec::with_capacity(req.calls.len());
-        let mut pul_total = PendingUpdateList::new();
-        for args in &req.calls {
+        let eval_one = |args: &[Sequence]| -> XdmResult<(Sequence, PendingUpdateList)> {
             let mut st = EvalState::new();
             bind_params(&prepared.decl, args, &mut st)?;
             let r = ev.eval(&prepared.decl.body, &mut st, &Ctx::none())?;
-            if prepared.decl.updating {
-                pul_total.merge(st.pul);
-                results.push(Sequence::empty());
-            } else {
-                // a non-updating function must not update (XQUF); tolerate
-                // fn:put which the spec treats as updating
-                pul_total.merge(st.pul);
-                results.push(r);
+            Ok((r, st.pul))
+        };
+
+        // Read-only bulk requests may fan the per-call evaluations over a
+        // worker pool: every call shares the same immutable snapshot and
+        // prepared function, so calls are independent. Updating bulk stays
+        // sequential — ∆s must compose in call order (XQUF merge rules).
+        let threads = self
+            .bulk_threads
+            .load(std::sync::atomic::Ordering::SeqCst)
+            .min(req.calls.len());
+        let parallel = threads > 1 && !prepared.decl.updating;
+        let per_call: Vec<XdmResult<(Sequence, PendingUpdateList)>> = if parallel {
+            self.stats
+                .parallel_bulk_requests
+                .fetch_add(1, Ordering::Relaxed);
+            eval_calls_parallel(&req.calls, threads, &eval_one)
+        } else {
+            let mut out = Vec::with_capacity(req.calls.len());
+            for args in &req.calls {
+                let r = eval_one(args);
+                let failed = r.is_err();
+                out.push(r);
+                if failed {
+                    break;
+                }
             }
+            out
+        };
+
+        // Merge in call order: response positions match request positions
+        // exactly, and the lowest-index error wins (as it would have
+        // sequentially — evaluation is deterministic and side-effect-free
+        // up to the PUL, which is only applied after this loop).
+        let mut results = Vec::with_capacity(req.calls.len());
+        let mut pul_total = PendingUpdateList::new();
+        for out in per_call {
+            let (r, pul) = out?;
+            // a non-updating function must not update (XQUF); tolerate
+            // fn:put which the spec treats as updating
+            pul_total.merge(pul);
+            results.push(if prepared.decl.updating {
+                Sequence::empty()
+            } else {
+                r
+            });
         }
 
         if !pul_total.is_empty() {
@@ -596,6 +650,60 @@ impl DocResolver for FrozenDocs {
             .cloned()
             .ok_or_else(|| XdmError::doc_error(format!("document not found: `{uri}`")))
     }
+}
+
+/// Per-call evaluation outcome: the result sequence plus the call's PUL.
+type CallOutcome = XdmResult<(Sequence, PendingUpdateList)>;
+
+/// Evaluate the calls of one bulk request with up to `threads` workers
+/// (the calling thread is one of them), writing each result into the
+/// slot of its call index so the response order is deterministic
+/// regardless of completion order. Indices are claimed monotonically
+/// from a shared counter; after the first error workers stop claiming
+/// new calls, so the filled slots always form a prefix and the merge
+/// loop in [`Peer::handle_call_request`] surfaces the lowest-index
+/// error before it can reach an unfilled slot.
+fn eval_calls_parallel<F>(calls: &[Vec<Sequence>], threads: usize, eval_one: &F) -> Vec<CallOutcome>
+where
+    F: Fn(&[Sequence]) -> CallOutcome + Sync,
+{
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let slots: Vec<parking_lot::Mutex<Option<CallOutcome>>> = (0..calls.len())
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+    let worker = || loop {
+        if failed.load(Ordering::Relaxed) {
+            break;
+        }
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= calls.len() {
+            break;
+        }
+        let out = eval_one(&calls[i]);
+        if out.is_err() {
+            failed.store(true, Ordering::Relaxed);
+        }
+        *slots[i].lock() = Some(out);
+    };
+    std::thread::scope(|s| {
+        for _ in 1..threads {
+            // function bodies may recurse deeply — same stack headroom as
+            // the HTTP server's request threads (see xqeval recursion cap)
+            let _ = std::thread::Builder::new()
+                .stack_size(32 * 1024 * 1024)
+                .spawn_scoped(s, worker);
+        }
+        worker();
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|| Err(XdmError::xrpc("bulk call skipped after earlier failure")))
+        })
+        .collect()
 }
 
 /// Bind actual parameters with the XQuery function-conversion rules:

@@ -21,6 +21,8 @@ const TEST_MODULE: &str = r#"
     { replace value of node doc("state.xml")/v with $x };
     declare updating function t:renameRoot($n as xs:string)
     { rename node doc("state.xml")/v as $n };
+    declare function t:double($x as xs:integer) { $x * 2 };
+    declare function t:toInt($x as xs:string) { $x cast as xs:integer };
 "#;
 
 const FILM_DB: &str = r#"<films>
@@ -369,6 +371,45 @@ fn real_http_transport_end_to_end() {
 }
 
 #[test]
+fn http_keepalive_pool_reused_across_queries() {
+    // E1-style repeated-call workload over real TCP: every query after
+    // the first must ride the pooled keep-alive connection instead of
+    // paying a fresh TCP setup.
+    let a = Peer::new("placeholder-a", EngineKind::Tree);
+    let b = Peer::new("placeholder-b", EngineKind::Tree);
+    for p in [&a, &b] {
+        p.register_module(FILM_MODULE).unwrap();
+    }
+    b.add_document("filmDB.xml", FILM_DB).unwrap();
+
+    let server_b = HttpServer::bind("127.0.0.1:0", {
+        let h = b.soap_handler();
+        Arc::new(move |_path: &str, body: &[u8]| (200, h(body)))
+    })
+    .unwrap();
+    b.set_name(server_b.url());
+    let transport = Arc::new(HttpTransport::new());
+    a.set_transport(transport.clone());
+
+    let q = format!(
+        r#"import module namespace f = "films";
+           execute at {{"{}"}} {{f:filmsByActor("Sean Connery")}}"#,
+        server_b.url()
+    );
+    for _ in 0..6 {
+        let out = a.execute_detailed(&q).unwrap();
+        assert_eq!(
+            serialize(&out.result),
+            "<name>The Rock</name>|<name>Goldfinger</name>"
+        );
+    }
+    let s = transport.metrics.snapshot();
+    assert_eq!(s.roundtrips, 6);
+    assert_eq!(s.pool_misses, 1, "only the first query should connect");
+    assert_eq!(s.pool_hits, 5);
+}
+
+#[test]
 fn wrapper_peer_services_bulk_from_rel_peer() {
     // MonetDB-role peer (rel engine) calls a wrapped plain engine (§4/§5).
     let net = Arc::new(SimNetwork::new(NetProfile::instant()));
@@ -405,6 +446,75 @@ fn wrapper_peer_services_bulk_from_rel_peer() {
     assert!(serialize(&res).contains("Bob"));
     // the wrapper handled ONE bulk request for all three calls
     assert_eq!(wrapper.phases().requests, 1);
+}
+
+#[test]
+fn parallel_bulk_preserves_call_order() {
+    use std::sync::atomic::Ordering::Relaxed;
+    let (_net, a, b) = sim_pair(EngineKind::Rel);
+    b.set_bulk_threads(8);
+    let out = a
+        .execute_detailed(
+            r#"import module namespace t = "test";
+               for $i in (1 to 40)
+               return execute at {"xrpc://b.example.org"} {t:double($i)}"#,
+        )
+        .unwrap();
+    assert_eq!(out.requests_sent, 1, "bulk: one request on the wire");
+    let expect = (1..=40)
+        .map(|i| (2 * i).to_string())
+        .collect::<Vec<_>>()
+        .join("|");
+    assert_eq!(
+        serialize(&out.result),
+        expect,
+        "responses must come back in call order whatever the completion order"
+    );
+    assert_eq!(b.stats.parallel_bulk_requests.load(Relaxed), 1);
+}
+
+#[test]
+fn parallel_bulk_surfaces_lowest_index_error() {
+    let (_net, a, b) = sim_pair(EngineKind::Rel);
+    b.set_bulk_threads(4);
+    let err = a
+        .execute(
+            r#"import module namespace t = "test";
+               for $x in ("1", "2", "3", "badLOW", "5", "6", "badHIGH", "8")
+               return execute at {"xrpc://b.example.org"} {t:toInt($x)}"#,
+        )
+        .unwrap_err();
+    // exactly the fault sequential evaluation would have raised: the
+    // first failing call, not whichever worker lost the race
+    assert!(err.message.contains("badLOW"), "{}", err.message);
+    assert!(!err.message.contains("badHIGH"), "{}", err.message);
+}
+
+#[test]
+fn parallel_bulk_bypassed_for_updating_calls() {
+    use std::sync::atomic::Ordering::Relaxed;
+    let (_net, a, b) = sim_pair(EngineKind::Rel);
+    b.set_bulk_threads(8);
+    b.add_document("nums.xml", "<r><i>0</i><i>0</i><i>0</i></r>")
+        .unwrap();
+    let upd_module = r#"
+        module namespace pu = "parupd";
+        declare updating function pu:setNth($n as xs:integer, $x as xs:string)
+        { replace value of node doc("nums.xml")/r/i[$n] with $x };
+    "#;
+    a.register_module(upd_module).unwrap();
+    b.register_module(upd_module).unwrap();
+    a.execute(
+        r#"declare option xrpc:isolation "repeatable";
+           import module namespace pu = "parupd";
+           for $i in (1 to 3)
+           return execute at {"xrpc://b.example.org"} {pu:setNth($i, string($i))}"#,
+    )
+    .unwrap();
+    // the ∆s composed in call order, sequentially
+    assert_eq!(b.stats.parallel_bulk_requests.load(Relaxed), 0);
+    let v = b.docs.get("nums.xml").unwrap();
+    assert_eq!(v.string_value(v.root()), "123");
 }
 
 #[test]

@@ -2,8 +2,9 @@
 //! `queryID` isolation extension (§2.2), Bulk RPC multi-call requests
 //! (§3.2) and the participating-peers piggyback (§2.3).
 
-use crate::marshal::{n2s, s2n_into};
+use crate::marshal::{n2s, s2n_into, s2n_text_into};
 use xdm::{Sequence, XdmError, XdmResult};
+use xmldom::escape::push_escaped_attr;
 use xmldom::qname::{NS_SOAP_ENV, NS_XRPC, NS_XS, NS_XSI};
 use xmldom::{Document, NodeId, QName};
 
@@ -92,7 +93,79 @@ impl XrpcRequest {
     }
 
     /// Serialize to the SOAP envelope text.
+    ///
+    /// Node parameters are serialized straight from their source documents
+    /// into the message buffer (single copy); the call-by-fragment extension
+    /// still goes through the message-DOM path because `xrpc:nodeid`
+    /// compression needs the cross-parameter analysis in `s2n_call_into`.
     pub fn to_xml(&self) -> XdmResult<String> {
+        if self.call_by_fragment {
+            return self.to_xml_dom();
+        }
+        let mut out = String::with_capacity(1024);
+        self.write_xml(&mut out)?;
+        Ok(out)
+    }
+
+    /// Direct text serialization into a caller-supplied (reusable) buffer.
+    pub fn write_xml(&self, out: &mut String) -> XdmResult<()> {
+        debug_assert!(!self.call_by_fragment);
+        write_envelope_open(out);
+        out.push_str("<xrpc:request module=\"");
+        push_escaped_attr(out, &self.module);
+        out.push_str("\" method=\"");
+        push_escaped_attr(out, &self.method);
+        out.push_str("\" arity=\"");
+        out.push_str(&self.arity.to_string());
+        out.push('"');
+        if let Some(loc) = &self.location {
+            out.push_str(" location=\"");
+            push_escaped_attr(out, loc);
+            out.push('"');
+        }
+        if self.deferred {
+            out.push_str(" updCall=\"deferred\"");
+        }
+        if let Some(seq) = self.seq {
+            out.push_str(" seq=\"");
+            out.push_str(&seq.to_string());
+            out.push('"');
+        }
+        if self.query_id.is_none() && self.calls.is_empty() {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            if let Some(qid) = &self.query_id {
+                out.push_str("<xrpc:queryID host=\"");
+                push_escaped_attr(out, &qid.host);
+                out.push_str("\" timestamp=\"");
+                out.push_str(&qid.timestamp_millis.to_string());
+                out.push_str("\" timeout=\"");
+                out.push_str(&qid.timeout_secs.to_string());
+                out.push_str("\"/>");
+            }
+            for params in &self.calls {
+                if params.is_empty() {
+                    out.push_str("<xrpc:call/>");
+                } else {
+                    out.push_str("<xrpc:call>");
+                    for p in params {
+                        s2n_text_into(out, p)?;
+                    }
+                    out.push_str("</xrpc:call>");
+                }
+            }
+            out.push_str("</xrpc:request>");
+        }
+        write_envelope_close(out);
+        Ok(())
+    }
+
+    /// Reference implementation: build the message as a DOM and serialize
+    /// it. Byte-identical to [`XrpcRequest::write_xml`] (asserted by the
+    /// equivalence suite); kept as the call-by-fragment path and as the
+    /// golden oracle for tests.
+    pub fn to_xml_dom(&self) -> XdmResult<String> {
         let mut doc = Document::new();
         let root = doc.root();
         let envelope = start_envelope(&mut doc, root);
@@ -162,7 +235,46 @@ impl XrpcResponse {
         }
     }
 
+    /// Serialize to the SOAP envelope text (direct single-copy writer).
     pub fn to_xml(&self) -> XdmResult<String> {
+        let mut out = String::with_capacity(1024);
+        self.write_xml(&mut out)?;
+        Ok(out)
+    }
+
+    /// Direct text serialization into a caller-supplied (reusable) buffer.
+    pub fn write_xml(&self, out: &mut String) -> XdmResult<()> {
+        write_envelope_open(out);
+        out.push_str("<xrpc:response module=\"");
+        push_escaped_attr(out, &self.module);
+        out.push_str("\" method=\"");
+        push_escaped_attr(out, &self.method);
+        out.push('"');
+        if self.participating_peers.is_empty() && self.results.is_empty() {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            if !self.participating_peers.is_empty() {
+                out.push_str("<xrpc:participatingPeers>");
+                for p in &self.participating_peers {
+                    out.push_str("<xrpc:peer uri=\"");
+                    push_escaped_attr(out, p);
+                    out.push_str("\"/>");
+                }
+                out.push_str("</xrpc:participatingPeers>");
+            }
+            for seq in &self.results {
+                s2n_text_into(out, seq)?;
+            }
+            out.push_str("</xrpc:response>");
+        }
+        write_envelope_close(out);
+        Ok(())
+    }
+
+    /// Reference implementation (message DOM + serializer); golden oracle
+    /// for the equivalence suite.
+    pub fn to_xml_dom(&self) -> XdmResult<String> {
         let mut doc = Document::new();
         let root = doc.root();
         let envelope = start_envelope(&mut doc, root);
@@ -396,6 +508,28 @@ fn req_attr(doc: &Document, el: NodeId, name: &str) -> XdmResult<String> {
 
 fn has_name(doc: &Document, el: NodeId, uri: &str, local: &str) -> bool {
     doc.node(el).name.as_ref().is_some_and(|n| n.is(uri, local))
+}
+
+/// Text-path twin of [`start_envelope`]: XML declaration plus the open
+/// `env:Envelope`/`env:Body` tags, byte-identical to serializing the DOM
+/// the builder produces (same declaration order, same attribute).
+fn write_envelope_open(out: &mut String) {
+    out.push_str("<?xml version=\"1.0\" encoding=\"utf-8\"?>");
+    out.push_str("<env:Envelope xmlns:xrpc=\"");
+    push_escaped_attr(out, NS_XRPC);
+    out.push_str("\" xmlns:env=\"");
+    push_escaped_attr(out, NS_SOAP_ENV);
+    out.push_str("\" xmlns:xs=\"");
+    push_escaped_attr(out, NS_XS);
+    out.push_str("\" xmlns:xsi=\"");
+    push_escaped_attr(out, NS_XSI);
+    out.push_str("\" xsi:schemaLocation=\"");
+    push_escaped_attr(out, &format!("{NS_XRPC} {NS_XRPC}/XRPC.xsd"));
+    out.push_str("\"><env:Body>");
+}
+
+fn write_envelope_close(out: &mut String) {
+    out.push_str("</env:Body></env:Envelope>");
 }
 
 /// Open the standard envelope with all namespace declarations the paper's
@@ -638,6 +772,160 @@ mod tests {
         // tamper: claim arity 2
         let bad = xml.replace(r#"arity="1""#, r#"arity="2""#);
         assert!(parse_message(&bad).is_err());
+    }
+
+    // -----------------------------------------------------------------
+    // Byte-identical equivalence: direct text writer vs DOM builder
+    // -----------------------------------------------------------------
+
+    /// Adversarial strings: CDATA terminator, lone carriage return, runs of
+    /// every escapable character, multi-byte UTF-8 flanking escape
+    /// boundaries, and control/quote mixes.
+    fn adversarial_strings() -> Vec<&'static str> {
+        vec![
+            "]]>",
+            "\r",
+            "a\rb\r\rc",
+            "&<>\"&<>\"&<>\"",
+            "é<ü&日本語>",
+            "\u{1F600}\"\u{1F600}'\u{1F600}",
+            "<![CDATA[not cdata]]>",
+            "tab\there\nnewline",
+            "",
+            " leading and trailing ",
+            "&amp; already escaped",
+        ]
+    }
+
+    fn assert_request_equivalence(req: &XrpcRequest) {
+        let text = req.to_xml().unwrap();
+        let dom = req.to_xml_dom().unwrap();
+        assert_eq!(text, dom, "text writer diverged from DOM serialization");
+        // and the result must still parse back
+        assert!(matches!(
+            parse_message(&text).unwrap(),
+            XrpcMessage::Request(_)
+        ));
+    }
+
+    fn assert_response_equivalence(resp: &XrpcResponse) {
+        let text = resp.to_xml().unwrap();
+        let dom = resp.to_xml_dom().unwrap();
+        assert_eq!(text, dom, "text writer diverged from DOM serialization");
+        assert!(matches!(
+            parse_message(&text).unwrap(),
+            XrpcMessage::Response(_)
+        ));
+    }
+
+    #[test]
+    fn text_writer_equivalence_atomic_shapes() {
+        // every request shape: bare, located, queryID, deferred, seq, bulk
+        assert_request_equivalence(&XrpcRequest::new("m", "f", 0));
+        assert_request_equivalence(&film_request());
+        assert_request_equivalence(&film_request().with_query_id(QueryId::new(
+            "x.example.org",
+            1190000000000,
+            30,
+        )));
+        let mut req = film_request();
+        req.deferred = true;
+        req.seq = Some(99);
+        assert_request_equivalence(&req);
+        let mut bulk = XrpcRequest::new("m", "f", 1);
+        for s in adversarial_strings() {
+            bulk.push_call(vec![Sequence::one(Item::string(s))]);
+        }
+        assert_request_equivalence(&bulk);
+        // empty parameter sequence and multi-param calls
+        let mut multi = XrpcRequest::new("m", "g", 3);
+        multi.push_call(vec![
+            Sequence::empty(),
+            Sequence::one(Item::integer(-7)),
+            Sequence::from_items(vec![Item::string("]]>"), Item::integer(0)]),
+        ]);
+        assert_request_equivalence(&multi);
+    }
+
+    #[test]
+    fn text_writer_equivalence_node_kinds() {
+        let d = std::sync::Arc::new(
+            xmldom::parse(
+                r#"<r a="v&quot;&#13;"><p:e xmlns:p="urn:x" k="1"><!--c&lt;m--><?pi data?>t&lt;x</p:e><empty/></r>"#,
+            )
+            .unwrap(),
+        );
+        let r = d.children(d.root())[0];
+        let pe = d.children(r)[0];
+        let mut items = vec![
+            Item::Node(xmldom::NodeHandle::root(d.clone())),
+            Item::Node(xmldom::NodeHandle::new(d.clone(), r)),
+            Item::Node(xmldom::NodeHandle::new(d.clone(), pe)),
+            Item::Node(xmldom::NodeHandle::new(d.clone(), d.attributes(r)[0])),
+        ];
+        for &c in d.children(pe) {
+            items.push(Item::Node(xmldom::NodeHandle::new(d.clone(), c)));
+        }
+        let mut req = XrpcRequest::new("m", "f", 1);
+        req.push_call(vec![Sequence::from_items(items.clone())]);
+        assert_request_equivalence(&req);
+
+        let mut resp = XrpcResponse::new("m", "f");
+        resp.results.push(Sequence::from_items(items));
+        resp.results.push(Sequence::empty());
+        resp.participating_peers = vec!["xrpc://y".into(), "xrpc://z\"<&>".into()];
+        assert_response_equivalence(&resp);
+    }
+
+    #[test]
+    fn text_writer_equivalence_adversarial_text_nodes() {
+        for s in adversarial_strings() {
+            let mut d = xmldom::Document::new();
+            let t = d.create_text(s);
+            let c = d.create_comment("c");
+            let _ = c;
+            let d = std::sync::Arc::new(d);
+            let mut resp = XrpcResponse::new("m", "f");
+            resp.results.push(Sequence::from_items(vec![
+                Item::Node(xmldom::NodeHandle::new(d.clone(), t)),
+                Item::string(s),
+            ]));
+            assert_response_equivalence(&resp);
+        }
+    }
+
+    #[test]
+    fn text_writer_equivalence_xmark_documents() {
+        let params = xmark::XmarkParams {
+            persons: 12,
+            closed_auctions: 25,
+            matches: 3,
+            padding_words: 6,
+            seed: 7,
+        };
+        for xml in [
+            xmark::persons_xml(&params),
+            xmark::auctions_xml(&params),
+            xmark::film_db().to_string(),
+            xmark::payload_xml(16 * 1024),
+        ] {
+            let d = std::sync::Arc::new(xmldom::parse(&xml).unwrap());
+            let root_el = d.children(d.root())[0];
+            // ship the document, the root element, and each child subtree
+            let mut items = vec![
+                Item::Node(xmldom::NodeHandle::root(d.clone())),
+                Item::Node(xmldom::NodeHandle::new(d.clone(), root_el)),
+            ];
+            for &c in d.children(root_el).iter().take(5) {
+                items.push(Item::Node(xmldom::NodeHandle::new(d.clone(), c)));
+            }
+            let mut req = XrpcRequest::new("m", "f", 1);
+            req.push_call(vec![Sequence::from_items(items.clone())]);
+            assert_request_equivalence(&req);
+            let mut resp = XrpcResponse::new("m", "f");
+            resp.results.push(Sequence::from_items(items));
+            assert_response_equivalence(&resp);
+        }
     }
 
     #[test]
