@@ -22,9 +22,15 @@ use std::time::Duration;
 use xrpc_bench::*;
 use xrpc_net::NetProfile;
 
+/// Count allocations/bytes so E4 can report allocator pressure per
+/// request next to MB/s (the 4 MiB cliff was allocator-bound).
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check_cliff = args.iter().any(|a| a == "--check-cliff");
     let cmd = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -34,14 +40,15 @@ fn main() {
         "table2" => table2(),
         "table3" => table3(),
         "table4" => table4(),
-        "throughput" | "e4" => throughput(quick),
+        "throughput" | "e4" => throughput(quick, check_cliff),
+        "alloc-probe" => alloc_probe(),
         "ablation-latency" | "a1" => ablation_latency(quick),
         "ablation-isolation" => ablation_isolation(),
         "all" => {
             table2();
             table3();
             table4();
-            throughput(quick);
+            throughput(quick, check_cliff);
             ablation_latency(quick);
             ablation_isolation();
         }
@@ -200,17 +207,73 @@ fn table4() {
     println!();
 }
 
-/// §3.3 throughput (E4): request- and response-heavy payload scaling.
-fn throughput(quick: bool) {
-    println!("== Throughput (§3.3 text, E4): payload scaling, MB/s ==");
+/// §3.3 throughput (E4): request- and response-heavy payload scaling,
+/// with allocator pressure per request (allocations and MiB allocated —
+/// the counting allocator makes "allocates less" visible next to MB/s).
+/// Debugging aid, not part of `all`: break allocator pressure down by
+/// message-path stage for a 4 MiB payload.
+fn alloc_probe() {
+    let bytes = 4096 * 1024;
+    let xml = xmark::payload_xml(bytes);
+    let probe = |label: &str, f: &mut dyn FnMut()| {
+        let a0 = alloc_snapshot();
+        f();
+        let d = alloc_snapshot().since(a0);
+        println!(
+            "{label:<28} {:>12} allocs {:>10.1} MiB",
+            d.allocs,
+            d.bytes as f64 / (1024.0 * 1024.0)
+        );
+    };
+    probe("parse payload", &mut || {
+        let d = xmldom::parse(&xml).unwrap();
+        std::hint::black_box(&d);
+    });
+    let doc = xmldom::parse(&xml).unwrap();
+    probe("serialize payload", &mut || {
+        let s = xmldom::serialize_document(&doc, &xmldom::SerializeOpts::default());
+        std::hint::black_box(&s);
+    });
+    let doc2 = std::sync::Arc::new(xmldom::parse(&xml).unwrap());
+    let payload_el = doc2.children(doc2.root())[0];
+    let chunks: Vec<xdm::Item> = doc2
+        .children(payload_el)
+        .iter()
+        .map(|&c| xdm::Item::Node(xmldom::NodeHandle::new(doc2.clone(), c)))
+        .collect();
+    let mut req = xrpc_proto::XrpcRequest::new("urn:m", "f", 1);
+    req.push_call(vec![xdm::Sequence::from_items(chunks)]);
+    probe("serialize request message", &mut || {
+        let s = req.to_xml().unwrap();
+        std::hint::black_box(&s);
+    });
+    let req_xml = req.to_xml().unwrap();
+    probe("parse request message", &mut || {
+        let m = xrpc_proto::parse_message(&req_xml).unwrap();
+        std::hint::black_box(&m);
+    });
+    let c = throughput_cluster(bytes);
+    probe("request-heavy round trip", &mut || {
+        let _ = time_query(&c.a, &request_heavy_query());
+    });
+    let c2 = throughput_cluster(bytes);
+    probe("response-heavy round trip", &mut || {
+        let _ = time_query(&c2.a, &response_heavy_query());
+    });
+}
+
+fn throughput(quick: bool, check_cliff: bool) {
+    println!("== Throughput (§3.3 text, E4): payload scaling, MB/s + allocator pressure ==");
     println!(
-        "{:<12} {:>14} {:>14}",
-        "payload", "request MB/s", "response MB/s"
+        "{:<12} {:>14} {:>14} {:>12} {:>14}",
+        "payload", "request MB/s", "response MB/s", "req allocs", "req MiB alloc"
     );
     let payloads: &[usize] = if quick {
-        &[64, 256]
+        // quick keeps the 1 MiB and 4 MiB points so --check-cliff can
+        // guard the large-message regression in CI
+        &[64, 1024, 4096]
     } else {
-        &[64, 256, 1024, 4096]
+        &[64, 256, 1024, 4096, 16384]
     };
     let mut rows = Vec::new();
     for &kb in payloads {
@@ -218,7 +281,9 @@ fn throughput(quick: bool) {
         // request-heavy
         let c = throughput_cluster(bytes);
         c.net.metrics.reset();
+        let a0 = alloc_snapshot();
         let (d_req, _) = time_query(&c.a, &request_heavy_query());
+        let da = alloc_snapshot().since(a0);
         let sent = c.net.metrics.snapshot().bytes_sent;
         // response-heavy
         let c2 = throughput_cluster(bytes);
@@ -227,22 +292,60 @@ fn throughput(quick: bool) {
         let recv = c2.net.metrics.snapshot().bytes_received;
         let req = mb_per_sec(sent, d_req);
         let resp = mb_per_sec(recv, d_resp);
-        println!("{:<12} {:>14.1} {:>14.1}", format!("{kb} KiB"), req, resp);
+        let req_mib_alloc = da.bytes as f64 / (1024.0 * 1024.0);
+        println!(
+            "{:<12} {:>14.1} {:>14.1} {:>12} {:>14.1}",
+            format!("{kb} KiB"),
+            req,
+            resp,
+            da.allocs,
+            req_mib_alloc
+        );
         rows.push(vec![
             ("payload_kib", kb as f64),
             ("request_mb_per_s", req),
             ("response_mb_per_s", resp),
+            ("request_allocs", da.allocs as f64),
+            ("request_mib_allocated", req_mib_alloc),
         ]);
     }
     println!("paper: ~8 MB/s requests, ~14 MB/s responses (CPU-bound on 1Gb/s LAN)");
     write_json(
         "BENCH_E4.json",
         "E4",
-        "request/response payload throughput (MB/s)",
+        "request/response payload throughput (MB/s) + allocator pressure",
         quick,
         &rows,
     );
+    if check_cliff {
+        check_cliff_guard(&rows);
+    }
     println!();
+}
+
+/// CI cliff-regression guard: fail if 4 MiB request throughput is more
+/// than 3× below the 1 MiB point (2× is the target; 3× leaves headroom
+/// for CI noise).
+fn check_cliff_guard(rows: &[Vec<(&str, f64)>]) {
+    let req_at = |kib: f64| -> Option<f64> {
+        rows.iter()
+            .find(|r| r.iter().any(|(k, v)| *k == "payload_kib" && *v == kib))
+            .and_then(|r| {
+                r.iter()
+                    .find(|(k, _)| *k == "request_mb_per_s")
+                    .map(|(_, v)| *v)
+            })
+    };
+    let (Some(one_mib), Some(four_mib)) = (req_at(1024.0), req_at(4096.0)) else {
+        eprintln!("cliff check: 1 MiB / 4 MiB rows missing from the sweep");
+        std::process::exit(3);
+    };
+    let ratio = one_mib / four_mib.max(1e-9);
+    println!("cliff check: request 1 MiB = {one_mib:.1} MB/s, 4 MiB = {four_mib:.1} MB/s ({ratio:.2}x gap, limit 3x)");
+    if ratio > 3.0 {
+        eprintln!("cliff check FAILED: 4 MiB request throughput is {ratio:.2}x below the 1 MiB point (> 3x)");
+        std::process::exit(3);
+    }
 }
 
 /// Ablation A1: where does Bulk RPC win? Sweep the link latency.

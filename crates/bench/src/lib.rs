@@ -243,6 +243,75 @@ pub fn mb_per_sec(bytes: u64, elapsed: Duration) -> f64 {
     bytes as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64().max(1e-9)
 }
 
+// ---------------------------------------------------------------------
+// Counting allocator: allocation-pressure instrumentation for E4
+// ---------------------------------------------------------------------
+
+/// A `GlobalAlloc` wrapper over the system allocator that counts
+/// allocations and bytes requested. Installed by the `tables` binary
+/// (`#[global_allocator]`) so E4 can report allocator pressure per
+/// request next to MB/s — the 4 MiB cliff is allocator-bound, so MB/s
+/// alone can't tell "got faster" apart from "allocates less".
+///
+/// `realloc` counts as one allocation of the *new* size: a Vec that
+/// doubles its way to N bytes shows up as ~log2(N) allocations and ~2N
+/// bytes, which is exactly the waste the sized-arena work removes.
+pub struct CountingAlloc;
+
+static ALLOC_COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static ALLOC_BYTES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, std::sync::atomic::Ordering::Relaxed);
+        std::alloc::System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, std::sync::atomic::Ordering::Relaxed);
+        std::alloc::System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        std::alloc::System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, std::sync::atomic::Ordering::Relaxed);
+        std::alloc::System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Point-in-time allocator counters (monotonic; subtract two snapshots
+/// to get the pressure of the code in between).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    pub allocs: u64,
+    pub bytes: u64,
+}
+
+/// Read the counters. Always valid to call; stays at zero unless a
+/// binary installs [`CountingAlloc`] as its `#[global_allocator]`.
+pub fn alloc_snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOC_COUNT.load(std::sync::atomic::Ordering::Relaxed),
+        bytes: ALLOC_BYTES.load(std::sync::atomic::Ordering::Relaxed),
+    }
+}
+
+impl AllocSnapshot {
+    /// Counters accumulated since `earlier`.
+    pub fn since(self, earlier: AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -75,7 +75,7 @@ impl NodeHandle {
     }
 
     pub fn name(&self) -> Option<&QName> {
-        self.doc.node(self.id).name.as_ref()
+        self.doc.node(self.id).name.as_deref()
     }
 
     pub fn parent(&self) -> Option<NodeHandle> {

@@ -1,6 +1,7 @@
 //! Node arena and the mutation API used by XQUF `applyUpdates`.
 
 use crate::qname::QName;
+use std::sync::Arc;
 
 /// Index of a node inside a [`Document`] arena.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,7 +40,10 @@ pub enum NodeKind {
 pub struct NodeData {
     pub kind: NodeKind,
     pub parent: Option<NodeId>,
-    pub name: Option<QName>,
+    /// Shared so that the parser can intern one `QName` per distinct tag and
+    /// deep copies / marshaled fragments bump a refcount instead of cloning
+    /// three strings per node.
+    pub name: Option<Arc<QName>>,
     pub value: String,
     pub attributes: Vec<NodeId>,
     pub children: Vec<NodeId>,
@@ -84,10 +88,32 @@ impl Document {
         }
     }
 
+    /// A document whose arena is pre-sized for `nodes` node slots (plus the
+    /// document node itself). Parsers and builders that can estimate the node
+    /// count up front use this to avoid doubling a multi-MiB arena past the
+    /// last-level cache.
+    pub fn with_node_capacity(nodes: usize) -> Self {
+        let mut v = Vec::with_capacity(nodes.saturating_add(1));
+        v.push(NodeData::new(NodeKind::Document));
+        Document {
+            nodes: v,
+            uri: None,
+        }
+    }
+
     pub fn with_uri(uri: impl Into<String>) -> Self {
         let mut d = Document::new();
         d.uri = Some(uri.into());
         d
+    }
+
+    /// Reserve arena room for at least `additional` more nodes.
+    pub fn reserve_nodes(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
+    }
+
+    pub fn node_capacity(&self) -> usize {
+        self.nodes.capacity()
     }
 
     pub fn root(&self) -> NodeId {
@@ -125,9 +151,22 @@ impl Document {
     // ------------------------------------------------------------------
 
     pub fn create_element(&mut self, name: QName) -> NodeId {
+        self.create_element_shared(Arc::new(name))
+    }
+
+    /// Like [`create_element`](Self::create_element) but reusing an interned
+    /// name — no allocation beyond the arena slot.
+    pub fn create_element_shared(&mut self, name: Arc<QName>) -> NodeId {
         let mut d = NodeData::new(NodeKind::Element);
         d.name = Some(name);
         self.alloc(d)
+    }
+
+    /// Allocate a *detached* document node. The XRPC unmarshaler uses this to
+    /// give `xrpc:document` values a document root inside a shared arena
+    /// without deep-copying the subtree into a fresh [`Document`].
+    pub fn create_document_node(&mut self) -> NodeId {
+        self.alloc(NodeData::new(NodeKind::Document))
     }
 
     pub fn create_text(&mut self, value: impl Into<String>) -> NodeId {
@@ -144,12 +183,21 @@ impl Document {
 
     pub fn create_pi(&mut self, target: impl Into<String>, value: impl Into<String>) -> NodeId {
         let mut d = NodeData::new(NodeKind::ProcessingInstruction);
-        d.name = Some(QName::local(target));
+        d.name = Some(Arc::new(QName::local(target)));
         d.value = value.into();
         self.alloc(d)
     }
 
     pub fn create_attribute(&mut self, name: QName, value: impl Into<String>) -> NodeId {
+        self.create_attribute_shared(Arc::new(name), value)
+    }
+
+    /// Like [`create_attribute`](Self::create_attribute) with an interned name.
+    pub fn create_attribute_shared(
+        &mut self,
+        name: Arc<QName>,
+        value: impl Into<String>,
+    ) -> NodeId {
         let mut d = NodeData::new(NodeKind::Attribute);
         d.name = Some(name);
         d.value = value.into();
@@ -271,7 +319,7 @@ impl Document {
 
     /// XQUF `rename node`.
     pub fn rename(&mut self, target: NodeId, name: QName) {
-        self.nodes[target.index()].name = Some(name);
+        self.nodes[target.index()].name = Some(Arc::new(name));
     }
 
     fn child_position(&self, parent: NodeId, child: NodeId) -> usize {
@@ -386,10 +434,59 @@ impl Document {
         None
     }
 
+    /// Number of arena slots the subtree rooted at `id` occupies (the node
+    /// itself, its attributes, and all descendants) — an O(subtree) count
+    /// used to pre-reserve destination arenas before a deep copy.
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        let mut n = 0usize;
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            n += 1;
+            let d = &self.nodes[cur.index()];
+            stack.extend_from_slice(&d.attributes);
+            stack.extend_from_slice(&d.children);
+        }
+        n
+    }
+
+    /// Rough serialized byte size of the subtree rooted at `id`: tag pairs
+    /// from the interned name lengths, attribute/text content from the
+    /// stored value lengths, plus a small slack for escaping. One O(subtree)
+    /// pointer walk; the traversal stack is reused across calls because
+    /// sizing a Bulk RPC message calls this once per sequence item.
+    pub fn subtree_wire_estimate(&self, id: NodeId) -> usize {
+        thread_local! {
+            static WALK_STACK: std::cell::RefCell<Vec<NodeId>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        // take (not borrow) so a re-entrant call degrades to a fresh
+        // stack instead of a RefCell panic
+        let mut stack = WALK_STACK.with(|s| std::mem::take(&mut *s.borrow_mut()));
+        stack.push(id);
+        let mut total = 0usize;
+        while let Some(cur) = stack.pop() {
+            let d = &self.nodes[cur.index()];
+            if let Some(q) = &d.name {
+                total += 2 * q.lexical_len() + 5; // <n>..</n> or n=".."
+            }
+            total += d.value.len() + d.value.len() / 16 + 2;
+            stack.extend_from_slice(&d.attributes);
+            stack.extend_from_slice(&d.children);
+        }
+        WALK_STACK.with(|s| *s.borrow_mut() = stack);
+        total
+    }
+
     /// Deep-copy the subtree rooted at `src_id` in `src` into `self`,
     /// returning the new root id. The copy is *detached* (no parent), giving
-    /// the by-value semantics XRPC marshaling requires.
+    /// the by-value semantics XRPC marshaling requires. The destination arena
+    /// is reserved up front so large imports never re-grow it mid-copy.
     pub fn import_subtree(&mut self, src: &Document, src_id: NodeId) -> NodeId {
+        self.nodes.reserve(src.subtree_size(src_id));
+        self.import_rec(src, src_id)
+    }
+
+    fn import_rec(&mut self, src: &Document, src_id: NodeId) -> NodeId {
         let sd = src.node(src_id);
         let new_id = match sd.kind {
             NodeKind::Document => {
@@ -412,13 +509,13 @@ impl Document {
         };
         let attrs: Vec<NodeId> = sd.attributes.clone();
         for a in attrs {
-            let na = self.import_subtree(src, a);
+            let na = self.import_rec(src, a);
             self.nodes[na.index()].parent = Some(new_id);
             self.nodes[new_id.index()].attributes.push(na);
         }
         let kids: Vec<NodeId> = sd.children.clone();
         for c in kids {
-            let nc = self.import_subtree(src, c);
+            let nc = self.import_rec(src, c);
             self.nodes[nc.index()].parent = Some(new_id);
             self.nodes[new_id.index()].children.push(nc);
         }
@@ -473,7 +570,7 @@ mod tests {
         let names: Vec<String> = d
             .children(root)
             .iter()
-            .map(|&k| d.node(k).name.clone().unwrap().local)
+            .map(|&k| d.node(k).name.as_ref().unwrap().local.clone())
             .collect();
         assert_eq!(names, ["a", "b", "c"]);
     }
@@ -491,7 +588,7 @@ mod tests {
         let names: Vec<String> = d
             .children(root)
             .iter()
-            .map(|&k| d.node(k).name.clone().unwrap().local)
+            .map(|&k| d.node(k).name.as_ref().unwrap().local.clone())
             .collect();
         assert_eq!(names, ["x", "y"]);
         assert_eq!(d.node(a).parent, None);

@@ -109,20 +109,34 @@ pub fn sort_dedup(handles: &mut Vec<NodeHandle>) {
 }
 
 /// Preorder rank per arena slot (document order: an element precedes its
-/// attributes, which precede its children). Detached nodes keep `u32::MAX`.
+/// attributes, which precede its children).
+///
+/// Detached subtrees — e.g. marshaled fragments sharing one message arena —
+/// are ranked after the attached tree, ordered by their root's arena slot:
+/// an arbitrary but stable inter-fragment order, which is all the XDM
+/// requires for nodes with no common ancestor. Nodes unreachable from any
+/// parentless root keep `u32::MAX`.
 fn doc_order_ranks(doc: &Document) -> Vec<u32> {
     let mut ranks = vec![u32::MAX; doc.len()];
     let mut next: u32 = 0;
-    let mut stack = vec![doc.root()];
-    while let Some(id) = stack.pop() {
-        ranks[id.index()] = next;
-        next += 1;
-        for &a in doc.attributes(id) {
-            ranks[a.index()] = next;
-            next += 1;
+    let rank_from = |root: NodeId, ranks: &mut Vec<u32>, next: &mut u32| {
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            ranks[id.index()] = *next;
+            *next += 1;
+            for &a in doc.attributes(id) {
+                ranks[a.index()] = *next;
+                *next += 1;
+            }
+            for &c in doc.children(id).iter().rev() {
+                stack.push(c);
+            }
         }
-        for &c in doc.children(id).iter().rev() {
-            stack.push(c);
+    };
+    rank_from(doc.root(), &mut ranks, &mut next);
+    for id in doc.all_ids().skip(1) {
+        if doc.node(id).parent.is_none() && ranks[id.index()] == u32::MAX {
+            rank_from(id, &mut ranks, &mut next);
         }
     }
     ranks

@@ -11,6 +11,8 @@
 use crate::node::NodeKind;
 use crate::node::{Document, NodeId};
 use crate::qname::{QName, NS_XML};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Parse failure with byte offset and a human-readable message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,17 +79,56 @@ impl NsScope {
         &self.decls[*self.frame_starts.last().expect("no open frame")..]
     }
 
-    fn lookup(&self, prefix: &str) -> Option<String> {
+    fn lookup(&self, prefix: &str) -> Option<&str> {
         for (p, u) in self.decls.iter().rev() {
             if p == prefix {
                 // An empty URI undeclares the prefix.
                 if u.is_empty() {
                     return None;
                 }
-                return Some(u.clone());
+                return Some(u);
             }
         }
         None
+    }
+}
+
+/// Interns one `Arc<QName>` per distinct (raw tag name, resolved namespace)
+/// pair seen during a parse, so a document with a million `<chunk>` elements
+/// allocates the name strings exactly once. Keys borrow the input text —
+/// lookups on the hot path are allocation-free.
+/// Per raw name: the (resolved namespace, interned QName) pairs seen so far.
+type NsVariants = Vec<(Option<String>, Arc<QName>)>;
+
+struct QNameInterner<'a> {
+    map: HashMap<&'a str, NsVariants>,
+}
+
+impl<'a> QNameInterner<'a> {
+    fn new() -> Self {
+        QNameInterner {
+            map: HashMap::new(),
+        }
+    }
+
+    /// `raw` is the lexical name (possibly prefixed) as written in the input;
+    /// `ns_uri` its already-resolved namespace. Allocates only on first sight.
+    fn intern(&mut self, raw: &'a str, ns_uri: Option<&str>) -> Arc<QName> {
+        let bucket = self.map.entry(raw).or_default();
+        if let Some((_, q)) = bucket.iter().find(|(u, _)| u.as_deref() == ns_uri) {
+            return q.clone();
+        }
+        let (prefix, local) = match raw.split_once(':') {
+            Some((p, l)) => (Some(p), l),
+            None => (None, raw),
+        };
+        let q = Arc::new(QName {
+            prefix: prefix.map(str::to_string),
+            ns_uri: ns_uri.map(str::to_string),
+            local: local.to_string(),
+        });
+        bucket.push((ns_uri.map(str::to_string), q.clone()));
+        q
     }
 }
 
@@ -135,10 +176,17 @@ impl<'a> Parser<'a> {
     }
 
     fn run(mut self, uri: Option<String>) -> Result<Document, ParseError> {
-        let mut doc = Document::new();
+        // Pre-size the arena from the input: every element start/end tag,
+        // comment, PI and CDATA section opens with `<`, and at most one text
+        // node sits between consecutive tags, so the `<` count is a tight
+        // upper-bound-ish estimate of the node count. One vectorizable scan
+        // buys freedom from doubling a multi-MiB arena past the LLC.
+        let approx_nodes = self.bytes.iter().filter(|&&b| b == b'<').count();
+        let mut doc = Document::with_node_capacity(approx_nodes);
         doc.uri = uri;
         let root = doc.root();
         let mut ns_stack = NsScope::new();
+        let mut names = QNameInterner::new();
 
         // Prolog: XML decl, misc, doctype.
         self.skip_ws();
@@ -166,7 +214,7 @@ impl<'a> Parser<'a> {
         if self.peek() != Some(b'<') {
             return self.err("expected root element");
         }
-        let elem = self.parse_element(&mut doc, &mut ns_stack)?;
+        let elem = self.parse_element(&mut doc, &mut ns_stack, &mut names)?;
         doc.append_child(root, elem);
 
         // Trailing misc.
@@ -234,7 +282,7 @@ impl<'a> Parser<'a> {
 
     fn parse_pi(&mut self) -> Result<(String, String), ParseError> {
         self.expect("<?")?;
-        let target = self.parse_name()?;
+        let target = self.parse_name()?.to_string();
         let start = self.pos;
         match self.input[self.pos..].find("?>") {
             Some(i) => {
@@ -246,7 +294,9 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_name(&mut self) -> Result<String, ParseError> {
+    /// Borrow the name from the input — the hot path (tag and attribute
+    /// names) must not allocate a `String` per occurrence.
+    fn parse_name(&mut self) -> Result<&'a str, ParseError> {
         let start = self.pos;
         while let Some(c) = self.peek() {
             let ch = c as char;
@@ -263,7 +313,7 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return self.err("expected name");
         }
-        Ok(self.input[start..self.pos].to_string())
+        Ok(&self.input[start..self.pos])
     }
 
     /// `<name attr="v" ...>content</name>` or `<name .../>`.
@@ -274,12 +324,13 @@ impl<'a> Parser<'a> {
         &mut self,
         doc: &mut Document,
         ns_stack: &mut NsScope,
+        names: &mut QNameInterner<'a>,
     ) -> Result<NodeId, ParseError> {
-        let (root_elem, raw, self_closing) = self.parse_start_tag(doc, ns_stack)?;
+        let (root_elem, raw, self_closing) = self.parse_start_tag(doc, ns_stack, names)?;
         if self_closing {
             return Ok(root_elem);
         }
-        let mut open: Vec<(NodeId, String)> = vec![(root_elem, raw)];
+        let mut open: Vec<(NodeId, &'a str)> = vec![(root_elem, raw)];
         loop {
             let cur = open.last().unwrap().0;
             if self.starts_with("</") {
@@ -319,7 +370,7 @@ impl<'a> Parser<'a> {
                 let n = doc.create_pi(t, v);
                 doc.append_child(cur, n);
             } else if self.peek() == Some(b'<') {
-                let (kid, kraw, kself) = self.parse_start_tag(doc, ns_stack)?;
+                let (kid, kraw, kself) = self.parse_start_tag(doc, ns_stack, names)?;
                 doc.append_child(cur, kid);
                 if !kself {
                     open.push((kid, kraw));
@@ -331,7 +382,7 @@ impl<'a> Parser<'a> {
                     doc.append_child(cur, n);
                 }
             } else {
-                let raw_name = &open.last().unwrap().1;
+                let raw_name = open.last().unwrap().1;
                 return self.err(format!("unterminated element <{}>", raw_name));
             }
         }
@@ -344,13 +395,14 @@ impl<'a> Parser<'a> {
         &mut self,
         doc: &mut Document,
         ns_stack: &mut NsScope,
-    ) -> Result<(NodeId, String, bool), ParseError> {
+        names: &mut QNameInterner<'a>,
+    ) -> Result<(NodeId, &'a str, bool), ParseError> {
         self.expect("<")?;
         let raw_name = self.parse_name()?;
 
         // Raw attributes first; namespace decls must be in scope before
         // resolving prefixes (including the element's own).
-        let mut raw_attrs: Vec<(String, String)> = Vec::new();
+        let mut raw_attrs: Vec<(&'a str, String)> = Vec::new();
         let self_closing;
         loop {
             self.skip_ws();
@@ -371,7 +423,7 @@ impl<'a> Parser<'a> {
                     self.expect("=")?;
                     self.skip_ws();
                     let av = self.parse_attr_value()?;
-                    if raw_attrs.iter().any(|(n, _)| n == &an) {
+                    if raw_attrs.iter().any(|(n, _)| *n == an) {
                         return self.err(format!("duplicate attribute `{}`", an));
                     }
                     raw_attrs.push((an, av));
@@ -382,29 +434,32 @@ impl<'a> Parser<'a> {
 
         ns_stack.push_frame();
         for (n, v) in &raw_attrs {
-            if n == "xmlns" {
+            if *n == "xmlns" {
                 ns_stack.decls.push((String::new(), v.clone()));
             } else if let Some(p) = n.strip_prefix("xmlns:") {
                 ns_stack.decls.push((p.to_string(), v.clone()));
             }
         }
 
-        let name = self.resolve_qname(&raw_name, ns_stack, true)?;
-        let elem = doc.create_element(name);
+        let name = self.resolve_name(raw_name, ns_stack, names, true)?;
+        let elem = doc.create_element_shared(name);
         // Record declarations on the element for later (re)serialization and
         // in-scope prefix resolution.
-        doc.node_mut(elem).ns_decls = ns_stack.current_frame().to_vec();
+        let frame = ns_stack.current_frame();
+        if !frame.is_empty() {
+            doc.node_mut(elem).ns_decls = frame.to_vec();
+        }
 
         let mut xsi_type: Option<String> = None;
-        for (n, v) in &raw_attrs {
+        for (n, v) in raw_attrs {
             if n == "xmlns" || n.starts_with("xmlns:") {
                 continue;
             }
-            let qn = self.resolve_qname(n, ns_stack, false)?;
+            let qn = self.resolve_name(n, ns_stack, names, false)?;
             if qn.is(crate::qname::NS_XSI, "type") {
                 xsi_type = Some(v.clone());
             }
-            let a = doc.create_attribute(qn, v.clone());
+            let a = doc.create_attribute_shared(qn, v);
             doc.set_attribute_node(elem, a);
         }
         doc.node_mut(elem).type_annotation = xsi_type;
@@ -504,13 +559,17 @@ impl<'a> Parser<'a> {
         Ok(c)
     }
 
-    fn resolve_qname(
+    /// Resolve a raw (possibly prefixed) name against the in-scope namespace
+    /// bindings and intern the result. Allocation-free when the (name, uri)
+    /// pair has been seen before.
+    fn resolve_name(
         &self,
-        raw: &str,
+        raw: &'a str,
         ns_stack: &NsScope,
+        names: &mut QNameInterner<'a>,
         is_element: bool,
-    ) -> Result<QName, ParseError> {
-        let (prefix, local) = match raw.split_once(':') {
+    ) -> Result<Arc<QName>, ParseError> {
+        let prefix = match raw.split_once(':') {
             Some((p, l)) => {
                 if p.is_empty() || l.is_empty() || l.contains(':') {
                     return Err(ParseError {
@@ -518,12 +577,12 @@ impl<'a> Parser<'a> {
                         message: format!("malformed QName `{}`", raw),
                     });
                 }
-                (Some(p), l)
+                Some(p)
             }
-            None => (None, raw),
+            None => None,
         };
         let ns_uri = match prefix {
-            Some("xml") => Some(NS_XML.to_string()),
+            Some("xml") => Some(NS_XML),
             Some(p) => match ns_stack.lookup(p) {
                 Some(u) => Some(u),
                 None => {
@@ -538,11 +597,7 @@ impl<'a> Parser<'a> {
             None if is_element => ns_stack.lookup(""),
             None => None,
         };
-        Ok(QName {
-            prefix: prefix.map(|s| s.to_string()),
-            ns_uri,
-            local: local.to_string(),
-        })
+        Ok(names.intern(raw, ns_uri))
     }
 }
 

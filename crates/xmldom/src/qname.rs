@@ -40,9 +40,29 @@ impl QName {
 
     /// Lexical form `prefix:local` (or just `local`).
     pub fn lexical(&self) -> String {
+        let mut s = String::with_capacity(self.lexical_len());
+        self.push_lexical(&mut s);
+        s
+    }
+
+    /// Append the lexical form to `out` without allocating — the serializer's
+    /// hot path emits two tag names per element.
+    pub fn push_lexical(&self, out: &mut String) {
+        if let Some(p) = &self.prefix {
+            if !p.is_empty() {
+                out.push_str(p);
+                out.push(':');
+            }
+        }
+        out.push_str(&self.local);
+    }
+
+    /// Byte length of [`lexical`](Self::lexical), for serialized-size
+    /// estimation.
+    pub fn lexical_len(&self) -> usize {
         match &self.prefix {
-            Some(p) if !p.is_empty() => format!("{}:{}", p, self.local),
-            _ => self.local.clone(),
+            Some(p) if !p.is_empty() => p.len() + 1 + self.local.len(),
+            _ => self.local.len(),
         }
     }
 

@@ -66,8 +66,25 @@ enum Work {
     Break(usize),
 }
 
+thread_local! {
+    /// Reused across `write_node` calls: marshaling a Bulk RPC message
+    /// serializes tens of thousands of small subtrees back-to-back, and a
+    /// fresh work stack per subtree shows up as the dominant allocation.
+    static WORK_STACK: std::cell::RefCell<Vec<Work>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 fn write_node(doc: &Document, id: NodeId, opts: &SerializeOpts, depth: usize, out: &mut String) {
-    let mut stack = vec![Work::Node(id, depth)];
+    // take (not borrow) so a hypothetical re-entrant call degrades to a
+    // fresh stack instead of a RefCell panic
+    let mut stack = WORK_STACK.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    stack.push(Work::Node(id, depth));
+    write_node_with(doc, opts, out, &mut stack);
+    stack.clear();
+    WORK_STACK.with(|s| *s.borrow_mut() = stack);
+}
+
+fn write_node_with(doc: &Document, opts: &SerializeOpts, out: &mut String, stack: &mut Vec<Work>) {
     while let Some(work) = stack.pop() {
         match work {
             Work::Break(depth) => {
@@ -78,7 +95,11 @@ fn write_node(doc: &Document, id: NodeId, opts: &SerializeOpts, depth: usize, ou
             }
             Work::Close(id, _depth) => {
                 out.push_str("</");
-                out.push_str(&doc.node(id).name.as_ref().expect("element name").lexical());
+                doc.node(id)
+                    .name
+                    .as_ref()
+                    .expect("element name")
+                    .push_lexical(out);
                 out.push('>');
             }
             Work::Node(id, depth) => match doc.kind(id) {
@@ -87,7 +108,7 @@ fn write_node(doc: &Document, id: NodeId, opts: &SerializeOpts, depth: usize, ou
                         stack.push(Work::Node(c, depth));
                     }
                 }
-                NodeKind::Element => write_element_open(doc, id, opts, depth, out, &mut stack),
+                NodeKind::Element => write_element_open(doc, id, opts, depth, out, stack),
                 NodeKind::Text => push_escaped_text(out, &doc.node(id).value),
                 NodeKind::Comment => {
                     out.push_str("<!--");
@@ -114,7 +135,9 @@ fn write_node(doc: &Document, id: NodeId, opts: &SerializeOpts, depth: usize, ou
                     // A standalone attribute serializes as name="value" (used
                     // by the XRPC <attribute> wrapper).
                     let d = doc.node(id);
-                    out.push_str(&d.name.as_ref().map(|n| n.lexical()).unwrap_or_default());
+                    if let Some(n) = d.name.as_ref() {
+                        n.push_lexical(out);
+                    }
                     out.push_str("=\"");
                     push_escaped_attr(out, &d.value);
                     out.push('"');
@@ -135,7 +158,10 @@ fn write_element_open(
 ) {
     let d = doc.node(id);
     out.push('<');
-    out.push_str(&d.name.as_ref().expect("element has a name").lexical());
+    d.name
+        .as_ref()
+        .expect("element has a name")
+        .push_lexical(out);
     for (p, u) in &d.ns_decls {
         if p.is_empty() {
             out.push_str(" xmlns=\"");
@@ -150,7 +176,9 @@ fn write_element_open(
     for &a in doc.attributes(id) {
         let ad = doc.node(a);
         out.push(' ');
-        out.push_str(&ad.name.as_ref().map(|n| n.lexical()).unwrap_or_default());
+        if let Some(n) = ad.name.as_ref() {
+            n.push_lexical(out);
+        }
         out.push_str("=\"");
         push_escaped_attr(out, &ad.value);
         out.push('"');

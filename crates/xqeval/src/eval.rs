@@ -1064,9 +1064,18 @@ impl<'e> Evaluator<'e> {
             }
             None => {
                 // Build: one pass over all elements with the wanted name,
-                // evaluating the key path per element.
+                // evaluating the key path per element. Seed the walk with
+                // the attached tree AND every detached fragment root —
+                // marshaled parameters share the message arena without
+                // being reachable from slot 0; the ancestor filter below
+                // scopes hits back to the base node's own fragment.
                 let mut map = crate::index::ValueIndex::new();
                 let mut stack = vec![root.doc.root()];
+                for id in root.doc.all_ids().skip(1) {
+                    if root.doc.node(id).parent.is_none() {
+                        stack.push(id);
+                    }
+                }
                 let mut order = Vec::new();
                 while let Some(id) = stack.pop() {
                     order.push(id);

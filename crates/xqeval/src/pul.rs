@@ -329,7 +329,7 @@ mod tests {
         let names: Vec<String> = new
             .children(a)
             .iter()
-            .map(|&c| new.node(c).name.clone().unwrap().local)
+            .map(|&c| new.node(c).name.as_ref().unwrap().local.clone())
             .collect();
         assert_eq!(names, ["first", "before", "m", "x1", "x2", "last"]);
     }
@@ -364,7 +364,7 @@ mod tests {
         let new = &edits[0].new;
         let a = new.children(new.root())[0];
         let x = new.children(a)[0];
-        assert_eq!(new.node(x).name.clone().unwrap().local, "x");
+        assert_eq!(new.node(x).name.as_ref().unwrap().local.clone(), "x");
         assert_eq!(new.children(x).len(), 1);
     }
 
@@ -379,7 +379,7 @@ mod tests {
         let new = &apply_updates(&pul).unwrap()[0].new;
         let a = new.children(new.root())[0];
         let b = new.children(a)[0];
-        assert_eq!(new.node(b).name.clone().unwrap().local, "renamed");
+        assert_eq!(new.node(b).name.as_ref().unwrap().local.clone(), "renamed");
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Capacity-classed recycling of message buffers.
+//!
+//! Large Bulk RPC messages (multi-MiB SOAP envelopes) used to allocate a
+//! fresh body buffer per request on both sides of the wire, which makes
+//! the allocator — not the network — the bottleneck past a few MiB. The
+//! pool keeps a small free list of `Vec<u8>`s per power-of-two capacity
+//! class; getting a buffer rounds the requested capacity up to its class
+//! so a recycled 4 MiB buffer serves every ~4 MiB request afterwards.
+//!
+//! Buffers outside the class range (tiny or gigantic) and overflow beyond
+//! the per-class cap are dropped rather than hoarded, so the pool's
+//! worst-case footprint is bounded: `Σ class_size × MAX_PER_CLASS`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Smallest pooled capacity: 4 KiB.
+const MIN_CLASS_SHIFT: u32 = 12;
+/// Largest pooled capacity: 32 MiB (class shift 25).
+const MAX_CLASS_SHIFT: u32 = 25;
+const NUM_CLASSES: usize = (MAX_CLASS_SHIFT - MIN_CLASS_SHIFT + 1) as usize;
+/// Free-list depth per class; beyond this, returned buffers are dropped.
+const MAX_PER_CLASS: usize = 8;
+
+/// A pool of recycled `Vec<u8>`s bucketed by power-of-two capacity.
+pub struct BufferPool {
+    classes: [parking_lot::Mutex<Vec<Vec<u8>>>; NUM_CLASSES],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+    dropped: AtomicU64,
+    /// Buffers currently sitting in free lists.
+    occupancy: AtomicU64,
+}
+
+/// Point-in-time pool counters; `hits / (hits + misses)` is the hit rate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `get` calls served from a free list.
+    pub hits: u64,
+    /// `get` calls that had to allocate.
+    pub misses: u64,
+    /// Buffers accepted back by `put`.
+    pub recycled: u64,
+    /// Buffers rejected by `put` (out of class range or full class).
+    pub dropped: u64,
+    /// Buffers currently held in free lists.
+    pub occupancy: u64,
+}
+
+/// Index of the smallest class whose capacity is ≥ `n`, or `None` when
+/// `n` exceeds the largest class.
+fn class_for_request(n: usize) -> Option<usize> {
+    if n > (1 << MAX_CLASS_SHIFT) {
+        return None;
+    }
+    let shift = usize::BITS - n.max(1).next_power_of_two().leading_zeros() - 1;
+    let shift = shift.max(MIN_CLASS_SHIFT);
+    Some((shift - MIN_CLASS_SHIFT) as usize)
+}
+
+/// Index of the largest class whose capacity is ≤ `cap` — the bucket a
+/// returned buffer belongs to — or `None` when `cap` is below the
+/// smallest class.
+fn class_for_return(cap: usize) -> Option<usize> {
+    if cap < (1 << MIN_CLASS_SHIFT) {
+        return None;
+    }
+    let shift = (usize::BITS - 1 - cap.leading_zeros()).min(MAX_CLASS_SHIFT);
+    Some((shift - MIN_CLASS_SHIFT) as usize)
+}
+
+impl BufferPool {
+    pub fn new() -> Self {
+        BufferPool {
+            classes: std::array::from_fn(|_| parking_lot::Mutex::new(Vec::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            occupancy: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide pool both transports and the protocol layer share.
+    pub fn global() -> &'static BufferPool {
+        static GLOBAL: OnceLock<BufferPool> = OnceLock::new();
+        GLOBAL.get_or_init(BufferPool::new)
+    }
+
+    /// An empty buffer with at least `min_capacity` bytes of capacity,
+    /// recycled when a suitable one is pooled.
+    pub fn get(&self, min_capacity: usize) -> Vec<u8> {
+        if let Some(class) = class_for_request(min_capacity) {
+            if let Some(mut buf) = self.classes[class].lock().pop() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.occupancy.fetch_sub(1, Ordering::Relaxed);
+                buf.clear();
+                return buf;
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            // allocate the full class size so the buffer is reusable for
+            // any request in this class when it comes back
+            return Vec::with_capacity(1 << (class as u32 + MIN_CLASS_SHIFT));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Vec::with_capacity(min_capacity)
+    }
+
+    /// Return a buffer for reuse. Contents are discarded; buffers outside
+    /// the class range or landing in a full class are dropped.
+    pub fn put(&self, buf: Vec<u8>) {
+        if let Some(class) = class_for_return(buf.capacity()) {
+            let mut list = self.classes[class].lock();
+            if list.len() < MAX_PER_CLASS {
+                let mut buf = buf;
+                buf.clear();
+                list.push(buf);
+                self.recycled.fetch_add(1, Ordering::Relaxed);
+                self.occupancy.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// [`BufferPool::get`] as an empty `String` (for serializers that
+    /// build text); the conversion is free since the buffer is empty.
+    pub fn get_string(&self, min_capacity: usize) -> String {
+        String::from_utf8(self.get(min_capacity)).expect("empty buffer is valid UTF-8")
+    }
+
+    /// Return a `String`'s backing buffer to the pool.
+    pub fn put_string(&self, s: String) {
+        self.put(s.into_bytes());
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            recycled: self.recycled.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            occupancy: self.occupancy.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_boundaries() {
+        // requests round up
+        assert_eq!(class_for_request(0), Some(0));
+        assert_eq!(class_for_request(4096), Some(0));
+        assert_eq!(class_for_request(4097), Some(1));
+        assert_eq!(class_for_request(1 << 20), Some((20 - 12) as usize));
+        assert_eq!(class_for_request(32 << 20), Some(NUM_CLASSES - 1));
+        assert_eq!(class_for_request((32 << 20) + 1), None);
+        // returns round down
+        assert_eq!(class_for_return(4095), None);
+        assert_eq!(class_for_return(4096), Some(0));
+        assert_eq!(class_for_return(8191), Some(0));
+        assert_eq!(class_for_return(1 << 26), Some(NUM_CLASSES - 1));
+    }
+
+    #[test]
+    fn get_put_get_recycles() {
+        let p = BufferPool::new();
+        let buf = p.get(1 << 20);
+        assert!(buf.capacity() >= 1 << 20);
+        let cap = buf.capacity();
+        p.put(buf);
+        let again = p.get(1 << 20);
+        assert_eq!(again.capacity(), cap);
+        assert!(again.is_empty());
+        let s = p.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.recycled, 1);
+        assert_eq!(s.occupancy, 0);
+    }
+
+    #[test]
+    fn oversized_and_tiny_buffers_dropped() {
+        let p = BufferPool::new();
+        p.put(Vec::with_capacity(16)); // below smallest class
+        p.put(Vec::new());
+        let s = p.stats();
+        assert_eq!(s.recycled, 0);
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.occupancy, 0);
+    }
+
+    #[test]
+    fn class_cap_bounds_occupancy() {
+        let p = BufferPool::new();
+        for _ in 0..(MAX_PER_CLASS + 3) {
+            p.put(Vec::with_capacity(4096));
+        }
+        let s = p.stats();
+        assert_eq!(s.recycled, MAX_PER_CLASS as u64);
+        assert_eq!(s.dropped, 3);
+        assert_eq!(s.occupancy, MAX_PER_CLASS as u64);
+    }
+
+    #[test]
+    fn string_roundtrip_reuses_backing_buffer() {
+        let p = BufferPool::new();
+        let mut s = p.get_string(8192);
+        s.push_str("hello");
+        let cap = s.capacity();
+        p.put_string(s);
+        let s2 = p.get_string(8192);
+        assert!(s2.is_empty());
+        assert_eq!(s2.capacity(), cap);
+        assert_eq!(p.stats().hits, 1);
+    }
+}

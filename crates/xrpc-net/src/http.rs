@@ -4,12 +4,13 @@
 //! keep-alive. Timeouts, the accept-loop poll interval and the maximum
 //! accepted body size are configurable via [`HttpConfig`].
 
+use crate::bufpool::BufferPool;
 use crate::metrics::NetMetrics;
 use crate::pool::ConnectionPool;
 use crate::{NetError, NetErrorKind, Transport};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -34,6 +35,10 @@ pub struct HttpConfig {
     /// How long a pooled connection may sit idle before it is reaped
     /// instead of reused.
     pub pool_idle_timeout: Duration,
+    /// Maximum concurrently served connections. Connections accepted
+    /// beyond the cap are answered with `503 Service Unavailable` and
+    /// closed without reading the request. `0` means unlimited.
+    pub max_connections: usize,
 }
 
 impl Default for HttpConfig {
@@ -44,6 +49,7 @@ impl Default for HttpConfig {
             max_body_bytes: 64 << 20,
             pool_max_idle_per_host: 8,
             pool_idle_timeout: Duration::from_secs(60),
+            max_connections: 0,
         }
     }
 }
@@ -78,20 +84,35 @@ impl HttpServer {
         let metrics = Arc::new(NetMetrics::new());
         let sd = shutdown.clone();
         let m = metrics.clone();
+        let active = Arc::new(AtomicUsize::new(0));
         listener.set_nonblocking(true)?;
         let accept_thread = std::thread::Builder::new()
             .name(format!("xrpc-http-{local}"))
             .spawn(move || {
                 while !sd.load(Ordering::Relaxed) {
                     match listener.accept() {
-                        Ok((stream, _)) => {
+                        Ok((mut stream, _)) => {
+                            if config.max_connections > 0
+                                && active.load(Ordering::Relaxed) >= config.max_connections
+                            {
+                                m.record_failure();
+                                let _ = write_response(
+                                    &mut stream,
+                                    503,
+                                    b"connection limit reached",
+                                    false,
+                                );
+                                continue;
+                            }
                             let h = handler.clone();
                             let m2 = m.clone();
+                            let guard = ConnGuard::enter(&active);
                             // request handlers may evaluate deep queries:
                             // give them room (see xqeval recursion cap)
                             let _ = std::thread::Builder::new()
                                 .stack_size(32 * 1024 * 1024)
                                 .spawn(move || {
+                                    let _guard = guard;
                                     let _ = serve_connection(stream, &h, &m2, &config);
                                 });
                         }
@@ -140,8 +161,49 @@ fn status_reason(status: u16) -> &'static str {
         404 => "Not Found",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
+}
+
+/// Decrements the server's active-connection counter when the serving
+/// thread finishes (whatever the exit path).
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl ConnGuard {
+    fn enter(active: &Arc<AtomicUsize>) -> Self {
+        active.fetch_add(1, Ordering::Relaxed);
+        ConnGuard(active.clone())
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Write `head` and `body` as one vectored write so the kernel sees a
+/// single gathered buffer instead of two `write` calls (and the body is
+/// never copied into a concatenated buffer). Falls back to looping on
+/// short writes.
+fn write_all_vectored(w: &mut impl Write, mut head: &[u8], mut body: &[u8]) -> std::io::Result<()> {
+    while !head.is_empty() || !body.is_empty() {
+        let n = w.write_vectored(&[IoSlice::new(head), IoSlice::new(body)])?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "failed to write whole message",
+            ));
+        }
+        if n >= head.len() {
+            body = &body[(n - head.len()).min(body.len())..];
+            head = &[];
+        } else {
+            head = &head[n..];
+        }
+    }
+    Ok(())
 }
 
 fn write_response(
@@ -156,8 +218,7 @@ fn write_response(
         body.len(),
         if keep_alive { "keep-alive" } else { "close" }
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    write_all_vectored(stream, head.as_bytes(), body)?;
     stream.flush()?;
     Ok(())
 }
@@ -172,14 +233,37 @@ fn serve_connection(
     stream.set_read_timeout(Some(config.read_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut stream = stream;
+    // one request-body buffer per connection, reused across keep-alive
+    // requests and recycled into the global pool when the connection ends
+    let mut body = BufferPool::global().get(0);
+    let result = serve_requests(
+        &mut reader,
+        &mut stream,
+        handler,
+        metrics,
+        config,
+        &mut body,
+    );
+    BufferPool::global().put(body);
+    result
+}
+
+fn serve_requests(
+    reader: &mut BufReader<TcpStream>,
+    stream: &mut TcpStream,
+    handler: &Arc<Handler>,
+    metrics: &NetMetrics,
+    config: &HttpConfig,
+    body: &mut Vec<u8>,
+) -> Result<(), NetError> {
     loop {
-        let req = match read_request(&mut reader, config) {
+        let req = match read_request(reader, config, body) {
             Ok(Some(r)) => r,
             Ok(None) => return Ok(()), // clean close
             // protocol violations get an HTTP error response before the
             // connection closes; I/O failures just drop the connection
             Err(ReadError::Proto(msg)) => {
-                let _ = write_response(&mut stream, 400, msg.as_bytes(), false);
+                let _ = write_response(stream, 400, msg.as_bytes(), false);
                 metrics.record_failure();
                 return Err(NetError::new(msg));
             }
@@ -188,7 +272,7 @@ fn serve_connection(
                     "request body of {n} bytes exceeds limit of {} bytes",
                     config.max_body_bytes
                 );
-                let _ = write_response(&mut stream, 413, msg.as_bytes(), false);
+                let _ = write_response(stream, 413, msg.as_bytes(), false);
                 metrics.record_failure();
                 return Err(NetError::with_kind(NetErrorKind::TooLarge, msg));
             }
@@ -198,18 +282,20 @@ fn serve_connection(
             }
         };
         let keep_alive = req.keep_alive;
-        let (status, body) = handler(&req.path, &req.body);
-        metrics.record(req.body.len(), body.len());
-        write_response(&mut stream, status, &body, keep_alive)?;
+        let (status, resp) = handler(&req.path, body);
+        metrics.record(body.len(), resp.len());
+        write_response(stream, status, &resp, keep_alive)?;
+        // the handler's response buffer is spent: recycle it
+        BufferPool::global().put(resp);
         if !keep_alive {
             return Ok(());
         }
     }
 }
 
+/// Request metadata; the body lands in the caller-owned buffer.
 struct Request {
     path: String,
-    body: Vec<u8>,
     keep_alive: bool,
 }
 
@@ -231,6 +317,7 @@ impl From<std::io::Error> for ReadError {
 fn read_request(
     reader: &mut BufReader<TcpStream>,
     config: &HttpConfig,
+    body: &mut Vec<u8>,
 ) -> Result<Option<Request>, ReadError> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
@@ -285,13 +372,10 @@ fn read_request(
     if content_length > config.max_body_bytes {
         return Err(ReadError::TooLarge(content_length));
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    Ok(Some(Request {
-        path,
-        body,
-        keep_alive,
-    }))
+    body.clear();
+    body.resize(content_length, 0);
+    reader.read_exact(body)?;
+    Ok(Some(Request { path, keep_alive }))
 }
 
 /// HTTP client: POST `body` to `http://host:port/path` with default
@@ -437,11 +521,7 @@ fn exchange(
         body.len(),
         if keep_alive { "keep-alive" } else { "close" }
     );
-    stream
-        .write_all(head.as_bytes())
-        .map_err(|e| ExchangeError::before(e.into()))?;
-    stream
-        .write_all(body)
+    write_all_vectored(&mut stream, head.as_bytes(), body)
         .map_err(|e| ExchangeError::before(e.into()))?;
     stream
         .flush()
@@ -494,7 +574,16 @@ fn exchange(
         if let Some((k, v)) = h.split_once(':') {
             let k = k.trim();
             if k.eq_ignore_ascii_case("content-length") {
-                content_length = v.trim().parse().ok();
+                // a malformed length is a framing violation, not a missing
+                // header: treating it as absent would silently switch to
+                // read-to-EOF framing and return a mis-framed body
+                let n = v.trim().parse().map_err(|_| {
+                    ExchangeError::mid(NetError::with_kind(
+                        NetErrorKind::Corrupt,
+                        format!("malformed Content-Length `{}`", v.trim()),
+                    ))
+                })?;
+                content_length = Some(n);
             } else if k.eq_ignore_ascii_case("connection") && v.trim().eq_ignore_ascii_case("close")
             {
                 conn_close = true;
@@ -503,7 +592,8 @@ fn exchange(
     }
     let resp_body = match content_length {
         Some(n) => {
-            let mut b = vec![0u8; n];
+            let mut b = BufferPool::global().get(n);
+            b.resize(n, 0);
             reader
                 .read_exact(&mut b)
                 .map_err(|e| ExchangeError::mid(e.into()))?;
@@ -799,6 +889,106 @@ mod tests {
         assert_eq!(s.failures, 0);
         assert_eq!(s.pool_hits, 0, "the stale attempt must not count as a hit");
         assert_eq!(s.pool_misses, 2);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connection_cap_rejects_with_503() {
+        let server = HttpServer::bind_with(
+            "127.0.0.1:0",
+            Arc::new(|_: &str, b: &[u8]| (200, b.to_vec())),
+            HttpConfig {
+                max_connections: 1,
+                ..HttpConfig::default()
+            },
+        )
+        .unwrap();
+        let url = format!("http://{}/cap", server.addr());
+        // an idle raw connection occupies the single slot once accepted
+        let hold = TcpStream::connect(server.addr()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let (status, _) = http_post_with(&url, b"x", &HttpConfig::default()).unwrap();
+            if status == 503 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "over-cap connection was never rejected"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // the typed client path surfaces the 503 as a non-SOAP 5xx error
+        let e = http_post(&url, b"x").unwrap_err();
+        assert_eq!(e.kind, NetErrorKind::Other);
+        assert!(e.message.contains("HTTP 503"), "{}", e.message);
+        // releasing the held connection frees the slot again
+        drop(hold);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let (status, body) = http_post_with(&url, b"after", &HttpConfig::default()).unwrap();
+            if status == 200 {
+                assert_eq!(body, b"after");
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "slot was never released"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Keep-alive reuse (with its recycled per-connection buffers) must be
+    /// invisible: N different-sized requests over one pooled connection
+    /// yield byte-identical responses to fresh-connection requests.
+    #[test]
+    fn keep_alive_responses_byte_identical_to_fresh_connections() {
+        let server = echo_server();
+        let url = format!("http://{}/ka", server.addr());
+        let pooled = HttpTransport::new();
+        let fresh = HttpTransport::with_config(HttpConfig {
+            pool_max_idle_per_host: 0,
+            ..HttpConfig::default()
+        });
+        // sizes chosen to shrink and grow across buffer-pool classes
+        for size in [3usize, 70_000, 512, 1 << 20, 1, 9_000, 4 << 20, 100] {
+            let body: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+            let a = pooled.roundtrip(&url, &body).unwrap();
+            let b = fresh.roundtrip(&url, &body).unwrap();
+            assert_eq!(a, b, "{size}-byte request diverged");
+            assert_eq!(&a[a.len() - size..], &body[..], "{size}-byte echo corrupt");
+        }
+        assert!(pooled.metrics.snapshot().pool_hits >= 7);
+    }
+
+    /// A malformed Content-Length used to be treated as *absent*, silently
+    /// switching to read-to-EOF framing; it must be a typed protocol error.
+    #[test]
+    fn malformed_content_length_is_corrupt_error() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            loop {
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+                if line.trim_end().is_empty() {
+                    break;
+                }
+            }
+            stream
+                .write_all(
+                    b"HTTP/1.1 200 OK\r\nContent-Length: banana\r\nConnection: close\r\n\r\nhi",
+                )
+                .unwrap();
+        });
+        let url = format!("http://{addr}/m");
+        let e = http_post(&url, b"").unwrap_err();
+        assert_eq!(e.kind, NetErrorKind::Corrupt);
+        assert!(e.message.contains("Content-Length"), "{}", e.message);
         server.join().unwrap();
     }
 

@@ -13,6 +13,7 @@
 //! crash-restart, all deterministic) is what the chaos tests drive.
 
 pub mod breaker;
+pub mod bufpool;
 pub mod http;
 pub mod metrics;
 pub mod pool;
@@ -20,6 +21,7 @@ pub mod retry;
 pub mod sim;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use bufpool::{BufferPool, PoolStats};
 pub use http::{http_post, HttpConfig, HttpServer, HttpTransport};
 pub use metrics::NetMetrics;
 pub use pool::ConnectionPool;

@@ -67,6 +67,15 @@ impl NetMetrics {
         self.pool_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counters of the process-wide message [`crate::BufferPool`]:
+    /// recycled-buffer hit rate and current free-list occupancy. Shared
+    /// across transports (the pool is global), so they are exposed here
+    /// rather than inside [`MetricsSnapshot`], whose equality the chaos
+    /// suite uses to assert "no traffic happened".
+    pub fn buffer_pool(&self) -> crate::bufpool::PoolStats {
+        crate::bufpool::BufferPool::global().stats()
+    }
+
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             roundtrips: self.roundtrips.load(Ordering::Relaxed),

@@ -101,7 +101,16 @@ impl RpcDispatcher for XrpcClient {
             // genuinely identical dispatches (different seq)
             req.seq = Some(seq_no);
         }
-        let xml = req.to_xml()?;
+        // serialize into a recycled buffer sized from the cheap estimate;
+        // the call-by-fragment path needs the message-DOM pipeline and
+        // keeps its own allocation
+        let xml = if req.call_by_fragment {
+            req.to_xml()?
+        } else {
+            let mut out = xrpc_net::BufferPool::global().get_string(req.estimated_wire_size());
+            req.write_xml(&mut out)?;
+            out
+        };
         self.calls_sent.fetch_add(ncalls as u64, Relaxed);
         // Retry semantics (see xrpc-net): read-only calls are safe to
         // resend after any retryable failure; deferred updates (rule R'Fu)
@@ -120,9 +129,13 @@ impl RpcDispatcher for XrpcClient {
             .transport
             .roundtrip_hinted(dest, xml.as_bytes(), hint)
             .map_err(|e| XdmError::xrpc(format!("XRPC to `{dest}` failed: {e}")))?;
+        xrpc_net::BufferPool::global().put_string(xml);
         let resp_text = std::str::from_utf8(&resp_bytes)
             .map_err(|_| XdmError::xrpc("non-UTF8 XRPC response"))?;
-        match parse_message(resp_text)? {
+        let msg = parse_message(resp_text)?;
+        // the response's byte buffer is spent once parsed: recycle it
+        xrpc_net::BufferPool::global().put(resp_bytes);
+        match msg {
             XrpcMessage::Response(r) => {
                 let mut parts = self.participants.lock();
                 parts.insert(dest.to_string());

@@ -198,10 +198,16 @@ impl Peer {
             }
         };
         match self.handle_message(text) {
-            Ok(resp) => match resp.to_xml() {
-                Ok(xml) => xml.into_bytes(),
-                Err(e) => XrpcFault::from_error(&e).to_xml().into_bytes(),
-            },
+            // serialize into a recycled transport buffer, pre-reserved from
+            // the response's estimated wire size (the server returns the
+            // buffer to the pool once it hits the socket)
+            Ok(resp) => {
+                let mut out = xrpc_net::BufferPool::global().get_string(resp.estimated_wire_size());
+                match resp.write_xml(&mut out) {
+                    Ok(()) => out.into_bytes(),
+                    Err(e) => XrpcFault::from_error(&e).to_xml().into_bytes(),
+                }
+            }
             Err(e) => XrpcFault::from_error(&e).to_xml().into_bytes(),
         }
     }
@@ -217,8 +223,14 @@ impl Peer {
         if req.module == crate::remote_docs::DOC_MODULE {
             return self.handle_doc_fetch(&req);
         }
-        // identifies a redelivered (transport-retried) request byte-for-byte
-        let request_hash = fnv1a(text.as_bytes());
+        // identifies a redelivered (transport-retried) request byte-for-byte;
+        // only deferred updating calls consult it, so spare the read-only
+        // hot path the full-message scan
+        let request_hash = if req.deferred {
+            fnv1a(text.as_bytes())
+        } else {
+            0
+        };
         self.handle_call_request(req, request_hash)
     }
 

@@ -64,7 +64,7 @@ impl DocResolver for RemoteDocResolver {
             .ok_or_else(|| XdmError::xrpc("empty doc-fetch response"))?;
         match seq.singleton()? {
             Item::Node(n) => {
-                let doc = n.doc.clone();
+                let doc = materialize_document(n, uri);
                 self.cache.lock().insert(uri.to_string(), doc.clone());
                 Ok(doc)
             }
@@ -79,4 +79,29 @@ impl DocResolver for RemoteDocResolver {
     fn replace(&self, uri: &str, doc: Arc<Document>) -> XdmResult<()> {
         self.local.replace(uri, doc)
     }
+}
+
+/// Turn a fetched node into a standalone `Document` whose slot-0 root *is*
+/// the document root (the `fn:doc` contract). Decoded response nodes live as
+/// detached fragments inside the shared message arena, so a fragment root
+/// must be copied out into its own arena; a node that already heads its
+/// arena is shared as-is.
+fn materialize_document(n: &xmldom::NodeHandle, uri: &str) -> Arc<Document> {
+    if n.id == n.doc.root() {
+        return n.doc.clone();
+    }
+    let mut fresh = Document::with_node_capacity(n.doc.subtree_size(n.id));
+    fresh.uri = Some(uri.to_string());
+    let root = fresh.root();
+    if n.kind() == xmldom::NodeKind::Document {
+        let kids = n.doc.node(n.id).children.clone();
+        for c in kids {
+            let imported = fresh.import_subtree(&n.doc, c);
+            fresh.append_child(root, imported);
+        }
+    } else {
+        let imported = fresh.import_subtree(&n.doc, n.id);
+        fresh.append_child(root, imported);
+    }
+    Arc::new(fresh)
 }

@@ -431,6 +431,226 @@ fn fresh_fragment(msg: &Document, src_id: NodeId) -> XdmResult<NodeHandle> {
     Ok(NodeHandle::new(std::sync::Arc::new(d), copy))
 }
 
+// ---------------------------------------------------------------------
+// Zero-copy decode: detach fragments in place instead of deep-copying
+// ---------------------------------------------------------------------
+
+/// Phase-1 result of decoding one value wrapper: atomics are complete,
+/// node values are *detached in place* inside the (still mutable) message
+/// arena and referenced by id until the arena is frozen behind an `Arc`.
+enum Pending {
+    Ready(Item),
+    Node(NodeId),
+}
+
+/// All items of one decoded `<xrpc:sequence>`, awaiting the arena freeze.
+pub struct PendingSequence(Vec<Pending>);
+
+impl PendingSequence {
+    /// Phase 2: turn ids into handles sharing the frozen message arena.
+    pub fn finish(self, arc: &std::sync::Arc<Document>) -> Sequence {
+        let mut out = Sequence::empty();
+        for p in self.0 {
+            out.push(match p {
+                Pending::Ready(item) => item,
+                Pending::Node(id) => Item::Node(NodeHandle::new(arc.clone(), id)),
+            });
+        }
+        out
+    }
+}
+
+/// `n2s()` without the per-item deep copy: each node value is detached from
+/// its wrapper in place (`parent := None`), so the whole message keeps ONE
+/// arena and decoding allocates nothing per item beyond the id list.
+///
+/// The call-by-value contract survives because detaching severs the upward
+/// link: ancestor/parent/sibling axes from the fragment root see nothing —
+/// exactly what the fresh-fragment copy guaranteed, minus the copy. The
+/// price is that the envelope arena stays alive as long as any decoded
+/// fragment does (documented in DESIGN.md).
+pub fn n2s_detach(msg: &mut Document, seq_el: NodeId) -> XdmResult<PendingSequence> {
+    let mut out = Vec::new();
+    for child in msg.child_elements(seq_el) {
+        out.push(decode_value_detach(msg, child)?);
+    }
+    Ok(PendingSequence(out))
+}
+
+/// [`n2s_call`] without the per-item deep copy (see [`n2s_detach`]).
+/// `<xrpc:nodeid>` references resolve to ids *inside* earlier detached
+/// fragments — same arena, so no cross-document bookkeeping at all.
+pub fn n2s_call_detach(msg: &mut Document, call: NodeId) -> XdmResult<Vec<PendingSequence>> {
+    let mut decoded: Vec<PendingSequence> = Vec::new();
+    for seq_el in msg.child_elements(call) {
+        let is_seq = msg
+            .node(seq_el)
+            .name
+            .as_ref()
+            .is_some_and(|n| n.is(NS_XRPC, "sequence"));
+        if !is_seq {
+            continue;
+        }
+        let mut out: Vec<Pending> = Vec::new();
+        for child in msg.child_elements(seq_el) {
+            let cname = msg
+                .node(child)
+                .name
+                .clone()
+                .ok_or_else(|| XdmError::xrpc("unnamed sequence member"))?;
+            if cname.is(NS_XRPC, "nodeid") {
+                out.push(resolve_nodeid_detached(msg, child, &decoded, &out)?);
+            } else {
+                out.push(decode_value_detach(msg, child)?);
+            }
+        }
+        decoded.push(PendingSequence(out));
+    }
+    Ok(decoded)
+}
+
+/// Decode one wrapper, detaching node values in place.
+fn decode_value_detach(msg: &mut Document, child: NodeId) -> XdmResult<Pending> {
+    let name = msg
+        .node(child)
+        .name
+        .clone()
+        .ok_or_else(|| XdmError::xrpc("unnamed element in xrpc:sequence"))?;
+    if name.ns_uri.as_deref() != Some(NS_XRPC) {
+        return Err(XdmError::xrpc(format!(
+            "unexpected element `{}` in xrpc:sequence",
+            name.lexical()
+        )));
+    }
+    match name.local.as_str() {
+        "atomic-value" => {
+            let ty_lex = msg
+                .attr_local(child, "type")
+                .ok_or_else(|| XdmError::xrpc("atomic-value without xsi:type"))?;
+            let ty = AtomicType::from_xs_name(ty_lex)
+                .ok_or_else(|| XdmError::xrpc(format!("unsupported xsi:type `{ty_lex}`")))?;
+            let lexical = msg.string_value(child);
+            Ok(Pending::Ready(Item::Atomic(AtomicValue::parse_as(
+                &lexical, ty,
+            )?)))
+        }
+        "element" => {
+            let inner = msg
+                .child_elements(child)
+                .first()
+                .copied()
+                .ok_or_else(|| XdmError::xrpc("empty xrpc:element wrapper"))?;
+            msg.detach(inner);
+            Ok(Pending::Node(inner))
+        }
+        "document" => {
+            // Reparent the wrapper's children under a synthetic document
+            // node in the same arena (the child id vec moves, not copies).
+            let doc_node = msg.create_document_node();
+            let kids = std::mem::take(&mut msg.node_mut(child).children);
+            for &k in &kids {
+                msg.node_mut(k).parent = Some(doc_node);
+            }
+            msg.node_mut(doc_node).children = kids;
+            Ok(Pending::Node(doc_node))
+        }
+        "text" => {
+            // The parser coalesces entity references, so the wrapper holds a
+            // single text child in the common case — detach it as-is.
+            // CDATA-split content falls back to a concatenated copy.
+            let kids = msg.children(child);
+            if kids.len() == 1 && msg.kind(kids[0]) == NodeKind::Text {
+                let t = kids[0];
+                msg.detach(t);
+                Ok(Pending::Node(t))
+            } else {
+                let v = msg.string_value(child);
+                Ok(Pending::Node(msg.create_text(v)))
+            }
+        }
+        "comment" => {
+            let v = msg.string_value(child);
+            Ok(Pending::Node(msg.create_comment(v)))
+        }
+        "pi" => {
+            let pi = msg
+                .children(child)
+                .iter()
+                .copied()
+                .find(|&c| msg.kind(c) == NodeKind::ProcessingInstruction)
+                .ok_or_else(|| XdmError::xrpc("xrpc:pi wrapper without a PI"))?;
+            msg.detach(pi);
+            Ok(Pending::Node(pi))
+        }
+        "attribute" => {
+            let attr = msg
+                .attributes(child)
+                .first()
+                .copied()
+                .ok_or_else(|| XdmError::xrpc("xrpc:attribute wrapper without an attribute"))?;
+            msg.detach(attr);
+            Ok(Pending::Node(attr))
+        }
+        other => Err(XdmError::xrpc(format!(
+            "unknown value wrapper xrpc:{other}"
+        ))),
+    }
+}
+
+/// [`resolve_nodeid`] against detached in-arena fragments: the base item is
+/// a `Pending::Node` id and the child-index path walks the same arena.
+fn resolve_nodeid_detached(
+    msg: &Document,
+    el: NodeId,
+    decoded: &[PendingSequence],
+    current: &[Pending],
+) -> XdmResult<Pending> {
+    let param: usize = msg
+        .attr_local(el, "param")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| XdmError::xrpc("nodeid missing @param"))?;
+    let item: usize = msg
+        .attr_local(el, "item")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| XdmError::xrpc("nodeid missing @item"))?;
+    let path = msg.attr_local(el, "path").unwrap_or("");
+    let base_seq: &[Pending] = if param == decoded.len() + 1 {
+        current
+    } else {
+        &decoded
+            .get(param - 1)
+            .ok_or_else(|| XdmError::xrpc("nodeid @param out of range"))?
+            .0
+    };
+    let base = match base_seq.get(item - 1) {
+        Some(Pending::Node(id)) => *id,
+        _ => return Err(XdmError::xrpc("nodeid target is not a node")),
+    };
+    let mut cur = base;
+    if !path.is_empty() {
+        for comp in path.split('/') {
+            if let Some(k) = comp.strip_prefix('@') {
+                let k: usize = k
+                    .parse()
+                    .map_err(|_| XdmError::xrpc("bad nodeid path component"))?;
+                cur = *msg
+                    .attributes(cur)
+                    .get(k)
+                    .ok_or_else(|| XdmError::xrpc("nodeid attribute index out of range"))?;
+            } else {
+                let k: usize = comp
+                    .parse()
+                    .map_err(|_| XdmError::xrpc("bad nodeid path component"))?;
+                cur = *msg
+                    .children(cur)
+                    .get(k)
+                    .ok_or_else(|| XdmError::xrpc("nodeid child index out of range"))?;
+            }
+        }
+    }
+    Ok(Pending::Node(cur))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

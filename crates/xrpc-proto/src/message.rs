@@ -2,7 +2,7 @@
 //! `queryID` isolation extension (§2.2), Bulk RPC multi-call requests
 //! (§3.2) and the participating-peers piggyback (§2.3).
 
-use crate::marshal::{n2s, s2n_into, s2n_text_into};
+use crate::marshal::{s2n_into, s2n_text_into};
 use xdm::{Sequence, XdmError, XdmResult};
 use xmldom::escape::push_escaped_attr;
 use xmldom::qname::{NS_SOAP_ENV, NS_XRPC, NS_XS, NS_XSI};
@@ -10,6 +10,30 @@ use xmldom::{Document, NodeId, QName};
 
 fn xrpc(local: &str) -> QName {
     QName::ns("xrpc", NS_XRPC, local)
+}
+
+/// Cheap size estimate of one serialized `<xrpc:sequence>`: wrapper tags
+/// plus per-item content sized from stored string lengths (node subtrees
+/// via [`Document::subtree_wire_estimate`]). Used to pre-reserve the
+/// output buffer so serializing a multi-MiB message does not grow it
+/// through a dozen reallocations.
+fn estimate_sequence_size(seq: &Sequence) -> usize {
+    use xdm::{AtomicValue, Item};
+    let mut n = 40;
+    for item in seq.iter() {
+        n += match item {
+            Item::Atomic(a) => {
+                64 + match a {
+                    AtomicValue::String(s)
+                    | AtomicValue::UntypedAtomic(s)
+                    | AtomicValue::AnyUri(s) => s.len(),
+                    _ => 24,
+                }
+            }
+            Item::Node(h) => 32 + h.doc.subtree_wire_estimate(h.id),
+        };
+    }
+    n
 }
 
 fn envq(local: &str) -> QName {
@@ -107,9 +131,23 @@ impl XrpcRequest {
         Ok(out)
     }
 
+    /// Cheap estimate of the serialized envelope size, for pre-reserving
+    /// the output buffer (e.g. one taken from a transport buffer pool).
+    pub fn estimated_wire_size(&self) -> usize {
+        let mut n = 512;
+        for params in &self.calls {
+            n += 24;
+            for p in params {
+                n += estimate_sequence_size(p);
+            }
+        }
+        n
+    }
+
     /// Direct text serialization into a caller-supplied (reusable) buffer.
     pub fn write_xml(&self, out: &mut String) -> XdmResult<()> {
         debug_assert!(!self.call_by_fragment);
+        out.reserve(self.estimated_wire_size());
         write_envelope_open(out);
         out.push_str("<xrpc:request module=\"");
         push_escaped_attr(out, &self.module);
@@ -242,8 +280,19 @@ impl XrpcResponse {
         Ok(out)
     }
 
+    /// Cheap estimate of the serialized envelope size, for pre-reserving
+    /// the output buffer (e.g. one taken from a transport buffer pool).
+    pub fn estimated_wire_size(&self) -> usize {
+        let mut n = 512 + 64 * self.participating_peers.len();
+        for seq in &self.results {
+            n += estimate_sequence_size(seq);
+        }
+        n
+    }
+
     /// Direct text serialization into a caller-supplied (reusable) buffer.
     pub fn write_xml(&self, out: &mut String) -> XdmResult<()> {
+        out.reserve(self.estimated_wire_size());
         write_envelope_open(out);
         out.push_str("<xrpc:response module=\"");
         push_escaped_attr(out, &self.module);
@@ -390,10 +439,10 @@ pub fn parse_message(xml: &str) -> XdmResult<XrpcMessage> {
         .ok_or_else(|| XdmError::xrpc("missing env:Body"))?;
 
     if let Some(req) = doc.child_element(body, &xrpc("request")) {
-        return parse_request(&doc, req).map(XrpcMessage::Request);
+        return parse_request(doc, req).map(XrpcMessage::Request);
     }
     if let Some(resp) = doc.child_element(body, &xrpc("response")) {
-        return parse_response(&doc, resp).map(XrpcMessage::Response);
+        return parse_response(doc, resp).map(XrpcMessage::Response);
     }
     if let Some(fault) = doc.child_element(body, &envq("Fault")) {
         return parse_fault(&doc, fault).map(XrpcMessage::Fault);
@@ -403,10 +452,13 @@ pub fn parse_message(xml: &str) -> XdmResult<XrpcMessage> {
     ))
 }
 
-fn parse_request(doc: &Document, req: NodeId) -> XdmResult<XrpcRequest> {
-    let module = req_attr(doc, req, "module")?;
-    let method = req_attr(doc, req, "method")?;
-    let arity: usize = req_attr(doc, req, "arity")?
+/// Decoding takes the message document by value: node parameters are
+/// *detached in place* (no deep copy) and the whole arena is then frozen
+/// behind one `Arc` that every decoded fragment shares.
+fn parse_request(mut doc: Document, req: NodeId) -> XdmResult<XrpcRequest> {
+    let module = req_attr(&doc, req, "module")?;
+    let method = req_attr(&doc, req, "method")?;
+    let arity: usize = req_attr(&doc, req, "arity")?
         .parse()
         .map_err(|_| XdmError::xrpc("bad arity attribute"))?;
     let location = doc.attr_local(req, "location").map(|s| s.to_string());
@@ -425,21 +477,23 @@ fn parse_request(doc: &Document, req: NodeId) -> XdmResult<XrpcRequest> {
     };
     if let Some(q) = doc.child_element(req, &xrpc("queryID")) {
         out.query_id = Some(QueryId {
-            host: req_attr(doc, q, "host")?,
-            timestamp_millis: req_attr(doc, q, "timestamp")?
+            host: req_attr(&doc, q, "host")?,
+            timestamp_millis: req_attr(&doc, q, "timestamp")?
                 .parse()
                 .map_err(|_| XdmError::xrpc("bad queryID timestamp"))?,
-            timeout_secs: req_attr(doc, q, "timeout")?
+            timeout_secs: req_attr(&doc, q, "timeout")?
                 .parse()
                 .map_err(|_| XdmError::xrpc("bad queryID timeout"))?,
         });
     }
+    // Phase 1: decode every call with in-place detach (arena stays mutable).
+    let mut pending: Vec<Vec<crate::marshal::PendingSequence>> = Vec::new();
     for call in doc.child_elements(req) {
-        if !has_name(doc, call, NS_XRPC, "call") {
+        if !has_name(&doc, call, NS_XRPC, "call") {
             continue;
         }
         // call-level decoding resolves xrpc:nodeid references transparently
-        let params = crate::marshal::n2s_call(doc, call)?;
+        let params = crate::marshal::n2s_call_detach(&mut doc, call)?;
         if params.len() != out.arity {
             return Err(XdmError::xrpc(format!(
                 "call has {} parameters, request arity is {}",
@@ -447,19 +501,26 @@ fn parse_request(doc: &Document, req: NodeId) -> XdmResult<XrpcRequest> {
                 out.arity
             )));
         }
-        out.calls.push(params);
+        pending.push(params);
     }
+    // Phase 2: freeze the arena; all fragments share this one allocation.
+    let arc = std::sync::Arc::new(doc);
+    out.calls = pending
+        .into_iter()
+        .map(|call| call.into_iter().map(|ps| ps.finish(&arc)).collect())
+        .collect();
     Ok(out)
 }
 
-fn parse_response(doc: &Document, resp: NodeId) -> XdmResult<XrpcResponse> {
-    let module = req_attr(doc, resp, "module")?;
-    let method = req_attr(doc, resp, "method")?;
+fn parse_response(mut doc: Document, resp: NodeId) -> XdmResult<XrpcResponse> {
+    let module = req_attr(&doc, resp, "module")?;
+    let method = req_attr(&doc, resp, "method")?;
     let mut out = XrpcResponse::new(module, method);
+    let mut pending: Vec<crate::marshal::PendingSequence> = Vec::new();
     for child in doc.child_elements(resp) {
-        if has_name(doc, child, NS_XRPC, "sequence") {
-            out.results.push(n2s(doc, child)?);
-        } else if has_name(doc, child, NS_XRPC, "participatingPeers") {
+        if has_name(&doc, child, NS_XRPC, "sequence") {
+            pending.push(crate::marshal::n2s_detach(&mut doc, child)?);
+        } else if has_name(&doc, child, NS_XRPC, "participatingPeers") {
             for p in doc.child_elements(child) {
                 if let Some(uri) = doc.attr_local(p, "uri") {
                     out.participating_peers.push(uri.to_string());
@@ -467,6 +528,8 @@ fn parse_response(doc: &Document, resp: NodeId) -> XdmResult<XrpcResponse> {
             }
         }
     }
+    let arc = std::sync::Arc::new(doc);
+    out.results = pending.into_iter().map(|ps| ps.finish(&arc)).collect();
     Ok(out)
 }
 

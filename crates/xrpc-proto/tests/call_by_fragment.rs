@@ -86,8 +86,14 @@ fn plain_by_value_destroys_relationship() {
     let back = roundtrip(&req);
     let p0 = back.calls[0][0].items()[0].as_node().unwrap().clone();
     let p1 = back.calls[0][1].items()[0].as_node().unwrap().clone();
-    assert!(!Arc::ptr_eq(&p0.doc, &p1.doc), "fragments must be separate");
+    // <name> was a descendant of <films> at the sender; plain by-value
+    // decode must sever that: p1 heads its own fragment, outside p0's
+    // subtree (the decoded fragments may share one arena).
     assert!(p1.parent().is_none());
+    assert!(
+        !Arc::ptr_eq(&p0.doc, &p1.doc) || !xmldom::order::is_ancestor(&p0.doc, p0.id, p1.id),
+        "fragments must be separate"
+    );
 }
 
 #[test]
@@ -187,10 +193,17 @@ fn bulk_calls_reference_within_their_own_call_only() {
     for call in &back.calls {
         let p0 = call[0].items()[0].as_node().unwrap();
         let p1 = call[1].items()[0].as_node().unwrap();
+        // within one call, the nodeid reference resolves inside p0's fragment
         assert!(Arc::ptr_eq(&p0.doc, &p1.doc));
+        assert!(xmldom::order::is_ancestor(&p0.doc, p0.id, p1.id));
     }
-    // the two calls are separate fragments
+    // the two calls decode to separate fragments (distinct nodes, neither
+    // inside the other's subtree), even if they share one arena
     let c0 = back.calls[0][0].items()[0].as_node().unwrap();
     let c1 = back.calls[1][0].items()[0].as_node().unwrap();
-    assert!(!Arc::ptr_eq(&c0.doc, &c1.doc));
+    assert!(!c0.same_node(c1));
+    if Arc::ptr_eq(&c0.doc, &c1.doc) {
+        assert!(!xmldom::order::is_ancestor(&c0.doc, c0.id, c1.id));
+        assert!(!xmldom::order::is_ancestor(&c0.doc, c1.id, c0.id));
+    }
 }
