@@ -33,6 +33,11 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Upper bound on the arena pre-sizing estimate (node slots). 256 Ki slots
+/// cover multi-MiB real-world messages outright while capping what a
+/// hostile byte count can pre-allocate at ~36 MiB (see `Parser::run`).
+const PRESIZE_NODE_CAP: usize = 256 * 1024;
+
 /// Parse a complete XML document.
 pub fn parse(input: &str) -> Result<Document, ParseError> {
     Parser::new(input).run(None)
@@ -181,7 +186,20 @@ impl<'a> Parser<'a> {
         // node sits between consecutive tags, so the `<` count is a tight
         // upper-bound-ish estimate of the node count. One vectorizable scan
         // buys freedom from doubling a multi-MiB arena past the LLC.
-        let approx_nodes = self.bytes.iter().filter(|&&b| b == b'<').count();
+        //
+        // The count is attacker-controlled: `<` is legal inside CDATA and
+        // comments (and free in malformed input), and each slot costs
+        // ~sizeof(NodeData) ≈ 140 bytes, so an unclamped estimate would let
+        // a body of pure `<` bytes force a pre-allocation ~140× its own
+        // size before parsing even starts. Clamp it: real documents keep
+        // the no-doubling win up to the cap and merely resume on-demand
+        // growth past it, while hostile input is bounded to tens of MiB.
+        let approx_nodes = self
+            .bytes
+            .iter()
+            .filter(|&&b| b == b'<')
+            .count()
+            .min(PRESIZE_NODE_CAP);
         let mut doc = Document::with_node_capacity(approx_nodes);
         doc.uri = uri;
         let root = doc.root();
@@ -618,6 +636,24 @@ mod tests {
         let d = parse("<a/>").unwrap();
         let r = root_elem(&d);
         assert_eq!(d.node(r).name.as_ref().unwrap().local, "a");
+    }
+
+    /// `<` inside CDATA inflates the pre-sizing estimate without producing
+    /// nodes; the clamp must keep the arena reservation bounded (an
+    /// unclamped estimate near the 64 MiB body cap would try ~9 GiB).
+    #[test]
+    fn presize_estimate_is_clamped() {
+        let hostile = format!("<a><![CDATA[{}]]></a>", "<".repeat(2 * PRESIZE_NODE_CAP));
+        let d = parse(&hostile).unwrap();
+        assert!(
+            d.node_capacity() <= PRESIZE_NODE_CAP + 1,
+            "arena reserved {} slots, cap is {}",
+            d.node_capacity(),
+            PRESIZE_NODE_CAP
+        );
+        // and the document still parsed correctly
+        let r = root_elem(&d);
+        assert_eq!(d.string_value(r).len(), 2 * PRESIZE_NODE_CAP);
     }
 
     #[test]

@@ -104,6 +104,39 @@ impl PendingUpdateList {
         self.primitives.extend(other.primitives);
     }
 
+    /// Copy every *source* fragment (insert content, replacements,
+    /// `fn:put` nodes) whose handle shares a larger arena into its own
+    /// right-sized document. Targets are left alone — they identify store
+    /// documents by `Arc` identity and must keep pointing at them.
+    ///
+    /// Deferred PULs (rule `R'Fu`) outlive the request that produced them:
+    /// zero-copy decode leaves node parameters detached inside the shared
+    /// message arena, so without this a single small content fragment held
+    /// until 2PC commit pins the whole multi-MiB envelope arena.
+    pub fn compact_sources(&mut self) {
+        for p in &mut self.primitives {
+            match p {
+                UpdatePrimitive::InsertInto { content, .. }
+                | UpdatePrimitive::InsertFirst { content, .. }
+                | UpdatePrimitive::InsertLast { content, .. }
+                | UpdatePrimitive::InsertBefore { content, .. }
+                | UpdatePrimitive::InsertAfter { content, .. }
+                | UpdatePrimitive::ReplaceNode {
+                    replacement: content,
+                    ..
+                } => {
+                    for h in content {
+                        compact_handle(h);
+                    }
+                }
+                UpdatePrimitive::Put { node, .. } => compact_handle(node),
+                UpdatePrimitive::Delete { .. }
+                | UpdatePrimitive::ReplaceValue { .. }
+                | UpdatePrimitive::Rename { .. } => {}
+            }
+        }
+    }
+
     /// XQUF compatibility checks (XUDY0015/16/17): at most one rename, one
     /// replace-node and one replace-value per target node.
     pub fn check_compatibility(&self) -> XdmResult<()> {
@@ -126,6 +159,21 @@ impl PendingUpdateList {
         }
         Ok(())
     }
+}
+
+/// Re-home `h` into a fresh arena sized to its subtree when its current
+/// arena is substantially larger (i.e. the handle pins unrelated nodes).
+/// The copy stays detached, exactly like a decoded message fragment —
+/// source handles are only ever consumed via `import_subtree`.
+fn compact_handle(h: &mut NodeHandle) {
+    let subtree = h.doc.subtree_size(h.id);
+    // the handle already (roughly) owns its whole arena: nothing to win
+    if subtree + 1 >= h.doc.len() {
+        return;
+    }
+    let mut fresh = Document::with_node_capacity(subtree);
+    let id = fresh.import_subtree(&h.doc, h.id);
+    *h = NodeHandle::new(Arc::new(fresh), id);
 }
 
 /// The outcome of `apply_updates` for one affected document: the old
@@ -443,6 +491,38 @@ mod tests {
         let new = &apply_updates(&pul).unwrap()[0].new;
         let a = new.children(new.root())[0];
         assert!(new.children(a).is_empty());
+    }
+
+    /// Compaction must re-home source fragments out of a big shared arena
+    /// (the deferred-PUL case) without changing targets or apply results.
+    #[test]
+    fn compact_sources_rehomes_fragments_without_changing_result() {
+        let big = Arc::new(
+            parse(r#"<env><pad><p/><p/><p/><p/><p/></pad><frag a="1"><kid>text</kid></frag></env>"#)
+                .unwrap(),
+        );
+        let old = Arc::new(parse("<a/>").unwrap());
+        let mut pul = PendingUpdateList::new();
+        pul.push(UpdatePrimitive::InsertInto {
+            target: handle(&old, &[0]),
+            content: vec![handle(&big, &[0, 1])],
+        });
+        let before =
+            xmldom::serialize_document(&apply_updates(&pul).unwrap()[0].new, &Default::default());
+        pul.compact_sources();
+        match &pul.primitives[0] {
+            UpdatePrimitive::InsertInto { target, content } => {
+                // targets keep their Arc identity (the store grouping key)
+                assert!(Arc::ptr_eq(&target.doc, &old));
+                // the fragment no longer pins the envelope arena
+                assert!(!Arc::ptr_eq(&content[0].doc, &big));
+                assert!(content[0].doc.len() < big.len());
+            }
+            _ => unreachable!(),
+        }
+        let after =
+            xmldom::serialize_document(&apply_updates(&pul).unwrap()[0].new, &Default::default());
+        assert_eq!(before, after);
     }
 
     #[test]

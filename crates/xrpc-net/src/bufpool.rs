@@ -8,8 +8,11 @@
 //! so a recycled 4 MiB buffer serves every ~4 MiB request afterwards.
 //!
 //! Buffers outside the class range (tiny or gigantic) and overflow beyond
-//! the per-class cap are dropped rather than hoarded, so the pool's
-//! worst-case footprint is bounded: `Σ class_size × MAX_PER_CLASS`.
+//! the per-class cap are dropped rather than hoarded. The cap scales down
+//! with class size — up to `MAX_PER_CLASS` small buffers, but no class
+//! retains more than `MAX_CLASS_BYTES` (one 32 MiB buffer, two 16 MiB, …)
+//! — so the process-wide worst-case footprint after a burst of large
+//! messages is ~160 MiB rather than `MAX_PER_CLASS × Σ class_size`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -19,8 +22,20 @@ const MIN_CLASS_SHIFT: u32 = 12;
 /// Largest pooled capacity: 32 MiB (class shift 25).
 const MAX_CLASS_SHIFT: u32 = 25;
 const NUM_CLASSES: usize = (MAX_CLASS_SHIFT - MIN_CLASS_SHIFT + 1) as usize;
-/// Free-list depth per class; beyond this, returned buffers are dropped.
+/// Free-list depth ceiling for small classes; beyond this, returned
+/// buffers are dropped.
 const MAX_PER_CLASS: usize = 8;
+/// Retained-bytes bound per class: large classes keep fewer buffers
+/// (`32 MiB → 1`, `16 MiB → 2`, `8 MiB → 4`, `≤ 4 MiB → MAX_PER_CLASS`)
+/// so a burst of huge messages can't leave hundreds of MiB pooled forever.
+const MAX_CLASS_BYTES: usize = 32 << 20;
+
+/// Free-list depth for `class`: `MAX_PER_CLASS` capped by the per-class
+/// byte bound (always at least 1, so even the largest class recycles).
+fn max_per_class(class: usize) -> usize {
+    let size = 1usize << (class as u32 + MIN_CLASS_SHIFT);
+    (MAX_CLASS_BYTES / size).clamp(1, MAX_PER_CLASS)
+}
 
 /// A pool of recycled `Vec<u8>`s bucketed by power-of-two capacity.
 pub struct BufferPool {
@@ -112,7 +127,7 @@ impl BufferPool {
     pub fn put(&self, buf: Vec<u8>) {
         if let Some(class) = class_for_return(buf.capacity()) {
             let mut list = self.classes[class].lock();
-            if list.len() < MAX_PER_CLASS {
+            if list.len() < max_per_class(class) {
                 let mut buf = buf;
                 buf.clear();
                 list.push(buf);
@@ -210,6 +225,29 @@ mod tests {
         assert_eq!(s.recycled, MAX_PER_CLASS as u64);
         assert_eq!(s.dropped, 3);
         assert_eq!(s.occupancy, MAX_PER_CLASS as u64);
+    }
+
+    #[test]
+    fn large_classes_retain_fewer_buffers() {
+        // depth scales down with class size so retained bytes stay bounded
+        assert_eq!(max_per_class(class_for_return(4096).unwrap()), MAX_PER_CLASS);
+        assert_eq!(max_per_class(class_for_return(4 << 20).unwrap()), 8);
+        assert_eq!(max_per_class(class_for_return(8 << 20).unwrap()), 4);
+        assert_eq!(max_per_class(class_for_return(16 << 20).unwrap()), 2);
+        assert_eq!(max_per_class(class_for_return(32 << 20).unwrap()), 1);
+        // worst-case retained footprint across every class stays modest
+        let worst: usize = (0..NUM_CLASSES)
+            .map(|c| max_per_class(c) << (c as u32 + MIN_CLASS_SHIFT))
+            .sum();
+        assert!(worst <= 192 << 20, "worst-case pool footprint {worst}");
+        // and put() enforces the scaled cap
+        let p = BufferPool::new();
+        for _ in 0..3 {
+            p.put(Vec::with_capacity(16 << 20));
+        }
+        let s = p.stats();
+        assert_eq!(s.recycled, 2);
+        assert_eq!(s.dropped, 1);
     }
 
     #[test]

@@ -36,8 +36,9 @@ pub struct HttpConfig {
     /// instead of reused.
     pub pool_idle_timeout: Duration,
     /// Maximum concurrently served connections. Connections accepted
-    /// beyond the cap are answered with `503 Service Unavailable` and
-    /// closed without reading the request. `0` means unlimited.
+    /// beyond the cap are answered with `503 Service Unavailable`; the
+    /// request is drained (never handled) so the response is delivered
+    /// reliably before the connection closes. `0` means unlimited.
     pub max_connections: usize,
 }
 
@@ -91,17 +92,15 @@ impl HttpServer {
             .spawn(move || {
                 while !sd.load(Ordering::Relaxed) {
                     match listener.accept() {
-                        Ok((mut stream, _)) => {
+                        Ok((stream, _)) => {
                             if config.max_connections > 0
                                 && active.load(Ordering::Relaxed) >= config.max_connections
                             {
                                 m.record_failure();
-                                let _ = write_response(
-                                    &mut stream,
-                                    503,
-                                    b"connection limit reached",
-                                    false,
-                                );
+                                // rejecting involves draining the unread
+                                // request; keep the accept loop responsive
+                                let _ = std::thread::Builder::new()
+                                    .spawn(move || reject_over_cap(stream));
                                 continue;
                             }
                             let h = handler.clone();
@@ -163,6 +162,34 @@ fn status_reason(status: u16) -> &'static str {
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
+    }
+}
+
+/// Refuse an over-cap connection with a `503`. The request has not been
+/// read at this point, and closing a socket with unread bytes in its
+/// receive buffer makes the kernel send RST — which can discard the
+/// in-flight 503 before the client reads it, surfacing as ECONNRESET
+/// instead of the intended status. So: respond, half-close the write
+/// side (FIN), then drain whatever the client sends until it sees the
+/// response and closes its end. The drain is deadline-bounded so a
+/// trickling client can't hold the thread hostage.
+fn reject_over_cap(mut stream: TcpStream) {
+    if write_response(&mut stream, 503, b"connection limit reached", false).is_err() {
+        return;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 8192];
+    while std::time::Instant::now() < deadline {
+        match stream.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
     }
 }
 

@@ -456,6 +456,10 @@ impl Peer {
                 let snap = snap.as_ref().ok_or_else(|| {
                     XdmError::xrpc("deferred updates require a queryID (isolation)")
                 })?;
+                // the PUL lives until 2PC commit: copy content fragments
+                // out of the request's message arena so holding a ∆ does
+                // not pin the whole (possibly multi-MiB) envelope
+                pul_total.compact_sources();
                 snap.pul.lock().merge(pul_total);
             } else {
                 // rule RFu: apply immediately after the request
