@@ -498,8 +498,10 @@ mod tests {
     #[test]
     fn compact_sources_rehomes_fragments_without_changing_result() {
         let big = Arc::new(
-            parse(r#"<env><pad><p/><p/><p/><p/><p/></pad><frag a="1"><kid>text</kid></frag></env>"#)
-                .unwrap(),
+            parse(
+                r#"<env><pad><p/><p/><p/><p/><p/></pad><frag a="1"><kid>text</kid></frag></env>"#,
+            )
+            .unwrap(),
         );
         let old = Arc::new(parse("<a/>").unwrap());
         let mut pul = PendingUpdateList::new();

@@ -230,7 +230,10 @@ mod tests {
     #[test]
     fn large_classes_retain_fewer_buffers() {
         // depth scales down with class size so retained bytes stay bounded
-        assert_eq!(max_per_class(class_for_return(4096).unwrap()), MAX_PER_CLASS);
+        assert_eq!(
+            max_per_class(class_for_return(4096).unwrap()),
+            MAX_PER_CLASS
+        );
         assert_eq!(max_per_class(class_for_return(4 << 20).unwrap()), 8);
         assert_eq!(max_per_class(class_for_return(8 << 20).unwrap()), 4);
         assert_eq!(max_per_class(class_for_return(16 << 20).unwrap()), 2);

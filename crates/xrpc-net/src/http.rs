@@ -58,11 +58,16 @@ impl Default for HttpConfig {
 /// Handler for incoming requests: (path, body) → (status, response body).
 pub type Handler = dyn Fn(&str, &[u8]) -> (u16, Vec<u8>) + Send + Sync;
 
-/// A running HTTP server; dropping it stops the accept loop.
+/// A running HTTP server; dropping it shuts down gracefully (stop
+/// accepting, drain in-flight connections for a bounded period, join the
+/// worker threads) — see [`shutdown_graceful`](Self::shutdown_graceful)
+/// for an explicit, deadline-controlled shutdown.
 pub struct HttpServer {
     addr: std::net::SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Arc<std::sync::Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    active: Arc<AtomicUsize>,
     pub metrics: Arc<NetMetrics>,
 }
 
@@ -86,6 +91,10 @@ impl HttpServer {
         let sd = shutdown.clone();
         let m = metrics.clone();
         let active = Arc::new(AtomicUsize::new(0));
+        let workers: Arc<std::sync::Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let act = active.clone();
+        let wrk = workers.clone();
         listener.set_nonblocking(true)?;
         let accept_thread = std::thread::Builder::new()
             .name(format!("xrpc-http-{local}"))
@@ -94,26 +103,33 @@ impl HttpServer {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             if config.max_connections > 0
-                                && active.load(Ordering::Relaxed) >= config.max_connections
+                                && act.load(Ordering::Relaxed) >= config.max_connections
                             {
                                 m.record_failure();
                                 // rejecting involves draining the unread
                                 // request; keep the accept loop responsive
-                                let _ = std::thread::Builder::new()
-                                    .spawn(move || reject_over_cap(stream));
+                                track(
+                                    &wrk,
+                                    std::thread::Builder::new()
+                                        .spawn(move || reject_over_cap(stream)),
+                                );
                                 continue;
                             }
                             let h = handler.clone();
                             let m2 = m.clone();
-                            let guard = ConnGuard::enter(&active);
+                            let sd2 = sd.clone();
+                            let guard = ConnGuard::enter(&act);
                             // request handlers may evaluate deep queries:
                             // give them room (see xqeval recursion cap)
-                            let _ = std::thread::Builder::new()
-                                .stack_size(32 * 1024 * 1024)
-                                .spawn(move || {
-                                    let _guard = guard;
-                                    let _ = serve_connection(stream, &h, &m2, &config);
-                                });
+                            track(
+                                &wrk,
+                                std::thread::Builder::new()
+                                    .stack_size(32 * 1024 * 1024)
+                                    .spawn(move || {
+                                        let _guard = guard;
+                                        let _ = serve_connection(stream, &h, &m2, &config, &sd2);
+                                    }),
+                            );
                         }
                         Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(config.accept_poll_interval);
@@ -127,6 +143,8 @@ impl HttpServer {
             addr: local,
             shutdown,
             accept_thread: Some(accept_thread),
+            workers,
+            active,
             metrics,
         })
     }
@@ -142,14 +160,71 @@ impl HttpServer {
     pub fn url(&self) -> String {
         format!("http://127.0.0.1:{}/xrpc", self.addr.port())
     }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting new connections, let in-flight
+    /// requests finish for up to `deadline`, and join every worker thread
+    /// that completes in time. Idle keep-alive connections notice the
+    /// shutdown within one poll slice and close without waiting out their
+    /// read timeout. Returns `true` when the server fully drained;
+    /// `false` leaves any straggling workers detached (their connections
+    /// die with the process). Idempotent — later calls (including the
+    /// one in `Drop`) are cheap no-ops.
+    pub fn shutdown_graceful(&mut self, deadline: Duration) -> bool {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let end = std::time::Instant::now() + deadline;
+        while self.active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < end {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let drained = self.active.load(Ordering::SeqCst) == 0;
+        let handles: Vec<_> = match self.workers.lock() {
+            Ok(mut w) => w.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
+        let mut stragglers = Vec::new();
+        for h in handles {
+            // a drained server's workers are past their ConnGuard drop:
+            // joining is instantaneous. Past-deadline stragglers stay
+            // detached rather than blocking shutdown.
+            if drained || h.is_finished() {
+                let _ = h.join();
+            } else {
+                stragglers.push(h);
+            }
+        }
+        if !stragglers.is_empty() {
+            if let Ok(mut w) = self.workers.lock() {
+                w.extend(stragglers);
+            }
+        }
+        drained
+    }
 }
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.shutdown_graceful(Duration::from_secs(5));
+    }
+}
+
+/// Remember a worker's join handle so shutdown can join it; finished
+/// workers are pruned opportunistically to keep the list from growing
+/// with connection churn.
+fn track(
+    workers: &std::sync::Mutex<Vec<std::thread::JoinHandle<()>>>,
+    spawned: std::io::Result<std::thread::JoinHandle<()>>,
+) {
+    let Ok(handle) = spawned else { return };
+    if let Ok(mut w) = workers.lock() {
+        w.retain(|h| !h.is_finished());
+        w.push(handle);
     }
 }
 
@@ -255,6 +330,7 @@ fn serve_connection(
     handler: &Arc<Handler>,
     metrics: &NetMetrics,
     config: &HttpConfig,
+    shutdown: &AtomicBool,
 ) -> Result<(), NetError> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(config.read_timeout))?;
@@ -270,11 +346,67 @@ fn serve_connection(
         metrics,
         config,
         &mut body,
+        shutdown,
     );
     BufferPool::global().put(body);
     result
 }
 
+/// What the between-requests wait produced.
+enum Wait {
+    /// Request bytes are buffered: serve them (even while shutting down —
+    /// in-flight work drains).
+    Ready,
+    /// The client closed the connection cleanly.
+    Closed,
+    /// The server is shutting down and the connection is idle.
+    ShuttingDown,
+}
+
+/// Wait for the next request on a (keep-alive) connection in short poll
+/// slices, so an idle worker notices a graceful shutdown immediately
+/// instead of blocking out its full read timeout. Restores the full
+/// per-request read timeout before returning `Ready`.
+fn wait_for_request(
+    reader: &mut BufReader<TcpStream>,
+    config: &HttpConfig,
+    shutdown: &AtomicBool,
+) -> Result<Wait, NetError> {
+    if !reader.buffer().is_empty() {
+        return Ok(Wait::Ready);
+    }
+    let slice = Duration::from_millis(50).min(config.read_timeout);
+    let started = std::time::Instant::now();
+    reader.get_ref().set_read_timeout(Some(slice))?;
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => return Ok(Wait::Closed),
+            Ok(_) => {
+                reader
+                    .get_ref()
+                    .set_read_timeout(Some(config.read_timeout))?;
+                return Ok(Wait::Ready);
+            }
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::Relaxed) {
+                    return Ok(Wait::ShuttingDown);
+                }
+                if started.elapsed() >= config.read_timeout {
+                    return Err(NetError::with_kind(
+                        NetErrorKind::Timeout,
+                        "idle connection timed out",
+                    ));
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn serve_requests(
     reader: &mut BufReader<TcpStream>,
     stream: &mut TcpStream,
@@ -282,8 +414,13 @@ fn serve_requests(
     metrics: &NetMetrics,
     config: &HttpConfig,
     body: &mut Vec<u8>,
+    shutdown: &AtomicBool,
 ) -> Result<(), NetError> {
     loop {
+        match wait_for_request(reader, config, shutdown)? {
+            Wait::Ready => {}
+            Wait::Closed | Wait::ShuttingDown => return Ok(()),
+        }
         let req = match read_request(reader, config, body) {
             Ok(Some(r)) => r,
             Ok(None) => return Ok(()), // clean close
@@ -1017,6 +1154,62 @@ mod tests {
         assert_eq!(e.kind, NetErrorKind::Corrupt);
         assert!(e.message.contains("Content-Length"), "{}", e.message);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_in_flight_request() {
+        let mut server = HttpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|_: &str, b: &[u8]| {
+                std::thread::sleep(Duration::from_millis(150));
+                (200, b.to_vec())
+            }),
+        )
+        .unwrap();
+        let url = format!("http://{}/slow", server.addr());
+        let client = std::thread::spawn(move || http_post(&url, b"payload"));
+        // let the request reach the handler before shutting down
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.active_connections() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(server.active_connections() > 0, "request never arrived");
+        assert!(
+            server.shutdown_graceful(Duration::from_secs(5)),
+            "in-flight request must drain within the deadline"
+        );
+        assert_eq!(server.active_connections(), 0);
+        // the in-flight response was delivered, not cut off
+        assert_eq!(client.join().unwrap().unwrap(), b"payload");
+    }
+
+    #[test]
+    fn graceful_shutdown_closes_idle_keepalive_quickly() {
+        let mut server = echo_server();
+        let t = HttpTransport::new();
+        let url = format!("http://{}/idle", server.addr());
+        t.roundtrip(&url, b"x").unwrap();
+        // the pooled keep-alive connection now sits idle in the server;
+        // its worker must notice the shutdown well inside the 30 s read
+        // timeout
+        let started = std::time::Instant::now();
+        assert!(server.shutdown_graceful(Duration::from_secs(5)));
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "idle keep-alive worker held shutdown for {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn shutdown_stops_accepting_new_connections() {
+        let mut server = echo_server();
+        let url = format!("http://{}/gone", server.addr());
+        http_post(&url, b"x").unwrap();
+        assert!(server.shutdown_graceful(Duration::from_secs(5)));
+        // the listener is gone: fresh connections are refused
+        let e = http_post(&url, b"x").unwrap_err();
+        assert_eq!(e.kind, NetErrorKind::ConnectionRefused);
     }
 
     #[test]

@@ -50,24 +50,36 @@ impl RetryPolicy {
         }
     }
 
-    /// Backoff before retry number `retry` (1-based), with deterministic
-    /// jitter in `[50%, 100%]` of the exponential target, derived from
-    /// `jitter_seed` and `salt` (callers pass a destination hash so
-    /// concurrent calls to different peers do not sleep in lockstep).
+    /// Backoff before retry number `retry` (1-based): *full jitter* — a
+    /// deterministic fraction in `[0, 1)` of the capped exponential
+    /// target, derived from `jitter_seed` and `salt` (callers pass a
+    /// destination hash so concurrent calls to different peers do not
+    /// sleep in lockstep). Full jitter (vs. a 50% floor) is what breaks
+    /// the retry *waves*: after a partition heals, N recovering callers
+    /// with a floored backoff all land inside the same half-window and
+    /// re-collide; spreading over the whole window decorrelates them.
     pub fn backoff_before_retry(&self, retry: u32, salt: u64) -> Duration {
         let exp = self
             .base_backoff
             .saturating_mul(1u32 << retry.saturating_sub(1).min(16));
         let capped = exp.min(self.max_backoff);
-        let j = splitmix64(
+        full_jitter(
+            capped,
             self.jitter_seed
                 .wrapping_add(salt)
                 .wrapping_add(retry as u64),
-        );
-        // fraction in [0.5, 1.0)
-        let frac = 0.5 + (j >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
-        capped.mul_f64(frac)
+        )
     }
+}
+
+/// A deterministic *full jitter* draw: a fraction in `[0, 1)` of `cap`,
+/// derived from `seed` via splitmix64. Shared by [`RetryPolicy`] and the
+/// 2PC decision-redelivery backoff so every retrying component in the
+/// system decorrelates the same way.
+pub fn full_jitter(cap: Duration, seed: u64) -> Duration {
+    let j = splitmix64(seed);
+    let frac = (j >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    cap.mul_f64(frac)
 }
 
 impl Default for RetryPolicy {
@@ -83,7 +95,8 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn dest_salt(dest: &str) -> u64 {
+/// FNV-1a hash of a destination URI — the per-destination jitter salt.
+pub fn dest_salt(dest: &str) -> u64 {
     // FNV-1a: stable across runs, unlike `DefaultHasher`
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in dest.as_bytes() {
@@ -253,11 +266,16 @@ mod tests {
             let a = p.backoff_before_retry(retry, 1);
             let b = p.backoff_before_retry(retry, 1);
             assert_eq!(a, b, "same inputs, same jitter");
+            // full jitter: anywhere in [0, capped exponential target)
             assert!(a <= p.max_backoff);
-            assert!(a >= p.base_backoff / 2, "jitter floor is 50%");
         }
         // different salts decorrelate
         assert_ne!(p.backoff_before_retry(1, 1), p.backoff_before_retry(1, 2));
+        // full jitter spans the low half of the window too (a 50%-floored
+        // scheme could never produce a draw below half the target)
+        let below_half = (0..64)
+            .any(|salt| p.backoff_before_retry(3, salt) < p.base_backoff.saturating_mul(4) / 2);
+        assert!(below_half, "full jitter must reach below the 50% floor");
     }
 
     #[test]

@@ -97,6 +97,111 @@ pub enum SimFault {
 /// A registered peer endpoint: raw SOAP bytes in, raw SOAP bytes out.
 pub type SoapHandler = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
 
+/// Named crash *points* inside a peer's 2PC handling — deterministic
+/// process-death injection at protocol-critical instants, not just
+/// whole-peer [`SimNetwork::crash`]. The peer code consults its attached
+/// [`CrashSwitch`] at each point; the sim suppresses the in-flight
+/// response when the switch trips mid-request (the caller sees a timeout,
+/// exactly the ambiguity a real crash produces).
+pub mod crash_points {
+    /// Participant dies after deciding to prepare but *before* forcing
+    /// the Prepared record: nothing durable, no ack — presumed abort.
+    pub const BEFORE_PREPARE_LOG: &str = "participant:before-prepare-log";
+    /// Participant dies right after its Prepare ack is delivered: the
+    /// coordinator proceeds to commit while the participant is down with
+    /// only its WAL to remember the promise.
+    pub const AFTER_PREPARE_ACK: &str = "participant:after-prepare-ack";
+    /// Participant dies after forcing the decision record but before
+    /// applying ∆_q: recovery must re-apply from the log.
+    pub const AFTER_DECISION_LOG: &str = "participant:after-decision-receipt-before-apply";
+    /// Coordinator dies after unanimous prepare but *before* forcing the
+    /// commit record: no decision exists — participants must presume
+    /// abort when they inquire.
+    pub const COORD_BEFORE_COMMIT_LOG: &str = "coordinator:before-commit-log";
+    /// Coordinator dies after forcing the commit record but before any
+    /// Commit delivery: participants stay prepared until the restarted
+    /// coordinator redelivers (or they inquire).
+    pub const COORD_AFTER_COMMIT_LOG: &str = "coordinator:after-commit-log-before-delivery";
+}
+
+/// A deterministic kill switch shared between a peer and the sim network.
+///
+/// Chaos tests `arm` a named point; when the instrumented code reaches it
+/// ([`hit`](Self::hit)) the switch flips to *down*: the request dies
+/// mid-handling (the sim drops the would-be response) and every later
+/// request is refused until [`revive`](Self::revive) — the test's stand-in
+/// for restarting the process. [`hit_after`](Self::hit_after) models dying
+/// *after* the response left the socket: the in-flight reply is delivered,
+/// only subsequent requests are refused.
+#[derive(Default)]
+pub struct CrashSwitch {
+    armed: Mutex<Vec<String>>,
+    down: AtomicBool,
+    /// Monotone count of mid-request deaths; the sim compares before/after
+    /// a handler run to decide whether to suppress the response.
+    trips: AtomicU64,
+}
+
+impl CrashSwitch {
+    pub fn new() -> Arc<Self> {
+        Arc::new(CrashSwitch::default())
+    }
+
+    /// Arm `point`: the next time instrumented code reaches it, die there.
+    pub fn arm(&self, point: &str) {
+        self.armed.lock().push(point.to_string());
+    }
+
+    fn disarm(&self, point: &str) -> bool {
+        let mut armed = self.armed.lock();
+        match armed.iter().position(|p| p == point) {
+            Some(i) => {
+                armed.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Instrumentation: die *now* (mid-request) if `point` is armed.
+    /// Returns true when the caller should abandon the request — the sim
+    /// will suppress whatever response it produces.
+    pub fn hit(&self, point: &str) -> bool {
+        if self.disarm(point) {
+            self.down.store(true, Ordering::SeqCst);
+            self.trips.fetch_add(1, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Instrumentation: die *after* the current response is delivered if
+    /// `point` is armed (the response goes out; later requests refuse).
+    pub fn hit_after(&self, point: &str) -> bool {
+        if self.disarm(point) {
+            self.down.store(true, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// The process restarts: accept requests again. Armed points survive
+    /// a revive (a schedule may crash the same peer at a later point too).
+    pub fn revive(&self) {
+        self.down.store(false, Ordering::SeqCst);
+    }
+
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::SeqCst)
+    }
+}
+
 struct PeerEntry {
     handler: SoapHandler,
     /// Legacy fault injection: fail the next `n` requests with an
@@ -109,6 +214,8 @@ struct PeerEntry {
     /// How many times the handler actually ran (lets chaos tests tell
     /// drop-request from drop-response and prove exactly-once effects).
     handled: AtomicU64,
+    /// Optional crash-point switch shared with the peer's handler.
+    switch: Mutex<Option<Arc<CrashSwitch>>>,
 }
 
 /// An in-process network of named peers.
@@ -138,6 +245,7 @@ impl SimNetwork {
                 faults: Mutex::new(VecDeque::new()),
                 down: AtomicBool::new(false),
                 handled: AtomicU64::new(0),
+                switch: Mutex::new(None),
             }),
         );
     }
@@ -191,6 +299,17 @@ impl SimNetwork {
         }
     }
 
+    /// Attach a crash-point switch to `dest`: while the switch is down
+    /// the peer refuses connections, and a request whose handling trips
+    /// the switch mid-flight loses its response (caller sees a timeout).
+    /// The same switch must be given to the peer so its instrumented
+    /// crash points fire — see [`CrashSwitch`].
+    pub fn attach_crash_switch(&self, dest: &str, switch: Arc<CrashSwitch>) {
+        if let Some(p) = self.peers.read().get(dest) {
+            *p.switch.lock() = Some(switch);
+        }
+    }
+
     /// How many requests `dest`'s handler actually executed.
     pub fn handled_count(&self, dest: &str) -> u64 {
         self.peers
@@ -233,6 +352,16 @@ impl Transport for SimNetwork {
                 format!("peer `{dest}` is down"),
             ));
         }
+        let switch = peer.switch.lock().clone();
+        if let Some(sw) = &switch {
+            if sw.is_down() {
+                self.metrics.record_failure();
+                return Err(NetError::with_kind(
+                    NetErrorKind::ConnectionRefused,
+                    format!("peer `{dest}` is down (crashed at a crash point)"),
+                ));
+            }
+        }
         if peer.fail_next.load(Ordering::SeqCst) > 0 {
             peer.fail_next.fetch_sub(1, Ordering::SeqCst);
             self.metrics.record_failure();
@@ -268,7 +397,20 @@ impl Transport for SimNetwork {
             std::thread::sleep(send_cost);
         }
         peer.handled.fetch_add(1, Ordering::SeqCst);
+        let trips_before = switch.as_ref().map(|s| s.trips()).unwrap_or(0);
         let response = (peer.handler)(body);
+        if let Some(sw) = &switch {
+            if sw.trips() != trips_before {
+                // the peer died mid-handling: whatever bytes the handler
+                // returned never made it onto the wire
+                self.metrics.record_failure();
+                self.metrics.record_timeout();
+                return Err(NetError::with_kind(
+                    NetErrorKind::Timeout,
+                    format!("peer `{dest}` crashed while handling the request"),
+                ));
+            }
+        }
         let recv_cost = profile.transfer_cost(response.len());
         if !recv_cost.is_zero() {
             std::thread::sleep(recv_cost);
@@ -460,6 +602,64 @@ mod tests {
             2,
             "state (counter) survives the crash"
         );
+    }
+
+    #[test]
+    fn crash_switch_mid_request_drops_response_then_refuses() {
+        let net = SimNetwork::new(NetProfile::instant());
+        let sw = CrashSwitch::new();
+        let sw_handler = sw.clone();
+        net.register(
+            "xrpc://y",
+            Arc::new(move |_: &[u8]| {
+                if sw_handler.hit(crash_points::BEFORE_PREPARE_LOG) {
+                    // a real peer would abandon the request here; whatever
+                    // it returns must never reach the caller
+                    return b"never-delivered".to_vec();
+                }
+                b"ok".to_vec()
+            }),
+        );
+        net.attach_crash_switch("xrpc://y", sw.clone());
+
+        // not armed: normal operation
+        assert_eq!(net.roundtrip("xrpc://y", b"x").unwrap(), b"ok");
+
+        sw.arm(crash_points::BEFORE_PREPARE_LOG);
+        let e = net.roundtrip("xrpc://y", b"x").unwrap_err();
+        assert_eq!(
+            e.kind,
+            NetErrorKind::Timeout,
+            "mid-request crash is ambiguous"
+        );
+        assert_eq!(net.handled_count("xrpc://y"), 2, "handler DID start");
+
+        // down until revived
+        let e = net.roundtrip("xrpc://y", b"x").unwrap_err();
+        assert_eq!(e.kind, NetErrorKind::ConnectionRefused);
+        sw.revive();
+        assert_eq!(net.roundtrip("xrpc://y", b"x").unwrap(), b"ok");
+    }
+
+    #[test]
+    fn crash_switch_hit_after_delivers_response_then_refuses() {
+        let net = SimNetwork::new(NetProfile::instant());
+        let sw = CrashSwitch::new();
+        let sw_handler = sw.clone();
+        net.register(
+            "xrpc://y",
+            Arc::new(move |_: &[u8]| {
+                sw_handler.hit_after(crash_points::AFTER_PREPARE_ACK);
+                b"ack".to_vec()
+            }),
+        );
+        net.attach_crash_switch("xrpc://y", sw.clone());
+        sw.arm(crash_points::AFTER_PREPARE_ACK);
+        // the response that armed the crash still gets through...
+        assert_eq!(net.roundtrip("xrpc://y", b"x").unwrap(), b"ack");
+        // ...but the peer is down afterwards
+        let e = net.roundtrip("xrpc://y", b"x").unwrap_err();
+        assert_eq!(e.kind, NetErrorKind::ConnectionRefused);
     }
 
     #[test]

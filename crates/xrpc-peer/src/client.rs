@@ -60,6 +60,18 @@ impl XrpcClient {
     /// prepared query, redelivered Commit/Abort of a decided one are all
     /// answered OK), so the transport may retry them freely.
     pub fn send_control(&self, dest: &str, method: &str, qid: &QueryId) -> XdmResult<()> {
+        self.send_control_with_reply(dest, method, qid).map(|_| ())
+    }
+
+    /// Like [`send_control`](Self::send_control) but returning the peer's
+    /// response body — `Inquire` answers ride in it (see
+    /// `xrpc_proto::control::TxOutcome`).
+    pub fn send_control_with_reply(
+        &self,
+        dest: &str,
+        method: &str,
+        qid: &QueryId,
+    ) -> XdmResult<xrpc_proto::XrpcResponse> {
         let mut req =
             XrpcRequest::new(crate::twopc::WSAT_MODULE, method, 0).with_query_id(qid.clone());
         req.push_call(vec![]);
@@ -71,7 +83,7 @@ impl XrpcClient {
         match parse_message(
             std::str::from_utf8(&resp).map_err(|_| XdmError::xrpc("non-UTF8 response"))?,
         )? {
-            XrpcMessage::Response(_) => Ok(()),
+            XrpcMessage::Response(r) => Ok(r),
             XrpcMessage::Fault(f) => Err(f.to_error()),
             XrpcMessage::Request(_) => Err(XdmError::xrpc("unexpected request as reply")),
         }

@@ -18,17 +18,24 @@
 pub mod client;
 pub mod modweb;
 pub mod peer;
+pub mod recovery;
 pub mod remote_docs;
 pub mod store;
 pub mod twopc;
+pub mod wal;
 pub mod wrapper;
 
 pub use client::XrpcClient;
 pub use modweb::ModuleWeb;
 pub use peer::{EngineKind, IsolationLevel, Peer, PeerStats};
+pub use recovery::{RecoveryReport, SweeperConfig, SweeperHandle};
 pub use remote_docs::RemoteDocResolver;
 pub use store::{Decision, SnapshotManager};
-pub use twopc::{run_two_phase_commit, run_two_phase_commit_with, CommitOutcome, TwoPcConfig};
+pub use twopc::{
+    run_two_phase_commit, run_two_phase_commit_with, CommitOutcome, TwoPcConfig, TwoPcMetrics,
+    TwoPcSnapshot,
+};
+pub use wal::{FsyncPolicy, Wal, WalRecord};
 pub use wrapper::{WrapperPhases, XrpcWrapper};
 
 /// Wall-clock milliseconds since the Unix epoch (the queryID timestamp).

@@ -2,12 +2,17 @@
 
 use crate::client::XrpcClient;
 use crate::store::{Decision, QuerySnapshot, SnapshotManager};
-use crate::twopc::{self, CommitOutcome, METHOD_ABORT, METHOD_COMMIT, METHOD_PREPARE, WSAT_MODULE};
-use parking_lot::RwLock;
+use crate::twopc::{
+    self, CommitOutcome, TwoPcConfig, TwoPcMetrics, METHOD_ABORT, METHOD_COMMIT, METHOD_INQUIRE,
+    METHOD_PREPARE, WSAT_MODULE,
+};
+use crate::wal::{self, Wal, WalRecord};
+use parking_lot::{Mutex, RwLock};
 use relalg::FunctionCache;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use xdm::types::ItemKind;
 use xdm::{Item, Sequence, XdmError, XdmResult};
 use xqast::FunctionDecl;
@@ -16,8 +21,12 @@ use xqeval::eval::{Ctx, EvalState, Evaluator};
 use xqeval::modules::CompiledModule;
 use xqeval::pul::{apply_updates, PendingUpdateList};
 use xqeval::{InMemoryDocs, ModuleRegistry};
-use xrpc_net::{BreakerConfig, ResilientTransport, RetryPolicy, Transport};
-use xrpc_proto::{parse_message, QueryId, XrpcFault, XrpcMessage, XrpcRequest, XrpcResponse};
+use xrpc_net::{
+    crash_points, BreakerConfig, CrashSwitch, ResilientTransport, RetryPolicy, Transport,
+};
+use xrpc_proto::{
+    parse_message, QueryId, TxOutcome, XrpcFault, XrpcMessage, XrpcRequest, XrpcResponse,
+};
 
 /// Which engine executes queries and incoming requests at this peer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -65,6 +74,14 @@ pub struct ExecOutcome {
     pub calls_sent: u64,
 }
 
+/// `(qid.host, qid.timestamp_millis)` — how coordination maps key a
+/// transaction without cloning the whole `QueryId`.
+pub(crate) type TxKey = (String, u64);
+
+/// A recovered commit decision still owed to its participants: the
+/// queryID to redeliver under and the full participant list.
+pub(crate) type RedeliverEntry = (QueryId, Vec<String>);
+
 /// One XRPC peer.
 pub struct Peer {
     /// This peer's `xrpc://host[:port]` URI (settable after construction,
@@ -87,14 +104,52 @@ pub struct Peer {
     /// bulk request (1 = sequential, the default; see
     /// [`set_bulk_threads`](Self::set_bulk_threads)).
     bulk_threads: std::sync::atomic::AtomicUsize,
+    /// The write-ahead coordination log, when durability is enabled (see
+    /// `recovery::attach_wal`). Peers without one keep the pre-durability
+    /// behavior: prepared state is volatile, a crash forgets it.
+    pub(crate) wal: RwLock<Option<Arc<Wal>>>,
+    /// Deterministic crash injection for the chaos harness. `None` in
+    /// production: the checks compile down to one RwLock read.
+    pub(crate) crash_switch: RwLock<Option<Arc<CrashSwitch>>>,
+    /// 2PC observability, both roles (next to the transport's NetMetrics).
+    pub twopc_metrics: TwoPcMetrics,
+    /// Coordinator tuning for queries originated here.
+    pub(crate) twopc_config: RwLock<TwoPcConfig>,
+    /// queryIDs this peer is *currently* coordinating — `Inquire` answers
+    /// `InDoubt` for these (no decision has been durably taken yet).
+    pub(crate) coordinating: Mutex<HashSet<TxKey>>,
+    /// In-memory mirror of durably-logged commit decisions (fed by the
+    /// commit point and by WAL replay) — what `Inquire` answers
+    /// `Committed` from. Anything in neither map is presumed aborted.
+    pub(crate) coord_committed: Mutex<HashMap<TxKey, Vec<String>>>,
+    /// Commit decisions recovered from the log that still lack a
+    /// `CoordinatorEnd`: participants that must be re-told to commit.
+    pub(crate) coord_redeliver: Mutex<HashMap<TxKey, RedeliverEntry>>,
+    /// Coordinator addresses recorded in recovered `Prepared` records,
+    /// consulted by the in-doubt resolver (falls back to `qid.host`).
+    pub(crate) recovered_coordinators: Mutex<HashMap<TxKey, String>>,
 }
 
 impl Peer {
     pub fn new(name: impl Into<String>, engine: EngineKind) -> Arc<Self> {
+        Self::new_with_docs(name, engine, Arc::new(InMemoryDocs::new()))
+    }
+
+    /// Construct a peer over an existing document store. This is how the
+    /// chaos/recovery tests model a restart: the document store stands in
+    /// for the durable database (updates are only ever applied atomically
+    /// between crash points), while all *coordination* state — snapshots,
+    /// prepared ∆s, decisions — starts empty and must be re-entered from
+    /// the WAL.
+    pub fn new_with_docs(
+        name: impl Into<String>,
+        engine: EngineKind,
+        docs: Arc<InMemoryDocs>,
+    ) -> Arc<Self> {
         Arc::new(Peer {
             name: RwLock::new(name.into()),
             engine,
-            docs: Arc::new(InMemoryDocs::new()),
+            docs,
             modules: Arc::new(ModuleRegistry::new()),
             module_sources: RwLock::new(HashMap::new()),
             snapshots: SnapshotManager::new(),
@@ -104,7 +159,50 @@ impl Peer {
             default_timeout_secs: 30,
             rpc_optimize: std::sync::atomic::AtomicBool::new(false),
             bulk_threads: std::sync::atomic::AtomicUsize::new(1),
+            wal: RwLock::new(None),
+            crash_switch: RwLock::new(None),
+            twopc_metrics: TwoPcMetrics::new(),
+            twopc_config: RwLock::new(TwoPcConfig::default()),
+            coordinating: Mutex::new(HashSet::new()),
+            coord_committed: Mutex::new(HashMap::new()),
+            coord_redeliver: Mutex::new(HashMap::new()),
+            recovered_coordinators: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// The peer's write-ahead log, when one is attached.
+    pub fn wal(&self) -> Option<Arc<Wal>> {
+        self.wal.read().clone()
+    }
+
+    /// Arm deterministic crash injection (chaos harness only).
+    pub fn set_crash_switch(&self, sw: Arc<CrashSwitch>) {
+        *self.crash_switch.write() = Some(sw);
+    }
+
+    /// Tune the 2PC coordinator for queries originated at this peer.
+    pub fn set_twopc_config(&self, config: TwoPcConfig) {
+        *self.twopc_config.write() = config;
+    }
+
+    /// Simulate a crash *mid-request* at `point` if the switch is armed
+    /// for it: the error propagates up, and the attached `SimNetwork`
+    /// suppresses the response so the caller sees an ambiguous timeout.
+    fn crash_mid(&self, point: &str) -> XdmResult<()> {
+        if let Some(sw) = self.crash_switch.read().as_ref() {
+            if sw.hit(point) {
+                return Err(XdmError::xrpc(format!("simulated crash at {point}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulate a crash *after* the current request completes: the
+    /// response is still delivered, then the peer is down.
+    fn crash_after(&self, point: &str) {
+        if let Some(sw) = self.crash_switch.read().as_ref() {
+            sw.hit_after(point);
+        }
     }
 
     /// Evaluate the calls of an incoming read-only Bulk RPC request with
@@ -254,9 +352,30 @@ impl Peer {
                     // stable storage, ensuring q can commit later" —
                     // compatibility is the only thing that can refuse here.
                     snap.pul.lock().check_compatibility()?;
+                    // A crash here is the presumed-abort case: nothing was
+                    // logged, the ack is never sent, the coordinator
+                    // aborts, and restart recovery finds no record.
+                    self.crash_mid(crash_points::BEFORE_PREPARE_LOG)?;
+                    // Force ∆_q + who to ask after a restart *before* the
+                    // ack makes the promise.
+                    if let Some(w) = self.wal() {
+                        let delta = wal::serialize_pul(&snap.pul.lock())?;
+                        w.append(&WalRecord::Prepared {
+                            qid: qid.clone(),
+                            coordinator: qid.host.clone(),
+                            delta,
+                        })?;
+                    }
                     *prepared = true;
+                    *snap.prepared_at.lock() = Some(Instant::now());
                 }
                 // re-Prepare of a prepared query: still prepared, answer OK
+                drop(prepared);
+                self.twopc_metrics.prepares.fetch_add(1, Ordering::Relaxed);
+                // The ∆ is durable and the ack will be delivered — then
+                // the peer dies holding prepared state (the in-doubt case
+                // recovery must resolve by inquiry).
+                self.crash_after(crash_points::AFTER_PREPARE_ACK);
             }
             METHOD_COMMIT => match self.snapshots.get(qid) {
                 Ok(snap) => {
@@ -273,9 +392,23 @@ impl Peer {
                             return Err(XdmError::xrpc("Commit after Abort"))
                         }
                         None => {
+                            // Force the decision before acting on it, so a
+                            // crash in the gap re-applies instead of
+                            // forgetting a committed ∆.
+                            if let Some(w) = self.wal() {
+                                w.append(&WalRecord::Decision {
+                                    qid: qid.clone(),
+                                    decision: Decision::Committed,
+                                })?;
+                            }
+                            self.crash_mid(crash_points::AFTER_DECISION_LOG)?;
                             let pul = snap.pul.lock().clone();
                             self.apply_pul(&pul)?;
                             *decided = Some(Decision::Committed);
+                            if let Some(w) = self.wal() {
+                                w.append(&WalRecord::Applied { qid: qid.clone() })?;
+                            }
+                            self.twopc_metrics.commits.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                     drop(decided);
@@ -293,15 +426,50 @@ impl Peer {
                 // releases the snapshot; also used as end-of-query for
                 // read-only repeatable queries. An Abort for an unknown or
                 // already-finished query is acknowledged (presumed abort).
-                if self.snapshots.get(qid).is_ok() {
+                if let Ok(snap) = self.snapshots.get(qid) {
+                    // quiesce the prepared record (abort decisions need no
+                    // durability of their own — absence of a commit record
+                    // *is* the abort record — but the append retires the
+                    // Prepared entry so the log can checkpoint)
+                    if *snap.prepared.lock() && snap.decided.lock().is_none() {
+                        if let Some(w) = self.wal() {
+                            w.append(&WalRecord::Decision {
+                                qid: qid.clone(),
+                                decision: Decision::Aborted,
+                            })?;
+                        }
+                    }
                     self.snapshots.finish_with(qid, Decision::Aborted);
+                    self.twopc_metrics.aborts.fetch_add(1, Ordering::Relaxed);
                 }
+            }
+            METHOD_INQUIRE => {
+                // Coordinator side: a restarted participant holding a
+                // prepared ∆ asks what was decided.
+                self.twopc_metrics.inquiries.fetch_add(1, Ordering::Relaxed);
+                return Ok(self.coordinator_outcome(qid).into_response());
             }
             other => return Err(XdmError::xrpc(format!("unknown control method `{other}`"))),
         }
         let mut resp = XrpcResponse::new(WSAT_MODULE, req.method.clone());
         resp.results.push(Sequence::empty());
         Ok(resp)
+    }
+
+    /// What this peer, as coordinator, durably knows about `qid` — the
+    /// presumed-abort answer to an `Inquire`.
+    pub(crate) fn coordinator_outcome(&self, qid: &QueryId) -> TxOutcome {
+        let key = (qid.host.clone(), qid.timestamp_millis);
+        // the forced commit record is the decision, even if delivery (and
+        // the coordinating entry's removal) is still in flight
+        if self.coord_committed.lock().contains_key(&key) {
+            return TxOutcome::Committed;
+        }
+        if self.coordinating.lock().contains(&key) {
+            return TxOutcome::InDoubt;
+        }
+        // no commit record, not in flight: presumed abort
+        TxOutcome::Aborted
     }
 
     /// Serve `fn:doc` data-shipping fetches (reserved module, see
@@ -522,7 +690,7 @@ impl Peer {
         })
     }
 
-    fn apply_pul(&self, pul: &PendingUpdateList) -> XdmResult<()> {
+    pub(crate) fn apply_pul(&self, pul: &PendingUpdateList) -> XdmResult<()> {
         for edit in apply_updates(pul)? {
             if let Some(uri) = &edit.uri {
                 self.docs.replace(uri, edit.new.clone())?;
@@ -616,16 +784,11 @@ impl Peer {
                 let participants: Vec<String> =
                     participants.into_iter().filter(|p| p != &own).collect();
                 if !participants.is_empty() {
-                    let outcome = twopc::run_two_phase_commit(client, qid, &participants)?;
-                    if let CommitOutcome::Aborted { reason } = &outcome {
-                        return Err(XdmError::xrpc(format!(
-                            "distributed transaction aborted: {reason}"
-                        )));
-                    }
-                    commit = Some(outcome);
+                    commit = Some(self.coordinate(qid, client, &participants, &local_pul)?);
+                } else {
+                    // no remote participants: apply the local ∆ directly
+                    self.apply_pul(&local_pul)?;
                 }
-                // commit succeeded (or read-only): apply the local ∆
-                self.apply_pul(&local_pul)?;
             }
             _ => {
                 // isolation "none": remote updates were already applied per
@@ -641,6 +804,113 @@ impl Peer {
             requests_sent,
             calls_sent,
         })
+    }
+
+    /// Drive 2PC as the originator/coordinator of `qid`, durably when a
+    /// WAL is attached, and settle the query's *local* ∆ consistently
+    /// with the global outcome.
+    ///
+    /// The local ∆ rides the same durability discipline as any remote
+    /// participant's: it is logged as a `Prepared` record (with this peer
+    /// as its own coordinator) before the commit point, so a coordinator
+    /// crash can neither lose a committed local ∆ nor apply an aborted
+    /// one — restart recovery resolves the record against the local
+    /// commit-decision map exactly like a remote inquiry.
+    fn coordinate(
+        &self,
+        qid: &QueryId,
+        client: &XrpcClient,
+        participants: &[String],
+        local_pul: &PendingUpdateList,
+    ) -> XdmResult<CommitOutcome> {
+        let wal = self.wal();
+        let self_logged = match (&wal, local_pul.is_empty()) {
+            (Some(w), false) => {
+                w.append(&WalRecord::Prepared {
+                    qid: qid.clone(),
+                    coordinator: self.name(),
+                    delta: wal::serialize_pul(local_pul)?,
+                })?;
+                true
+            }
+            _ => false,
+        };
+        let key = (qid.host.clone(), qid.timestamp_millis);
+        self.coordinating.lock().insert(key.clone());
+        let switch = self.crash_switch.read().clone();
+        let on_commit_logged = |q: &QueryId, parts: &[String]| {
+            self.coord_committed
+                .lock()
+                .insert((q.host.clone(), q.timestamp_millis), parts.to_vec());
+        };
+        let ctx = twopc::CoordCtx {
+            wal: wal.as_deref(),
+            metrics: Some(&self.twopc_metrics),
+            switch: switch.as_deref(),
+            on_commit_logged: Some(&on_commit_logged),
+        };
+        let config = *self.twopc_config.read();
+        let outcome = twopc::run_two_phase_commit_ctx(client, qid, participants, &config, ctx);
+        self.coordinating.lock().remove(&key);
+
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(e) => {
+                // A *simulated* coordinator crash must not do post-mortem
+                // work — the restarted peer recovers from the log instead.
+                let dead = switch.as_ref().is_some_and(|s| s.is_down());
+                if !dead && self.coord_committed.lock().contains_key(&key) {
+                    // Heuristic hazard: the decision is durably *commit*,
+                    // only some delivery failed. Settle the local ∆ with
+                    // the decision before surfacing the hazard, or the
+                    // originator itself would be the mixed outcome.
+                    self.settle_local_commit(qid, local_pul, self_logged, wal.as_deref())?;
+                }
+                return Err(e);
+            }
+        };
+
+        if let CommitOutcome::Aborted { reason } = &outcome {
+            if self_logged {
+                // quiesce the local prepared record (absence of a commit
+                // record is the abort record; this just lets the log
+                // checkpoint)
+                if let Some(w) = &wal {
+                    w.append(&WalRecord::Decision {
+                        qid: qid.clone(),
+                        decision: Decision::Aborted,
+                    })?;
+                }
+            }
+            return Err(XdmError::xrpc(format!(
+                "distributed transaction aborted: {reason}"
+            )));
+        }
+        self.settle_local_commit(qid, local_pul, self_logged, wal.as_deref())?;
+        Ok(outcome)
+    }
+
+    /// Apply the originator's local ∆ for a committed transaction, under
+    /// the participant logging discipline when the ∆ was logged.
+    fn settle_local_commit(
+        &self,
+        qid: &QueryId,
+        local_pul: &PendingUpdateList,
+        self_logged: bool,
+        wal: Option<&Wal>,
+    ) -> XdmResult<()> {
+        if self_logged {
+            if let Some(w) = wal {
+                w.append(&WalRecord::Decision {
+                    qid: qid.clone(),
+                    decision: Decision::Committed,
+                })?;
+                self.apply_pul(local_pul)?;
+                w.append(&WalRecord::Applied { qid: qid.clone() })?;
+                return Ok(());
+            }
+        }
+        self.apply_pul(local_pul)
     }
 }
 

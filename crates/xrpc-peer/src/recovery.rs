@@ -1,0 +1,392 @@
+//! Restart recovery for the durable 2PC layer (see `wal`).
+//!
+//! A peer that crashes holding coordination state recovers in two steps:
+//!
+//! 1. **Replay** ([`Peer::attach_wal`]): fold the surviving WAL records
+//!    into per-transaction state. Prepared-but-undecided transactions
+//!    re-enter prepared snapshots (their ∆_q deserialized against the
+//!    durable store); decided-but-unapplied committed ∆s are re-applied
+//!    immediately; coordinator commit records without a matching end are
+//!    queued for decision redelivery.
+//! 2. **Resolution** ([`Peer::resolve_in_doubt`]): every in-doubt
+//!    transaction sends a WS-AT `Inquire` to its recorded coordinator.
+//!    `Committed` applies the held ∆; `Aborted` — or, per presumed abort,
+//!    a coordinator with *no record* of the transaction — releases it;
+//!    `InDoubt` (or an unreachable coordinator) leaves it prepared for a
+//!    later round. Recovered commit decisions are redelivered to their
+//!    participants, then retired with a `CoordinatorEnd`.
+//!
+//! A background sweeper ([`Peer::start_recovery_sweeper`]) re-runs
+//! resolution for prepared transactions older than a configured age, so
+//! an in-doubt participant converges even when the coordinator only comes
+//! back long after the participant did.
+
+use crate::client::XrpcClient;
+use crate::peer::{Peer, RedeliverEntry, TxKey};
+use crate::store::{Decision, QuerySnapshot};
+use crate::twopc::{self, METHOD_INQUIRE};
+use crate::wal::{self, FsyncPolicy, SerializedPrimitive, Wal, WalRecord};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xdm::XdmResult;
+use xrpc_proto::{QueryId, TxOutcome};
+
+/// What one recovery (or resolution) pass accomplished.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The log's tail was torn or CRC-damaged (and truncated away);
+    /// recovery proceeded from the last intact record.
+    pub tail_damaged: bool,
+    /// Prepared-but-undecided transactions re-entered from the log.
+    pub restored_prepared: usize,
+    /// Committed ∆s whose decision was logged but not yet applied at the
+    /// crash, re-applied during replay.
+    pub reapplied: usize,
+    /// In-doubt transactions an inquiry resolved to commit.
+    pub resolved_committed: usize,
+    /// In-doubt transactions resolved to abort (including presumed abort).
+    pub resolved_aborted: usize,
+    /// In-doubt transactions still unresolved after this pass.
+    pub still_in_doubt: usize,
+    /// Recovered coordinator decisions fully redelivered and retired.
+    pub redelivered: usize,
+}
+
+impl RecoveryReport {
+    /// Fold a resolution pass into this (replay) report.
+    pub fn absorb(&mut self, other: RecoveryReport) {
+        self.tail_damaged |= other.tail_damaged;
+        self.restored_prepared += other.restored_prepared;
+        self.reapplied += other.reapplied;
+        self.resolved_committed += other.resolved_committed;
+        self.resolved_aborted += other.resolved_aborted;
+        self.still_in_doubt = other.still_in_doubt;
+        self.redelivered += other.redelivered;
+    }
+}
+
+/// Background re-inquiry cadence.
+#[derive(Debug, Clone, Copy)]
+pub struct SweeperConfig {
+    /// How often the sweeper wakes up.
+    pub interval: Duration,
+    /// Only prepared transactions at least this old are re-inquired —
+    /// young ones are normally still being driven by a live coordinator.
+    pub min_age: Duration,
+}
+
+impl Default for SweeperConfig {
+    fn default() -> Self {
+        SweeperConfig {
+            interval: Duration::from_secs(5),
+            min_age: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A running recovery sweeper. Dropping (or calling
+/// [`stop`](SweeperHandle::stop)) stops and joins the thread; the sweeper
+/// holds only a `Weak<Peer>`, so it also dies with its peer.
+pub struct SweeperHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SweeperHandle {
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SweeperHandle {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Per-transaction fold of the replayed records.
+#[derive(Default)]
+struct TxReplay {
+    qid: Option<QueryId>,
+    prepared: Option<(String, Vec<SerializedPrimitive>)>,
+    decision: Option<Decision>,
+    applied: bool,
+    coordinator_commit: Option<Vec<String>>,
+    coordinator_end: bool,
+}
+
+impl Peer {
+    /// Open (creating if absent) the WAL at `path`, replay it, and
+    /// re-enter the durable coordination state it records. Subsequent
+    /// Prepare acks and commit decisions at this peer are forced to the
+    /// log. Call [`resolve_in_doubt`](Self::resolve_in_doubt) afterwards
+    /// (once transports are wired) to chase outcomes over the network.
+    pub fn attach_wal(
+        self: &Arc<Self>,
+        path: impl AsRef<Path>,
+        fsync: FsyncPolicy,
+    ) -> XdmResult<RecoveryReport> {
+        let (log, replay) = Wal::open(path, fsync)?;
+        *self.wal.write() = Some(log.clone());
+
+        let mut order: Vec<(String, u64)> = Vec::new();
+        let mut txs: HashMap<(String, u64), TxReplay> = HashMap::new();
+        for rec in &replay.records {
+            let q = rec.qid();
+            let key = (q.host.clone(), q.timestamp_millis);
+            let tx = txs.entry(key.clone()).or_insert_with(|| {
+                order.push(key.clone());
+                TxReplay::default()
+            });
+            tx.qid.get_or_insert_with(|| q.clone());
+            match rec {
+                WalRecord::Prepared {
+                    coordinator, delta, ..
+                } => tx.prepared = Some((coordinator.clone(), delta.clone())),
+                WalRecord::Decision { decision, .. } => tx.decision = Some(*decision),
+                WalRecord::Applied { .. } => tx.applied = true,
+                WalRecord::CoordinatorCommit { participants, .. } => {
+                    tx.coordinator_commit = Some(participants.clone())
+                }
+                WalRecord::CoordinatorEnd { .. } => tx.coordinator_end = true,
+            }
+        }
+
+        let mut report = RecoveryReport {
+            tail_damaged: replay.tail_damaged,
+            ..Default::default()
+        };
+        for key in order {
+            let tx = txs.remove(&key).expect("folded above");
+            let qid = tx.qid.expect("every record carries a qid");
+
+            // Coordinator role: a logged commit decision is the truth
+            // `Inquire` answers from; one without an end record still owes
+            // its participants a delivery.
+            if let Some(parts) = tx.coordinator_commit {
+                self.coord_committed
+                    .lock()
+                    .insert(key.clone(), parts.clone());
+                if !tx.coordinator_end {
+                    self.coord_redeliver
+                        .lock()
+                        .insert(key.clone(), (qid.clone(), parts));
+                }
+            }
+
+            // Participant role.
+            if let Some((coordinator, delta)) = tx.prepared {
+                match tx.decision {
+                    Some(Decision::Committed) if !tx.applied => {
+                        // decided but killed before applyUpdates: finish
+                        // the job now, directly from the log
+                        let pul = wal::deserialize_pul(&self.docs, &delta)?;
+                        self.apply_pul(&pul)?;
+                        log.append(&WalRecord::Applied { qid: qid.clone() })?;
+                        self.snapshots.finish_with(&qid, Decision::Committed);
+                        report.reapplied += 1;
+                        self.twopc_metrics
+                            .recoveries
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(d) => {
+                        // fully settled; remember the decision so a
+                        // redelivered control message answers idempotently
+                        self.snapshots.finish_with(&qid, d);
+                    }
+                    None => {
+                        // the in-doubt case: re-enter prepared state and
+                        // remember who to ask
+                        let pul = wal::deserialize_pul(&self.docs, &delta)?;
+                        self.snapshots
+                            .restore_prepared(&qid, self.docs.snapshot(), pul);
+                        self.recovered_coordinators
+                            .lock()
+                            .insert(key.clone(), coordinator);
+                        report.restored_prepared += 1;
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Resolve every in-doubt transaction and redeliver every recovered
+    /// coordinator decision, now. Equivalent to
+    /// [`resolve_in_doubt_older_than`](Self::resolve_in_doubt_older_than)
+    /// with a zero age.
+    pub fn resolve_in_doubt(self: &Arc<Self>) -> XdmResult<RecoveryReport> {
+        self.resolve_in_doubt_older_than(Duration::ZERO)
+    }
+
+    /// One resolution pass over prepared transactions at least `min_age`
+    /// old (and all pending coordinator redeliveries). Unresolvable
+    /// transactions (coordinator unreachable or still in doubt) stay
+    /// prepared and are counted, not errored — the sweeper tries again.
+    pub fn resolve_in_doubt_older_than(
+        self: &Arc<Self>,
+        min_age: Duration,
+    ) -> XdmResult<RecoveryReport> {
+        let mut report = RecoveryReport::default();
+        let Some(transport) = self.transport() else {
+            return Ok(report);
+        };
+        let client = XrpcClient::new(transport);
+
+        // Participant role: ask each recorded coordinator what it decided.
+        for snap in self.snapshots.prepared_undecided(min_age) {
+            let qid = snap.qid.clone();
+            let key = (qid.host.clone(), qid.timestamp_millis);
+            let coordinator = self
+                .recovered_coordinators
+                .lock()
+                .get(&key)
+                .cloned()
+                .unwrap_or_else(|| qid.host.clone());
+            let outcome = if coordinator == self.name() {
+                // self-coordinated ∆ (an originator's local update):
+                // answer the inquiry from our own decision map
+                Some(self.coordinator_outcome(&qid))
+            } else {
+                client
+                    .send_control_with_reply(&coordinator, METHOD_INQUIRE, &qid)
+                    .ok()
+                    .and_then(|resp| TxOutcome::from_response(&resp))
+            };
+            match outcome {
+                Some(TxOutcome::Committed) => {
+                    self.commit_recovered(&snap)?;
+                    report.resolved_committed += 1;
+                    self.twopc_metrics
+                        .recoveries
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Some(TxOutcome::Aborted) => {
+                    if let Some(w) = self.wal() {
+                        w.append(&WalRecord::Decision {
+                            qid: qid.clone(),
+                            decision: Decision::Aborted,
+                        })?;
+                    }
+                    self.snapshots.finish_with(&qid, Decision::Aborted);
+                    report.resolved_aborted += 1;
+                    self.twopc_metrics
+                        .recoveries
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Some(TxOutcome::InDoubt) | None => report.still_in_doubt += 1,
+            }
+        }
+
+        // Coordinator role: redeliver recovered commit decisions.
+        let pending: Vec<(TxKey, RedeliverEntry)> = self
+            .coord_redeliver
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let config = *self.twopc_config.read();
+        for (key, (qid, parts)) in pending {
+            let own = self.name();
+            let mut all_acked = true;
+            for p in parts.iter().filter(|p| **p != own) {
+                if twopc::deliver_decision(
+                    &client,
+                    p,
+                    twopc::METHOD_COMMIT,
+                    &qid,
+                    &config,
+                    Some(&self.twopc_metrics),
+                )
+                .is_err()
+                {
+                    all_acked = false;
+                    self.twopc_metrics.hazards.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if all_acked {
+                if let Some(w) = self.wal() {
+                    w.append(&WalRecord::CoordinatorEnd { qid: qid.clone() })?;
+                }
+                self.coord_redeliver.lock().remove(&key);
+                report.redelivered += 1;
+                self.twopc_metrics
+                    .recoveries
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Commit a recovered prepared snapshot: the decision/apply/applied
+    /// discipline of the live `Commit` handler, driven by an inquiry
+    /// answer instead of a decision message.
+    fn commit_recovered(&self, snap: &Arc<QuerySnapshot>) -> XdmResult<()> {
+        let qid = &snap.qid;
+        let mut decided = snap.decided.lock();
+        if decided.is_none() {
+            if let Some(w) = self.wal() {
+                w.append(&WalRecord::Decision {
+                    qid: qid.clone(),
+                    decision: Decision::Committed,
+                })?;
+            }
+            let pul = snap.pul.lock().clone();
+            self.apply_pul(&pul)?;
+            *decided = Some(Decision::Committed);
+            if let Some(w) = self.wal() {
+                w.append(&WalRecord::Applied { qid: qid.clone() })?;
+            }
+            self.twopc_metrics.commits.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(decided);
+        self.snapshots.finish_with(qid, Decision::Committed);
+        Ok(())
+    }
+
+    /// Start the background sweeper: every `interval` it re-resolves
+    /// prepared transactions older than `min_age` and retries pending
+    /// decision redeliveries. Holds only a weak reference, so it exits on
+    /// its own when the peer is dropped; stop it earlier via the handle.
+    pub fn start_recovery_sweeper(self: &Arc<Self>, config: SweeperConfig) -> SweeperHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let weak = Arc::downgrade(self);
+        let flag = stop.clone();
+        let handle = std::thread::spawn(move || loop {
+            // sleep in short slices so stop/join stays responsive
+            let mut slept = Duration::ZERO;
+            while slept < config.interval {
+                if flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                let step = config.interval.min(Duration::from_millis(20));
+                std::thread::sleep(step);
+                slept += step;
+            }
+            let Some(peer) = weak.upgrade() else { return };
+            // a "crashed" peer (chaos harness) must not act post-mortem
+            let down = peer
+                .crash_switch
+                .read()
+                .as_ref()
+                .is_some_and(|s| s.is_down());
+            if !down {
+                let _ = peer.resolve_in_doubt_older_than(config.min_age);
+            }
+        });
+        SweeperHandle {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}

@@ -33,12 +33,18 @@ const COMPLETED_CAP: usize = 4096;
 
 /// Per-query isolated state at one peer.
 pub struct QuerySnapshot {
+    /// The query this snapshot isolates. `qid.host` doubles as the
+    /// coordinator address a recovering participant sends `Inquire` to.
+    pub qid: QueryId,
     pub docs: HashMap<String, Arc<Document>>,
     pub deadline: Instant,
     /// Deferred pending update lists (rule R'Fu): ∆_q = ∪ ∆_q(i).
     pub pul: Mutex<PendingUpdateList>,
-    /// 2PC state: set by Prepare after the PUL was "logged".
+    /// 2PC state: set by Prepare after the PUL was logged to the WAL.
     pub prepared: Mutex<bool>,
+    /// When `prepared` was set — the recovery sweeper only re-inquires
+    /// about prepared transactions older than its configured age.
+    pub prepared_at: Mutex<Option<Instant>>,
     /// Set exactly once when the decision is first applied; guards against
     /// double-applying ∆_q when a Commit is redelivered concurrently.
     pub decided: Mutex<Option<Decision>>,
@@ -126,15 +132,58 @@ impl SnapshotManager {
             return Ok(s.clone());
         }
         let snapshot = Arc::new(QuerySnapshot {
+            qid: qid.clone(),
             docs: current(),
             deadline: Instant::now() + Duration::from_secs(qid.timeout_secs as u64),
             pul: Mutex::new(PendingUpdateList::new()),
             prepared: Mutex::new(false),
+            prepared_at: Mutex::new(None),
             decided: Mutex::new(None),
             merged_requests: Mutex::new(HashMap::new()),
         });
         active.insert(key, snapshot.clone());
         Ok(snapshot)
+    }
+
+    /// Re-enter prepared state for `qid` from a recovered WAL record: pin
+    /// a snapshot over `docs` carrying the deserialized ∆_q with
+    /// `prepared` already set. Used only by restart recovery — it bypasses
+    /// the expired-queryID check (the log is authoritative: this peer
+    /// promised to hold the ∆ until a decision arrives) and gives the
+    /// snapshot a fresh deadline window for the inquiry to resolve in.
+    pub fn restore_prepared(
+        &self,
+        qid: &QueryId,
+        docs: HashMap<String, Arc<Document>>,
+        pul: PendingUpdateList,
+    ) -> Arc<QuerySnapshot> {
+        let snapshot = Arc::new(QuerySnapshot {
+            qid: qid.clone(),
+            docs,
+            deadline: Instant::now() + Duration::from_secs(qid.timeout_secs as u64),
+            pul: Mutex::new(pul),
+            prepared: Mutex::new(true),
+            prepared_at: Mutex::new(Some(Instant::now())),
+            decided: Mutex::new(None),
+            merged_requests: Mutex::new(HashMap::new()),
+        });
+        self.active.lock().insert(Self::key(qid), snapshot.clone());
+        snapshot
+    }
+
+    /// Snapshots that are prepared but have heard no decision for at least
+    /// `min_age` — the in-doubt transactions the sweeper re-inquires about.
+    pub fn prepared_undecided(&self, min_age: Duration) -> Vec<Arc<QuerySnapshot>> {
+        self.active
+            .lock()
+            .values()
+            .filter(|s| {
+                *s.prepared.lock()
+                    && s.decided.lock().is_none()
+                    && s.prepared_at.lock().is_some_and(|t| t.elapsed() >= min_age)
+            })
+            .cloned()
+            .collect()
     }
 
     /// Fetch an existing snapshot (2PC Prepare/Commit path — never pins).
@@ -186,12 +235,18 @@ impl SnapshotManager {
     }
 
     /// Expire snapshots whose timeout passed, freeing their resources.
+    /// Prepared-but-undecided snapshots are exempt: a participant that
+    /// acknowledged Prepare promised to hold its ∆_q until the coordinator
+    /// decides (or an inquiry resolves it) — dropping it on timeout could
+    /// silently lose a committed update. That blocking is the price of 2PC.
     pub fn gc(&self) {
         let now = Instant::now();
         let mut active = self.active.lock();
         let dead: Vec<QidKey> = active
             .iter()
-            .filter(|(_, s)| s.deadline <= now)
+            .filter(|(_, s)| {
+                s.deadline <= now && !(*s.prepared.lock() && s.decided.lock().is_none())
+            })
             .map(|(k, _)| k.clone())
             .collect();
         if dead.is_empty() {

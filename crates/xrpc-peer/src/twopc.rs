@@ -11,16 +11,92 @@
 //! HTTP SOAP server that runs XRPC".
 
 use crate::client::XrpcClient;
+use crate::wal::{Wal, WalRecord};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use xdm::{XdmError, XdmResult};
+use xrpc_net::{crash_points, CrashSwitch};
 use xrpc_proto::QueryId;
 
-/// Reserved module namespace for coordination messages.
-pub const WSAT_MODULE: &str = "urn:ws-atomictransaction";
+// The control vocabulary lives in xrpc-proto (shared with recovery and
+// external tooling); re-exported here for the existing call sites.
+pub use xrpc_proto::control::{
+    METHOD_ABORT, METHOD_COMMIT, METHOD_INQUIRE, METHOD_PREPARE, WSAT_MODULE,
+};
 
-pub const METHOD_PREPARE: &str = "Prepare";
-pub const METHOD_COMMIT: &str = "Commit";
-pub const METHOD_ABORT: &str = "Abort";
+/// 2PC observability: one block per peer, covering both its participant
+/// and coordinator roles (exposed next to the transport's `NetMetrics`).
+/// Chiefly: `hazards` counts every decision delivery abandoned after its
+/// retry budget — including the abort deliveries the coordinator used to
+/// drop with `let _ =` — and `recoveries` counts transactions resolved by
+/// restart recovery rather than the live protocol.
+#[derive(Debug, Default)]
+pub struct TwoPcMetrics {
+    /// Prepare requests this peer acknowledged (participant side).
+    pub prepares: AtomicU64,
+    /// Commit decisions applied (participant side).
+    pub commits: AtomicU64,
+    /// Abort decisions handled (participant side).
+    pub aborts: AtomicU64,
+    /// Decision deliveries beyond the first per participant
+    /// (coordinator side — the redelivery loop working).
+    pub redeliveries: AtomicU64,
+    /// Decision deliveries abandoned after the attempt budget
+    /// (coordinator side): commit hazards *and* undeliverable aborts.
+    pub hazards: AtomicU64,
+    /// Transactions whose outcome was settled by restart recovery
+    /// (WAL replay + inquiry / redelivery), not the live protocol.
+    pub recoveries: AtomicU64,
+    /// Inquire requests answered (coordinator side).
+    pub inquiries: AtomicU64,
+}
+
+impl TwoPcMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn snapshot(&self) -> TwoPcSnapshot {
+        TwoPcSnapshot {
+            prepares: self.prepares.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            redeliveries: self.redeliveries.load(Ordering::Relaxed),
+            hazards: self.hazards.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            inquiries: self.inquiries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`TwoPcMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TwoPcSnapshot {
+    pub prepares: u64,
+    pub commits: u64,
+    pub aborts: u64,
+    pub redeliveries: u64,
+    pub hazards: u64,
+    pub recoveries: u64,
+    pub inquiries: u64,
+}
+
+/// Hook invoked with the queryID and participant list right after the
+/// commit record is forced (the commit point), before any delivery.
+pub type CommitLoggedHook<'a> = &'a (dyn Fn(&QueryId, &[String]) + Sync);
+
+/// The coordinator's durable surroundings: its WAL (None = volatile
+/// coordinator, the pre-recovery behavior), metrics, an optional crash
+/// switch for the chaos harness, and a hook the peer uses to remember
+/// logged commit decisions for answering `Inquire`.
+#[derive(Default, Clone, Copy)]
+pub struct CoordCtx<'a> {
+    pub wal: Option<&'a Wal>,
+    pub metrics: Option<&'a TwoPcMetrics>,
+    pub switch: Option<&'a CrashSwitch>,
+    /// The in-memory mirror `Inquire` answers from.
+    pub on_commit_logged: Option<CommitLoggedHook<'a>>,
+}
 
 /// Coordinator tuning: per-phase deadline and decision-redelivery bounds.
 #[derive(Debug, Clone, Copy)]
@@ -88,6 +164,25 @@ pub fn run_two_phase_commit_with(
     participants: &[String],
     config: &TwoPcConfig,
 ) -> XdmResult<CommitOutcome> {
+    run_two_phase_commit_ctx(client, qid, participants, config, CoordCtx::default())
+}
+
+/// Drive 2PC with a durable coordinator: like
+/// [`run_two_phase_commit_with`], but when `ctx.wal` is present the commit
+/// decision is *forced* to the log after unanimous prepare and **before**
+/// any `Commit` delivery — that append is the commit point under presumed
+/// abort (a crash before it recovers as abort; a crash after it recovers
+/// by redelivering `Commit`). Abort decisions are never logged: absence of
+/// a commit record *is* the abort record. After every participant has
+/// acknowledged the commit, a `CoordinatorEnd` record retires the entry so
+/// the log can checkpoint.
+pub fn run_two_phase_commit_ctx(
+    client: &XrpcClient,
+    qid: &QueryId,
+    participants: &[String],
+    config: &TwoPcConfig,
+    ctx: CoordCtx<'_>,
+) -> XdmResult<CommitOutcome> {
     // Phase 1: Prepare — participants log their ∆_q and enter prepared
     // state (or refuse). All prepares run concurrently; the phase cost is
     // the slowest participant, not the sum (and one slow peer cannot
@@ -121,15 +216,48 @@ pub fn run_two_phase_commit_with(
     match failure {
         Some(err) => {
             for p in participants {
-                // best effort: an unreachable participant's snapshot times
-                // out on its own (presumed abort)
-                let _ = deliver_decision(client, p, METHOD_ABORT, qid, config);
+                // Abort deliveries are best effort — an unreachable
+                // participant's snapshot times out on its own (presumed
+                // abort) — but no longer *silent*: each abandoned delivery
+                // is a hazard in the metrics.
+                if deliver_decision(client, p, METHOD_ABORT, qid, config, ctx.metrics).is_err() {
+                    if let Some(m) = ctx.metrics {
+                        m.hazards.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
             Ok(CommitOutcome::Aborted {
                 reason: err.to_string(),
             })
         }
         None => {
+            // Unanimous prepare: force the commit record *before* any
+            // Commit delivery. Under presumed abort this append is the
+            // commit point — everything before it recovers as abort,
+            // everything after it recovers by redelivery.
+            if let Some(sw) = ctx.switch {
+                if sw.hit(crash_points::COORD_BEFORE_COMMIT_LOG) {
+                    return Err(XdmError::xrpc(
+                        "simulated crash at coordinator:before-commit-log",
+                    ));
+                }
+            }
+            if let Some(wal) = ctx.wal {
+                wal.append(&WalRecord::CoordinatorCommit {
+                    qid: qid.clone(),
+                    participants: participants.to_vec(),
+                })?;
+            }
+            if let Some(f) = ctx.on_commit_logged {
+                f(qid, participants);
+            }
+            if let Some(sw) = ctx.switch {
+                if sw.hit(crash_points::COORD_AFTER_COMMIT_LOG) {
+                    return Err(XdmError::xrpc(
+                        "simulated crash at coordinator:after-commit-log-before-delivery",
+                    ));
+                }
+            }
             // Attempt delivery to *every* participant even when one
             // exhausts its redelivery budget — short-circuiting would leave
             // the rest holding prepared state without ever hearing the
@@ -139,16 +267,25 @@ pub fn run_two_phase_commit_with(
             // their prepared logs).
             let mut hazards: Vec<String> = Vec::new();
             for p in participants {
-                if let Err(e) = deliver_decision(client, p, METHOD_COMMIT, qid, config) {
+                if let Err(e) = deliver_decision(client, p, METHOD_COMMIT, qid, config, ctx.metrics)
+                {
+                    if let Some(m) = ctx.metrics {
+                        m.hazards.fetch_add(1, Ordering::Relaxed);
+                    }
                     hazards.push(format!("`{p}`: {e}"));
                 }
             }
             if !hazards.is_empty() {
+                // No CoordinatorEnd: the commit record stays open in the
+                // log, so restart recovery (or the sweeper) redelivers.
                 return Err(XdmError::xrpc(format!(
                     "2PC commit undeliverable after unanimous prepare and {} delivery attempts at: {}",
                     config.decision_max_attempts,
                     hazards.join("; ")
                 )));
+            }
+            if let Some(wal) = ctx.wal {
+                wal.append(&WalRecord::CoordinatorEnd { qid: qid.clone() })?;
             }
             Ok(CommitOutcome::Committed {
                 participants: participants.len(),
@@ -157,27 +294,40 @@ pub fn run_two_phase_commit_with(
     }
 }
 
-/// Deliver one decision message with bounded retry + exponential backoff.
-/// Control handling is idempotent at the participant, so redelivery after
-/// an ambiguous failure is always safe.
-fn deliver_decision(
+/// Deliver one decision message with bounded retry and *full-jitter*
+/// backoff (each wait is uniform in `[0, cap)` where the cap doubles per
+/// attempt — see `xrpc_net::full_jitter`): after a coordinator recovers
+/// and redelivers to many participants at once, deterministic backoff
+/// would re-synchronize the whole cohort into retry waves. Control
+/// handling is idempotent at the participant, so redelivery after an
+/// ambiguous failure is always safe.
+pub(crate) fn deliver_decision(
     client: &XrpcClient,
     dest: &str,
     method: &str,
     qid: &QueryId,
     config: &TwoPcConfig,
+    metrics: Option<&TwoPcMetrics>,
 ) -> XdmResult<()> {
     let mut attempt = 0u32;
     loop {
         attempt += 1;
+        if attempt > 1 {
+            if let Some(m) = metrics {
+                m.redeliveries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         match client.send_control(dest, method, qid) {
             Ok(()) => return Ok(()),
             Err(e) if attempt >= config.decision_max_attempts.max(1) => return Err(e),
             Err(_) => {
-                let backoff = config
+                let cap = config
                     .decision_backoff
                     .saturating_mul(1u32 << (attempt - 1).min(16));
-                std::thread::sleep(backoff);
+                let seed = xrpc_net::dest_salt(dest)
+                    .wrapping_add(qid.timestamp_millis)
+                    .wrapping_add(attempt as u64);
+                std::thread::sleep(xrpc_net::full_jitter(cap, seed));
             }
         }
     }

@@ -1,0 +1,532 @@
+//! Crash-restart chaos tests for the durable 2PC layer: a three-peer
+//! cluster with write-ahead logs, killed deterministically at every
+//! instrumented crash point and restarted over the *same* log file (and
+//! the same document store, standing in for the durable database).
+//!
+//! The invariant throughout: a distributed update either applies exactly
+//! once at every participant or at none — never mixed, never doubled —
+//! regardless of where a process dies. Presumed abort means every crash
+//! before the coordinator's forced commit record ends in a clean abort;
+//! every crash after it ends in commit everywhere, driven by restart
+//! recovery (WAL replay, outcome inquiry, decision redelivery).
+//!
+//! The final test is a property-style checker: pseudo-random fault
+//! schedules (seeded, `CHAOS_SEED` selects the stream for CI matrices),
+//! every prefix of each schedule replayed, failures shrunk to the
+//! shortest failing schedule before panicking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xrpc_net::{
+    crash_points, BreakerConfig, CrashSwitch, NetProfile, ResilientTransport, RetryPolicy,
+    SimNetwork,
+};
+use xrpc_peer::{EngineKind, FsyncPolicy, Peer, SweeperConfig, TwoPcConfig};
+
+const A_URI: &str = "xrpc://a.example.org";
+const B_URI: &str = "xrpc://b.example.org";
+const C_URI: &str = "xrpc://c.example.org";
+
+const CHAOS_MODULE: &str = r#"
+    module namespace t = "test";
+    declare function t:ping() { "pong" };
+    declare updating function t:addEntry($x as xs:string)
+    { insert node <e>{$x}</e> into doc("log.xml")/log };
+"#;
+
+const UPDATE_BOTH: &str = r#"declare option xrpc:isolation "repeatable";
+    import module namespace t = "test";
+    (execute at {"xrpc://b.example.org"} {t:addEntry("x")},
+     execute at {"xrpc://c.example.org"} {t:addEntry("x")})"#;
+
+/// Unique WAL paths per cluster so parallel tests never share a log.
+static RUN_ID: AtomicU64 = AtomicU64::new(0);
+
+struct Node {
+    peer: Arc<Peer>,
+    switch: Arc<CrashSwitch>,
+    wal_path: std::path::PathBuf,
+}
+
+struct Cluster {
+    net: Arc<SimNetwork>,
+    a: Node,
+    b: Node,
+    c: Node,
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for n in [&self.a, &self.b, &self.c] {
+            let _ = std::fs::remove_file(&n.wal_path);
+        }
+    }
+}
+
+fn fast_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        call_deadline: Duration::from_secs(5),
+        jitter_seed: 42,
+    }
+}
+
+fn fast_twopc() -> TwoPcConfig {
+    TwoPcConfig {
+        prepare_deadline: Duration::from_secs(5),
+        decision_max_attempts: 2,
+        decision_backoff: Duration::from_millis(1),
+    }
+}
+
+/// Wire one peer into the cluster: module, transport, 2PC tuning, WAL,
+/// crash switch (both peer-side and network-side) and the SOAP handler.
+/// Used both at cluster birth and on every restart.
+fn wire(net: &Arc<SimNetwork>, node: &Node, uri: &str) {
+    node.peer.register_module(CHAOS_MODULE).unwrap();
+    let resilient =
+        ResilientTransport::with_policy(net.clone(), fast_policy(), BreakerConfig::default());
+    node.peer.set_transport_raw(resilient);
+    node.peer.set_twopc_config(fast_twopc());
+    node.peer.set_crash_switch(node.switch.clone());
+    net.register(uri, node.peer.soap_handler());
+    net.attach_crash_switch(uri, node.switch.clone());
+}
+
+fn cluster(tag: &str) -> Cluster {
+    let run = RUN_ID.fetch_add(1, Ordering::Relaxed);
+    let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+    let mk = |uri: &str, short: &str| {
+        let peer = Peer::new(uri, EngineKind::Tree);
+        let wal_path = std::env::temp_dir().join(format!(
+            "xrpc-recovery-{}-{tag}-{run}-{short}.wal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&wal_path);
+        Node {
+            peer,
+            switch: CrashSwitch::new(),
+            wal_path,
+        }
+    };
+    let cl = Cluster {
+        a: mk(A_URI, "a"),
+        b: mk(B_URI, "b"),
+        c: mk(C_URI, "c"),
+        net,
+    };
+    for (n, uri) in [(&cl.a, A_URI), (&cl.b, B_URI), (&cl.c, C_URI)] {
+        wire(&cl.net, n, uri);
+        n.peer.attach_wal(&n.wal_path, FsyncPolicy::Never).unwrap();
+    }
+    for n in [&cl.b, &cl.c] {
+        n.peer.add_document("log.xml", "<log/>").unwrap();
+    }
+    cl
+}
+
+/// Restart a crashed node: a brand-new `Peer` over the *same* document
+/// store (the durable database survives) and the *same* WAL file, with
+/// all coordination state re-entered from the log. Returns the recovery
+/// report of the WAL replay.
+fn restart(net: &Arc<SimNetwork>, node: &mut Node, uri: &str) -> xrpc_peer::RecoveryReport {
+    let docs = node.peer.docs.clone();
+    node.peer = Peer::new_with_docs(uri, EngineKind::Tree, docs);
+    node.switch.revive();
+    wire(net, node, uri);
+    node.peer
+        .attach_wal(&node.wal_path, FsyncPolicy::Never)
+        .unwrap()
+}
+
+/// Number of `<e>` entries in a peer's log document.
+fn log_count(p: &Peer) -> usize {
+    let doc = p.docs.get("log.xml").unwrap();
+    let log = doc.children(doc.root())[0];
+    doc.children(log)
+        .iter()
+        .filter(|&&n| doc.node(n).name.as_ref().is_some_and(|q| q.local == "e"))
+        .count()
+}
+
+// ---------------------------------------------------------------------
+// Participant crash points
+// ---------------------------------------------------------------------
+
+#[test]
+fn crash_before_prepare_log_presumes_abort_everywhere() {
+    let mut cl = cluster("before-prepare");
+    cl.b.switch.arm(crash_points::BEFORE_PREPARE_LOG);
+
+    // b dies mid-Prepare with nothing durable: the coordinator times out,
+    // decides abort, and the abort to the dead b is an undeliverable
+    // hazard (counted, not fatal — presumed abort makes it safe to drop).
+    let err = cl.a.peer.execute(UPDATE_BOTH).unwrap_err();
+    assert!(
+        err.message.contains("aborted"),
+        "coordinator must abort: {err}"
+    );
+    let coord = cl.a.peer.twopc_metrics.snapshot();
+    assert!(
+        coord.hazards >= 1,
+        "abort to the dead participant is a hazard: {coord:?}"
+    );
+    assert_eq!(
+        cl.c.peer.twopc_metrics.snapshot().aborts,
+        1,
+        "the healthy participant quiesced with an abort"
+    );
+
+    // Restart finds an empty log — no prepared state to restore, nothing
+    // to inquire about. Atomicity: zero entries everywhere.
+    let report = restart(&cl.net, &mut cl.b, B_URI);
+    assert_eq!(report.restored_prepared, 0);
+    assert_eq!(report.reapplied, 0);
+    cl.b.peer.resolve_in_doubt().unwrap();
+    assert_eq!(log_count(&cl.b.peer), 0);
+    assert_eq!(log_count(&cl.c.peer), 0);
+    assert_eq!(cl.b.peer.wal().unwrap().open_transactions(), 0);
+}
+
+#[test]
+fn crash_after_prepare_ack_resolves_in_doubt_by_inquiry() {
+    let mut cl = cluster("after-prepare-ack");
+    cl.b.switch.arm(crash_points::AFTER_PREPARE_ACK);
+
+    // b promises (forced Prepared record, ack delivered) then dies. The
+    // coordinator reaches unanimous prepare, forces its commit record,
+    // commits c, and surfaces a heuristic hazard for the unreachable b.
+    let err = cl.a.peer.execute(UPDATE_BOTH).unwrap_err();
+    assert!(
+        err.message.contains("commit undeliverable"),
+        "commit already durable, b unreachable: {err}"
+    );
+    assert_eq!(log_count(&cl.c.peer), 1);
+    assert_eq!(log_count(&cl.b.peer), 0, "b died before any Commit");
+    assert!(cl.a.peer.twopc_metrics.snapshot().hazards >= 1);
+
+    // Restart: the WAL re-enters prepared state; the in-doubt resolver
+    // asks the coordinator, learns Committed, applies ∆ from the log.
+    let report = restart(&cl.net, &mut cl.b, B_URI);
+    assert_eq!(report.restored_prepared, 1);
+    let resolved = cl.b.peer.resolve_in_doubt().unwrap();
+    assert_eq!(resolved.resolved_committed, 1);
+    assert_eq!(resolved.still_in_doubt, 0);
+    assert_eq!(log_count(&cl.b.peer), 1, "inquiry converged b to commit");
+    assert_eq!(cl.a.peer.twopc_metrics.snapshot().inquiries, 1);
+    let b = cl.b.peer.twopc_metrics.snapshot();
+    assert!(b.recoveries >= 1, "recovery counted: {b:?}");
+    // all obligations settled: the log checkpoints back to empty
+    assert_eq!(cl.b.peer.wal().unwrap().open_transactions(), 0);
+}
+
+#[test]
+fn crash_after_decision_log_reapplies_from_wal_exactly_once() {
+    let mut cl = cluster("after-decision");
+    cl.b.switch.arm(crash_points::AFTER_DECISION_LOG);
+
+    // b forces the Commit decision record, then dies *before* applying
+    // ∆_q. The coordinator's delivery looks lost (hazard), but the
+    // decision is durable at b.
+    let err = cl.a.peer.execute(UPDATE_BOTH).unwrap_err();
+    assert!(err.message.contains("commit undeliverable"), "{err}");
+    assert_eq!(log_count(&cl.b.peer), 0, "decided but not yet applied");
+    assert_eq!(log_count(&cl.c.peer), 1);
+
+    // Restart replays Decision(Committed) without Applied: recovery
+    // finishes the job straight from the log — exactly once.
+    let report = restart(&cl.net, &mut cl.b, B_URI);
+    assert_eq!(report.reapplied, 1);
+    assert_eq!(report.restored_prepared, 0);
+    assert_eq!(log_count(&cl.b.peer), 1);
+    cl.b.peer.resolve_in_doubt().unwrap();
+    assert_eq!(log_count(&cl.b.peer), 1, "resolution must not re-apply");
+    assert!(cl.b.peer.twopc_metrics.snapshot().recoveries >= 1);
+    assert_eq!(cl.b.peer.wal().unwrap().open_transactions(), 0);
+}
+
+#[test]
+fn sweeper_resolves_in_doubt_participant_in_background() {
+    let mut cl = cluster("sweeper");
+    cl.b.switch.arm(crash_points::AFTER_PREPARE_ACK);
+    assert!(cl.a.peer.execute(UPDATE_BOTH).is_err());
+
+    let report = restart(&cl.net, &mut cl.b, B_URI);
+    assert_eq!(report.restored_prepared, 1);
+    // no explicit resolve: the background sweeper re-inquires prepared
+    // transactions older than min_age on its own
+    let handle = cl.b.peer.start_recovery_sweeper(SweeperConfig {
+        interval: Duration::from_millis(20),
+        min_age: Duration::ZERO,
+    });
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while log_count(&cl.b.peer) == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.stop();
+    assert_eq!(log_count(&cl.b.peer), 1, "sweeper converged b to commit");
+    assert_eq!(log_count(&cl.c.peer), 1);
+}
+
+// ---------------------------------------------------------------------
+// Coordinator crash points
+// ---------------------------------------------------------------------
+
+#[test]
+fn coordinator_crash_before_commit_log_presumes_abort() {
+    let mut cl = cluster("coord-before-commit");
+    cl.a.switch.arm(crash_points::COORD_BEFORE_COMMIT_LOG);
+
+    // Unanimous prepare, then the coordinator dies before forcing its
+    // commit record: no decision exists anywhere.
+    let err = cl.a.peer.execute(UPDATE_BOTH).unwrap_err();
+    assert!(err.message.contains("simulated crash"), "{err}");
+    assert_eq!(log_count(&cl.b.peer), 0);
+    assert_eq!(log_count(&cl.c.peer), 0);
+
+    // Restart the coordinator: its log holds no commit record, so it
+    // answers inquiries with the presumed abort. Both participants
+    // release their prepared state cleanly.
+    restart(&cl.net, &mut cl.a, A_URI);
+    let rb = cl.b.peer.resolve_in_doubt().unwrap();
+    let rc = cl.c.peer.resolve_in_doubt().unwrap();
+    assert_eq!(rb.resolved_aborted, 1);
+    assert_eq!(rc.resolved_aborted, 1);
+    assert_eq!(log_count(&cl.b.peer), 0);
+    assert_eq!(log_count(&cl.c.peer), 0);
+    assert_eq!(cl.a.peer.twopc_metrics.snapshot().inquiries, 2);
+    assert_eq!(
+        cl.b.peer.snapshots.prepared_undecided(Duration::ZERO).len(),
+        0
+    );
+    assert_eq!(
+        cl.c.peer.snapshots.prepared_undecided(Duration::ZERO).len(),
+        0
+    );
+}
+
+#[test]
+fn coordinator_crash_after_commit_log_redelivers_on_restart() {
+    let mut cl = cluster("coord-after-commit");
+    cl.a.switch.arm(crash_points::COORD_AFTER_COMMIT_LOG);
+
+    // The commit record is forced, then the coordinator dies before any
+    // delivery: the decision is commit, but nobody has heard it.
+    let err = cl.a.peer.execute(UPDATE_BOTH).unwrap_err();
+    assert!(err.message.contains("simulated crash"), "{err}");
+    assert_eq!(log_count(&cl.b.peer), 0);
+    assert_eq!(log_count(&cl.c.peer), 0);
+
+    // Restart: WAL replay finds CoordinatorCommit without CoordinatorEnd
+    // and redelivers Commit to every participant.
+    restart(&cl.net, &mut cl.a, A_URI);
+    let report = cl.a.peer.resolve_in_doubt().unwrap();
+    assert_eq!(report.redelivered, 1);
+    assert_eq!(log_count(&cl.b.peer), 1);
+    assert_eq!(log_count(&cl.c.peer), 1);
+    assert_eq!(cl.b.peer.twopc_metrics.snapshot().commits, 1);
+    assert_eq!(cl.c.peer.twopc_metrics.snapshot().commits, 1);
+    // the end record closes the coordinator's obligation: log checkpoints
+    assert_eq!(cl.a.peer.wal().unwrap().open_transactions(), 0);
+}
+
+// ---------------------------------------------------------------------
+// WAL self-verification at the integration level
+// ---------------------------------------------------------------------
+
+#[test]
+fn torn_wal_tail_is_detected_and_recovery_uses_last_intact_record() {
+    let mut cl = cluster("torn-tail");
+    cl.b.switch.arm(crash_points::AFTER_PREPARE_ACK);
+    assert!(cl.a.peer.execute(UPDATE_BOTH).is_err());
+
+    // Simulate a torn write: garbage bytes at the tail of b's log, after
+    // the intact Prepared record.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&cl.b.wal_path)
+            .unwrap();
+        f.write_all(&[0x13, 0x37, 0xde, 0xad, 0xbe]).unwrap();
+    }
+    let report = restart(&cl.net, &mut cl.b, B_URI);
+    assert!(report.tail_damaged, "CRC must flag the torn tail");
+    assert_eq!(
+        report.restored_prepared, 1,
+        "records before the tear replay normally"
+    );
+    let resolved = cl.b.peer.resolve_in_doubt().unwrap();
+    assert_eq!(resolved.resolved_committed, 1);
+    assert_eq!(log_count(&cl.b.peer), 1);
+}
+
+// ---------------------------------------------------------------------
+// Property-style invariant checker: seeded fault schedules, every prefix
+// replayed, failures shrunk to the shortest failing schedule.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Target {
+    A,
+    B,
+    C,
+}
+
+type Op = (Target, &'static str);
+
+/// The full fault universe: every instrumented crash point on the peer
+/// that can reach it in a `b + c` update coordinated by `a`.
+const UNIVERSE: &[Op] = &[
+    (Target::B, crash_points::BEFORE_PREPARE_LOG),
+    (Target::B, crash_points::AFTER_PREPARE_ACK),
+    (Target::B, crash_points::AFTER_DECISION_LOG),
+    (Target::C, crash_points::BEFORE_PREPARE_LOG),
+    (Target::C, crash_points::AFTER_PREPARE_ACK),
+    (Target::C, crash_points::AFTER_DECISION_LOG),
+    (Target::A, crash_points::COORD_BEFORE_COMMIT_LOG),
+    (Target::A, crash_points::COORD_AFTER_COMMIT_LOG),
+];
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn gen_schedule(rng: &mut u64) -> Vec<Op> {
+    let len = 1 + (splitmix64(rng) % 3) as usize;
+    (0..len)
+        .map(|_| UNIVERSE[(splitmix64(rng) % UNIVERSE.len() as u64) as usize])
+        .collect()
+}
+
+/// Run one schedule against a fresh cluster: arm every fault, fire the
+/// distributed update, then drive restart + recovery rounds until the
+/// cluster quiesces. Returns a violation description, or None.
+fn run_schedule(schedule: &[Op]) -> Option<String> {
+    let mut cl = cluster("prop");
+    for (t, point) in schedule {
+        let sw = match t {
+            Target::A => &cl.a.switch,
+            Target::B => &cl.b.switch,
+            Target::C => &cl.c.switch,
+        };
+        sw.arm(point);
+    }
+    let outcome = cl.a.peer.execute(UPDATE_BOTH);
+
+    // Recovery rounds: restart whoever is down, then let everyone
+    // resolve. Armed points can fire *again* during recovery (a schedule
+    // may kill the same peer at a later point too), hence the loop.
+    for _ in 0..6 {
+        if cl.a.switch.is_down() {
+            restart(&cl.net, &mut cl.a, A_URI);
+        }
+        if cl.b.switch.is_down() {
+            restart(&cl.net, &mut cl.b, B_URI);
+        }
+        if cl.c.switch.is_down() {
+            restart(&cl.net, &mut cl.c, C_URI);
+        }
+        let _ = cl.a.peer.resolve_in_doubt();
+        let _ = cl.b.peer.resolve_in_doubt();
+        let _ = cl.c.peer.resolve_in_doubt();
+        let quiescent = !cl.a.switch.is_down()
+            && !cl.b.switch.is_down()
+            && !cl.c.switch.is_down()
+            && cl
+                .b
+                .peer
+                .snapshots
+                .prepared_undecided(Duration::ZERO)
+                .is_empty()
+            && cl
+                .c
+                .peer
+                .snapshots
+                .prepared_undecided(Duration::ZERO)
+                .is_empty();
+        if quiescent {
+            break;
+        }
+    }
+
+    let nb = log_count(&cl.b.peer);
+    let nc = log_count(&cl.c.peer);
+    if nb != nc {
+        return Some(format!("mixed outcome: b={nb} entries, c={nc} entries"));
+    }
+    if nb > 1 {
+        return Some(format!("double-applied ∆: {nb} entries at both peers"));
+    }
+    if outcome.is_ok() && nb != 1 {
+        return Some(format!("reported commit but {nb} entries applied"));
+    }
+    if !cl
+        .b
+        .peer
+        .snapshots
+        .prepared_undecided(Duration::ZERO)
+        .is_empty()
+        || !cl
+            .c
+            .peer
+            .snapshots
+            .prepared_undecided(Duration::ZERO)
+            .is_empty()
+    {
+        return Some("prepared transaction still in doubt after recovery".into());
+    }
+    None
+}
+
+/// Shrink a failing schedule by greedy element removal until no single
+/// removal still fails.
+fn shrink(mut schedule: Vec<Op>) -> Vec<Op> {
+    loop {
+        let mut reduced = false;
+        for i in 0..schedule.len() {
+            let mut candidate = schedule.clone();
+            candidate.remove(i);
+            if run_schedule(&candidate).is_some() {
+                schedule = candidate;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return schedule;
+        }
+    }
+}
+
+#[test]
+fn prefix_replay_invariant_checker() {
+    let seed: u64 = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let mut rng = seed;
+    for round in 0..5 {
+        let schedule = gen_schedule(&mut rng);
+        // replay every prefix: an invariant must hold not only for the
+        // full schedule but at every point along the way
+        for cut in 0..=schedule.len() {
+            let prefix = &schedule[..cut];
+            if let Some(violation) = run_schedule(prefix) {
+                let minimal = shrink(prefix.to_vec());
+                panic!(
+                    "invariant violated (seed={seed}, round={round}): {violation}\n\
+                     failing prefix: {prefix:?}\n\
+                     shrunk to shortest failing schedule: {minimal:?}"
+                );
+            }
+        }
+    }
+}

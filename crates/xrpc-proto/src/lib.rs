@@ -9,10 +9,14 @@
 //!   piggybacked participating-peer list of §2.3) and SOAP Faults;
 //! * [`validate`] — a structural validator standing in for XRPC.xsd.
 
+pub mod control;
 pub mod marshal;
 pub mod message;
 pub mod validate;
 
+pub use control::{
+    TxOutcome, METHOD_ABORT, METHOD_COMMIT, METHOD_INQUIRE, METHOD_PREPARE, WSAT_MODULE,
+};
 pub use marshal::{n2s, s2n_into};
 pub use message::{
     parse_message, FaultCode, QueryId, XrpcFault, XrpcMessage, XrpcRequest, XrpcResponse,
