@@ -285,11 +285,13 @@ fn throughput(quick: bool, check_cliff: bool) {
         let (d_req, _) = time_query(&c.a, &request_heavy_query());
         let da = alloc_snapshot().since(a0);
         let sent = c.net.metrics.snapshot().bytes_sent;
+        let req_lat = c.a.obs.histogram("xrpc_call_latency_micros").snapshot();
         // response-heavy
         let c2 = throughput_cluster(bytes);
         c2.net.metrics.reset();
         let (d_resp, _) = time_query(&c2.a, &response_heavy_query());
         let recv = c2.net.metrics.snapshot().bytes_received;
+        let resp_lat = c2.a.obs.histogram("xrpc_call_latency_micros").snapshot();
         let req = mb_per_sec(sent, d_req);
         let resp = mb_per_sec(recv, d_resp);
         let req_mib_alloc = da.bytes as f64 / (1024.0 * 1024.0);
@@ -307,6 +309,14 @@ fn throughput(quick: bool, check_cliff: bool) {
             ("response_mb_per_s", resp),
             ("request_allocs", da.allocs as f64),
             ("request_mib_allocated", req_mib_alloc),
+            // originator-side latency histograms (the same ones /metrics
+            // exposes), so the JSON artifact carries quantiles per PR
+            ("request_call_p50_micros", req_lat.p50 as f64),
+            ("request_call_p99_micros", req_lat.p99 as f64),
+            ("response_call_p50_micros", resp_lat.p50 as f64),
+            ("response_call_p99_micros", resp_lat.p99 as f64),
+            ("request_bytes_sent", sent as f64),
+            ("response_bytes_received", recv as f64),
         ]);
     }
     println!("paper: ~8 MB/s requests, ~14 MB/s responses (CPU-bound on 1Gb/s LAN)");
@@ -363,15 +373,15 @@ fn ablation_latency(quick: bool) {
     let mut rows = Vec::new();
     for &lat_ms in latencies {
         let profile = NetProfile::with_latency(Duration::from_secs_f64(lat_ms / 1e3));
-        let single = {
+        let (single, single_lat) = {
             let c = echo_cluster(profile, false, true);
             let (d, _) = time_query(&c.a, &echo_query(100));
-            d
+            (d, c.a.obs.histogram("xrpc_call_latency_micros").snapshot())
         };
-        let bulk = {
+        let (bulk, bulk_lat) = {
             let c = echo_cluster(profile, true, true);
             let (d, _) = time_query(&c.a, &echo_query(100));
-            d
+            (d, c.a.obs.histogram("xrpc_call_latency_micros").snapshot())
         };
         let speedup = ms(single) / ms(bulk).max(0.001);
         println!(
@@ -386,6 +396,12 @@ fn ablation_latency(quick: bool) {
             ("one_at_a_time_ms", ms(single)),
             ("bulk_ms", ms(bulk)),
             ("speedup", speedup),
+            // per-roundtrip quantiles: one-at-a-time pays the link per
+            // call (p50 ≈ RTT), bulk amortizes it over the whole batch
+            ("one_at_a_time_call_p50_micros", single_lat.p50 as f64),
+            ("one_at_a_time_call_p99_micros", single_lat.p99 as f64),
+            ("bulk_call_p50_micros", bulk_lat.p50 as f64),
+            ("bulk_call_p99_micros", bulk_lat.p99 as f64),
         ]);
     }
     write_json(

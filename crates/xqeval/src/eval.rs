@@ -114,6 +114,9 @@ pub fn evaluate_parsed(
     env: &Environment,
     external: Vec<(String, Sequence)>,
 ) -> XdmResult<(Sequence, PendingUpdateList)> {
+    // Under an instrumented peer this nests an evaluation span inside the
+    // ambient request trace; standalone callers pay one thread-local read.
+    let _span = xrpc_obs::ambient_span("xqeval:evaluate");
     let sctx = Arc::new(StaticContext::from_prolog(&module.prolog));
     let mut local_functions = HashMap::new();
     for f in &module.prolog.functions {

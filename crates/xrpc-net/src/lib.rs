@@ -25,7 +25,7 @@ pub use bufpool::{BufferPool, PoolStats};
 pub use http::{http_post, HttpConfig, HttpServer, HttpTransport};
 pub use metrics::NetMetrics;
 pub use pool::ConnectionPool;
-pub use retry::{dest_salt, full_jitter, ResilientTransport, RetryPolicy};
+pub use retry::{dest_salt, full_jitter, DestStats, ResilientTransport, RetryPolicy};
 pub use sim::{crash_points, CrashSwitch, NetProfile, SimFault, SimNetwork, SoapHandler};
 
 use std::fmt;

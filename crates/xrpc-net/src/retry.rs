@@ -9,8 +9,10 @@ use crate::metrics::NetMetrics;
 use crate::{CallHint, NetError, NetErrorKind, Transport};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use xrpc_obs::Histogram;
 
 /// Retry/backoff/deadline knobs for one logical call.
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +108,20 @@ pub fn dest_salt(dest: &str) -> u64 {
     h
 }
 
+/// Per-destination accounting for one [`ResilientTransport`]: a latency
+/// histogram over *successful* calls (µs, including any retries and
+/// backoff sleeps the call absorbed) plus the failure-path counters that
+/// the aggregate [`NetMetrics`] could not attribute — which destination
+/// was retried, which breaker fast-failed, which peer silently dropped
+/// a request. Exposed as `dest="…"` labels on `/metrics`.
+#[derive(Default)]
+pub struct DestStats {
+    pub latency: Histogram,
+    pub retries: AtomicU64,
+    pub failures: AtomicU64,
+    pub fast_failures: AtomicU64,
+}
+
 /// A [`Transport`] decorator adding retry/backoff/deadline and a
 /// per-destination circuit breaker to any inner transport.
 ///
@@ -117,6 +133,7 @@ pub struct ResilientTransport {
     policy: RetryPolicy,
     breaker_cfg: BreakerConfig,
     breakers: Mutex<HashMap<String, CircuitBreaker>>,
+    dests: Mutex<HashMap<String, Arc<DestStats>>>,
     /// Retry/fast-fail/timeout accounting for this decorator (the inner
     /// transport keeps its own per-wire-attempt counters).
     pub metrics: Arc<NetMetrics>,
@@ -139,12 +156,45 @@ impl ResilientTransport {
             policy,
             breaker_cfg,
             breakers: Mutex::new(HashMap::new()),
+            dests: Mutex::new(HashMap::new()),
             metrics: Arc::new(NetMetrics::new()),
         })
     }
 
     pub fn policy(&self) -> RetryPolicy {
         self.policy
+    }
+
+    /// The per-destination breakdown, destination-sorted.
+    pub fn dest_stats(&self) -> Vec<(String, Arc<DestStats>)> {
+        let mut out: Vec<_> = self
+            .dests
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Every breaker's current state, destination-sorted (for `/healthz`).
+    pub fn breaker_states(&self) -> Vec<(String, BreakerState)> {
+        let mut out: Vec<_> = self
+            .breakers
+            .lock()
+            .iter()
+            .map(|(k, b)| (k.clone(), b.state()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn dest(&self, dest: &str) -> Arc<DestStats> {
+        self.dests
+            .lock()
+            .entry(dest.to_string())
+            .or_default()
+            .clone()
     }
 
     /// Observable breaker state for `dest` (Closed if never used).
@@ -195,11 +245,13 @@ impl Transport for ResilientTransport {
         let start = Instant::now();
         let deadline = start + self.policy.call_deadline;
         let salt = dest_salt(dest);
+        let stats = self.dest(dest);
         let mut attempt = 0u32;
         loop {
             attempt += 1;
             if !self.breaker_allow(dest, Instant::now()) {
                 self.metrics.record_fast_failure();
+                stats.fast_failures.fetch_add(1, Ordering::Relaxed);
                 return Err(NetError::with_kind(
                     NetErrorKind::Other,
                     format!("circuit breaker open for `{dest}` (failing fast)"),
@@ -209,12 +261,14 @@ impl Transport for ResilientTransport {
                 Ok(resp) => {
                     self.breaker_on_success(dest);
                     self.metrics.record(body.len(), resp.len());
+                    stats.latency.record_micros(start.elapsed());
                     return Ok(resp);
                 }
                 Err(e) => e,
             };
             self.breaker_on_failure(dest, Instant::now());
             self.metrics.record_failure();
+            stats.failures.fetch_add(1, Ordering::Relaxed);
             if err.kind == NetErrorKind::Timeout {
                 self.metrics.record_timeout();
             }
@@ -233,6 +287,7 @@ impl Transport for ResilientTransport {
                 ));
             }
             self.metrics.record_retry();
+            stats.retries.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(backoff);
         }
     }
@@ -439,6 +494,38 @@ mod tests {
         assert_eq!(e.kind, NetErrorKind::Timeout);
         assert!(e.message.contains("deadline"), "{}", e.message);
         assert!(t0.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn per_destination_stats_attribute_retries_and_latency() {
+        let net = net_with_peer();
+        net.register("xrpc://z", Arc::new(|_: &[u8]| b"zz".to_vec()));
+        let t =
+            ResilientTransport::with_policy(net.clone(), fast_policy(4), BreakerConfig::default());
+        // y absorbs two silent request drops before succeeding; z is clean
+        net.inject_fault("xrpc://y", SimFault::DropRequest);
+        net.inject_fault("xrpc://y", SimFault::DropRequest);
+        t.roundtrip_hinted("xrpc://y", b"q", CallHint::ReadOnly)
+            .unwrap();
+        t.roundtrip_hinted("xrpc://z", b"q", CallHint::ReadOnly)
+            .unwrap();
+        let stats = t.dest_stats();
+        assert_eq!(
+            stats.iter().map(|(d, _)| d.as_str()).collect::<Vec<_>>(),
+            vec!["xrpc://y", "xrpc://z"],
+            "destination-sorted"
+        );
+        let y = &stats[0].1;
+        let z = &stats[1].1;
+        assert_eq!(y.retries.load(Ordering::Relaxed), 2);
+        assert_eq!(y.failures.load(Ordering::Relaxed), 2);
+        assert_eq!(y.latency.count(), 1, "one successful call recorded");
+        assert_eq!(z.retries.load(Ordering::Relaxed), 0);
+        assert_eq!(z.failures.load(Ordering::Relaxed), 0);
+        assert_eq!(z.latency.count(), 1);
+        // the blind spot this exists to fix: aggregate metrics alone
+        // cannot say *which* destination ate the retries
+        assert_eq!(t.metrics.snapshot().retries, 2);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! The peer's admin surface: `/metrics` (Prometheus text exposition)
+//! and `/healthz` (JSON liveness/readiness), routed on the same
+//! [`HttpServer`] that carries XRPC traffic — the paper's "any XRPC
+//! endpoint doubles as a WS-AT participant" philosophy extended to
+//! operations: any XRPC endpoint is also scrapeable.
+//!
+//! `/metrics` aggregates every counter the runtime already keeps —
+//! transport [`NetMetrics`] (client side from the peer's
+//! [`ResilientTransport`](xrpc_net::ResilientTransport), server side
+//! from the HTTP listener, distinguished by a `side` label), 2PC
+//! counters, the global buffer pool, per-destination retry/latency
+//! stats and circuit-breaker states — plus the peer's latency/size
+//! histograms as summary families with p50/p90/p99.
+//!
+//! `/healthz` reports WAL attachment, in-doubt transaction count and
+//! breaker states; status degrades (HTTP 503) when transactions are
+//! stuck in doubt or any breaker is open.
+
+use crate::peer::Peer;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+use xrpc_net::http::Handler;
+use xrpc_net::metrics::MetricsSnapshot;
+use xrpc_net::{BreakerState, BufferPool, HttpServer, NetError, NetMetrics};
+use xrpc_obs::PromWriter;
+
+/// Shared slot for the HTTP server's own [`NetMetrics`]: the server is
+/// only constructed *after* its handler exists, so the handler captures
+/// this cell and [`bind_admin`] fills it once the server is up.
+pub type ServerMetricsSlot = Arc<OnceLock<Arc<NetMetrics>>>;
+
+fn net_counters(w: &mut PromWriter, side: &str, s: &MetricsSnapshot) {
+    for (name, v) in [
+        ("xrpc_net_roundtrips_total", s.roundtrips),
+        ("xrpc_net_bytes_sent_total", s.bytes_sent),
+        ("xrpc_net_bytes_received_total", s.bytes_received),
+        ("xrpc_net_failures_total", s.failures),
+        ("xrpc_net_retries_total", s.retries),
+        ("xrpc_net_timeouts_total", s.timeouts),
+        ("xrpc_net_fast_failures_total", s.fast_failures),
+        ("xrpc_net_breaker_opens_total", s.breaker_opens),
+        ("xrpc_net_pool_hits_total", s.pool_hits),
+        ("xrpc_net_pool_misses_total", s.pool_misses),
+    ] {
+        w.counter_labeled(name, "side", side, v);
+    }
+}
+
+fn breaker_code(s: BreakerState) -> u64 {
+    match s {
+        BreakerState::Closed => 0,
+        BreakerState::HalfOpen => 1,
+        BreakerState::Open => 2,
+    }
+}
+
+/// Render the full exposition document for one peer. `server_metrics`
+/// is the HTTP listener's counter block, when the peer is served over
+/// HTTP (see [`ServerMetricsSlot`]).
+pub fn render_metrics(peer: &Peer, server_metrics: Option<&NetMetrics>) -> String {
+    let mut w = PromWriter::new();
+
+    if let Some(rt) = peer.resilient_transport() {
+        net_counters(&mut w, "client", &rt.metrics.snapshot());
+    }
+    if let Some(m) = server_metrics {
+        net_counters(&mut w, "server", &m.snapshot());
+    }
+
+    let t = peer.twopc_metrics.snapshot();
+    w.counter("xrpc_twopc_prepares_total", t.prepares);
+    w.counter("xrpc_twopc_commits_total", t.commits);
+    w.counter("xrpc_twopc_aborts_total", t.aborts);
+    w.counter("xrpc_twopc_redeliveries_total", t.redeliveries);
+    w.counter("xrpc_twopc_hazards_total", t.hazards);
+    w.counter("xrpc_twopc_recoveries_total", t.recoveries);
+    w.counter("xrpc_twopc_inquiries_total", t.inquiries);
+
+    let p = BufferPool::global().stats();
+    w.counter("xrpc_bufpool_hits_total", p.hits);
+    w.counter("xrpc_bufpool_misses_total", p.misses);
+    w.counter("xrpc_bufpool_recycled_total", p.recycled);
+    w.counter("xrpc_bufpool_dropped_total", p.dropped);
+    w.gauge("xrpc_bufpool_occupancy", p.occupancy);
+
+    // the same readiness numbers /healthz reports, as gauges
+    w.gauge(
+        "xrpc_wal_attached",
+        if peer.wal().is_some() { 1 } else { 0 },
+    );
+    w.gauge(
+        "xrpc_wal_open_transactions",
+        peer.wal()
+            .map(|l| l.open_transactions() as u64)
+            .unwrap_or(0),
+    );
+    w.gauge(
+        "xrpc_in_doubt_transactions",
+        peer.snapshots.prepared_undecided(Duration::ZERO).len() as u64,
+    );
+    w.gauge(
+        "xrpc_active_snapshots",
+        peer.snapshots.active_count() as u64,
+    );
+
+    for (name, h) in peer.obs.histograms() {
+        w.summary(&name, &h.snapshot());
+    }
+    for (name, vec) in peer.obs.histogram_vecs() {
+        for (value, h) in vec.children() {
+            w.summary_labeled(&name, vec.label(), &value, &h.snapshot());
+        }
+    }
+
+    if let Some(rt) = peer.resilient_transport() {
+        for (dest, st) in rt.dest_stats() {
+            for (name, v) in [
+                ("xrpc_dest_retries_total", &st.retries),
+                ("xrpc_dest_failures_total", &st.failures),
+                ("xrpc_dest_fast_failures_total", &st.fast_failures),
+            ] {
+                w.counter_labeled(name, "dest", &dest, v.load(Ordering::Relaxed));
+            }
+            w.summary_labeled(
+                "xrpc_dest_latency_micros",
+                "dest",
+                &dest,
+                &st.latency.snapshot(),
+            );
+        }
+        for (dest, state) in rt.breaker_states() {
+            w.gauge_labeled("xrpc_breaker_state", "dest", &dest, breaker_code(state));
+        }
+    }
+
+    w.finish()
+}
+
+/// Render the health document and its HTTP status: `200 ok` when
+/// nothing is stuck, `503 degraded` when transactions sit in doubt or a
+/// circuit breaker is open (half-open — a probe under way — is healthy
+/// enough to stay `ok`).
+pub fn render_healthz(peer: &Peer) -> (u16, String) {
+    let wal = peer.wal();
+    let open = wal.as_ref().map(|l| l.open_transactions()).unwrap_or(0);
+    let in_doubt = peer.snapshots.prepared_undecided(Duration::ZERO).len();
+    let breakers = peer
+        .resilient_transport()
+        .map(|rt| rt.breaker_states())
+        .unwrap_or_default();
+    let any_open = breakers
+        .iter()
+        .any(|(_, s)| matches!(s, BreakerState::Open));
+    let degraded = in_doubt > 0 || any_open;
+
+    let mut json = String::with_capacity(256);
+    json.push_str("{\"status\":\"");
+    json.push_str(if degraded { "degraded" } else { "ok" });
+    json.push_str("\",\"peer\":\"");
+    json.push_str(&json_escape(&peer.name()));
+    json.push_str("\",\"wal_attached\":");
+    json.push_str(if wal.is_some() { "true" } else { "false" });
+    json.push_str(&format!(
+        ",\"wal_open_transactions\":{open},\"in_doubt\":{in_doubt},\"active_snapshots\":{}",
+        peer.snapshots.active_count()
+    ));
+    json.push_str(",\"breakers\":{");
+    for (i, (dest, state)) in breakers.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\"{}\":\"{state:?}\"", json_escape(dest)));
+    }
+    json.push_str("}}");
+    (if degraded { 503 } else { 200 }, json)
+}
+
+fn json_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Build the peer's HTTP handler with the admin routes in front:
+/// `/metrics` and `/healthz` are answered directly, everything else
+/// falls through to XRPC SOAP dispatch. Returns the handler plus the
+/// [`ServerMetricsSlot`] to fill after binding (see [`bind_admin`]).
+pub fn admin_handler(peer: &Arc<Peer>) -> (Arc<Handler>, ServerMetricsSlot) {
+    let slot: ServerMetricsSlot = Arc::new(OnceLock::new());
+    let p = peer.clone();
+    let s = slot.clone();
+    let soap = peer.soap_handler();
+    let handler: Arc<Handler> = Arc::new(move |path, body| match path {
+        "/metrics" => {
+            let doc = render_metrics(&p, s.get().map(|m| m.as_ref()));
+            (200, doc.into_bytes())
+        }
+        "/healthz" => {
+            let (status, doc) = render_healthz(&p);
+            (status, doc.into_bytes())
+        }
+        _ => (200, soap(body)),
+    });
+    (handler, slot)
+}
+
+/// Bind an HTTP server for `peer` with the admin routes enabled and the
+/// server-side metrics slot wired up. The caller still names the peer
+/// (usually `peer.set_name(server.url())`) and keeps the server alive.
+pub fn bind_admin(peer: &Arc<Peer>, addr: &str) -> Result<HttpServer, NetError> {
+    let (handler, slot) = admin_handler(peer);
+    let server = HttpServer::bind(addr, handler)?;
+    let _ = slot.set(server.metrics.clone());
+    Ok(server)
+}

@@ -9,6 +9,7 @@ use std::sync::Arc;
 use xdm::{Sequence, XdmError, XdmResult};
 use xqeval::context::{FunctionRef, RpcDispatcher};
 use xrpc_net::{CallHint, Transport};
+use xrpc_obs::Observability;
 use xrpc_proto::{parse_message, QueryId, XrpcMessage, XrpcRequest};
 
 /// One query's view of the network: the transport, the queryID (when the
@@ -18,6 +19,13 @@ pub struct XrpcClient {
     pub transport: Arc<dyn Transport>,
     pub query_id: Option<QueryId>,
     pub deferred_updates: bool,
+    /// The sending peer's observability state: with it attached, every
+    /// dispatch opens a client span (child of the thread's ambient
+    /// context) whose context is injected into the envelope header, and
+    /// call latency / message size land in the peer's histograms.
+    /// Without it the client still *propagates* an ambient context on
+    /// the wire — it just records nothing locally.
+    pub obs: Option<Arc<Observability>>,
     /// Every peer that participated in this query (directly or nested) —
     /// the originator registers these with the 2PC coordinator (§2.3).
     pub participants: Mutex<HashSet<String>>,
@@ -33,6 +41,7 @@ impl XrpcClient {
             transport,
             query_id: None,
             deferred_updates: false,
+            obs: None,
             participants: Mutex::new(HashSet::new()),
             requests_sent: std::sync::atomic::AtomicU64::new(0),
             calls_sent: std::sync::atomic::AtomicU64::new(0),
@@ -75,11 +84,28 @@ impl XrpcClient {
         let mut req =
             XrpcRequest::new(crate::twopc::WSAT_MODULE, method, 0).with_query_id(qid.clone());
         req.push_call(vec![]);
+        // Control messages continue the coordinator's trace: a span per
+        // delivery when a tracer is attached, else the bare ambient
+        // context (so the participant's server span still links up).
+        let mut span = self.obs.as_ref().map(|o| {
+            let mut s = o.tracer.span_here(&format!("control:{method}"));
+            s.tag("dest", dest);
+            s
+        });
+        req.trace = span
+            .as_ref()
+            .map(|s| s.context())
+            .or_else(xrpc_obs::current_context);
         let xml = req.to_xml()?;
         let resp = self
             .transport
             .roundtrip_hinted(dest, xml.as_bytes(), CallHint::ReadOnly)
-            .map_err(|e| XdmError::xrpc(e.to_string()))?;
+            .map_err(|e| {
+                if let Some(s) = span.as_mut() {
+                    s.tag("net_error", format!("{:?}", e.kind));
+                }
+                XdmError::xrpc(e.to_string())
+            })?;
         match parse_message(
             std::str::from_utf8(&resp).map_err(|_| XdmError::xrpc("non-UTF8 response"))?,
         )? {
@@ -113,6 +139,19 @@ impl RpcDispatcher for XrpcClient {
             // genuinely identical dispatches (different seq)
             req.seq = Some(seq_no);
         }
+        // One client span per dispatch; its context rides in the envelope
+        // header so the callee's server span joins the same trace. With no
+        // tracer the ambient context (if any) is forwarded untouched.
+        let mut span = self.obs.as_ref().map(|o| {
+            let mut s = o.tracer.span_here("client:call");
+            s.tag("dest", dest);
+            s.tag("method", &req.method);
+            s
+        });
+        req.trace = span
+            .as_ref()
+            .map(|s| s.context())
+            .or_else(xrpc_obs::current_context);
         // serialize into a recycled buffer sized from the cheap estimate;
         // the call-by-fragment path needs the message-DOM pipeline and
         // keeps its own allocation
@@ -137,10 +176,29 @@ impl RpcDispatcher for XrpcClient {
         } else {
             CallHint::Update
         };
+        if let Some(o) = &self.obs {
+            o.histogram("xrpc_message_bytes").record(xml.len() as u64);
+        }
+        let started = std::time::Instant::now();
         let resp_bytes = self
             .transport
             .roundtrip_hinted(dest, xml.as_bytes(), hint)
-            .map_err(|e| XdmError::xrpc(format!("XRPC to `{dest}` failed: {e}")))?;
+            .map_err(|e| {
+                // the typed failure kind lands on the span, so a trace
+                // shows *how* a hop died, not just that it did
+                if let Some(s) = span.as_mut() {
+                    s.tag("net_error", format!("{:?}", e.kind));
+                }
+                XdmError::xrpc(format!("XRPC to `{dest}` failed: {e}"))
+            })?;
+        if let Some(o) = &self.obs {
+            let elapsed = started.elapsed();
+            o.histogram("xrpc_call_latency_micros")
+                .record_micros(elapsed);
+            o.histogram_vec("xrpc_call_latency_by_dest_micros", "dest")
+                .with_label(dest)
+                .record_micros(elapsed);
+        }
         xrpc_net::BufferPool::global().put_string(xml);
         let resp_text = std::str::from_utf8(&resp_bytes)
             .map_err(|_| XdmError::xrpc("non-UTF8 XRPC response"))?;

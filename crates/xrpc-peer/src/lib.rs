@@ -15,6 +15,7 @@
 //!   engine service Bulk XRPC by *generating an XQuery query* per request
 //!   (Figure 3), with per-phase timings for Table 3.
 
+pub mod admin;
 pub mod client;
 pub mod modweb;
 pub mod peer;
@@ -25,6 +26,7 @@ pub mod twopc;
 pub mod wal;
 pub mod wrapper;
 
+pub use admin::{admin_handler, bind_admin, render_healthz, render_metrics, ServerMetricsSlot};
 pub use client::XrpcClient;
 pub use modweb::ModuleWeb;
 pub use peer::{EngineKind, IsolationLevel, Peer, PeerStats};

@@ -24,6 +24,7 @@ use xqeval::{InMemoryDocs, ModuleRegistry};
 use xrpc_net::{
     crash_points, BreakerConfig, CrashSwitch, ResilientTransport, RetryPolicy, Transport,
 };
+use xrpc_obs::{trace_id_from, Observability, TraceContext};
 use xrpc_proto::{
     parse_message, QueryId, TxOutcome, XrpcFault, XrpcMessage, XrpcRequest, XrpcResponse,
 };
@@ -93,6 +94,17 @@ pub struct Peer {
     module_sources: RwLock<HashMap<String, String>>,
     pub snapshots: SnapshotManager,
     transport: RwLock<Option<Arc<dyn Transport>>>,
+    /// The resilience decorator installed by [`set_transport`]/
+    /// [`set_transport_with`], kept typed so the admin surface can read
+    /// its per-destination stats and breaker states (the `dyn Transport`
+    /// in `transport` erases them).
+    ///
+    /// [`set_transport`]: Self::set_transport
+    /// [`set_transport_with`]: Self::set_transport_with
+    resilient: RwLock<Option<Arc<ResilientTransport>>>,
+    /// Tracer + named latency/size histograms for this peer; threaded
+    /// through the client stub, the request handlers, 2PC and the WAL.
+    pub obs: Arc<Observability>,
     pub function_cache: FunctionCache<PreparedFunction>,
     pub stats: PeerStats,
     /// Default `xrpc:timeout` seconds when a query does not declare one.
@@ -146,14 +158,18 @@ impl Peer {
         engine: EngineKind,
         docs: Arc<InMemoryDocs>,
     ) -> Arc<Self> {
+        let name = name.into();
+        let obs = Observability::new(&name);
         Arc::new(Peer {
-            name: RwLock::new(name.into()),
+            name: RwLock::new(name),
             engine,
             docs,
             modules: Arc::new(ModuleRegistry::new()),
             module_sources: RwLock::new(HashMap::new()),
             snapshots: SnapshotManager::new(),
             transport: RwLock::new(None),
+            resilient: RwLock::new(None),
+            obs,
             function_cache: FunctionCache::new(true),
             stats: PeerStats::default(),
             default_timeout_secs: 30,
@@ -198,11 +214,13 @@ impl Peer {
     }
 
     /// Simulate a crash *after* the current request completes: the
-    /// response is still delivered, then the peer is down.
-    fn crash_after(&self, point: &str) {
+    /// response is still delivered, then the peer is down. Returns
+    /// whether the switch fired (so the caller can tag its span).
+    fn crash_after(&self, point: &str) -> bool {
         if let Some(sw) = self.crash_switch.read().as_ref() {
-            sw.hit_after(point);
+            return sw.hit_after(point);
         }
+        false
     }
 
     /// Evaluate the calls of an incoming read-only Bulk RPC request with
@@ -248,16 +266,29 @@ impl Peer {
         policy: RetryPolicy,
         breaker: BreakerConfig,
     ) {
-        *self.transport.write() = Some(ResilientTransport::with_policy(t, policy, breaker));
+        let rt = ResilientTransport::with_policy(t, policy, breaker);
+        *self.resilient.write() = Some(rt.clone());
+        *self.transport.write() = Some(rt);
     }
 
     /// Install the outgoing transport without resilience wrapping.
     pub fn set_transport_raw(&self, t: Arc<dyn Transport>) {
+        *self.resilient.write() = None;
         *self.transport.write() = Some(t);
     }
 
     pub fn transport(&self) -> Option<Arc<dyn Transport>> {
         self.transport.read().clone()
+    }
+
+    /// The typed resilience decorator, when [`set_transport`]/
+    /// [`set_transport_with`] installed one — the admin surface reads
+    /// per-destination latency/retry stats and breaker states from it.
+    ///
+    /// [`set_transport`]: Self::set_transport
+    /// [`set_transport_with`]: Self::set_transport_with
+    pub fn resilient_transport(&self) -> Option<Arc<ResilientTransport>> {
+        self.resilient.read().clone()
     }
 
     /// Load a document into the store.
@@ -315,21 +346,43 @@ impl Peer {
             XrpcMessage::Request(r) => r,
             _ => return Err(XdmError::xrpc("expected an xrpc:request")),
         };
-        if req.module == WSAT_MODULE {
-            return self.handle_control(&req);
-        }
-        if req.module == crate::remote_docs::DOC_MODULE {
-            return self.handle_doc_fetch(&req);
-        }
-        // identifies a redelivered (transport-retried) request byte-for-byte;
-        // only deferred updating calls consult it, so spare the read-only
-        // hot path the full-message scan
-        let request_hash = if req.deferred {
-            fnv1a(text.as_bytes())
-        } else {
-            0
+        // Continue the caller's trace (the context parsed from the
+        // envelope header) — or start a fresh root for an untraced
+        // request. The span's context and this peer's tracer stay
+        // ambient for everything the request triggers: nested client
+        // dispatches, 2PC control handling, the engines.
+        let _tracer = xrpc_obs::set_current_tracer(Some(self.obs.tracer.clone()));
+        let mut span = match req.trace {
+            Some(parent) => self.obs.tracer.child_span("server:handle", parent),
+            None => self.obs.tracer.span_here("server:handle"),
         };
-        self.handle_call_request(req, request_hash)
+        span.tag("module", &req.module);
+        span.tag("method", &req.method);
+        self.obs
+            .histogram("xrpc_message_bytes")
+            .record(text.len() as u64);
+        let out = if req.module == WSAT_MODULE {
+            self.handle_control(&req)
+        } else if req.module == crate::remote_docs::DOC_MODULE {
+            self.handle_doc_fetch(&req)
+        } else {
+            // identifies a redelivered (transport-retried) request
+            // byte-for-byte; only deferred updating calls consult it, so
+            // spare the read-only hot path the full-message scan
+            let request_hash = if req.deferred {
+                fnv1a(text.as_bytes())
+            } else {
+                0
+            };
+            self.handle_call_request(req, request_hash)
+        };
+        if let Err(e) = &out {
+            span.tag("error", e.to_string());
+        }
+        self.obs
+            .histogram("xrpc_server_handle_micros")
+            .record_micros(span.elapsed());
+        out
     }
 
     /// WS-AtomicTransaction participant side (§2.3).
@@ -345,6 +398,7 @@ impl Peer {
         // same outcome rather than error on the replay.
         match req.method.as_str() {
             METHOD_PREPARE => {
+                let mut span = self.obs.tracer.span_here("2pc:prepare");
                 let snap = self.snapshots.get(qid)?;
                 let mut prepared = snap.prepared.lock();
                 if !*prepared {
@@ -355,11 +409,16 @@ impl Peer {
                     // A crash here is the presumed-abort case: nothing was
                     // logged, the ack is never sent, the coordinator
                     // aborts, and restart recovery finds no record.
-                    self.crash_mid(crash_points::BEFORE_PREPARE_LOG)?;
+                    if let Err(e) = self.crash_mid(crash_points::BEFORE_PREPARE_LOG) {
+                        span.tag("crash_point", crash_points::BEFORE_PREPARE_LOG);
+                        return Err(e);
+                    }
                     // Force ∆_q + who to ask after a restart *before* the
                     // ack makes the promise.
                     if let Some(w) = self.wal() {
                         let delta = wal::serialize_pul(&snap.pul.lock())?;
+                        let mut ws = self.obs.tracer.span_here("wal:force");
+                        ws.tag("record", "prepared");
                         w.append(&WalRecord::Prepared {
                             qid: qid.clone(),
                             coordinator: qid.host.clone(),
@@ -375,54 +434,73 @@ impl Peer {
                 // The ∆ is durable and the ack will be delivered — then
                 // the peer dies holding prepared state (the in-doubt case
                 // recovery must resolve by inquiry).
-                self.crash_after(crash_points::AFTER_PREPARE_ACK);
+                if self.crash_after(crash_points::AFTER_PREPARE_ACK) {
+                    span.tag("crash_point", crash_points::AFTER_PREPARE_ACK);
+                }
+                self.obs
+                    .histogram("xrpc_twopc_prepare_micros")
+                    .record_micros(span.elapsed());
             }
-            METHOD_COMMIT => match self.snapshots.get(qid) {
-                Ok(snap) => {
-                    if !*snap.prepared.lock() {
-                        return Err(XdmError::xrpc("Commit before Prepare"));
+            METHOD_COMMIT => {
+                let mut span = self.obs.tracer.span_here("2pc:commit");
+                match self.snapshots.get(qid) {
+                    Ok(snap) => {
+                        if !*snap.prepared.lock() {
+                            return Err(XdmError::xrpc("Commit before Prepare"));
+                        }
+                        // applyUpdates(∆_q) exactly once, even under concurrent
+                        // redelivery: the `decided` slot is claimed before the
+                        // apply and never released.
+                        let mut decided = snap.decided.lock();
+                        match *decided {
+                            Some(Decision::Committed) => {}
+                            Some(Decision::Aborted) => {
+                                return Err(XdmError::xrpc("Commit after Abort"))
+                            }
+                            None => {
+                                // Force the decision before acting on it, so a
+                                // crash in the gap re-applies instead of
+                                // forgetting a committed ∆.
+                                if let Some(w) = self.wal() {
+                                    let mut ws = self.obs.tracer.span_here("wal:force");
+                                    ws.tag("record", "decision-committed");
+                                    w.append(&WalRecord::Decision {
+                                        qid: qid.clone(),
+                                        decision: Decision::Committed,
+                                    })?;
+                                }
+                                if let Err(e) = self.crash_mid(crash_points::AFTER_DECISION_LOG) {
+                                    span.tag("crash_point", crash_points::AFTER_DECISION_LOG);
+                                    return Err(e);
+                                }
+                                let pul = snap.pul.lock().clone();
+                                self.apply_pul(&pul)?;
+                                *decided = Some(Decision::Committed);
+                                if let Some(w) = self.wal() {
+                                    w.append(&WalRecord::Applied { qid: qid.clone() })?;
+                                }
+                                self.twopc_metrics.commits.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        drop(decided);
+                        self.snapshots.finish_with(qid, Decision::Committed);
                     }
-                    // applyUpdates(∆_q) exactly once, even under concurrent
-                    // redelivery: the `decided` slot is claimed before the
-                    // apply and never released.
-                    let mut decided = snap.decided.lock();
-                    match *decided {
+                    Err(e) => match self.snapshots.completed_decision(qid) {
+                        // redelivered Commit after the snapshot was released:
+                        // ∆_q is already applied, acknowledge again
                         Some(Decision::Committed) => {}
                         Some(Decision::Aborted) => {
                             return Err(XdmError::xrpc("Commit after Abort"))
                         }
-                        None => {
-                            // Force the decision before acting on it, so a
-                            // crash in the gap re-applies instead of
-                            // forgetting a committed ∆.
-                            if let Some(w) = self.wal() {
-                                w.append(&WalRecord::Decision {
-                                    qid: qid.clone(),
-                                    decision: Decision::Committed,
-                                })?;
-                            }
-                            self.crash_mid(crash_points::AFTER_DECISION_LOG)?;
-                            let pul = snap.pul.lock().clone();
-                            self.apply_pul(&pul)?;
-                            *decided = Some(Decision::Committed);
-                            if let Some(w) = self.wal() {
-                                w.append(&WalRecord::Applied { qid: qid.clone() })?;
-                            }
-                            self.twopc_metrics.commits.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    drop(decided);
-                    self.snapshots.finish_with(qid, Decision::Committed);
+                        None => return Err(e),
+                    },
                 }
-                Err(e) => match self.snapshots.completed_decision(qid) {
-                    // redelivered Commit after the snapshot was released:
-                    // ∆_q is already applied, acknowledge again
-                    Some(Decision::Committed) => {}
-                    Some(Decision::Aborted) => return Err(XdmError::xrpc("Commit after Abort")),
-                    None => return Err(e),
-                },
-            },
+                self.obs
+                    .histogram("xrpc_twopc_commit_micros")
+                    .record_micros(span.elapsed());
+            }
             METHOD_ABORT => {
+                let _span = self.obs.tracer.span_here("2pc:abort");
                 // releases the snapshot; also used as end-of-query for
                 // read-only repeatable queries. An Abort for an unknown or
                 // already-finished query is acknowledged (presumed abort).
@@ -446,8 +524,11 @@ impl Peer {
             METHOD_INQUIRE => {
                 // Coordinator side: a restarted participant holding a
                 // prepared ∆ asks what was decided.
+                let mut span = self.obs.tracer.span_here("2pc:inquire");
                 self.twopc_metrics.inquiries.fetch_add(1, Ordering::Relaxed);
-                return Ok(self.coordinator_outcome(qid).into_response());
+                let outcome = self.coordinator_outcome(qid);
+                span.tag("outcome", format!("{outcome:?}"));
+                return Ok(outcome.into_response());
             }
             other => return Err(XdmError::xrpc(format!("unknown control method `{other}`"))),
         }
@@ -504,6 +585,9 @@ impl Peer {
         self.stats
             .calls_handled
             .fetch_add(req.calls.len() as u64, Ordering::Relaxed);
+        self.obs
+            .histogram("xrpc_bulk_batch_calls")
+            .record(req.calls.len() as u64);
 
         let key = (req.module.clone(), req.method.clone(), req.arity);
         let prepared = self
@@ -548,6 +632,7 @@ impl Peer {
             let mut c = XrpcClient::new(t);
             c.query_id = req.query_id.clone();
             c.deferred_updates = req.deferred;
+            c.obs = Some(self.obs.clone());
             Arc::new(c)
         });
 
@@ -566,7 +651,14 @@ impl Peer {
             local_functions: Arc::new(HashMap::new()),
         };
 
+        // The server span's context is ambient on *this* thread; capture
+        // it so worker-pool threads (parallel read-only bulk) keep the
+        // trace across their nested dispatches too.
+        let ambient = xrpc_obs::current_context();
+        let ambient_tracer = xrpc_obs::current_tracer();
         let eval_one = |args: &[Sequence]| -> XdmResult<(Sequence, PendingUpdateList)> {
+            let _trace = xrpc_obs::set_current_context(ambient);
+            let _tracer = xrpc_obs::set_current_tracer(ambient_tracer.clone());
             let mut st = EvalState::new();
             bind_params(&prepared.decl, args, &mut st)?;
             let r = ev.eval(&prepared.decl.body, &mut st, &Ctx::none())?;
@@ -736,10 +828,37 @@ impl Peer {
             IsolationLevel::None => None,
         };
 
+        // Root span of the whole distributed execution. With a queryId
+        // the trace id *is* a function of it, so every peer the query
+        // touches — and this peer again after a crash/restart — derives
+        // the same id with no coordination (see xrpc_obs::trace_id_from).
+        let root_ctx = match &qid {
+            Some(q) => TraceContext {
+                trace_id: trace_id_from(&q.host, q.timestamp_millis),
+                span_id: self.obs.tracer.next_span_id(),
+                parent_id: None,
+            },
+            None => TraceContext {
+                trace_id: trace_id_from(&self.name(), crate::now_millis()),
+                span_id: self.obs.tracer.next_span_id(),
+                parent_id: None,
+            },
+        };
+        let _tracer = xrpc_obs::set_current_tracer(Some(self.obs.tracer.clone()));
+        let mut root = self.obs.tracer.span("execute", root_ctx);
+        root.tag(
+            "isolation",
+            match isolation {
+                IsolationLevel::Repeatable => "repeatable",
+                IsolationLevel::None => "none",
+            },
+        );
+
         let client = self.transport().map(|t| {
             let mut c = XrpcClient::new(t);
             c.query_id = qid.clone();
             c.deferred_updates = isolation == IsolationLevel::Repeatable;
+            c.obs = Some(self.obs.clone());
             Arc::new(c)
         });
 
@@ -848,6 +967,7 @@ impl Peer {
             metrics: Some(&self.twopc_metrics),
             switch: switch.as_deref(),
             on_commit_logged: Some(&on_commit_logged),
+            obs: Some(&self.obs),
         };
         let config = *self.twopc_config.read();
         let outcome = twopc::run_two_phase_commit_ctx(client, qid, participants, &config, ctx);

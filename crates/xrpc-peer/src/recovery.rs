@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use xdm::XdmResult;
+use xrpc_obs::{trace_id_from, TraceContext};
 use xrpc_proto::{QueryId, TxOutcome};
 
 /// What one recovery (or resolution) pass accomplished.
@@ -137,6 +138,7 @@ impl Peer {
         fsync: FsyncPolicy,
     ) -> XdmResult<RecoveryReport> {
         let (log, replay) = Wal::open(path, fsync)?;
+        log.set_observer(self.obs.histogram("xrpc_wal_append_micros"));
         *self.wal.write() = Some(log.clone());
 
         let mut order: Vec<(String, u64)> = Vec::new();
@@ -241,11 +243,24 @@ impl Peer {
         let Some(transport) = self.transport() else {
             return Ok(report);
         };
-        let client = XrpcClient::new(transport);
+        let mut client = XrpcClient::new(transport);
+        client.obs = Some(self.obs.clone());
+        let _tracer = xrpc_obs::set_current_tracer(Some(self.obs.tracer.clone()));
 
         // Participant role: ask each recorded coordinator what it decided.
         for snap in self.snapshots.prepared_undecided(min_age) {
             let qid = snap.qid.clone();
+            // Recovery work re-enters the crashed transaction's trace: the
+            // id is a pure function of the queryID, so spans emitted here
+            // join the spans recorded before the crash.
+            let mut span = self.obs.tracer.span(
+                "recovery:inquire",
+                TraceContext {
+                    trace_id: trace_id_from(&qid.host, qid.timestamp_millis),
+                    span_id: self.obs.tracer.next_span_id(),
+                    parent_id: None,
+                },
+            );
             let key = (qid.host.clone(), qid.timestamp_millis);
             let coordinator = self
                 .recovered_coordinators
@@ -253,6 +268,7 @@ impl Peer {
                 .get(&key)
                 .cloned()
                 .unwrap_or_else(|| qid.host.clone());
+            span.tag("coordinator", &coordinator);
             let outcome = if coordinator == self.name() {
                 // self-coordinated ∆ (an originator's local update):
                 // answer the inquiry from our own decision map
@@ -263,6 +279,13 @@ impl Peer {
                     .ok()
                     .and_then(|resp| TxOutcome::from_response(&resp))
             };
+            span.tag(
+                "outcome",
+                match outcome {
+                    Some(o) => format!("{o:?}"),
+                    None => "unreachable".into(),
+                },
+            );
             match outcome {
                 Some(TxOutcome::Committed) => {
                     self.commit_recovered(&snap)?;
@@ -297,6 +320,14 @@ impl Peer {
             .collect();
         let config = *self.twopc_config.read();
         for (key, (qid, parts)) in pending {
+            let mut span = self.obs.tracer.span(
+                "recovery:redeliver",
+                TraceContext {
+                    trace_id: trace_id_from(&qid.host, qid.timestamp_millis),
+                    span_id: self.obs.tracer.next_span_id(),
+                    parent_id: None,
+                },
+            );
             let own = self.name();
             let mut all_acked = true;
             for p in parts.iter().filter(|p| **p != own) {
@@ -314,6 +345,7 @@ impl Peer {
                     self.twopc_metrics.hazards.fetch_add(1, Ordering::Relaxed);
                 }
             }
+            span.tag("delivered", if all_acked { "all" } else { "partial" });
             if all_acked {
                 if let Some(w) = self.wal() {
                     w.append(&WalRecord::CoordinatorEnd { qid: qid.clone() })?;

@@ -96,6 +96,10 @@ pub struct CoordCtx<'a> {
     pub switch: Option<&'a CrashSwitch>,
     /// The in-memory mirror `Inquire` answers from.
     pub on_commit_logged: Option<CommitLoggedHook<'a>>,
+    /// The coordinating peer's tracer + histograms: phase spans nest
+    /// under the thread's ambient context (the originator's `execute`
+    /// root), and per-phase durations land in its histograms.
+    pub obs: Option<&'a xrpc_obs::Observability>,
 }
 
 /// Coordinator tuning: per-phase deadline and decision-redelivery bounds.
@@ -188,10 +192,19 @@ pub fn run_two_phase_commit_ctx(
     // the slowest participant, not the sum (and one slow peer cannot
     // serialize the others behind it).
     let phase_start = Instant::now();
+    let prepare_span = ctx.obs.map(|o| o.tracer.span_here("2pc:prepare-phase"));
+    // the phase span's context is ambient on *this* thread only; hand it
+    // to the scoped prepare threads so their control sends stay in-trace
+    let prepare_ctx = xrpc_obs::current_context();
     let prepare_results: Vec<XdmResult<()>> = std::thread::scope(|scope| {
         let handles: Vec<_> = participants
             .iter()
-            .map(|p| scope.spawn(move || client.send_control(p, METHOD_PREPARE, qid)))
+            .map(|p| {
+                scope.spawn(move || {
+                    let _trace = xrpc_obs::set_current_context(prepare_ctx);
+                    client.send_control(p, METHOD_PREPARE, qid)
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -201,6 +214,11 @@ pub fn run_two_phase_commit_ctx(
             })
             .collect()
     });
+    if let (Some(o), Some(s)) = (ctx.obs, prepare_span.as_ref()) {
+        o.histogram("xrpc_twopc_prepare_phase_micros")
+            .record_micros(s.elapsed());
+    }
+    drop(prepare_span);
     let mut failure: Option<XdmError> = prepare_results.into_iter().find_map(Result::err);
     if failure.is_none() && phase_start.elapsed() > config.prepare_deadline {
         failure = Some(XdmError::xrpc(format!(
@@ -213,6 +231,20 @@ pub fn run_two_phase_commit_ctx(
     // all (not just the ones that acknowledged Prepare): a participant
     // whose Prepare *response* was lost is prepared even though the
     // coordinator never heard back, and must be released.
+    let mut decision_span = ctx.obs.map(|o| o.tracer.span_here("2pc:decision-phase"));
+    if let Some(s) = decision_span.as_mut() {
+        s.tag(
+            "decision",
+            if failure.is_some() { "abort" } else { "commit" },
+        );
+    }
+    let decision_start = Instant::now();
+    let record_decision_phase = |o: Option<&xrpc_obs::Observability>| {
+        if let Some(o) = o {
+            o.histogram("xrpc_twopc_decision_phase_micros")
+                .record_micros(decision_start.elapsed());
+        }
+    };
     match failure {
         Some(err) => {
             for p in participants {
@@ -226,6 +258,7 @@ pub fn run_two_phase_commit_ctx(
                     }
                 }
             }
+            record_decision_phase(ctx.obs);
             Ok(CommitOutcome::Aborted {
                 reason: err.to_string(),
             })
@@ -237,12 +270,19 @@ pub fn run_two_phase_commit_ctx(
             // everything after it recovers by redelivery.
             if let Some(sw) = ctx.switch {
                 if sw.hit(crash_points::COORD_BEFORE_COMMIT_LOG) {
+                    if let Some(s) = decision_span.as_mut() {
+                        s.tag("crash_point", crash_points::COORD_BEFORE_COMMIT_LOG);
+                    }
                     return Err(XdmError::xrpc(
                         "simulated crash at coordinator:before-commit-log",
                     ));
                 }
             }
             if let Some(wal) = ctx.wal {
+                let mut ws = ctx.obs.map(|o| o.tracer.span_here("wal:force"));
+                if let Some(s) = ws.as_mut() {
+                    s.tag("record", "coordinator-commit");
+                }
                 wal.append(&WalRecord::CoordinatorCommit {
                     qid: qid.clone(),
                     participants: participants.to_vec(),
@@ -253,6 +293,9 @@ pub fn run_two_phase_commit_ctx(
             }
             if let Some(sw) = ctx.switch {
                 if sw.hit(crash_points::COORD_AFTER_COMMIT_LOG) {
+                    if let Some(s) = decision_span.as_mut() {
+                        s.tag("crash_point", crash_points::COORD_AFTER_COMMIT_LOG);
+                    }
                     return Err(XdmError::xrpc(
                         "simulated crash at coordinator:after-commit-log-before-delivery",
                     ));
@@ -287,6 +330,7 @@ pub fn run_two_phase_commit_ctx(
             if let Some(wal) = ctx.wal {
                 wal.append(&WalRecord::CoordinatorEnd { qid: qid.clone() })?;
             }
+            record_decision_phase(ctx.obs);
             Ok(CommitOutcome::Committed {
                 participants: participants.len(),
             })

@@ -865,6 +865,9 @@ pub struct Wal {
     path: PathBuf,
     fsync: FsyncPolicy,
     inner: Mutex<WalInner>,
+    /// Latency observer for appends (encode + write + fsync), in µs.
+    /// Installed by `Peer::attach_wal`; absent for standalone logs.
+    observer: Mutex<Option<Arc<xrpc_obs::Histogram>>>,
 }
 
 /// Key of one undischarged durable obligation: queryID plus *role* — the
@@ -958,6 +961,7 @@ impl Wal {
             path,
             fsync,
             inner: Mutex::new(WalInner { file, open }),
+            observer: Mutex::new(None),
         });
         Ok((
             wal,
@@ -972,10 +976,17 @@ impl Wal {
         &self.path
     }
 
+    /// Record every future append's latency (µs, including the fsync
+    /// when the policy forces one) into `hist`.
+    pub fn set_observer(&self, hist: Arc<xrpc_obs::Histogram>) {
+        *self.observer.lock() = Some(hist);
+    }
+
     /// Force one record: frame it, append, flush (fsync per policy).
     /// When the append leaves no transaction open the log is truncated
     /// instead — checkpoint-on-quiesce.
     pub fn append(&self, rec: &WalRecord) -> XdmResult<()> {
+        let started = std::time::Instant::now();
         let io = |e: std::io::Error| XdmError::xrpc(format!("WAL {}: {e}", self.path.display()));
         let payload = encode_record(rec);
         let payload = payload.as_bytes();
@@ -999,6 +1010,10 @@ impl Wal {
         }
         if self.fsync == FsyncPolicy::Always {
             inner.file.sync_data().map_err(io)?;
+        }
+        drop(inner);
+        if let Some(h) = self.observer.lock().as_ref() {
+            h.record_micros(started.elapsed());
         }
         Ok(())
     }

@@ -1,0 +1,157 @@
+//! The admin surface over the real wire: boot peers on actual HTTP
+//! loopback sockets, drive a distributed update through them, then
+//! scrape `/metrics` and `/healthz` like a monitoring stack would —
+//! validating the Prometheus exposition format, the exact metric
+//! families, and the health document. This doubles as the CI smoke
+//! test for the observability endpoints.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use xrpc_net::http::HttpTransport;
+use xrpc_obs::prom::validate_exposition;
+use xrpc_peer::{bind_admin, EngineKind, FsyncPolicy, Peer};
+
+const MODULE: &str = r#"
+    module namespace t = "test";
+    declare function t:ping() { "pong" };
+    declare updating function t:addEntry($x as xs:string)
+    { insert node <e>{$x}</e> into doc("log.xml")/log };
+"#;
+
+/// Minimal HTTP GET, enough for an admin scrape: one request with
+/// `Connection: close`, returns (status, body).
+fn http_get(host: &str, port: u16, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect((host, port)).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: {host}:{port}\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .expect("status line");
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn metrics_and_healthz_scrape_end_to_end() {
+    // server peer: SOAP + admin on one listener, WAL attached
+    let b = Peer::new("placeholder", EngineKind::Tree);
+    b.register_module(MODULE).unwrap();
+    b.add_document("log.xml", "<log/>").unwrap();
+    let wal_path = std::env::temp_dir().join(format!("xrpc-admin-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal_path);
+    b.attach_wal(&wal_path, FsyncPolicy::Never).unwrap();
+    let server = bind_admin(&b, "127.0.0.1:0").expect("bind server peer");
+    b.set_name(server.url());
+
+    // client peer, with its own admin listener so the client-side view
+    // (resilient transport, per-dest stats, breakers) is scrapeable too
+    let a = Peer::new("xrpc://client", EngineKind::Tree);
+    a.register_module(MODULE).unwrap();
+    a.set_transport(Arc::new(HttpTransport::new()));
+    let a_server = bind_admin(&a, "127.0.0.1:0").expect("bind client peer");
+
+    // traffic: a few reads plus one distributed update (2PC + WAL)
+    for _ in 0..3 {
+        a.execute(&format!(
+            r#"import module namespace t = "test";
+               execute at {{"{}"}} {{t:ping()}}"#,
+            server.url()
+        ))
+        .unwrap();
+    }
+    a.execute(&format!(
+        r#"declare option xrpc:isolation "repeatable";
+           import module namespace t = "test";
+           execute at {{"{}"}} {{t:addEntry("via-http")}}"#,
+        server.url()
+    ))
+    .unwrap();
+
+    // ---- server-side /metrics ----
+    let (status, body) = http_get("127.0.0.1", server.port(), "/metrics");
+    assert_eq!(status, 200, "metrics scrape failed: {body}");
+    let families = validate_exposition(&body).expect("well-formed exposition");
+    for family in [
+        // transport counters, labeled by side
+        "xrpc_net_roundtrips_total",
+        "xrpc_net_bytes_received_total",
+        // 2PC counters
+        "xrpc_twopc_prepares_total",
+        "xrpc_twopc_commits_total",
+        // buffer pool
+        "xrpc_bufpool_hits_total",
+        "xrpc_bufpool_occupancy",
+        // readiness gauges
+        "xrpc_wal_attached",
+        "xrpc_in_doubt_transactions",
+        // latency/size histograms (summaries)
+        "xrpc_message_bytes",
+        "xrpc_server_handle_micros",
+        "xrpc_bulk_batch_calls",
+        "xrpc_twopc_prepare_micros",
+        "xrpc_twopc_commit_micros",
+        "xrpc_wal_append_micros",
+    ] {
+        assert!(
+            families.iter().any(|f| f == family),
+            "family `{family}` missing from exposition:\n{body}"
+        );
+    }
+    assert!(
+        body.matches("quantile=\"0.99\"").count() >= 5,
+        "at least five histogram summaries with p99 expected:\n{body}"
+    );
+    assert!(
+        body.contains("xrpc_net_roundtrips_total{side=\"server\"}"),
+        "server-side transport counters labeled"
+    );
+    assert!(body.contains("xrpc_twopc_prepares_total 1"));
+
+    // ---- client-side /metrics ----
+    let (status, body) = http_get("127.0.0.1", a_server.port(), "/metrics");
+    assert_eq!(status, 200);
+    validate_exposition(&body).expect("client exposition well-formed");
+    assert!(body.contains("xrpc_net_roundtrips_total{side=\"client\"}"));
+    for family in [
+        "xrpc_call_latency_micros",
+        "xrpc_call_latency_by_dest_micros",
+        "xrpc_dest_latency_micros",
+        "xrpc_breaker_state",
+    ] {
+        assert!(
+            body.contains(family),
+            "client family `{family}` missing:\n{body}"
+        );
+    }
+
+    // ---- /healthz ----
+    let (status, health) = http_get("127.0.0.1", server.port(), "/healthz");
+    assert_eq!(status, 200, "healthy peer must report 200: {health}");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(health.contains("\"wal_attached\":true"), "{health}");
+    assert!(health.contains("\"in_doubt\":0"), "{health}");
+
+    // SOAP dispatch still works on the same listener after the admin
+    // routes (the updates above already proved it; assert the effect)
+    let doc = b.docs.get("log.xml").unwrap();
+    let log = doc.children(doc.root())[0];
+    assert_eq!(doc.children(log).len(), 1);
+
+    drop(server);
+    drop(a_server);
+    let _ = std::fs::remove_file(&wal_path);
+}

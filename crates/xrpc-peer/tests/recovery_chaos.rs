@@ -334,6 +334,112 @@ fn coordinator_crash_after_commit_log_redelivers_on_restart() {
 }
 
 // ---------------------------------------------------------------------
+// Trace-based post-mortem: the exported spans alone reconstruct the
+// timeline of a crashed-and-recovered transaction
+// ---------------------------------------------------------------------
+
+/// Crash the coordinator after its forced commit record, recover, and
+/// reconstruct the transaction's full timeline — prepare, WAL forces,
+/// the crash point, the in-doubt inquiry (against a dead then a revived
+/// coordinator), and the decision redelivery — purely from the JSON
+/// span exports of every tracer involved, stitched by one shared trace
+/// id. The trace id is a deterministic function of the queryId, so the
+/// pre-crash coordinator, the restarted coordinator (a brand-new peer
+/// object), and both participants agree on it without coordination.
+#[test]
+fn exported_spans_reconstruct_crashed_transaction_timeline() {
+    let mut cl = cluster("trace-timeline");
+    cl.a.switch.arm(crash_points::COORD_AFTER_COMMIT_LOG);
+
+    // the pre-crash coordinator's tracer dies with the peer object on
+    // restart: keep a handle, as an external span collector would
+    let a_pre = cl.a.peer.obs.tracer.clone();
+    let err = cl.a.peer.execute(UPDATE_BOTH).unwrap_err();
+    assert!(err.message.contains("simulated crash"), "{err}");
+
+    // while the coordinator is down, the in-doubt participant's inquiry
+    // goes nowhere — recorded as an unreachable-outcome recovery span
+    let r = cl.b.peer.resolve_in_doubt().unwrap();
+    assert_eq!(r.still_in_doubt, 1);
+
+    restart(&cl.net, &mut cl.a, A_URI);
+    // b resolves by inquiry; c is converged by the coordinator's
+    // redelivery pass
+    let rb = cl.b.peer.resolve_in_doubt().unwrap();
+    assert_eq!(rb.resolved_committed, 1);
+    let ra = cl.a.peer.resolve_in_doubt().unwrap();
+    assert_eq!(ra.redelivered, 1);
+    assert_eq!(log_count(&cl.b.peer), 1);
+    assert_eq!(log_count(&cl.c.peer), 1);
+
+    // ---- reconstruction, from exported spans alone ----
+    let root = a_pre
+        .finished()
+        .into_iter()
+        .find(|s| s.name == "execute")
+        .expect("pre-crash coordinator recorded the execute root");
+    let hex = format!("{:032x}", root.trace_id);
+    let exported = [
+        a_pre.export_json(),
+        cl.a.peer.obs.tracer.export_json(),
+        cl.b.peer.obs.tracer.export_json(),
+        cl.c.peer.obs.tracer.export_json(),
+    ]
+    .concat();
+    let trace_lines: Vec<&str> = exported.lines().filter(|l| l.contains(&hex)).collect();
+
+    let has = |name: &str, frag: &str| {
+        trace_lines
+            .iter()
+            .any(|l| l.contains(&format!("\"name\":\"{name}\"")) && l.contains(frag))
+    };
+    // prepare phase: both participants promised, each forcing a
+    // Prepared record
+    assert!(has("2pc:prepare", "\"peer\":\"xrpc://b.example.org\""));
+    assert!(has("2pc:prepare", "\"peer\":\"xrpc://c.example.org\""));
+    assert!(has("wal:force", "\"record\":\"prepared\""));
+    assert!(has(
+        "2pc:prepare-phase",
+        "\"peer\":\"xrpc://a.example.org\""
+    ));
+    // commit point: the coordinator forced its commit record...
+    assert!(has("wal:force", "\"record\":\"coordinator-commit\""));
+    // ...then died at the instrumented point, visible on the span
+    assert!(has(
+        "2pc:decision-phase",
+        "\"crash_point\":\"coordinator:after-commit-log-before-delivery\""
+    ));
+    // in-doubt resolution: one inquiry against the dead coordinator,
+    // one against the revived coordinator that answers Committed
+    assert!(has("recovery:inquire", "\"outcome\":\"unreachable\""));
+    assert!(has("recovery:inquire", "\"outcome\":\"Committed\""));
+    assert!(has("2pc:inquire", "\"outcome\":\"Committed\""));
+    // redelivery: the restarted coordinator re-told every participant,
+    // and the laggard applied the commit
+    assert!(has("recovery:redeliver", "\"delivered\":\"all\""));
+    assert!(has("2pc:commit", "\"peer\":\"xrpc://c.example.org\""));
+
+    // the exports order the timeline: the prepare promise precedes the
+    // post-restart redelivery in wall-clock start order
+    let start_of = |name: &str| -> u64 {
+        trace_lines
+            .iter()
+            .filter(|l| l.contains(&format!("\"name\":\"{name}\"")))
+            .map(|l| {
+                let i = l.find("\"start_micros\":").unwrap() + "\"start_micros\":".len();
+                l[i..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect::<String>()
+            })
+            .map(|d| d.parse::<u64>().unwrap())
+            .min()
+            .unwrap()
+    };
+    assert!(start_of("2pc:prepare") <= start_of("recovery:redeliver"));
+}
+
+// ---------------------------------------------------------------------
 // WAL self-verification at the integration level
 // ---------------------------------------------------------------------
 

@@ -19,6 +19,7 @@ pub use control::{
 };
 pub use marshal::{n2s, s2n_into};
 pub use message::{
-    parse_message, FaultCode, QueryId, XrpcFault, XrpcMessage, XrpcRequest, XrpcResponse,
+    parse_message, FaultCode, QueryId, TraceContext, XrpcFault, XrpcMessage, XrpcRequest,
+    XrpcResponse,
 };
 pub use validate::validate_message;

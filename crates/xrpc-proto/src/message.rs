@@ -7,6 +7,7 @@ use xdm::{Sequence, XdmError, XdmResult};
 use xmldom::escape::push_escaped_attr;
 use xmldom::qname::{NS_SOAP_ENV, NS_XRPC, NS_XS, NS_XSI};
 use xmldom::{Document, NodeId, QName};
+pub use xrpc_obs::TraceContext;
 
 fn xrpc(local: &str) -> QName {
     QName::ns("xrpc", NS_XRPC, local)
@@ -83,6 +84,12 @@ pub struct XrpcRequest {
     /// sent as `<xrpc:nodeid>` references, preserving ancestor/descendant
     /// relationships at the callee and compressing the message.
     pub call_by_fragment: bool,
+    /// Distributed-trace context carried in the SOAP envelope header
+    /// (`<env:Header><xrpc:trace/></env:Header>`): the receiving peer
+    /// continues this trace, so nested `execute at` hops share one
+    /// trace id. Observability only — absent on the wire when `None`,
+    /// and never affects execution semantics.
+    pub trace: Option<TraceContext>,
     pub calls: Vec<Vec<Sequence>>,
 }
 
@@ -97,6 +104,7 @@ impl XrpcRequest {
             deferred: false,
             seq: None,
             call_by_fragment: false,
+            trace: None,
             calls: Vec::new(),
         }
     }
@@ -148,7 +156,7 @@ impl XrpcRequest {
     pub fn write_xml(&self, out: &mut String) -> XdmResult<()> {
         debug_assert!(!self.call_by_fragment);
         out.reserve(self.estimated_wire_size());
-        write_envelope_open(out);
+        write_envelope_open(out, self.trace.as_ref());
         out.push_str("<xrpc:request module=\"");
         push_escaped_attr(out, &self.module);
         out.push_str("\" method=\"");
@@ -207,6 +215,7 @@ impl XrpcRequest {
         let mut doc = Document::new();
         let root = doc.root();
         let envelope = start_envelope(&mut doc, root);
+        append_trace_header(&mut doc, envelope, self.trace.as_ref());
         let body = doc.create_element(envq("Body"));
         doc.append_child(envelope, body);
 
@@ -293,7 +302,7 @@ impl XrpcResponse {
     /// Direct text serialization into a caller-supplied (reusable) buffer.
     pub fn write_xml(&self, out: &mut String) -> XdmResult<()> {
         out.reserve(self.estimated_wire_size());
-        write_envelope_open(out);
+        write_envelope_open(out, None);
         out.push_str("<xrpc:response module=\"");
         push_escaped_attr(out, &self.module);
         out.push_str("\" method=\"");
@@ -437,9 +446,10 @@ pub fn parse_message(xml: &str) -> XdmResult<XrpcMessage> {
     let body = doc
         .child_element(envelope, &envq("Body"))
         .ok_or_else(|| XdmError::xrpc("missing env:Body"))?;
+    let trace = parse_trace_header(&doc, envelope);
 
     if let Some(req) = doc.child_element(body, &xrpc("request")) {
-        return parse_request(doc, req).map(XrpcMessage::Request);
+        return parse_request(doc, req, trace).map(XrpcMessage::Request);
     }
     if let Some(resp) = doc.child_element(body, &xrpc("response")) {
         return parse_response(doc, resp).map(XrpcMessage::Response);
@@ -455,7 +465,11 @@ pub fn parse_message(xml: &str) -> XdmResult<XrpcMessage> {
 /// Decoding takes the message document by value: node parameters are
 /// *detached in place* (no deep copy) and the whole arena is then frozen
 /// behind one `Arc` that every decoded fragment shares.
-fn parse_request(mut doc: Document, req: NodeId) -> XdmResult<XrpcRequest> {
+fn parse_request(
+    mut doc: Document,
+    req: NodeId,
+    trace: Option<TraceContext>,
+) -> XdmResult<XrpcRequest> {
     let module = req_attr(&doc, req, "module")?;
     let method = req_attr(&doc, req, "method")?;
     let arity: usize = req_attr(&doc, req, "arity")?
@@ -473,6 +487,7 @@ fn parse_request(mut doc: Document, req: NodeId) -> XdmResult<XrpcRequest> {
         deferred,
         seq,
         call_by_fragment: false,
+        trace,
         calls: Vec::new(),
     };
     if let Some(q) = doc.child_element(req, &xrpc("queryID")) {
@@ -574,9 +589,10 @@ fn has_name(doc: &Document, el: NodeId, uri: &str, local: &str) -> bool {
 }
 
 /// Text-path twin of [`start_envelope`]: XML declaration plus the open
-/// `env:Envelope`/`env:Body` tags, byte-identical to serializing the DOM
-/// the builder produces (same declaration order, same attribute).
-fn write_envelope_open(out: &mut String) {
+/// `env:Envelope` tag, the optional trace header, and the open
+/// `env:Body` tag, byte-identical to serializing the DOM the builder
+/// produces (same declaration order, same attributes).
+fn write_envelope_open(out: &mut String, trace: Option<&TraceContext>) {
     out.push_str("<?xml version=\"1.0\" encoding=\"utf-8\"?>");
     out.push_str("<env:Envelope xmlns:xrpc=\"");
     push_escaped_attr(out, NS_XRPC);
@@ -588,7 +604,51 @@ fn write_envelope_open(out: &mut String) {
     push_escaped_attr(out, NS_XSI);
     out.push_str("\" xsi:schemaLocation=\"");
     push_escaped_attr(out, &format!("{NS_XRPC} {NS_XRPC}/XRPC.xsd"));
-    out.push_str("\"><env:Body>");
+    out.push_str("\">");
+    if let Some(t) = trace {
+        out.push_str("<env:Header><xrpc:trace traceId=\"");
+        out.push_str(&format!("{:032x}", t.trace_id));
+        out.push_str("\" spanId=\"");
+        out.push_str(&format!("{:016x}", t.span_id));
+        if let Some(p) = t.parent_id {
+            out.push_str("\" parentId=\"");
+            out.push_str(&format!("{p:016x}"));
+        }
+        out.push_str("\"/></env:Header>");
+    }
+    out.push_str("<env:Body>");
+}
+
+/// DOM-path twin of the trace block in [`write_envelope_open`].
+fn append_trace_header(doc: &mut Document, envelope: NodeId, trace: Option<&TraceContext>) {
+    let Some(t) = trace else { return };
+    let header = doc.create_element(envq("Header"));
+    doc.append_child(envelope, header);
+    let tr = doc.create_element(xrpc("trace"));
+    doc.set_attribute(tr, QName::local("traceId"), format!("{:032x}", t.trace_id));
+    doc.set_attribute(tr, QName::local("spanId"), format!("{:016x}", t.span_id));
+    if let Some(p) = t.parent_id {
+        doc.set_attribute(tr, QName::local("parentId"), format!("{p:016x}"));
+    }
+    doc.append_child(header, tr);
+}
+
+/// Read the `<xrpc:trace/>` header back off a parsed envelope. A
+/// malformed header is ignored rather than failing the message —
+/// tracing must never turn a valid call into an error.
+fn parse_trace_header(doc: &Document, envelope: NodeId) -> Option<TraceContext> {
+    let header = doc.child_element(envelope, &envq("Header"))?;
+    let tr = doc.child_element(header, &xrpc("trace"))?;
+    let trace_id = u128::from_str_radix(doc.attr_local(tr, "traceId")?, 16).ok()?;
+    let span_id = u64::from_str_radix(doc.attr_local(tr, "spanId")?, 16).ok()?;
+    let parent_id = doc
+        .attr_local(tr, "parentId")
+        .and_then(|p| u64::from_str_radix(p, 16).ok());
+    Some(TraceContext {
+        trace_id,
+        span_id,
+        parent_id,
+    })
 }
 
 fn write_envelope_close(out: &mut String) {
@@ -908,6 +968,39 @@ mod tests {
             Sequence::from_items(vec![Item::string("]]>"), Item::integer(0)]),
         ]);
         assert_request_equivalence(&multi);
+    }
+
+    #[test]
+    fn text_writer_equivalence_trace_header() {
+        // the trace header must be byte-identical on both paths, with
+        // and without a parent id, and survive a parse round-trip
+        let mut req =
+            film_request().with_query_id(QueryId::new("x.example.org", 1190000000000, 30));
+        req.trace = Some(TraceContext {
+            trace_id: 0x00ab_cdef_0123_4567_89ab_cdef_0123_4567,
+            span_id: 0x1122_3344_5566_7788,
+            parent_id: None,
+        });
+        assert_request_equivalence(&req);
+        req.trace = Some(TraceContext {
+            trace_id: u128::MAX,
+            span_id: 1,
+            parent_id: Some(0xdead_beef_0000_0001),
+        });
+        assert_request_equivalence(&req);
+        let xml = req.to_xml().unwrap();
+        assert!(xml.contains("<env:Header><xrpc:trace traceId="));
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Request(r) => assert_eq!(r.trace, req.trace),
+            other => panic!("expected request, got {other:?}"),
+        }
+        // absent header parses to None
+        let plain = film_request().to_xml().unwrap();
+        assert!(!plain.contains("env:Header"));
+        match parse_message(&plain).unwrap() {
+            XrpcMessage::Request(r) => assert_eq!(r.trace, None),
+            other => panic!("expected request, got {other:?}"),
+        }
     }
 
     #[test]
