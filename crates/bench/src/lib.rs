@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xdm::Sequence;
 use xrpc_net::{NetError, NetProfile, SimNetwork, Transport};
-use xrpc_peer::{EngineKind, Peer, XrpcWrapper};
+use xrpc_peer::{EngineKind, FsyncPolicy, Peer, WalConfig, XrpcWrapper};
 
 pub const A_URI: &str = "xrpc://a.example.org";
 pub const B_URI: &str = "xrpc://b.example.org";
@@ -241,6 +241,213 @@ count(execute at {{"{B_URI}"}} {{tp:produce()}})"#
 /// Pretty MB/s.
 pub fn mb_per_sec(bytes: u64, elapsed: Duration) -> f64 {
     bytes as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64().max(1e-9)
+}
+
+// ---------------------------------------------------------------------
+// Experiment U1: update-heavy durability — WAL group commit under
+// FsyncPolicy::Always (committed updates/s + commit latency quantiles)
+// ---------------------------------------------------------------------
+
+/// Steady-state update workload: `u:bump()` replaces a text node, so the
+/// document (and with it snapshot-clone and ∆ cost) stays constant-size
+/// no matter how many transactions commit — the measured cost is the
+/// durability path, not document growth.
+pub const U1_MODULE: &str = r#"
+module namespace u = "u1";
+declare updating function u:bump()
+{ replace value of node doc("log.xml")/log/e with "x" };
+"#;
+
+/// QueryID timestamp placeholder baked into the pre-serialized message
+/// templates; far enough in the future that it never collides with a
+/// real `now_millis` and its decimal form never appears elsewhere in the
+/// XML.
+const QID_TS_SENTINEL: u64 = 4_100_000_000_000;
+
+/// A wire-level updater: one synthetic coordinator replaying the exact
+/// message sequence of a committed single-participant transaction —
+/// updating call, `Prepare`, `Commit` — from message templates
+/// serialized once at construction, with only the queryID timestamp
+/// substituted per transaction.
+///
+/// The point: the *participant* (message parsing, evaluation, 2PC
+/// handling, WAL group commit, apply) is the system under test, so the
+/// load generator must be cheaper than it. Driving full coordinator
+/// peers instead would spend most of each core on client-side query
+/// parsing and message construction and starve the participant on small
+/// machines.
+pub struct UpdateDriver {
+    net: Arc<SimNetwork>,
+    templates: [String; 3],
+}
+
+impl UpdateDriver {
+    pub fn new(net: Arc<SimNetwork>, host: &str) -> UpdateDriver {
+        let tpl = |module: &str, method: &str| {
+            let mut req = xrpc_proto::XrpcRequest::new(module, method, 0)
+                .with_query_id(xrpc_proto::QueryId::new(host, QID_TS_SENTINEL, 3_000));
+            req.push_call(vec![]);
+            req.to_xml().unwrap()
+        };
+        UpdateDriver {
+            net,
+            templates: [
+                tpl("u1", "bump"),
+                tpl(xrpc_proto::WSAT_MODULE, xrpc_proto::METHOD_PREPARE),
+                tpl(xrpc_proto::WSAT_MODULE, xrpc_proto::METHOD_COMMIT),
+            ],
+        }
+    }
+
+    /// Run one full transaction under queryID timestamp `ts` (must be
+    /// unique per driver and recent enough to pass expiry). Errors on
+    /// any transport failure or SOAP fault.
+    pub fn commit_one(&self, ts: u64) -> Result<(), String> {
+        let ts = ts.to_string();
+        let sentinel = QID_TS_SENTINEL.to_string();
+        for (tpl, label) in self.templates.iter().zip(["call", "prepare", "commit"]) {
+            let body = tpl.replace(&sentinel, &ts);
+            let resp = self
+                .net
+                .roundtrip(B_URI, body.as_bytes())
+                .map_err(|e| format!("{label}: {e}"))?;
+            if resp.windows(5).any(|w| w == b"Fault") {
+                return Err(format!(
+                    "{label} faulted: {}",
+                    String::from_utf8_lossy(&resp)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `updaters` wire-level drivers hammering one durable participant `b`
+/// whose WAL runs real forced fsyncs ([`FsyncPolicy::Always`]) — the
+/// workload where group commit either coalesces concurrent forces into
+/// one fsync or serializes on the disk.
+pub struct UpdateCluster {
+    pub net: Arc<SimNetwork>,
+    pub drivers: Vec<UpdateDriver>,
+    pub b: Arc<Peer>,
+    pub wal_path: std::path::PathBuf,
+}
+
+impl Drop for UpdateCluster {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.wal_path);
+    }
+}
+
+pub fn update_cluster(updaters: usize, group_commit: bool) -> UpdateCluster {
+    update_cluster_fsync(updaters, group_commit, FsyncPolicy::Always)
+}
+
+/// Like [`update_cluster`] with an explicit fsync policy —
+/// `FsyncPolicy::Never` measures the CPU ceiling of the commit path,
+/// the headroom any durability scheme is chasing.
+pub fn update_cluster_fsync(
+    updaters: usize,
+    group_commit: bool,
+    fsync: FsyncPolicy,
+) -> UpdateCluster {
+    let net = Arc::new(SimNetwork::new(NetProfile::instant()));
+    let b = Peer::new(B_URI, EngineKind::Tree);
+    b.register_module(U1_MODULE).unwrap();
+    b.add_document("log.xml", "<log><e>0</e></log>").unwrap();
+    b.set_transport(net.clone());
+    net.register(B_URI, b.soap_handler());
+    let wal_path = std::env::temp_dir().join(format!(
+        "xrpc-u1-{}-g{group_commit}-n{updaters}.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&wal_path);
+    b.attach_wal_with(
+        &wal_path,
+        WalConfig {
+            fsync,
+            group_commit,
+            ..WalConfig::default()
+        },
+    )
+    .unwrap();
+    let drivers = (0..updaters)
+        .map(|i| UpdateDriver::new(net.clone(), &format!("xrpc://u{i}.example.org")))
+        .collect();
+    UpdateCluster {
+        net,
+        drivers,
+        b,
+        wal_path,
+    }
+}
+
+/// The participant's durable-commit path at the WAL API: per committed
+/// update, the exact forced-append sequence the 2PC participant performs
+/// — `Prepared` (carrying the serialized ∆), `Decision`, `Applied` —
+/// against a real log with real fsyncs. This is the layer group commit
+/// operates on; [`UpdateCluster`] measures the same protocol end to end
+/// with the engine and XML codec in the loop.
+pub struct CommitPath {
+    pub wal: Arc<xrpc_peer::Wal>,
+    path: std::path::PathBuf,
+}
+
+impl Drop for CommitPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+impl CommitPath {
+    pub fn open(group_commit: bool) -> CommitPath {
+        let path = std::env::temp_dir().join(format!(
+            "xrpc-u1-commit-{}-g{group_commit}.wal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        let (wal, _) = xrpc_peer::Wal::open_with(
+            &path,
+            WalConfig {
+                fsync: FsyncPolicy::Always,
+                group_commit,
+                ..WalConfig::default()
+            },
+        )
+        .unwrap();
+        CommitPath { wal, path }
+    }
+
+    /// One committed update transaction: the ∆ mirrors what `u:bump()`
+    /// produces (a `replace value of node` on a three-deep text node).
+    pub fn commit_one(&self, host: &str, seq: u64) {
+        use xrpc_peer::wal::{NodePath, PathStep, SerializedPrimitive};
+        let qid = xrpc_proto::QueryId::new(host, QID_TS_SENTINEL + seq, 3_000);
+        let delta = vec![SerializedPrimitive::ReplaceValue {
+            target: NodePath {
+                doc_uri: "log.xml".into(),
+                steps: vec![PathStep::Child(0), PathStep::Child(0), PathStep::Child(0)],
+            },
+            value: seq.to_string(),
+        }];
+        let mark = self
+            .wal
+            .append(&xrpc_peer::WalRecord::Prepared {
+                qid: qid.clone(),
+                coordinator: A_URI.into(),
+                delta,
+            })
+            .unwrap();
+        self.wal
+            .append(&xrpc_peer::WalRecord::Decision {
+                qid: qid.clone(),
+                decision: xrpc_peer::Decision::Committed,
+            })
+            .unwrap();
+        self.wal
+            .append(&xrpc_peer::WalRecord::Applied { qid, mark })
+            .unwrap();
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -83,6 +83,13 @@ impl XdmError {
     pub fn xrpc_expired(message: impl Into<String>) -> Self {
         Self::new("XRPC0002", message)
     }
+
+    /// XRPC durability fault: the write-ahead log can no longer promise
+    /// stable storage (append/fsync failure, poisoned log). Distinct from
+    /// XRPC0001 so callers can fail prepares fast instead of retrying.
+    pub fn xrpc_durability(message: impl Into<String>) -> Self {
+        Self::new("XRPC0003", message)
+    }
 }
 
 impl fmt::Display for XdmError {
@@ -109,5 +116,6 @@ mod tests {
         assert_eq!(XdmError::div_by_zero().code, "FOAR0001");
         assert_eq!(XdmError::xrpc("x").code, "XRPC0001");
         assert_eq!(XdmError::xrpc_expired("x").code, "XRPC0002");
+        assert_eq!(XdmError::xrpc_durability("x").code, "XRPC0003");
     }
 }

@@ -33,6 +33,11 @@ pub trait DocResolver: Send + Sync {
 #[derive(Default)]
 pub struct InMemoryDocs {
     docs: RwLock<HashMap<String, Arc<Document>>>,
+    /// Applied-transaction marks: highest log sequence number whose ∆ has
+    /// been applied, per transaction key. Lives with the documents (not
+    /// the WAL) because idempotent re-apply needs the mark to travel with
+    /// exactly the state it describes across a restart.
+    marks: RwLock<HashMap<String, u64>>,
 }
 
 impl InMemoryDocs {
@@ -60,6 +65,20 @@ impl InMemoryDocs {
     /// pins one of these per queryID; paper §2.2).
     pub fn snapshot(&self) -> HashMap<String, Arc<Document>> {
         self.docs.read().clone()
+    }
+
+    /// The applied mark for `key`, if any: updates logged at-or-below it
+    /// have already reached the documents.
+    pub fn applied_mark(&self, key: &str) -> Option<u64> {
+        self.marks.read().get(key).copied()
+    }
+
+    /// Raise the applied mark for `key` to `lsn` (monotonic: a lower or
+    /// equal mark never overwrites a higher one).
+    pub fn set_applied_mark(&self, key: &str, lsn: u64) {
+        let mut marks = self.marks.write();
+        let slot = marks.entry(key.to_string()).or_insert(0);
+        *slot = (*slot).max(lsn);
     }
 }
 

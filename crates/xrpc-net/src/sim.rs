@@ -122,6 +122,18 @@ pub mod crash_points {
     /// Commit delivery: participants stay prepared until the restarted
     /// coordinator redelivers (or they inquire).
     pub const COORD_AFTER_COMMIT_LOG: &str = "coordinator:after-commit-log-before-delivery";
+    /// Participant dies after applying a committed ∆_q but before forcing
+    /// the `Applied` marker: the log still says "committed, unapplied" —
+    /// only the applied-LSN mark stops recovery from applying ∆_q twice.
+    pub const AFTER_APPLY_BEFORE_MARKER: &str = "participant:after-apply-before-marker";
+    /// Appender dies inside group commit, after its record is written but
+    /// before the batch leader's fsync: the record may or may not survive
+    /// — exactly the torn-tail ambiguity replay must absorb.
+    pub const WAL_GROUP_FSYNC: &str = "wal:group-commit-before-fsync";
+    /// Peer dies mid-rotation: the copy-forward segment is on disk but
+    /// the previous generation has not been reclaimed — replay sees both
+    /// and must deduplicate by LSN.
+    pub const WAL_MID_ROTATION: &str = "wal:mid-rotation-before-reclaim";
 }
 
 /// A deterministic kill switch shared between a peer and the sim network.

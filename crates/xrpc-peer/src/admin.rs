@@ -14,7 +14,8 @@
 //!
 //! `/healthz` reports WAL attachment, in-doubt transaction count and
 //! breaker states; status degrades (HTTP 503) when transactions are
-//! stuck in doubt or any breaker is open.
+//! stuck in doubt, any breaker is open, or the WAL is poisoned (a
+//! durability fault means prepares can no longer be promised).
 
 use crate::peer::Peer;
 use std::sync::atomic::Ordering;
@@ -76,6 +77,7 @@ pub fn render_metrics(peer: &Peer, server_metrics: Option<&NetMetrics>) -> Strin
     w.counter("xrpc_twopc_hazards_total", t.hazards);
     w.counter("xrpc_twopc_recoveries_total", t.recoveries);
     w.counter("xrpc_twopc_inquiries_total", t.inquiries);
+    w.counter("xrpc_twopc_reaborts_total", t.reaborts);
 
     let p = BufferPool::global().stats();
     w.counter("xrpc_bufpool_hits_total", p.hits);
@@ -103,6 +105,25 @@ pub fn render_metrics(peer: &Peer, server_metrics: Option<&NetMetrics>) -> Strin
         "xrpc_active_snapshots",
         peer.snapshots.active_count() as u64,
     );
+
+    // WAL durability surface: segment/byte gauges and the rotation,
+    // group-commit and recovery counters (see `wal::WalStats`).
+    if let Some(l) = peer.wal() {
+        let s = l.stats();
+        w.gauge("xrpc_wal_segments", s.segments);
+        w.gauge("xrpc_wal_log_bytes", s.log_bytes);
+        w.gauge("xrpc_wal_poisoned", if s.poisoned { 1 } else { 0 });
+        w.counter("xrpc_wal_rotations_total", s.rotations);
+        w.counter(
+            "xrpc_wal_copy_forward_records_total",
+            s.copy_forward_records,
+        );
+        w.counter(
+            "xrpc_wal_torn_tail_recoveries_total",
+            s.torn_tail_recoveries,
+        );
+        w.counter("xrpc_wal_group_fsyncs_total", s.fsyncs);
+    }
 
     for (name, h) in peer.obs.histograms() {
         w.summary(&name, &h.snapshot());
@@ -144,6 +165,7 @@ pub fn render_metrics(peer: &Peer, server_metrics: Option<&NetMetrics>) -> Strin
 pub fn render_healthz(peer: &Peer) -> (u16, String) {
     let wal = peer.wal();
     let open = wal.as_ref().map(|l| l.open_transactions()).unwrap_or(0);
+    let poisoned = wal.as_ref().is_some_and(|l| l.is_poisoned());
     let in_doubt = peer.snapshots.prepared_undecided(Duration::ZERO).len();
     let breakers = peer
         .resilient_transport()
@@ -152,7 +174,9 @@ pub fn render_healthz(peer: &Peer) -> (u16, String) {
     let any_open = breakers
         .iter()
         .any(|(_, s)| matches!(s, BreakerState::Open));
-    let degraded = in_doubt > 0 || any_open;
+    // a poisoned WAL can no longer promise durability: fail readiness
+    // so traffic drains away before a prepare is acked into a void
+    let degraded = in_doubt > 0 || any_open || poisoned;
 
     let mut json = String::with_capacity(256);
     json.push_str("{\"status\":\"");
@@ -161,6 +185,8 @@ pub fn render_healthz(peer: &Peer) -> (u16, String) {
     json.push_str(&json_escape(&peer.name()));
     json.push_str("\",\"wal_attached\":");
     json.push_str(if wal.is_some() { "true" } else { "false" });
+    json.push_str(",\"wal_poisoned\":");
+    json.push_str(if poisoned { "true" } else { "false" });
     json.push_str(&format!(
         ",\"wal_open_transactions\":{open},\"in_doubt\":{in_doubt},\"active_snapshots\":{}",
         peer.snapshots.active_count()

@@ -37,7 +37,7 @@ pub use twopc::{
     run_two_phase_commit, run_two_phase_commit_with, CommitOutcome, TwoPcConfig, TwoPcMetrics,
     TwoPcSnapshot,
 };
-pub use wal::{FsyncPolicy, Wal, WalRecord};
+pub use wal::{FsyncPolicy, SequencedRecord, Wal, WalConfig, WalRecord, WalStats};
 pub use wrapper::{WrapperPhases, XrpcWrapper};
 
 /// Wall-clock milliseconds since the Unix epoch (the queryID timestamp).

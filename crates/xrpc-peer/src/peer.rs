@@ -140,6 +140,17 @@ pub struct Peer {
     /// Coordinator addresses recorded in recovered `Prepared` records,
     /// consulted by the in-doubt resolver (falls back to `qid.host`).
     pub(crate) recovered_coordinators: Mutex<HashMap<TxKey, String>>,
+    /// Transactions this peer was coordinating when it crashed —
+    /// recovered `CoordinatorBegin` records with no durable commit
+    /// decision. Presumed abort already makes them aborted; the re-abort
+    /// sweep proactively re-tells the participants so their prepared ∆s
+    /// (and locks) release without waiting for an inquiry.
+    pub(crate) coord_reabort: Mutex<HashMap<TxKey, RedeliverEntry>>,
+    /// Timestamp generator for locally-originated queryIDs: strictly
+    /// monotonic past the wall clock, because two queries starting in the
+    /// same millisecond would alias to one `(host, millis)` transaction
+    /// at every peer they touch.
+    last_qid_ts: AtomicU64,
 }
 
 impl Peer {
@@ -183,6 +194,8 @@ impl Peer {
             coord_committed: Mutex::new(HashMap::new()),
             coord_redeliver: Mutex::new(HashMap::new()),
             recovered_coordinators: Mutex::new(HashMap::new()),
+            coord_reabort: Mutex::new(HashMap::new()),
+            last_qid_ts: AtomicU64::new(0),
         })
     }
 
@@ -191,9 +204,27 @@ impl Peer {
         self.wal.read().clone()
     }
 
-    /// Arm deterministic crash injection (chaos harness only).
+    /// Arm deterministic crash injection (chaos harness only). Forwarded
+    /// to the attached WAL so its internal crash points (group-commit
+    /// fsync, mid-rotation) share the same switch.
     pub fn set_crash_switch(&self, sw: Arc<CrashSwitch>) {
+        if let Some(w) = self.wal() {
+            w.set_crash_switch(sw.clone());
+        }
         *self.crash_switch.write() = Some(sw);
+    }
+
+    /// A strictly-monotonic queryID timestamp: wall-clock millis, bumped
+    /// past the previous value when queries start within one millisecond.
+    pub(crate) fn next_qid_ts(&self) -> u64 {
+        let now = crate::now_millis();
+        let prev = self
+            .last_qid_ts
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |prev| {
+                Some(now.max(prev + 1))
+            })
+            .unwrap_or(0);
+        now.max(prev + 1)
     }
 
     /// Tune the 2PC coordinator for queries originated at this peer.
@@ -419,11 +450,14 @@ impl Peer {
                         let delta = wal::serialize_pul(&snap.pul.lock())?;
                         let mut ws = self.obs.tracer.span_here("wal:force");
                         ws.tag("record", "prepared");
-                        w.append(&WalRecord::Prepared {
+                        let lsn = w.append(&WalRecord::Prepared {
                             qid: qid.clone(),
                             coordinator: qid.host.clone(),
                             delta,
                         })?;
+                        // the LSN this ∆ was logged under is the mark the
+                        // apply will be guarded by (idempotent re-apply)
+                        *snap.prepared_lsn.lock() = Some(lsn);
                     }
                     *prepared = true;
                     *snap.prepared_at.lock() = Some(Instant::now());
@@ -474,10 +508,27 @@ impl Peer {
                                     return Err(e);
                                 }
                                 let pul = snap.pul.lock().clone();
-                                self.apply_pul(&pul)?;
+                                let mark = *snap.prepared_lsn.lock();
+                                self.apply_pul_marked(&pul, qid, mark)?;
                                 *decided = Some(Decision::Committed);
+                                // A crash in this gap leaves a committed
+                                // decision with no Applied marker: restart
+                                // replay re-drives the apply, which the
+                                // applied-LSN mark turns into a no-op.
+                                if let Err(e) =
+                                    self.crash_mid(crash_points::AFTER_APPLY_BEFORE_MARKER)
+                                {
+                                    span.tag(
+                                        "crash_point",
+                                        crash_points::AFTER_APPLY_BEFORE_MARKER,
+                                    );
+                                    return Err(e);
+                                }
                                 if let Some(w) = self.wal() {
-                                    w.append(&WalRecord::Applied { qid: qid.clone() })?;
+                                    w.append(&WalRecord::Applied {
+                                        qid: qid.clone(),
+                                        mark: mark.unwrap_or(0),
+                                    })?;
                                 }
                                 self.twopc_metrics.commits.fetch_add(1, Ordering::Relaxed);
                             }
@@ -791,6 +842,37 @@ impl Peer {
         Ok(())
     }
 
+    /// The key a transaction's applied-LSN mark is stored under in the
+    /// document store.
+    pub(crate) fn mark_key(qid: &QueryId) -> String {
+        format!("{}@{}", qid.host, qid.timestamp_millis)
+    }
+
+    /// `applyUpdates(∆_q)` guarded by the store's applied-LSN mark: a ∆
+    /// whose log sequence number is at-or-below the mark has already
+    /// reached the documents (the crash or redelivery fell between the
+    /// apply and the `Applied` marker), so replay skips it instead of
+    /// double-applying. Returns whether the ∆ was actually applied.
+    pub(crate) fn apply_pul_marked(
+        &self,
+        pul: &PendingUpdateList,
+        qid: &QueryId,
+        lsn: Option<u64>,
+    ) -> XdmResult<bool> {
+        let Some(lsn) = lsn else {
+            // no WAL / no logged LSN: the pre-durability behavior
+            self.apply_pul(pul)?;
+            return Ok(true);
+        };
+        let key = Self::mark_key(qid);
+        if self.docs.applied_mark(&key).is_some_and(|m| m >= lsn) {
+            return Ok(false);
+        }
+        self.apply_pul(pul)?;
+        self.docs.set_applied_mark(&key, lsn);
+        Ok(true)
+    }
+
     // ------------------------------------------------------------------
     // Originator side
     // ------------------------------------------------------------------
@@ -823,7 +905,7 @@ impl Peer {
         };
         let qid = match isolation {
             IsolationLevel::Repeatable => {
-                Some(QueryId::new(self.name(), crate::now_millis(), timeout))
+                Some(QueryId::new(self.name(), self.next_qid_ts(), timeout))
             }
             IsolationLevel::None => None,
         };
@@ -944,16 +1026,23 @@ impl Peer {
     ) -> XdmResult<CommitOutcome> {
         let wal = self.wal();
         let self_logged = match (&wal, local_pul.is_empty()) {
-            (Some(w), false) => {
-                w.append(&WalRecord::Prepared {
-                    qid: qid.clone(),
-                    coordinator: self.name(),
-                    delta: wal::serialize_pul(local_pul)?,
-                })?;
-                true
-            }
-            _ => false,
+            (Some(w), false) => Some(w.append(&WalRecord::Prepared {
+                qid: qid.clone(),
+                coordinator: self.name(),
+                delta: wal::serialize_pul(local_pul)?,
+            })?),
+            _ => None,
         };
+        // Advisory begin record, unforced: recovery uses it only to drive
+        // the re-abort sweep (proactively re-telling participants of a
+        // crashed coordination to abort). Losing it costs an optimization,
+        // never correctness — presumed abort covers the gap.
+        if let Some(w) = &wal {
+            let _ = w.append_nosync(&WalRecord::CoordinatorBegin {
+                qid: qid.clone(),
+                participants: participants.to_vec(),
+            });
+        }
         let key = (qid.host.clone(), qid.timestamp_millis);
         self.coordinating.lock().insert(key.clone());
         let switch = self.crash_switch.read().clone();
@@ -979,28 +1068,36 @@ impl Peer {
                 // A *simulated* coordinator crash must not do post-mortem
                 // work — the restarted peer recovers from the log instead.
                 let dead = switch.as_ref().is_some_and(|s| s.is_down());
-                if !dead && self.coord_committed.lock().contains_key(&key) {
-                    // Heuristic hazard: the decision is durably *commit*,
-                    // only some delivery failed. Settle the local ∆ with
-                    // the decision before surfacing the hazard, or the
-                    // originator itself would be the mixed outcome.
-                    self.settle_local_commit(qid, local_pul, self_logged, wal.as_deref())?;
+                if !dead {
+                    if self.coord_committed.lock().contains_key(&key) {
+                        // Heuristic hazard: the decision is durably *commit*,
+                        // only some delivery failed. Settle the local ∆ with
+                        // the decision before surfacing the hazard, or the
+                        // originator itself would be the mixed outcome.
+                        self.settle_local_commit(qid, local_pul, self_logged, wal.as_deref())?;
+                    } else if let Some(w) = &wal {
+                        // presumed abort: retire the advisory begin record
+                        // so the log can checkpoint (best-effort — absence
+                        // of a commit record already *is* the decision)
+                        let _ = w.append_nosync(&WalRecord::CoordinatorEnd { qid: qid.clone() });
+                    }
                 }
                 return Err(e);
             }
         };
 
         if let CommitOutcome::Aborted { reason } = &outcome {
-            if self_logged {
-                // quiesce the local prepared record (absence of a commit
-                // record is the abort record; this just lets the log
-                // checkpoint)
-                if let Some(w) = &wal {
+            if let Some(w) = &wal {
+                if self_logged.is_some() {
+                    // quiesce the local prepared record (absence of a commit
+                    // record is the abort record; this just lets the log
+                    // checkpoint)
                     w.append(&WalRecord::Decision {
                         qid: qid.clone(),
                         decision: Decision::Aborted,
                     })?;
                 }
+                let _ = w.append_nosync(&WalRecord::CoordinatorEnd { qid: qid.clone() });
             }
             return Err(XdmError::xrpc(format!(
                 "distributed transaction aborted: {reason}"
@@ -1016,19 +1113,20 @@ impl Peer {
         &self,
         qid: &QueryId,
         local_pul: &PendingUpdateList,
-        self_logged: bool,
+        self_logged: Option<u64>,
         wal: Option<&Wal>,
     ) -> XdmResult<()> {
-        if self_logged {
-            if let Some(w) = wal {
-                w.append(&WalRecord::Decision {
-                    qid: qid.clone(),
-                    decision: Decision::Committed,
-                })?;
-                self.apply_pul(local_pul)?;
-                w.append(&WalRecord::Applied { qid: qid.clone() })?;
-                return Ok(());
-            }
+        if let (Some(lsn), Some(w)) = (self_logged, wal) {
+            w.append(&WalRecord::Decision {
+                qid: qid.clone(),
+                decision: Decision::Committed,
+            })?;
+            self.apply_pul_marked(local_pul, qid, Some(lsn))?;
+            w.append(&WalRecord::Applied {
+                qid: qid.clone(),
+                mark: lsn,
+            })?;
+            return Ok(());
         }
         self.apply_pul(local_pul)
     }

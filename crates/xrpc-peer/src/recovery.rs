@@ -25,7 +25,7 @@ use crate::client::XrpcClient;
 use crate::peer::{Peer, RedeliverEntry, TxKey};
 use crate::store::{Decision, QuerySnapshot};
 use crate::twopc::{self, METHOD_INQUIRE};
-use crate::wal::{self, FsyncPolicy, SerializedPrimitive, Wal, WalRecord};
+use crate::wal::{self, FsyncPolicy, SerializedPrimitive, Wal, WalConfig, WalRecord};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -54,6 +54,13 @@ pub struct RecoveryReport {
     pub still_in_doubt: usize,
     /// Recovered coordinator decisions fully redelivered and retired.
     pub redelivered: usize,
+    /// Re-driven applies the applied-LSN mark proved already done (the
+    /// crash fell between `applyUpdates` and the `Applied` marker) and
+    /// therefore skipped instead of double-applying.
+    pub lsn_skips: usize,
+    /// Coordinations that died undecided whose participants were
+    /// proactively re-told to abort (and the begin record retired).
+    pub reaborted: usize,
 }
 
 impl RecoveryReport {
@@ -66,6 +73,8 @@ impl RecoveryReport {
         self.resolved_aborted += other.resolved_aborted;
         self.still_in_doubt = other.still_in_doubt;
         self.redelivered += other.redelivered;
+        self.lsn_skips += other.lsn_skips;
+        self.reaborted += other.reaborted;
     }
 }
 
@@ -120,8 +129,14 @@ impl Drop for SweeperHandle {
 struct TxReplay {
     qid: Option<QueryId>,
     prepared: Option<(String, Vec<SerializedPrimitive>)>,
+    /// LSN of the `Prepared` record — the mark its apply is guarded by.
+    prepared_lsn: Option<u64>,
     decision: Option<Decision>,
     applied: bool,
+    /// Highest mark carried by a replayed `Applied` record; re-seeds the
+    /// document store's applied-LSN table.
+    applied_mark: u64,
+    coordinator_begin: Option<Vec<String>>,
     coordinator_commit: Option<Vec<String>>,
     coordinator_end: bool,
 }
@@ -137,26 +152,58 @@ impl Peer {
         path: impl AsRef<Path>,
         fsync: FsyncPolicy,
     ) -> XdmResult<RecoveryReport> {
-        let (log, replay) = Wal::open(path, fsync)?;
-        log.set_observer(self.obs.histogram("xrpc_wal_append_micros"));
+        self.attach_wal_with(
+            path,
+            WalConfig {
+                fsync,
+                ..WalConfig::default()
+            },
+        )
+    }
+
+    /// [`attach_wal`](Self::attach_wal) with full control over group
+    /// commit and segment rotation.
+    pub fn attach_wal_with(
+        self: &Arc<Self>,
+        path: impl AsRef<Path>,
+        config: WalConfig,
+    ) -> XdmResult<RecoveryReport> {
+        let (log, replay) = Wal::open_with(path, config)?;
+        log.set_observers(
+            self.obs.histogram("xrpc_wal_append_micros"),
+            self.obs.histogram("xrpc_wal_fsync_micros"),
+            self.obs.histogram("xrpc_wal_group_batch"),
+        );
+        if let Some(sw) = self.crash_switch.read().as_ref() {
+            log.set_crash_switch(sw.clone());
+        }
         *self.wal.write() = Some(log.clone());
 
         let mut order: Vec<(String, u64)> = Vec::new();
         let mut txs: HashMap<(String, u64), TxReplay> = HashMap::new();
-        for rec in &replay.records {
-            let q = rec.qid();
+        for sr in &replay.records {
+            let q = sr.record.qid();
             let key = (q.host.clone(), q.timestamp_millis);
             let tx = txs.entry(key.clone()).or_insert_with(|| {
                 order.push(key.clone());
                 TxReplay::default()
             });
             tx.qid.get_or_insert_with(|| q.clone());
-            match rec {
+            match &sr.record {
                 WalRecord::Prepared {
                     coordinator, delta, ..
-                } => tx.prepared = Some((coordinator.clone(), delta.clone())),
+                } => {
+                    tx.prepared = Some((coordinator.clone(), delta.clone()));
+                    tx.prepared_lsn = Some(sr.lsn).filter(|l| *l > 0);
+                }
                 WalRecord::Decision { decision, .. } => tx.decision = Some(*decision),
-                WalRecord::Applied { .. } => tx.applied = true,
+                WalRecord::Applied { mark, .. } => {
+                    tx.applied = true;
+                    tx.applied_mark = tx.applied_mark.max(*mark);
+                }
+                WalRecord::CoordinatorBegin { participants, .. } => {
+                    tx.coordinator_begin = Some(participants.clone())
+                }
                 WalRecord::CoordinatorCommit { participants, .. } => {
                     tx.coordinator_commit = Some(participants.clone())
                 }
@@ -172,6 +219,13 @@ impl Peer {
             let tx = txs.remove(&key).expect("folded above");
             let qid = tx.qid.expect("every record carries a qid");
 
+            // Re-seed the store's applied-LSN mark from the replayed
+            // marker before any re-apply decision consults it.
+            if tx.applied_mark > 0 {
+                self.docs
+                    .set_applied_mark(&Self::mark_key(&qid), tx.applied_mark);
+            }
+
             // Coordinator role: a logged commit decision is the truth
             // `Inquire` answers from; one without an end record still owes
             // its participants a delivery.
@@ -184,6 +238,16 @@ impl Peer {
                         .lock()
                         .insert(key.clone(), (qid.clone(), parts));
                 }
+            } else if let Some(parts) = tx.coordinator_begin {
+                // A coordination that began but never reached a durable
+                // decision: presumed abort. Queue its participants for
+                // the proactive re-abort sweep so their prepared ∆s
+                // release without waiting for their own inquiries.
+                if !tx.coordinator_end {
+                    self.coord_reabort
+                        .lock()
+                        .insert(key.clone(), (qid.clone(), parts));
+                }
             }
 
             // Participant role.
@@ -191,10 +255,17 @@ impl Peer {
                 match tx.decision {
                     Some(Decision::Committed) if !tx.applied => {
                         // decided but killed before applyUpdates: finish
-                        // the job now, directly from the log
+                        // the job now, directly from the log. The mark
+                        // makes this idempotent — if the crash fell after
+                        // the apply but before the marker, skip.
                         let pul = wal::deserialize_pul(&self.docs, &delta)?;
-                        self.apply_pul(&pul)?;
-                        log.append(&WalRecord::Applied { qid: qid.clone() })?;
+                        if !self.apply_pul_marked(&pul, &qid, tx.prepared_lsn)? {
+                            report.lsn_skips += 1;
+                        }
+                        log.append(&WalRecord::Applied {
+                            qid: qid.clone(),
+                            mark: tx.prepared_lsn.unwrap_or(0),
+                        })?;
                         self.snapshots.finish_with(&qid, Decision::Committed);
                         report.reapplied += 1;
                         self.twopc_metrics
@@ -210,8 +281,12 @@ impl Peer {
                         // the in-doubt case: re-enter prepared state and
                         // remember who to ask
                         let pul = wal::deserialize_pul(&self.docs, &delta)?;
-                        self.snapshots
-                            .restore_prepared(&qid, self.docs.snapshot(), pul);
+                        self.snapshots.restore_prepared(
+                            &qid,
+                            self.docs.snapshot(),
+                            pul,
+                            tx.prepared_lsn,
+                        );
                         self.recovered_coordinators
                             .lock()
                             .insert(key.clone(), coordinator);
@@ -288,7 +363,9 @@ impl Peer {
             );
             match outcome {
                 Some(TxOutcome::Committed) => {
-                    self.commit_recovered(&snap)?;
+                    if !self.commit_recovered(&snap)? {
+                        report.lsn_skips += 1;
+                    }
                     report.resolved_committed += 1;
                     self.twopc_metrics
                         .recoveries
@@ -357,14 +434,65 @@ impl Peer {
                     .fetch_add(1, Ordering::Relaxed);
             }
         }
+
+        // Coordinator role: the re-abort sweep. Coordinations that died
+        // before a durable decision are aborted by presumption already —
+        // proactively re-tell the participants so their prepared ∆s (and
+        // locks) release now instead of at their next inquiry.
+        let pending: Vec<(TxKey, RedeliverEntry)> = self
+            .coord_reabort
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        for (key, (qid, parts)) in pending {
+            let mut span = self.obs.tracer.span(
+                "recovery:reabort",
+                TraceContext {
+                    trace_id: trace_id_from(&qid.host, qid.timestamp_millis),
+                    span_id: self.obs.tracer.next_span_id(),
+                    parent_id: None,
+                },
+            );
+            let own = self.name();
+            let mut all_acked = true;
+            for p in parts.iter().filter(|p| **p != own) {
+                if twopc::deliver_decision(
+                    &client,
+                    p,
+                    twopc::METHOD_ABORT,
+                    &qid,
+                    &config,
+                    Some(&self.twopc_metrics),
+                )
+                .is_err()
+                {
+                    all_acked = false;
+                }
+            }
+            span.tag("delivered", if all_acked { "all" } else { "partial" });
+            if all_acked {
+                if let Some(w) = self.wal() {
+                    // unforced: the begin record it retires was advisory,
+                    // and absence of a commit record is already the
+                    // durable abort decision
+                    let _ = w.append_nosync(&WalRecord::CoordinatorEnd { qid: qid.clone() });
+                }
+                self.coord_reabort.lock().remove(&key);
+                report.reaborted += 1;
+                self.twopc_metrics.reaborts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         Ok(report)
     }
 
     /// Commit a recovered prepared snapshot: the decision/apply/applied
     /// discipline of the live `Commit` handler, driven by an inquiry
-    /// answer instead of a decision message.
-    fn commit_recovered(&self, snap: &Arc<QuerySnapshot>) -> XdmResult<()> {
+    /// answer instead of a decision message. Returns whether the ∆ was
+    /// actually applied (`false` = the applied-LSN mark skipped it).
+    fn commit_recovered(&self, snap: &Arc<QuerySnapshot>) -> XdmResult<bool> {
         let qid = &snap.qid;
+        let mut applied = true;
         let mut decided = snap.decided.lock();
         if decided.is_none() {
             if let Some(w) = self.wal() {
@@ -374,16 +502,20 @@ impl Peer {
                 })?;
             }
             let pul = snap.pul.lock().clone();
-            self.apply_pul(&pul)?;
+            let mark = *snap.prepared_lsn.lock();
+            applied = self.apply_pul_marked(&pul, qid, mark)?;
             *decided = Some(Decision::Committed);
             if let Some(w) = self.wal() {
-                w.append(&WalRecord::Applied { qid: qid.clone() })?;
+                w.append(&WalRecord::Applied {
+                    qid: qid.clone(),
+                    mark: mark.unwrap_or(0),
+                })?;
             }
             self.twopc_metrics.commits.fetch_add(1, Ordering::Relaxed);
         }
         drop(decided);
         self.snapshots.finish_with(qid, Decision::Committed);
-        Ok(())
+        Ok(applied)
     }
 
     /// Start the background sweeper: every `interval` it re-resolves

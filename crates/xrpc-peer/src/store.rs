@@ -42,6 +42,11 @@ pub struct QuerySnapshot {
     pub pul: Mutex<PendingUpdateList>,
     /// 2PC state: set by Prepare after the PUL was logged to the WAL.
     pub prepared: Mutex<bool>,
+    /// LSN of the WAL `Prepared` record holding this snapshot's ∆_q. The
+    /// applied-LSN mark the store keeps per transaction is compared
+    /// against it, which makes applying the ∆ idempotent across
+    /// redelivery and replay.
+    pub prepared_lsn: Mutex<Option<u64>>,
     /// When `prepared` was set — the recovery sweeper only re-inquires
     /// about prepared transactions older than its configured age.
     pub prepared_at: Mutex<Option<Instant>>,
@@ -137,6 +142,7 @@ impl SnapshotManager {
             deadline: Instant::now() + Duration::from_secs(qid.timeout_secs as u64),
             pul: Mutex::new(PendingUpdateList::new()),
             prepared: Mutex::new(false),
+            prepared_lsn: Mutex::new(None),
             prepared_at: Mutex::new(None),
             decided: Mutex::new(None),
             merged_requests: Mutex::new(HashMap::new()),
@@ -156,6 +162,7 @@ impl SnapshotManager {
         qid: &QueryId,
         docs: HashMap<String, Arc<Document>>,
         pul: PendingUpdateList,
+        prepared_lsn: Option<u64>,
     ) -> Arc<QuerySnapshot> {
         let snapshot = Arc::new(QuerySnapshot {
             qid: qid.clone(),
@@ -163,6 +170,7 @@ impl SnapshotManager {
             deadline: Instant::now() + Duration::from_secs(qid.timeout_secs as u64),
             pul: Mutex::new(pul),
             prepared: Mutex::new(true),
+            prepared_lsn: Mutex::new(prepared_lsn),
             prepared_at: Mutex::new(Some(Instant::now())),
             decided: Mutex::new(None),
             merged_requests: Mutex::new(HashMap::new()),

@@ -49,6 +49,9 @@ pub struct TwoPcMetrics {
     pub recoveries: AtomicU64,
     /// Inquire requests answered (coordinator side).
     pub inquiries: AtomicU64,
+    /// Crashed-undecided coordinations whose participants were
+    /// proactively re-told to abort by the recovery sweep.
+    pub reaborts: AtomicU64,
 }
 
 impl TwoPcMetrics {
@@ -65,6 +68,7 @@ impl TwoPcMetrics {
             hazards: self.hazards.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
             inquiries: self.inquiries.load(Ordering::Relaxed),
+            reaborts: self.reaborts.load(Ordering::Relaxed),
         }
     }
 }
@@ -79,6 +83,7 @@ pub struct TwoPcSnapshot {
     pub hazards: u64,
     pub recoveries: u64,
     pub inquiries: u64,
+    pub reaborts: u64,
 }
 
 /// Hook invoked with the queryID and participant list right after the

@@ -52,6 +52,7 @@ fn metrics_and_healthz_scrape_end_to_end() {
     b.register_module(MODULE).unwrap();
     b.add_document("log.xml", "<log/>").unwrap();
     let wal_path = std::env::temp_dir().join(format!("xrpc-admin-{}.wal", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_path);
     let _ = std::fs::remove_file(&wal_path);
     b.attach_wal(&wal_path, FsyncPolicy::Never).unwrap();
     let server = bind_admin(&b, "127.0.0.1:0").expect("bind server peer");
@@ -98,6 +99,11 @@ fn metrics_and_healthz_scrape_end_to_end() {
         // readiness gauges
         "xrpc_wal_attached",
         "xrpc_in_doubt_transactions",
+        // WAL durability surface
+        "xrpc_wal_segments",
+        "xrpc_wal_log_bytes",
+        "xrpc_wal_poisoned",
+        "xrpc_wal_rotations_total",
         // latency/size histograms (summaries)
         "xrpc_message_bytes",
         "xrpc_server_handle_micros",
@@ -143,6 +149,7 @@ fn metrics_and_healthz_scrape_end_to_end() {
     assert_eq!(status, 200, "healthy peer must report 200: {health}");
     assert!(health.contains("\"status\":\"ok\""), "{health}");
     assert!(health.contains("\"wal_attached\":true"), "{health}");
+    assert!(health.contains("\"wal_poisoned\":false"), "{health}");
     assert!(health.contains("\"in_doubt\":0"), "{health}");
 
     // SOAP dispatch still works on the same listener after the admin
@@ -153,5 +160,48 @@ fn metrics_and_healthz_scrape_end_to_end() {
 
     drop(server);
     drop(a_server);
+    let _ = std::fs::remove_dir_all(&wal_path);
     let _ = std::fs::remove_file(&wal_path);
+}
+
+/// A poisoned WAL (first append/fsync failure) must fail readiness: the
+/// peer can no longer promise durability, so `/healthz` turns 503 and
+/// the `xrpc_wal_poisoned` gauge flips — the signal a load balancer
+/// uses to drain traffic before a prepare is acked into a void.
+#[test]
+fn poisoned_wal_degrades_healthz_to_503() {
+    let p = Peer::new("xrpc://poisoned", EngineKind::Tree);
+    let wal_path =
+        std::env::temp_dir().join(format!("xrpc-admin-poison-{}.wal", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_path);
+    p.attach_wal(&wal_path, FsyncPolicy::Never).unwrap();
+
+    let (status, health) = xrpc_peer::render_healthz(&p);
+    assert_eq!(status, 200, "{health}");
+    assert!(health.contains("\"wal_poisoned\":false"), "{health}");
+
+    p.wal().unwrap().poison("simulated media failure");
+
+    let (status, health) = xrpc_peer::render_healthz(&p);
+    assert_eq!(status, 503, "poisoned WAL must fail readiness: {health}");
+    assert!(health.contains("\"status\":\"degraded\""), "{health}");
+    assert!(health.contains("\"wal_poisoned\":true"), "{health}");
+
+    let metrics = xrpc_peer::render_metrics(&p, None);
+    assert!(
+        metrics.contains("xrpc_wal_poisoned 1"),
+        "poisoned gauge must flip:\n{metrics}"
+    );
+
+    // and every subsequent append is refused with the durability error
+    let err = p
+        .wal()
+        .unwrap()
+        .append(&xrpc_peer::WalRecord::CoordinatorEnd {
+            qid: xrpc_proto::QueryId::new("xrpc://poisoned", 1, 60),
+        })
+        .unwrap_err();
+    assert_eq!(err.code, "XRPC0003", "typed durability error: {err}");
+
+    let _ = std::fs::remove_dir_all(&wal_path);
 }

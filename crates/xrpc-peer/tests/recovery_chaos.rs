@@ -22,7 +22,7 @@ use xrpc_net::{
     crash_points, BreakerConfig, CrashSwitch, NetProfile, ResilientTransport, RetryPolicy,
     SimNetwork,
 };
-use xrpc_peer::{EngineKind, FsyncPolicy, Peer, SweeperConfig, TwoPcConfig};
+use xrpc_peer::{EngineKind, FsyncPolicy, Peer, SweeperConfig, TwoPcConfig, WalConfig};
 
 const A_URI: &str = "xrpc://a.example.org";
 const B_URI: &str = "xrpc://b.example.org";
@@ -59,8 +59,33 @@ struct Cluster {
 impl Drop for Cluster {
     fn drop(&mut self) {
         for n in [&self.a, &self.b, &self.c] {
+            // the WAL is a segment directory (a plain file only for
+            // legacy logs); clean up either shape
+            let _ = std::fs::remove_dir_all(&n.wal_path);
             let _ = std::fs::remove_file(&n.wal_path);
         }
+    }
+}
+
+/// Fsync policy for the chaos cluster: `CHAOS_FSYNC=always` runs the
+/// whole suite with real forced fsyncs and live group commit (the CI
+/// `recovery-chaos-fsync` job); the default `Never` keeps the
+/// schedule-heavy property tests fast.
+fn chaos_fsync() -> FsyncPolicy {
+    match std::env::var("CHAOS_FSYNC").as_deref() {
+        Ok("always") => FsyncPolicy::Always,
+        _ => FsyncPolicy::Never,
+    }
+}
+
+/// Chaos WAL tuning: a deliberately tiny rotation threshold so segment
+/// rotation and copy-forward run constantly under the fault schedules,
+/// not only in the directed rotation tests.
+fn chaos_wal_config() -> WalConfig {
+    WalConfig {
+        fsync: chaos_fsync(),
+        group_commit: true,
+        rotate_bytes: 2048,
     }
 }
 
@@ -105,6 +130,7 @@ fn cluster(tag: &str) -> Cluster {
             "xrpc-recovery-{}-{tag}-{run}-{short}.wal",
             std::process::id()
         ));
+        let _ = std::fs::remove_dir_all(&wal_path);
         let _ = std::fs::remove_file(&wal_path);
         Node {
             peer,
@@ -120,7 +146,9 @@ fn cluster(tag: &str) -> Cluster {
     };
     for (n, uri) in [(&cl.a, A_URI), (&cl.b, B_URI), (&cl.c, C_URI)] {
         wire(&cl.net, n, uri);
-        n.peer.attach_wal(&n.wal_path, FsyncPolicy::Never).unwrap();
+        n.peer
+            .attach_wal_with(&n.wal_path, chaos_wal_config())
+            .unwrap();
     }
     for n in [&cl.b, &cl.c] {
         n.peer.add_document("log.xml", "<log/>").unwrap();
@@ -138,7 +166,7 @@ fn restart(net: &Arc<SimNetwork>, node: &mut Node, uri: &str) -> xrpc_peer::Reco
     node.switch.revive();
     wire(net, node, uri);
     node.peer
-        .attach_wal(&node.wal_path, FsyncPolicy::Never)
+        .attach_wal_with(&node.wal_path, chaos_wal_config())
         .unwrap()
 }
 
@@ -449,14 +477,35 @@ fn torn_wal_tail_is_detected_and_recovery_uses_last_intact_record() {
     cl.b.switch.arm(crash_points::AFTER_PREPARE_ACK);
     assert!(cl.a.peer.execute(UPDATE_BOTH).is_err());
 
-    // Simulate a torn write: garbage bytes at the tail of b's log, after
-    // the intact Prepared record.
+    // Simulate a torn write: garbage bytes at the tail of the *active*
+    // (highest-numbered) segment of b's log, after the intact Prepared
+    // record.
     {
-        use std::io::Write;
+        use std::io::{Seek, SeekFrom, Write};
+        let tail_seg = std::fs::read_dir(&cl.b.wal_path)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+            .max()
+            .expect("segmented WAL has at least one segment");
+        // a torn write lands at the write head — the end of the frame
+        // chain — not at the physical end of the file, which under
+        // group commit extends further with preallocated zeros
+        let buf = std::fs::read(&tail_seg).unwrap();
+        let mut pos = 8; // past the segment magic
+        while let Some(h) = buf.get(pos..pos + 8) {
+            let len = u32::from_le_bytes(h[0..4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(h[4..8].try_into().unwrap());
+            if len == 0 && crc == 0 {
+                break;
+            }
+            pos += 8 + len;
+        }
         let mut f = std::fs::OpenOptions::new()
-            .append(true)
-            .open(&cl.b.wal_path)
+            .write(true)
+            .open(tail_seg)
             .unwrap();
+        f.seek(SeekFrom::Start(pos as u64)).unwrap();
         f.write_all(&[0x13, 0x37, 0xde, 0xad, 0xbe]).unwrap();
     }
     let report = restart(&cl.net, &mut cl.b, B_URI);
@@ -468,6 +517,219 @@ fn torn_wal_tail_is_detected_and_recovery_uses_last_intact_record() {
     let resolved = cl.b.peer.resolve_in_doubt().unwrap();
     assert_eq!(resolved.resolved_committed, 1);
     assert_eq!(log_count(&cl.b.peer), 1);
+}
+
+// ---------------------------------------------------------------------
+// LSN-idempotent apply, segment rotation, group commit and the re-abort
+// sweep, each at its dedicated crash point
+// ---------------------------------------------------------------------
+
+/// The crash window the applied-LSN mark exists for: b applies ∆_q and
+/// dies *before* forcing the `Applied` marker. The restarted peer's log
+/// says "committed, not yet applied" — without the mark, recovery would
+/// apply ∆_q a second time.
+#[test]
+fn crash_between_apply_and_marker_skips_reapply_by_lsn() {
+    let mut cl = cluster("apply-no-marker");
+    cl.b.switch.arm(crash_points::AFTER_APPLY_BEFORE_MARKER);
+
+    let err = cl.a.peer.execute(UPDATE_BOTH).unwrap_err();
+    assert!(err.message.contains("commit undeliverable"), "{err}");
+    assert_eq!(
+        log_count(&cl.b.peer),
+        1,
+        "∆ was applied before the crash, marker never written"
+    );
+    assert_eq!(log_count(&cl.c.peer), 1);
+
+    // Replay sees Prepared + Commit but no Applied marker; the durable
+    // applied-LSN mark on the store is what stops the second apply.
+    let report = restart(&cl.net, &mut cl.b, B_URI);
+    assert_eq!(report.reapplied, 1, "recovery walked the reapply path");
+    assert_eq!(
+        report.lsn_skips, 1,
+        "…but the applied-LSN mark suppressed the duplicate ∆"
+    );
+    assert_eq!(log_count(&cl.b.peer), 1, "exactly once, not twice");
+    cl.b.peer.resolve_in_doubt().unwrap();
+    assert_eq!(log_count(&cl.b.peer), 1);
+    assert_eq!(cl.b.peer.wal().unwrap().open_transactions(), 0);
+}
+
+/// Coordinator crash after `CoordinatorBegin` but before the commit
+/// record: presumed abort already keeps the data safe, but the restarted
+/// coordinator's re-abort sweep must *proactively* tell both prepared
+/// participants, releasing their locks without waiting for each one's
+/// own inquiry timeout.
+#[test]
+fn reabort_sweep_releases_participants_after_coordinator_crash() {
+    let mut cl = cluster("reabort-sweep");
+    cl.a.switch.arm(crash_points::COORD_BEFORE_COMMIT_LOG);
+
+    let err = cl.a.peer.execute(UPDATE_BOTH).unwrap_err();
+    assert!(err.message.contains("simulated crash"), "{err}");
+    assert_eq!(
+        cl.b.peer.snapshots.prepared_undecided(Duration::ZERO).len(),
+        1,
+        "b is parked in doubt"
+    );
+
+    // Only the coordinator acts: no participant-side resolve_in_doubt.
+    let report = restart(&cl.net, &mut cl.a, A_URI);
+    assert_eq!(report.restored_prepared, 0);
+    let resolved = cl.a.peer.resolve_in_doubt().unwrap();
+    assert_eq!(resolved.reaborted, 1, "sweep re-aborted the coordination");
+    assert_eq!(cl.a.peer.twopc_metrics.snapshot().reaborts, 1);
+    for n in [&cl.b, &cl.c] {
+        assert_eq!(
+            n.peer.snapshots.prepared_undecided(Duration::ZERO).len(),
+            0,
+            "sweep released the participant without an inquiry"
+        );
+        assert_eq!(log_count(&n.peer), 0);
+        assert_eq!(n.peer.twopc_metrics.snapshot().aborts, 1);
+    }
+    // the advisory CoordinatorEnd closed the obligation: log quiesces
+    assert_eq!(cl.a.peer.wal().unwrap().open_transactions(), 0);
+
+    // a second sweep is a no-op — the entry was consumed
+    let again = cl.a.peer.resolve_in_doubt().unwrap();
+    assert_eq!(again.reaborted, 0);
+}
+
+/// A long-lived prepared transaction must not let the log grow without
+/// bound: rotation copies the still-open transaction's records forward
+/// and reclaims everything else, keeping bytes bounded while dozens of
+/// later transactions come and go.
+#[test]
+fn rotation_bounds_log_growth_with_long_lived_prepared_txn() {
+    let mut cl = cluster("rotation-bounds");
+    // Pin a prepared-undecided transaction at b and c by killing the
+    // coordinator before its commit record…
+    cl.a.switch.arm(crash_points::COORD_BEFORE_COMMIT_LOG);
+    assert!(cl.a.peer.execute(UPDATE_BOTH).is_err());
+    // …then restart the coordinator but *never* resolve, so b's Prepared
+    // record must survive every subsequent rotation.
+    restart(&cl.net, &mut cl.a, A_URI);
+
+    for _ in 0..30 {
+        cl.a.peer.execute(UPDATE_BOTH).unwrap();
+    }
+
+    let wal = cl.b.peer.wal().unwrap();
+    let stats = wal.stats();
+    assert!(
+        stats.rotations >= 3,
+        "2 KiB threshold must rotate under 30 updates: {stats:?}"
+    );
+    assert!(
+        stats.copy_forward_records >= stats.rotations,
+        "the pinned txn is copied forward on every rotation: {stats:?}"
+    );
+    assert!(
+        stats.log_bytes < 8192,
+        "log stays bounded near the rotate threshold: {stats:?}"
+    );
+    assert_eq!(stats.segments, 1, "old generations are reclaimed");
+
+    // The copied-forward Prepared record still recovers, with its ∆
+    // intact, after all that churn.
+    let report = restart(&cl.net, &mut cl.b, B_URI);
+    assert_eq!(report.restored_prepared, 1);
+    assert_eq!(log_count(&cl.b.peer), 30);
+    let resolved = cl.b.peer.resolve_in_doubt().unwrap();
+    assert_eq!(resolved.resolved_aborted, 1, "presumed abort still answers");
+    assert_eq!(log_count(&cl.b.peer), 30, "the pinned txn's ∆ never lands");
+    assert_eq!(log_count(&cl.c.peer), 30, "c's pinned ∆ never lands either");
+}
+
+/// Crash in the middle of a rotation: the copy-forward segment is
+/// durable but the previous generation was never reclaimed, so replay
+/// sees every surviving record *twice* (once per generation) and must
+/// deduplicate by LSN.
+#[test]
+fn crash_mid_rotation_replays_both_generations_exactly_once() {
+    let mut cl = cluster("mid-rotation");
+    // Pin an open transaction at b so rotation always copies forward.
+    cl.a.switch.arm(crash_points::COORD_BEFORE_COMMIT_LOG);
+    assert!(cl.a.peer.execute(UPDATE_BOTH).is_err());
+    restart(&cl.net, &mut cl.a, A_URI);
+
+    // Pump updates until b dies at the armed mid-rotation point.
+    cl.b.switch.arm(crash_points::WAL_MID_ROTATION);
+    let mut crashed = false;
+    for _ in 0..60 {
+        if cl.a.peer.execute(UPDATE_BOTH).is_err() {
+            crashed = true;
+            break;
+        }
+    }
+    assert!(
+        crashed,
+        "2 KiB threshold must trigger rotation within 60 txns"
+    );
+    assert!(cl.b.switch.is_down());
+
+    let before = log_count(&cl.b.peer);
+    let report = restart(&cl.net, &mut cl.b, B_URI);
+    assert!(
+        report.restored_prepared >= 1,
+        "the pinned txn survives the torn rotation: {report:?}"
+    );
+    assert!(
+        log_count(&cl.b.peer) <= before + 1,
+        "replay across duplicate generations applies nothing twice \
+         (before={before}, after={})",
+        log_count(&cl.b.peer)
+    );
+
+    // Drive everyone to quiescence and check convergence: every
+    // committed ∆ lands exactly once, the pinned aborted txn at neither.
+    for _ in 0..4 {
+        let _ = cl.a.peer.resolve_in_doubt();
+        let _ = cl.b.peer.resolve_in_doubt();
+        let _ = cl.c.peer.resolve_in_doubt();
+    }
+    assert_eq!(
+        cl.b.peer.snapshots.prepared_undecided(Duration::ZERO).len(),
+        0
+    );
+    assert_eq!(
+        cl.c.peer.snapshots.prepared_undecided(Duration::ZERO).len(),
+        0
+    );
+    let nb = log_count(&cl.b.peer);
+    let nc = log_count(&cl.c.peer);
+    assert_eq!(nb, nc, "recovery converged both participants");
+}
+
+/// Group commit must not weaken durability: a follower whose record is
+/// written but whose batch leader never fsynced (crash at the
+/// instrumented point) recovers to a consistent outcome — the record
+/// either survived (prepared, resolvable) or tore off (presumed abort).
+/// Only meaningful under `CHAOS_FSYNC=always`, where group commit is
+/// actually forcing.
+#[test]
+fn group_commit_crash_before_fsync_recovers_consistently() {
+    if !matches!(chaos_fsync(), FsyncPolicy::Always) {
+        return; // covered by the recovery-chaos-fsync CI job
+    }
+    let mut cl = cluster("group-fsync");
+    cl.b.switch.arm(crash_points::WAL_GROUP_FSYNC);
+
+    let err = cl.a.peer.execute(UPDATE_BOTH).unwrap_err();
+    assert!(err.message.contains("aborted"), "{err}");
+
+    let report = restart(&cl.net, &mut cl.b, B_URI);
+    // The record may or may not have reached disk; both ends are safe.
+    assert!(report.restored_prepared <= 1);
+    let _ = cl.b.peer.resolve_in_doubt();
+    assert_eq!(log_count(&cl.b.peer), 0);
+    assert_eq!(log_count(&cl.c.peer), 0);
+    assert_eq!(
+        cl.b.peer.snapshots.prepared_undecided(Duration::ZERO).len(),
+        0
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -495,6 +757,9 @@ const UNIVERSE: &[Op] = &[
     (Target::C, crash_points::AFTER_DECISION_LOG),
     (Target::A, crash_points::COORD_BEFORE_COMMIT_LOG),
     (Target::A, crash_points::COORD_AFTER_COMMIT_LOG),
+    (Target::B, crash_points::AFTER_APPLY_BEFORE_MARKER),
+    (Target::C, crash_points::AFTER_APPLY_BEFORE_MARKER),
+    (Target::B, crash_points::WAL_MID_ROTATION),
 ];
 
 fn splitmix64(state: &mut u64) -> u64 {

@@ -88,6 +88,69 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Condition variable paired with [`Mutex`], parking_lot-style: `wait`
+/// takes the guard by `&mut` and re-acquires the lock before returning.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // The std condvar consumes the guard and returns a fresh one;
+        // move it out of `guard` and write the replacement back without
+        // dropping the moved-out bytes (wait() already consumed them).
+        unsafe {
+            let inner = std::ptr::read(&guard.inner);
+            let reacquired = match self.inner.wait(inner) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            std::ptr::write(&mut guard.inner, reacquired);
+        }
+    }
+
+    /// Wait with a timeout; returns `true` if the wait timed out. Like
+    /// `wait`, spurious wakeups are possible — callers must re-check
+    /// their predicate either way.
+    pub fn wait_timeout<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> bool {
+        unsafe {
+            let inner = std::ptr::read(&guard.inner);
+            let (reacquired, timed_out) = match self.inner.wait_timeout(inner, timeout) {
+                Ok((g, r)) => (g, r.timed_out()),
+                Err(p) => {
+                    let (g, r) = p.into_inner();
+                    (g, r.timed_out())
+                }
+            };
+            std::ptr::write(&mut guard.inner, reacquired);
+            timed_out
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
+}
+
 pub struct RwLock<T: ?Sized> {
     inner: std::sync::RwLock<T>,
 }
@@ -191,6 +254,26 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (lock, cvar) = &*p2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cvar.wait(&mut ready);
+            }
+        });
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        t.join().unwrap();
     }
 
     #[test]
