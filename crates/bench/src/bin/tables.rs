@@ -8,16 +8,20 @@
 //! tables ablation-latency    — A1: bulk advantage across network profiles (alias: a1)
 //! tables ablation-isolation  — A2: isolation level overhead
 //! tables u1            — U1: durable update throughput, WAL group commit on/off
-//! tables all           — everything above
+//! tables s1            — S1: concurrent-client swarm, reactor vs threaded (alias: swarm)
+//! tables all           — everything above except s1 (the swarm wants the machine to itself)
 //! ```
 //!
 //! Numbers are wall-clock milliseconds on this machine; compare *shapes*
 //! with the paper (EXPERIMENTS.md records both).
 //!
-//! `e4` and `a1` also write machine-readable `BENCH_E4.json` /
-//! `BENCH_A1.json` into the current directory, so the perf trajectory is
-//! tracked across PRs instead of living only in prose. `--quick` trims
-//! both sweeps to their cheap points (a seconds-scale CI smoke run).
+//! `e4`, `a1` and `s1` also write machine-readable `BENCH_E4.json` /
+//! `BENCH_A1.json` / `BENCH_S1.json` into the current directory, so the
+//! perf trajectory is tracked across PRs instead of living only in
+//! prose. `--quick` trims the sweeps to their cheap points (a
+//! seconds-scale CI smoke run); for `s1` it additionally *asserts* that
+//! the reactor sheds nothing at the smoke scale (exit 4 otherwise), so
+//! CI guards the admission path, not just the numbers.
 
 use std::time::Duration;
 use xrpc_bench::*;
@@ -46,6 +50,7 @@ fn main() {
         "ablation-latency" | "a1" => ablation_latency(quick),
         "ablation-isolation" => ablation_isolation(),
         "u1" => update_throughput(quick),
+        "s1" | "swarm" => swarm(quick),
         "all" => {
             table2();
             table3();
@@ -91,6 +96,106 @@ fn write_json(path: &str, experiment: &str, title: &str, quick: bool, rows: &[Ve
 
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+/// Quantiles from a one-shot cell are a lie: with a single sample p50
+/// and p99 are the same number. Every table that reports latency
+/// quantiles funnels its sample count through here so a degenerate cell
+/// is flagged instead of silently published.
+fn warn_samples(cell: &str, n: u64) {
+    if n < 20 {
+        println!("warning: {cell}: only {n} latency sample(s) — p50/p99 are unreliable below 20");
+    }
+}
+
+/// S1: the concurrent-client swarm — the reactor's headline experiment.
+/// Closed-loop keep-alive clients (one in-flight request each) against
+/// a live peer, reactor vs the thread-per-connection baseline. The
+/// baseline keeps the pre-reactor admission story: a hard 1024-
+/// connection cap that turns every client beyond it into a 503/retry
+/// loop, while the reactor admits the whole swarm on a fixed worker
+/// pool.
+fn swarm(quick: bool) {
+    use xrpc_bench::swarm::run_swarm_cell;
+    use xrpc_net::http::ServerModel;
+    use xrpc_net::poll::raise_nofile_limit;
+
+    const THREADED_CAP: usize = 1024;
+    let nofile = raise_nofile_limit();
+    // one fd at the driver + one at the server per client, plus slack
+    // for the workspace's own files/sockets
+    let max_clients = (nofile.saturating_sub(512) / 2) as usize;
+    let levels: Vec<usize> = if quick {
+        vec![100, 500]
+    } else {
+        vec![1000, 5000, 10000]
+    }
+    .into_iter()
+    .map(|n| n.min(max_clients))
+    .collect();
+    let duration = Duration::from_millis(if quick { 2000 } else { 10000 });
+    println!("== S1: client swarm, reactor vs thread-per-connection (cap {THREADED_CAP}) ==");
+    println!("nofile limit {nofile} → at most {max_clients} in-process clients");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>10}",
+        "model", "clients", "req/s", "p50 ms", "p99 ms", "shed rate", "errors", "srv sheds"
+    );
+    let mut rows = Vec::new();
+    let mut reactor_sheds = 0u64;
+    for model in [ServerModel::Reactor, ServerModel::Threaded] {
+        for &clients in &levels {
+            let cell = run_swarm_cell(model, clients, duration, THREADED_CAP);
+            let r = &cell.report;
+            let (p50, p99) = r.quantiles_ms();
+            let label = match model {
+                ServerModel::Reactor => "reactor",
+                ServerModel::Threaded => "threaded",
+            };
+            warn_samples(
+                &format!("S1 {label} {clients}"),
+                r.latencies_ms.len() as u64,
+            );
+            println!(
+                "{:<10} {:>8} {:>10.0} {:>10.2} {:>10.2} {:>9.2}% {:>8} {:>10}",
+                label,
+                clients,
+                r.req_per_s(),
+                p50,
+                p99,
+                r.shed_rate() * 100.0,
+                r.errors,
+                cell.server.sheds
+            );
+            if model == ServerModel::Reactor {
+                reactor_sheds += r.shed + cell.server.sheds;
+            }
+            rows.push(vec![
+                ("reactor", (model == ServerModel::Reactor) as u64 as f64),
+                ("clients", clients as f64),
+                ("req_per_s", r.req_per_s()),
+                ("p50_ms", p50),
+                ("p99_ms", p99),
+                ("shed_rate", r.shed_rate()),
+                ("errors", r.errors as f64),
+                ("server_sheds", cell.server.sheds as f64),
+                ("samples", r.latencies_ms.len() as f64),
+            ]);
+        }
+    }
+    write_json(
+        "BENCH_S1.json",
+        "S1",
+        "concurrent keep-alive client swarm: reactor vs thread-per-connection",
+        quick,
+        &rows,
+    );
+    if quick && reactor_sheds > 0 {
+        eprintln!(
+            "S1 quick FAILED: reactor shed {reactor_sheds} request(s) at smoke scale (expected 0)"
+        );
+        std::process::exit(4);
+    }
+    println!();
 }
 
 /// Table 2: XRPC performance (msec), loop-lifted vs one-at-a-time,
@@ -281,37 +386,54 @@ fn throughput(quick: bool, check_cliff: bool) {
     let mut rows = Vec::new();
     for &kb in payloads {
         let bytes = kb * 1024;
+        // every cell runs `iters` round trips: MB/s is total bytes over
+        // total time, the latency histograms accumulate one sample per
+        // trip, and allocator pressure is averaged per request — a
+        // single-shot cell gave p50 == p99 by construction
+        let iters = if quick { 8 } else { 20 };
         // request-heavy
         let c = throughput_cluster(bytes);
         c.net.metrics.reset();
         let a0 = alloc_snapshot();
-        let (d_req, _) = time_query(&c.a, &request_heavy_query());
+        let mut d_req = Duration::ZERO;
+        for _ in 0..iters {
+            let (d, _) = time_query(&c.a, &request_heavy_query());
+            d_req += d;
+        }
         let da = alloc_snapshot().since(a0);
         let sent = c.net.metrics.snapshot().bytes_sent;
         let req_lat = c.a.obs.histogram("xrpc_call_latency_micros").snapshot();
         // response-heavy
         let c2 = throughput_cluster(bytes);
         c2.net.metrics.reset();
-        let (d_resp, _) = time_query(&c2.a, &response_heavy_query());
+        let mut d_resp = Duration::ZERO;
+        for _ in 0..iters {
+            let (d, _) = time_query(&c2.a, &response_heavy_query());
+            d_resp += d;
+        }
         let recv = c2.net.metrics.snapshot().bytes_received;
         let resp_lat = c2.a.obs.histogram("xrpc_call_latency_micros").snapshot();
+        warn_samples(&format!("E4 request {kb} KiB"), req_lat.count);
+        warn_samples(&format!("E4 response {kb} KiB"), resp_lat.count);
         let req = mb_per_sec(sent, d_req);
         let resp = mb_per_sec(recv, d_resp);
-        let req_mib_alloc = da.bytes as f64 / (1024.0 * 1024.0);
+        let req_allocs = da.allocs as f64 / iters as f64;
+        let req_mib_alloc = da.bytes as f64 / (1024.0 * 1024.0) / iters as f64;
         println!(
-            "{:<12} {:>14.1} {:>14.1} {:>12} {:>14.1}",
+            "{:<12} {:>14.1} {:>14.1} {:>12.0} {:>14.1}",
             format!("{kb} KiB"),
             req,
             resp,
-            da.allocs,
+            req_allocs,
             req_mib_alloc
         );
         rows.push(vec![
             ("payload_kib", kb as f64),
             ("request_mb_per_s", req),
             ("response_mb_per_s", resp),
-            ("request_allocs", da.allocs as f64),
+            ("request_allocs", req_allocs),
             ("request_mib_allocated", req_mib_alloc),
+            ("samples", iters as f64),
             // originator-side latency histograms (the same ones /metrics
             // exposes), so the JSON artifact carries quantiles per PR
             ("request_call_p50_micros", req_lat.p50 as f64),
@@ -374,6 +496,11 @@ fn ablation_latency(quick: bool) {
         &[0.1, 1.0, 10.0, 50.0]
     };
     let mut rows = Vec::new();
+    // the one-at-a-time side makes 100 calls per run (100 latency
+    // samples); the bulk side makes *one* call per run, so a single run
+    // gave a one-sample histogram with p50 == p99 — repeat it and
+    // report the mean query time over the repeats
+    let bulk_runs = 20u32;
     for &lat_ms in latencies {
         let profile = NetProfile::with_latency(Duration::from_secs_f64(lat_ms / 1e3));
         let (single, single_lat) = {
@@ -383,9 +510,18 @@ fn ablation_latency(quick: bool) {
         };
         let (bulk, bulk_lat) = {
             let c = echo_cluster(profile, true, true);
-            let (d, _) = time_query(&c.a, &echo_query(100));
-            (d, c.a.obs.histogram("xrpc_call_latency_micros").snapshot())
+            let mut total = Duration::ZERO;
+            for _ in 0..bulk_runs {
+                let (d, _) = time_query(&c.a, &echo_query(100));
+                total += d;
+            }
+            (
+                total / bulk_runs,
+                c.a.obs.histogram("xrpc_call_latency_micros").snapshot(),
+            )
         };
+        warn_samples(&format!("A1 one-at-a-time {lat_ms} ms"), single_lat.count);
+        warn_samples(&format!("A1 bulk {lat_ms} ms"), bulk_lat.count);
         let speedup = ms(single) / ms(bulk).max(0.001);
         println!(
             "{:<16} {:>14.1} {:>10.1} {:>8.1}x",
@@ -405,6 +541,8 @@ fn ablation_latency(quick: bool) {
             ("one_at_a_time_call_p99_micros", single_lat.p99 as f64),
             ("bulk_call_p50_micros", bulk_lat.p50 as f64),
             ("bulk_call_p99_micros", bulk_lat.p99 as f64),
+            ("one_at_a_time_samples", single_lat.count as f64),
+            ("bulk_samples", bulk_lat.count as f64),
         ]);
     }
     write_json(

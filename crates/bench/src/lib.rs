@@ -2,6 +2,8 @@
 //! used by both the `tables` binary (which regenerates every table in the
 //! paper) and the Criterion benches.
 
+pub mod swarm;
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xdm::Sequence;

@@ -1,12 +1,16 @@
 //! A minimal HTTP/1.1 server and client over `std::net` TCP — the
 //! reproduction of the paper's "ultra-light HTTP daemon" (shttpd, §3).
-//! POST-only with Content-Length framing, thread-per-connection, optional
-//! keep-alive. Timeouts, the accept-loop poll interval and the maximum
-//! accepted body size are configurable via [`HttpConfig`].
+//! POST-only with Content-Length framing, optional keep-alive. The
+//! server runs in one of two models (see [`ServerModel`]): the default
+//! epoll reactor ([`crate::reactor`]) multiplexing every connection over
+//! a small worker pool, or the original thread-per-connection baseline.
+//! Timeouts and the maximum accepted body size are configurable via
+//! [`HttpConfig`].
 
 use crate::bufpool::BufferPool;
 use crate::metrics::NetMetrics;
 use crate::pool::ConnectionPool;
+use crate::reactor::ReactorHandle;
 use crate::{NetError, NetErrorKind, Transport};
 use std::io::{BufRead, BufReader, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -14,17 +18,33 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// How the server multiplexes connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerModel {
+    /// Readiness-driven epoll reactor: thousands of keep-alive
+    /// connections multiplexed on one event loop, complete requests
+    /// handed to a small fixed evaluation pool through a bounded
+    /// channel, backpressure-aware admission shedding. The default.
+    #[default]
+    Reactor,
+    /// One OS thread per connection over blocking sockets — the original
+    /// model, kept for A/B comparison (`tables s1` benches both).
+    Threaded,
+}
+
 /// Tuning knobs shared by the HTTP server and client. The defaults are
-/// the values that used to be hardcoded (30 s socket read timeout, 1 ms
-/// accept poll) plus a 64 MiB request-body cap.
+/// the values that used to be hardcoded (30 s socket read timeout) plus
+/// a 64 MiB request-body cap.
+///
+/// Deprecation note: the `accept_poll_interval` knob is gone. It paced
+/// the threaded model's sleep-polling accept loop (1 ms busy-wait per
+/// listener at idle); accept is readiness-driven in the reactor model,
+/// and the threaded baseline now uses a fixed internal poll slice.
 #[derive(Debug, Clone, Copy)]
 pub struct HttpConfig {
     /// Socket read timeout (server: per request read; client: response
     /// wait). Maps to [`NetErrorKind::Timeout`] when exceeded.
     pub read_timeout: Duration,
-    /// How long the server's accept loop sleeps when no connection is
-    /// pending.
-    pub accept_poll_interval: Duration,
     /// Maximum request body the server accepts; a larger `Content-Length`
     /// is rejected with `413` *before* allocating the buffer.
     pub max_body_bytes: usize,
@@ -39,21 +59,42 @@ pub struct HttpConfig {
     /// beyond the cap are answered with `503 Service Unavailable`; the
     /// request is drained (never handled) so the response is delivered
     /// reliably before the connection closes. `0` means unlimited.
+    /// Under [`ServerModel::Reactor`] this is one of three admission
+    /// signals (alongside dispatch-queue depth and queue wait).
     pub max_connections: usize,
+    /// Which server implementation [`HttpServer::bind_with`] starts.
+    pub model: ServerModel,
+    /// Reactor model: evaluation worker threads. `0` picks
+    /// `max(4, available_parallelism)`.
+    pub reactor_workers: usize,
+    /// Reactor model: dispatch-channel capacity between the reactor and
+    /// the workers. A full queue sheds new connections (and ready
+    /// requests) with `503`.
+    pub dispatch_queue: usize,
+    /// Reactor model: when the EWMA of dispatch-queue wait exceeds this,
+    /// new connections are shed — the latency-based admission signal.
+    pub shed_wait: Duration,
 }
 
 impl Default for HttpConfig {
     fn default() -> Self {
         HttpConfig {
             read_timeout: Duration::from_secs(30),
-            accept_poll_interval: Duration::from_millis(1),
             max_body_bytes: 64 << 20,
             pool_max_idle_per_host: 8,
             pool_idle_timeout: Duration::from_secs(60),
             max_connections: 0,
+            model: ServerModel::Reactor,
+            reactor_workers: 0,
+            dispatch_queue: 1024,
+            shed_wait: Duration::from_secs(2),
         }
     }
 }
+
+/// Fixed poll slice for the threaded baseline's accept loop (was the
+/// `accept_poll_interval` knob).
+const THREADED_ACCEPT_POLL: Duration = Duration::from_millis(1);
 
 /// Handler for incoming requests: (path, body) → (status, response body).
 pub type Handler = dyn Fn(&str, &[u8]) -> (u16, Vec<u8>) + Send + Sync;
@@ -61,14 +102,23 @@ pub type Handler = dyn Fn(&str, &[u8]) -> (u16, Vec<u8>) + Send + Sync;
 /// A running HTTP server; dropping it shuts down gracefully (stop
 /// accepting, drain in-flight connections for a bounded period, join the
 /// worker threads) — see [`shutdown_graceful`](Self::shutdown_graceful)
-/// for an explicit, deadline-controlled shutdown.
+/// for an explicit, deadline-controlled shutdown. Which implementation
+/// serves is chosen by [`HttpConfig::model`]; the public surface is
+/// identical for both.
 pub struct HttpServer {
     addr: std::net::SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    workers: Arc<std::sync::Mutex<Vec<std::thread::JoinHandle<()>>>>,
-    active: Arc<AtomicUsize>,
+    inner: ServerImpl,
     pub metrics: Arc<NetMetrics>,
+}
+
+enum ServerImpl {
+    Threaded {
+        shutdown: Arc<AtomicBool>,
+        accept_thread: Option<std::thread::JoinHandle<()>>,
+        workers: Arc<std::sync::Mutex<Vec<std::thread::JoinHandle<()>>>>,
+        active: Arc<AtomicUsize>,
+    },
+    Reactor(ReactorHandle),
 }
 
 impl HttpServer {
@@ -84,10 +134,30 @@ impl HttpServer {
         handler: Arc<Handler>,
         config: HttpConfig,
     ) -> Result<Self, NetError> {
+        let metrics = Arc::new(NetMetrics::new());
+        match config.model {
+            ServerModel::Reactor => {
+                let handle = crate::reactor::bind(addr, handler, config, metrics.clone())
+                    .map_err(NetError::from)?;
+                Ok(HttpServer {
+                    addr: handle.addr(),
+                    inner: ServerImpl::Reactor(handle),
+                    metrics,
+                })
+            }
+            ServerModel::Threaded => Self::bind_threaded(addr, handler, config, metrics),
+        }
+    }
+
+    fn bind_threaded(
+        addr: &str,
+        handler: Arc<Handler>,
+        config: HttpConfig,
+        metrics: Arc<NetMetrics>,
+    ) -> Result<Self, NetError> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let metrics = Arc::new(NetMetrics::new());
         let sd = shutdown.clone();
         let m = metrics.clone();
         let active = Arc::new(AtomicUsize::new(0));
@@ -106,6 +176,7 @@ impl HttpServer {
                                 && act.load(Ordering::Relaxed) >= config.max_connections
                             {
                                 m.record_failure();
+                                m.record_shed();
                                 // rejecting involves draining the unread
                                 // request; keep the accept loop responsive
                                 track(
@@ -118,7 +189,7 @@ impl HttpServer {
                             let h = handler.clone();
                             let m2 = m.clone();
                             let sd2 = sd.clone();
-                            let guard = ConnGuard::enter(&act);
+                            let guard = ConnGuard::enter(&act, &m);
                             // request handlers may evaluate deep queries:
                             // give them room (see xqeval recursion cap)
                             track(
@@ -132,7 +203,7 @@ impl HttpServer {
                             );
                         }
                         Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(config.accept_poll_interval);
+                            std::thread::sleep(THREADED_ACCEPT_POLL);
                         }
                         Err(_) => break,
                     }
@@ -141,10 +212,12 @@ impl HttpServer {
             .map_err(|e| NetError::new(e.to_string()))?;
         Ok(HttpServer {
             addr: local,
-            shutdown,
-            accept_thread: Some(accept_thread),
-            workers,
-            active,
+            inner: ServerImpl::Threaded {
+                shutdown,
+                accept_thread: Some(accept_thread),
+                workers,
+                active,
+            },
             metrics,
         })
     }
@@ -163,48 +236,63 @@ impl HttpServer {
 
     /// Connections currently being served.
     pub fn active_connections(&self) -> usize {
-        self.active.load(Ordering::SeqCst)
+        match &self.inner {
+            ServerImpl::Threaded { active, .. } => active.load(Ordering::SeqCst),
+            ServerImpl::Reactor(_) => {
+                self.metrics.active_connections.load(Ordering::SeqCst) as usize
+            }
+        }
     }
 
     /// Graceful shutdown: stop accepting new connections, let in-flight
     /// requests finish for up to `deadline`, and join every worker thread
-    /// that completes in time. Idle keep-alive connections notice the
-    /// shutdown within one poll slice and close without waiting out their
-    /// read timeout. Returns `true` when the server fully drained;
-    /// `false` leaves any straggling workers detached (their connections
-    /// die with the process). Idempotent — later calls (including the
-    /// one in `Drop`) are cheap no-ops.
+    /// that completes in time. Idle keep-alive connections are closed
+    /// without waiting out their read timeout. Returns `true` when the
+    /// server fully drained; `false` leaves any straggling workers
+    /// detached (their connections die with the process). Idempotent —
+    /// later calls (including the one in `Drop`) are cheap no-ops.
     pub fn shutdown_graceful(&mut self, deadline: Duration) -> bool {
-        self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        let end = std::time::Instant::now() + deadline;
-        while self.active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < end {
-            std::thread::sleep(Duration::from_millis(2));
-        }
-        let drained = self.active.load(Ordering::SeqCst) == 0;
-        let handles: Vec<_> = match self.workers.lock() {
-            Ok(mut w) => w.drain(..).collect(),
-            Err(_) => Vec::new(),
-        };
-        let mut stragglers = Vec::new();
-        for h in handles {
-            // a drained server's workers are past their ConnGuard drop:
-            // joining is instantaneous. Past-deadline stragglers stay
-            // detached rather than blocking shutdown.
-            if drained || h.is_finished() {
-                let _ = h.join();
-            } else {
-                stragglers.push(h);
+        match &mut self.inner {
+            ServerImpl::Reactor(handle) => handle.shutdown_graceful(deadline),
+            ServerImpl::Threaded {
+                shutdown,
+                accept_thread,
+                workers,
+                active,
+            } => {
+                shutdown.store(true, Ordering::SeqCst);
+                if let Some(t) = accept_thread.take() {
+                    let _ = t.join();
+                }
+                let end = std::time::Instant::now() + deadline;
+                while active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < end {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                let drained = active.load(Ordering::SeqCst) == 0;
+                let handles: Vec<_> = match workers.lock() {
+                    Ok(mut w) => w.drain(..).collect(),
+                    Err(_) => Vec::new(),
+                };
+                let mut stragglers = Vec::new();
+                for h in handles {
+                    // a drained server's workers are past their ConnGuard
+                    // drop: joining is instantaneous. Past-deadline
+                    // stragglers stay detached rather than blocking
+                    // shutdown.
+                    if drained || h.is_finished() {
+                        let _ = h.join();
+                    } else {
+                        stragglers.push(h);
+                    }
+                }
+                if !stragglers.is_empty() {
+                    if let Ok(mut w) = workers.lock() {
+                        w.extend(stragglers);
+                    }
+                }
+                drained
             }
         }
-        if !stragglers.is_empty() {
-            if let Ok(mut w) = self.workers.lock() {
-                w.extend(stragglers);
-            }
-        }
-        drained
     }
 }
 
@@ -268,20 +356,23 @@ fn reject_over_cap(mut stream: TcpStream) {
     }
 }
 
-/// Decrements the server's active-connection counter when the serving
-/// thread finishes (whatever the exit path).
-struct ConnGuard(Arc<AtomicUsize>);
+/// Decrements the server's active-connection counter (and the
+/// `net_active_connections` gauge) when the serving thread finishes,
+/// whatever the exit path.
+struct ConnGuard(Arc<AtomicUsize>, Arc<NetMetrics>);
 
 impl ConnGuard {
-    fn enter(active: &Arc<AtomicUsize>) -> Self {
+    fn enter(active: &Arc<AtomicUsize>, metrics: &Arc<NetMetrics>) -> Self {
         active.fetch_add(1, Ordering::Relaxed);
-        ConnGuard(active.clone())
+        metrics.active_connections.fetch_add(1, Ordering::Relaxed);
+        ConnGuard(active.clone(), metrics.clone())
     }
 }
 
 impl Drop for ConnGuard {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::Relaxed);
+        self.1.active_connections.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -308,18 +399,23 @@ fn write_all_vectored(w: &mut impl Write, mut head: &[u8], mut body: &[u8]) -> s
     Ok(())
 }
 
+/// The response head both server models emit — byte-identical between
+/// the threaded and reactor paths (a regression test depends on it).
+pub(crate) fn response_head(status: u16, body_len: usize, keep_alive: bool) -> String {
+    format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/soap+xml; charset=utf-8\r\nContent-Length: {body_len}\r\nConnection: {}\r\n\r\n",
+        status_reason(status),
+        if keep_alive { "keep-alive" } else { "close" }
+    )
+}
+
 fn write_response(
     stream: &mut TcpStream,
     status: u16,
     body: &[u8],
     keep_alive: bool,
 ) -> Result<(), NetError> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/soap+xml; charset=utf-8\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        status_reason(status),
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" }
-    );
+    let head = response_head(status, body.len(), keep_alive);
     write_all_vectored(stream, head.as_bytes(), body)?;
     stream.flush()?;
     Ok(())

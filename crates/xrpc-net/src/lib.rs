@@ -16,13 +16,15 @@ pub mod breaker;
 pub mod bufpool;
 pub mod http;
 pub mod metrics;
+pub mod poll;
 pub mod pool;
+pub mod reactor;
 pub mod retry;
 pub mod sim;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use bufpool::{BufferPool, PoolStats};
-pub use http::{http_post, HttpConfig, HttpServer, HttpTransport};
+pub use http::{http_post, HttpConfig, HttpServer, HttpTransport, ServerModel};
 pub use metrics::NetMetrics;
 pub use pool::ConnectionPool;
 pub use retry::{dest_salt, full_jitter, DestStats, ResilientTransport, RetryPolicy};

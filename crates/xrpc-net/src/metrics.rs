@@ -4,9 +4,10 @@
 //! counters so chaos tests can assert on exact fault handling.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use xrpc_obs::hist::Histogram;
 
 /// Monotonic counters; cheap enough to update on every message.
-#[derive(Default, Debug)]
+#[derive(Default)]
 pub struct NetMetrics {
     pub roundtrips: AtomicU64,
     pub bytes_sent: AtomicU64,
@@ -25,6 +26,39 @@ pub struct NetMetrics {
     pub pool_hits: AtomicU64,
     /// HTTP requests that had to open a fresh TCP connection.
     pub pool_misses: AtomicU64,
+    /// Connections (or ready requests) refused by backpressure-aware
+    /// admission control with a `503` (reactor server model).
+    pub sheds: AtomicU64,
+    /// Gauge: connections currently admitted by the server. Not part of
+    /// [`MetricsSnapshot`] — gauges are instantaneous, and snapshot
+    /// equality is what the chaos suite uses to assert "no traffic".
+    pub active_connections: AtomicU64,
+    /// Gauge: requests sitting in the reactor's dispatch queue, parsed
+    /// but not yet picked up by an evaluation worker.
+    pub accept_queue_depth: AtomicU64,
+    /// Reactor: time a parsed request waited in the dispatch queue
+    /// before a worker picked it up (the admission-control signal).
+    pub reactor_dispatch_micros: Histogram,
+    /// Reactor: time a finished response waited for the reactor to wake
+    /// up and start writing it.
+    pub reactor_wakeup_micros: Histogram,
+}
+
+impl std::fmt::Debug for NetMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // counters only: histograms summarize via their own snapshots
+        f.debug_struct("NetMetrics")
+            .field("snapshot", &self.snapshot())
+            .field(
+                "active_connections",
+                &self.active_connections.load(Ordering::Relaxed),
+            )
+            .field(
+                "accept_queue_depth",
+                &self.accept_queue_depth.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
 }
 
 impl NetMetrics {
@@ -67,6 +101,10 @@ impl NetMetrics {
         self.pool_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn record_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counters of the process-wide message [`crate::BufferPool`]:
     /// recycled-buffer hit rate and current free-list occupancy. Shared
     /// across transports (the pool is global), so they are exposed here
@@ -88,6 +126,7 @@ impl NetMetrics {
             breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
             pool_hits: self.pool_hits.load(Ordering::Relaxed),
             pool_misses: self.pool_misses.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
         }
     }
 
@@ -102,6 +141,7 @@ impl NetMetrics {
         self.breaker_opens.store(0, Ordering::Relaxed);
         self.pool_hits.store(0, Ordering::Relaxed);
         self.pool_misses.store(0, Ordering::Relaxed);
+        self.sheds.store(0, Ordering::Relaxed);
     }
 }
 
@@ -118,6 +158,7 @@ pub struct MetricsSnapshot {
     pub breaker_opens: u64,
     pub pool_hits: u64,
     pub pool_misses: u64,
+    pub sheds: u64,
 }
 
 #[cfg(test)]

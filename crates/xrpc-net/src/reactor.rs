@@ -1,0 +1,1125 @@
+//! The event-driven server core: one reactor thread multiplexing every
+//! connection over epoll ([`crate::poll`]), a small fixed worker pool
+//! evaluating requests, and a bounded dispatch channel between them —
+//! thousands of keep-alive connections without a thread (or a 32 MiB
+//! stack) per connection, and no 1 ms accept-loop busy-wait.
+//!
+//! Per connection the reactor runs three small state machines:
+//!
+//! * **read**: non-blocking reads feed an incremental HTTP parser that
+//!   tolerates partial headers/bodies and recognizes pipelined requests
+//!   (parsed requests queue per connection; responses go out in request
+//!   order because at most one request per connection is in flight at
+//!   the workers).
+//! * **write**: responses queue as (head, body) pairs flushed with
+//!   vectored writes on `EPOLLOUT`; bodies are recycled into the global
+//!   [`BufferPool`] once written.
+//! * **shed/drain**: an admission-refused connection gets `503`, a
+//!   write-side FIN, and a deadline-bounded read drain — PR 3's
+//!   half-close-and-drain contract, minus the helper thread.
+//!
+//! Admission control is backpressure-aware rather than a hard cap: new
+//! connections (and ready requests) are shed with `503` when the
+//! dispatch queue is full, when the worker-pool queue wait (EWMA of
+//! parse-complete → handler-start latency, the
+//! `xrpc_reactor_dispatch_micros` histogram) exceeds
+//! [`HttpConfig::shed_wait`], or when `max_connections` (kept as a
+//! compatibility bound; `0` = unlimited) is reached. Every decision is
+//! visible: `sheds` counter, `active_connections` /
+//! `accept_queue_depth` gauges, and the dispatch/wakeup histograms on
+//! [`NetMetrics`].
+
+use crate::bufpool::BufferPool;
+use crate::http::{response_head, Handler, HttpConfig};
+use crate::metrics::NetMetrics;
+use crate::poll::{listen_reuseaddr, Poller, Waker};
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+/// Reactor tick: upper bound on how stale a timeout sweep can be.
+const TICK: Duration = Duration::from_millis(50);
+/// Parsed-but-undispatched requests buffered per connection before the
+/// reactor stops reading from it (pipelining bound).
+const PIPELINE_MAX: usize = 32;
+/// Header-section size cap (the threaded model bounds headers only by
+/// the read timeout; the reactor buffers, so it bounds bytes too).
+const MAX_HEAD_BYTES: usize = 32 * 1024;
+/// How long a shed connection's read drain may run before the socket is
+/// closed regardless (mirrors the threaded `reject_over_cap` deadline).
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// A fully parsed request waiting for a worker.
+struct OwnedReq {
+    path: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+/// Work item crossing to the worker pool.
+struct Job {
+    idx: usize,
+    gen: u64,
+    path: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+    enqueued: Instant,
+}
+
+/// A finished response crossing back to the reactor.
+struct Done {
+    idx: usize,
+    gen: u64,
+    status: u16,
+    body: Vec<u8>,
+    keep_alive: bool,
+    finished: Instant,
+}
+
+/// One queued response: header + body flushed as a vectored pair.
+struct WBuf {
+    head: Vec<u8>,
+    body: Vec<u8>,
+    off: usize,
+}
+
+/// Incremental parse progress for the current request head.
+#[derive(Default)]
+struct ParseCursor {
+    /// Bytes of `rbuf` already scanned for the header terminator.
+    scanned: usize,
+}
+
+struct ReqHead {
+    path: String,
+    content_length: usize,
+    keep_alive: bool,
+    head_len: usize,
+}
+
+enum ParseStep {
+    NeedMore,
+    Request(OwnedReq),
+    Bad(String),
+    TooLarge(usize),
+}
+
+struct Conn {
+    stream: TcpStream,
+    gen: u64,
+    rbuf: Vec<u8>,
+    cursor: ParseCursor,
+    head: Option<ReqHead>,
+    pending: VecDeque<OwnedReq>,
+    in_flight: bool,
+    wbuf: VecDeque<WBuf>,
+    /// Client half-closed its write side (EOF seen); finish in-flight
+    /// work, then close.
+    read_closed: bool,
+    /// Close once the write queue drains (error responses, shutdown,
+    /// `Connection: close`).
+    close_after_flush: bool,
+    /// Shed path: after flush, FIN the write side and discard reads
+    /// until EOF or `drain_deadline`.
+    shed: bool,
+    draining_until: Option<Instant>,
+    /// Whether this connection counts toward the admission gauge
+    /// (shed connections never do).
+    admitted: bool,
+    /// Interest currently registered with epoll, to skip no-op ctls.
+    interest: (bool, bool),
+    last_activity: Instant,
+    /// Keep-alive decision for the response currently being written.
+    cur_keep_alive: bool,
+}
+
+pub(crate) struct ReactorHandle {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    force_stop: Arc<AtomicBool>,
+    waker: Arc<Waker>,
+    reactor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    metrics: Arc<NetMetrics>,
+}
+
+impl ReactorHandle {
+    pub(crate) fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    pub(crate) fn shutdown_graceful(&mut self, deadline: Duration) -> bool {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        let end = Instant::now() + deadline;
+        while self.metrics.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < end {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let drained = self.metrics.active_connections.load(Ordering::SeqCst) == 0;
+        self.force_stop.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        if let Some(t) = self.reactor.take() {
+            let _ = t.join();
+        }
+        // the reactor dropped the dispatch sender on exit, so workers
+        // unblock from `recv`; join the ones that are done, detach any
+        // straggler stuck in a long handler (same policy as the
+        // threaded model)
+        for w in std::mem::take(&mut self.workers) {
+            if drained || w.is_finished() {
+                let _ = w.join();
+            }
+        }
+        drained
+    }
+}
+
+pub(crate) fn bind(
+    addr: &str,
+    handler: Arc<Handler>,
+    config: HttpConfig,
+    metrics: Arc<NetMetrics>,
+) -> io::Result<ReactorHandle> {
+    let listener = match addr.parse::<std::net::SocketAddr>() {
+        Ok(sa) => listen_reuseaddr(&sa)?,
+        Err(_) => TcpListener::bind(addr)?,
+    };
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let poller = Poller::new()?;
+    poller.add(listener.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+    let waker = Arc::new(Waker::new(&poller, TOKEN_WAKER)?);
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let force_stop = Arc::new(AtomicBool::new(false));
+    let queue_cap = config.dispatch_queue.max(1);
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(queue_cap);
+    let rx = Arc::new(Mutex::new(rx));
+    let done: Arc<Mutex<Vec<Done>>> = Arc::new(Mutex::new(Vec::new()));
+    let queue_wait_ewma = Arc::new(AtomicU64::new(0));
+
+    let n_workers = if config.reactor_workers > 0 {
+        config.reactor_workers
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(4)
+    };
+    let mut workers = Vec::with_capacity(n_workers);
+    for i in 0..n_workers {
+        let rx = rx.clone();
+        let done = done.clone();
+        let waker = waker.clone();
+        let handler = handler.clone();
+        let metrics = metrics.clone();
+        let ewma = queue_wait_ewma.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("xrpc-worker-{local}-{i}"))
+                // request handlers may evaluate deep queries: give them
+                // room (see xqeval recursion cap)
+                .stack_size(32 * 1024 * 1024)
+                .spawn(move || worker_loop(&rx, &done, &waker, &handler, &metrics, &ewma))
+                .map_err(|e| io::Error::other(e.to_string()))?,
+        );
+    }
+
+    let reactor = {
+        let shutdown = shutdown.clone();
+        let force_stop = force_stop.clone();
+        let waker = waker.clone();
+        let metrics = metrics.clone();
+        let ewma = queue_wait_ewma.clone();
+        std::thread::Builder::new()
+            .name(format!("xrpc-reactor-{local}"))
+            .spawn(move || {
+                Reactor {
+                    poller,
+                    listener: Some(listener),
+                    waker,
+                    conns: Vec::new(),
+                    free: Vec::new(),
+                    tx,
+                    done,
+                    metrics,
+                    config,
+                    shutdown,
+                    force_stop,
+                    queue_wait_ewma: ewma,
+                    queued: 0,
+                    gen_counter: 0,
+                }
+                .run()
+            })
+            .map_err(|e| io::Error::other(e.to_string()))?
+    };
+
+    Ok(ReactorHandle {
+        addr: local,
+        shutdown,
+        force_stop,
+        waker,
+        reactor: Some(reactor),
+        workers,
+        metrics,
+    })
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    done: &Mutex<Vec<Done>>,
+    waker: &Waker,
+    handler: &Arc<Handler>,
+    metrics: &NetMetrics,
+    queue_wait_ewma: &AtomicU64,
+) {
+    loop {
+        // the guard is held across the blocking recv — only one idle
+        // worker waits at a time, which is exactly what we want: a
+        // single job wakes a single worker
+        let job = match rx.lock() {
+            Ok(g) => match g.recv() {
+                Ok(j) => j,
+                Err(_) => return, // reactor gone: shut down
+            },
+            Err(_) => return,
+        };
+        let wait = job.enqueued.elapsed();
+        metrics.reactor_dispatch_micros.record_micros(wait);
+        metrics.accept_queue_depth.fetch_sub(1, Ordering::Relaxed);
+        // EWMA (α = 1/8) of the queue wait, the admission signal
+        let w = wait.as_micros().min(u64::MAX as u128) as u64;
+        let prev = queue_wait_ewma.load(Ordering::Relaxed);
+        queue_wait_ewma.store(prev - prev / 8 + w / 8, Ordering::Relaxed);
+
+        let (status, resp) = handler(&job.path, &job.body);
+        metrics.record(job.body.len(), resp.len());
+        BufferPool::global().put(job.body);
+        match done.lock() {
+            Ok(mut d) => d.push(Done {
+                idx: job.idx,
+                gen: job.gen,
+                status,
+                body: resp,
+                keep_alive: job.keep_alive,
+                finished: Instant::now(),
+            }),
+            Err(_) => return,
+        }
+        waker.wake();
+    }
+}
+
+struct Reactor {
+    poller: Poller,
+    listener: Option<TcpListener>,
+    waker: Arc<Waker>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    tx: SyncSender<Job>,
+    done: Arc<Mutex<Vec<Done>>>,
+    metrics: Arc<NetMetrics>,
+    config: HttpConfig,
+    shutdown: Arc<AtomicBool>,
+    force_stop: Arc<AtomicBool>,
+    queue_wait_ewma: Arc<AtomicU64>,
+    /// Jobs enqueued to the dispatch channel and not yet picked up —
+    /// the reactor-side view of channel occupancy.
+    queued: usize,
+    gen_counter: u64,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = Vec::new();
+        let mut listener_open = true;
+        loop {
+            if self.force_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let shutting_down = self.shutdown.load(Ordering::SeqCst);
+            if shutting_down && listener_open {
+                if let Some(l) = self.listener.take() {
+                    let _ = self.poller.delete(l.as_raw_fd());
+                }
+                listener_open = false;
+                self.close_idle_for_shutdown();
+            }
+            if shutting_down && self.conns.iter().all(|c| c.is_none()) {
+                break;
+            }
+            if self.poller.wait(&mut events, Some(TICK)).is_err() {
+                break;
+            }
+            let drained_at = Instant::now();
+            let mut woke = false;
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => {
+                        self.waker.drain();
+                        woke = true;
+                    }
+                    token => self.conn_ready(
+                        token as usize,
+                        ev.readable,
+                        ev.writable,
+                        ev.hangup || ev.error,
+                    ),
+                }
+            }
+            // completions can arrive with or without the waker token
+            // (it may coalesce); always drain the queue
+            self.drain_done(drained_at);
+            let _ = woke;
+            self.sweep_timeouts();
+            if self.shutdown.load(Ordering::SeqCst) {
+                self.close_idle_for_shutdown();
+            }
+        }
+        // reactor exit: release every remaining connection and let the
+        // dispatch channel disconnect so workers unblock
+        for idx in 0..self.conns.len() {
+            if self.conns[idx].is_some() {
+                self.close_conn(idx);
+            }
+        }
+    }
+
+    // ---- accept & admission -------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let over_cap = self.config.max_connections > 0
+                        && self.metrics.active_connections.load(Ordering::Relaxed)
+                            >= self.config.max_connections as u64;
+                    let queue_full = self.queued >= self.config.dispatch_queue.max(1);
+                    let wait_high = self.queue_wait_ewma.load(Ordering::Relaxed)
+                        > self.config.shed_wait.as_micros() as u64;
+                    if over_cap || queue_full || wait_high {
+                        self.shed_new_conn(stream);
+                        continue;
+                    }
+                    self.admit(stream);
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn alloc_slot(&mut self) -> usize {
+        match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        let idx = self.alloc_slot();
+        let gen = self.next_gen();
+        let fd = stream.as_raw_fd();
+        let conn = Conn {
+            stream,
+            gen,
+            rbuf: BufferPool::global().get(0),
+            cursor: ParseCursor::default(),
+            head: None,
+            pending: VecDeque::new(),
+            in_flight: false,
+            wbuf: VecDeque::new(),
+            read_closed: false,
+            close_after_flush: false,
+            shed: false,
+            draining_until: None,
+            admitted: true,
+            interest: (true, false),
+            last_activity: Instant::now(),
+            cur_keep_alive: true,
+        };
+        if self.poller.add(fd, idx as u64, true, false).is_err() {
+            self.free.push(idx);
+            return;
+        }
+        self.metrics
+            .active_connections
+            .fetch_add(1, Ordering::SeqCst);
+        self.conns[idx] = Some(conn);
+    }
+
+    /// Admission refused: `503`, then half-close-and-drain. The
+    /// connection occupies a slab slot (it must flush and drain) but
+    /// never counts as active.
+    fn shed_new_conn(&mut self, stream: TcpStream) {
+        self.metrics.record_failure();
+        self.metrics.record_shed();
+        let idx = self.alloc_slot();
+        let gen = self.next_gen();
+        let fd = stream.as_raw_fd();
+        let body = b"connection limit reached".to_vec();
+        let head = response_head(503, body.len(), false).into_bytes();
+        let mut conn = Conn {
+            stream,
+            gen,
+            rbuf: Vec::new(),
+            cursor: ParseCursor::default(),
+            head: None,
+            pending: VecDeque::new(),
+            in_flight: false,
+            wbuf: VecDeque::from([WBuf { head, body, off: 0 }]),
+            read_closed: false,
+            close_after_flush: true,
+            shed: true,
+            draining_until: None,
+            admitted: false,
+            interest: (false, true),
+            last_activity: Instant::now(),
+            cur_keep_alive: false,
+        };
+        let _ = flush_wbuf(&mut conn);
+        if conn.wbuf.is_empty() {
+            // fast path: the 503 fit in the socket buffer; FIN and drain
+            let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+            conn.draining_until = Some(Instant::now() + DRAIN_DEADLINE);
+            conn.interest = (true, false);
+        }
+        let (r, w) = conn.interest;
+        if self.poller.add(fd, idx as u64, r, w).is_err() {
+            self.free.push(idx);
+            return;
+        }
+        self.conns[idx] = Some(conn);
+    }
+
+    fn next_gen(&mut self) -> u64 {
+        // monotonic, so a recycled slot never accepts a stale completion
+        self.gen_counter += 1;
+        self.gen_counter
+    }
+
+    // ---- readiness ----------------------------------------------------
+
+    fn conn_ready(&mut self, idx: usize, readable: bool, writable: bool, hangup: bool) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+            return;
+        };
+        if writable && !flush_ok(conn) {
+            self.close_conn(idx);
+            return;
+        }
+        if readable || hangup {
+            if conn.draining_until.is_some() {
+                // shed drain: discard until EOF
+                let mut sink = [0u8; 8192];
+                loop {
+                    match conn.stream.read(&mut sink) {
+                        Ok(0) => {
+                            self.close_conn(idx);
+                            return;
+                        }
+                        Ok(_) => {}
+                        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            self.close_conn(idx);
+                            return;
+                        }
+                    }
+                }
+            } else if !self.read_and_parse(idx) {
+                return; // connection closed inside
+            }
+        }
+        self.after_progress(idx);
+    }
+
+    /// Pull bytes, run the incremental parser, queue complete requests.
+    /// Returns false when the connection was closed.
+    fn read_and_parse(&mut self, idx: usize) -> bool {
+        let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+            return false;
+        };
+        if conn.close_after_flush || conn.read_closed {
+            return true;
+        }
+        let mut progressed = false;
+        let mut eof = false;
+        let mut chunk = [0u8; 16 * 1024];
+        // bounded per round for fairness across connections
+        for _ in 0..16 {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    progressed = true;
+                    if conn.pending.len() >= PIPELINE_MAX {
+                        break;
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close_conn(idx);
+                    return false;
+                }
+            }
+        }
+        if progressed {
+            conn.last_activity = Instant::now();
+        }
+        // parse every complete request sitting in the buffer
+        loop {
+            let conn = self.conns[idx].as_mut().unwrap();
+            if conn.pending.len() >= PIPELINE_MAX {
+                break;
+            }
+            match parse_step(conn, self.config.max_body_bytes) {
+                ParseStep::NeedMore => break,
+                ParseStep::Request(req) => {
+                    conn.pending.push_back(req);
+                }
+                ParseStep::Bad(msg) => {
+                    self.metrics.record_failure();
+                    self.queue_error_response(idx, 400, msg.as_bytes());
+                    break;
+                }
+                ParseStep::TooLarge(n) => {
+                    self.metrics.record_failure();
+                    let msg = format!(
+                        "request body of {n} bytes exceeds limit of {} bytes",
+                        self.config.max_body_bytes
+                    );
+                    self.queue_error_response(idx, 413, msg.as_bytes());
+                    break;
+                }
+            }
+        }
+        let conn = self.conns[idx].as_mut().unwrap();
+        if eof {
+            conn.read_closed = true;
+            if conn.rbuf.is_empty()
+                && conn.pending.is_empty()
+                && !conn.in_flight
+                && conn.wbuf.is_empty()
+            {
+                // clean client close between requests
+                self.close_conn(idx);
+                return false;
+            }
+            // half-close mid-body (truncated request): no response
+            // possible for the partial request — drop it, but finish
+            // whatever was already complete/in flight
+            if conn.head.is_some() || !conn.rbuf.is_empty() {
+                conn.rbuf.clear();
+                conn.head = None;
+                conn.cursor = ParseCursor::default();
+                if conn.pending.is_empty() && !conn.in_flight && conn.wbuf.is_empty() {
+                    self.close_conn(idx);
+                    return false;
+                }
+            }
+        }
+        self.maybe_dispatch(idx);
+        true
+    }
+
+    /// Protocol-error response (400/413): answered, then the connection
+    /// closes — parsing stops, matching the threaded model.
+    fn queue_error_response(&mut self, idx: usize, status: u16, msg: &[u8]) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+            return;
+        };
+        conn.rbuf.clear();
+        conn.head = None;
+        conn.cursor = ParseCursor::default();
+        conn.pending.clear();
+        conn.close_after_flush = true;
+        conn.cur_keep_alive = false;
+        let head = response_head(status, msg.len(), false).into_bytes();
+        conn.wbuf.push_back(WBuf {
+            head,
+            body: msg.to_vec(),
+            off: 0,
+        });
+        if !flush_ok(conn) {
+            self.close_conn(idx);
+        }
+    }
+
+    /// Hand the next pending request to the workers (one in flight per
+    /// connection keeps pipelined responses in request order).
+    fn maybe_dispatch(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+            return;
+        };
+        if conn.in_flight || conn.close_after_flush {
+            return;
+        }
+        let Some(req) = conn.pending.pop_front() else {
+            return;
+        };
+        let job = Job {
+            idx,
+            gen: conn.gen,
+            path: req.path,
+            body: req.body,
+            keep_alive: req.keep_alive,
+            enqueued: Instant::now(),
+        };
+        // count the job before publishing it: a worker may pick it up
+        // (and decrement) the instant try_send returns, and a /metrics
+        // scrape observing itself must not see the gauge at -1
+        self.metrics
+            .accept_queue_depth
+            .fetch_add(1, Ordering::Relaxed);
+        match self.tx.try_send(job) {
+            Ok(()) => {
+                conn.in_flight = true;
+                self.queued += 1;
+            }
+            Err(TrySendError::Full(job)) => {
+                // over-admission on a live connection: shed the request
+                self.metrics
+                    .accept_queue_depth
+                    .fetch_sub(1, Ordering::Relaxed);
+                BufferPool::global().put(job.body);
+                self.metrics.record_shed();
+                self.metrics.record_failure();
+                self.shed_existing(idx);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.metrics
+                    .accept_queue_depth
+                    .fetch_sub(1, Ordering::Relaxed);
+                self.close_conn(idx);
+            }
+        }
+    }
+
+    /// Turn an admitted connection into the shed path: 503, FIN, drain.
+    fn shed_existing(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+            return;
+        };
+        conn.pending.clear();
+        conn.rbuf.clear();
+        conn.head = None;
+        conn.cursor = ParseCursor::default();
+        conn.close_after_flush = true;
+        conn.shed = true;
+        conn.cur_keep_alive = false;
+        let body = b"service overloaded, request shed".to_vec();
+        let head = response_head(503, body.len(), false).into_bytes();
+        conn.wbuf.push_back(WBuf { head, body, off: 0 });
+        if !flush_ok(conn) {
+            self.close_conn(idx);
+        }
+    }
+
+    // ---- completions ---------------------------------------------------
+
+    fn drain_done(&mut self, drained_at: Instant) {
+        let batch: Vec<Done> = match self.done.lock() {
+            Ok(mut d) => std::mem::take(&mut *d),
+            Err(_) => return,
+        };
+        for d in batch {
+            self.queued = self.queued.saturating_sub(1);
+            self.metrics
+                .reactor_wakeup_micros
+                .record_micros(drained_at.saturating_duration_since(d.finished));
+            let Some(conn) = self.conns.get_mut(d.idx).and_then(|c| c.as_mut()) else {
+                BufferPool::global().put(d.body);
+                continue;
+            };
+            if conn.gen != d.gen {
+                BufferPool::global().put(d.body);
+                continue;
+            }
+            conn.in_flight = false;
+            conn.last_activity = Instant::now();
+            let keep_alive =
+                d.keep_alive && !conn.close_after_flush && !self.shutdown.load(Ordering::SeqCst);
+            conn.cur_keep_alive = keep_alive;
+            if !keep_alive {
+                conn.close_after_flush = true;
+            }
+            let head = response_head(d.status, d.body.len(), keep_alive).into_bytes();
+            conn.wbuf.push_back(WBuf {
+                head,
+                body: d.body,
+                off: 0,
+            });
+            if !flush_ok(conn) {
+                self.close_conn(d.idx);
+                continue;
+            }
+            self.maybe_dispatch(d.idx);
+            self.after_progress(d.idx);
+        }
+    }
+
+    // ---- lifecycle ----------------------------------------------------
+
+    /// Recompute the connection's state after any progress: transition
+    /// fully-flushed closing connections, re-arm epoll interest.
+    fn after_progress(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+            return;
+        };
+        if conn.wbuf.is_empty() && conn.close_after_flush && conn.draining_until.is_none() {
+            if conn.shed {
+                // response delivered; FIN, then drain until the client
+                // closes so it reliably reads the 503 (not ECONNRESET)
+                let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+                conn.draining_until = Some(Instant::now() + DRAIN_DEADLINE);
+            } else {
+                self.close_conn(idx);
+                return;
+            }
+        }
+        let conn = self.conns[idx].as_mut().unwrap();
+        if conn.read_closed && conn.wbuf.is_empty() && conn.pending.is_empty() && !conn.in_flight {
+            self.close_conn(idx);
+            return;
+        }
+        let conn = self.conns[idx].as_mut().unwrap();
+        let want_read = if conn.draining_until.is_some() {
+            true
+        } else {
+            !conn.read_closed && !conn.close_after_flush && conn.pending.len() < PIPELINE_MAX
+        };
+        let want_write = !conn.wbuf.is_empty();
+        if conn.interest != (want_read, want_write) {
+            let fd = conn.stream.as_raw_fd();
+            if self
+                .poller
+                .modify(fd, idx as u64, want_read, want_write)
+                .is_ok()
+            {
+                conn.interest = (want_read, want_write);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        if let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.take()) {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            if conn.admitted {
+                self.metrics
+                    .active_connections
+                    .fetch_sub(1, Ordering::SeqCst);
+            }
+            BufferPool::global().put(conn.rbuf);
+            for wb in conn.wbuf {
+                BufferPool::global().put(wb.body);
+            }
+            for req in conn.pending {
+                BufferPool::global().put(req.body);
+            }
+            self.free.push(idx);
+            // stream drops → close(2)
+        }
+    }
+
+    fn sweep_timeouts(&mut self) {
+        let now = Instant::now();
+        let timeout = self.config.read_timeout;
+        for idx in 0..self.conns.len() {
+            let Some(conn) = self.conns[idx].as_ref() else {
+                continue;
+            };
+            if let Some(deadline) = conn.draining_until {
+                if now >= deadline {
+                    self.close_conn(idx);
+                }
+                continue;
+            }
+            // slow-loris (partial request) and idle keep-alive both get
+            // the read timeout, then a clean close — the threaded model
+            // surfaced the same as a timeout error and dropped the
+            // connection without a response
+            let idle = !conn.in_flight && conn.pending.is_empty() && conn.wbuf.is_empty();
+            if idle && now.saturating_duration_since(conn.last_activity) >= timeout {
+                self.close_conn(idx);
+            }
+        }
+    }
+
+    fn close_idle_for_shutdown(&mut self) {
+        for idx in 0..self.conns.len() {
+            let Some(conn) = self.conns[idx].as_ref() else {
+                continue;
+            };
+            let idle = !conn.in_flight
+                && conn.pending.is_empty()
+                && conn.wbuf.is_empty()
+                && conn.head.is_none()
+                && conn.rbuf.is_empty()
+                && conn.draining_until.is_none();
+            if idle {
+                self.close_conn(idx);
+            }
+        }
+    }
+}
+
+/// Flush as much of the write queue as the socket accepts. `Ok(())`
+/// means "made progress or would block"; an error means the connection
+/// is dead.
+fn flush_wbuf(conn: &mut Conn) -> io::Result<()> {
+    while let Some(front) = conn.wbuf.front_mut() {
+        let total = front.head.len() + front.body.len();
+        let n = if front.off < front.head.len() {
+            conn.stream.write_vectored(&[
+                IoSlice::new(&front.head[front.off..]),
+                IoSlice::new(&front.body),
+            ])
+        } else {
+            conn.stream
+                .write(&front.body[front.off - front.head.len()..])
+        };
+        match n {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "write zero")),
+            Ok(n) => {
+                front.off += n;
+                if front.off >= total {
+                    let wb = conn.wbuf.pop_front().unwrap();
+                    BufferPool::global().put(wb.body);
+                }
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let _ = conn.stream.flush();
+    Ok(())
+}
+
+fn flush_ok(conn: &mut Conn) -> bool {
+    flush_wbuf(conn).is_ok()
+}
+
+/// One incremental parse step over the connection's read buffer.
+fn parse_step(conn: &mut Conn, max_body_bytes: usize) -> ParseStep {
+    if conn.head.is_none() {
+        if conn.rbuf.is_empty() {
+            return ParseStep::NeedMore;
+        }
+        let start = conn.cursor.scanned.saturating_sub(3);
+        let Some(pos) = find_header_end(&conn.rbuf, start) else {
+            conn.cursor.scanned = conn.rbuf.len();
+            if conn.rbuf.len() > MAX_HEAD_BYTES {
+                return ParseStep::Bad("request headers too large".to_string());
+            }
+            return ParseStep::NeedMore;
+        };
+        let head_len = pos + 4;
+        match parse_head(&conn.rbuf[..pos]) {
+            Ok(mut h) => {
+                h.head_len = head_len;
+                if h.content_length > max_body_bytes {
+                    return ParseStep::TooLarge(h.content_length);
+                }
+                conn.head = Some(h);
+                conn.cursor = ParseCursor::default();
+            }
+            Err(msg) => return ParseStep::Bad(msg),
+        }
+    }
+    let head = conn.head.as_ref().unwrap();
+    let total = head.head_len + head.content_length;
+    if conn.rbuf.len() < total {
+        return ParseStep::NeedMore;
+    }
+    let head = conn.head.take().unwrap();
+    let mut body = BufferPool::global().get(head.content_length);
+    body.extend_from_slice(&conn.rbuf[head.head_len..total]);
+    conn.rbuf.drain(..total);
+    conn.cursor = ParseCursor::default();
+    ParseStep::Request(OwnedReq {
+        path: head.path,
+        body,
+        keep_alive: head.keep_alive,
+    })
+}
+
+fn find_header_end(buf: &[u8], from: usize) -> Option<usize> {
+    if buf.len() < 4 {
+        return None;
+    }
+    (from..=buf.len() - 4).find(|&i| &buf[i..i + 4] == b"\r\n\r\n")
+}
+
+/// Parse request line + headers from the header section (no trailing
+/// blank line). Mirrors the threaded `read_request` rules exactly:
+/// POST/GET only, `HTTP/` version required, `Content-Length` must be a
+/// number, `Connection` overrides the HTTP/1.1 keep-alive default.
+fn parse_head(head: &[u8]) -> Result<ReqHead, String> {
+    let mut lines = head.split(|&b| b == b'\n').map(|l| {
+        let l = if l.last() == Some(&b'\r') {
+            &l[..l.len() - 1]
+        } else {
+            l
+        };
+        String::from_utf8_lossy(l)
+    });
+    let req_line = lines.next().unwrap_or_default();
+    let mut parts = req_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = match parts.next() {
+        Some(p) => p.to_string(),
+        None => return Err(format!("malformed request line `{}`", req_line.trim_end())),
+    };
+    let version = parts.next().unwrap_or("");
+    if method != "POST" && method != "GET" {
+        return Err(format!("unsupported method `{method}`"));
+    }
+    if !version.starts_with("HTTP/") {
+        return Err(format!("malformed request line `{}`", req_line.trim_end()));
+    }
+    let mut content_length = 0usize;
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            let k = k.trim().to_ascii_lowercase();
+            let v = v.trim();
+            if k == "content-length" {
+                content_length = v.parse().map_err(|_| "bad Content-Length".to_string())?;
+            } else if k == "connection" {
+                keep_alive = v.eq_ignore_ascii_case("keep-alive");
+            }
+        }
+    }
+    Ok(ReqHead {
+        path,
+        content_length,
+        keep_alive,
+        head_len: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conn_for(buf: &[u8]) -> Conn {
+        // a loopback socket pair just to satisfy the struct; the parser
+        // never touches it
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        Conn {
+            stream,
+            gen: 0,
+            rbuf: buf.to_vec(),
+            cursor: ParseCursor::default(),
+            head: None,
+            pending: VecDeque::new(),
+            in_flight: false,
+            wbuf: VecDeque::new(),
+            read_closed: false,
+            close_after_flush: false,
+            shed: false,
+            draining_until: None,
+            admitted: true,
+            interest: (true, false),
+            last_activity: Instant::now(),
+            cur_keep_alive: true,
+        }
+    }
+
+    #[test]
+    fn incremental_parse_partial_then_complete() {
+        let full = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        // feed byte by byte: never a spurious completion, exactly one at
+        // the end
+        for cut in 1..full.len() {
+            let mut c = conn_for(&full[..cut]);
+            match parse_step(&mut c, 1 << 20) {
+                ParseStep::NeedMore => {}
+                _ => panic!("prefix of {cut} bytes must be incomplete"),
+            }
+        }
+        let mut c = conn_for(full);
+        match parse_step(&mut c, 1 << 20) {
+            ParseStep::Request(r) => {
+                assert_eq!(r.path, "/x");
+                assert_eq!(r.body, b"hello");
+                assert!(r.keep_alive);
+            }
+            _ => panic!("complete request must parse"),
+        }
+        assert!(c.rbuf.is_empty());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let two = b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nonePOST /b HTTP/1.1\r\nContent-Length: 3\r\n\r\ntwo";
+        let mut c = conn_for(two);
+        let ParseStep::Request(r1) = parse_step(&mut c, 1 << 20) else {
+            panic!("first request");
+        };
+        let ParseStep::Request(r2) = parse_step(&mut c, 1 << 20) else {
+            panic!("second request");
+        };
+        assert_eq!((r1.path.as_str(), &r1.body[..]), ("/a", &b"one"[..]));
+        assert_eq!((r2.path.as_str(), &r2.body[..]), ("/b", &b"two"[..]));
+        assert!(matches!(parse_step(&mut c, 1 << 20), ParseStep::NeedMore));
+    }
+
+    #[test]
+    fn bad_method_and_oversize_detected() {
+        let mut c = conn_for(b"DELETE /x HTTP/1.1\r\n\r\n");
+        assert!(matches!(parse_step(&mut c, 1 << 20), ParseStep::Bad(_)));
+        let mut c = conn_for(b"POST /x HTTP/1.1\r\nContent-Length: 999999\r\n\r\n");
+        assert!(matches!(
+            parse_step(&mut c, 1024),
+            ParseStep::TooLarge(999999)
+        ));
+        let mut c = conn_for(b"POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n");
+        assert!(matches!(parse_step(&mut c, 1 << 20), ParseStep::Bad(_)));
+    }
+
+    #[test]
+    fn connection_close_header_respected() {
+        let mut c = conn_for(b"POST /x HTTP/1.1\r\nConnection: close\r\nContent-Length: 0\r\n\r\n");
+        let ParseStep::Request(r) = parse_step(&mut c, 1 << 20) else {
+            panic!("must parse");
+        };
+        assert!(!r.keep_alive);
+        let mut c = conn_for(b"POST /x HTTP/1.0\r\nContent-Length: 0\r\n\r\n");
+        let ParseStep::Request(r) = parse_step(&mut c, 1 << 20) else {
+            panic!("must parse");
+        };
+        assert!(!r.keep_alive, "HTTP/1.0 defaults to close");
+    }
+}

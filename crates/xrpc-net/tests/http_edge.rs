@@ -1,13 +1,16 @@
 //! HTTP edge cases against a live loopback server: keep-alive reuse,
-//! malformed requests, truncated bodies, timeout mapping, and body-size
-//! enforcement at the protocol level (raw sockets, no client helper).
+//! malformed requests, truncated bodies, timeout mapping, body-size
+//! enforcement, slow-loris timeouts, request pipelining and admission
+//! shedding — at the protocol level (raw sockets, no client helper).
+//! The default server is the epoll reactor; the tests that pin down
+//! behavior both models must share run against each explicitly.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xrpc_net::http::{http_post_with, HttpServer};
-use xrpc_net::{HttpConfig, NetErrorKind};
+use xrpc_net::{HttpConfig, NetErrorKind, ServerModel};
 
 fn echo_server() -> HttpServer {
     HttpServer::bind(
@@ -165,5 +168,212 @@ fn oversized_content_length_rejected_before_body_arrives() {
         String::from_utf8_lossy(&body).contains("exceeds limit"),
         "{}",
         String::from_utf8_lossy(&body)
+    );
+}
+
+/// Slow-loris: a client trickling a partial header must get a clean
+/// close (FIN, zero response bytes) once `read_timeout` expires — not a
+/// hung worker, not a reset mid-handshake, under either server model.
+#[test]
+fn slow_loris_partial_header_cleanly_closed_after_read_timeout() {
+    for model in [ServerModel::Reactor, ServerModel::Threaded] {
+        let server = HttpServer::bind_with(
+            "127.0.0.1:0",
+            Arc::new(|_: &str, b: &[u8]| (200, b.to_vec())),
+            HttpConfig {
+                read_timeout: Duration::from_millis(200),
+                model,
+                ..HttpConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // a header fragment, then silence — never the terminating CRLFCRLF
+        stream
+            .write_all(b"POST /xrpc HTTP/1.1\r\nContent-Le")
+            .unwrap();
+        stream.flush().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let started = Instant::now();
+        let mut resp = Vec::new();
+        stream.read_to_end(&mut resp).unwrap();
+        assert!(
+            resp.is_empty(),
+            "{model:?}: a partial request must not be answered: {:?}",
+            String::from_utf8_lossy(&resp)
+        );
+        assert!(
+            started.elapsed() >= Duration::from_millis(150),
+            "{model:?}: closed before the read timeout"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "{model:?}: close took {:?}, worker looks hung",
+            started.elapsed()
+        );
+        assert_eq!(server.metrics.snapshot().roundtrips, 0, "{model:?}");
+    }
+}
+
+/// Two requests written back-to-back on one connection before reading
+/// anything: both answered, in order, each correctly framed.
+#[test]
+fn pipelined_requests_answered_in_order() {
+    for model in [ServerModel::Reactor, ServerModel::Threaded] {
+        let server = HttpServer::bind_with(
+            "127.0.0.1:0",
+            Arc::new(|path: &str, body: &[u8]| {
+                let mut out = format!("path={path};").into_bytes();
+                out.extend_from_slice(body);
+                (200, out)
+            }),
+            HttpConfig {
+                model,
+                ..HttpConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut pipelined = Vec::new();
+        for (path, body) in [("/first", "alpha"), ("/second", "bravo")] {
+            pipelined.extend_from_slice(
+                format!(
+                    "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+        }
+        stream.write_all(&pipelined).unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let (s1, r1) = read_response(&mut reader);
+        let (s2, r2) = read_response(&mut reader);
+        assert_eq!((s1, s2), (200, 200), "{model:?}");
+        assert_eq!(r1, b"path=/first;alpha", "{model:?}: first answer first");
+        assert_eq!(r2, b"path=/second;bravo", "{model:?}: second answer second");
+        assert_eq!(server.metrics.snapshot().roundtrips, 2, "{model:?}");
+    }
+}
+
+/// Over-admission on the reactor path: with `max_connections: 1` and
+/// the slot held, the excess connection reads a full `503` response —
+/// not ECONNRESET — because the shed path half-closes and drains (the
+/// PR 3 regression, ported from the threaded model).
+#[test]
+fn reactor_over_admission_yields_readable_503() {
+    let server = HttpServer::bind_with(
+        "127.0.0.1:0",
+        Arc::new(|_: &str, b: &[u8]| (200, b.to_vec())),
+        HttpConfig {
+            max_connections: 1,
+            model: ServerModel::Reactor,
+            ..HttpConfig::default()
+        },
+    )
+    .unwrap();
+    // occupy the only slot with an idle admitted connection
+    let hold = TcpStream::connect(server.addr()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.active_connections() == 0 {
+        assert!(Instant::now() < deadline, "held connection never admitted");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // the next connection must be shed — with the request bytes already
+    // in flight, the hardest case for response delivery
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(b"POST /xrpc HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody")
+        .unwrap();
+    stream.flush().unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let (status, body) = read_response(&mut reader);
+    assert_eq!(status, 503, "over-admission must shed with 503");
+    assert!(
+        String::from_utf8_lossy(&body).contains("limit"),
+        "{}",
+        String::from_utf8_lossy(&body)
+    );
+    assert!(
+        server.metrics.snapshot().sheds >= 1,
+        "shed decision must be counted"
+    );
+    drop(hold);
+    // the slot frees: a fresh request is served again
+    let url = format!("http://{}/xrpc", server.addr());
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (status, body) = http_post_with(&url, b"after", &HttpConfig::default()).unwrap();
+        if status == 200 {
+            assert_eq!(body, b"after");
+            break;
+        }
+        assert!(Instant::now() < deadline, "slot was never released");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// A saturated dispatch queue sheds rather than queueing unboundedly:
+/// one worker stuck in a slow handler, a queue of one, and a burst of
+/// keep-alive clients — at least one must see the 503 shed path, and
+/// every connection must get *some* orderly answer (503 or 200).
+#[test]
+fn reactor_dispatch_queue_saturation_sheds_with_503() {
+    let server = HttpServer::bind_with(
+        "127.0.0.1:0",
+        Arc::new(|_: &str, b: &[u8]| {
+            std::thread::sleep(Duration::from_millis(300));
+            (200, b.to_vec())
+        }),
+        HttpConfig {
+            model: ServerModel::Reactor,
+            reactor_workers: 1,
+            dispatch_queue: 1,
+            ..HttpConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let clients: Vec<_> = (0..6)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                let body = format!("c{i}");
+                stream
+                    .write_all(
+                        format!(
+                            "POST /xrpc HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                            body.len()
+                        )
+                        .as_bytes(),
+                    )
+                    .unwrap();
+                stream.flush().unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                read_response(&mut reader).0
+            })
+        })
+        .collect();
+    let statuses: Vec<u16> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    assert!(
+        statuses.iter().all(|s| *s == 200 || *s == 503),
+        "every connection gets an orderly answer: {statuses:?}"
+    );
+    assert!(
+        statuses.contains(&503) || server.metrics.snapshot().sheds > 0,
+        "saturation must trigger the shed path: {statuses:?}"
+    );
+    assert!(
+        statuses.contains(&200),
+        "admitted requests still complete: {statuses:?}"
     );
 }

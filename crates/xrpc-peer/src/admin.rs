@@ -43,9 +43,32 @@ fn net_counters(w: &mut PromWriter, side: &str, s: &MetricsSnapshot) {
         ("xrpc_net_breaker_opens_total", s.breaker_opens),
         ("xrpc_net_pool_hits_total", s.pool_hits),
         ("xrpc_net_pool_misses_total", s.pool_misses),
+        ("xrpc_net_sheds_total", s.sheds),
     ] {
         w.counter_labeled(name, "side", side, v);
     }
+}
+
+/// Server-only admission/reactor families: connection and queue gauges
+/// plus the reactor stage histograms (dispatch wait, wakeup latency).
+/// Only the listener side has these — the client block never sheds.
+fn net_server_gauges(w: &mut PromWriter, m: &NetMetrics) {
+    w.gauge(
+        "xrpc_net_active_connections",
+        m.active_connections.load(Ordering::Relaxed),
+    );
+    w.gauge(
+        "xrpc_net_accept_queue_depth",
+        m.accept_queue_depth.load(Ordering::Relaxed),
+    );
+    w.summary(
+        "xrpc_reactor_dispatch_micros",
+        &m.reactor_dispatch_micros.snapshot(),
+    );
+    w.summary(
+        "xrpc_reactor_wakeup_micros",
+        &m.reactor_wakeup_micros.snapshot(),
+    );
 }
 
 fn breaker_code(s: BreakerState) -> u64 {
@@ -67,6 +90,7 @@ pub fn render_metrics(peer: &Peer, server_metrics: Option<&NetMetrics>) -> Strin
     }
     if let Some(m) = server_metrics {
         net_counters(&mut w, "server", &m.snapshot());
+        net_server_gauges(&mut w, m);
     }
 
     let t = peer.twopc_metrics.snapshot();

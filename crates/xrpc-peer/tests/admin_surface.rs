@@ -99,6 +99,13 @@ fn metrics_and_healthz_scrape_end_to_end() {
         // readiness gauges
         "xrpc_wal_attached",
         "xrpc_in_doubt_transactions",
+        // reactor admission surface: shed counter, connection/queue
+        // gauges, per-stage reactor histograms
+        "xrpc_net_sheds_total",
+        "xrpc_net_active_connections",
+        "xrpc_net_accept_queue_depth",
+        "xrpc_reactor_dispatch_micros",
+        "xrpc_reactor_wakeup_micros",
         // WAL durability surface
         "xrpc_wal_segments",
         "xrpc_wal_log_bytes",

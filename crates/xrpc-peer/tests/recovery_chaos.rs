@@ -19,8 +19,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xrpc_net::{
-    crash_points, BreakerConfig, CrashSwitch, NetProfile, ResilientTransport, RetryPolicy,
-    SimNetwork,
+    crash_points, BreakerConfig, CrashSwitch, HttpServer, HttpTransport, NetProfile,
+    ResilientTransport, RetryPolicy, SimNetwork,
 };
 use xrpc_peer::{EngineKind, FsyncPolicy, Peer, SweeperConfig, TwoPcConfig, WalConfig};
 
@@ -730,6 +730,118 @@ fn group_commit_crash_before_fsync_recovers_consistently() {
         cl.b.peer.snapshots.prepared_undecided(Duration::ZERO).len(),
         0
     );
+}
+
+// ---------------------------------------------------------------------
+// Crash-restart over the real wire: the epoll-reactor HTTP server
+// instead of SimNetwork. Runs under every CHAOS_SEED of the CI matrix.
+// ---------------------------------------------------------------------
+
+/// The WAL recovery invariant must survive the event-driven network
+/// core, not only the simulated transport: a participant served by the
+/// reactor [`HttpServer`] dies after forcing its Commit decision record
+/// (decided, not yet applied), the server socket goes away with the
+/// process, and the restarted peer — rebinding the *same* port via the
+/// reactor's `SO_REUSEADDR` listener — finishes the transaction from
+/// the log exactly once, then serves fresh traffic on the same address.
+#[test]
+fn http_reactor_crash_restart_recovers_exactly_once() {
+    let run = RUN_ID.fetch_add(1, Ordering::Relaxed);
+    let wal_path = std::env::temp_dir().join(format!(
+        "xrpc-recovery-http-{}-{run}.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&wal_path);
+    let _ = std::fs::remove_file(&wal_path);
+
+    // participant b over the reactor (the default server model)
+    let b = Peer::new("placeholder-b", EngineKind::Tree);
+    b.register_module(CHAOS_MODULE).unwrap();
+    b.add_document("log.xml", "<log/>").unwrap();
+    b.attach_wal_with(&wal_path, chaos_wal_config()).unwrap();
+    let b_switch = CrashSwitch::new();
+    b.set_crash_switch(b_switch.clone());
+    b.set_twopc_config(fast_twopc());
+    // a down crash switch means the process is dead: refuse everything,
+    // including the coordinator's decision redelivery — otherwise the
+    // retry would legitimately finish the transaction with no restart
+    let mut server = HttpServer::bind("127.0.0.1:0", {
+        let h = b.soap_handler();
+        let sw = b_switch.clone();
+        Arc::new(move |_path: &str, body: &[u8]| {
+            if sw.is_down() {
+                return (503, b"peer crashed".to_vec());
+            }
+            (200, h(body))
+        })
+    })
+    .unwrap();
+    let port = server.port();
+    b.set_name(server.url());
+
+    // coordinator a over the real HTTP client stack
+    let a = Peer::new("xrpc://http-chaos-coordinator", EngineKind::Tree);
+    a.register_module(CHAOS_MODULE).unwrap();
+    a.set_twopc_config(fast_twopc());
+    a.set_transport_raw(ResilientTransport::with_policy(
+        Arc::new(HttpTransport::new()),
+        fast_policy(),
+        BreakerConfig::default(),
+    ));
+
+    let update = format!(
+        r#"declare option xrpc:isolation "repeatable";
+           import module namespace t = "test";
+           execute at {{"{}"}} {{t:addEntry("over-http")}}"#,
+        server.url()
+    );
+
+    // one clean distributed update over the reactor before any fault
+    a.execute(&update).unwrap();
+    assert_eq!(log_count(&b), 1);
+
+    // b dies after forcing Decision(Commit), before applying ∆_q; over
+    // HTTP the armed crash surfaces as a SOAP fault on the Commit
+    // delivery (unlike SimNetwork, which suppresses the response), so
+    // only assert on durable state, not on the coordinator's error text
+    b_switch.arm(crash_points::AFTER_DECISION_LOG);
+    let _ = a.execute(&update);
+    assert_eq!(log_count(&b), 1, "decided but not yet applied");
+
+    // the process dies: the listener goes with it
+    server.shutdown_graceful(Duration::from_secs(5));
+    drop(server);
+
+    // restart: same document store, same WAL, same port
+    let b2 = Peer::new_with_docs("placeholder-b", EngineKind::Tree, b.docs.clone());
+    b2.register_module(CHAOS_MODULE).unwrap();
+    b_switch.revive();
+    b2.set_crash_switch(b_switch.clone());
+    b2.set_twopc_config(fast_twopc());
+    let report = b2.attach_wal_with(&wal_path, chaos_wal_config()).unwrap();
+    assert_eq!(
+        report.reapplied, 1,
+        "replay finishes the decided transaction from the log: {report:?}"
+    );
+    assert_eq!(log_count(&b2), 2, "exactly once, not twice");
+
+    let server2 = HttpServer::bind(&format!("127.0.0.1:{port}"), {
+        let h = b2.soap_handler();
+        Arc::new(move |_path: &str, body: &[u8]| (200, h(body)))
+    })
+    .expect("SO_REUSEADDR listener must rebind the crashed server's port");
+    assert_eq!(server2.port(), port);
+    b2.set_name(server2.url());
+    b2.resolve_in_doubt().unwrap();
+    assert_eq!(b2.wal().unwrap().open_transactions(), 0);
+
+    // fresh traffic flows on the same address, exactly-once intact
+    a.execute(&update).unwrap();
+    assert_eq!(log_count(&b2), 3);
+
+    drop(server2);
+    let _ = std::fs::remove_dir_all(&wal_path);
+    let _ = std::fs::remove_file(&wal_path);
 }
 
 // ---------------------------------------------------------------------
