@@ -178,14 +178,13 @@ pub fn run_swarm(
                 }
                 begin_request(&mut conns[idx], now);
             }
-            if conns[idx].state == CState::Sending && (ev.writable || ev.hangup) {
-                if let Err(shed) = pump_write(&mut conns[idx], request) {
-                    if !shed {
-                        report.errors += 1;
-                    }
-                    park(&poller, &mut conns[idx], &mut retry, now + backoff, idx);
-                    continue;
-                }
+            if conns[idx].state == CState::Sending
+                && (ev.writable || ev.hangup)
+                && pump_write(&mut conns[idx], request).is_err()
+            {
+                report.errors += 1;
+                park(&poller, &mut conns[idx], &mut retry, now + backoff, idx);
+                continue;
             }
             if conns[idx].state == CState::Receiving && (ev.readable || ev.hangup) {
                 pump_read(
@@ -223,25 +222,27 @@ fn park(
     retry.push_back((due, idx));
 }
 
+/// Arm the next request on a live keep-alive connection. Leaves `rbuf`
+/// alone: leftover bytes may hold a further buffered response (drained
+/// by `pump_read`'s parse loop); fresh connects clear it explicitly.
 fn begin_request(c: &mut Client, now: Instant) {
     c.state = CState::Sending;
     c.woff = 0;
-    c.rbuf.clear();
     c.started = now;
 }
 
 /// Write as much of the request as the socket takes. `Ok(())` on
-/// progress (state advances to Receiving when complete); `Err(false)`
-/// on a transport error.
-fn pump_write(c: &mut Client, request: &[u8]) -> Result<(), bool> {
+/// progress (state advances to Receiving when complete); `Err(())` on a
+/// transport error.
+fn pump_write(c: &mut Client, request: &[u8]) -> Result<(), ()> {
     let mut s = c.stream.as_ref().unwrap();
     while c.woff < request.len() {
         match s.write(&request[c.woff..]) {
-            Ok(0) => return Err(false),
+            Ok(0) => return Err(()),
             Ok(n) => c.woff += n,
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => return Err(false),
+            Err(_) => return Err(()),
         }
     }
     if c.woff == request.len() {
@@ -283,35 +284,41 @@ fn pump_read(
             }
         }
     }
-    match parse_response(&c.rbuf) {
-        Some((status, total)) => {
-            if status == 200 {
-                report.completed += 1;
-                report
-                    .latencies_ms
-                    .push(c.started.elapsed().as_secs_f64() * 1e3);
-                c.rbuf.drain(..total);
-                begin_request(c, now);
-                // optimistic inline write: the socket buffer is almost
-                // always empty, so the common case never touches epoll
-                if pump_write(c, request).is_err() {
-                    report.errors += 1;
-                    park(poller, c, retry, now + backoff, idx);
-                }
+    // drain every complete response already buffered, not just the
+    // first — a straggler (e.g. after a server 503-then-close) must not
+    // sit in rbuf until the next readiness event
+    while let Some((status, total)) = parse_response(&c.rbuf) {
+        if status != 200 {
+            if status == 503 {
+                report.shed += 1;
             } else {
-                if status == 503 {
-                    report.shed += 1;
-                } else {
-                    report.errors += 1;
-                }
-                park(poller, c, retry, now + backoff, idx);
+                report.errors += 1;
             }
+            park(poller, c, retry, now + backoff, idx);
+            return;
         }
-        None if eof => {
+        report.completed += 1;
+        report
+            .latencies_ms
+            .push(c.started.elapsed().as_secs_f64() * 1e3);
+        c.rbuf.drain(..total);
+        begin_request(c, now);
+        // optimistic inline write: the socket buffer is almost always
+        // empty, so the common case never touches epoll
+        if pump_write(c, request).is_err() {
             report.errors += 1;
             park(poller, c, retry, now + backoff, idx);
+            return;
         }
-        None => {}
+        if c.state != CState::Receiving {
+            // request partially written: epoll finishes the send; any
+            // further buffered bytes wait for the next read event
+            return;
+        }
+    }
+    if eof {
+        report.errors += 1;
+        park(poller, c, retry, now + backoff, idx);
     }
 }
 
@@ -456,6 +463,54 @@ mod tests {
         assert_eq!(parse_response(full), Some((200, full.len())));
         let shed = b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n";
         assert_eq!(parse_response(shed), Some((503, shed.len())));
+    }
+
+    #[test]
+    fn pump_read_drains_multiple_buffered_responses() {
+        // two complete responses already buffered on the socket must
+        // both be consumed by one pump, not one-per-readiness-event
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        let (mut srv, _) = l.accept().unwrap();
+        let resp = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok";
+        srv.write_all(resp).unwrap();
+        srv.write_all(resp).unwrap();
+        srv.flush().unwrap();
+        stream.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        let mut c = Client {
+            stream: Some(stream),
+            state: CState::Receiving,
+            interest: (true, false),
+            woff: 0,
+            rbuf: Vec::new(),
+            started: Instant::now(),
+        };
+        let mut report = SwarmReport::default();
+        let mut retry = VecDeque::new();
+        let request = b"POST /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while report.completed < 2 {
+            assert!(
+                Instant::now() < deadline,
+                "buffered responses not drained: {report:?}"
+            );
+            pump_read(
+                &poller,
+                &mut c,
+                request,
+                &mut report,
+                &mut retry,
+                Instant::now(),
+                Duration::from_millis(10),
+                0,
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.shed, 0);
+        assert!(retry.is_empty(), "live connection must not be parked");
     }
 
     #[test]

@@ -136,6 +136,15 @@ struct Conn {
     /// Interest currently registered with epoll, to skip no-op ctls.
     interest: (bool, bool),
     last_activity: Instant,
+    /// Last time a flush moved response bytes into the socket. A
+    /// connection with a non-empty `wbuf` that makes no write progress
+    /// for `read_timeout` (client stopped reading: write-side
+    /// slow-loris) is closed by the sweep instead of leaking.
+    last_write_progress: Instant,
+    /// Deferred 400/413: emitted only after every request pipelined
+    /// ahead of the protocol error has been answered, so responses stay
+    /// in request order.
+    pending_error: Option<(u16, Vec<u8>)>,
     /// Keep-alive decision for the response currently being written.
     cur_keep_alive: bool,
 }
@@ -255,6 +264,7 @@ pub(crate) fn bind(
                     force_stop,
                     queue_wait_ewma: ewma,
                     queued: 0,
+                    last_ewma_decay: Instant::now(),
                     gen_counter: 0,
                 }
                 .run()
@@ -295,10 +305,10 @@ fn worker_loop(
         let wait = job.enqueued.elapsed();
         metrics.reactor_dispatch_micros.record_micros(wait);
         metrics.accept_queue_depth.fetch_sub(1, Ordering::Relaxed);
-        // EWMA (α = 1/8) of the queue wait, the admission signal
-        let w = wait.as_micros().min(u64::MAX as u128) as u64;
-        let prev = queue_wait_ewma.load(Ordering::Relaxed);
-        queue_wait_ewma.store(prev - prev / 8 + w / 8, Ordering::Relaxed);
+        ewma_record(
+            queue_wait_ewma,
+            wait.as_micros().min(u64::MAX as u128) as u64,
+        );
 
         let (status, resp) = handler(&job.path, &job.body);
         metrics.record(job.body.len(), resp.len());
@@ -334,6 +344,9 @@ struct Reactor {
     /// Jobs enqueued to the dispatch channel and not yet picked up —
     /// the reactor-side view of channel occupancy.
     queued: usize,
+    /// Last time the reactor fed a zero-wait decay sample into the EWMA
+    /// (rate-limited to one per [`TICK`]).
+    last_ewma_decay: Instant,
     gen_counter: u64,
 }
 
@@ -380,6 +393,17 @@ impl Reactor {
             // (it may coalesce); always drain the queue
             self.drain_done(drained_at);
             let _ = woke;
+            // Workers only sample the EWMA when they dequeue a job, so a
+            // quiet period after an overload would leave the admission
+            // signal latched above `shed_wait` forever (shed connections
+            // never enqueue — a self-sustaining outage). Whenever the
+            // dispatch queue is observed empty, feed a zero-wait sample,
+            // at most once per tick: the signal decays (×7/8 per TICK,
+            // halving every ~350 ms) as soon as load subsides.
+            if self.queued == 0 && self.last_ewma_decay.elapsed() >= TICK {
+                ewma_record(&self.queue_wait_ewma, 0);
+                self.last_ewma_decay = Instant::now();
+            }
             self.sweep_timeouts();
             if self.shutdown.load(Ordering::SeqCst) {
                 self.close_idle_for_shutdown();
@@ -456,6 +480,8 @@ impl Reactor {
             admitted: true,
             interest: (true, false),
             last_activity: Instant::now(),
+            last_write_progress: Instant::now(),
+            pending_error: None,
             cur_keep_alive: true,
         };
         if self.poller.add(fd, idx as u64, true, false).is_err() {
@@ -495,6 +521,8 @@ impl Reactor {
             admitted: false,
             interest: (false, true),
             last_activity: Instant::now(),
+            last_write_progress: Instant::now(),
+            pending_error: None,
             cur_keep_alive: false,
         };
         let _ = flush_wbuf(&mut conn);
@@ -560,7 +588,7 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
             return false;
         };
-        if conn.close_after_flush || conn.read_closed {
+        if conn.close_after_flush || conn.read_closed || conn.pending_error.is_some() {
             return true;
         }
         let mut progressed = false;
@@ -625,6 +653,7 @@ impl Reactor {
                 && conn.pending.is_empty()
                 && !conn.in_flight
                 && conn.wbuf.is_empty()
+                && conn.pending_error.is_none()
             {
                 // clean client close between requests
                 self.close_conn(idx);
@@ -637,7 +666,11 @@ impl Reactor {
                 conn.rbuf.clear();
                 conn.head = None;
                 conn.cursor = ParseCursor::default();
-                if conn.pending.is_empty() && !conn.in_flight && conn.wbuf.is_empty() {
+                if conn.pending.is_empty()
+                    && !conn.in_flight
+                    && conn.wbuf.is_empty()
+                    && conn.pending_error.is_none()
+                {
                     self.close_conn(idx);
                     return false;
                 }
@@ -647,8 +680,11 @@ impl Reactor {
         true
     }
 
-    /// Protocol-error response (400/413): answered, then the connection
-    /// closes — parsing stops, matching the threaded model.
+    /// Protocol error (400/413): parsing stops and the connection will
+    /// close, but valid requests already pipelined ahead of the error
+    /// are still dispatched and answered first — the error response goes
+    /// out last, keeping responses in request order per HTTP/1.1
+    /// pipelining semantics.
     fn queue_error_response(&mut self, idx: usize, status: u16, msg: &[u8]) {
         let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
             return;
@@ -656,13 +692,26 @@ impl Reactor {
         conn.rbuf.clear();
         conn.head = None;
         conn.cursor = ParseCursor::default();
-        conn.pending.clear();
+        conn.pending_error = Some((status, msg.to_vec()));
+        self.flush_pending_error(idx);
+    }
+
+    /// Emit the deferred protocol-error response once every request
+    /// admitted before it has been answered, then close after flush.
+    fn flush_pending_error(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+            return;
+        };
+        if conn.pending_error.is_none() || conn.in_flight || !conn.pending.is_empty() {
+            return;
+        }
+        let (status, msg) = conn.pending_error.take().unwrap();
         conn.close_after_flush = true;
         conn.cur_keep_alive = false;
         let head = response_head(status, msg.len(), false).into_bytes();
         conn.wbuf.push_back(WBuf {
             head,
-            body: msg.to_vec(),
+            body: msg,
             off: 0,
         });
         if !flush_ok(conn) {
@@ -729,6 +778,7 @@ impl Reactor {
         conn.rbuf.clear();
         conn.head = None;
         conn.cursor = ParseCursor::default();
+        conn.pending_error = None;
         conn.close_after_flush = true;
         conn.shed = true;
         conn.cur_keep_alive = false;
@@ -785,9 +835,11 @@ impl Reactor {
 
     // ---- lifecycle ----------------------------------------------------
 
-    /// Recompute the connection's state after any progress: transition
+    /// Recompute the connection's state after any progress: emit a
+    /// deferred protocol error once it's next in line, transition
     /// fully-flushed closing connections, re-arm epoll interest.
     fn after_progress(&mut self, idx: usize) {
+        self.flush_pending_error(idx);
         let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
             return;
         };
@@ -811,7 +863,10 @@ impl Reactor {
         let want_read = if conn.draining_until.is_some() {
             true
         } else {
-            !conn.read_closed && !conn.close_after_flush && conn.pending.len() < PIPELINE_MAX
+            !conn.read_closed
+                && !conn.close_after_flush
+                && conn.pending_error.is_none()
+                && conn.pending.len() < PIPELINE_MAX
         };
         let want_write = !conn.wbuf.is_empty();
         if conn.interest != (want_read, want_write) {
@@ -859,6 +914,17 @@ impl Reactor {
                 }
                 continue;
             }
+            // write-side slow-loris: a queued response the client won't
+            // read would otherwise exempt the connection from every
+            // timeout (non-idle, not draining) — it held a slab slot and
+            // an active_connections count forever, blocking admission
+            // capacity and graceful-shutdown drain detection
+            if !conn.wbuf.is_empty()
+                && now.saturating_duration_since(conn.last_write_progress) >= timeout
+            {
+                self.close_conn(idx);
+                continue;
+            }
             // slow-loris (partial request) and idle keep-alive both get
             // the read timeout, then a clean close — the threaded model
             // surfaced the same as a timeout error and dropped the
@@ -888,6 +954,22 @@ impl Reactor {
     }
 }
 
+/// One EWMA step (α = 1/8) on the queue-wait admission signal. A CAS
+/// loop, because workers race each other (and the reactor's decay
+/// ticks) on the same cell — a plain load/store pair loses updates, and
+/// a lost decay can delay recovery from a shed storm.
+fn ewma_record(ewma: &AtomicU64, sample_micros: u64) {
+    let _ = ewma.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |prev| {
+        let next = prev - prev / 8 + sample_micros / 8;
+        // integer floor: prev < 8 would otherwise never decay to zero
+        Some(if next == prev && sample_micros < prev {
+            prev - 1
+        } else {
+            next
+        })
+    });
+}
+
 /// Flush as much of the write queue as the socket accepts. `Ok(())`
 /// means "made progress or would block"; an error means the connection
 /// is dead.
@@ -907,6 +989,7 @@ fn flush_wbuf(conn: &mut Conn) -> io::Result<()> {
             Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "write zero")),
             Ok(n) => {
                 front.off += n;
+                conn.last_write_progress = Instant::now();
                 if front.off >= total {
                     let wb = conn.wbuf.pop_front().unwrap();
                     BufferPool::global().put(wb.body);
@@ -1053,8 +1136,31 @@ mod tests {
             admitted: true,
             interest: (true, false),
             last_activity: Instant::now(),
+            last_write_progress: Instant::now(),
+            pending_error: None,
             cur_keep_alive: true,
         }
+    }
+
+    #[test]
+    fn ewma_decays_to_zero_on_zero_samples() {
+        let ewma = AtomicU64::new(0);
+        // drive the signal above a 2s shed threshold
+        for _ in 0..64 {
+            ewma_record(&ewma, 5_000_000);
+        }
+        assert!(ewma.load(Ordering::Relaxed) > 2_000_000);
+        // zero-wait decay samples (what the reactor feeds each idle
+        // tick) must bring it all the way back down — including through
+        // the integer-division floor at small values
+        let mut steps = 0;
+        while ewma.load(Ordering::Relaxed) > 0 {
+            ewma_record(&ewma, 0);
+            steps += 1;
+            assert!(steps < 10_000, "EWMA never reached zero");
+        }
+        // ×7/8 per step: well under a couple hundred steps from 5s
+        assert!(steps < 500, "decay too slow: {steps} steps");
     }
 
     #[test]

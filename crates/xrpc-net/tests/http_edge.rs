@@ -318,6 +318,168 @@ fn reactor_over_admission_yields_readable_503() {
     }
 }
 
+/// A valid request pipelined ahead of a malformed one: the valid
+/// request is answered first (200), then the 400, then the connection
+/// closes — a protocol error must not eat responses for requests
+/// queued before it, nor jump ahead of them (HTTP/1.1 pipelining
+/// answers in request order).
+#[test]
+fn pipelined_request_before_malformed_one_answered_first() {
+    let server = echo_server();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(
+            b"POST /a HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nalphaTHIS-IS-NOT-HTTP\r\n\r\n",
+        )
+        .unwrap();
+    stream.flush().unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let (s1, r1) = read_response(&mut reader);
+    assert_eq!(s1, 200, "pipelined request ahead of the error is served");
+    assert_eq!(r1, b"alpha");
+    let (s2, _) = read_response(&mut reader);
+    assert_eq!(s2, 400, "protocol error answered after it");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(
+        rest.is_empty(),
+        "connection closes after the error response"
+    );
+    assert_eq!(server.metrics.snapshot().roundtrips, 1);
+}
+
+/// Write-side slow-loris: the client requests a response far larger
+/// than the socket buffers and then never reads. The stalled flush
+/// keeps `wbuf` non-empty (so the connection is never "idle"); the
+/// sweep must still close it once write progress stalls for
+/// `read_timeout` — not leak the slot and its active_connections count
+/// forever.
+#[test]
+fn unread_response_closed_after_write_stall_timeout() {
+    let server = HttpServer::bind_with(
+        "127.0.0.1:0",
+        Arc::new(|_: &str, _: &[u8]| (200, vec![0x58; 64 << 20])),
+        HttpConfig {
+            read_timeout: Duration::from_millis(300),
+            model: ServerModel::Reactor,
+            ..HttpConfig::default()
+        },
+    )
+    .unwrap();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    (&stream)
+        .write_all(b"POST /big HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n")
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.active_connections() == 0 {
+        assert!(Instant::now() < deadline, "connection never admitted");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // never read a byte: the 64 MiB response cannot fit in kernel
+    // buffers, so the server's flush stalls until the write timeout
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.active_connections() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "stalled connection never closed by the write timeout"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// A transient overload pushes the queue-wait EWMA over `shed_wait`;
+/// new connections are shed at accept — but shed connections never
+/// enqueue jobs, so only the reactor's idle-tick decay can bring the
+/// signal back down. Without it a shed storm latches into a permanent
+/// 503 outage; this pins the recovery path.
+#[test]
+fn shed_signal_recovers_after_load_subsides() {
+    let server = HttpServer::bind_with(
+        "127.0.0.1:0",
+        Arc::new(|_: &str, b: &[u8]| {
+            std::thread::sleep(Duration::from_millis(40));
+            (200, b.to_vec())
+        }),
+        HttpConfig {
+            model: ServerModel::Reactor,
+            reactor_workers: 1,
+            dispatch_queue: 64,
+            shed_wait: Duration::from_millis(5),
+            ..HttpConfig::default()
+        },
+    )
+    .unwrap();
+    // 6 concurrent one-shot clients against one 40ms-per-request
+    // worker: later jobs wait 40–200ms in the dispatch queue, driving
+    // the EWMA far above the 5ms shed threshold. Connect everyone
+    // first — admission happens at accept, while the signal is still
+    // zero — so all 6 deterministically complete.
+    let streams: Vec<TcpStream> = (0..6)
+        .map(|_| TcpStream::connect(server.addr()).unwrap())
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.active_connections() < 6 {
+        assert!(Instant::now() < deadline, "burst never fully admitted");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let burst: Vec<_> = streams
+        .into_iter()
+        .map(|mut stream| {
+            std::thread::spawn(move || {
+                stream
+                    .write_all(b"POST /xrpc HTTP/1.1\r\nHost: x\r\nContent-Length: 1\r\n\r\nx")
+                    .unwrap();
+                stream.flush().unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                read_response(&mut reader).0
+            })
+        })
+        .collect();
+    for b in burst {
+        assert_eq!(b.join().unwrap(), 200, "burst served while signal low");
+    }
+    // signal is now latched high: the next connection is shed
+    {
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let (status, _) = read_response(&mut reader);
+        assert_eq!(status, 503, "EWMA over shed_wait must shed at accept");
+    }
+    assert!(server.metrics.snapshot().sheds >= 1);
+    // with zero load the signal must decay and admission must recover
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"POST /xrpc HTTP/1.1\r\nHost: x\r\nContent-Length: 1\r\n\r\ny")
+            .unwrap();
+        stream.flush().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let (status, _) = read_response(&mut reader);
+        if status == 200 {
+            break;
+        }
+        assert_eq!(status, 503);
+        assert!(
+            Instant::now() < deadline,
+            "shed signal never recovered: permanent 503 outage"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
 /// A saturated dispatch queue sheds rather than queueing unboundedly:
 /// one worker stuck in a slow handler, a queue of one, and a burst of
 /// keep-alive clients — at least one must see the 503 shed path, and
