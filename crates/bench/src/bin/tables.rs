@@ -8,6 +8,7 @@
 //! tables ablation-latency    — A1: bulk advantage across network profiles (alias: a1)
 //! tables ablation-isolation  — A2: isolation level overhead
 //! tables u1            — U1: durable update throughput, WAL group commit on/off
+//! tables c1            — C1: plan-cache warm path + adaptive bulk sizing (alias: compile-cache)
 //! tables s1            — S1: concurrent-client swarm, reactor vs threaded (alias: swarm)
 //! tables all           — everything above except s1 (the swarm wants the machine to itself)
 //! ```
@@ -15,13 +16,15 @@
 //! Numbers are wall-clock milliseconds on this machine; compare *shapes*
 //! with the paper (EXPERIMENTS.md records both).
 //!
-//! `e4`, `a1` and `s1` also write machine-readable `BENCH_E4.json` /
-//! `BENCH_A1.json` / `BENCH_S1.json` into the current directory, so the
-//! perf trajectory is tracked across PRs instead of living only in
-//! prose. `--quick` trims the sweeps to their cheap points (a
-//! seconds-scale CI smoke run); for `s1` it additionally *asserts* that
-//! the reactor sheds nothing at the smoke scale (exit 4 otherwise), so
-//! CI guards the admission path, not just the numbers.
+//! `e4`, `a1`, `u1`, `c1` and `s1` also write machine-readable
+//! `BENCH_E4.json` / `BENCH_A1.json` / `BENCH_U1.json` / `BENCH_C1.json`
+//! / `BENCH_S1.json` into the current directory, so the perf trajectory
+//! is tracked across PRs instead of living only in prose. `--quick`
+//! trims the sweeps to their cheap points (a seconds-scale CI smoke
+//! run); for `s1` it additionally *asserts* that the reactor sheds
+//! nothing at the smoke scale (exit 4 otherwise), and for `c1` that the
+//! warm plan-cache hit rate stays ≥ 95% (exit 5 otherwise), so CI
+//! guards the admission and compile-once paths, not just the numbers.
 
 use std::time::Duration;
 use xrpc_bench::*;
@@ -50,6 +53,7 @@ fn main() {
         "ablation-latency" | "a1" => ablation_latency(quick),
         "ablation-isolation" => ablation_isolation(),
         "u1" => update_throughput(quick),
+        "c1" | "compile-cache" => compile_cache(quick),
         "s1" | "swarm" => swarm(quick),
         "all" => {
             table2();
@@ -59,6 +63,7 @@ fn main() {
             ablation_latency(quick);
             ablation_isolation();
             update_throughput(quick);
+            compile_cache(quick);
         }
         other => {
             eprintln!("unknown table `{other}`");
@@ -745,6 +750,205 @@ fn update_throughput(quick: bool) {
         quick,
         &rows,
     );
+    println!();
+}
+
+/// C1: prepared queries. Four cells: (a) `prepare()` cold compile vs
+/// warm cache hit, (b) repeated-shape execution throughput with the
+/// plan cache on vs off (the ≥ 2x warm-path target), (c) the wrapper's
+/// generated-query cache over the wire — the paper's Table-3 compile
+/// column collapsing to ≈ 0 on warm requests — and (d) the adaptive
+/// bulk-sizing controller against the hand-pinned `set_bulk_threads`
+/// sweep on the A1 bulk getPerson workload.
+fn compile_cache(quick: bool) {
+    use std::time::Instant;
+    use xrpc_peer::{EngineKind, Peer};
+
+    println!("== C1: prepared queries — plan cache & adaptive bulk sizing ==");
+    let mut rows: Vec<Vec<(&str, f64)>> = Vec::new();
+    let clauses = 400;
+
+    // -- (a) prepare(): cold compile vs warm cache hit ------------------
+    let distinct = if quick { 10 } else { 50 };
+    let warm_iters = if quick { 500 } else { 5000 };
+    let p = Peer::new("xrpc://c1.example.org", EngineKind::Tree);
+    let t0 = Instant::now();
+    for i in 0..distinct {
+        let _ = p.prepare(&compile_heavy_query(clauses, i as u64)).unwrap();
+    }
+    let cold_us = t0.elapsed().as_secs_f64() * 1e6 / distinct as f64;
+    let q = compile_heavy_query(clauses, 0);
+    let t0 = Instant::now();
+    for _ in 0..warm_iters {
+        let _ = p.prepare(&q).unwrap();
+    }
+    let warm_us = t0.elapsed().as_secs_f64() * 1e6 / warm_iters as f64;
+    println!(
+        "prepare ({clauses}-clause query): cold {cold_us:.0} µs, warm {warm_us:.2} µs ({:.0}x)",
+        cold_us / warm_us.max(1e-9)
+    );
+    rows.push(vec![
+        ("section", 1.0),
+        ("cold_prepare_micros", cold_us),
+        ("warm_prepare_micros", warm_us),
+        ("prepare_speedup", cold_us / warm_us.max(1e-9)),
+    ]);
+
+    // -- (b) repeated-shape execution: plan cache on vs off -------------
+    let iters = if quick { 200 } else { 1000 };
+    let mut qps = [0.0f64; 2]; // [cache on, cache off]
+    let mut peer_hit_rate = 0.0;
+    for (slot, cache_on) in [(0usize, true), (1, false)] {
+        let p = Peer::new("xrpc://c1.example.org", EngineKind::Tree);
+        p.set_plan_cache_enabled(cache_on);
+        let q = compile_heavy_query(clauses, 99);
+        let _ = p.execute(&q).unwrap(); // warm the path outside the clock
+        p.plan_cache.reset_counters();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let _ = p.execute(&q).unwrap();
+        }
+        let v = iters as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        let s = p.plan_cache.stats();
+        if cache_on {
+            peer_hit_rate = s.hit_rate();
+        }
+        qps[slot] = v;
+        println!(
+            "repeated shape, cache {}: {v:.0} queries/s (hit rate {:.1}%)",
+            if cache_on { "on " } else { "off" },
+            s.hit_rate() * 100.0
+        );
+        rows.push(vec![
+            ("section", 2.0),
+            ("cache_on", cache_on as u64 as f64),
+            ("queries_per_s", v),
+            ("hit_rate", s.hit_rate()),
+        ]);
+    }
+    let warm_speedup = qps[0] / qps[1].max(1e-9);
+    println!("warm-path speedup: {warm_speedup:.1}x (target ≥ 2x)");
+    rows.push(vec![
+        ("section", 2.0),
+        ("cache_on", -1.0),
+        ("warm_speedup", warm_speedup),
+    ]);
+
+    // -- (c) the wrapper's generated-query cache over the wire ----------
+    let persons = if quick { 200 } else { 2000 };
+    let reqs = if quick { 20 } else { 100 };
+    let c = wrapper_cluster(persons);
+    let wq = get_person_query(8, persons);
+    let _ = time_query(&c.a, &wq); // cold request compiles the generated query
+    let cold_ph = c.wrapper.take_phases();
+    c.wrapper.plan_cache.reset_counters();
+    let t0 = Instant::now();
+    for _ in 0..reqs {
+        let _ = time_query(&c.a, &wq);
+    }
+    let warm_elapsed = t0.elapsed();
+    let ph = c.wrapper.take_phases();
+    let ws = c.wrapper.plan_cache.stats();
+    println!(
+        "wrapper: cold compile {:.3} ms; {reqs} warm requests — {} cache hits, \
+         compile {:.3} ms total, lookup {:.3} ms total (hit rate {:.1}%)",
+        ms(cold_ph.compile),
+        ph.cache_hits,
+        ms(ph.compile),
+        ms(ph.cache_lookup),
+        ws.hit_rate() * 100.0
+    );
+    rows.push(vec![
+        ("section", 3.0),
+        ("requests", reqs as f64),
+        ("cold_compile_ms", ms(cold_ph.compile)),
+        ("warm_compile_ms_total", ms(ph.compile)),
+        ("cache_lookup_ms_total", ms(ph.cache_lookup)),
+        ("cache_hits", ph.cache_hits as f64),
+        ("hit_rate", ws.hit_rate()),
+        ("mean_request_ms", ms(warm_elapsed) / reqs as f64),
+    ]);
+
+    // -- (d) adaptive bulk sizing vs the pinned sweep -------------------
+    println!("-- adaptive vs pinned set_bulk_threads (A1 bulk getPerson) --");
+    println!(
+        "{:<10} {:>10} {:>16}",
+        "threads", "mean ms", "chosen threads"
+    );
+    let persons_d = if quick { 100 } else { 500 };
+    let x = if quick { 100 } else { 400 };
+    let runs = if quick { 3 } else { 10 };
+    let mut best_static = f64::INFINITY;
+    let mut adaptive_ms = f64::NAN;
+    for pin in [0usize, 1, 2, 4, 8] {
+        let c = bulk_person_cluster(persons_d, NetProfile::lan());
+        if pin > 0 {
+            c.b.set_bulk_threads(pin);
+        }
+        let q = get_person_query(x, persons_d);
+        let _ = time_query(&c.a, &q); // warm modules, plans and the connection
+        let mut total = Duration::ZERO;
+        for _ in 0..runs {
+            total += time_query(&c.a, &q).0;
+        }
+        let mean = ms(total) / runs as f64;
+        let snap = c.b.adaptive.snapshot();
+        let label = if pin == 0 {
+            "adaptive".to_string()
+        } else {
+            format!("pin {pin}")
+        };
+        println!("{label:<10} {mean:>10.1} {:>16}", snap.last_threads);
+        if pin == 0 {
+            adaptive_ms = mean;
+        } else {
+            best_static = best_static.min(mean);
+        }
+        rows.push(vec![
+            ("section", 4.0),
+            ("pinned", pin as f64),
+            ("mean_ms", mean),
+            ("chosen_threads", snap.last_threads as f64),
+            ("calls_per_batch", x as f64),
+        ]);
+    }
+    println!(
+        "adaptive {adaptive_ms:.1} ms vs best static {best_static:.1} ms ({:.2}x of best)",
+        adaptive_ms / best_static.max(1e-9)
+    );
+    rows.push(vec![
+        ("section", 4.0),
+        ("pinned", -1.0),
+        ("adaptive_ms", adaptive_ms),
+        ("best_static_ms", best_static),
+        (
+            "adaptive_vs_best_static",
+            adaptive_ms / best_static.max(1e-9),
+        ),
+    ]);
+
+    write_json(
+        "BENCH_C1.json",
+        "C1",
+        "prepared queries: plan-cache warm path + adaptive bulk sizing",
+        quick,
+        &rows,
+    );
+    if quick {
+        let worst = peer_hit_rate.min(ws.hit_rate());
+        if worst < 0.95 {
+            eprintln!(
+                "C1 quick FAILED: warm plan-cache hit rate {:.1}% < 95%",
+                worst * 100.0
+            );
+            std::process::exit(5);
+        }
+        println!(
+            "C1 quick: warm hit rates peer {:.1}% / wrapper {:.1}% (gate ≥ 95%)",
+            peer_hit_rate * 100.0,
+            ws.hit_rate() * 100.0
+        );
+    }
     println!();
 }
 

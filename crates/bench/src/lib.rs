@@ -246,6 +246,59 @@ pub fn mb_per_sec(bytes: u64, elapsed: Duration) -> f64 {
 }
 
 // ---------------------------------------------------------------------
+// Experiment C1: prepared queries — plan-cache warm path and
+// feedback-driven adaptive bulk sizing
+// ---------------------------------------------------------------------
+
+/// A compile-dominant query: a long chain of `let` clauses (the shape a
+/// query generator or wrapper emits) touching no documents at all, so
+/// the cache-off/cache-on gap measures parse + static analysis, not data
+/// access. `tag` is baked into the first binding so sweeps can mint
+/// arbitrarily many textually *distinct* queries of the same cost.
+pub fn compile_heavy_query(clauses: usize, tag: u64) -> String {
+    let mut q = String::with_capacity(clauses * 24 + 32);
+    q.push_str(&format!("let $v0 := {tag}\n"));
+    for i in 1..clauses {
+        q.push_str(&format!("let $v{i} := $v{} + {i}\n", i - 1));
+    }
+    q.push_str(&format!("return $v{} mod 1000000", clauses.max(1) - 1));
+    q
+}
+
+/// Two-peer cluster for the adaptive-bulk half of C1: A loop-lifts a
+/// getPerson batch into one Bulk RPC, B serves it out of persons.xml —
+/// the A1 workload with a data-dependent function body, so B's per-call
+/// evaluation cost is real and the bulk-sizing controller has something
+/// to observe.
+pub struct BulkPersonCluster {
+    pub net: Arc<SimNetwork>,
+    pub a: Arc<Peer>,
+    pub b: Arc<Peer>,
+}
+
+pub fn bulk_person_cluster(persons: usize, profile: NetProfile) -> BulkPersonCluster {
+    let net = Arc::new(SimNetwork::new(profile));
+    let a = Peer::new(A_URI, EngineKind::Rel);
+    let b = Peer::new(B_URI, EngineKind::Tree);
+    for p in [&a, &b] {
+        p.register_module(xmark::functions_module()).unwrap();
+        p.set_transport(net.clone());
+    }
+    let params = xmark::XmarkParams {
+        persons,
+        closed_auctions: 0,
+        matches: 0,
+        padding_words: 8,
+        seed: 7,
+    };
+    b.add_document("persons.xml", &xmark::persons_xml(&params))
+        .unwrap();
+    net.register(A_URI, a.soap_handler());
+    net.register(B_URI, b.soap_handler());
+    BulkPersonCluster { net, a, b }
+}
+
+// ---------------------------------------------------------------------
 // Experiment U1: update-heavy durability — WAL group commit under
 // FsyncPolicy::Always (committed updates/s + commit latency quantiles)
 // ---------------------------------------------------------------------
@@ -571,6 +624,30 @@ mod tests {
                 assert!(blocked >= Duration::ZERO);
             }
         }
+    }
+
+    #[test]
+    fn compile_heavy_query_parses_and_is_distinct_per_tag() {
+        let q0 = compile_heavy_query(50, 0);
+        let q1 = compile_heavy_query(50, 1);
+        assert_ne!(q0, q1);
+        let p = Peer::new("xrpc://c1.example.org", EngineKind::Tree);
+        let r = p.execute(&q0).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn bulk_person_cluster_serves_bulk_get_person() {
+        let c = bulk_person_cluster(20, NetProfile::instant());
+        let (_, res) = time_query(&c.a, &get_person_query(10, 20));
+        assert_eq!(res.len(), 10);
+        // loop-lifted: one bulk request carried all ten calls
+        assert_eq!(
+            c.b.stats
+                .requests_handled
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
     }
 
     #[test]

@@ -23,24 +23,44 @@ pub fn execute_rel_parsed(
     external: Vec<(String, Sequence)>,
 ) -> XdmResult<(Sequence, PendingUpdateList)> {
     let sctx = Arc::new(StaticContext::from_prolog(&module.prolog));
-    let mut local_functions = std::collections::HashMap::new();
-    for f in &module.prolog.functions {
-        local_functions.insert((f.name.local.clone(), f.arity()), Arc::new(f.clone()));
-    }
+    let local_functions = Arc::new(xqeval::eval::local_functions_of(module));
+    execute_rel_with(module, sctx, local_functions, env, external)
+}
+
+/// Execute a compiled plan (the prepared-query fast path) on the
+/// loop-lifted engine — mirror of `xqeval::evaluate_compiled`.
+pub fn execute_rel_compiled(
+    plan: &xqeval::CompiledMain,
+    env: &Environment,
+    external: Vec<(String, Sequence)>,
+) -> XdmResult<(Sequence, PendingUpdateList)> {
+    execute_rel_with(
+        &plan.module,
+        plan.sctx.clone(),
+        plan.local_functions.clone(),
+        env,
+        external,
+    )
+}
+
+fn execute_rel_with(
+    module: &MainModule,
+    sctx: Arc<StaticContext>,
+    local_functions: Arc<xqeval::eval::LocalFunctions>,
+    env: &Environment,
+    external: Vec<(String, Sequence)>,
+) -> XdmResult<(Sequence, PendingUpdateList)> {
     let tree = Evaluator {
         env,
-        sctx: sctx.clone(),
-        local_functions: Arc::new(local_functions),
+        sctx,
+        local_functions,
     };
     let engine = RelEngine { tree };
     let mut st = EvalState::new();
     for (n, v) in external {
         st.vars.push((n, v));
     }
-    for decl in &module.prolog.variables {
-        let v = engine.tree.eval(&decl.value, &mut st, &Ctx::none())?;
-        st.vars.push((decl.name.lexical(), v));
-    }
+    xqeval::eval::eval_prolog_vars(&engine.tree, module, &mut st)?;
     // The whole query runs in a single top-level iteration.
     let lenv = Lifted {
         loop_iters: vec![1],

@@ -18,6 +18,6 @@ pub mod cache;
 pub mod engine;
 pub mod table;
 
-pub use cache::FunctionCache;
+pub use cache::{CacheStats, FunctionCache, PlanCache};
 pub use engine::{execute_rel, RelEngine};
 pub use table::{IterMap, SeqTable};

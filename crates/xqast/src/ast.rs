@@ -309,12 +309,17 @@ pub struct ModuleImport {
     pub at_hints: Vec<String>,
 }
 
-/// A prolog variable declaration.
+/// A prolog variable declaration. `declare variable $x := expr;` carries
+/// a value; `declare variable $x external;` (optionally with a default
+/// value, XQuery 3.0 style) must be bound by the caller — the parameter
+/// channel of a prepared query.
 #[derive(Clone, Debug, PartialEq)]
 pub struct VarDecl {
     pub name: Name,
     pub ty: Option<SeqType>,
-    pub value: Expr,
+    /// `None` only for an external variable without a default.
+    pub value: Option<Expr>,
+    pub external: bool,
 }
 
 /// A user-defined function declaration (possibly `updating`, per XQUF).
@@ -342,6 +347,12 @@ pub struct Prolog {
     /// `declare option qname "value"` — XRPC uses `xrpc:isolation` and
     /// `xrpc:timeout` (paper §2.2).
     pub options: Vec<(Name, String)>,
+    /// `declare base-uri "..."` — resolution base for relative `fn:doc`
+    /// URIs, and a static-context fingerprint component of the plan cache.
+    pub base_uri: Option<String>,
+    /// `declare default collation "..."` — accepted, fingerprinted by the
+    /// plan cache; only the codepoint collation is implemented.
+    pub default_collation: Option<String>,
     pub module_imports: Vec<ModuleImport>,
     pub variables: Vec<VarDecl>,
     pub functions: Vec<FunctionDecl>,

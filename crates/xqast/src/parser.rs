@@ -363,10 +363,16 @@ impl<'a> P<'a> {
                     } else if self.eat_keyword("function") {
                         self.expect_keyword("namespace")?;
                         prolog.default_function_ns = Some(self.string_literal()?);
+                    } else if self.eat_keyword("collation") {
+                        prolog.default_collation = Some(self.string_literal()?);
                     } else {
-                        return self
-                            .err("expected `element` or `function` after `declare default`");
+                        return self.err(
+                            "expected `element`, `function` or `collation` after `declare default`",
+                        );
                     }
+                    self.expect(";")?;
+                } else if self.eat_keyword("base-uri") {
+                    prolog.base_uri = Some(self.string_literal()?);
                     self.expect(";")?;
                 } else if self.eat_keyword("option") {
                     let name = self.qname()?;
@@ -381,10 +387,25 @@ impl<'a> P<'a> {
                     } else {
                         None
                     };
-                    self.expect(":=")?;
-                    let value = self.expr_single()?;
+                    // `:= expr`, `external`, or `external := default-expr`
+                    let (value, external) = if self.eat_keyword("external") {
+                        let default = if self.eat(":=") {
+                            Some(self.expr_single()?)
+                        } else {
+                            None
+                        };
+                        (default, true)
+                    } else {
+                        self.expect(":=")?;
+                        (Some(self.expr_single()?), false)
+                    };
                     self.expect(";")?;
-                    prolog.variables.push(VarDecl { name, ty, value });
+                    prolog.variables.push(VarDecl {
+                        name,
+                        ty,
+                        value,
+                        external,
+                    });
                 } else if self.peek_keyword("updating") || self.peek_keyword("function") {
                     let updating = self.eat_keyword("updating");
                     self.expect_keyword("function")?;
@@ -2273,6 +2294,54 @@ mod tests {
         assert_eq!(m.prolog.variables.len(), 1);
         assert_eq!(m.prolog.variables[0].name, Name::local("n"));
         assert!(m.prolog.variables[0].ty.is_some());
+        assert!(!m.prolog.variables[0].external);
+    }
+
+    #[test]
+    fn prolog_external_variable_decls() {
+        let m = parse_main_module(
+            r#"declare variable $a external;
+               declare variable $b as xs:string external;
+               declare variable $c as xs:integer external := 7;
+               ($a, $b, $c)"#,
+        )
+        .unwrap();
+        let v = &m.prolog.variables;
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|d| d.external));
+        assert!(v[0].ty.is_none() && v[0].value.is_none());
+        assert!(v[1].ty.is_some() && v[1].value.is_none());
+        assert!(v[2].value.is_some(), "external with default keeps it");
+    }
+
+    #[test]
+    fn prolog_base_uri_and_default_collation() {
+        let m = parse_main_module(
+            r#"declare base-uri "http://x.example.org/app/";
+               declare default collation "http://www.w3.org/2005/xpath-functions/collation/codepoint";
+               1"#,
+        )
+        .unwrap();
+        assert_eq!(
+            m.prolog.base_uri.as_deref(),
+            Some("http://x.example.org/app/")
+        );
+        assert_eq!(
+            m.prolog.default_collation.as_deref(),
+            Some("http://www.w3.org/2005/xpath-functions/collation/codepoint")
+        );
+    }
+
+    #[test]
+    fn base_uri_and_external_roundtrip_through_pretty() {
+        let q = r#"declare base-uri "app/";
+                   declare variable $pid as xs:string external;
+                   $pid"#;
+        let m = parse_main_module(q).unwrap();
+        let printed = crate::pretty::pretty_print_main(&m);
+        let reparsed = parse_main_module(&printed).unwrap();
+        assert_eq!(reparsed.prolog.base_uri.as_deref(), Some("app/"));
+        assert!(reparsed.prolog.variables[0].external);
     }
 
     #[test]

@@ -38,6 +38,12 @@ fn prolog(p: &Prolog, out: &mut String) {
     if let Some(ns) = &p.default_element_ns {
         out.push_str(&format!("declare default element namespace \"{ns}\";\n"));
     }
+    if let Some(c) = &p.default_collation {
+        out.push_str(&format!("declare default collation \"{c}\";\n"));
+    }
+    if let Some(b) = &p.base_uri {
+        out.push_str(&format!("declare base-uri \"{b}\";\n"));
+    }
     for (name, val) in &p.options {
         out.push_str(&format!("declare option {} \"{}\";\n", name.lexical(), val));
     }
@@ -58,8 +64,13 @@ fn prolog(p: &Prolog, out: &mut String) {
         if let Some(t) = &v.ty {
             out.push_str(&format!(" as {t}"));
         }
-        out.push_str(" := ");
-        expr(&v.value, out);
+        if v.external {
+            out.push_str(" external");
+        }
+        if let Some(value) = &v.value {
+            out.push_str(" := ");
+            expr(value, out);
+        }
         out.push_str(";\n");
     }
     for f in &p.functions {

@@ -198,6 +198,13 @@ pub struct StaticContext {
     pub imports: HashMap<String, (String, Vec<String>)>,
     /// `declare option` values, `prefix:local` → value.
     pub options: HashMap<String, String>,
+    /// Base URI for resolving relative `fn:doc` arguments (`declare
+    /// base-uri`, or a peer-level default).
+    pub base_uri: Option<String>,
+    /// Default collation (`declare default collation`, or a peer-level
+    /// default). Only the codepoint collation is implemented; the value
+    /// participates in the plan-cache fingerprint regardless.
+    pub default_collation: Option<String>,
 }
 
 impl StaticContext {
@@ -239,12 +246,76 @@ impl StaticContext {
         for (name, value) in &prolog.options {
             sc.options.insert(name.lexical(), value.clone());
         }
+        sc.base_uri = prolog.base_uri.clone();
+        sc.default_collation = prolog.default_collation.clone();
         sc
     }
 
     pub fn resolve_prefix(&self, prefix: &str) -> Option<&str> {
         self.namespaces.get(prefix).map(|s| s.as_str())
     }
+
+    /// Resolve a (possibly relative) document URI against the in-scope
+    /// base URI. Absolute URIs — a scheme prefix or a rooted path — and
+    /// contexts without a base URI pass through unchanged.
+    pub fn resolve_doc_uri(&self, uri: &str) -> String {
+        let Some(base) = &self.base_uri else {
+            return uri.to_string();
+        };
+        if uri.contains("://") || uri.starts_with('/') || uri.is_empty() {
+            return uri.to_string();
+        }
+        if base.ends_with('/') {
+            format!("{base}{uri}")
+        } else {
+            format!("{base}/{uri}")
+        }
+    }
+
+    /// A stable fingerprint of everything in this static context that
+    /// affects what a compiled plan means: in-scope namespaces, default
+    /// element namespace, module imports, base URI and default collation.
+    /// Combined with the module-registry generation it forms the
+    /// static-context half of a plan-cache key — two queries with the
+    /// same text but different static contexts never share a plan.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        let mut feed = |tag: &str, s: &str| {
+            h = fnv1a_str(h, tag);
+            h = fnv1a_str(h, s);
+        };
+        let mut ns: Vec<_> = self.namespaces.iter().collect();
+        ns.sort();
+        for (p, u) in ns {
+            feed("ns", p);
+            feed("=", u);
+        }
+        feed("defelem", self.default_element_ns.as_deref().unwrap_or(""));
+        let mut imports: Vec<_> = self.imports.iter().collect();
+        imports.sort();
+        for (p, (u, hints)) in imports {
+            feed("import", p);
+            feed("=", u);
+            for hint in hints {
+                feed("at", hint);
+            }
+        }
+        feed("base-uri", self.base_uri.as_deref().unwrap_or(""));
+        feed("collation", self.default_collation.as_deref().unwrap_or(""));
+        h
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a over a string, continuing from `h` (plus a NUL separator so
+/// concatenation boundaries stay distinguishable).
+fn fnv1a_str(mut h: u64, s: &str) -> u64 {
+    for b in s.as_bytes().iter().chain(std::iter::once(&0u8)) {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 #[cfg(test)]

@@ -107,6 +107,48 @@ pub fn evaluate_main_with_vars(
     evaluate_parsed(&module, env, external)
 }
 
+/// Local function index of a main module: (local name, arity) → decl.
+pub type LocalFunctions = HashMap<(String, usize), Arc<FunctionDecl>>;
+
+/// The compile-once artifact of a main module: the parsed AST plus the
+/// static analysis the evaluator would otherwise redo on every run (the
+/// derived static context and the local-function index). This is what the
+/// peer's keyed plan cache stores behind an `Arc` — executing a prepared
+/// query touches no per-run allocation beyond the evaluation itself.
+#[derive(Clone)]
+pub struct CompiledMain {
+    pub module: Arc<MainModule>,
+    pub sctx: Arc<StaticContext>,
+    pub local_functions: Arc<LocalFunctions>,
+}
+
+impl CompiledMain {
+    /// Compile with the static context derived from the module's prolog.
+    pub fn compile(module: Arc<MainModule>) -> Self {
+        let sctx = StaticContext::from_prolog(&module.prolog);
+        Self::compile_with(module, sctx)
+    }
+
+    /// Compile with an explicit static context (the peer injects its
+    /// default base URI / collation into the prolog-derived context).
+    pub fn compile_with(module: Arc<MainModule>, sctx: StaticContext) -> Self {
+        CompiledMain {
+            sctx: Arc::new(sctx),
+            local_functions: Arc::new(local_functions_of(&module)),
+            module,
+        }
+    }
+}
+
+/// Index a main module's locally declared functions.
+pub fn local_functions_of(module: &MainModule) -> LocalFunctions {
+    let mut local_functions = HashMap::new();
+    for f in &module.prolog.functions {
+        local_functions.insert((f.name.local.clone(), f.arity()), Arc::new(f.clone()));
+    }
+    local_functions
+}
+
 /// Evaluate an already-parsed main module (the function-cache path skips
 /// re-parsing; paper §3.3 "Function Cache").
 pub fn evaluate_parsed(
@@ -114,29 +156,98 @@ pub fn evaluate_parsed(
     env: &Environment,
     external: Vec<(String, Sequence)>,
 ) -> XdmResult<(Sequence, PendingUpdateList)> {
+    let sctx = Arc::new(StaticContext::from_prolog(&module.prolog));
+    let local_functions = Arc::new(local_functions_of(module));
+    evaluate_with(module, sctx, local_functions, env, external)
+}
+
+/// Evaluate a compiled plan: the prepared-query fast path — no parse, no
+/// static analysis, just the evaluation walk.
+pub fn evaluate_compiled(
+    plan: &CompiledMain,
+    env: &Environment,
+    external: Vec<(String, Sequence)>,
+) -> XdmResult<(Sequence, PendingUpdateList)> {
+    evaluate_with(
+        &plan.module,
+        plan.sctx.clone(),
+        plan.local_functions.clone(),
+        env,
+        external,
+    )
+}
+
+fn evaluate_with(
+    module: &MainModule,
+    sctx: Arc<StaticContext>,
+    local_functions: Arc<LocalFunctions>,
+    env: &Environment,
+    external: Vec<(String, Sequence)>,
+) -> XdmResult<(Sequence, PendingUpdateList)> {
     // Under an instrumented peer this nests an evaluation span inside the
     // ambient request trace; standalone callers pay one thread-local read.
     let _span = xrpc_obs::ambient_span("xqeval:evaluate");
-    let sctx = Arc::new(StaticContext::from_prolog(&module.prolog));
-    let mut local_functions = HashMap::new();
-    for f in &module.prolog.functions {
-        local_functions.insert((f.name.local.clone(), f.arity()), Arc::new(f.clone()));
-    }
     let ev = Evaluator {
         env,
         sctx,
-        local_functions: Arc::new(local_functions),
+        local_functions,
     };
     let mut st = EvalState::new();
     for (n, v) in external {
         st.vars.push((n, v));
     }
-    for decl in &module.prolog.variables {
-        let v = ev.eval(&decl.value, &mut st, &Ctx::none())?;
-        st.vars.push((decl.name.lexical(), v));
-    }
+    eval_prolog_vars(&ev, module, &mut st)?;
     let res = ev.eval(&module.body, &mut st, &Ctx::none())?;
     Ok((res, st.pul))
+}
+
+/// Evaluate the prolog's variable declarations into `st`. External
+/// variables (`declare variable $x external`) take the caller-supplied
+/// binding already pushed into `st` — the parameter channel of a
+/// prepared query — coerced to the declared type by the function
+/// conversion rules; an unbound external without a default errors.
+pub fn eval_prolog_vars(ev: &Evaluator, module: &MainModule, st: &mut EvalState) -> XdmResult<()> {
+    for decl in &module.prolog.variables {
+        if decl.external {
+            if let Some(bound) = st.lookup(&decl.name) {
+                let coerced = coerce_to_declared(bound.clone(), decl.ty.as_ref())?;
+                st.vars.push((decl.name.lexical(), coerced));
+                continue;
+            }
+        }
+        let v = match &decl.value {
+            Some(value) => ev.eval(value, st, &Ctx::none())?,
+            None => {
+                return Err(XdmError::new(
+                    "XPDY0002",
+                    format!("external variable ${} is not bound", decl.name.lexical()),
+                ))
+            }
+        };
+        st.vars.push((decl.name.lexical(), v));
+    }
+    Ok(())
+}
+
+/// Function-conversion-style coercion for externally bound values:
+/// accept as-is when the declared type matches, else atomize + cast for
+/// atomic target types.
+fn coerce_to_declared(value: Sequence, ty: Option<&xdm::types::SeqType>) -> XdmResult<Sequence> {
+    let Some(t) = ty else { return Ok(value) };
+    if value.check_type(t).is_ok() {
+        return Ok(value);
+    }
+    if let xdm::types::ItemKind::Atomic(at) = &t.kind {
+        let items: XdmResult<Vec<Item>> = value
+            .iter()
+            .map(|i| i.atomize().cast_to(*at).map(Item::Atomic))
+            .collect();
+        let s = Sequence::from_items(items?);
+        s.check_type(t)?;
+        return Ok(s);
+    }
+    value.check_type(t)?;
+    unreachable!()
 }
 
 impl<'e> Evaluator<'e> {

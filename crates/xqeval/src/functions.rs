@@ -88,13 +88,22 @@ pub fn call_builtin(
     match (name, args.len()) {
         ("doc", 1) => {
             let uri = one_string(&args[0], "fn:doc")?;
-            let doc = ev.env.docs.resolve(&uri)?;
+            // relative URIs resolve against the in-scope base URI, with a
+            // fallback to the raw URI so stores keyed by unresolved names
+            // (every pre-base-uri caller) keep working
+            let resolved = ev.sctx.resolve_doc_uri(&uri);
+            let doc = match ev.env.docs.resolve(&resolved) {
+                Ok(d) => d,
+                Err(e) if resolved != uri => ev.env.docs.resolve(&uri).map_err(|_| e)?,
+                Err(e) => return Err(e),
+            };
             Ok(Sequence::one(Item::Node(NodeHandle::root(doc))))
         }
         ("doc-available", 1) => {
             let uri = one_string(&args[0], "fn:doc-available")?;
+            let resolved = ev.sctx.resolve_doc_uri(&uri);
             Ok(Sequence::one(Item::boolean(
-                ev.env.docs.resolve(&uri).is_ok(),
+                ev.env.docs.resolve(&resolved).is_ok() || ev.env.docs.resolve(&uri).is_ok(),
             )))
         }
         ("put", 2) => {

@@ -24,6 +24,9 @@ pub mod pul;
 pub use context::{
     DocResolver, Environment, FunctionRef, InMemoryDocs, RpcDispatcher, StaticContext,
 };
-pub use eval::{evaluate_main, evaluate_main_with_vars, Evaluator};
+pub use eval::{
+    evaluate_compiled, evaluate_main, evaluate_main_with_vars, evaluate_parsed, CompiledMain,
+    Evaluator,
+};
 pub use modules::{CompiledModule, ModuleRegistry};
 pub use pul::{apply_updates, DocEdit, PendingUpdateList, UpdatePrimitive};

@@ -53,6 +53,10 @@ pub struct ModuleRegistry {
     modules: RwLock<HashMap<String, Arc<CompiledModule>>>,
     /// Fetch module source text by location hint (e.g. over HTTP).
     loader: RwLock<Option<ModuleLoader>>,
+    /// Bumped on every (re)registration. Plan caches fold this into
+    /// their static-context fingerprint so a module reload makes every
+    /// key derived from the old registry state unreachable.
+    generation: std::sync::atomic::AtomicU64,
 }
 
 impl ModuleRegistry {
@@ -60,6 +64,7 @@ impl ModuleRegistry {
         ModuleRegistry {
             modules: RwLock::new(HashMap::new()),
             loader: RwLock::new(None),
+            generation: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -67,6 +72,13 @@ impl ModuleRegistry {
     pub fn register(&self, lib: &LibraryModule) {
         let cm = Arc::new(CompiledModule::from_library(lib));
         self.modules.write().insert(cm.ns_uri.clone(), cm);
+        self.generation
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// The registry's registration generation (see the field docs).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(std::sync::atomic::Ordering::SeqCst)
     }
 
     /// Parse + register module source text.

@@ -1,0 +1,208 @@
+//! Cast / type-conversion conformance matrix — the regression floor for
+//! the coercion rules the prepared-query parameter channel rides (external
+//! variables are coerced by the same function-conversion rules).
+//!
+//! Each row is one `cast as` / `castable as` / promotion case with its
+//! pinned outcome; the macros expand every row into its own `#[test]` so a
+//! single regression names the exact cell that moved.
+
+use std::sync::Arc;
+use xdm::Sequence;
+use xqeval::{evaluate_main, Environment, InMemoryDocs};
+
+fn eval(query: &str) -> Result<String, String> {
+    let env = Environment::new(Arc::new(InMemoryDocs::new()));
+    evaluate_main(query, &env)
+        .map(|(seq, _)| serialize(&seq))
+        .map_err(|e| e.code)
+}
+
+fn serialize(seq: &Sequence) -> String {
+    seq.iter()
+        .map(|i| i.string_value())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// `cast_ok!(name, expression, expected_serialization)`
+macro_rules! cast_ok {
+    ($($name:ident: $expr:expr => $expected:expr;)+) => {
+        $(
+            #[test]
+            fn $name() {
+                assert_eq!(eval($expr).as_deref(), Ok($expected), "expr: {}", $expr);
+            }
+        )+
+    };
+}
+
+/// `cast_err!(name, expression, expected_error_code)`
+macro_rules! cast_err {
+    ($($name:ident: $expr:expr => $code:expr;)+) => {
+        $(
+            #[test]
+            fn $name() {
+                assert_eq!(eval($expr).as_ref().err().map(|s| s.as_str()), Some($code), "expr: {}", $expr);
+            }
+        )+
+    };
+}
+
+// ---------------------------------------------------------------------
+// string → T
+// ---------------------------------------------------------------------
+cast_ok! {
+    string_to_integer: r#""42" cast as xs:integer"# => "42";
+    string_to_integer_negative: r#""-7" cast as xs:integer"# => "-7";
+    string_to_integer_whitespace: r#""  42  " cast as xs:integer"# => "42";
+    string_to_decimal: r#""3.14" cast as xs:decimal"# => "3.14";
+    string_to_double: r#""1.5e2" cast as xs:double"# => "150";
+    string_to_boolean_true: r#""true" cast as xs:boolean"# => "true";
+    string_to_boolean_one: r#""1" cast as xs:boolean"# => "true";
+    string_to_boolean_false: r#""false" cast as xs:boolean"# => "false";
+    string_to_boolean_zero: r#""0" cast as xs:boolean"# => "false";
+    string_to_date: r#""2007-09-23" cast as xs:date"# => "2007-09-23";
+    string_to_time: r#""10:30:00" cast as xs:time"# => "10:30:00";
+    string_to_datetime: r#""2007-09-23T10:30:00" cast as xs:dateTime"# => "2007-09-23T10:30:00";
+    string_to_anyuri: r#""xrpc://x.example.org/q" cast as xs:anyURI"# => "xrpc://x.example.org/q";
+    string_to_untyped: r#""seq" cast as xs:untypedAtomic"# => "seq";
+    string_to_string_identity: r#""abc" cast as xs:string"# => "abc";
+}
+
+cast_err! {
+    string_to_integer_garbage: r#""abc" cast as xs:integer"# => "FORG0001";
+    string_to_integer_decimal_point: r#""4.2" cast as xs:integer"# => "FORG0001";
+    string_to_boolean_garbage: r#""yes" cast as xs:boolean"# => "FORG0001";
+    string_to_date_garbage: r#""not-a-date" cast as xs:date"# => "FORG0001";
+    string_to_double_garbage: r#""1.5ee" cast as xs:double"# => "FORG0001";
+}
+
+// ---------------------------------------------------------------------
+// numeric tower: integer ↔ decimal ↔ double
+// ---------------------------------------------------------------------
+cast_ok! {
+    integer_to_string: r#"42 cast as xs:string"# => "42";
+    integer_to_decimal: r#"42 cast as xs:decimal"# => "42";
+    integer_to_double: r#"42 cast as xs:double"# => "42";
+    integer_to_boolean_nonzero: r#"7 cast as xs:boolean"# => "true";
+    integer_to_boolean_zero: r#"0 cast as xs:boolean"# => "false";
+    decimal_to_integer_truncates: r#"3.99 cast as xs:integer"# => "3";
+    decimal_to_integer_truncates_negative: r#"-3.99 cast as xs:integer"# => "-3";
+    double_to_integer_truncates: r#"2.5e0 cast as xs:integer"# => "2";
+    decimal_to_double: r#"2.5 cast as xs:double"# => "2.5";
+    double_to_decimal: r#"2.5e0 cast as xs:decimal"# => "2.5";
+    double_serialization_integral: r#"1.0e3 cast as xs:string"# => "1000";
+}
+
+// ---------------------------------------------------------------------
+// boolean → T
+// ---------------------------------------------------------------------
+cast_ok! {
+    boolean_to_integer_true: r#"true() cast as xs:integer"# => "1";
+    boolean_to_integer_false: r#"false() cast as xs:integer"# => "0";
+    boolean_to_string: r#"true() cast as xs:string"# => "true";
+    boolean_to_double: r#"true() cast as xs:double"# => "1";
+}
+
+// ---------------------------------------------------------------------
+// untypedAtomic behaves like its lexical form (function conversion)
+// ---------------------------------------------------------------------
+cast_ok! {
+    untyped_to_integer: r#"("5" cast as xs:untypedAtomic) cast as xs:integer"# => "5";
+    untyped_to_double: r#"("1.5" cast as xs:untypedAtomic) cast as xs:double"# => "1.5";
+    untyped_in_arithmetic: r#"("5" cast as xs:untypedAtomic) + 1"# => "6";
+}
+
+cast_err! {
+    untyped_to_integer_garbage: r#"("x" cast as xs:untypedAtomic) cast as xs:integer"# => "FORG0001";
+}
+
+// ---------------------------------------------------------------------
+// empty sequences and cardinality
+// ---------------------------------------------------------------------
+cast_ok! {
+    empty_to_optional: r#"() cast as xs:integer?"# => "";
+    castable_reports_true: r#""42" castable as xs:integer"# => "true";
+    castable_reports_false: r#""abc" castable as xs:integer"# => "false";
+    castable_empty_optional: r#"() castable as xs:integer?"# => "true";
+    castable_empty_required: r#"() castable as xs:integer"# => "false";
+}
+
+cast_err! {
+    empty_to_required_errors: r#"() cast as xs:integer"# => "XPTY0004";
+}
+
+// ---------------------------------------------------------------------
+// temporal round-trips
+// ---------------------------------------------------------------------
+cast_ok! {
+    date_roundtrip: r#"(("2007-09-23" cast as xs:date) cast as xs:string) cast as xs:date"# => "2007-09-23";
+    datetime_to_string: r#"("2007-09-23T10:30:00" cast as xs:dateTime) cast as xs:string"# => "2007-09-23T10:30:00";
+}
+
+// ---------------------------------------------------------------------
+// external-variable coercion: the same matrix through the parameter
+// channel the prepared-query API uses
+// ---------------------------------------------------------------------
+mod external_coercion {
+    use super::*;
+    use xdm::Item;
+    use xqeval::evaluate_main_with_vars;
+
+    fn eval_with(query: &str, name: &str, value: Sequence) -> Result<String, String> {
+        let env = Environment::new(Arc::new(InMemoryDocs::new()));
+        evaluate_main_with_vars(query, &env, vec![(name.to_string(), value)])
+            .map(|(seq, _)| serialize(&seq))
+            .map_err(|e| e.code)
+    }
+
+    #[test]
+    fn string_coerces_to_declared_integer() {
+        let r = eval_with(
+            r#"declare variable $n as xs:integer external; $n + 1"#,
+            "n",
+            Sequence::one(Item::string("41")),
+        );
+        assert_eq!(r.as_deref(), Ok("42"));
+    }
+
+    #[test]
+    fn matching_type_passes_through() {
+        let r = eval_with(
+            r#"declare variable $n as xs:integer external; $n + 1"#,
+            "n",
+            Sequence::one(Item::integer(41)),
+        );
+        assert_eq!(r.as_deref(), Ok("42"));
+    }
+
+    #[test]
+    fn uncoercible_value_is_a_type_error() {
+        let r = eval_with(
+            r#"declare variable $n as xs:integer external; $n"#,
+            "n",
+            Sequence::one(Item::string("abc")),
+        );
+        assert!(r.is_err(), "casting 'abc' to integer must fail");
+    }
+
+    #[test]
+    fn cardinality_violation_rejected() {
+        let r = eval_with(
+            r#"declare variable $n as xs:integer external; $n"#,
+            "n",
+            Sequence::from_items(vec![Item::integer(1), Item::integer(2)]),
+        );
+        assert_eq!(r.as_ref().err().map(|s| s.as_str()), Some("XPTY0004"));
+    }
+
+    #[test]
+    fn untyped_declaration_accepts_anything() {
+        let r = eval_with(
+            r#"declare variable $x external; count($x)"#,
+            "x",
+            Sequence::from_items(vec![Item::integer(1), Item::string("two")]),
+        );
+        assert_eq!(r.as_deref(), Ok("2"));
+    }
+}

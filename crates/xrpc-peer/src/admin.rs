@@ -103,6 +103,31 @@ pub fn render_metrics(peer: &Peer, server_metrics: Option<&NetMetrics>) -> Strin
     w.counter("xrpc_twopc_inquiries_total", t.inquiries);
     w.counter("xrpc_twopc_reaborts_total", t.reaborts);
 
+    // Plan-cache + function-cache effectiveness (the §3.3 function cache
+    // generalized to whole-query plans).
+    let pc = peer.plan_cache.stats();
+    w.counter("xrpc_plan_cache_hits_total", pc.hits);
+    w.counter("xrpc_plan_cache_misses_total", pc.misses);
+    w.counter("xrpc_plan_cache_evictions_total", pc.evictions);
+    w.counter("xrpc_plan_cache_invalidations_total", pc.invalidations);
+    w.gauge("xrpc_plan_cache_size", pc.len as u64);
+    w.gauge("xrpc_plan_cache_enabled", if pc.enabled { 1 } else { 0 });
+    let fc = peer.function_cache.stats();
+    w.counter("xrpc_function_cache_hits_total", fc.hits);
+    w.counter("xrpc_function_cache_misses_total", fc.misses);
+    w.counter("xrpc_function_cache_evictions_total", fc.evictions);
+    w.gauge("xrpc_function_cache_size", fc.len as u64);
+
+    // Adaptive bulk-sizing controller (see `xrpc_peer::adaptive`).
+    let a = peer.adaptive.snapshot();
+    w.gauge("xrpc_bulk_adaptive_pinned", a.pinned.unwrap_or(0) as u64);
+    w.gauge("xrpc_bulk_ewma_call_micros", a.ewma_call_micros);
+    w.gauge("xrpc_bulk_last_threads", a.last_threads as u64);
+    w.counter("xrpc_bulk_decisions_total", a.decisions);
+    w.counter("xrpc_bulk_parallel_decisions_total", a.parallel_decisions);
+    w.counter("xrpc_bulk_observed_calls_total", a.observed_calls);
+    w.counter("xrpc_bulk_split_dispatches_total", a.split_dispatches);
+
     let p = BufferPool::global().stats();
     w.counter("xrpc_bufpool_hits_total", p.hits);
     w.counter("xrpc_bufpool_misses_total", p.misses);
@@ -164,9 +189,16 @@ pub fn render_metrics(peer: &Peer, server_metrics: Option<&NetMetrics>) -> Strin
                 ("xrpc_dest_retries_total", &st.retries),
                 ("xrpc_dest_failures_total", &st.failures),
                 ("xrpc_dest_fast_failures_total", &st.fast_failures),
+                ("xrpc_dest_calls_total", &st.calls),
             ] {
                 w.counter_labeled(name, "dest", &dest, v.load(Ordering::Relaxed));
             }
+            w.gauge_labeled(
+                "xrpc_dest_ewma_call_micros",
+                "dest",
+                &dest,
+                st.ewma_call_micros(),
+            );
             w.summary_labeled(
                 "xrpc_dest_latency_micros",
                 "dest",

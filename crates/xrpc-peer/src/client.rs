@@ -3,12 +3,13 @@
 //! parses responses, converts faults into local run-time errors, and
 //! collects the piggybacked participating-peer lists for 2PC.
 
+use crate::adaptive::AdaptiveBulk;
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::Arc;
 use xdm::{Sequence, XdmError, XdmResult};
 use xqeval::context::{FunctionRef, RpcDispatcher};
-use xrpc_net::{CallHint, Transport};
+use xrpc_net::{CallHint, ResilientTransport, Transport};
 use xrpc_obs::Observability;
 use xrpc_proto::{parse_message, QueryId, XrpcMessage, XrpcRequest};
 
@@ -33,6 +34,17 @@ pub struct XrpcClient {
     pub requests_sent: std::sync::atomic::AtomicU64,
     /// Individual calls sent (≥ requests when Bulk RPC batches).
     pub calls_sent: std::sync::atomic::AtomicU64,
+    /// The owning peer's bulk-sizing controller. With it attached, a
+    /// large *read-only* bulk dispatch to a measurably slow destination
+    /// may be split into a few concurrently-shipped chunks (see
+    /// [`AdaptiveBulk::dispatch_chunks`]); without it (or when the
+    /// controller is pinned) every dispatch is one message.
+    pub adaptive: Option<Arc<AdaptiveBulk>>,
+    /// The transport's resilience decorator, for per-destination
+    /// feedback: batch sizes and round-trip times are reported into its
+    /// `DestStats` after every dispatch, which is where the controller's
+    /// per-destination estimates come from.
+    pub net_feedback: Option<Arc<ResilientTransport>>,
 }
 
 impl XrpcClient {
@@ -45,6 +57,8 @@ impl XrpcClient {
             participants: Mutex::new(HashSet::new()),
             requests_sent: std::sync::atomic::AtomicU64::new(0),
             calls_sent: std::sync::atomic::AtomicU64::new(0),
+            adaptive: None,
+            net_feedback: None,
         }
     }
 
@@ -116,8 +130,11 @@ impl XrpcClient {
     }
 }
 
-impl RpcDispatcher for XrpcClient {
-    fn dispatch(
+impl XrpcClient {
+    /// Ship one Bulk RPC message carrying `calls` and parse its reply —
+    /// the single-message path `dispatch` delegates to (once per chunk
+    /// when the controller splits).
+    fn dispatch_one(
         &self,
         dest: &str,
         func: &FunctionRef,
@@ -226,6 +243,97 @@ impl RpcDispatcher for XrpcClient {
             XrpcMessage::Fault(f) => Err(f.to_error()),
             XrpcMessage::Request(_) => Err(XdmError::xrpc("peer answered with a request")),
         }
+    }
+}
+
+impl RpcDispatcher for XrpcClient {
+    fn dispatch(
+        &self,
+        dest: &str,
+        func: &FunctionRef,
+        calls: Vec<Vec<Sequence>>,
+    ) -> XdmResult<Vec<Sequence>> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let ncalls = calls.len();
+        let dest_stats = self.net_feedback.as_ref().map(|rt| rt.dest_stats_for(dest));
+        // Read-only batches may be split into concurrently-shipped chunks
+        // when the controller judges the destination slow enough that the
+        // extra messages pay for themselves. Updating dispatches never
+        // split: their retry/redelivery contract is per-message.
+        let chunks = match (&self.adaptive, &dest_stats) {
+            (Some(a), Some(ds)) if !func.updating => {
+                a.dispatch_chunks(ncalls, ds.ewma_call_micros())
+            }
+            _ => 1,
+        };
+        let started = std::time::Instant::now();
+        let result = if chunks <= 1 {
+            self.dispatch_one(dest, func, calls)
+        } else {
+            if let Some(a) = &self.adaptive {
+                a.split_dispatches.fetch_add(1, Relaxed);
+            }
+            self.dispatch_chunked(dest, func, calls, chunks)
+        };
+        if result.is_ok() {
+            if let Some(ds) = &dest_stats {
+                ds.note_calls(ncalls as u64, started.elapsed());
+            }
+        }
+        result
+    }
+}
+
+impl XrpcClient {
+    /// Split `calls` into `chunks` contiguous slices and ship them
+    /// concurrently (one sender thread per extra chunk). Results are
+    /// merged back in call order; the lowest-chunk error wins, exactly
+    /// as the single-message path would have surfaced it. Only reached
+    /// for read-only functions — no ∆s, so partial failure leaves no
+    /// state behind.
+    fn dispatch_chunked(
+        &self,
+        dest: &str,
+        func: &FunctionRef,
+        calls: Vec<Vec<Sequence>>,
+        chunks: usize,
+    ) -> XdmResult<Vec<Sequence>> {
+        let ncalls = calls.len();
+        let per = ncalls.div_ceil(chunks);
+        let mut parts: Vec<Vec<Vec<Sequence>>> = Vec::with_capacity(chunks);
+        let mut rest = calls;
+        while !rest.is_empty() {
+            let tail = rest.split_off(per.min(rest.len()));
+            parts.push(std::mem::replace(&mut rest, tail));
+        }
+        // Worker threads need the dispatching thread's ambient trace
+        // context/tracer re-established (they are thread-locals).
+        let ambient = xrpc_obs::current_context();
+        let tracer = xrpc_obs::current_tracer();
+        let mut slots: Vec<XdmResult<Vec<Sequence>>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|chunk| {
+                    let tracer = tracer.clone();
+                    s.spawn(move || {
+                        let _ctx = xrpc_obs::set_current_context(ambient);
+                        let _tr = xrpc_obs::set_current_tracer(tracer);
+                        self.dispatch_one(dest, func, chunk)
+                    })
+                })
+                .collect();
+            for h in handles {
+                slots.push(h.join().unwrap_or_else(|_| {
+                    Err(XdmError::xrpc("bulk dispatch chunk thread panicked"))
+                }));
+            }
+        });
+        let mut out = Vec::with_capacity(ncalls);
+        for slot in slots {
+            out.extend(slot?);
+        }
+        Ok(out)
     }
 }
 

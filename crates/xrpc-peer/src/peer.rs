@@ -1,5 +1,6 @@
 //! The peer: one XQuery database node speaking XRPC on both sides.
 
+use crate::adaptive::AdaptiveBulk;
 use crate::client::XrpcClient;
 use crate::store::{Decision, QuerySnapshot, SnapshotManager};
 use crate::twopc::{
@@ -8,7 +9,7 @@ use crate::twopc::{
 };
 use crate::wal::{self, Wal, WalRecord};
 use parking_lot::{Mutex, RwLock};
-use relalg::FunctionCache;
+use relalg::{FunctionCache, PlanCache};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -20,7 +21,7 @@ use xqeval::context::{DocResolver, Environment, StaticContext};
 use xqeval::eval::{Ctx, EvalState, Evaluator};
 use xqeval::modules::CompiledModule;
 use xqeval::pul::{apply_updates, PendingUpdateList};
-use xqeval::{InMemoryDocs, ModuleRegistry};
+use xqeval::{CompiledMain, InMemoryDocs, ModuleRegistry};
 use xrpc_net::{
     crash_points, BreakerConfig, CrashSwitch, ResilientTransport, RetryPolicy, Transport,
 };
@@ -66,6 +67,43 @@ pub struct PreparedFunction {
     pub sctx: StaticContext,
 }
 
+/// Plan-cache key: (normalized query text, static-context fingerprint).
+/// The text part covers everything the query declares for itself (its
+/// prolog is in the text); the fingerprint covers the *ambient* static
+/// context the peer compiles it in — module registry generation, peer
+/// default base URI / collation, engine kind (see
+/// [`Peer::plan_fingerprint`]).
+pub type PlanKey = (String, u64);
+
+/// The compile-once artifact the plan cache stores: the parsed module plus
+/// its resolved static context (behind `Arc`s, so execution shares rather
+/// than clones), and the execution options derived from the prolog —
+/// everything `execute` needs except the dynamic context.
+pub struct QueryPlan {
+    pub compiled: CompiledMain,
+    pub isolation: IsolationLevel,
+    pub timeout_secs: u32,
+}
+
+/// A handle to a cached plan, returned by [`Peer::prepare`]. Executing it
+/// ([`Peer::execute_prepared`]) skips parse + static analysis entirely —
+/// parameters ride the query's `declare variable $x ... external`
+/// declarations. The handle keeps its plan alive even across cache
+/// eviction or invalidation (the plan is an `Arc` snapshot), so results
+/// stay self-consistent; re-`prepare` to pick up module changes.
+pub struct PreparedQuery {
+    pub(crate) plan: Arc<QueryPlan>,
+}
+
+impl PreparedQuery {
+    pub fn isolation(&self) -> IsolationLevel {
+        self.plan.isolation
+    }
+    pub fn timeout_secs(&self) -> u32 {
+        self.plan.timeout_secs
+    }
+}
+
 /// Outcome details of a top-level query execution.
 pub struct ExecOutcome {
     pub result: Sequence,
@@ -106,16 +144,27 @@ pub struct Peer {
     /// through the client stub, the request handlers, 2PC and the WAL.
     pub obs: Arc<Observability>,
     pub function_cache: FunctionCache<PreparedFunction>,
+    /// Compiled plans for top-level queries, keyed by (normalized text,
+    /// ambient-static-context fingerprint) — repeated query shapes skip
+    /// parse + static analysis (the generalization of the paper's §3.3
+    /// function cache to whole queries). Disable for the engine-tree
+    /// fidelity mode (compile every query).
+    pub plan_cache: PlanCache<PlanKey, QueryPlan>,
+    /// Peer-level default static context applied to queries that don't
+    /// declare their own `base-uri` / `default collation`. Part of the
+    /// plan-cache fingerprint.
+    base_uri: RwLock<Option<String>>,
+    default_collation: RwLock<Option<String>>,
+    /// The feedback-driven bulk-sizing controller (see [`crate::adaptive`]):
+    /// chooses server-side eval parallelism per incoming bulk batch and
+    /// client-side dispatch chunking per destination.
+    pub adaptive: Arc<AdaptiveBulk>,
     pub stats: PeerStats,
     /// Default `xrpc:timeout` seconds when a query does not declare one.
     pub default_timeout_secs: u32,
     /// Opt into the distributed-optimizer behaviours (invariant hoisting,
     /// duplicate bulk-call collapsing) for queries run at this peer.
     rpc_optimize: std::sync::atomic::AtomicBool,
-    /// Worker threads for evaluating the calls of one incoming *read-only*
-    /// bulk request (1 = sequential, the default; see
-    /// [`set_bulk_threads`](Self::set_bulk_threads)).
-    bulk_threads: std::sync::atomic::AtomicUsize,
     /// The write-ahead coordination log, when durability is enabled (see
     /// `recovery::attach_wal`). Peers without one keep the pre-durability
     /// behavior: prepared state is volatile, a crash forgets it.
@@ -182,10 +231,13 @@ impl Peer {
             resilient: RwLock::new(None),
             obs,
             function_cache: FunctionCache::new(true),
+            plan_cache: PlanCache::new(true),
+            base_uri: RwLock::new(None),
+            default_collation: RwLock::new(None),
+            adaptive: Arc::new(AdaptiveBulk::new()),
             stats: PeerStats::default(),
             default_timeout_secs: 30,
             rpc_optimize: std::sync::atomic::AtomicBool::new(false),
-            bulk_threads: std::sync::atomic::AtomicUsize::new(1),
             wal: RwLock::new(None),
             crash_switch: RwLock::new(None),
             twopc_metrics: TwoPcMetrics::new(),
@@ -254,15 +306,27 @@ impl Peer {
         false
     }
 
-    /// Evaluate the calls of an incoming read-only Bulk RPC request with
-    /// up to `n` worker threads. The default (1) keeps the paper's
-    /// sequential loop. Responses are merged back in call order whatever
-    /// the completion order, so callers observe identical results;
-    /// updating bulk requests always stay sequential (their ∆s must
-    /// compose in call order).
+    /// **Deprecated** in favor of the feedback-driven controller (see
+    /// [`crate::adaptive`]): bulk sizing is now adaptive by default — the
+    /// controller reads per-call latency feedback and chooses the worker
+    /// count per batch, so there is nothing to hand-tune. Calling this
+    /// *pins* the controller to exactly `n` workers for every read-only
+    /// bulk request (the explicit-override escape hatch, mirroring the
+    /// reactor's `accept_poll_interval` override). Use
+    /// [`set_bulk_adaptive`](Self::set_bulk_adaptive) to unpin.
+    ///
+    /// Responses are merged back in call order whatever the completion
+    /// order, so callers observe identical results; updating bulk
+    /// requests always stay sequential (their ∆s must compose in call
+    /// order).
     pub fn set_bulk_threads(&self, n: usize) {
-        self.bulk_threads
-            .store(n.max(1), std::sync::atomic::Ordering::SeqCst);
+        self.adaptive.pin(n);
+    }
+
+    /// Return bulk sizing to the feedback-driven controller (the default;
+    /// undoes a [`set_bulk_threads`](Self::set_bulk_threads) pin).
+    pub fn set_bulk_adaptive(&self) {
+        self.adaptive.unpin();
     }
 
     /// Enable/disable the distributed-optimizer behaviours (loop-invariant
@@ -337,7 +401,42 @@ impl Peer {
         self.module_sources
             .write()
             .insert(ns.clone(), source.to_string());
+        // Registering (or reloading) a module changes what cached plans
+        // would compile to. The registry's generation bump already makes
+        // stale keys unreachable; the explicit invalidation also frees
+        // the stale entries (and is the observable contract).
+        self.plan_cache.invalidate();
         Ok(ns)
+    }
+
+    /// Set the peer-level default base URI applied to queries that don't
+    /// declare their own `declare base-uri`. Affects `fn:doc` resolution,
+    /// and (being part of the plan-cache fingerprint) compiled plans for
+    /// the old default stop being reachable.
+    pub fn set_base_uri(&self, uri: Option<String>) {
+        *self.base_uri.write() = uri;
+    }
+
+    pub fn base_uri(&self) -> Option<String> {
+        self.base_uri.read().clone()
+    }
+
+    /// Set the peer-level default collation (same fingerprint rules as
+    /// [`set_base_uri`](Self::set_base_uri)).
+    pub fn set_default_collation(&self, uri: Option<String>) {
+        *self.default_collation.write() = uri;
+    }
+
+    pub fn default_collation(&self) -> Option<String> {
+        self.default_collation.read().clone()
+    }
+
+    /// Toggle the query plan cache. `false` selects the engine-tree
+    /// fidelity mode: every query compiles from scratch (results must be
+    /// byte-identical to the cached path — the cache may only ever be a
+    /// performance observation).
+    pub fn set_plan_cache_enabled(&self, on: bool) {
+        self.plan_cache.set_enabled(on);
     }
 
     /// A SOAP handler closure for transports (SimNetwork / HttpServer).
@@ -684,6 +783,8 @@ impl Peer {
             c.query_id = req.query_id.clone();
             c.deferred_updates = req.deferred;
             c.obs = Some(self.obs.clone());
+            c.adaptive = Some(self.adaptive.clone());
+            c.net_feedback = self.resilient_transport();
             Arc::new(c)
         });
 
@@ -720,11 +821,12 @@ impl Peer {
         // worker pool: every call shares the same immutable snapshot and
         // prepared function, so calls are independent. Updating bulk stays
         // sequential — ∆s must compose in call order (XQUF merge rules).
-        let threads = self
-            .bulk_threads
-            .load(std::sync::atomic::Ordering::SeqCst)
-            .min(req.calls.len());
+        // The worker count comes from the adaptive controller (or its
+        // `set_bulk_threads` pin), and the batch's measured cost feeds
+        // back into it below.
+        let threads = self.adaptive.eval_threads(req.calls.len());
         let parallel = threads > 1 && !prepared.decl.updating;
+        let eval_started = Instant::now();
         let per_call: Vec<XdmResult<(Sequence, PendingUpdateList)>> = if parallel {
             self.stats
                 .parallel_bulk_requests
@@ -742,6 +844,11 @@ impl Peer {
             }
             out
         };
+        self.adaptive.observe(
+            per_call.len(),
+            eval_started.elapsed(),
+            if parallel { threads } else { 1 },
+        );
 
         // Merge in call order: response positions match request positions
         // exactly, and the lowest-index error wins (as it would have
@@ -883,10 +990,40 @@ impl Peer {
         self.execute_detailed(query).map(|o| o.result)
     }
 
-    /// Execute a query, honoring `declare option xrpc:isolation` /
-    /// `xrpc:timeout`, driving deferred updates through 2PC when the query
-    /// runs isolated.
-    pub fn execute_detailed(&self, query: &str) -> XdmResult<ExecOutcome> {
+    /// Normalize query text for plan-cache keying. Only transformations
+    /// that provably preserve XQuery semantics are allowed here — two
+    /// *different* queries must never normalize to the same text (string
+    /// literals make whitespace inside the body significant, so only line
+    /// endings and outer padding are touched).
+    pub fn normalize_query_text(query: &str) -> String {
+        query.replace("\r\n", "\n").trim().to_string()
+    }
+
+    /// The ambient-static-context fingerprint folded into every plan-cache
+    /// key: everything *outside* the query text that affects compilation.
+    /// A module (re)registration, a peer default base-URI/collation
+    /// change, or a different engine each produce a different fingerprint,
+    /// so stale plans become unreachable rather than served.
+    fn plan_fingerprint(&self) -> u64 {
+        let ambient = StaticContext {
+            base_uri: self.base_uri.read().clone(),
+            default_collation: self.default_collation.read().clone(),
+            ..StaticContext::default()
+        };
+        let mut h = ambient.fingerprint();
+        h ^= self.modules.generation();
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        h ^= match self.engine {
+            EngineKind::Tree => 0x7472_6565,
+            EngineKind::Rel => 0x0072_656c,
+        };
+        h.wrapping_mul(0x0000_0100_0000_01B3)
+    }
+
+    /// Compile a query into its cacheable plan: parse, resolve the static
+    /// context (query prolog over peer defaults), derive the execution
+    /// options. This is the work a plan-cache hit skips.
+    fn compile_query(&self, query: &str) -> XdmResult<QueryPlan> {
         let module = xqast::parse_main_module(query)?;
         let isolation = match module.prolog.option("xrpc", "isolation") {
             Some("repeatable") => IsolationLevel::Repeatable,
@@ -903,6 +1040,83 @@ impl Peer {
                 .map_err(|_| XdmError::xrpc("xrpc:timeout must be an integer"))?,
             None => self.default_timeout_secs,
         };
+        let mut sctx = StaticContext::from_prolog(&module.prolog);
+        if sctx.base_uri.is_none() {
+            sctx.base_uri = self.base_uri.read().clone();
+        }
+        if sctx.default_collation.is_none() {
+            sctx.default_collation = self.default_collation.read().clone();
+        }
+        Ok(QueryPlan {
+            compiled: CompiledMain::compile_with(Arc::new(module), sctx),
+            isolation,
+            timeout_secs: timeout,
+        })
+    }
+
+    /// The cached plan for `query` — compiled on first sight (or on every
+    /// call when the cache is disabled / the fingerprint changed).
+    pub fn plan_for(&self, query: &str) -> XdmResult<Arc<QueryPlan>> {
+        let key = (Self::normalize_query_text(query), self.plan_fingerprint());
+        self.plan_cache
+            .get_or_prepare(key, || self.compile_query(query))
+    }
+
+    /// Prepare a query for repeated execution: compile (or fetch the
+    /// cached plan) once, bind parameters per execution via the query's
+    /// `declare variable $x as T external` declarations.
+    ///
+    /// ```text
+    /// let q = peer.prepare(r#"declare variable $pid external;
+    ///                         doc("people.xml")//person[@id = $pid]"#)?;
+    /// for pid in ids {
+    ///     let r = peer.execute_prepared(&q, vec![("pid".into(), pid)])?;
+    /// }
+    /// ```
+    pub fn prepare(&self, query: &str) -> XdmResult<PreparedQuery> {
+        Ok(PreparedQuery {
+            plan: self.plan_for(query)?,
+        })
+    }
+
+    /// Execute a prepared query with `params` bound to its external
+    /// variables (names without the `$`). Values are coerced by the
+    /// function-conversion rules against each variable's declared type.
+    pub fn execute_prepared(
+        &self,
+        prepared: &PreparedQuery,
+        params: Vec<(String, Sequence)>,
+    ) -> XdmResult<Sequence> {
+        self.execute_prepared_detailed(prepared, params)
+            .map(|o| o.result)
+    }
+
+    /// [`execute_prepared`](Self::execute_prepared) with the full outcome.
+    pub fn execute_prepared_detailed(
+        &self,
+        prepared: &PreparedQuery,
+        params: Vec<(String, Sequence)>,
+    ) -> XdmResult<ExecOutcome> {
+        self.execute_plan(&prepared.plan, params)
+    }
+
+    /// Execute a query, honoring `declare option xrpc:isolation` /
+    /// `xrpc:timeout`, driving deferred updates through 2PC when the query
+    /// runs isolated.
+    pub fn execute_detailed(&self, query: &str) -> XdmResult<ExecOutcome> {
+        let plan = self.plan_for(query)?;
+        self.execute_plan(&plan, Vec::new())
+    }
+
+    /// Run a compiled plan: everything after parse + static analysis —
+    /// snapshot pinning, engine dispatch, 2PC settlement.
+    fn execute_plan(
+        &self,
+        plan: &QueryPlan,
+        external: Vec<(String, Sequence)>,
+    ) -> XdmResult<ExecOutcome> {
+        let isolation = plan.isolation;
+        let timeout = plan.timeout_secs;
         let qid = match isolation {
             IsolationLevel::Repeatable => {
                 Some(QueryId::new(self.name(), self.next_qid_ts(), timeout))
@@ -941,6 +1155,8 @@ impl Peer {
             c.query_id = qid.clone();
             c.deferred_updates = isolation == IsolationLevel::Repeatable;
             c.obs = Some(self.obs.clone());
+            c.adaptive = Some(self.adaptive.clone());
+            c.net_feedback = self.resilient_transport();
             Arc::new(c)
         });
 
@@ -962,8 +1178,10 @@ impl Peer {
         }
 
         let (result, local_pul) = match self.engine {
-            EngineKind::Tree => xqeval::eval::evaluate_parsed(&module, &env, Vec::new())?,
-            EngineKind::Rel => relalg::engine::execute_rel_parsed(&module, &env, Vec::new())?,
+            EngineKind::Tree => xqeval::eval::evaluate_compiled(&plan.compiled, &env, external)?,
+            EngineKind::Rel => {
+                relalg::engine::execute_rel_compiled(&plan.compiled, &env, external)?
+            }
         };
 
         let (requests_sent, calls_sent) = client
