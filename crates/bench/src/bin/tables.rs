@@ -10,21 +10,24 @@
 //! tables u1            — U1: durable update throughput, WAL group commit on/off
 //! tables c1            — C1: plan-cache warm path + adaptive bulk sizing (alias: compile-cache)
 //! tables s1            — S1: concurrent-client swarm, reactor vs threaded (alias: swarm)
+//! tables r1            — R1: deadline/cancellation latency + wasted-work reduction (alias: cancellation)
 //! tables all           — everything above except s1 (the swarm wants the machine to itself)
 //! ```
 //!
 //! Numbers are wall-clock milliseconds on this machine; compare *shapes*
 //! with the paper (EXPERIMENTS.md records both).
 //!
-//! `e4`, `a1`, `u1`, `c1` and `s1` also write machine-readable
+//! `e4`, `a1`, `u1`, `c1`, `s1` and `r1` also write machine-readable
 //! `BENCH_E4.json` / `BENCH_A1.json` / `BENCH_U1.json` / `BENCH_C1.json`
-//! / `BENCH_S1.json` into the current directory, so the perf trajectory
-//! is tracked across PRs instead of living only in prose. `--quick`
-//! trims the sweeps to their cheap points (a seconds-scale CI smoke
-//! run); for `s1` it additionally *asserts* that the reactor sheds
-//! nothing at the smoke scale (exit 4 otherwise), and for `c1` that the
-//! warm plan-cache hit rate stays ≥ 95% (exit 5 otherwise), so CI
-//! guards the admission and compile-once paths, not just the numbers.
+//! / `BENCH_S1.json` / `BENCH_R1.json` into the current directory, so the
+//! perf trajectory is tracked across PRs instead of living only in
+//! prose. `--quick` trims the sweeps to their cheap points (a
+//! seconds-scale CI smoke run); for `s1` it additionally *asserts* that
+//! the reactor sheds nothing at the smoke scale (exit 4 otherwise), for
+//! `c1` that the warm plan-cache hit rate stays ≥ 95% (exit 5
+//! otherwise), and for `r1` that cancellation p99 stays under 250 ms
+//! with zero leaked worker threads (exit 6 otherwise), so CI guards the
+//! admission, compile-once and cancellation paths, not just the numbers.
 
 use std::time::Duration;
 use xrpc_bench::*;
@@ -55,6 +58,7 @@ fn main() {
         "u1" => update_throughput(quick),
         "c1" | "compile-cache" => compile_cache(quick),
         "s1" | "swarm" => swarm(quick),
+        "r1" | "cancellation" => cancellation(quick),
         "all" => {
             table2();
             table3();
@@ -199,6 +203,172 @@ fn swarm(quick: bool) {
             "S1 quick FAILED: reactor shed {reactor_sheds} request(s) at smoke scale (expected 0)"
         );
         std::process::exit(4);
+    }
+    println!();
+}
+
+/// R1: deadline enforcement under load. Phase one measures the latency
+/// from a query's deadline passing to the evaluator actually aborting it
+/// (`elapsed − budget` of spinning queries with a 1 s `xrpc:timeout`),
+/// concurrently so the checkpoints compete for CPU like production
+/// would. Phase two is a client-timeout storm: the same slow call served
+/// with no budget (the pre-deadline world — the server burns the full
+/// evaluation for clients that already gave up), with a budget exhausted
+/// on arrival, and with a budget that dies mid-evaluation; the ratio of
+/// server wall-clock is the wasted-work reduction.
+fn cancellation(quick: bool) {
+    use std::time::Instant;
+    use xrpc_peer::{EngineKind, Peer};
+
+    // the inner range is kept small: sequence materialization is a
+    // checkpoint-free block, so its size bounds the best possible
+    // cancellation latency
+    const SPIN_1S: &str = r#"declare option xrpc:timeout "1";
+        count(for $i in (1 to 1000000)
+              for $j in (1 to 50000)
+              where $i + $j lt 0 return 1)"#;
+    const SLOW_MODULE: &str = r#"
+        module namespace r = "r1";
+        declare function r:slow()
+        { count(for $i in (1 to 2000000) where $i lt 0 return 1) };
+    "#;
+
+    /// Linux thread count of this process (0 if unreadable): the leak
+    /// gate — every cancelled query's worker must be back in the pool.
+    fn thread_count() -> i64 {
+        std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("Threads:"))
+                    .and_then(|l| l.split_whitespace().nth(1))
+                    .and_then(|n| n.parse().ok())
+            })
+            .unwrap_or(0)
+    }
+
+    println!("== R1: deadline & cooperative cancellation ==");
+    let peer = Peer::new("xrpc://bench", EngineKind::Tree);
+    let threads_before = thread_count();
+
+    // Phase one: concurrent spinning queries, each with a 1 s budget.
+    let waves = 5usize;
+    let conc = if quick { 4 } else { 8 };
+    let mut lat_ms: Vec<f64> = Vec::with_capacity(waves * conc);
+    for _ in 0..waves {
+        let handles: Vec<_> = (0..conc)
+            .map(|_| {
+                let p = peer.clone();
+                std::thread::spawn(move || {
+                    let t0 = Instant::now();
+                    let err = p.execute(SPIN_1S).unwrap_err();
+                    assert_eq!(err.code, "XRPC0004", "{err}");
+                    t0.elapsed()
+                })
+            })
+            .collect();
+        for h in handles {
+            let elapsed = h.join().unwrap();
+            lat_ms.push((ms(elapsed) - 1000.0).max(0.0));
+        }
+    }
+    lat_ms.sort_by(f64::total_cmp);
+    let q = |p: f64| lat_ms[((lat_ms.len() - 1) as f64 * p) as usize];
+    let (p50, p99) = (q(0.50), q(0.99));
+    warn_samples("R1 cancel latency", lat_ms.len() as u64);
+
+    // Workers freed: plain queries must flow immediately after the storm
+    // of cancellations, and no thread may have leaked.
+    let t0 = Instant::now();
+    for _ in 0..20 {
+        peer.execute("1 + 1").unwrap();
+    }
+    let drain = t0.elapsed();
+    let leaked = (thread_count() - threads_before).max(0);
+    println!(
+        "cancellation latency over {} samples: p50 {:.1} ms, p99 {:.1} ms; post-cancel drain {:.1} ms; leaked threads {}",
+        lat_ms.len(), p50, p99, ms(drain), leaked
+    );
+
+    // Phase two: the client-timeout storm against a slow function.
+    let server = Peer::new("xrpc://server", EngineKind::Tree);
+    server.register_module(SLOW_MODULE).unwrap();
+    let storm_calls = if quick { 6 } else { 24 };
+    let storm = |budget: Option<u64>| -> Duration {
+        let mut req = xrpc_proto::XrpcRequest::new("r1", "slow", 0);
+        req.budget_millis = budget;
+        req.push_call(vec![]);
+        let xml = req.to_xml().unwrap();
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let server = &server;
+                let xml = &xml;
+                s.spawn(move || {
+                    for _ in 0..(storm_calls / 4).max(1) {
+                        let _ = server.handle_soap(xml.as_bytes());
+                    }
+                });
+            }
+        });
+        t0.elapsed()
+    };
+    // calibrate: one full evaluation, uncancelled
+    let t_slow = {
+        let mut req = xrpc_proto::XrpcRequest::new("r1", "slow", 0);
+        req.push_call(vec![]);
+        let xml = req.to_xml().unwrap();
+        let t0 = Instant::now();
+        let _ = server.handle_soap(xml.as_bytes());
+        t0.elapsed()
+    };
+    let t_baseline = storm(None);
+    let t_arrival = storm(Some(0));
+    let t_mideval = storm(Some(30));
+    let reduction = |t: Duration| 1.0 - ms(t) / ms(t_baseline).max(1e-9);
+    println!(
+        "storm of {storm_calls} calls (one slow call ≈ {:.0} ms): no budget {:.0} ms, exhausted-at-arrival {:.0} ms ({:.0}% less work), dies-mid-eval {:.0} ms ({:.0}% less work)",
+        ms(t_slow), ms(t_baseline), ms(t_arrival), reduction(t_arrival) * 100.0,
+        ms(t_mideval), reduction(t_mideval) * 100.0,
+    );
+
+    write_json(
+        "BENCH_R1.json",
+        "R1",
+        "deadline cancellation latency and client-timeout-storm wasted-work reduction",
+        quick,
+        &[
+            vec![
+                ("cancel_p50_ms", p50),
+                ("cancel_p99_ms", p99),
+                ("samples", lat_ms.len() as f64),
+                ("post_cancel_drain_ms", ms(drain)),
+                ("leaked_threads", leaked as f64),
+            ],
+            vec![
+                ("slow_call_ms", ms(t_slow)),
+                ("storm_calls", storm_calls as f64),
+                ("storm_no_budget_ms", ms(t_baseline)),
+                ("storm_arrival_expired_ms", ms(t_arrival)),
+                ("storm_mid_eval_ms", ms(t_mideval)),
+                ("reduction_arrival", reduction(t_arrival)),
+                ("reduction_mid_eval", reduction(t_mideval)),
+            ],
+        ],
+    );
+    if quick {
+        let mut failed = false;
+        if p99 >= 250.0 {
+            eprintln!("R1 quick FAILED: cancellation p99 {p99:.1} ms ≥ 250 ms");
+            failed = true;
+        }
+        if leaked > 0 {
+            eprintln!("R1 quick FAILED: {leaked} worker thread(s) leaked past cancellation");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(6);
+        }
     }
     println!();
 }

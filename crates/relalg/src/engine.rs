@@ -467,6 +467,7 @@ impl<'e> RelEngine<'e> {
         }
         let mut work = Vec::new();
         for peer in &peers {
+            self.tree.env.check_cancel()?;
             let mut outer = Vec::new();
             for &i in &lenv.loop_iters {
                 let d = dest_t.sequence_at(i);
@@ -669,6 +670,10 @@ impl<'e> RelEngine<'e> {
         st: &mut EvalState,
         f: impl FnOnce(&Evaluator, &mut EvalState) -> XdmResult<T>,
     ) -> XdmResult<T> {
+        // Cooperative checkpoint: every bulk path funnels through here once
+        // per loop iteration, so an exceeded budget stops the batch between
+        // iterations instead of after the whole table.
+        self.tree.env.check_cancel()?;
         let base = st.vars.len();
         for (n, t) in &lenv.vars {
             st.vars.push((n.clone(), t.sequence_at(i)));

@@ -90,6 +90,21 @@ impl XdmError {
     pub fn xrpc_durability(message: impl Into<String>) -> Self {
         Self::new("XRPC0003", message)
     }
+
+    /// XRPC deadline exceeded: the query's wall-clock budget (derived from
+    /// `xrpc:timeout`) ran out. Every layer that enforces the budget —
+    /// evaluator checkpoints, arrival checks, retry caps — raises this
+    /// code so the originator can tell a timeout from a remote crash.
+    pub fn xrpc_deadline(message: impl Into<String>) -> Self {
+        Self::new("XRPC0004", message)
+    }
+
+    /// XRPC cooperative cancellation: the query was explicitly cancelled
+    /// (client connection died, originator fan-out, admin action) rather
+    /// than timing out. Never retried.
+    pub fn xrpc_cancelled(message: impl Into<String>) -> Self {
+        Self::new("XRPC0005", message)
+    }
 }
 
 impl fmt::Display for XdmError {
@@ -117,5 +132,7 @@ mod tests {
         assert_eq!(XdmError::xrpc("x").code, "XRPC0001");
         assert_eq!(XdmError::xrpc_expired("x").code, "XRPC0002");
         assert_eq!(XdmError::xrpc_durability("x").code, "XRPC0003");
+        assert_eq!(XdmError::xrpc_deadline("x").code, "XRPC0004");
+        assert_eq!(XdmError::xrpc_cancelled("x").code, "XRPC0005");
     }
 }

@@ -5,9 +5,126 @@
 use crate::modules::ModuleRegistry;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use xdm::{Sequence, XdmError, XdmResult};
 use xmldom::Document;
+
+/// How many [`CancelToken::check`] polls elapse between wall-clock reads.
+/// Flag checks (explicit cancellation, the network layer's per-job kill
+/// switch) happen on *every* poll — the stride only bounds how often the
+/// hot evaluation loops pay for `Instant::now()`.
+const CLOCK_STRIDE: u32 = 16;
+
+/// A shared deadline + cooperative-cancellation token, checked at bounded
+/// intervals inside the evaluator's loop/recursion sites.
+///
+/// Three ways a query dies through one of these:
+/// * its own deadline (from `xrpc:timeout`, decremented per hop) passes —
+///   [`check`](Self::check) raises `XRPC0004`;
+/// * someone calls [`cancel`](Self::cancel) (originator fan-out, admin) —
+///   `XRPC0005`;
+/// * the bridged `external` flag flips (the reactor's sweep cancelling a
+///   job whose connection died or whose deadline passed) — `XRPC0005`.
+///
+/// The token deliberately lives in `xqeval` with only `std` types so the
+/// evaluator does not depend on the network layer; the bridge to a
+/// reactor job is a plain shared `AtomicBool`.
+pub struct CancelToken {
+    deadline: Option<Instant>,
+    cancelled: AtomicBool,
+    external: Option<Arc<AtomicBool>>,
+    polls: AtomicU32,
+}
+
+impl CancelToken {
+    /// A token with an optional deadline (`None` = no deadline, the
+    /// `xrpc:timeout "0"` semantics).
+    pub fn new(deadline: Option<Instant>) -> Arc<Self> {
+        Arc::new(CancelToken {
+            deadline,
+            cancelled: AtomicBool::new(false),
+            external: None,
+            polls: AtomicU32::new(0),
+        })
+    }
+
+    /// A token additionally bridged to an external kill flag (e.g. the
+    /// network layer's per-job cancellation switch).
+    pub fn with_external(deadline: Option<Instant>, external: Arc<AtomicBool>) -> Arc<Self> {
+        Arc::new(CancelToken {
+            deadline,
+            cancelled: AtomicBool::new(false),
+            external: Some(external),
+            polls: AtomicU32::new(0),
+        })
+    }
+
+    /// Request cancellation; every subsequent [`check`](Self::check)
+    /// fails with `XRPC0005`.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+            || self
+                .external
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the deadline has already passed (unstrided clock read).
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Budget left on the deadline, in milliseconds, saturating at zero —
+    /// what gets stamped into an outgoing request's `<xrpc:budget/>`
+    /// header. `None` when the token has no deadline.
+    pub fn remaining_millis(&self) -> Option<u64> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()).as_millis() as u64)
+    }
+
+    /// The cooperative checkpoint: cheap atomic loads on every call, a
+    /// wall-clock read every [`CLOCK_STRIDE`] calls. `Err(XRPC0005)` when
+    /// cancelled, `Err(XRPC0004)` when the deadline passed.
+    pub fn check(&self) -> XdmResult<()> {
+        if self.is_cancelled() {
+            return Err(XdmError::xrpc_cancelled("query cancelled"));
+        }
+        if let Some(d) = self.deadline {
+            let n = self.polls.fetch_add(1, Ordering::Relaxed);
+            if n.is_multiple_of(CLOCK_STRIDE) && Instant::now() >= d {
+                return Err(XdmError::xrpc_deadline(
+                    "query deadline exceeded (xrpc:timeout)",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`check`](Self::check) but always consulting the clock — for
+    /// one-shot decision points (dispatch admission, the 2PC commit
+    /// point) rather than hot loops.
+    pub fn check_now(&self) -> XdmResult<()> {
+        if self.is_cancelled() {
+            return Err(XdmError::xrpc_cancelled("query cancelled"));
+        }
+        if self.expired() {
+            return Err(XdmError::xrpc_deadline(
+                "query deadline exceeded (xrpc:timeout)",
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// Resolves document URIs for `fn:doc` (and stores for `fn:put`).
 pub trait DocResolver: Send + Sync {
@@ -153,6 +270,10 @@ pub struct Environment {
     pub stats: Mutex<EvalStats>,
     /// Function-call recursion limit.
     pub max_depth: usize,
+    /// Deadline/cancellation token for the query this environment serves,
+    /// polled by the evaluator's loop and recursion sites. `None` (the
+    /// default) means the query runs unchecked.
+    pub cancel: Option<Arc<CancelToken>>,
 }
 
 impl Environment {
@@ -166,6 +287,16 @@ impl Environment {
             join_cache: crate::index::JoinIndexCache::new(),
             stats: Mutex::new(EvalStats::default()),
             max_depth: 128,
+            cancel: None,
+        }
+    }
+
+    /// The evaluator's cooperative checkpoint: a no-op without a token.
+    #[inline]
+    pub fn check_cancel(&self) -> XdmResult<()> {
+        match &self.cancel {
+            Some(t) => t.check(),
+            None => Ok(()),
         }
     }
 
@@ -343,6 +474,51 @@ mod tests {
         let old = snap.get("a.xml").unwrap();
         let root = old.children(old.root())[0];
         assert_eq!(old.node(root).name.as_ref().unwrap().local, "a");
+    }
+
+    #[test]
+    fn cancel_token_deadline_and_flags() {
+        use std::time::Duration;
+        // no deadline: never fails on its own
+        let t = CancelToken::new(None);
+        for _ in 0..64 {
+            t.check().unwrap();
+        }
+        assert_eq!(t.remaining_millis(), None);
+        // explicit cancel → XRPC0005 on the next poll
+        t.cancel();
+        assert_eq!(t.check().unwrap_err().code, "XRPC0005");
+
+        // expired deadline → XRPC0004 (poll 0 reads the clock)
+        let t = CancelToken::new(Some(Instant::now() - Duration::from_millis(1)));
+        assert!(t.expired());
+        assert_eq!(t.check().unwrap_err().code, "XRPC0004");
+        assert_eq!(t.remaining_millis(), Some(0));
+
+        // a live deadline passes checks and reports a shrinking budget
+        let t = CancelToken::new(Some(Instant::now() + Duration::from_secs(60)));
+        t.check().unwrap();
+        let r = t.remaining_millis().unwrap();
+        assert!(r > 55_000 && r <= 60_000, "remaining {r}ms");
+
+        // external flag bridges in as cancellation
+        let flag = Arc::new(AtomicBool::new(false));
+        let t = CancelToken::with_external(None, flag.clone());
+        t.check().unwrap();
+        flag.store(true, Ordering::Relaxed);
+        assert!(t.is_cancelled());
+        assert_eq!(t.check().unwrap_err().code, "XRPC0005");
+    }
+
+    #[test]
+    fn environment_checkpoint_is_noop_without_token() {
+        let env = Environment::new(Arc::new(InMemoryDocs::new()));
+        env.check_cancel().unwrap();
+        let mut env = Environment::new(Arc::new(InMemoryDocs::new()));
+        let tok = CancelToken::new(None);
+        tok.cancel();
+        env.cancel = Some(tok);
+        assert_eq!(env.check_cancel().unwrap_err().code, "XRPC0005");
     }
 
     #[test]

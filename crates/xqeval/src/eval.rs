@@ -975,6 +975,7 @@ impl<'e> Evaluator<'e> {
             Some(FlworClause::For { var, pos_var, seq }) => {
                 let v = self.eval(seq, st, ctx)?;
                 for (i, item) in v.into_items().into_iter().enumerate() {
+                    self.env.check_cancel()?;
                     let depth = st.vars.len();
                     st.bind(var, Sequence::one(item));
                     if let Some(pv) = pos_var {
@@ -1026,6 +1027,7 @@ impl<'e> Evaluator<'e> {
                 Some((var, seq)) => {
                     let v = ev.eval(seq, st, ctx)?;
                     for item in v.into_items() {
+                        ev.env.check_cancel()?;
                         let depth = st.vars.len();
                         st.bind(var, Sequence::one(item));
                         let r = rec(ev, q, &bindings[1..], satisfies, st, ctx)?;
@@ -1066,6 +1068,7 @@ impl<'e> Evaluator<'e> {
         let mut node_results: Vec<NodeHandle> = Vec::new();
         let mut atomic_results: Vec<Item> = Vec::new();
         for (i, item) in base.iter().enumerate() {
+            self.env.check_cancel()?;
             match item {
                 Item::Node(_) => {}
                 _ => return Err(XdmError::type_error("path step applied to a non-node")),
@@ -1348,6 +1351,7 @@ impl<'e> Evaluator<'e> {
             let size = current.len();
             let mut next = Vec::new();
             for (i, item) in current.into_iter().enumerate() {
+                self.env.check_cancel()?;
                 let c = Ctx {
                     item: Some(item.clone()),
                     pos: i + 1,
@@ -1496,6 +1500,9 @@ impl<'e> Evaluator<'e> {
                 "function recursion limit exceeded",
             ));
         }
+        // Cooperative checkpoint: recursive UDFs are the one loop shape the
+        // FLWOR/path checkpoints cannot see, so check the budget per call.
+        self.env.check_cancel()?;
         // Type-check and bind parameters.
         let base = st.vars.len();
         for ((pname, pty), value) in f.params.iter().zip(actuals) {

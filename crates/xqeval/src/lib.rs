@@ -22,7 +22,7 @@ pub mod modules;
 pub mod pul;
 
 pub use context::{
-    DocResolver, Environment, FunctionRef, InMemoryDocs, RpcDispatcher, StaticContext,
+    CancelToken, DocResolver, Environment, FunctionRef, InMemoryDocs, RpcDispatcher, StaticContext,
 };
 pub use eval::{
     evaluate_compiled, evaluate_main, evaluate_main_with_vars, evaluate_parsed, CompiledMain,

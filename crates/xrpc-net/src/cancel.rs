@@ -1,0 +1,188 @@
+//! Job-scoped cancellation plumbing between the reactor and the handler
+//! stack.
+//!
+//! The reactor's worker threads run opaque `JobHandler` closures; the peer
+//! runtime deep inside those closures needs two things the function
+//! signature does not carry:
+//!
+//! * a **cancel flag** the reactor can flip when the job's connection dies
+//!   or its deadline passes ([`JobCancel`]), bridged into the evaluator's
+//!   `CancelToken` so cooperative checkpoints observe it; and
+//! * an **ambient deadline** the retry layer can consult so backoff sleeps
+//!   never outlive the caller's remaining budget.
+//!
+//! Both travel through thread-locals scoped by RAII guards: the worker
+//! installs the job's [`JobCancel`] around the handler call, and the peer
+//! client installs the query deadline around each transport round-trip.
+//! Guards restore the previous value on drop, so nested scopes (a handler
+//! that itself issues outbound calls) compose.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Shared cancellation state for one in-flight reactor job.
+///
+/// Created by the worker at dequeue, registered with the reactor's active
+/// table so the sweep tick (and `close_conn`) can cancel it, and exposed to
+/// the handler via [`current_job`]. The handler publishes the query's
+/// deadline back through [`set_deadline`](JobCancel::set_deadline) so the
+/// reactor can cancel over-deadline jobs even when the evaluator is stuck
+/// between checkpoints.
+#[derive(Debug)]
+pub struct JobCancel {
+    flag: Arc<AtomicBool>,
+    deadline: Mutex<Option<Instant>>,
+}
+
+impl JobCancel {
+    pub fn new() -> Arc<Self> {
+        Arc::new(JobCancel {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Mutex::new(None),
+        })
+    }
+
+    /// Flip the cancel flag. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The raw flag, for bridging into an evaluator-side token.
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+
+    /// Publish the job's wall-clock deadline (set once the handler has
+    /// parsed the request budget).
+    pub fn set_deadline(&self, deadline: Option<Instant>) {
+        *self.deadline.lock().unwrap() = deadline;
+    }
+
+    pub fn deadline(&self) -> Option<Instant> {
+        *self.deadline.lock().unwrap()
+    }
+
+    /// True when a published deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline().is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+thread_local! {
+    static CURRENT_JOB: RefCell<Option<Arc<JobCancel>>> = const { RefCell::new(None) };
+    static AMBIENT_DEADLINE: RefCell<Option<Instant>> = const { RefCell::new(None) };
+}
+
+/// Install `job` as the thread's current job for the guard's lifetime.
+pub fn set_current_job(job: Arc<JobCancel>) -> CurrentJobGuard {
+    let prev = CURRENT_JOB.with(|c| c.replace(Some(job)));
+    CurrentJobGuard { prev }
+}
+
+/// The job installed by the innermost [`set_current_job`] guard, if any.
+pub fn current_job() -> Option<Arc<JobCancel>> {
+    CURRENT_JOB.with(|c| c.borrow().clone())
+}
+
+pub struct CurrentJobGuard {
+    prev: Option<Arc<JobCancel>>,
+}
+
+impl Drop for CurrentJobGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT_JOB.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Install a deadline the retry layer must not sleep past. `None` clears
+/// any inherited deadline for the guard's scope.
+pub fn set_ambient_deadline(deadline: Option<Instant>) -> AmbientDeadlineGuard {
+    let prev = AMBIENT_DEADLINE.with(|c| c.replace(deadline));
+    AmbientDeadlineGuard { prev }
+}
+
+/// The deadline installed by the innermost [`set_ambient_deadline`] guard.
+pub fn ambient_deadline() -> Option<Instant> {
+    AMBIENT_DEADLINE.with(|c| *c.borrow())
+}
+
+pub struct AmbientDeadlineGuard {
+    prev: Option<Instant>,
+}
+
+impl Drop for AmbientDeadlineGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        AMBIENT_DEADLINE.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn job_cancel_flag_and_deadline() {
+        let job = JobCancel::new();
+        assert!(!job.is_cancelled());
+        assert!(!job.expired());
+        assert_eq!(job.deadline(), None);
+
+        let bridge = job.flag();
+        job.cancel();
+        assert!(job.is_cancelled());
+        assert!(bridge.load(Ordering::Relaxed));
+
+        job.set_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        assert!(job.expired());
+        job.set_deadline(Some(Instant::now() + Duration::from_secs(60)));
+        assert!(!job.expired());
+    }
+
+    #[test]
+    fn current_job_guard_scopes_and_restores() {
+        assert!(current_job().is_none());
+        let outer = JobCancel::new();
+        {
+            let _g = set_current_job(Arc::clone(&outer));
+            assert!(Arc::ptr_eq(&current_job().unwrap(), &outer));
+            let inner = JobCancel::new();
+            {
+                let _g2 = set_current_job(Arc::clone(&inner));
+                assert!(Arc::ptr_eq(&current_job().unwrap(), &inner));
+            }
+            assert!(Arc::ptr_eq(&current_job().unwrap(), &outer));
+        }
+        assert!(current_job().is_none());
+    }
+
+    #[test]
+    fn ambient_deadline_guard_scopes_and_restores() {
+        assert!(ambient_deadline().is_none());
+        let d1 = Instant::now() + Duration::from_secs(5);
+        let d2 = Instant::now() + Duration::from_secs(1);
+        {
+            let _g = set_ambient_deadline(Some(d1));
+            assert_eq!(ambient_deadline(), Some(d1));
+            {
+                let _g2 = set_ambient_deadline(Some(d2));
+                assert_eq!(ambient_deadline(), Some(d2));
+            }
+            assert_eq!(ambient_deadline(), Some(d1));
+            {
+                let _g3 = set_ambient_deadline(None);
+                assert!(ambient_deadline().is_none());
+            }
+            assert_eq!(ambient_deadline(), Some(d1));
+        }
+        assert!(ambient_deadline().is_none());
+    }
+}

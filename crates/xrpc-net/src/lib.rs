@@ -14,6 +14,7 @@
 
 pub mod breaker;
 pub mod bufpool;
+pub mod cancel;
 pub mod http;
 pub mod metrics;
 pub mod poll;
@@ -24,6 +25,7 @@ pub mod sim;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use bufpool::{BufferPool, PoolStats};
+pub use cancel::{ambient_deadline, current_job, set_ambient_deadline, set_current_job, JobCancel};
 pub use http::{http_post, HttpConfig, HttpServer, HttpTransport, ServerModel};
 pub use metrics::NetMetrics;
 pub use pool::ConnectionPool;

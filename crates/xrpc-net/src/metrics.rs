@@ -36,6 +36,16 @@ pub struct NetMetrics {
     /// Gauge: requests sitting in the reactor's dispatch queue, parsed
     /// but not yet picked up by an evaluation worker.
     pub accept_queue_depth: AtomicU64,
+    /// Reactor: queued jobs discarded at dequeue because their connection
+    /// slab slot was already reclaimed (client gone before evaluation
+    /// started). Not part of [`MetricsSnapshot`] — recorded on the server
+    /// side only, and the chaos suite's snapshot-equality "no traffic"
+    /// assertions predate it.
+    pub jobs_orphaned: AtomicU64,
+    /// Reactor: in-flight jobs cancelled by the deadline/disconnect sweep
+    /// while a worker was still evaluating them. Like
+    /// [`jobs_orphaned`](Self::jobs_orphaned), outside the snapshot.
+    pub jobs_cancelled: AtomicU64,
     /// Reactor: time a parsed request waited in the dispatch queue
     /// before a worker picked it up (the admission-control signal).
     pub reactor_dispatch_micros: Histogram,
@@ -103,6 +113,14 @@ impl NetMetrics {
 
     pub fn record_shed(&self) {
         self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_job_orphaned(&self) {
+        self.jobs_orphaned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_job_cancelled(&self) {
+        self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counters of the process-wide message [`crate::BufferPool`]:

@@ -30,6 +30,7 @@
 //! [`NetMetrics`].
 
 use crate::bufpool::BufferPool;
+use crate::cancel::JobCancel;
 use crate::http::{response_head, Handler, HttpConfig};
 use crate::metrics::NetMetrics;
 use crate::poll::{listen_reuseaddr, Poller, Waker};
@@ -81,6 +82,82 @@ struct Done {
     body: Vec<u8>,
     keep_alive: bool,
     finished: Instant,
+}
+
+/// Shared liveness/cancellation table between the reactor and the worker
+/// pool.
+///
+/// * `live` mirrors the connection slab: `live[idx]` is the generation of
+///   the connection currently occupying slot `idx` (0 = empty). A worker
+///   consults it at dequeue so a job whose client vanished while queued is
+///   dropped *before* evaluation (`jobs_orphaned`).
+/// * `active` holds the [`JobCancel`] of every job currently inside a
+///   handler, so the reactor's sweep tick can cancel over-deadline jobs
+///   and `close_conn` can cancel a job the moment its connection dies —
+///   cooperative checkpoints in the evaluator observe the flag and free
+///   the worker (`jobs_cancelled`).
+struct JobTable {
+    live: Mutex<Vec<u64>>,
+    active: Mutex<Vec<(usize, u64, Arc<JobCancel>)>>,
+}
+
+impl JobTable {
+    fn new() -> Self {
+        JobTable {
+            live: Mutex::new(Vec::new()),
+            active: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn set_live(&self, idx: usize, gen: u64) {
+        let mut live = self.live.lock().unwrap();
+        if live.len() <= idx {
+            live.resize(idx + 1, 0);
+        }
+        live[idx] = gen;
+    }
+
+    fn is_live(&self, idx: usize, gen: u64) -> bool {
+        self.live.lock().unwrap().get(idx).copied() == Some(gen)
+    }
+
+    fn register(&self, idx: usize, gen: u64, job: Arc<JobCancel>) {
+        self.active.lock().unwrap().push((idx, gen, job));
+    }
+
+    fn deregister(&self, idx: usize, gen: u64) {
+        self.active
+            .lock()
+            .unwrap()
+            .retain(|(i, g, _)| !(*i == idx && *g == gen));
+    }
+
+    /// Connection gone: clear the slot and cancel any job still
+    /// evaluating on its behalf.
+    fn conn_closed(&self, idx: usize, gen: u64, metrics: &NetMetrics) {
+        {
+            let mut live = self.live.lock().unwrap();
+            if live.get(idx).copied() == Some(gen) {
+                live[idx] = 0;
+            }
+        }
+        for (i, g, job) in self.active.lock().unwrap().iter() {
+            if *i == idx && *g == gen && !job.is_cancelled() {
+                job.cancel();
+                metrics.record_job_cancelled();
+            }
+        }
+    }
+
+    /// Cancel every active job whose published deadline has passed.
+    fn sweep_expired(&self, metrics: &NetMetrics) {
+        for (_, _, job) in self.active.lock().unwrap().iter() {
+            if !job.is_cancelled() && job.expired() {
+                job.cancel();
+                metrics.record_job_cancelled();
+            }
+        }
+    }
 }
 
 /// One queued response: header + body flushed as a vectored pair.
@@ -213,6 +290,7 @@ pub(crate) fn bind(
     let rx = Arc::new(Mutex::new(rx));
     let done: Arc<Mutex<Vec<Done>>> = Arc::new(Mutex::new(Vec::new()));
     let queue_wait_ewma = Arc::new(AtomicU64::new(0));
+    let jobs = Arc::new(JobTable::new());
 
     let n_workers = if config.reactor_workers > 0 {
         config.reactor_workers
@@ -230,13 +308,14 @@ pub(crate) fn bind(
         let handler = handler.clone();
         let metrics = metrics.clone();
         let ewma = queue_wait_ewma.clone();
+        let jobs = jobs.clone();
         workers.push(
             std::thread::Builder::new()
                 .name(format!("xrpc-worker-{local}-{i}"))
                 // request handlers may evaluate deep queries: give them
                 // room (see xqeval recursion cap)
                 .stack_size(32 * 1024 * 1024)
-                .spawn(move || worker_loop(&rx, &done, &waker, &handler, &metrics, &ewma))
+                .spawn(move || worker_loop(&rx, &done, &waker, &handler, &metrics, &ewma, &jobs))
                 .map_err(|e| io::Error::other(e.to_string()))?,
         );
     }
@@ -266,6 +345,7 @@ pub(crate) fn bind(
                     queued: 0,
                     last_ewma_decay: Instant::now(),
                     gen_counter: 0,
+                    jobs,
                 }
                 .run()
             })
@@ -290,6 +370,7 @@ fn worker_loop(
     handler: &Arc<Handler>,
     metrics: &NetMetrics,
     queue_wait_ewma: &AtomicU64,
+    jobs: &JobTable,
 ) {
     loop {
         // the guard is held across the blocking recv — only one idle
@@ -310,7 +391,44 @@ fn worker_loop(
             wait.as_micros().min(u64::MAX as u128) as u64,
         );
 
+        // Orphan check: the connection slot was reclaimed while this job
+        // sat in the dispatch queue (client gone) — drop it before doing
+        // any evaluation work. A stub Done still crosses back so the
+        // reactor's `queued` accounting stays balanced; the generation
+        // mismatch there discards it.
+        if !jobs.is_live(job.idx, job.gen) {
+            metrics.record_job_orphaned();
+            BufferPool::global().put(job.body);
+            match done.lock() {
+                Ok(mut d) => d.push(Done {
+                    idx: job.idx,
+                    gen: job.gen,
+                    status: 0,
+                    body: Vec::new(),
+                    keep_alive: false,
+                    finished: Instant::now(),
+                }),
+                Err(_) => return,
+            }
+            waker.wake();
+            continue;
+        }
+
+        // Expose a cancel handle for this job: the handler bridges it
+        // into the evaluator's CancelToken (and publishes the request
+        // deadline back), the reactor's sweep/close paths flip it.
+        let cancel = JobCancel::new();
+        jobs.register(job.idx, job.gen, cancel.clone());
+        // re-check after registering: a close racing between the orphan
+        // check and `register` would otherwise cancel nothing
+        if !jobs.is_live(job.idx, job.gen) {
+            cancel.cancel();
+        }
+        let guard = crate::cancel::set_current_job(cancel);
         let (status, resp) = handler(&job.path, &job.body);
+        drop(guard);
+        jobs.deregister(job.idx, job.gen);
+
         metrics.record(job.body.len(), resp.len());
         BufferPool::global().put(job.body);
         match done.lock() {
@@ -348,6 +466,7 @@ struct Reactor {
     /// (rate-limited to one per [`TICK`]).
     last_ewma_decay: Instant,
     gen_counter: u64,
+    jobs: Arc<JobTable>,
 }
 
 impl Reactor {
@@ -491,6 +610,7 @@ impl Reactor {
         self.metrics
             .active_connections
             .fetch_add(1, Ordering::SeqCst);
+        self.jobs.set_live(idx, gen);
         self.conns[idx] = Some(conn);
     }
 
@@ -883,6 +1003,10 @@ impl Reactor {
 
     fn close_conn(&mut self, idx: usize) {
         if let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.take()) {
+            // cancel any in-flight evaluation for this connection right
+            // away (fast time-to-cancel on client death), and mark the
+            // slot dead so queued jobs are orphaned at dequeue
+            self.jobs.conn_closed(idx, conn.gen, &self.metrics);
             let _ = self.poller.delete(conn.stream.as_raw_fd());
             if conn.admitted {
                 self.metrics
@@ -902,6 +1026,9 @@ impl Reactor {
     }
 
     fn sweep_timeouts(&mut self) {
+        // cancel in-flight jobs whose published query deadline passed —
+        // the backstop for budgets the handler itself fails to observe
+        self.jobs.sweep_expired(&self.metrics);
         let now = Instant::now();
         let timeout = self.config.read_timeout;
         for idx in 0..self.conns.len() {

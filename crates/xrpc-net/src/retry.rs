@@ -326,7 +326,23 @@ impl Transport for ResilientTransport {
             if !hint.may_retry(&err) || attempt >= self.policy.max_attempts {
                 return Err(err);
             }
+            // Cancellation is never retryable: if the job this call serves
+            // was cancelled (client gone, deadline sweep), surface the
+            // original failure instead of burning backoff sleeps.
+            if crate::cancel::current_job().is_some_and(|j| j.is_cancelled()) {
+                return Err(err);
+            }
             let backoff = self.policy.backoff_before_retry(attempt, salt);
+            // The caller's query budget caps cumulative retry time: when the
+            // next sleep would overrun the remaining budget, stop retrying
+            // and surface the ORIGINAL error (the budget overrun is the
+            // caller's XRPC0004 to raise, not a transport timeout).
+            if let Some(ambient) = crate::cancel::ambient_deadline() {
+                if Instant::now() + backoff >= ambient {
+                    self.metrics.record_timeout();
+                    return Err(err);
+                }
+            }
             if Instant::now() + backoff >= deadline {
                 self.metrics.record_timeout();
                 return Err(NetError::with_kind(
@@ -545,6 +561,77 @@ mod tests {
         assert_eq!(e.kind, NetErrorKind::Timeout);
         assert!(e.message.contains("deadline"), "{}", e.message);
         assert!(t0.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn ambient_deadline_caps_retries_and_surfaces_original_error() {
+        let net = net_with_peer();
+        let t = ResilientTransport::with_policy(
+            net.clone(),
+            RetryPolicy {
+                max_attempts: 100,
+                base_backoff: Duration::from_millis(20),
+                max_backoff: Duration::from_millis(20),
+                call_deadline: Duration::from_secs(30),
+                jitter_seed: 1,
+            },
+            BreakerConfig {
+                failure_threshold: 1000,
+                cooldown: Duration::from_secs(1),
+            },
+        );
+        for _ in 0..100 {
+            net.inject_fault("xrpc://y", SimFault::Refuse);
+        }
+        // the caller's remaining budget is tiny: the first backoff sleep
+        // would already overrun it, so no retry happens and the ORIGINAL
+        // refused error comes back (not a synthesized deadline timeout)
+        let _g =
+            crate::cancel::set_ambient_deadline(Some(Instant::now() + Duration::from_millis(5)));
+        let t0 = Instant::now();
+        let e = t
+            .roundtrip_hinted("xrpc://y", b"q", CallHint::ReadOnly)
+            .unwrap_err();
+        assert_eq!(e.kind, NetErrorKind::ConnectionRefused);
+        assert!(
+            !e.message.contains("call deadline"),
+            "original error, not the policy-deadline wrapper: {}",
+            e.message
+        );
+        assert_eq!(t.metrics.snapshot().retries, 0);
+        assert!(t0.elapsed() < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn cancelled_job_is_never_retried() {
+        let net = net_with_peer();
+        let t =
+            ResilientTransport::with_policy(net.clone(), fast_policy(5), BreakerConfig::default());
+        net.inject_fault("xrpc://y", SimFault::Refuse);
+        let job = crate::cancel::JobCancel::new();
+        job.cancel();
+        let _g = crate::cancel::set_current_job(job);
+        let e = t
+            .roundtrip_hinted("xrpc://y", b"q", CallHint::ReadOnly)
+            .unwrap_err();
+        assert_eq!(e.kind, NetErrorKind::ConnectionRefused, "original error");
+        assert_eq!(t.metrics.snapshot().retries, 0, "no retry once cancelled");
+    }
+
+    #[test]
+    fn live_job_and_roomy_ambient_deadline_do_not_block_retries() {
+        let net = net_with_peer();
+        let t =
+            ResilientTransport::with_policy(net.clone(), fast_policy(4), BreakerConfig::default());
+        net.inject_fault("xrpc://y", SimFault::Refuse);
+        let _g =
+            crate::cancel::set_ambient_deadline(Some(Instant::now() + Duration::from_secs(30)));
+        let _g2 = crate::cancel::set_current_job(crate::cancel::JobCancel::new());
+        let r = t
+            .roundtrip_hinted("xrpc://y", b"q", CallHint::ReadOnly)
+            .unwrap();
+        assert_eq!(r, b"ok");
+        assert_eq!(t.metrics.snapshot().retries, 1);
     }
 
     #[test]

@@ -102,6 +102,22 @@ pub fn render_metrics(peer: &Peer, server_metrics: Option<&NetMetrics>) -> Strin
     w.counter("xrpc_twopc_recoveries_total", t.recoveries);
     w.counter("xrpc_twopc_inquiries_total", t.inquiries);
     w.counter("xrpc_twopc_reaborts_total", t.reaborts);
+    w.counter("xrpc_twopc_cancels_total", t.cancels);
+
+    // Cooperative cancellation outcomes (deadline expiry vs explicit
+    // cancel); the time-to-cancel histogram rides the summary families.
+    w.counter_labeled(
+        "xrpc_cancellations_total",
+        "kind",
+        "deadline",
+        peer.cancellations_deadline.load(Ordering::Relaxed),
+    );
+    w.counter_labeled(
+        "xrpc_cancellations_total",
+        "kind",
+        "cancelled",
+        peer.cancellations_cancelled.load(Ordering::Relaxed),
+    );
 
     // Plan-cache + function-cache effectiveness (the §3.3 function cache
     // generalized to whole-query plans).

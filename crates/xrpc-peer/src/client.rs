@@ -9,6 +9,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use xdm::{Sequence, XdmError, XdmResult};
 use xqeval::context::{FunctionRef, RpcDispatcher};
+use xqeval::CancelToken;
 use xrpc_net::{CallHint, ResilientTransport, Transport};
 use xrpc_obs::Observability;
 use xrpc_proto::{parse_message, QueryId, XrpcMessage, XrpcRequest};
@@ -45,6 +46,15 @@ pub struct XrpcClient {
     /// `DestStats` after every dispatch, which is where the controller's
     /// per-destination estimates come from.
     pub net_feedback: Option<Arc<ResilientTransport>>,
+    /// The query's deadline/cancellation token. With it attached, every
+    /// dispatch checks the budget before touching the wire (an exhausted
+    /// budget fails locally with `XRPC0004`), stamps the *remaining*
+    /// budget into the envelope's `<xrpc:budget>` header so nested hops
+    /// inherit it, and caps the retry layer's backoff sleeps to the
+    /// budget via the ambient deadline. 2PC control messages bypass it —
+    /// past the commit point the decision protocol must run to
+    /// completion regardless of the originator's budget.
+    pub cancel: Option<Arc<CancelToken>>,
 }
 
 impl XrpcClient {
@@ -59,6 +69,7 @@ impl XrpcClient {
             calls_sent: std::sync::atomic::AtomicU64::new(0),
             adaptive: None,
             net_feedback: None,
+            cancel: None,
         }
     }
 
@@ -128,6 +139,25 @@ impl XrpcClient {
             XrpcMessage::Request(_) => Err(XdmError::xrpc("unexpected request as reply")),
         }
     }
+
+    /// Best-effort `Cancel` fan-out: tell every destination peer the query
+    /// is over so they stop evaluating and release its isolated state.
+    /// Errors are swallowed — a peer that misses the message converges via
+    /// its own deadline sweep, and prepared participants ignore it anyway
+    /// (the decision protocol owns them past that point). Returns how many
+    /// peers acknowledged.
+    pub fn send_cancel(&self, dests: &[String], qid: &QueryId) -> usize {
+        let mut acked = 0;
+        for dest in dests {
+            if self
+                .send_control(dest, crate::twopc::METHOD_CANCEL, qid)
+                .is_ok()
+            {
+                acked += 1;
+            }
+        }
+        acked
+    }
 }
 
 impl XrpcClient {
@@ -142,7 +172,15 @@ impl XrpcClient {
     ) -> XdmResult<Vec<Sequence>> {
         use std::sync::atomic::Ordering::Relaxed;
         let ncalls = calls.len();
+        // Deadline propagation: fail locally (XRPC0004/XRPC0005) before
+        // spending any wire time on a dead budget, then stamp whatever is
+        // left at *send time* into the envelope — each hop's receiver sees
+        // strictly less budget than its caller did.
+        if let Some(tok) = &self.cancel {
+            tok.check_now()?;
+        }
         let mut req = XrpcRequest::new(func.module_ns.clone(), func.local_name.clone(), func.arity);
+        req.budget_millis = self.cancel.as_ref().and_then(|t| t.remaining_millis());
         req.location = func.location_hint.clone();
         req.query_id = self.query_id.clone();
         req.deferred = self.deferred_updates && func.updating;
@@ -197,6 +235,13 @@ impl XrpcClient {
             o.histogram("xrpc_message_bytes").record(xml.len() as u64);
         }
         let started = std::time::Instant::now();
+        // Cap the retry layer's cumulative backoff to the query budget for
+        // the duration of this round-trip (no-op without a deadline).
+        let _budget_guard = self
+            .cancel
+            .as_ref()
+            .and_then(|t| t.deadline())
+            .map(|d| xrpc_net::set_ambient_deadline(Some(d)));
         let resp_bytes = self
             .transport
             .roundtrip_hinted(dest, xml.as_bytes(), hint)

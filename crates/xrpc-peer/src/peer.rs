@@ -4,8 +4,8 @@ use crate::adaptive::AdaptiveBulk;
 use crate::client::XrpcClient;
 use crate::store::{Decision, QuerySnapshot, SnapshotManager};
 use crate::twopc::{
-    self, CommitOutcome, TwoPcConfig, TwoPcMetrics, METHOD_ABORT, METHOD_COMMIT, METHOD_INQUIRE,
-    METHOD_PREPARE, WSAT_MODULE,
+    self, CommitOutcome, TwoPcConfig, TwoPcMetrics, METHOD_ABORT, METHOD_CANCEL, METHOD_COMMIT,
+    METHOD_INQUIRE, METHOD_PREPARE, WSAT_MODULE,
 };
 use crate::wal::{self, Wal, WalRecord};
 use parking_lot::{Mutex, RwLock};
@@ -13,11 +13,11 @@ use relalg::{FunctionCache, PlanCache};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xdm::types::ItemKind;
 use xdm::{Item, Sequence, XdmError, XdmResult};
 use xqast::FunctionDecl;
-use xqeval::context::{DocResolver, Environment, StaticContext};
+use xqeval::context::{CancelToken, DocResolver, Environment, StaticContext};
 use xqeval::eval::{Ctx, EvalState, Evaluator};
 use xqeval::modules::CompiledModule;
 use xqeval::pul::{apply_updates, PendingUpdateList};
@@ -200,6 +200,40 @@ pub struct Peer {
     /// same millisecond would alias to one `(host, millis)` transaction
     /// at every peer they touch.
     last_qid_ts: AtomicU64,
+    /// Cancel tokens for evaluations currently running at this peer on
+    /// behalf of a remote query, keyed by that query's transaction key.
+    /// A `Cancel` control message flips every token for its key, which
+    /// the evaluator's cooperative checkpoints observe within one
+    /// checkpoint stride. Entries are removed when the evaluation
+    /// finishes (success or error) — the map only ever holds in-flight
+    /// work.
+    pub(crate) active_evals: Mutex<HashMap<TxKey, Vec<Arc<CancelToken>>>>,
+    /// Monotone counts of evaluations stopped by a deadline (XRPC0004)
+    /// and by an explicit cancel (XRPC0005), rendered on `/metrics` as
+    /// the `xrpc_cancellations_total{kind=...}` counter.
+    pub cancellations_deadline: AtomicU64,
+    pub cancellations_cancelled: AtomicU64,
+}
+
+/// Removes a call-handler's cancel token from [`Peer::active_evals`] when
+/// the evaluation finishes — by any path, including the handler's many
+/// `?` early returns.
+struct EvalRegistration<'a> {
+    peer: &'a Peer,
+    key: TxKey,
+    token: Arc<CancelToken>,
+}
+
+impl Drop for EvalRegistration<'_> {
+    fn drop(&mut self) {
+        let mut map = self.peer.active_evals.lock();
+        if let Some(v) = map.get_mut(&self.key) {
+            v.retain(|t| !Arc::ptr_eq(t, &self.token));
+            if v.is_empty() {
+                map.remove(&self.key);
+            }
+        }
+    }
 }
 
 impl Peer {
@@ -248,6 +282,9 @@ impl Peer {
             recovered_coordinators: Mutex::new(HashMap::new()),
             coord_reabort: Mutex::new(HashMap::new()),
             last_qid_ts: AtomicU64::new(0),
+            active_evals: Mutex::new(HashMap::new()),
+            cancellations_deadline: AtomicU64::new(0),
+            cancellations_cancelled: AtomicU64::new(0),
         })
     }
 
@@ -680,6 +717,37 @@ impl Peer {
                 span.tag("outcome", format!("{outcome:?}"));
                 return Ok(outcome.into_response());
             }
+            METHOD_CANCEL => {
+                // Best-effort stand-down from the originator: its budget
+                // ran out (or its client vanished), so stop any in-flight
+                // evaluations for this transaction and release the
+                // snapshot — *unless* this participant has already
+                // promised via Prepare, in which case the ∆ is durable
+                // and only the decision protocol (Commit/Abort/Inquire)
+                // may settle it. Idempotent: unknown qids just ack.
+                let mut span = self.obs.tracer.span_here("2pc:cancel");
+                self.twopc_metrics.cancels.fetch_add(1, Ordering::Relaxed);
+                let tx_key = (qid.host.clone(), qid.timestamp_millis);
+                let tokens: Vec<Arc<CancelToken>> = self
+                    .active_evals
+                    .lock()
+                    .get(&tx_key)
+                    .cloned()
+                    .unwrap_or_default();
+                span.tag("evals_cancelled", tokens.len().to_string());
+                for t in &tokens {
+                    t.cancel();
+                }
+                if let Ok(snap) = self.snapshots.get(qid) {
+                    if *snap.prepared.lock() {
+                        // point of no return: the promise stands
+                        span.tag("outcome", "prepared-ignored");
+                    } else {
+                        self.snapshots.finish_with(qid, Decision::Aborted);
+                        span.tag("outcome", "released");
+                    }
+                }
+            }
             other => return Err(XdmError::xrpc(format!("unknown control method `{other}`"))),
         }
         let mut resp = XrpcResponse::new(WSAT_MODULE, req.method.clone());
@@ -739,6 +807,42 @@ impl Peer {
             .histogram("xrpc_bulk_batch_calls")
             .record(req.calls.len() as u64);
 
+        // The caller's remaining budget, already decremented for network
+        // time at every hop. A budget exhausted on arrival is rejected
+        // here, before preparing the function or pinning a snapshot — the
+        // originator has already timed out, so any work would be wasted.
+        let deadline = match req.budget_millis {
+            Some(0) => {
+                return Err(XdmError::xrpc_deadline(
+                    "query budget exhausted on arrival (xrpc:timeout)",
+                ))
+            }
+            Some(ms) => Some(Instant::now() + Duration::from_millis(ms)),
+            None => None,
+        };
+        let cancel = match xrpc_net::current_job() {
+            Some(job) => {
+                job.set_deadline(deadline);
+                CancelToken::with_external(deadline, job.flag())
+            }
+            None => CancelToken::new(deadline),
+        };
+        // Make the token reachable by a `Cancel` control message for the
+        // same transaction; the guard deregisters on every exit path.
+        let _eval_reg = req.query_id.as_ref().map(|qid| {
+            let key = (qid.host.clone(), qid.timestamp_millis);
+            self.active_evals
+                .lock()
+                .entry(key.clone())
+                .or_default()
+                .push(cancel.clone());
+            EvalRegistration {
+                peer: self,
+                key,
+                token: cancel.clone(),
+            }
+        });
+
         let key = (req.module.clone(), req.method.clone(), req.arity);
         let prepared = self
             .function_cache
@@ -785,6 +889,7 @@ impl Peer {
             c.obs = Some(self.obs.clone());
             c.adaptive = Some(self.adaptive.clone());
             c.net_feedback = self.resilient_transport();
+            c.cancel = Some(cancel.clone());
             Arc::new(c)
         });
 
@@ -793,6 +898,7 @@ impl Peer {
             None => resolver,
         };
         let mut env = Environment::new(resolver).with_modules(self.modules.clone());
+        env.cancel = Some(cancel.clone());
         if let Some(c) = &nested_client {
             env.dispatcher = Some(c.clone() as Arc<dyn xqeval::context::RpcDispatcher>);
         }
@@ -857,7 +963,15 @@ impl Peer {
         let mut results = Vec::with_capacity(req.calls.len());
         let mut pul_total = PendingUpdateList::new();
         for out in per_call {
-            let (r, pul) = out?;
+            let (r, pul) = match out {
+                Ok(v) => v,
+                Err(e) => {
+                    if e.code == "XRPC0004" || e.code == "XRPC0005" {
+                        self.note_cancellation(&e.code, deadline);
+                    }
+                    return Err(e);
+                }
+            };
             // a non-updating function must not update (XQUF); tolerate
             // fn:put which the spec treats as updating
             pul_total.merge(pul);
@@ -1034,10 +1148,23 @@ impl Peer {
                 )))
             }
         };
+        // `xrpc:timeout "0"` means *explicitly no deadline* (the query may
+        // run forever); anything non-integer or beyond u32 seconds is a
+        // typed static error rather than a silent clamp.
         let timeout: u32 = match module.prolog.option("xrpc", "timeout") {
-            Some(t) => t
-                .parse()
-                .map_err(|_| XdmError::xrpc("xrpc:timeout must be an integer"))?,
+            Some(t) => {
+                let parsed: u64 = t.trim().parse().map_err(|_| {
+                    XdmError::xrpc(format!(
+                        "xrpc:timeout must be a non-negative integer (seconds), got `{t}`"
+                    ))
+                })?;
+                u32::try_from(parsed).map_err(|_| {
+                    XdmError::xrpc(format!(
+                        "xrpc:timeout `{t}` exceeds the maximum of {} seconds",
+                        u32::MAX
+                    ))
+                })?
+            }
             None => self.default_timeout_secs,
         };
         let mut sctx = StaticContext::from_prolog(&module.prolog);
@@ -1117,11 +1244,36 @@ impl Peer {
     ) -> XdmResult<ExecOutcome> {
         let isolation = plan.isolation;
         let timeout = plan.timeout_secs;
+        // `xrpc:timeout "0"` = no *execution* deadline, but the queryId's
+        // timeout also bounds the snapshot window at every participant
+        // (0 on the wire would mean an instantly-expired snapshot), so a
+        // deadline-free query still stamps a generous snapshot window.
+        const NO_DEADLINE_SNAPSHOT_SECS: u32 = 86_400;
+        let wire_timeout = if timeout == 0 {
+            NO_DEADLINE_SNAPSHOT_SECS
+        } else {
+            timeout
+        };
         let qid = match isolation {
             IsolationLevel::Repeatable => {
-                Some(QueryId::new(self.name(), self.next_qid_ts(), timeout))
+                Some(QueryId::new(self.name(), self.next_qid_ts(), wire_timeout))
             }
             IsolationLevel::None => None,
+        };
+
+        // The query budget: a deadline derived from xrpc:timeout, carried
+        // by a shared token that the evaluator checks cooperatively and
+        // every outgoing hop decrements (each nested `execute at` sees
+        // strictly less remaining budget). If this evaluation itself runs
+        // inside a reactor worker, bridge the job's kill flag so a client
+        // disconnect (or the sweep tick) cancels the token too.
+        let deadline = (timeout > 0).then(|| Instant::now() + Duration::from_secs(timeout as u64));
+        let cancel = match xrpc_net::current_job() {
+            Some(job) => {
+                job.set_deadline(deadline);
+                CancelToken::with_external(deadline, job.flag())
+            }
+            None => CancelToken::new(deadline),
         };
 
         // Root span of the whole distributed execution. With a queryId
@@ -1157,6 +1309,7 @@ impl Peer {
             c.obs = Some(self.obs.clone());
             c.adaptive = Some(self.adaptive.clone());
             c.net_feedback = self.resilient_transport();
+            c.cancel = Some(cancel.clone());
             Arc::new(c)
         });
 
@@ -1173,14 +1326,38 @@ impl Peer {
         };
         let mut env = Environment::new(resolver).with_modules(self.modules.clone());
         env.rpc_optimize = self.rpc_optimize.load(Ordering::SeqCst);
+        env.cancel = Some(cancel.clone());
         if let Some(c) = &client {
             env.dispatcher = Some(c.clone() as Arc<dyn xqeval::context::RpcDispatcher>);
         }
 
-        let (result, local_pul) = match self.engine {
-            EngineKind::Tree => xqeval::eval::evaluate_compiled(&plan.compiled, &env, external)?,
-            EngineKind::Rel => {
-                relalg::engine::execute_rel_compiled(&plan.compiled, &env, external)?
+        let engine_out = match self.engine {
+            EngineKind::Tree => xqeval::eval::evaluate_compiled(&plan.compiled, &env, external),
+            EngineKind::Rel => relalg::engine::execute_rel_compiled(&plan.compiled, &env, external),
+        };
+        let (result, local_pul) = match engine_out {
+            Ok(out) => out,
+            Err(e) => {
+                // A deadline/cancel abort here means remote peers may still
+                // be holding snapshots (and possibly evaluating) for this
+                // query: tell them, best-effort, so they stop wasting work
+                // and release their snapshot locks now rather than at
+                // snapshot expiry.
+                if e.code == "XRPC0004" || e.code == "XRPC0005" {
+                    self.note_cancellation(&e.code, deadline);
+                    if let (Some(c), Some(q)) = (&client, &qid) {
+                        let own = self.name();
+                        let dests: Vec<String> = c
+                            .participants_snapshot()
+                            .into_iter()
+                            .filter(|p| p != &own)
+                            .collect();
+                        if !dests.is_empty() {
+                            c.send_cancel(&dests, q);
+                        }
+                    }
+                }
+                return Err(e);
             }
         };
 
@@ -1203,6 +1380,17 @@ impl Peer {
                 let participants: Vec<String> =
                     participants.into_iter().filter(|p| p != &own).collect();
                 if !participants.is_empty() {
+                    // Point of no return: a budget that runs out *before*
+                    // Prepare aborts the query cleanly (participants are
+                    // told to stand down). Once `coordinate` starts, the
+                    // token is no longer consulted — the decision protocol
+                    // always runs to completion, deadline or not, so a
+                    // forced promise can never be left in doubt.
+                    if let Err(e) = cancel.check_now() {
+                        self.note_cancellation(&e.code, deadline);
+                        client.send_cancel(&participants, qid);
+                        return Err(e);
+                    }
                     commit = Some(self.coordinate(qid, client, &participants, &local_pul)?);
                 } else {
                     // no remote participants: apply the local ∆ directly
@@ -1223,6 +1411,26 @@ impl Peer {
             requests_sent,
             calls_sent,
         })
+    }
+
+    /// Record a deadline/cancellation abort in the peer's metrics:
+    /// a per-kind counter, plus (when the query had a deadline) the
+    /// latency from the deadline passing to the abort actually landing —
+    /// the number the r1 bench gates on.
+    fn note_cancellation(&self, code: &str, deadline: Option<Instant>) {
+        if code == "XRPC0004" {
+            self.cancellations_deadline.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cancellations_cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(d) = deadline {
+            let now = Instant::now();
+            if now > d {
+                self.obs
+                    .histogram("xrpc_time_to_cancel_micros")
+                    .record_micros(now - d);
+            }
+        }
     }
 
     /// Drive 2PC as the originator/coordinator of `qid`, durably when a

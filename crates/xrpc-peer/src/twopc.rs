@@ -21,7 +21,7 @@ use xrpc_proto::QueryId;
 // The control vocabulary lives in xrpc-proto (shared with recovery and
 // external tooling); re-exported here for the existing call sites.
 pub use xrpc_proto::control::{
-    METHOD_ABORT, METHOD_COMMIT, METHOD_INQUIRE, METHOD_PREPARE, WSAT_MODULE,
+    METHOD_ABORT, METHOD_CANCEL, METHOD_COMMIT, METHOD_INQUIRE, METHOD_PREPARE, WSAT_MODULE,
 };
 
 /// 2PC observability: one block per peer, covering both its participant
@@ -52,6 +52,10 @@ pub struct TwoPcMetrics {
     /// Crashed-undecided coordinations whose participants were
     /// proactively re-told to abort by the recovery sweep.
     pub reaborts: AtomicU64,
+    /// `Cancel` control messages handled (participant side): best-effort
+    /// releases fanned out by an originator whose query timed out. A
+    /// prepared participant counts the message but ignores the release.
+    pub cancels: AtomicU64,
 }
 
 impl TwoPcMetrics {
@@ -69,6 +73,7 @@ impl TwoPcMetrics {
             recoveries: self.recoveries.load(Ordering::Relaxed),
             inquiries: self.inquiries.load(Ordering::Relaxed),
             reaborts: self.reaborts.load(Ordering::Relaxed),
+            cancels: self.cancels.load(Ordering::Relaxed),
         }
     }
 }
@@ -84,6 +89,7 @@ pub struct TwoPcSnapshot {
     pub recoveries: u64,
     pub inquiries: u64,
     pub reaborts: u64,
+    pub cancels: u64,
 }
 
 /// Hook invoked with the queryID and participant list right after the

@@ -1013,3 +1013,72 @@ fn prefix_replay_invariant_checker() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Deadline chaos: queries whose budget expires mid-flight must obey the
+// same exactly-once-or-not-at-all invariant as crash schedules — the
+// abort fans a Cancel out, participants drop their merged ∆s, and
+// nothing is ever left prepared-undecided. Runs under every CHAOS_SEED
+// of the CI matrix.
+// ---------------------------------------------------------------------
+
+#[test]
+fn deadline_expiry_chaos_never_yields_mixed_outcomes() {
+    let seed: u64 = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let mut rng = seed ^ 0xdead11e5;
+    for round in 0..3 {
+        let cl = cluster("deadline");
+        let tight = splitmix64(&mut rng).is_multiple_of(2);
+        let outcome = if tight {
+            // the ∆s land at b and c first, then the budget burns out in
+            // a local spin: the query must abort with XRPC0004 and undo
+            // its footprint everywhere
+            cl.a.peer.execute(
+                r#"declare option xrpc:isolation "repeatable";
+                   declare option xrpc:timeout "1";
+                   import module namespace t = "test";
+                   (execute at {"xrpc://b.example.org"} {t:addEntry("x")},
+                    execute at {"xrpc://c.example.org"} {t:addEntry("x")},
+                    count(for $i in (1 to 1000000)
+                          for $j in (1 to 1000000)
+                          where $i + $j lt 0 return 1))"#,
+            )
+        } else {
+            cl.a.peer.execute(UPDATE_BOTH)
+        };
+
+        let nb = log_count(&cl.b.peer);
+        let nc = log_count(&cl.c.peer);
+        assert_eq!(
+            nb, nc,
+            "mixed outcome under deadline chaos (seed={seed}, round={round}, tight={tight})"
+        );
+        if tight {
+            let err = outcome.expect_err("tight budget must abort");
+            assert_eq!(err.code, "XRPC0004", "seed={seed} round={round}: {err}");
+            assert_eq!(nb, 0, "cancelled ∆ must not apply (seed={seed})");
+            // the Cancel fan-out released the participants' snapshots
+            assert_eq!(cl.b.peer.snapshots.active_count(), 0);
+            assert_eq!(cl.c.peer.snapshots.active_count(), 0);
+        } else {
+            outcome.unwrap_or_else(|e| panic!("roomy budget must commit (seed={seed}): {e}"));
+            assert_eq!(nb, 1, "committed ∆ must apply once (seed={seed})");
+        }
+        assert!(
+            cl.b.peer
+                .snapshots
+                .prepared_undecided(Duration::ZERO)
+                .is_empty()
+                && cl
+                    .c
+                    .peer
+                    .snapshots
+                    .prepared_undecided(Duration::ZERO)
+                    .is_empty(),
+            "deadline expiry must never leave prepared-undecided state"
+        );
+    }
+}

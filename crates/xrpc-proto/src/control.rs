@@ -20,6 +20,14 @@ pub const METHOD_ABORT: &str = "Abort";
 /// the recorded coordinator what was decided. The reply carries a
 /// [`TxOutcome`] as a string item in the first result sequence.
 pub const METHOD_INQUIRE: &str = "Inquire";
+/// Best-effort cancellation fan-out: the originator of a timed-out or
+/// abandoned query tells destination peers to stop evaluating it and
+/// release its isolated state. Participants that already acknowledged a
+/// `Prepare` ignore the release — past that point of no return only the
+/// decision protocol ([`METHOD_COMMIT`]/[`METHOD_ABORT`]/inquiry) may
+/// settle the transaction. Idempotent; losing one is harmless (the
+/// receiver's own deadline sweep catches up).
+pub const METHOD_CANCEL: &str = "Cancel";
 
 /// What a coordinator answers to an `Inquire` — the durable truth about
 /// one transaction under the presumed-abort discipline.

@@ -90,6 +90,13 @@ pub struct XrpcRequest {
     /// trace id. Observability only — absent on the wire when `None`,
     /// and never affects execution semantics.
     pub trace: Option<TraceContext>,
+    /// Remaining wall-clock budget of the originating query, in
+    /// milliseconds, carried as `<xrpc:budget remainingMillis=""/>` in the
+    /// SOAP envelope header. The sender stamps the budget *left* at send
+    /// time, so every nested `execute at` hop inherits a strictly smaller
+    /// deadline; a receiver seeing `0` rejects without evaluating. Absent
+    /// (`None`) means no deadline — `xrpc:timeout "0"`.
+    pub budget_millis: Option<u64>,
     pub calls: Vec<Vec<Sequence>>,
 }
 
@@ -105,6 +112,7 @@ impl XrpcRequest {
             seq: None,
             call_by_fragment: false,
             trace: None,
+            budget_millis: None,
             calls: Vec::new(),
         }
     }
@@ -156,7 +164,7 @@ impl XrpcRequest {
     pub fn write_xml(&self, out: &mut String) -> XdmResult<()> {
         debug_assert!(!self.call_by_fragment);
         out.reserve(self.estimated_wire_size());
-        write_envelope_open(out, self.trace.as_ref());
+        write_envelope_open(out, self.trace.as_ref(), self.budget_millis);
         out.push_str("<xrpc:request module=\"");
         push_escaped_attr(out, &self.module);
         out.push_str("\" method=\"");
@@ -215,7 +223,7 @@ impl XrpcRequest {
         let mut doc = Document::new();
         let root = doc.root();
         let envelope = start_envelope(&mut doc, root);
-        append_trace_header(&mut doc, envelope, self.trace.as_ref());
+        append_envelope_header(&mut doc, envelope, self.trace.as_ref(), self.budget_millis);
         let body = doc.create_element(envq("Body"));
         doc.append_child(envelope, body);
 
@@ -302,7 +310,7 @@ impl XrpcResponse {
     /// Direct text serialization into a caller-supplied (reusable) buffer.
     pub fn write_xml(&self, out: &mut String) -> XdmResult<()> {
         out.reserve(self.estimated_wire_size());
-        write_envelope_open(out, None);
+        write_envelope_open(out, None, None);
         out.push_str("<xrpc:response module=\"");
         push_escaped_attr(out, &self.module);
         out.push_str("\" method=\"");
@@ -447,9 +455,10 @@ pub fn parse_message(xml: &str) -> XdmResult<XrpcMessage> {
         .child_element(envelope, &envq("Body"))
         .ok_or_else(|| XdmError::xrpc("missing env:Body"))?;
     let trace = parse_trace_header(&doc, envelope);
+    let budget = parse_budget_header(&doc, envelope);
 
     if let Some(req) = doc.child_element(body, &xrpc("request")) {
-        return parse_request(doc, req, trace).map(XrpcMessage::Request);
+        return parse_request(doc, req, trace, budget).map(XrpcMessage::Request);
     }
     if let Some(resp) = doc.child_element(body, &xrpc("response")) {
         return parse_response(doc, resp).map(XrpcMessage::Response);
@@ -469,6 +478,7 @@ fn parse_request(
     mut doc: Document,
     req: NodeId,
     trace: Option<TraceContext>,
+    budget_millis: Option<u64>,
 ) -> XdmResult<XrpcRequest> {
     let module = req_attr(&doc, req, "module")?;
     let method = req_attr(&doc, req, "method")?;
@@ -488,6 +498,7 @@ fn parse_request(
         seq,
         call_by_fragment: false,
         trace,
+        budget_millis,
         calls: Vec::new(),
     };
     if let Some(q) = doc.child_element(req, &xrpc("queryID")) {
@@ -589,10 +600,11 @@ fn has_name(doc: &Document, el: NodeId, uri: &str, local: &str) -> bool {
 }
 
 /// Text-path twin of [`start_envelope`]: XML declaration plus the open
-/// `env:Envelope` tag, the optional trace header, and the open
-/// `env:Body` tag, byte-identical to serializing the DOM the builder
-/// produces (same declaration order, same attributes).
-fn write_envelope_open(out: &mut String, trace: Option<&TraceContext>) {
+/// `env:Envelope` tag, the optional header (trace, then budget, inside a
+/// single `env:Header`), and the open `env:Body` tag, byte-identical to
+/// serializing the DOM the builder produces (same declaration order, same
+/// attributes).
+fn write_envelope_open(out: &mut String, trace: Option<&TraceContext>, budget_millis: Option<u64>) {
     out.push_str("<?xml version=\"1.0\" encoding=\"utf-8\"?>");
     out.push_str("<env:Envelope xmlns:xrpc=\"");
     push_escaped_attr(out, NS_XRPC);
@@ -605,32 +617,55 @@ fn write_envelope_open(out: &mut String, trace: Option<&TraceContext>) {
     out.push_str("\" xsi:schemaLocation=\"");
     push_escaped_attr(out, &format!("{NS_XRPC} {NS_XRPC}/XRPC.xsd"));
     out.push_str("\">");
-    if let Some(t) = trace {
-        out.push_str("<env:Header><xrpc:trace traceId=\"");
-        out.push_str(&format!("{:032x}", t.trace_id));
-        out.push_str("\" spanId=\"");
-        out.push_str(&format!("{:016x}", t.span_id));
-        if let Some(p) = t.parent_id {
-            out.push_str("\" parentId=\"");
-            out.push_str(&format!("{p:016x}"));
+    if trace.is_some() || budget_millis.is_some() {
+        out.push_str("<env:Header>");
+        if let Some(t) = trace {
+            out.push_str("<xrpc:trace traceId=\"");
+            out.push_str(&format!("{:032x}", t.trace_id));
+            out.push_str("\" spanId=\"");
+            out.push_str(&format!("{:016x}", t.span_id));
+            if let Some(p) = t.parent_id {
+                out.push_str("\" parentId=\"");
+                out.push_str(&format!("{p:016x}"));
+            }
+            out.push_str("\"/>");
         }
-        out.push_str("\"/></env:Header>");
+        if let Some(ms) = budget_millis {
+            out.push_str("<xrpc:budget remainingMillis=\"");
+            out.push_str(&ms.to_string());
+            out.push_str("\"/>");
+        }
+        out.push_str("</env:Header>");
     }
     out.push_str("<env:Body>");
 }
 
-/// DOM-path twin of the trace block in [`write_envelope_open`].
-fn append_trace_header(doc: &mut Document, envelope: NodeId, trace: Option<&TraceContext>) {
-    let Some(t) = trace else { return };
+/// DOM-path twin of the header block in [`write_envelope_open`].
+fn append_envelope_header(
+    doc: &mut Document,
+    envelope: NodeId,
+    trace: Option<&TraceContext>,
+    budget_millis: Option<u64>,
+) {
+    if trace.is_none() && budget_millis.is_none() {
+        return;
+    }
     let header = doc.create_element(envq("Header"));
     doc.append_child(envelope, header);
-    let tr = doc.create_element(xrpc("trace"));
-    doc.set_attribute(tr, QName::local("traceId"), format!("{:032x}", t.trace_id));
-    doc.set_attribute(tr, QName::local("spanId"), format!("{:016x}", t.span_id));
-    if let Some(p) = t.parent_id {
-        doc.set_attribute(tr, QName::local("parentId"), format!("{p:016x}"));
+    if let Some(t) = trace {
+        let tr = doc.create_element(xrpc("trace"));
+        doc.set_attribute(tr, QName::local("traceId"), format!("{:032x}", t.trace_id));
+        doc.set_attribute(tr, QName::local("spanId"), format!("{:016x}", t.span_id));
+        if let Some(p) = t.parent_id {
+            doc.set_attribute(tr, QName::local("parentId"), format!("{p:016x}"));
+        }
+        doc.append_child(header, tr);
     }
-    doc.append_child(header, tr);
+    if let Some(ms) = budget_millis {
+        let b = doc.create_element(xrpc("budget"));
+        doc.set_attribute(b, QName::local("remainingMillis"), ms.to_string());
+        doc.append_child(header, b);
+    }
 }
 
 /// Read the `<xrpc:trace/>` header back off a parsed envelope. A
@@ -649,6 +684,16 @@ fn parse_trace_header(doc: &Document, envelope: NodeId) -> Option<TraceContext> 
         span_id,
         parent_id,
     })
+}
+
+/// Read the `<xrpc:budget/>` header back off a parsed envelope. Like the
+/// trace header, a malformed budget is ignored rather than failing the
+/// message — a garbled budget degrades to "no deadline", never to an
+/// error the caller did not cause.
+fn parse_budget_header(doc: &Document, envelope: NodeId) -> Option<u64> {
+    let header = doc.child_element(envelope, &envq("Header"))?;
+    let b = doc.child_element(header, &xrpc("budget"))?;
+    doc.attr_local(b, "remainingMillis")?.parse().ok()
 }
 
 fn write_envelope_close(out: &mut String) {
@@ -999,6 +1044,69 @@ mod tests {
         assert!(!plain.contains("env:Header"));
         match parse_message(&plain).unwrap() {
             XrpcMessage::Request(r) => assert_eq!(r.trace, None),
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_writer_equivalence_budget_header() {
+        // budget alone, trace+budget together, and the zero budget must be
+        // byte-identical on both paths and survive a parse round-trip
+        let mut req = film_request();
+        req.budget_millis = Some(2500);
+        assert_request_equivalence(&req);
+        let xml = req.to_xml().unwrap();
+        assert!(xml.contains("<env:Header><xrpc:budget remainingMillis=\"2500\"/></env:Header>"));
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Request(r) => assert_eq!(r.budget_millis, Some(2500)),
+            other => panic!("expected request, got {other:?}"),
+        }
+
+        // trace + budget share one env:Header, trace first
+        req.trace = Some(TraceContext {
+            trace_id: 7,
+            span_id: 9,
+            parent_id: None,
+        });
+        assert_request_equivalence(&req);
+        let xml = req.to_xml().unwrap();
+        assert_eq!(xml.matches("<env:Header>").count(), 1);
+        let t = xml.find("<xrpc:trace").unwrap();
+        let b = xml.find("<xrpc:budget").unwrap();
+        assert!(t < b, "trace element precedes budget element");
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Request(r) => {
+                assert_eq!(r.budget_millis, Some(2500));
+                assert_eq!(r.trace, req.trace);
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+
+        // zero is a legal wire value ("exhausted on arrival")
+        let mut zero = film_request();
+        zero.budget_millis = Some(0);
+        assert_request_equivalence(&zero);
+        match parse_message(&zero.to_xml().unwrap()).unwrap() {
+            XrpcMessage::Request(r) => assert_eq!(r.budget_millis, Some(0)),
+            other => panic!("expected request, got {other:?}"),
+        }
+
+        // absent header parses to None
+        match parse_message(&film_request().to_xml().unwrap()).unwrap() {
+            XrpcMessage::Request(r) => assert_eq!(r.budget_millis, None),
+            other => panic!("expected request, got {other:?}"),
+        }
+
+        // a malformed budget degrades to None instead of failing the parse
+        let bad = {
+            let mut r = film_request();
+            r.budget_millis = Some(1);
+            r.to_xml()
+                .unwrap()
+                .replace("remainingMillis=\"1\"", "remainingMillis=\"x\"")
+        };
+        match parse_message(&bad).unwrap() {
+            XrpcMessage::Request(r) => assert_eq!(r.budget_millis, None),
             other => panic!("expected request, got {other:?}"),
         }
     }
