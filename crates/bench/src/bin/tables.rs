@@ -11,6 +11,7 @@
 //! tables c1            — C1: plan-cache warm path + adaptive bulk sizing (alias: compile-cache)
 //! tables s1            — S1: concurrent-client swarm, reactor vs threaded (alias: swarm)
 //! tables r1            — R1: deadline/cancellation latency + wasted-work reduction (alias: cancellation)
+//! tables p1            — P1: query-profiler overhead, off vs sampled vs full (alias: profile-overhead)
 //! tables all           — everything above except s1 (the swarm wants the machine to itself)
 //! ```
 //!
@@ -25,9 +26,17 @@
 //! seconds-scale CI smoke run); for `s1` it additionally *asserts* that
 //! the reactor sheds nothing at the smoke scale (exit 4 otherwise), for
 //! `c1` that the warm plan-cache hit rate stays ≥ 95% (exit 5
-//! otherwise), and for `r1` that cancellation p99 stays under 250 ms
-//! with zero leaked worker threads (exit 6 otherwise), so CI guards the
-//! admission, compile-once and cancellation paths, not just the numbers.
+//! otherwise), for `r1` that cancellation p99 stays under 250 ms
+//! with zero leaked worker threads (exit 6 otherwise), and for `p1` that
+//! explicit `xrpc:profile "off"` costs ≤ 1%, sampled profiling ≤ 5%, and
+//! that one slow query lands in the slow-query log exactly once (exit 7
+//! otherwise), so CI guards the admission, compile-once, cancellation
+//! and profiling paths, not just the numbers.
+//!
+//! Every JSON artifact shares one envelope (`schema_version` 2): the
+//! experiment id/title, quick flag, ISO-8601 UTC generation time, the
+//! building git commit and the host's logical CPU count, so artifacts
+//! from different PRs and machines are comparable without guesswork.
 
 use std::time::Duration;
 use xrpc_bench::*;
@@ -59,6 +68,7 @@ fn main() {
         "c1" | "compile-cache" => compile_cache(quick),
         "s1" | "swarm" => swarm(quick),
         "r1" | "cancellation" => cancellation(quick),
+        "p1" | "profile-overhead" => profile_overhead(quick),
         "all" => {
             table2();
             table3();
@@ -68,6 +78,7 @@ fn main() {
             ablation_isolation();
             update_throughput(quick);
             compile_cache(quick);
+            profile_overhead(quick);
         }
         other => {
             eprintln!("unknown table `{other}`");
@@ -76,14 +87,62 @@ fn main() {
     }
 }
 
+/// The git commit the artifact was built from, or "unknown" outside a
+/// checkout (e.g. a source tarball).
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// ISO-8601 UTC wall-clock time, hand-rolled from the epoch (no chrono in
+/// the workspace). Civil-from-days per Howard Hinnant's algorithm.
+fn utc_now_iso8601() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (hh, mm, ss) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}Z")
+}
+
 /// Hand-rolled JSON writer (the workspace deliberately has no serde):
-/// rows are emitted as an array of flat objects with numeric values.
+/// rows are emitted as an array of flat objects with numeric values,
+/// under a shared provenance envelope (see the module docs).
 fn write_json(path: &str, experiment: &str, title: &str, quick: bool, rows: &[Vec<(&str, f64)>]) {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
     let mut out = String::with_capacity(1024);
     out.push_str("{\n");
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!("  \"experiment\": \"{experiment}\",\n"));
     out.push_str(&format!("  \"title\": \"{title}\",\n"));
     out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!(
+        "  \"generated_utc\": \"{}\",\n",
+        utc_now_iso8601()
+    ));
+    out.push_str(&format!("  \"git_commit\": \"{}\",\n", git_commit()));
+    out.push_str(&format!("  \"host_cpus\": {cpus},\n"));
     out.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let fields: Vec<String> = row
@@ -369,6 +428,144 @@ fn cancellation(quick: bool) {
         if failed {
             std::process::exit(6);
         }
+    }
+    println!();
+}
+
+/// P1: what does the distributed profiler cost? The same repeated-shape
+/// local workload (a FLWOR over path steps — thousands of operator
+/// guards per query) run four ways: with no `xrpc:profile` option at
+/// all (the baseline every query pays), with the option explicitly
+/// "off", sampled at the default stride, and "full" (every guard reads
+/// the clock). Interleaved rounds with min-of-rounds per mode, because
+/// a percent-level comparison needs the noise floor, not the mean.
+/// `--quick` gates: "off" ≤ 1% over baseline, sampled ≤ 5%, and a slow
+/// query must land in the slow-query log exactly once (exit 7).
+fn profile_overhead(quick: bool) {
+    use std::time::Instant;
+    use xrpc_peer::{EngineKind, Peer};
+
+    println!("== P1: profiler overhead — off vs sampled vs full ==");
+    let items = if quick { 400 } else { 2000 };
+    let mut xml = String::with_capacity(items * 32);
+    xml.push_str("<data>");
+    for i in 0..items {
+        xml.push_str(&format!("<item><id>{i}</id></item>"));
+    }
+    xml.push_str("</data>");
+
+    const WORKLOAD: &str =
+        r#"count(for $i in doc("data.xml")//item where $i/id mod 2 = 0 return $i/id)"#;
+    let mk_query = |mode: Option<&str>| match mode {
+        None => WORKLOAD.to_string(),
+        Some(m) => format!("declare option xrpc:profile \"{m}\";\n{WORKLOAD}"),
+    };
+
+    let peer = Peer::new("xrpc://p1.example.org", EngineKind::Tree);
+    peer.add_document("data.xml", &xml).unwrap();
+    // keep the slow-query log out of the measurement
+    peer.slowlog.set_threshold_millis(u64::MAX);
+
+    let iters = if quick { 150 } else { 600 };
+    let rounds = 8;
+    let modes: [(&str, Option<&str>); 4] = [
+        ("baseline", None),
+        ("off", Some("off")),
+        ("sampled", Some("on")),
+        ("full", Some("full")),
+    ];
+    let mut best = [f64::INFINITY; 4];
+    // Rotate the measurement order every round (and throw the first
+    // round away): a fixed order hands whichever mode runs first the
+    // still-boosting CPU and reads as phantom overhead on the others.
+    for round in 0..rounds + 1 {
+        for k in 0..modes.len() {
+            let slot = (k + round) % modes.len();
+            let q = mk_query(modes[slot].1);
+            let _ = peer.execute(&q).unwrap(); // warm the plan cache
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                let _ = peer.execute(&q).unwrap();
+            }
+            if round > 0 {
+                best[slot] = best[slot].min(ms(t0.elapsed()) / iters as f64);
+            }
+        }
+    }
+    let overhead = |slot: usize| (best[slot] / best[0].max(1e-9) - 1.0) * 100.0;
+    println!("{:<10} {:>12} {:>10}", "mode", "ms/query", "overhead");
+    let mut rows = Vec::new();
+    for (slot, (label, _)) in modes.iter().enumerate() {
+        println!("{label:<10} {:>12.4} {:>9.1}%", best[slot], overhead(slot));
+        rows.push(vec![
+            ("mode", slot as f64),
+            ("ms_per_query", best[slot]),
+            ("overhead_pct", overhead(slot)),
+            ("iters_per_round", iters as f64),
+            ("rounds", rounds as f64),
+        ]);
+    }
+
+    // Slow-query log exactly-once: one query over the threshold must
+    // produce one entry; fast queries around it must produce none.
+    peer.slowlog.set_threshold_millis(20);
+    let slow = "count(for $i in 1 to 3000000 return $i * 2)";
+    let logged_before = peer.slowlog.entries_logged();
+    let t0 = Instant::now();
+    peer.execute(slow).unwrap();
+    let slow_ms = ms(t0.elapsed());
+    for _ in 0..5 {
+        peer.execute("1 + 1").unwrap();
+    }
+    let slow_entries = peer.slowlog.entries_logged() - logged_before;
+    println!(
+        "slowlog: {slow_entries} entr{} for one {slow_ms:.0} ms query over a 20 ms threshold",
+        if slow_entries == 1 { "y" } else { "ies" }
+    );
+    rows.push(vec![
+        ("mode", -1.0),
+        ("slowlog_entries", slow_entries as f64),
+        ("slow_query_ms", slow_ms),
+    ]);
+
+    write_json(
+        "BENCH_P1.json",
+        "P1",
+        "query-profiler overhead: off vs sampled vs full + slowlog exactly-once",
+        quick,
+        &rows,
+    );
+    if quick {
+        let mut failed = false;
+        if overhead(1) > 1.0 {
+            eprintln!(
+                "P1 quick FAILED: explicit `xrpc:profile \"off\"` costs {:.2}% > 1%",
+                overhead(1)
+            );
+            failed = true;
+        }
+        if overhead(2) > 5.0 {
+            eprintln!(
+                "P1 quick FAILED: sampled profiling costs {:.2}% > 5%",
+                overhead(2)
+            );
+            failed = true;
+        }
+        if slow_entries != 1 {
+            eprintln!(
+                "P1 quick FAILED: expected exactly one slow-query log entry, got {slow_entries}"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(7);
+        }
+        println!(
+            "P1 quick: off {:+.2}%, sampled {:+.2}%, full {:+.2}% (gates: off ≤ 1%, sampled ≤ 5%)",
+            overhead(1),
+            overhead(2),
+            overhead(3)
+        );
     }
     println!();
 }

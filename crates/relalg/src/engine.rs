@@ -250,6 +250,25 @@ impl<'e> RelEngine<'e> {
         }
     }
 
+    /// Run `f` under a profiled-operator guard when profiling is on,
+    /// recording the produced row count; one branch when it is off.
+    #[inline]
+    fn profiled(
+        &self,
+        name: &str,
+        st: &mut EvalState,
+        f: impl FnOnce(&Self, &mut EvalState) -> XdmResult<SeqTable>,
+    ) -> XdmResult<SeqTable> {
+        let Some(mut guard) = self.tree.env.profile_op(name) else {
+            return f(self, st);
+        };
+        let r = f(self, st);
+        if let Ok(t) = &r {
+            guard.set_items(t.len() as u64);
+        }
+        r
+    }
+
     /// Evaluate `e` for every iteration of `lenv.loop_iters` at once.
     pub fn eval_lifted(&self, e: &Expr, lenv: &Lifted, st: &mut EvalState) -> XdmResult<SeqTable> {
         // XRPC-free expressions run on the tree engine per iteration; all
@@ -265,8 +284,12 @@ impl<'e> RelEngine<'e> {
                 }
                 Ok(SeqTable::concat_per_iter(&lenv.loop_iters, &ops))
             }
-            Expr::Flwor { clauses, ret } => self.eval_flwor_lifted(clauses, ret, lenv, st),
-            Expr::ExecuteAt { dest, call } => self.eval_execute_at_lifted(dest, call, lenv, st),
+            Expr::Flwor { clauses, ret } => self.profiled("rel:flwor", st, |eng, st2| {
+                eng.eval_flwor_lifted(clauses, ret, lenv, st2)
+            }),
+            Expr::ExecuteAt { dest, call } => self.profiled("rel:execute-at", st, |eng, st2| {
+                eng.eval_execute_at_lifted(dest, call, lenv, st2)
+            }),
             Expr::If { cond, then, els } => {
                 let cond_t = self.eval_lifted(cond, lenv, st)?;
                 let mut true_iters = Vec::new();
@@ -282,22 +305,26 @@ impl<'e> RelEngine<'e> {
                 let else_t = self.eval_lifted(els, &restrict_env(lenv, &false_iters), st)?;
                 Ok(SeqTable::merge_union(vec![then_t, else_t]))
             }
-            Expr::FunctionCall { name, args } => self.eval_call_lifted(name, args, lenv, st),
-            Expr::PathStep(a, b) => {
+            Expr::FunctionCall { name, args } => {
+                self.profiled("rel:function-call", st, |eng, st2| {
+                    eng.eval_call_lifted(name, args, lenv, st2)
+                })
+            }
+            Expr::PathStep(a, b) => self.profiled("rel:path-step", st, |eng, st| {
                 // XRPC can only be on the left of a `/` (steps are not
                 // XRPC-bearing); evaluate lhs lifted, apply the step
                 // per iteration through the tree engine.
-                let base = self.eval_lifted(a, lenv, st)?;
+                let base = eng.eval_lifted(a, lenv, st)?;
                 let mut out = Vec::new();
                 for &i in &lenv.loop_iters {
                     let seq = base.sequence_at(i);
-                    let stepped = self.with_iter_vars(lenv, i, st, |tree, st2| {
+                    let stepped = eng.with_iter_vars(lenv, i, st, |tree, st2| {
                         tree.eval_path_rhs(&seq, b, st2)
                     })?;
                     out.push((i, stepped));
                 }
                 Ok(SeqTable::from_sequences(out))
-            }
+            }),
             Expr::GeneralComp(op, a, b) => {
                 let ta = self.eval_lifted(a, lenv, st)?;
                 let tb = self.eval_lifted(b, lenv, st)?;

@@ -274,6 +274,10 @@ pub struct Environment {
     /// polled by the evaluator's loop and recursion sites. `None` (the
     /// default) means the query runs unchecked.
     pub cancel: Option<Arc<CancelToken>>,
+    /// Per-operator profile collector for the query this environment
+    /// serves (`xrpc:profile`). `None` (the default) means profiling is
+    /// off and the instrumentation sites cost one branch.
+    pub profile: Option<Arc<xrpc_obs::ProfileCollector>>,
 }
 
 impl Environment {
@@ -288,6 +292,7 @@ impl Environment {
             stats: Mutex::new(EvalStats::default()),
             max_depth: 128,
             cancel: None,
+            profile: None,
         }
     }
 
@@ -298,6 +303,13 @@ impl Environment {
             Some(t) => t.check(),
             None => Ok(()),
         }
+    }
+
+    /// Open a profiled-operator guard, or `None` when profiling is off —
+    /// the one-branch fast path every instrumented operator starts with.
+    #[inline]
+    pub fn profile_op(&self, name: &str) -> Option<xrpc_obs::profile::OpGuard> {
+        self.profile.as_ref().map(|p| p.op(name))
     }
 
     pub fn with_modules(mut self, modules: Arc<ModuleRegistry>) -> Self {

@@ -259,6 +259,25 @@ impl<'e> Evaluator<'e> {
         }
     }
 
+    /// Run `f` under a profiled-operator guard when profiling is on,
+    /// recording the result cardinality; one branch and a tail call when
+    /// it is off.
+    #[inline]
+    fn profiled(
+        &self,
+        name: &str,
+        f: impl FnOnce(&Self) -> XdmResult<Sequence>,
+    ) -> XdmResult<Sequence> {
+        let Some(mut guard) = self.env.profile_op(name) else {
+            return f(self);
+        };
+        let r = f(self);
+        if let Ok(seq) = &r {
+            guard.set_items(seq.len() as u64);
+        }
+        r
+    }
+
     /// Evaluate one expression.
     pub fn eval(&self, e: &Expr, st: &mut EvalState, ctx: &Ctx) -> XdmResult<Sequence> {
         match e {
@@ -394,7 +413,9 @@ impl<'e> Evaluator<'e> {
                     self.eval(els, st, ctx)
                 }
             }
-            Expr::Flwor { clauses, ret } => self.eval_flwor(clauses, ret, st, ctx),
+            Expr::Flwor { clauses, ret } => {
+                self.profiled("xq:flwor", |ev| ev.eval_flwor(clauses, ret, st, ctx))
+            }
             Expr::Quantified {
                 quantifier,
                 bindings,
@@ -442,11 +463,11 @@ impl<'e> Evaluator<'e> {
                     Some(r) => self.eval(r, st, &Ctx::of(Item::Node(root))),
                 }
             }
-            Expr::PathStep(a, b) => {
+            Expr::PathStep(a, b) => self.profiled("xq:path-step", |ev| {
                 // Join-index fast path for the `base//elem[@attr = v]`
                 // shape: `//` parses as an intermediate descendant-or-self
                 // step, so peel it off and probe the per-document index.
-                if self.env.join_index {
+                if ev.env.join_index {
                     if let Expr::PathStep(inner_base, dos) = a.as_ref() {
                         if matches!(
                             dos.as_ref(),
@@ -456,19 +477,19 @@ impl<'e> Evaluator<'e> {
                                 predicates,
                             } if predicates.is_empty()
                         ) {
-                            let base = self.eval(inner_base, st, ctx)?;
-                            if let Some(r) = self.try_join_index(&base, b, st, true)? {
+                            let base = ev.eval(inner_base, st, ctx)?;
+                            if let Some(r) = ev.try_join_index(&base, b, st, true)? {
                                 return Ok(r);
                             }
                             // fall back: continue with the dos expansion
-                            let expanded = self.eval_path_rhs(&base, dos, st)?;
-                            return self.eval_path_rhs(&expanded, b, st);
+                            let expanded = ev.eval_path_rhs(&base, dos, st)?;
+                            return ev.eval_path_rhs(&expanded, b, st);
                         }
                     }
                 }
-                let base = self.eval(a, st, ctx)?;
-                self.eval_path_rhs(&base, b, st)
-            }
+                let base = ev.eval(a, st, ctx)?;
+                ev.eval_path_rhs(&base, b, st)
+            }),
             Expr::AxisStep {
                 axis,
                 test,
@@ -514,8 +535,12 @@ impl<'e> Evaluator<'e> {
                 let filtered = self.apply_predicates(v.into_items(), predicates, st)?;
                 Ok(Sequence::from_items(filtered))
             }
-            Expr::FunctionCall { name, args } => self.eval_function_call(name, args, st, ctx),
-            Expr::ExecuteAt { dest, call } => self.eval_execute_at(dest, call, st, ctx),
+            Expr::FunctionCall { name, args } => self.profiled("xq:function-call", |ev| {
+                ev.eval_function_call(name, args, st, ctx)
+            }),
+            Expr::ExecuteAt { dest, call } => self.profiled("xq:execute-at", |ev| {
+                ev.eval_execute_at(dest, call, st, ctx)
+            }),
             Expr::DirectElem(d) => {
                 let mut doc = Document::new();
                 let id = self.construct_direct(d, &mut doc, st, ctx)?;

@@ -12,17 +12,30 @@
 //!   buckets, recording in whatever unit the caller picks (µs, bytes,
 //!   calls);
 //! * [`prom`] — Prometheus text exposition for counters, gauges and
-//!   histogram summaries, backing a peer's `/metrics` endpoint.
+//!   histogram summaries, backing a peer's `/metrics` endpoint;
+//! * [`profile`] — the distributed query profiler: per-operator
+//!   runtime stats collected via RAII guards with a sampled clock,
+//!   per-hop phase breakdowns, and cross-peer assembly into one
+//!   [`QueryProfile`] (JSON / folded-stack flamegraph);
+//! * [`slowlog`] — the always-on slow-query log: bounded, rotating
+//!   JSON-lines behind a never-blocking channel, served at
+//!   `GET /slowlog`.
 //!
 //! [`Observability`] bundles a tracer with a registry of named
 //! histograms so one `Arc` can be handed to every layer of a peer.
 
 pub mod hist;
+pub mod profile;
 pub mod prom;
+pub mod slowlog;
 pub mod trace;
 
 pub use hist::{HistSnapshot, Histogram, HistogramVec};
+pub use profile::{
+    HopProfile, OpGuard, OpNode, Phase, Phases, ProfileCollector, ProfileMode, QueryProfile,
+};
 pub use prom::PromWriter;
+pub use slowlog::{SlowLog, SlowLogConfig, SlowLogEntry};
 pub use trace::{
     ambient_span, current_context, current_tracer, set_current_context, set_current_tracer,
     trace_id_from, ContextGuard, FinishedSpan, SpanGuard, TraceContext, Tracer, TracerGuard,

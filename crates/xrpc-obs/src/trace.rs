@@ -141,6 +141,9 @@ pub struct Tracer {
     head: AtomicUsize,
     slots: Box<[Mutex<Option<FinishedSpan>>]>,
     next_span_id: AtomicU64,
+    /// Spans overwritten before ever being exported — the ring kept
+    /// running but the trace is truncated.
+    dropped: AtomicU64,
 }
 
 impl Tracer {
@@ -157,6 +160,7 @@ impl Tracer {
             // seed per-tracer so span ids from different peers don't
             // collide even though each counter is sequential
             next_span_id: AtomicU64::new(fnv1a64(peer) | 1),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -209,7 +213,18 @@ impl Tracer {
 
     fn push(&self, span: FinishedSpan) {
         let i = self.head.fetch_add(1, Ordering::Relaxed) % self.slots.len();
-        *self.slots[i].lock().unwrap() = Some(span);
+        let mut slot = self.slots[i].lock().unwrap();
+        if slot.is_some() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        *slot = Some(span);
+    }
+
+    /// How many spans the ring overwrote (dropped) so far. Exposed on
+    /// `/metrics` as `xrpc_trace_spans_dropped_total`; non-zero means
+    /// exported traces may be missing spans.
+    pub fn spans_dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Every span still in the ring, oldest first.
@@ -234,9 +249,21 @@ impl Tracer {
             .collect()
     }
 
-    /// JSON-lines export of the whole ring (one object per line).
+    /// JSON-lines export of the whole ring (one object per line). When
+    /// the ring has overwritten spans, the first line is a warning
+    /// record so consumers know the trace is truncated rather than
+    /// silently incomplete.
     pub fn export_json(&self) -> String {
         let mut out = String::new();
+        let dropped = self.spans_dropped();
+        if dropped > 0 {
+            out.push_str(&format!(
+                "{{\"warning\":\"spans_dropped\",\"dropped\":{},\"peer\":\"",
+                dropped
+            ));
+            json_escape(&self.peer, &mut out);
+            out.push_str("\"}\n");
+        }
         for s in self.finished() {
             out.push_str(&s.to_json());
             out.push('\n');
@@ -411,6 +438,42 @@ mod tests {
         assert_eq!(spans.len(), 8);
         let ids: Vec<u64> = spans.iter().map(|s| s.span_id).collect();
         assert_eq!(ids, (12..20).collect::<Vec<_>>(), "oldest-first, last 8");
+        assert_eq!(t.spans_dropped(), 12, "20 recorded into 8 slots");
+    }
+
+    #[test]
+    fn export_warns_when_spans_were_dropped() {
+        let t = Arc::new(Tracer::new("p", 2));
+        for i in 0..3u64 {
+            let _ = t.span(
+                "s",
+                TraceContext {
+                    trace_id: 1,
+                    span_id: i,
+                    parent_id: None,
+                },
+            );
+        }
+        assert_eq!(t.spans_dropped(), 1);
+        let json = t.export_json();
+        let first = json.lines().next().unwrap();
+        assert!(
+            first.contains("\"warning\":\"spans_dropped\"") && first.contains("\"dropped\":1"),
+            "warning record leads the export: {first}"
+        );
+        // A full-but-never-overwritten ring exports without the warning.
+        let clean = Arc::new(Tracer::new("p2", 4));
+        for i in 0..4u64 {
+            let _ = clean.span(
+                "s",
+                TraceContext {
+                    trace_id: 1,
+                    span_id: i,
+                    parent_id: None,
+                },
+            );
+        }
+        assert!(!clean.export_json().contains("spans_dropped"));
     }
 
     #[test]

@@ -1,8 +1,9 @@
-//! The peer's admin surface: `/metrics` (Prometheus text exposition)
-//! and `/healthz` (JSON liveness/readiness), routed on the same
-//! [`HttpServer`] that carries XRPC traffic — the paper's "any XRPC
-//! endpoint doubles as a WS-AT participant" philosophy extended to
-//! operations: any XRPC endpoint is also scrapeable.
+//! The peer's admin surface: `/metrics` (Prometheus text exposition),
+//! `/healthz` (JSON liveness/readiness) and `/slowlog` (the slow-query
+//! log as JSON lines), routed on the same [`HttpServer`] that carries
+//! XRPC traffic — the paper's "any XRPC endpoint doubles as a WS-AT
+//! participant" philosophy extended to operations: any XRPC endpoint
+//! is also scrapeable.
 //!
 //! `/metrics` aggregates every counter the runtime already keeps —
 //! transport [`NetMetrics`] (client side from the peer's
@@ -143,6 +144,19 @@ pub fn render_metrics(peer: &Peer, server_metrics: Option<&NetMetrics>) -> Strin
     w.counter("xrpc_bulk_parallel_decisions_total", a.parallel_decisions);
     w.counter("xrpc_bulk_observed_calls_total", a.observed_calls);
     w.counter("xrpc_bulk_split_dispatches_total", a.split_dispatches);
+
+    // Tracing ring overflow (spans evicted before export) and the
+    // slow-query log's volume/drop counters.
+    w.counter(
+        "xrpc_trace_spans_dropped_total",
+        peer.obs.tracer.spans_dropped(),
+    );
+    w.counter("xrpc_slowlog_entries_total", peer.slowlog.entries_logged());
+    w.counter("xrpc_slowlog_dropped_total", peer.slowlog.entries_dropped());
+    w.gauge(
+        "xrpc_slowlog_threshold_millis",
+        peer.slowlog.threshold_millis(),
+    );
 
     let p = BufferPool::global().stats();
     w.counter("xrpc_bufpool_hits_total", p.hits);
@@ -305,6 +319,8 @@ pub fn admin_handler(peer: &Arc<Peer>) -> (Arc<Handler>, ServerMetricsSlot) {
             let (status, doc) = render_healthz(&p);
             (status, doc.into_bytes())
         }
+        // The slow-query log as JSON lines, oldest retained entry first.
+        "/slowlog" => (200, p.slowlog.render().into_bytes()),
         _ => (200, soap(body)),
     });
     (handler, slot)

@@ -55,6 +55,12 @@ pub struct XrpcClient {
     /// past the commit point the decision protocol must run to
     /// completion regardless of the originator's budget.
     pub cancel: Option<Arc<CancelToken>>,
+    /// The query's profile collector, when it runs with `xrpc:profile`
+    /// on. Every dispatch then stamps a `<xrpc:profile>` request header
+    /// (mode + this peer as `via` + depth+1), charges marshal/network
+    /// time and wire bytes to the collector, and absorbs the hop
+    /// profiles the response header carries back.
+    pub profile: Option<Arc<xrpc_obs::ProfileCollector>>,
 }
 
 impl XrpcClient {
@@ -70,6 +76,7 @@ impl XrpcClient {
             adaptive: None,
             net_feedback: None,
             cancel: None,
+            profile: None,
         }
     }
 
@@ -207,9 +214,19 @@ impl XrpcClient {
             .as_ref()
             .map(|s| s.context())
             .or_else(xrpc_obs::current_context);
+        // Ask the callee to profile its hop: it sees this peer as `via`
+        // and runs one level deeper in the call chain.
+        if let Some(col) = &self.profile {
+            req.profile = Some(xrpc_proto::ProfileRequest {
+                mode: col.mode,
+                via: col.peer.clone(),
+                depth: col.depth + 1,
+            });
+        }
         // serialize into a recycled buffer sized from the cheap estimate;
         // the call-by-fragment path needs the message-DOM pipeline and
         // keeps its own allocation
+        let marshal_started = self.profile.as_ref().map(|_| std::time::Instant::now());
         let xml = if req.call_by_fragment {
             req.to_xml()?
         } else {
@@ -217,6 +234,9 @@ impl XrpcClient {
             req.write_xml(&mut out)?;
             out
         };
+        if let (Some(col), Some(m)) = (&self.profile, marshal_started) {
+            col.add_phase(xrpc_obs::Phase::Marshal, m.elapsed().as_micros() as u64);
+        }
         self.calls_sent.fetch_add(ncalls as u64, Relaxed);
         // Retry semantics (see xrpc-net): read-only calls are safe to
         // resend after any retryable failure; deferred updates (rule R'Fu)
@@ -261,6 +281,17 @@ impl XrpcClient {
                 .with_label(dest)
                 .record_micros(elapsed);
         }
+        if let Some(col) = &self.profile {
+            // "network" is the whole round-trip as this hop saw it (the
+            // callee's own time included — each hop's phases account for
+            // *its* wall clock); bytes land on the operator whose
+            // dispatch this is (the enclosing execute-at guard).
+            col.add_phase(
+                xrpc_obs::Phase::Network,
+                started.elapsed().as_micros() as u64,
+            );
+            col.add_bytes_to_current((xml.len() + resp_bytes.len()) as u64);
+        }
         xrpc_net::BufferPool::global().put_string(xml);
         let resp_text = std::str::from_utf8(&resp_bytes)
             .map_err(|_| XdmError::xrpc("non-UTF8 XRPC response"))?;
@@ -268,7 +299,12 @@ impl XrpcClient {
         // the response's byte buffer is spent once parsed: recycle it
         xrpc_net::BufferPool::global().put(resp_bytes);
         match msg {
-            XrpcMessage::Response(r) => {
+            XrpcMessage::Response(mut r) => {
+                if let Some(col) = &self.profile {
+                    if !r.profile_hops.is_empty() {
+                        col.absorb_hops(std::mem::take(&mut r.profile_hops));
+                    }
+                }
                 let mut parts = self.participants.lock();
                 parts.insert(dest.to_string());
                 for p in &r.participating_peers {
@@ -352,9 +388,11 @@ impl XrpcClient {
             parts.push(std::mem::replace(&mut rest, tail));
         }
         // Worker threads need the dispatching thread's ambient trace
-        // context/tracer re-established (they are thread-locals).
+        // context/tracer — and the profiler's current-operator parent —
+        // re-established (they are thread-locals).
         let ambient = xrpc_obs::current_context();
         let tracer = xrpc_obs::current_tracer();
+        let op_parent = xrpc_obs::profile::current_parent();
         let mut slots: Vec<XdmResult<Vec<Sequence>>> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = parts
@@ -364,6 +402,7 @@ impl XrpcClient {
                     s.spawn(move || {
                         let _ctx = xrpc_obs::set_current_context(ambient);
                         let _tr = xrpc_obs::set_current_tracer(tracer);
+                        let _op = xrpc_obs::profile::install_parent(op_parent);
                         self.dispatch_one(dest, func, chunk)
                     })
                 })

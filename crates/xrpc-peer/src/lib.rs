@@ -31,7 +31,9 @@ pub use adaptive::{AdaptiveBulk, AdaptiveSnapshot};
 pub use admin::{admin_handler, bind_admin, render_healthz, render_metrics, ServerMetricsSlot};
 pub use client::XrpcClient;
 pub use modweb::ModuleWeb;
-pub use peer::{EngineKind, IsolationLevel, Peer, PeerStats, PreparedQuery, QueryPlan};
+pub use peer::{
+    EngineKind, ExecOutcome, IsolationLevel, Peer, PeerStats, PreparedQuery, QueryPlan,
+};
 pub use recovery::{RecoveryReport, SweeperConfig, SweeperHandle};
 pub use remote_docs::RemoteDocResolver;
 pub use store::{Decision, SnapshotManager};

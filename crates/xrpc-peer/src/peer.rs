@@ -25,7 +25,10 @@ use xqeval::{CompiledMain, InMemoryDocs, ModuleRegistry};
 use xrpc_net::{
     crash_points, BreakerConfig, CrashSwitch, ResilientTransport, RetryPolicy, Transport,
 };
-use xrpc_obs::{trace_id_from, Observability, TraceContext};
+use xrpc_obs::{
+    trace_id_from, Observability, Phase, ProfileCollector, ProfileMode, QueryProfile, SlowLog,
+    SlowLogConfig, SlowLogEntry, TraceContext,
+};
 use xrpc_proto::{
     parse_message, QueryId, TxOutcome, XrpcFault, XrpcMessage, XrpcRequest, XrpcResponse,
 };
@@ -83,6 +86,17 @@ pub struct QueryPlan {
     pub compiled: CompiledMain,
     pub isolation: IsolationLevel,
     pub timeout_secs: u32,
+    /// `declare option xrpc:profile "off" | "on" | "full"` — whether
+    /// executions of this plan collect a distributed profile.
+    pub profile: ProfileMode,
+    /// FNV-1a of the normalized query text (the slow-query log's stable
+    /// query identity — the log never stores raw query text).
+    pub text_hash: u64,
+    /// What compiling this plan cost, split at the parser boundary. A
+    /// plan-cache hit skips both; the profile's parse/compile phases are
+    /// charged only on the miss that actually paid them.
+    pub parse_micros: u64,
+    pub compile_micros: u64,
 }
 
 /// A handle to a cached plan, returned by [`Peer::prepare`]. Executing it
@@ -102,6 +116,9 @@ impl PreparedQuery {
     pub fn timeout_secs(&self) -> u32 {
         self.plan.timeout_secs
     }
+    pub fn plan_profile(&self) -> ProfileMode {
+        self.plan.profile
+    }
 }
 
 /// Outcome details of a top-level query execution.
@@ -111,6 +128,9 @@ pub struct ExecOutcome {
     pub commit: Option<CommitOutcome>,
     pub requests_sent: u64,
     pub calls_sent: u64,
+    /// The assembled cross-peer profile, when the query ran with
+    /// `xrpc:profile` on (or via [`Peer::explain_analyze`]).
+    pub profile: Option<QueryProfile>,
 }
 
 /// `(qid.host, qid.timestamp_millis)` — how coordination maps key a
@@ -213,6 +233,11 @@ pub struct Peer {
     /// the `xrpc_cancellations_total{kind=...}` counter.
     pub cancellations_deadline: AtomicU64,
     pub cancellations_cancelled: AtomicU64,
+    /// The always-on slow-query log: every top-level execution reports its
+    /// phase totals here, and those over the threshold are appended to a
+    /// bounded in-memory ring served on `GET /slowlog` (see
+    /// `xrpc_obs::slowlog`). Recording never blocks the request path.
+    pub slowlog: Arc<SlowLog>,
 }
 
 /// Removes a call-handler's cancel token from [`Peer::active_evals`] when
@@ -285,6 +310,7 @@ impl Peer {
             active_evals: Mutex::new(HashMap::new()),
             cancellations_deadline: AtomicU64::new(0),
             cancellations_cancelled: AtomicU64::new(0),
+            slowlog: SlowLog::new(SlowLogConfig::default()),
         })
     }
 
@@ -509,10 +535,12 @@ impl Peer {
     }
 
     fn handle_message(&self, text: &str) -> XdmResult<XrpcResponse> {
+        let parse_started = Instant::now();
         let req = match parse_message(text)? {
             XrpcMessage::Request(r) => r,
             _ => return Err(XdmError::xrpc("expected an xrpc:request")),
         };
+        let parse_micros = parse_started.elapsed().as_micros() as u64;
         // Continue the caller's trace (the context parsed from the
         // envelope header) — or start a fresh root for an untraced
         // request. The span's context and this peer's tracer stay
@@ -541,7 +569,7 @@ impl Peer {
             } else {
                 0
             };
-            self.handle_call_request(req, request_hash)
+            self.handle_call_request(req, request_hash, parse_micros)
         };
         if let Err(e) = &out {
             span.tag("error", e.to_string());
@@ -798,7 +826,24 @@ impl Peer {
     }
 
     /// Handle an XRPC function-call request (possibly Bulk).
-    fn handle_call_request(&self, req: XrpcRequest, request_hash: u64) -> XdmResult<XrpcResponse> {
+    fn handle_call_request(
+        &self,
+        req: XrpcRequest,
+        request_hash: u64,
+        parse_micros: u64,
+    ) -> XdmResult<XrpcResponse> {
+        let handle_started = Instant::now();
+        // Continue the caller's profile when the request header asks for
+        // one: this hop collects its own operator tree/phases and returns
+        // them (plus any hops *it* gathered downstream) in the response.
+        let collector = req
+            .profile
+            .as_ref()
+            .filter(|p| p.mode.is_on())
+            .map(|p| ProfileCollector::new(p.mode, &self.name(), &p.via, p.depth));
+        if let Some(col) = &collector {
+            col.add_phase(Phase::Parse, parse_micros);
+        }
         self.stats.requests_handled.fetch_add(1, Ordering::Relaxed);
         self.stats
             .calls_handled
@@ -890,6 +935,7 @@ impl Peer {
             c.adaptive = Some(self.adaptive.clone());
             c.net_feedback = self.resilient_transport();
             c.cancel = Some(cancel.clone());
+            c.profile = collector.clone();
             Arc::new(c)
         });
 
@@ -899,6 +945,7 @@ impl Peer {
         };
         let mut env = Environment::new(resolver).with_modules(self.modules.clone());
         env.cancel = Some(cancel.clone());
+        env.profile = collector.clone();
         if let Some(c) = &nested_client {
             env.dispatcher = Some(c.clone() as Arc<dyn xqeval::context::RpcDispatcher>);
         }
@@ -914,9 +961,11 @@ impl Peer {
         // trace across their nested dispatches too.
         let ambient = xrpc_obs::current_context();
         let ambient_tracer = xrpc_obs::current_tracer();
+        let op_parent = xrpc_obs::profile::current_parent();
         let eval_one = |args: &[Sequence]| -> XdmResult<(Sequence, PendingUpdateList)> {
             let _trace = xrpc_obs::set_current_context(ambient);
             let _tracer = xrpc_obs::set_current_tracer(ambient_tracer.clone());
+            let _op = xrpc_obs::profile::install_parent(op_parent);
             let mut st = EvalState::new();
             bind_params(&prepared.decl, args, &mut st)?;
             let r = ev.eval(&prepared.decl.body, &mut st, &Ctx::none())?;
@@ -955,6 +1004,9 @@ impl Peer {
             eval_started.elapsed(),
             if parallel { threads } else { 1 },
         );
+        if let Some(col) = &collector {
+            col.add_phase(Phase::Execute, eval_started.elapsed().as_micros() as u64);
+        }
 
         // Merge in call order: response positions match request positions
         // exactly, and the lowest-index error wins (as it would have
@@ -1019,6 +1071,16 @@ impl Peer {
         let mut resp = XrpcResponse::new(req.module, req.method);
         resp.results = results;
         resp.participating_peers = peers;
+        if let Some(col) = &collector {
+            // This hop's profile (own hop first, then everything gathered
+            // from peers *we* called) rides home in the response header.
+            // The span ids tie the hop to the PR 5 trace.
+            let (trace_id, span_id) = xrpc_obs::current_context()
+                .map(|c| (c.trace_id, c.span_id))
+                .unwrap_or((0, 0));
+            let total_micros = parse_micros + handle_started.elapsed().as_micros() as u64;
+            resp.profile_hops = col.finish_hops(trace_id, span_id, total_micros);
+        }
         Ok(resp)
     }
 
@@ -1138,7 +1200,10 @@ impl Peer {
     /// context (query prolog over peer defaults), derive the execution
     /// options. This is the work a plan-cache hit skips.
     fn compile_query(&self, query: &str) -> XdmResult<QueryPlan> {
+        let parse_started = Instant::now();
         let module = xqast::parse_main_module(query)?;
+        let parse_micros = parse_started.elapsed().as_micros() as u64;
+        let compile_started = Instant::now();
         let isolation = match module.prolog.option("xrpc", "isolation") {
             Some("repeatable") => IsolationLevel::Repeatable,
             Some("none") | None => IsolationLevel::None,
@@ -1167,6 +1232,13 @@ impl Peer {
             }
             None => self.default_timeout_secs,
         };
+        // Lenient by design: an unknown xrpc:profile value means "off" —
+        // a profiling typo must never change query results.
+        let profile = module
+            .prolog
+            .option("xrpc", "profile")
+            .map(ProfileMode::parse)
+            .unwrap_or(ProfileMode::Off);
         let mut sctx = StaticContext::from_prolog(&module.prolog);
         if sctx.base_uri.is_none() {
             sctx.base_uri = self.base_uri.read().clone();
@@ -1174,19 +1246,42 @@ impl Peer {
         if sctx.default_collation.is_none() {
             sctx.default_collation = self.default_collation.read().clone();
         }
+        let compiled = CompiledMain::compile_with(Arc::new(module), sctx);
         Ok(QueryPlan {
-            compiled: CompiledMain::compile_with(Arc::new(module), sctx),
+            compiled,
             isolation,
             timeout_secs: timeout,
+            profile,
+            text_hash: fnv1a(Self::normalize_query_text(query).as_bytes()),
+            parse_micros,
+            compile_micros: compile_started.elapsed().as_micros() as u64,
         })
     }
 
     /// The cached plan for `query` — compiled on first sight (or on every
     /// call when the cache is disabled / the fingerprint changed).
     pub fn plan_for(&self, query: &str) -> XdmResult<Arc<QueryPlan>> {
+        self.plan_for_disposed(query).map(|(p, _)| p)
+    }
+
+    /// [`plan_for`](Self::plan_for) plus the cache disposition of this
+    /// lookup — `"hit"`, `"miss"`, or `"off"` — for the profiler and the
+    /// slow-query log.
+    fn plan_for_disposed(&self, query: &str) -> XdmResult<(Arc<QueryPlan>, &'static str)> {
         let key = (Self::normalize_query_text(query), self.plan_fingerprint());
-        self.plan_cache
-            .get_or_prepare(key, || self.compile_query(query))
+        let compiled_now = std::cell::Cell::new(false);
+        let plan = self.plan_cache.get_or_prepare(key, || {
+            compiled_now.set(true);
+            self.compile_query(query)
+        })?;
+        let disposition = if !self.plan_cache.is_enabled() {
+            "off"
+        } else if compiled_now.get() {
+            "miss"
+        } else {
+            "hit"
+        };
+        Ok((plan, disposition))
     }
 
     /// Prepare a query for repeated execution: compile (or fetch the
@@ -1224,24 +1319,66 @@ impl Peer {
         prepared: &PreparedQuery,
         params: Vec<(String, Sequence)>,
     ) -> XdmResult<ExecOutcome> {
-        self.execute_plan(&prepared.plan, params)
+        // The prepared handle *is* the cache: compile cost was paid at
+        // prepare() time, so an execution is always a hit.
+        self.execute_plan(&prepared.plan, params, "hit", None)
     }
 
     /// Execute a query, honoring `declare option xrpc:isolation` /
     /// `xrpc:timeout`, driving deferred updates through 2PC when the query
     /// runs isolated.
     pub fn execute_detailed(&self, query: &str) -> XdmResult<ExecOutcome> {
-        let plan = self.plan_for(query)?;
-        self.execute_plan(&plan, Vec::new())
+        let (plan, cache) = self.plan_for_disposed(query)?;
+        self.execute_plan(&plan, Vec::new(), cache, None)
+    }
+
+    /// Compile-only EXPLAIN: the plan's static properties as JSON, without
+    /// executing anything. The runtime counterpart is
+    /// [`explain_analyze`](Self::explain_analyze).
+    pub fn explain(&self, query: &str) -> XdmResult<String> {
+        let (plan, cache) = self.plan_for_disposed(query)?;
+        Ok(format!(
+            "{{\"engine\":\"{}\",\"cache\":\"{cache}\",\"isolation\":\"{}\",\"timeoutSecs\":{},\"profile\":\"{}\",\"queryHash\":\"{:016x}\",\"parseMicros\":{},\"compileMicros\":{}}}",
+            match self.engine {
+                EngineKind::Tree => "tree",
+                EngineKind::Rel => "rel",
+            },
+            match plan.isolation {
+                IsolationLevel::Repeatable => "repeatable",
+                IsolationLevel::None => "none",
+            },
+            plan.timeout_secs,
+            plan.profile.as_str(),
+            plan.text_hash,
+            plan.parse_micros,
+            plan.compile_micros,
+        ))
+    }
+
+    /// EXPLAIN ANALYZE: execute the query with full (stride-1) profiling
+    /// forced on — regardless of its own `xrpc:profile` option — and
+    /// return the result together with the assembled cross-peer profile.
+    pub fn explain_analyze(&self, query: &str) -> XdmResult<(Sequence, QueryProfile)> {
+        let (plan, cache) = self.plan_for_disposed(query)?;
+        let out = self.execute_plan(&plan, Vec::new(), cache, Some(ProfileMode::Full))?;
+        let profile = out
+            .profile
+            .ok_or_else(|| XdmError::xrpc("explain_analyze produced no profile"))?;
+        Ok((out.result, profile))
     }
 
     /// Run a compiled plan: everything after parse + static analysis —
-    /// snapshot pinning, engine dispatch, 2PC settlement.
+    /// snapshot pinning, engine dispatch, 2PC settlement. `cache` is the
+    /// plan lookup's disposition; `force_profile` overrides the plan's own
+    /// `xrpc:profile` option (how `explain_analyze` forces stride 1).
     fn execute_plan(
         &self,
         plan: &QueryPlan,
         external: Vec<(String, Sequence)>,
+        cache: &'static str,
+        force_profile: Option<ProfileMode>,
     ) -> XdmResult<ExecOutcome> {
+        let started = Instant::now();
         let isolation = plan.isolation;
         let timeout = plan.timeout_secs;
         // `xrpc:timeout "0"` = no *execution* deadline, but the queryId's
@@ -1302,6 +1439,22 @@ impl Peer {
             },
         );
 
+        // The originator's profile collector (depth 0, nobody called us).
+        // Phase accounting for the slow-query log is NOT gated on this:
+        // the log's phase totals come from a handful of `Instant` reads
+        // this function takes anyway, so profiling-off stays free.
+        let mode = force_profile.unwrap_or(plan.profile);
+        let collector = mode
+            .is_on()
+            .then(|| ProfileCollector::new(mode, &self.name(), "", 0));
+        if let Some(col) = &collector {
+            col.set_cache(cache);
+            if cache == "miss" {
+                col.add_phase(Phase::Parse, plan.parse_micros);
+                col.add_phase(Phase::Compile, plan.compile_micros);
+            }
+        }
+
         let client = self.transport().map(|t| {
             let mut c = XrpcClient::new(t);
             c.query_id = qid.clone();
@@ -1310,6 +1463,7 @@ impl Peer {
             c.adaptive = Some(self.adaptive.clone());
             c.net_feedback = self.resilient_transport();
             c.cancel = Some(cancel.clone());
+            c.profile = collector.clone();
             Arc::new(c)
         });
 
@@ -1327,14 +1481,20 @@ impl Peer {
         let mut env = Environment::new(resolver).with_modules(self.modules.clone());
         env.rpc_optimize = self.rpc_optimize.load(Ordering::SeqCst);
         env.cancel = Some(cancel.clone());
+        env.profile = collector.clone();
         if let Some(c) = &client {
             env.dispatcher = Some(c.clone() as Arc<dyn xqeval::context::RpcDispatcher>);
         }
 
+        let exec_started = Instant::now();
         let engine_out = match self.engine {
             EngineKind::Tree => xqeval::eval::evaluate_compiled(&plan.compiled, &env, external),
             EngineKind::Rel => relalg::engine::execute_rel_compiled(&plan.compiled, &env, external),
         };
+        let execute_micros = exec_started.elapsed().as_micros() as u64;
+        if let Some(col) = &collector {
+            col.add_phase(Phase::Execute, execute_micros);
+        }
         let (result, local_pul) = match engine_out {
             Ok(out) => out,
             Err(e) => {
@@ -1391,7 +1551,26 @@ impl Peer {
                         client.send_cancel(&participants, qid);
                         return Err(e);
                     }
-                    commit = Some(self.coordinate(qid, client, &participants, &local_pul)?);
+                    // WAL appends inside the coordination are charged to
+                    // their own phase; subtract them here so twopc + wal
+                    // add up instead of double-counting.
+                    let wal_before = collector.as_ref().map(|c| c.phases().wal_micros);
+                    let twopc_started = Instant::now();
+                    let outcome = self.coordinate(
+                        qid,
+                        client,
+                        &participants,
+                        &local_pul,
+                        collector.as_deref(),
+                    );
+                    if let (Some(col), Some(before)) = (&collector, wal_before) {
+                        let wal_during = col.phases().wal_micros.saturating_sub(before);
+                        col.add_phase(
+                            Phase::TwoPc,
+                            (twopc_started.elapsed().as_micros() as u64).saturating_sub(wal_during),
+                        );
+                    }
+                    commit = Some(outcome?);
                 } else {
                     // no remote participants: apply the local ∆ directly
                     self.apply_pul(&local_pul)?;
@@ -1404,12 +1583,54 @@ impl Peer {
             }
         }
 
+        let total_micros = started.elapsed().as_micros() as u64;
+        let profile = collector.as_ref().map(|col| QueryProfile {
+            trace_id: root_ctx.trace_id,
+            hops: col.finish_hops(root_ctx.trace_id, root_ctx.span_id, total_micros),
+        });
+
+        // Always-on slow-query log: threshold checked on every execution,
+        // phase totals assembled from measurements this function already
+        // took (no per-operator data unless the query was profiled).
+        if self.slowlog.is_slow(total_micros) {
+            let phases = match &collector {
+                Some(col) => col.phases(),
+                None => {
+                    let mut p = xrpc_obs::Phases {
+                        cache,
+                        execute_micros,
+                        ..Default::default()
+                    };
+                    if cache == "miss" {
+                        p.parse_micros = plan.parse_micros;
+                        p.compile_micros = plan.compile_micros;
+                    }
+                    p
+                }
+            };
+            self.slowlog.record(&SlowLogEntry {
+                ts_millis: crate::now_millis(),
+                peer: self.name(),
+                query_hash: plan.text_hash,
+                trace_id: root_ctx.trace_id,
+                total_micros,
+                cache,
+                engine: match self.engine {
+                    EngineKind::Tree => "tree",
+                    EngineKind::Rel => "rel",
+                },
+                phases,
+                hops: profile.as_ref().map(|p| p.hops.len() as u32).unwrap_or(1),
+            });
+        }
+
         Ok(ExecOutcome {
             result,
             isolation,
             commit,
             requests_sent,
             calls_sent,
+            profile,
         })
     }
 
@@ -1449,14 +1670,22 @@ impl Peer {
         client: &XrpcClient,
         participants: &[String],
         local_pul: &PendingUpdateList,
+        profile: Option<&ProfileCollector>,
     ) -> XdmResult<CommitOutcome> {
         let wal = self.wal();
         let self_logged = match (&wal, local_pul.is_empty()) {
-            (Some(w), false) => Some(w.append(&WalRecord::Prepared {
-                qid: qid.clone(),
-                coordinator: self.name(),
-                delta: wal::serialize_pul(local_pul)?,
-            })?),
+            (Some(w), false) => {
+                let wal_started = Instant::now();
+                let lsn = w.append(&WalRecord::Prepared {
+                    qid: qid.clone(),
+                    coordinator: self.name(),
+                    delta: wal::serialize_pul(local_pul)?,
+                })?;
+                if let Some(col) = profile {
+                    col.add_phase(Phase::Wal, wal_started.elapsed().as_micros() as u64);
+                }
+                Some(lsn)
+            }
             _ => None,
         };
         // Advisory begin record, unforced: recovery uses it only to drive
@@ -1500,7 +1729,13 @@ impl Peer {
                         // only some delivery failed. Settle the local ∆ with
                         // the decision before surfacing the hazard, or the
                         // originator itself would be the mixed outcome.
-                        self.settle_local_commit(qid, local_pul, self_logged, wal.as_deref())?;
+                        self.settle_local_commit(
+                            qid,
+                            local_pul,
+                            self_logged,
+                            wal.as_deref(),
+                            profile,
+                        )?;
                     } else if let Some(w) = &wal {
                         // presumed abort: retire the advisory begin record
                         // so the log can checkpoint (best-effort — absence
@@ -1529,7 +1764,7 @@ impl Peer {
                 "distributed transaction aborted: {reason}"
             )));
         }
-        self.settle_local_commit(qid, local_pul, self_logged, wal.as_deref())?;
+        self.settle_local_commit(qid, local_pul, self_logged, wal.as_deref(), profile)?;
         Ok(outcome)
     }
 
@@ -1541,17 +1776,26 @@ impl Peer {
         local_pul: &PendingUpdateList,
         self_logged: Option<u64>,
         wal: Option<&Wal>,
+        profile: Option<&ProfileCollector>,
     ) -> XdmResult<()> {
         if let (Some(lsn), Some(w)) = (self_logged, wal) {
+            let wal_started = Instant::now();
             w.append(&WalRecord::Decision {
                 qid: qid.clone(),
                 decision: Decision::Committed,
             })?;
+            if let Some(col) = profile {
+                col.add_phase(Phase::Wal, wal_started.elapsed().as_micros() as u64);
+            }
             self.apply_pul_marked(local_pul, qid, Some(lsn))?;
+            let wal_started = Instant::now();
             w.append(&WalRecord::Applied {
                 qid: qid.clone(),
                 mark: lsn,
             })?;
+            if let Some(col) = profile {
+                col.add_phase(Phase::Wal, wal_started.elapsed().as_micros() as u64);
+            }
             return Ok(());
         }
         self.apply_pul(local_pul)

@@ -118,6 +118,17 @@ fn metrics_and_healthz_scrape_end_to_end() {
         "xrpc_twopc_prepare_micros",
         "xrpc_twopc_commit_micros",
         "xrpc_wal_append_micros",
+        // plan/function cache effectiveness
+        "xrpc_plan_cache_hits_total",
+        "xrpc_plan_cache_misses_total",
+        "xrpc_function_cache_hits_total",
+        // cancellation outcomes
+        "xrpc_cancellations_total",
+        // span-ring overflow + slow-query log volume/drops
+        "xrpc_trace_spans_dropped_total",
+        "xrpc_slowlog_entries_total",
+        "xrpc_slowlog_dropped_total",
+        "xrpc_slowlog_threshold_millis",
     ] {
         assert!(
             families.iter().any(|f| f == family),
@@ -148,6 +159,19 @@ fn metrics_and_healthz_scrape_end_to_end() {
         assert!(
             body.contains(family),
             "client family `{family}` missing:\n{body}"
+        );
+    }
+
+    // ---- /slowlog ----
+    // Nothing above crossed the (default 250ms) threshold, so the log is
+    // empty — but the route must answer 200 with an empty JSON-lines
+    // body rather than falling through to SOAP dispatch.
+    let (status, slowlog) = http_get("127.0.0.1", server.port(), "/slowlog");
+    assert_eq!(status, 200, "slowlog scrape failed: {slowlog}");
+    for line in slowlog.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "slowlog line is not a JSON object: {line}"
         );
     }
 

@@ -19,7 +19,7 @@ pub use control::{
 };
 pub use marshal::{n2s, s2n_into};
 pub use message::{
-    parse_message, FaultCode, QueryId, TraceContext, XrpcFault, XrpcMessage, XrpcRequest,
-    XrpcResponse,
+    parse_message, FaultCode, ProfileRequest, QueryId, TraceContext, XrpcFault, XrpcMessage,
+    XrpcRequest, XrpcResponse,
 };
 pub use validate::validate_message;

@@ -8,6 +8,7 @@ use xmldom::escape::push_escaped_attr;
 use xmldom::qname::{NS_SOAP_ENV, NS_XRPC, NS_XS, NS_XSI};
 use xmldom::{Document, NodeId, QName};
 pub use xrpc_obs::TraceContext;
+pub use xrpc_obs::{HopProfile, OpNode, Phases, ProfileMode};
 
 fn xrpc(local: &str) -> QName {
     QName::ns("xrpc", NS_XRPC, local)
@@ -61,6 +62,20 @@ impl QueryId {
     }
 }
 
+/// The profiling opt-in carried in the request envelope header
+/// (`<xrpc:profile mode="" via="" depth=""/>`): the receiving peer runs
+/// the call under a `ProfileCollector` at the requested sampling tier and
+/// returns its hop profile in the response header. `via` is the calling
+/// peer's identity and `depth` the receiving hop's position in the call
+/// chain (originator = 0), which is how the originator links the hops
+/// back into one tree. Observability only — never affects semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileRequest {
+    pub mode: ProfileMode,
+    pub via: String,
+    pub depth: u32,
+}
+
 /// An XRPC request: one function, `calls.len()` applications of it —
 /// `calls.len() > 1` *is* Bulk RPC.
 #[derive(Clone, Debug)]
@@ -97,6 +112,9 @@ pub struct XrpcRequest {
     /// deadline; a receiver seeing `0` rejects without evaluating. Absent
     /// (`None`) means no deadline — `xrpc:timeout "0"`.
     pub budget_millis: Option<u64>,
+    /// Ask the receiving peer to profile this call and return its hop
+    /// profile in the response header. Absent on the wire when `None`.
+    pub profile: Option<ProfileRequest>,
     pub calls: Vec<Vec<Sequence>>,
 }
 
@@ -113,6 +131,7 @@ impl XrpcRequest {
             call_by_fragment: false,
             trace: None,
             budget_millis: None,
+            profile: None,
             calls: Vec::new(),
         }
     }
@@ -164,7 +183,13 @@ impl XrpcRequest {
     pub fn write_xml(&self, out: &mut String) -> XdmResult<()> {
         debug_assert!(!self.call_by_fragment);
         out.reserve(self.estimated_wire_size());
-        write_envelope_open(out, self.trace.as_ref(), self.budget_millis);
+        write_envelope_open(
+            out,
+            self.trace.as_ref(),
+            self.budget_millis,
+            self.profile.as_ref(),
+            &[],
+        );
         out.push_str("<xrpc:request module=\"");
         push_escaped_attr(out, &self.module);
         out.push_str("\" method=\"");
@@ -223,7 +248,14 @@ impl XrpcRequest {
         let mut doc = Document::new();
         let root = doc.root();
         let envelope = start_envelope(&mut doc, root);
-        append_envelope_header(&mut doc, envelope, self.trace.as_ref(), self.budget_millis);
+        append_envelope_header(
+            &mut doc,
+            envelope,
+            self.trace.as_ref(),
+            self.budget_millis,
+            self.profile.as_ref(),
+            &[],
+        );
         let body = doc.create_element(envq("Body"));
         doc.append_child(envelope, body);
 
@@ -278,6 +310,12 @@ pub struct XrpcResponse {
     pub method: String,
     pub results: Vec<Sequence>,
     pub participating_peers: Vec<String>,
+    /// Hop profiles piggybacked in the response envelope header
+    /// (`<env:Header><xrpc:profile>`): the responding peer's own hop
+    /// first, then every downstream hop it harvested — so a nested
+    /// `execute at` chain accumulates all hops on the way back to the
+    /// originator. Empty unless the request asked for profiling.
+    pub profile_hops: Vec<HopProfile>,
 }
 
 impl XrpcResponse {
@@ -287,6 +325,7 @@ impl XrpcResponse {
             method: method.into(),
             results: Vec::new(),
             participating_peers: Vec::new(),
+            profile_hops: Vec::new(),
         }
     }
 
@@ -300,7 +339,7 @@ impl XrpcResponse {
     /// Cheap estimate of the serialized envelope size, for pre-reserving
     /// the output buffer (e.g. one taken from a transport buffer pool).
     pub fn estimated_wire_size(&self) -> usize {
-        let mut n = 512 + 64 * self.participating_peers.len();
+        let mut n = 512 + 64 * self.participating_peers.len() + 512 * self.profile_hops.len();
         for seq in &self.results {
             n += estimate_sequence_size(seq);
         }
@@ -310,7 +349,7 @@ impl XrpcResponse {
     /// Direct text serialization into a caller-supplied (reusable) buffer.
     pub fn write_xml(&self, out: &mut String) -> XdmResult<()> {
         out.reserve(self.estimated_wire_size());
-        write_envelope_open(out, None, None);
+        write_envelope_open(out, None, None, None, &self.profile_hops);
         out.push_str("<xrpc:response module=\"");
         push_escaped_attr(out, &self.module);
         out.push_str("\" method=\"");
@@ -344,6 +383,7 @@ impl XrpcResponse {
         let mut doc = Document::new();
         let root = doc.root();
         let envelope = start_envelope(&mut doc, root);
+        append_envelope_header(&mut doc, envelope, None, None, None, &self.profile_hops);
         let body = doc.create_element(envq("Body"));
         doc.append_child(envelope, body);
 
@@ -458,10 +498,12 @@ pub fn parse_message(xml: &str) -> XdmResult<XrpcMessage> {
     let budget = parse_budget_header(&doc, envelope);
 
     if let Some(req) = doc.child_element(body, &xrpc("request")) {
-        return parse_request(doc, req, trace, budget).map(XrpcMessage::Request);
+        let profile = parse_profile_request_header(&doc, envelope);
+        return parse_request(doc, req, trace, budget, profile).map(XrpcMessage::Request);
     }
     if let Some(resp) = doc.child_element(body, &xrpc("response")) {
-        return parse_response(doc, resp).map(XrpcMessage::Response);
+        let hops = parse_profile_hops_header(&doc, envelope);
+        return parse_response(doc, resp, hops).map(XrpcMessage::Response);
     }
     if let Some(fault) = doc.child_element(body, &envq("Fault")) {
         return parse_fault(&doc, fault).map(XrpcMessage::Fault);
@@ -479,6 +521,7 @@ fn parse_request(
     req: NodeId,
     trace: Option<TraceContext>,
     budget_millis: Option<u64>,
+    profile: Option<ProfileRequest>,
 ) -> XdmResult<XrpcRequest> {
     let module = req_attr(&doc, req, "module")?;
     let method = req_attr(&doc, req, "method")?;
@@ -499,6 +542,7 @@ fn parse_request(
         call_by_fragment: false,
         trace,
         budget_millis,
+        profile,
         calls: Vec::new(),
     };
     if let Some(q) = doc.child_element(req, &xrpc("queryID")) {
@@ -538,10 +582,15 @@ fn parse_request(
     Ok(out)
 }
 
-fn parse_response(mut doc: Document, resp: NodeId) -> XdmResult<XrpcResponse> {
+fn parse_response(
+    mut doc: Document,
+    resp: NodeId,
+    profile_hops: Vec<HopProfile>,
+) -> XdmResult<XrpcResponse> {
     let module = req_attr(&doc, resp, "module")?;
     let method = req_attr(&doc, resp, "method")?;
     let mut out = XrpcResponse::new(module, method);
+    out.profile_hops = profile_hops;
     let mut pending: Vec<crate::marshal::PendingSequence> = Vec::new();
     for child in doc.child_elements(resp) {
         if has_name(&doc, child, NS_XRPC, "sequence") {
@@ -604,7 +653,13 @@ fn has_name(doc: &Document, el: NodeId, uri: &str, local: &str) -> bool {
 /// single `env:Header`), and the open `env:Body` tag, byte-identical to
 /// serializing the DOM the builder produces (same declaration order, same
 /// attributes).
-fn write_envelope_open(out: &mut String, trace: Option<&TraceContext>, budget_millis: Option<u64>) {
+fn write_envelope_open(
+    out: &mut String,
+    trace: Option<&TraceContext>,
+    budget_millis: Option<u64>,
+    profile_req: Option<&ProfileRequest>,
+    profile_hops: &[HopProfile],
+) {
     out.push_str("<?xml version=\"1.0\" encoding=\"utf-8\"?>");
     out.push_str("<env:Envelope xmlns:xrpc=\"");
     push_escaped_attr(out, NS_XRPC);
@@ -617,7 +672,11 @@ fn write_envelope_open(out: &mut String, trace: Option<&TraceContext>, budget_mi
     out.push_str("\" xsi:schemaLocation=\"");
     push_escaped_attr(out, &format!("{NS_XRPC} {NS_XRPC}/XRPC.xsd"));
     out.push_str("\">");
-    if trace.is_some() || budget_millis.is_some() {
+    if trace.is_some()
+        || budget_millis.is_some()
+        || profile_req.is_some()
+        || !profile_hops.is_empty()
+    {
         out.push_str("<env:Header>");
         if let Some(t) = trace {
             out.push_str("<xrpc:trace traceId=\"");
@@ -635,9 +694,87 @@ fn write_envelope_open(out: &mut String, trace: Option<&TraceContext>, budget_mi
             out.push_str(&ms.to_string());
             out.push_str("\"/>");
         }
+        if let Some(p) = profile_req {
+            out.push_str("<xrpc:profile mode=\"");
+            push_escaped_attr(out, p.mode.as_str());
+            out.push_str("\" via=\"");
+            push_escaped_attr(out, &p.via);
+            out.push_str("\" depth=\"");
+            out.push_str(&p.depth.to_string());
+            out.push_str("\"/>");
+        }
+        if !profile_hops.is_empty() {
+            out.push_str("<xrpc:profile>");
+            for h in profile_hops {
+                write_hop_text(out, h);
+            }
+            out.push_str("</xrpc:profile>");
+        }
         out.push_str("</env:Header>");
     }
     out.push_str("<env:Body>");
+}
+
+fn write_hop_text(out: &mut String, h: &HopProfile) {
+    out.push_str("<xrpc:hop peer=\"");
+    push_escaped_attr(out, &h.peer);
+    out.push_str("\" via=\"");
+    push_escaped_attr(out, &h.via);
+    out.push_str("\" depth=\"");
+    out.push_str(&h.depth.to_string());
+    out.push_str("\" traceId=\"");
+    out.push_str(&format!("{:032x}", h.trace_id));
+    out.push_str("\" spanId=\"");
+    out.push_str(&format!("{:016x}", h.span_id));
+    out.push_str("\" totalMicros=\"");
+    out.push_str(&h.total_micros.to_string());
+    out.push_str("\"><xrpc:phases parseMicros=\"");
+    out.push_str(&h.phases.parse_micros.to_string());
+    out.push_str("\" compileMicros=\"");
+    out.push_str(&h.phases.compile_micros.to_string());
+    out.push_str("\" marshalMicros=\"");
+    out.push_str(&h.phases.marshal_micros.to_string());
+    out.push_str("\" networkMicros=\"");
+    out.push_str(&h.phases.network_micros.to_string());
+    out.push_str("\" executeMicros=\"");
+    out.push_str(&h.phases.execute_micros.to_string());
+    out.push_str("\" serializeMicros=\"");
+    out.push_str(&h.phases.serialize_micros.to_string());
+    out.push_str("\" twopcMicros=\"");
+    out.push_str(&h.phases.twopc_micros.to_string());
+    out.push_str("\" walMicros=\"");
+    out.push_str(&h.phases.wal_micros.to_string());
+    out.push_str("\" cache=\"");
+    push_escaped_attr(out, h.phases.cache);
+    out.push_str("\"/>");
+    for op in &h.ops {
+        write_op_text(out, op);
+    }
+    out.push_str("</xrpc:hop>");
+}
+
+fn write_op_text(out: &mut String, op: &OpNode) {
+    out.push_str("<xrpc:op name=\"");
+    push_escaped_attr(out, &op.name);
+    out.push_str("\" calls=\"");
+    out.push_str(&op.calls.to_string());
+    out.push_str("\" timedCalls=\"");
+    out.push_str(&op.timed_calls.to_string());
+    out.push_str("\" wallMicros=\"");
+    out.push_str(&op.wall_micros.to_string());
+    out.push_str("\" items=\"");
+    out.push_str(&op.items.to_string());
+    out.push_str("\" bytes=\"");
+    out.push_str(&op.bytes.to_string());
+    if op.children.is_empty() {
+        out.push_str("\"/>");
+    } else {
+        out.push_str("\">");
+        for c in &op.children {
+            write_op_text(out, c);
+        }
+        out.push_str("</xrpc:op>");
+    }
 }
 
 /// DOM-path twin of the header block in [`write_envelope_open`].
@@ -646,8 +783,14 @@ fn append_envelope_header(
     envelope: NodeId,
     trace: Option<&TraceContext>,
     budget_millis: Option<u64>,
+    profile_req: Option<&ProfileRequest>,
+    profile_hops: &[HopProfile],
 ) {
-    if trace.is_none() && budget_millis.is_none() {
+    if trace.is_none()
+        && budget_millis.is_none()
+        && profile_req.is_none()
+        && profile_hops.is_empty()
+    {
         return;
     }
     let header = doc.create_element(envq("Header"));
@@ -665,6 +808,91 @@ fn append_envelope_header(
         let b = doc.create_element(xrpc("budget"));
         doc.set_attribute(b, QName::local("remainingMillis"), ms.to_string());
         doc.append_child(header, b);
+    }
+    if let Some(p) = profile_req {
+        let pr = doc.create_element(xrpc("profile"));
+        doc.set_attribute(pr, QName::local("mode"), p.mode.as_str());
+        doc.set_attribute(pr, QName::local("via"), &p.via);
+        doc.set_attribute(pr, QName::local("depth"), p.depth.to_string());
+        doc.append_child(header, pr);
+    }
+    if !profile_hops.is_empty() {
+        let pr = doc.create_element(xrpc("profile"));
+        doc.append_child(header, pr);
+        for h in profile_hops {
+            append_hop_dom(doc, pr, h);
+        }
+    }
+}
+
+fn append_hop_dom(doc: &mut Document, parent: NodeId, h: &HopProfile) {
+    let hop = doc.create_element(xrpc("hop"));
+    doc.set_attribute(hop, QName::local("peer"), &h.peer);
+    doc.set_attribute(hop, QName::local("via"), &h.via);
+    doc.set_attribute(hop, QName::local("depth"), h.depth.to_string());
+    doc.set_attribute(hop, QName::local("traceId"), format!("{:032x}", h.trace_id));
+    doc.set_attribute(hop, QName::local("spanId"), format!("{:016x}", h.span_id));
+    doc.set_attribute(hop, QName::local("totalMicros"), h.total_micros.to_string());
+    doc.append_child(parent, hop);
+    let ph = doc.create_element(xrpc("phases"));
+    doc.set_attribute(
+        ph,
+        QName::local("parseMicros"),
+        h.phases.parse_micros.to_string(),
+    );
+    doc.set_attribute(
+        ph,
+        QName::local("compileMicros"),
+        h.phases.compile_micros.to_string(),
+    );
+    doc.set_attribute(
+        ph,
+        QName::local("marshalMicros"),
+        h.phases.marshal_micros.to_string(),
+    );
+    doc.set_attribute(
+        ph,
+        QName::local("networkMicros"),
+        h.phases.network_micros.to_string(),
+    );
+    doc.set_attribute(
+        ph,
+        QName::local("executeMicros"),
+        h.phases.execute_micros.to_string(),
+    );
+    doc.set_attribute(
+        ph,
+        QName::local("serializeMicros"),
+        h.phases.serialize_micros.to_string(),
+    );
+    doc.set_attribute(
+        ph,
+        QName::local("twopcMicros"),
+        h.phases.twopc_micros.to_string(),
+    );
+    doc.set_attribute(
+        ph,
+        QName::local("walMicros"),
+        h.phases.wal_micros.to_string(),
+    );
+    doc.set_attribute(ph, QName::local("cache"), h.phases.cache);
+    doc.append_child(hop, ph);
+    for op in &h.ops {
+        append_op_dom(doc, hop, op);
+    }
+}
+
+fn append_op_dom(doc: &mut Document, parent: NodeId, op: &OpNode) {
+    let el = doc.create_element(xrpc("op"));
+    doc.set_attribute(el, QName::local("name"), &op.name);
+    doc.set_attribute(el, QName::local("calls"), op.calls.to_string());
+    doc.set_attribute(el, QName::local("timedCalls"), op.timed_calls.to_string());
+    doc.set_attribute(el, QName::local("wallMicros"), op.wall_micros.to_string());
+    doc.set_attribute(el, QName::local("items"), op.items.to_string());
+    doc.set_attribute(el, QName::local("bytes"), op.bytes.to_string());
+    doc.append_child(parent, el);
+    for c in &op.children {
+        append_op_dom(doc, el, c);
     }
 }
 
@@ -694,6 +922,117 @@ fn parse_budget_header(doc: &Document, envelope: NodeId) -> Option<u64> {
     let header = doc.child_element(envelope, &envq("Header"))?;
     let b = doc.child_element(header, &xrpc("budget"))?;
     doc.attr_local(b, "remainingMillis")?.parse().ok()
+}
+
+/// Read the request-side `<xrpc:profile mode=""/>` header. Lenient like
+/// the other observability headers: malformed or unknown-mode headers
+/// degrade to "no profiling", never to an error.
+fn parse_profile_request_header(doc: &Document, envelope: NodeId) -> Option<ProfileRequest> {
+    let header = doc.child_element(envelope, &envq("Header"))?;
+    let p = doc.child_element(header, &xrpc("profile"))?;
+    let mode = ProfileMode::parse(doc.attr_local(p, "mode")?);
+    if !mode.is_on() {
+        return None;
+    }
+    Some(ProfileRequest {
+        mode,
+        via: doc.attr_local(p, "via").unwrap_or_default().to_string(),
+        depth: doc
+            .attr_local(p, "depth")
+            .and_then(|d| d.parse().ok())
+            .unwrap_or(0),
+    })
+}
+
+/// Read the response-side `<xrpc:profile>` hop list. Lenient: a hop that
+/// fails to parse is skipped — a truncated profile must never fail the
+/// call whose results it annotates.
+fn parse_profile_hops_header(doc: &Document, envelope: NodeId) -> Vec<HopProfile> {
+    let mut hops = Vec::new();
+    let Some(header) = doc.child_element(envelope, &envq("Header")) else {
+        return hops;
+    };
+    let Some(p) = doc.child_element(header, &xrpc("profile")) else {
+        return hops;
+    };
+    for hop_el in doc.child_elements(p) {
+        if !has_name(doc, hop_el, NS_XRPC, "hop") {
+            continue;
+        }
+        let Some(hop) = parse_hop(doc, hop_el) else {
+            continue;
+        };
+        hops.push(hop);
+    }
+    hops
+}
+
+fn parse_hop(doc: &Document, el: NodeId) -> Option<HopProfile> {
+    let peer = doc.attr_local(el, "peer")?.to_string();
+    let via = doc.attr_local(el, "via").unwrap_or_default().to_string();
+    let depth = doc.attr_local(el, "depth")?.parse().ok()?;
+    let trace_id = u128::from_str_radix(doc.attr_local(el, "traceId")?, 16).ok()?;
+    let span_id = u64::from_str_radix(doc.attr_local(el, "spanId")?, 16).ok()?;
+    let total_micros = doc.attr_local(el, "totalMicros")?.parse().ok()?;
+    let mut phases = Phases::default();
+    let mut ops = Vec::new();
+    for child in doc.child_elements(el) {
+        if has_name(doc, child, NS_XRPC, "phases") {
+            let num = |name: &str| -> u64 {
+                doc.attr_local(child, name)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0)
+            };
+            phases.parse_micros = num("parseMicros");
+            phases.compile_micros = num("compileMicros");
+            phases.marshal_micros = num("marshalMicros");
+            phases.network_micros = num("networkMicros");
+            phases.execute_micros = num("executeMicros");
+            phases.serialize_micros = num("serializeMicros");
+            phases.twopc_micros = num("twopcMicros");
+            phases.wal_micros = num("walMicros");
+            phases.cache = match doc.attr_local(child, "cache") {
+                Some("hit") => "hit",
+                Some("miss") => "miss",
+                _ => "off",
+            };
+        } else if has_name(doc, child, NS_XRPC, "op") {
+            if let Some(op) = parse_op(doc, child) {
+                ops.push(op);
+            }
+        }
+    }
+    Some(HopProfile {
+        peer,
+        via,
+        depth,
+        trace_id,
+        span_id,
+        total_micros,
+        phases,
+        ops,
+    })
+}
+
+fn parse_op(doc: &Document, el: NodeId) -> Option<OpNode> {
+    let num = |name: &str| -> Option<u64> { doc.attr_local(el, name)?.parse().ok() };
+    let mut node = OpNode {
+        name: doc.attr_local(el, "name")?.to_string(),
+        calls: num("calls")?,
+        timed_calls: num("timedCalls")?,
+        wall_micros: num("wallMicros")?,
+        items: num("items")?,
+        bytes: num("bytes")?,
+        children: Vec::new(),
+    };
+    for child in doc.child_elements(el) {
+        if has_name(doc, child, NS_XRPC, "op") {
+            if let Some(c) = parse_op(doc, child) {
+                node.children.push(c);
+            }
+        }
+    }
+    Some(node)
 }
 
 fn write_envelope_close(out: &mut String) {
@@ -1108,6 +1447,173 @@ mod tests {
         match parse_message(&bad).unwrap() {
             XrpcMessage::Request(r) => assert_eq!(r.budget_millis, None),
             other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_writer_equivalence_profile_request_header() {
+        let mut req = film_request();
+        req.profile = Some(ProfileRequest {
+            mode: ProfileMode::Sampled,
+            via: "xrpc://origin:41000/\"<&>".into(),
+            depth: 2,
+        });
+        assert_request_equivalence(&req);
+        let xml = req.to_xml().unwrap();
+        assert!(xml.contains("<xrpc:profile mode=\"sampled\""));
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Request(r) => {
+                let p = r.profile.unwrap();
+                assert_eq!(p.mode, ProfileMode::Sampled);
+                assert_eq!(p.via, "xrpc://origin:41000/\"<&>");
+                assert_eq!(p.depth, 2);
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+
+        // trace + budget + profile share one env:Header, in that order
+        req.trace = Some(TraceContext {
+            trace_id: 7,
+            span_id: 9,
+            parent_id: None,
+        });
+        req.budget_millis = Some(1000);
+        assert_request_equivalence(&req);
+        let xml = req.to_xml().unwrap();
+        assert_eq!(xml.matches("<env:Header>").count(), 1);
+        let t = xml.find("<xrpc:trace").unwrap();
+        let b = xml.find("<xrpc:budget").unwrap();
+        let p = xml.find("<xrpc:profile").unwrap();
+        assert!(t < b && b < p, "trace, then budget, then profile");
+
+        // absent header parses to None
+        match parse_message(&film_request().to_xml().unwrap()).unwrap() {
+            XrpcMessage::Request(r) => assert!(r.profile.is_none()),
+            other => panic!("expected request, got {other:?}"),
+        }
+
+        // a malformed mode degrades to None instead of failing the parse
+        let bad = {
+            let mut r = film_request();
+            r.profile = Some(ProfileRequest {
+                mode: ProfileMode::Full,
+                via: String::new(),
+                depth: 0,
+            });
+            r.to_xml()
+                .unwrap()
+                .replace("mode=\"full\"", "mode=\"garbage\"")
+        };
+        match parse_message(&bad).unwrap() {
+            XrpcMessage::Request(r) => assert!(r.profile.is_none()),
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    fn sample_hops() -> Vec<HopProfile> {
+        vec![
+            HopProfile {
+                peer: "xrpc://y:41001/".into(),
+                via: "xrpc://x:41000/".into(),
+                depth: 1,
+                trace_id: 0xabc,
+                span_id: 0x11,
+                total_micros: 1500,
+                phases: Phases {
+                    parse_micros: 10,
+                    compile_micros: 20,
+                    marshal_micros: 5,
+                    network_micros: 300,
+                    execute_micros: 1100,
+                    serialize_micros: 40,
+                    twopc_micros: 0,
+                    wal_micros: 0,
+                    cache: "hit",
+                },
+                ops: vec![OpNode {
+                    name: "xq:flwor".into(),
+                    calls: 12,
+                    timed_calls: 1,
+                    wall_micros: 90,
+                    items: 24,
+                    bytes: 0,
+                    children: vec![OpNode {
+                        name: "xq:path-step\"<&>".into(),
+                        calls: 24,
+                        timed_calls: 2,
+                        wall_micros: 30,
+                        items: 48,
+                        bytes: 512,
+                        children: Vec::new(),
+                    }],
+                }],
+            },
+            HopProfile {
+                peer: "xrpc://z:41002/".into(),
+                via: "xrpc://y:41001/".into(),
+                depth: 2,
+                trace_id: 0xabc,
+                span_id: 0x22,
+                total_micros: 400,
+                phases: Phases {
+                    cache: "miss",
+                    execute_micros: 390,
+                    ..Phases::default()
+                },
+                ops: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn text_writer_equivalence_profile_hops_header() {
+        let mut resp = XrpcResponse::new("m", "f");
+        resp.results.push(Sequence::one(Item::integer(1)));
+        resp.profile_hops = sample_hops();
+        assert_response_equivalence(&resp);
+        let xml = resp.to_xml().unwrap();
+        assert!(xml.contains("<env:Header><xrpc:profile><xrpc:hop peer="));
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Response(r) => {
+                assert_eq!(r.profile_hops.len(), 2);
+                let h = &r.profile_hops[0];
+                assert_eq!(h.peer, "xrpc://y:41001/");
+                assert_eq!(h.via, "xrpc://x:41000/");
+                assert_eq!(h.depth, 1);
+                assert_eq!(h.trace_id, 0xabc);
+                assert_eq!(h.span_id, 0x11);
+                assert_eq!(h.total_micros, 1500);
+                assert_eq!(h.phases.cache, "hit");
+                assert_eq!(h.phases.network_micros, 300);
+                assert_eq!(h.ops.len(), 1);
+                assert_eq!(h.ops[0].name, "xq:flwor");
+                assert_eq!(h.ops[0].calls, 12);
+                assert_eq!(h.ops[0].children.len(), 1);
+                assert_eq!(h.ops[0].children[0].name, "xq:path-step\"<&>");
+                assert_eq!(h.ops[0].children[0].bytes, 512);
+                assert_eq!(r.profile_hops[1].phases.cache, "miss");
+            }
+            other => panic!("expected response, got {other:?}"),
+        }
+
+        // a response without profiling has no header at all
+        let mut plain = XrpcResponse::new("m", "f");
+        plain.results.push(Sequence::empty());
+        let xml = plain.to_xml().unwrap();
+        assert!(!xml.contains("env:Header"));
+        match parse_message(&xml).unwrap() {
+            XrpcMessage::Response(r) => assert!(r.profile_hops.is_empty()),
+            other => panic!("expected response, got {other:?}"),
+        }
+
+        // a mangled hop is skipped, not fatal
+        let mangled = resp.to_xml().unwrap().replace("depth=\"2\"", "depth=\"x\"");
+        match parse_message(&mangled).unwrap() {
+            XrpcMessage::Response(r) => {
+                assert_eq!(r.profile_hops.len(), 1, "bad hop dropped");
+                assert_eq!(r.profile_hops[0].depth, 1);
+            }
+            other => panic!("expected response, got {other:?}"),
         }
     }
 
